@@ -1,0 +1,229 @@
+//! Checksumming-based self-verification (the classical baseline).
+//!
+//! A network of cross-referencing checkers in the style of Chang &
+//! Atallah: each checker sums a protected code range *plus the next
+//! checker's own code*, compares against an expected value stored in
+//! data, and triggers the tamper response on mismatch. The checkers
+//! run from a wrapped `main`, before the original program.
+//!
+//! This baseline exists to reproduce the paper's core motivation: all
+//! such schemes read code *as data*, so the split instruction/data
+//! cache attack of Wurster et al. (VM split-cache mode) defeats them —
+//! the checksums keep passing while the executed code is patched.
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{compile_module, Function, Module};
+use parallax_image::LinkedImage;
+use parallax_x86::Asm;
+
+use crate::BaselineError;
+
+/// Exit status of the checksum tamper response.
+pub const TAMPER_EXIT: i32 = 0x7a;
+
+/// Description of one checker in the network.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    /// Checker function name.
+    pub name: String,
+    /// Name of the function range it checksums.
+    pub checks: String,
+    /// Name of the next checker whose code it also checksums.
+    pub cross_checks: String,
+}
+
+/// Builds a checksum-protected program from `module`.
+///
+/// `targets` are the functions to protect. `k` checkers are created in
+/// a ring; checker `i` sums `targets[i % targets.len()]` and checker
+/// `(i+1) % k`. Returns the final image and the checker descriptions.
+pub fn protect_with_checksums(
+    module: &Module,
+    targets: &[String],
+    k: usize,
+) -> Result<(LinkedImage, Vec<Checker>), BaselineError> {
+    assert!(k >= 1 && !targets.is_empty());
+    let mut module = module.clone();
+
+    // Expected values live in data (outside every summed region), so
+    // the network is solvable in one pass.
+    module.global("__ck_expected", vec![0u8; 4 * k]);
+    // (start, len) pairs per checker, filled post-link.
+    module.global("__ck_ranges", vec![0u8; 16 * k]);
+
+    let mut checkers = Vec::new();
+    for i in 0..k {
+        let name = format!("__ck_{i}");
+        let checks = targets[i % targets.len()].clone();
+        let cross = format!("__ck_{}", (i + 1) % k);
+        // sum range1 + range2, compare to expected[i], exit on mismatch
+        module.func(Function::new(
+            name.clone(),
+            [],
+            vec![
+                let_("base", add(g("__ck_ranges"), c(16 * i as i32))),
+                let_("h", c(0)),
+                let_("which", c(0)),
+                while_(
+                    lt_s(l("which"), c(2)),
+                    vec![
+                        let_("p", load(add(l("base"), mul(l("which"), c(8))))),
+                        let_("n", load(add(l("base"), add(mul(l("which"), c(8)), c(4))))),
+                        let_("j", c(0)),
+                        while_(
+                            lt_s(l("j"), l("n")),
+                            vec![
+                                let_(
+                                    "h",
+                                    add(
+                                        xor(mul(l("h"), c(31)), load8(add(l("p"), l("j")))),
+                                        shrl(l("h"), c(24)),
+                                    ),
+                                ),
+                                let_("j", add(l("j"), c(1))),
+                            ],
+                        ),
+                        let_("which", add(l("which"), c(1))),
+                    ],
+                ),
+                if_(
+                    ne(
+                        l("h"),
+                        load(add(g("__ck_expected"), c(4 * i as i32))),
+                    ),
+                    vec![expr(syscall(1, vec![c(TAMPER_EXIT)]))],
+                    vec![],
+                ),
+                ret(l("h")),
+            ],
+        ));
+        checkers.push(Checker {
+            name,
+            checks,
+            cross_checks: cross,
+        });
+    }
+
+    let mut prog = compile_module(&module)?;
+
+    // Wrap the entry: run all checkers, then the original main.
+    // `_start` calls `main`; we interpose by renaming: build a shim that
+    // calls each checker then jumps into main.
+    let mut shim = Asm::new();
+    for i in 0..k {
+        shim.call_sym(format!("__ck_{i}"));
+    }
+    shim.call_sym("main");
+    shim.ret();
+    prog.add_func("__ck_shim", shim.finish().expect("shim assembles"));
+    // Point _start's call at the shim: easiest is to relink with a new
+    // _start equivalent; instead patch the existing _start reloc.
+    {
+        let start = prog
+            .func_mut("_start")
+            .ok_or_else(|| BaselineError::Missing("_start".into()))?;
+        for r in &mut start.relocs {
+            if r.symbol == "main" {
+                r.symbol = "__ck_shim".to_owned();
+            }
+        }
+    }
+
+    // Pass 1: link to learn addresses, fill ranges, compute sums.
+    let img1 = prog.link()?;
+    let mut ranges = Vec::new();
+    for ck in &checkers {
+        let t = img1
+            .symbol(&ck.checks)
+            .ok_or_else(|| BaselineError::Missing(ck.checks.clone()))?;
+        let x = img1
+            .symbol(&ck.cross_checks)
+            .ok_or_else(|| BaselineError::Missing(ck.cross_checks.clone()))?;
+        ranges.push([t.vaddr, t.size, x.vaddr, x.size]);
+    }
+    let mut range_bytes = Vec::new();
+    for r in &ranges {
+        for v in r {
+            range_bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    prog.data_item_mut("__ck_ranges").unwrap().bytes = range_bytes;
+
+    // Content of code is already final (only data changed); compute the
+    // expected sums from the linked text.
+    let img2 = prog.link()?;
+    let mut expected = Vec::new();
+    for r in &ranges {
+        let mut h: u32 = 0;
+        for &(start, len) in &[(r[0], r[1]), (r[2], r[3])] {
+            for j in 0..len {
+                let byte = img2.read(start + j, 1).unwrap()[0] as u32;
+                h = (h.wrapping_mul(31) ^ byte).wrapping_add(h >> 24);
+            }
+        }
+        expected.extend_from_slice(&h.to_le_bytes());
+    }
+    prog.data_item_mut("__ck_expected").unwrap().bytes = expected;
+
+    let img = prog.link()?;
+    Ok((img, checkers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_vm::{Exit, Vm};
+
+    fn sample() -> Module {
+        let mut m = Module::new();
+        m.func(Function::new(
+            "licensed",
+            [],
+            vec![ret(c(1))],
+        ));
+        m.func(Function::new(
+            "main",
+            [],
+            vec![if_(
+                eq(call("licensed", vec![]), c(1)),
+                vec![ret(c(7))],
+                vec![ret(c(99))],
+            )],
+        ));
+        m.entry("main");
+        m
+    }
+
+    #[test]
+    fn untampered_program_passes_checks() {
+        let (img, _) = protect_with_checksums(&sample(), &["licensed".into()], 3).unwrap();
+        let mut vm = Vm::new(&img);
+        assert_eq!(vm.run(), Exit::Exited(7));
+    }
+
+    #[test]
+    fn static_patch_is_detected() {
+        let (img, _) = protect_with_checksums(&sample(), &["licensed".into()], 3).unwrap();
+        // Attacker patches `licensed` to return 0: mov eax,1 -> mov eax,0.
+        let mut broken = img.clone();
+        let t = broken.symbol("licensed").unwrap().vaddr;
+        // find the mov eax,1 imm byte: prologue push/mov/... scan for b8.
+        let span = broken.read(t, 16).unwrap().to_vec();
+        let off = span.iter().position(|&b| b == 0xb8).unwrap();
+        broken.write(t + off as u32 + 1, &[0]);
+        let mut vm = Vm::new(&broken);
+        assert_eq!(vm.run(), Exit::Exited(TAMPER_EXIT));
+    }
+
+    #[test]
+    fn checker_tampering_is_cross_detected() {
+        let (img, checkers) =
+            protect_with_checksums(&sample(), &["licensed".into()], 3).unwrap();
+        // Patch checker 1's comparison; checker 0 cross-checks it.
+        let mut broken = img.clone();
+        let c1 = broken.symbol(&checkers[1].name).unwrap().vaddr;
+        broken.write(c1 + 4, &[0x90]);
+        let mut vm = Vm::new(&broken);
+        assert_eq!(vm.run(), Exit::Exited(TAMPER_EXIT));
+    }
+}

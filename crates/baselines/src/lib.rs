@@ -1,0 +1,58 @@
+//! Baseline protection schemes and the attacks that defeat them.
+//!
+//! Parallax's evaluation is comparative; this crate supplies the other
+//! side of every comparison:
+//!
+//! * [`checksum`] — a cross-referencing self-checksumming network
+//!   (Chang & Atallah style), the classical technique;
+//! * [`wurster`] — the split instruction/data cache attack that
+//!   defeats *all* checksumming schemes but not Parallax;
+//! * [`oh`] — oblivious hashing, the foremost checksumming-free
+//!   alternative, with its deterministic-state limitation on display.
+
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod oh;
+pub mod wurster;
+
+pub use checksum::{protect_with_checksums, Checker, TAMPER_EXIT};
+pub use oh::{instrument, train, Trained, EXPECTED_GLOBAL, HASH_GLOBAL, OH_TAMPER_EXIT};
+pub use wurster::{attack_icache, attack_static, AttackOutcome};
+
+use core::fmt;
+
+/// Errors from baseline construction.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// IR compilation failed.
+    Compile(parallax_compiler::CompileError),
+    /// Linking failed.
+    Link(parallax_image::LinkError),
+    /// A required symbol or function was missing.
+    Missing(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Compile(e) => write!(f, "compile: {e}"),
+            BaselineError::Link(e) => write!(f, "link: {e}"),
+            BaselineError::Missing(s) => write!(f, "missing `{s}`"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<parallax_compiler::CompileError> for BaselineError {
+    fn from(e: parallax_compiler::CompileError) -> Self {
+        BaselineError::Compile(e)
+    }
+}
+
+impl From<parallax_image::LinkError> for BaselineError {
+    fn from(e: parallax_image::LinkError) -> Self {
+        BaselineError::Link(e)
+    }
+}

@@ -1,0 +1,268 @@
+//! Oblivious hashing (Chen et al. / Jacob et al.) — the paper's primary
+//! comparison baseline.
+//!
+//! OH intersperses hash updates with the protected code: every assigned
+//! value is folded into a running hash of the *execution state*, which
+//! is compared against a value recorded during a training run. Two
+//! limitations follow directly (paper §VIII-C), both reproduced here:
+//!
+//! 1. only *deterministic* state can be protected — instrumenting code
+//!    whose values depend on the environment (`ptrace`!) yields
+//!    training hashes that do not transfer;
+//! 2. only code paths *exercised in training* are protected.
+//!
+//! The instrumentation also slows the protected function itself down,
+//! unlike Parallax's overlapping gadgets.
+
+use parallax_compiler::ir::{Expr, Module, Stmt};
+use parallax_compiler::ir::build::*;
+use parallax_compiler::compile_module;
+use parallax_image::LinkedImage;
+use parallax_vm::Vm;
+
+use crate::BaselineError;
+
+/// Exit status of the OH tamper response.
+pub const OH_TAMPER_EXIT: i32 = 0x6f;
+
+/// Name of the running-hash global.
+pub const HASH_GLOBAL: &str = "__oh_hash";
+/// Name of the expected-hash global (filled by training).
+pub const EXPECTED_GLOBAL: &str = "__oh_expected";
+
+fn hash_update(value: Expr) -> Stmt {
+    // __oh_hash = (__oh_hash * 33) ^ value ^ (__oh_hash >> 27)
+    store(
+        g(HASH_GLOBAL),
+        xor(
+            xor(mul(load(g(HASH_GLOBAL)), c(33)), value),
+            shrl(load(g(HASH_GLOBAL)), c(27)),
+        ),
+    )
+}
+
+fn instrument_stmts(body: &[Stmt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in body {
+        match s {
+            Stmt::Let(name, e) => {
+                out.push(Stmt::Let(name.clone(), e.clone()));
+                out.push(hash_update(l(name)));
+            }
+            Stmt::If(cnd, a, b) => {
+                out.push(Stmt::If(
+                    cnd.clone(),
+                    {
+                        let mut ai = vec![hash_update(c(0x11))];
+                        ai.extend(instrument_stmts(a));
+                        ai
+                    },
+                    {
+                        let mut bi = vec![hash_update(c(0x22))];
+                        bi.extend(instrument_stmts(b));
+                        bi
+                    },
+                ));
+            }
+            Stmt::While(cnd, b) => {
+                out.push(Stmt::While(cnd.clone(), {
+                    let mut bi = vec![hash_update(c(0x33))];
+                    bi.extend(instrument_stmts(b));
+                    bi
+                }));
+            }
+            Stmt::Return(e) => {
+                // Check the hash before returning.
+                out.push(Stmt::Let("__oh_ret".into(), e.clone()));
+                out.push(hash_update(l("__oh_ret")));
+                out.push(Stmt::If(
+                    ne(load(g(HASH_GLOBAL)), load(g(EXPECTED_GLOBAL))),
+                    vec![Stmt::Expr(syscall(1, vec![c(OH_TAMPER_EXIT)]))],
+                    vec![],
+                ));
+                out.push(Stmt::Return(l("__oh_ret")));
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+/// Instruments `func` in a copy of `module` with oblivious hashing.
+/// The expected hash is a placeholder until [`train`] fills it.
+pub fn instrument(module: &Module, func: &str) -> Result<Module, BaselineError> {
+    let mut m = module.clone();
+    m.global(HASH_GLOBAL, vec![0; 4]);
+    m.global(EXPECTED_GLOBAL, vec![0; 4]);
+    let f = m
+        .funcs
+        .iter_mut()
+        .find(|f| f.name == func)
+        .ok_or_else(|| BaselineError::Missing(func.to_owned()))?;
+    f.body = {
+        let mut body = vec![store(g(HASH_GLOBAL), c(0x9e37_0001u32 as i32))];
+        body.extend(instrument_stmts(&f.body.clone()));
+        body
+    };
+    Ok(m)
+}
+
+/// Result of an OH training run.
+#[derive(Debug, Clone)]
+pub struct Trained {
+    /// The image with the expected hash installed.
+    pub image: LinkedImage,
+    /// The recorded training hash.
+    pub hash: u32,
+}
+
+/// Runs the instrumented program once in "record" mode (expected = the
+/// observed hash, checked after the fact) and produces a verifying
+/// image. The training environment is a plain VM with `input`.
+pub fn train(module: &Module, input: &[u8], configure: impl Fn(&mut Vm)) -> Result<Trained, BaselineError> {
+    let mut prog = compile_module(module)?;
+    // Record pass: expected = sentinel that can never match, but we
+    // must avoid triggering the response — so record with the check
+    // effectively disabled by setting expected after reading the hash.
+    // Simplest: set expected so that the first check compares against
+    // whatever the hash is at that point. We instead run with expected
+    // primed to a magic and intercept: read the hash global at exit.
+    // The check would exit(OH_TAMPER_EXIT), which is fine for
+    // recording: the final hash value is still in memory.
+    let img = prog.link()?;
+    let mut vm = Vm::new(&img);
+    vm.set_input(input);
+    configure(&mut vm);
+    let _ = vm.run();
+    let hash_addr = img
+        .symbol(HASH_GLOBAL)
+        .ok_or_else(|| BaselineError::Missing(HASH_GLOBAL.into()))?
+        .vaddr;
+    let hash = vm
+        .mem()
+        .read32(hash_addr)
+        .map_err(|_| BaselineError::Missing("hash readback".into()))?;
+
+    // Verify pass image: fill the expected hash.
+    prog.data_item_mut(EXPECTED_GLOBAL)
+        .ok_or_else(|| BaselineError::Missing(EXPECTED_GLOBAL.into()))?
+        .bytes = hash.to_le_bytes().to_vec();
+    let image = prog.link()?;
+    Ok(Trained { image, hash })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_compiler::Function;
+    use parallax_vm::Exit;
+
+    fn deterministic_module() -> Module {
+        let mut m = Module::new();
+        m.func(Function::new(
+            "checked",
+            ["x"],
+            vec![
+                let_("a", add(l("x"), c(10))),
+                let_("b", mul(l("a"), c(3))),
+                ret(sub(l("b"), c(5))),
+            ],
+        ));
+        m.func(Function::new(
+            "main",
+            [],
+            vec![ret(call("checked", vec![c(4)]))],
+        ));
+        m.entry("main");
+        m
+    }
+
+    #[test]
+    fn oh_passes_untampered_deterministic_code() {
+        let m = instrument(&deterministic_module(), "checked").unwrap();
+        let trained = train(&m, &[], |_| {}).unwrap();
+        let mut vm = Vm::new(&trained.image);
+        assert_eq!(vm.run(), Exit::Exited((4 + 10) * 3 - 5));
+    }
+
+    #[test]
+    fn oh_detects_tampering_with_computation() {
+        let m = instrument(&deterministic_module(), "checked").unwrap();
+        let trained = train(&m, &[], |_| {}).unwrap();
+        // Patch the imm of `add x,10` idiom (mov eax,10 somewhere in
+        // checked): change a constant so the computed state differs.
+        let mut broken = trained.image.clone();
+        let f = broken.symbol("checked").unwrap();
+        let span = broken.read(f.vaddr, f.size as usize).unwrap().to_vec();
+        // find mov eax, 10 (b8 0a 00 00 00)
+        let off = span
+            .windows(5)
+            .position(|w| w == [0xb8, 0x0a, 0x00, 0x00, 0x00])
+            .expect("constant found");
+        broken.write(f.vaddr + off as u32 + 1, &[0x0b]); // 10 -> 11
+        let mut vm = Vm::new(&broken);
+        assert_eq!(vm.run(), Exit::Exited(OH_TAMPER_EXIT));
+    }
+
+    #[test]
+    fn oh_cannot_protect_nondeterministic_code() {
+        // The ptrace detector: its state depends on the environment.
+        let mut m = Module::new();
+        m.func(Function::new(
+            "check_ptrace",
+            [],
+            vec![
+                let_("r", syscall(26, vec![c(0)])),
+                if_(eq(l("r"), c(0)), vec![ret(c(0))], vec![ret(c(1))]),
+            ],
+        ));
+        m.func(Function::new(
+            "main",
+            [],
+            vec![if_(
+                eq(call("check_ptrace", vec![]), c(0)),
+                vec![ret(c(77))],
+                vec![ret(c(13))],
+            )],
+        ));
+        m.entry("main");
+        let m = instrument(&m, "check_ptrace").unwrap();
+
+        // Train WITHOUT a debugger.
+        let trained = train(&m, &[], |_| {}).unwrap();
+
+        // Clean environment: passes.
+        let mut vm = Vm::new(&trained.image);
+        assert_eq!(vm.run(), Exit::Exited(77));
+
+        // Debugger attached — a LEGITIMATE environment Parallax handles
+        // fine — but OH false-positives: the state hash differs.
+        let mut vm2 = Vm::new(&trained.image);
+        vm2.attach_debugger();
+        assert_eq!(
+            vm2.run(),
+            Exit::Exited(OH_TAMPER_EXIT),
+            "OH must false-positive on non-deterministic code"
+        );
+    }
+
+    #[test]
+    fn oh_slows_down_the_protected_function() {
+        let base = deterministic_module();
+        let img0 = compile_module(&base).unwrap().link().unwrap();
+        let mut vm0 = Vm::new(&img0);
+        assert!(matches!(vm0.run(), Exit::Exited(_)));
+        let native = vm0.cycles();
+
+        let m = instrument(&base, "checked").unwrap();
+        let trained = train(&m, &[], |_| {}).unwrap();
+        let mut vm1 = Vm::new(&trained.image);
+        assert!(matches!(vm1.run(), Exit::Exited(_)));
+        let instrumented = vm1.cycles();
+        assert!(
+            instrumented > native + 20,
+            "instrumentation must cost cycles in the protected code \
+             ({instrumented} vs {native})"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! The Wurster et al. instruction-cache modification attack.
+//!
+//! The attack that motivates Parallax: a kernel-level adversary maps
+//! different pages for instruction fetch and data reads, so checksumming
+//! code observes the original bytes while the processor executes a
+//! patched version. In the VM this is split-cache mode plus
+//! [`parallax_vm::Vm::write_icache`].
+
+use parallax_image::LinkedImage;
+use parallax_vm::{Exit, Vm};
+
+/// Outcome of mounting the attack against a protected binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// How the patched program run ended.
+    pub exit: Exit,
+    /// Output the patched run produced.
+    pub output: Vec<u8>,
+}
+
+/// Runs `img` with the attacker's `patches` applied to the instruction
+/// view only (the data view keeps the original bytes). Returns the run
+/// outcome; the caller judges success against the attacker's goal.
+pub fn attack_icache(img: &LinkedImage, patches: &[(u32, Vec<u8>)], input: &[u8]) -> AttackOutcome {
+    let mut vm = Vm::new(img);
+    vm.enable_split_cache();
+    for (vaddr, bytes) in patches {
+        vm.write_icache(*vaddr, bytes)
+            .expect("attack patch in range");
+    }
+    vm.set_input(input);
+    let exit = vm.run();
+    AttackOutcome {
+        exit,
+        output: vm.take_output(),
+    }
+}
+
+/// The same patches applied to *both* views (a plain static patch,
+/// what a cracker distributes).
+pub fn attack_static(img: &LinkedImage, patches: &[(u32, Vec<u8>)], input: &[u8]) -> AttackOutcome {
+    let mut img = img.clone();
+    for (vaddr, bytes) in patches {
+        assert!(img.write(*vaddr, bytes), "attack patch in range");
+    }
+    let mut vm = Vm::new(&img);
+    vm.set_input(input);
+    let exit = vm.run();
+    AttackOutcome {
+        exit,
+        output: vm.take_output(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::{protect_with_checksums, TAMPER_EXIT};
+    use parallax_compiler::ir::build::*;
+    use parallax_compiler::{Function, Module};
+
+    /// License check: returns 7 when "licensed", 99 otherwise.
+    fn license_module() -> Module {
+        let mut m = Module::new();
+        m.func(Function::new("licensed", [], vec![ret(c(0))])); // NOT licensed
+        m.func(Function::new(
+            "main",
+            [],
+            vec![if_(
+                eq(call("licensed", vec![]), c(1)),
+                vec![ret(c(7))],
+                vec![ret(c(99))],
+            )],
+        ));
+        m.entry("main");
+        m
+    }
+
+    /// The crack: make `licensed` return 1 (patch mov eax,0 -> mov eax,1).
+    fn crack_patch(img: &LinkedImage) -> (u32, Vec<u8>) {
+        let f = img.symbol("licensed").unwrap();
+        let span = img.read(f.vaddr, f.size as usize).unwrap();
+        let off = span
+            .windows(5)
+            .position(|w| w == [0xb8, 0x00, 0x00, 0x00, 0x00])
+            .expect("mov eax,0 found");
+        (f.vaddr + off as u32 + 1, vec![1])
+    }
+
+    #[test]
+    fn wurster_defeats_checksumming() {
+        let (img, _) =
+            protect_with_checksums(&license_module(), &["licensed".into()], 3).unwrap();
+
+        // Static patch: the checksum network catches it.
+        let patch = crack_patch(&img);
+        let static_result = attack_static(&img, std::slice::from_ref(&patch), &[]);
+        assert_eq!(static_result.exit, Exit::Exited(TAMPER_EXIT));
+
+        // Wurster attack: icache-only patch sails through the checksums
+        // AND the crack works (exit 7 = licensed path).
+        let icache_result = attack_icache(&img, &[patch], &[]);
+        assert_eq!(
+            icache_result.exit,
+            Exit::Exited(7),
+            "split-cache attack must defeat checksumming"
+        );
+    }
+}

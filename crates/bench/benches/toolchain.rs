@@ -1,0 +1,110 @@
+//! Criterion benchmarks for the Parallax toolchain itself (host-side
+//! throughput; the paper-figure measurements are deterministic
+//! cycle-model runs in the `fig*` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use parallax_compiler::compile_module;
+use parallax_core::ChainMode;
+use parallax_gadgets::{build_map, classify, scan};
+use parallax_vm::{Exit, Vm};
+
+fn corpus_image(name: &str) -> parallax_image::LinkedImage {
+    let w = parallax_corpus::by_name(name).unwrap();
+    compile_module(&(w.module)()).unwrap().link().unwrap()
+}
+
+fn bench_gadget_scan(c: &mut Criterion) {
+    let img = corpus_image("gcc");
+    let mut g = c.benchmark_group("gadget_scan");
+    g.sample_size(30);
+    g.throughput(Throughput::Bytes(img.text.len() as u64));
+    g.bench_function("scan_text", |b| {
+        b.iter(|| scan(&img.text, img.text_base).len())
+    });
+    g.bench_function("scan_classify", |b| {
+        b.iter(|| {
+            scan(&img.text, img.text_base)
+                .iter()
+                .filter_map(classify)
+                .count()
+        })
+    });
+    g.bench_function("full_pipeline_with_validation", |b| {
+        b.iter(|| build_map(&img).gadgets().len())
+    });
+    g.finish();
+}
+
+fn bench_compile_and_link(c: &mut Criterion) {
+    let w = parallax_corpus::by_name("gcc").unwrap();
+    c.bench_function("compile_module_gcc", |b| {
+        b.iter(|| compile_module(&(w.module)()).unwrap())
+    });
+    let prog = compile_module(&(w.module)()).unwrap();
+    c.bench_function("link_gcc", |b| b.iter(|| prog.link().unwrap()));
+}
+
+fn bench_protect_pipeline(c: &mut Criterion) {
+    let w = parallax_corpus::by_name("lame").unwrap();
+    let mut g = c.benchmark_group("protect");
+    g.sample_size(10);
+    g.bench_function("protect_lame_cleartext", |b| {
+        b.iter(|| parallax_bench::protect_workload(&w, ChainMode::Cleartext))
+    });
+    g.finish();
+}
+
+fn bench_vm_throughput(c: &mut Criterion) {
+    let w = parallax_corpus::by_name("bzip2").unwrap();
+    let img = corpus_image("bzip2");
+    let input = (w.input)();
+    // instructions per run, for throughput accounting
+    let mut vm = Vm::new(&img);
+    vm.set_input(&input);
+    assert!(matches!(vm.run(), Exit::Exited(_)));
+    let instructions = vm.instructions;
+
+    let mut g = c.benchmark_group("vm");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(instructions));
+    g.bench_function("interpret_bzip2", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&img);
+            vm.set_input(&input);
+            vm.run()
+        })
+    });
+    g.finish();
+}
+
+fn bench_chain_execution(c: &mut Criterion) {
+    // Host-time cost of running a verification chain vs the native
+    // function (the cycle-model version of this is Figure 5a).
+    let w = parallax_corpus::by_name("lame").unwrap();
+    let native = corpus_image("lame");
+    let protected = parallax_bench::protect_workload(&w, ChainMode::Cleartext);
+    let f_native = native.symbol(w.verify_func).unwrap().vaddr;
+    let f_chain = protected.image.symbol(w.verify_func).unwrap().vaddr;
+
+    let mut g = c.benchmark_group("verify_call");
+    g.bench_function("native", |b| {
+        let mut vm = Vm::new(&native);
+        b.iter(|| vm.call_function(f_native, &[600000, 700]).unwrap())
+    });
+    g.bench_function("rop_chain", |b| {
+        let mut vm = Vm::new(&protected.image);
+        b.iter(|| vm.call_function(f_chain, &[600000, 700]).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gadget_scan,
+    bench_compile_and_link,
+    bench_protect_pipeline,
+    bench_vm_throughput,
+    bench_chain_execution
+);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. §VII-B selection: what happens if the verification function is
+//!    chosen badly (the hottest function, or none of the criteria)?
+//! 2. §III overlap preference: how many used gadgets overlap protected
+//!    code under PreferOverlapping vs a naive First policy?
+//! 3. §IV-B rules: protectable coverage with rule subsets.
+
+use parallax_compiler::compile_module;
+use parallax_core::{protect, ChainMode, ProtectConfig};
+use parallax_rewrite::{analyze, RewriteConfig};
+use parallax_vm::{Exit, Vm, VmOptions};
+
+fn main() {
+    let w = parallax_corpus::by_name("nginx").unwrap();
+    let input = (w.input)();
+    let m = (w.module)();
+
+    // Baseline cycles + profile.
+    let base = compile_module(&m).unwrap().link().unwrap();
+    let mut vm = Vm::with_options(
+        &base,
+        VmOptions {
+            profile: true,
+            ..VmOptions::default()
+        },
+    );
+    vm.set_input(&input);
+    assert!(matches!(vm.run(), Exit::Exited(_)));
+    let base_cycles = vm.cycles();
+    let hottest = {
+        let p = vm.profiler().unwrap();
+        let mut best = (String::new(), 0.0);
+        for (n, _) in p.iter() {
+            let f = p.fraction(n);
+            if f > best.1 && m.get_func(n).is_some() {
+                best = (n.to_owned(), f);
+            }
+        }
+        best.0
+    };
+
+    println!("== ablation 1: §VII-B verification-function choice (nginx) ==\n");
+    println!("candidate          translated  overhead");
+    println!("------------------------------------------");
+    for cand in [w.verify_func, hottest.as_str(), "method_of"] {
+        if m.get_func(cand).map(|f| {
+            !parallax_core::select::translatable(f, &m)
+        }).unwrap_or(true)
+        {
+            println!("{cand:<18} {:>10}  (not chain-translatable)", "no");
+            continue;
+        }
+        let p = protect(
+            &m,
+            &ProtectConfig {
+                verify_funcs: vec![cand.to_owned()],
+                ..ProtectConfig::default()
+            },
+        )
+        .unwrap();
+        let mut vm = Vm::new(&p.image);
+        vm.set_input(&input);
+        let cycles = match vm.run() {
+            Exit::Exited(_) => vm.cycles(),
+            other => panic!("{other}"),
+        };
+        let overhead = 100.0 * (cycles as f64 - base_cycles as f64) / base_cycles as f64;
+        let marker = if cand == w.verify_func { "  <- §VII-B pick" } else { "" };
+        println!("{cand:<18} {:>10}  {overhead:+7.2}%{marker}", "yes");
+    }
+
+    println!("\n== ablation 2: §III gadget-choice policy ==\n");
+    // PreferOverlapping is the default in protect(); compare the
+    // overlap statistics against a run with no protected targets
+    // (nothing to prefer -> effectively First/stdset-heavy).
+    let with_pref = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec![w.verify_func.to_owned()],
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+    let without_targets = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec![w.verify_func.to_owned()],
+            protect_targets: Some(vec![]), // nothing rewritten or preferred
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+    let a = &with_pref.report.chains[0];
+    let b = &without_targets.report.chains[0];
+    println!("                        used gadgets  overlapping protected code");
+    println!(
+        "prefer-overlapping:     {:>12}  {:>10}",
+        a.used_gadgets.len(),
+        a.overlapping_used
+    );
+    println!(
+        "no targets (stdset):    {:>12}  {:>10}",
+        b.used_gadgets.len(),
+        b.overlapping_used
+    );
+
+    println!("\n== ablation 3: §IV-B rule subsets (protectable bytes, nginx) ==\n");
+    let cov = analyze(&base);
+    println!("rule subset                 protectable %");
+    println!("--------------------------------------------");
+    println!("existing gadgets only       {:>8.1}%", cov.existing_near_pct() + cov.existing_far_pct());
+    println!("+ immediates rule           {:>8.1}%  (rule alone: {:.1}%)", cov.immediate_pct().max(cov.existing_near_pct()), cov.immediate_pct());
+    println!("+ rearrangement rule        {:>8.1}%  (rule alone: {:.1}%)", cov.any_pct(), cov.jump_pct());
+    let _ = RewriteConfig::default();
+    let _ = ChainMode::Cleartext;
+}

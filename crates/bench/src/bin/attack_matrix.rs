@@ -1,0 +1,133 @@
+//! The comparative attack matrix (paper §I, §VI, §IX): which defenses
+//! survive which attacks on a cracked license check.
+
+use parallax_baselines::{attack_icache, attack_static, protect_with_checksums, TAMPER_EXIT};
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{compile_module, Function, Module};
+use parallax_core::{protect, ProtectConfig};
+use parallax_image::LinkedImage;
+use parallax_vm::Exit;
+
+fn license_module() -> Module {
+    let mut m = Module::new();
+    m.func(Function::new("licensed", [], vec![ret(c(0))]));
+    m.func(Function::new(
+        "gate",
+        [],
+        vec![if_(
+            eq(call("licensed", vec![]), c(1)),
+            vec![ret(c(7))],
+            vec![ret(c(99))],
+        )],
+    ));
+    m.func(Function::new("main", [], vec![ret(call("gate", vec![]))]));
+    m.entry("main");
+    m
+}
+
+/// The classic crack: overwrite the check's entry with `mov eax,1; ret`.
+fn crack_patch(img: &LinkedImage) -> (u32, Vec<u8>) {
+    let f = img.symbol("licensed").unwrap();
+    (f.vaddr, vec![0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3])
+}
+
+fn main() {
+    println!("Attack matrix: crack a license check (want exit 7; honest exit 99)\n");
+    let m = license_module();
+
+    // Unprotected.
+    let plain = compile_module(&m).unwrap().link().unwrap();
+    let p = crack_patch(&plain);
+    let r1 = attack_static(&plain, std::slice::from_ref(&p), &[]).exit;
+    let r2 = attack_icache(&plain, &[p], &[]).exit;
+
+    // Checksumming network.
+    let (ck, _) = protect_with_checksums(&m, &["licensed".into()], 3).unwrap();
+    let pc = crack_patch(&ck);
+    let r3 = attack_static(&ck, std::slice::from_ref(&pc), &[]).exit;
+    let r4 = attack_icache(&ck, &[pc], &[]).exit;
+
+    // Parallax: `gate` becomes the verification chain; its gadgets
+    // overlap the instructions of `licensed` and `main`. Value-critical
+    // immediates get the completion placement, so forcing them destroys
+    // the planted ret.
+    let plx = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec!["gate".into()],
+            rewrite: parallax_rewrite::RewriteConfig {
+                imm_completion_always: true,
+                ..Default::default()
+            },
+            guard_funcs: vec!["licensed".into()],
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Targeted patch (the paper's Listing-2 analogue): the attacker
+    // reverse-engineers the split `mov eax, K' ; xor eax, M` in
+    // `licensed` and rewrites K' to `1 ^ M`, so the function natively
+    // returns 1 (licensed!). The patch necessarily rewrites the
+    // immediate bytes — destroying the gadget Parallax planted there.
+    let lic = plx.image.symbol("licensed").unwrap();
+    let used_in_licensed: Vec<u32> = plx.report.chains[0]
+        .used_gadgets
+        .iter()
+        .copied()
+        .filter(|&g| g >= lic.vaddr && g < lic.vaddr + lic.size)
+        .collect();
+    let span = plx.image.read(lic.vaddr, lic.size as usize).unwrap();
+    // Find `mov eax, imm32` (b8) followed later by `xor eax, imm32` (35).
+    let mov_off = span.iter().position(|&b| b == 0xb8).expect("split mov");
+    let xor_off = span[mov_off..]
+        .iter()
+        .position(|&b| b == 0x35)
+        .map(|o| o + mov_off)
+        .expect("xor compensator");
+    let mask = u32::from_le_bytes(span[xor_off + 1..xor_off + 5].try_into().unwrap());
+    let new_imm = 1u32 ^ mask;
+    let targeted = (
+        lic.vaddr + mov_off as u32 + 1,
+        new_imm.to_le_bytes().to_vec(),
+    );
+    let r5 = attack_static(&plx.image, std::slice::from_ref(&targeted), &[]).exit;
+    let r6 = attack_icache(&plx.image, &[targeted], &[]).exit;
+
+    // Naive whole-entry overwrite: succeeds only if it misses every
+    // used gadget — the paper's residual condition (§VIII (1)).
+    let naive = crack_patch(&plx.image);
+    let naive_hits_gadget = used_in_licensed
+        .iter()
+        .any(|&g| g < naive.0 + naive.1.len() as u32);
+    let r7 = attack_static(&plx.image, &[naive], &[]).exit;
+
+    let verdict = |e: Exit| match e {
+        Exit::Exited(7) => "CRACKED".to_owned(),
+        Exit::Exited(99) => "patch ineffective".to_owned(),
+        Exit::Exited(s) if s == TAMPER_EXIT => "DETECTED (tamper exit)".to_owned(),
+        other => format!("DETECTED ({other})"),
+    };
+    println!("defense         static patch            icache-only patch (Wurster)");
+    println!("---------------------------------------------------------------------");
+    println!("none            {:<23} {}", verdict(r1), verdict(r2));
+    println!("checksumming    {:<23} {}", verdict(r3), verdict(r4));
+    println!("parallax*       {:<23} {}", verdict(r5), verdict(r6));
+    println!();
+    println!("* semantics-correct crack of the split immediate in `licensed`");
+    println!("  (natively forces return 1, but rewrites the gadget bytes).");
+    println!(
+        "  chain gadgets inside `licensed`: {}",
+        used_in_licensed.len()
+    );
+    println!(
+        "  naive entry overwrite: {} (hit a used gadget: {}) — the paper's §VIII",
+        verdict(r7),
+        naive_hits_gadget
+    );
+    println!("  residual condition (1): patches confined to gadget-free bytes evade detection;");
+    println!("  Parallax minimizes those bytes (Figure 6 coverage).");
+    println!();
+    println!("(paper: checksumming falls to Wurster; Parallax verifies by");
+    println!(" execution, so both patch channels disturb the chain)");
+}

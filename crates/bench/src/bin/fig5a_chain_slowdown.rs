@@ -1,0 +1,31 @@
+//! Regenerates Figure 5a: function-chain slowdown factors per program
+//! and hardening strategy.
+
+fn main() {
+    let rows = parallax_bench::fig5_all();
+    let table = parallax_bench::table(
+        &[
+            "program",
+            "mode",
+            "native cyc/call",
+            "chain cyc/call",
+            "slowdown",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.program.clone(),
+                    r.mode.to_owned(),
+                    format!("{:.0}", r.native_per_call),
+                    format!("{:.0}", r.chain_per_call),
+                    format!("{:.1}x", r.slowdown),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("Figure 5a — function chain slowdown");
+    println!("(paper: cleartext 3.7x(gcc)-46.7x(wget); RC4 7.6x-64.3x,");
+    println!(" worst blowup on lame's very short chain)\n");
+    print!("{table}");
+}

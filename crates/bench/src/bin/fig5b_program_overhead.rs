@@ -1,0 +1,32 @@
+//! Regenerates Figure 5b: whole-program runtime overhead per program
+//! and hardening strategy.
+
+fn main() {
+    let rows = parallax_bench::fig5_all();
+    let table = parallax_bench::table(
+        &[
+            "program",
+            "mode",
+            "base cycles",
+            "protected cycles",
+            "overhead %",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.program.clone(),
+                    r.mode.to_owned(),
+                    r.base_cycles.to_string(),
+                    r.prot_cycles.to_string(),
+                    format!("{:.2}", r.overhead_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("Figure 5b — whole-program overhead");
+    println!("(paper: 0.1%(gcc)-2.7%(wget) cleartext; 0.2%-3.7% RC4; all <4%)\n");
+    print!("{table}");
+    let max = rows.iter().map(|r| r.overhead_pct).fold(0.0, f64::max);
+    println!("\nmax overhead across programs and modes: {max:.2}%");
+}

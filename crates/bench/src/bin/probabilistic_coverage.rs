@@ -1,0 +1,78 @@
+//! §V-B: probabilistically generated chains verify a different gadget
+//! subset on every call, out of up to N^l variants.
+
+use parallax_core::ChainMode;
+use parallax_vm::{Exit, Vm, VmOptions};
+use std::collections::HashSet;
+
+fn main() {
+    let w = parallax_corpus::by_name("nginx").unwrap();
+    let variants = 6usize;
+    let protected = parallax_bench::protect_workload(
+        &w,
+        ChainMode::Probabilistic {
+            variants,
+            seed: 0x900d,
+        },
+    );
+    let info = &protected.report.chains[0];
+    println!("§V-B probabilistic chains — {} / {}", w.name, w.verify_func);
+    println!(
+        "compiled variants N={variants}, chain length l={} words, ops={}",
+        info.words, info.ops
+    );
+    println!(
+        "upper bound on runtime variants: N^l = {variants}^{} (astronomically many)\n",
+        info.words
+    );
+
+    let buf_sym = format!("__plx_chain_{}", w.verify_func);
+    let buf = protected.image.symbol(&buf_sym).unwrap();
+    let gadget_union: HashSet<u32> = info.used_gadgets.iter().copied().collect();
+
+    let mut seen_subsets: HashSet<Vec<u32>> = HashSet::new();
+    let mut cumulative: HashSet<u32> = HashSet::new();
+    println!("run  seed   gadgets-used  new-vs-cumulative");
+    println!("---------------------------------------------");
+    for (i, seed) in [1u64, 7, 42, 1337, 0xabcd, 99, 5, 12].iter().enumerate() {
+        let mut vm = Vm::with_options(
+            &protected.image,
+            VmOptions {
+                seed: *seed,
+                ..VmOptions::default()
+            },
+        );
+        vm.set_input(&(w.input)());
+        assert!(matches!(vm.run(), Exit::Exited(_)));
+        // Read the generated chain buffer and extract the gadget words.
+        let bytes = vm.mem().read_bytes(buf.vaddr, buf.size).unwrap();
+        let mut used: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .filter(|wrd| gadget_union.contains(wrd))
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let before = cumulative.len();
+        cumulative.extend(used.iter().copied());
+        let new = cumulative.len() - before;
+        println!(
+            "{:>3}  {:>6}  {:>12}  {:>6}",
+            i + 1,
+            seed,
+            used.len(),
+            new
+        );
+        seen_subsets.insert(used);
+    }
+    println!(
+        "\ndistinct gadget subsets observed across 8 runs: {}",
+        seen_subsets.len()
+    );
+    println!(
+        "cumulative gadgets verified: {} of {} in the compiled-variant union",
+        cumulative.len(),
+        gadget_union.len()
+    );
+    println!("\n(an adversary cannot know which subset the next run checks — §V-B)");
+}

@@ -1,0 +1,91 @@
+//! Why Figure 5a spans 3.7×–46.7×: chain slowdown depends on how much
+//! of the verification function's time is spent in *called* functions,
+//! which keep running natively. A leaf function pays the gadget tax on
+//! every operation (our corpus candidates; the paper's wget at 46.7×);
+//! a call-heavy function amortizes it (the paper's gcc at 3.7×).
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Function, Module};
+use parallax_core::{protect, ProtectConfig};
+use parallax_vm::Vm;
+
+/// vf does `own_ops` local operations plus one call to a native helper
+/// that loops `callee_iters` times.
+fn module(own_ops: i32, callee_iters: i32) -> Module {
+    let mut m = Module::new();
+    m.func(Function::new(
+        "helper",
+        ["n"],
+        vec![
+            let_("i", c(0)),
+            let_("s", c(0)),
+            while_(
+                lt_s(l("i"), l("n")),
+                vec![
+                    let_("s", xor(add(l("s"), mul(l("i"), c(31))), shrl(l("s"), c(3)))),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            ret(l("s")),
+        ],
+    ));
+    let mut body = vec![let_("acc", call("helper", vec![c(callee_iters)]))];
+    for k in 0..own_ops {
+        body.push(let_("acc", xor(add(l("acc"), c(k + 1)), c(0x55))));
+    }
+    body.push(ret(l("acc")));
+    m.func(Function::new("vf", [], body));
+    m.func(Function::new("main", [], vec![ret(and(call("vf", vec![]), c(0xff)))]));
+    m.entry("main");
+    m
+}
+
+fn per_call(img: &parallax_image::LinkedImage) -> u64 {
+    let mut vm = Vm::new(img);
+    let f = img.symbol("vf").unwrap().vaddr;
+    vm.call_function(f, &[]).unwrap();
+    let c0 = vm.cycles();
+    vm.call_function(f, &[]).unwrap();
+    vm.cycles() - c0
+}
+
+fn main() {
+    println!("chain slowdown vs callee-time fraction of the translated function");
+    println!("(paper Figure 5a range: 3.7x for call-heavy gcc .. 46.7x for wget)\n");
+    println!("own ops  callee iters  native cyc  chain cyc  callee share  slowdown");
+    println!("-----------------------------------------------------------------------");
+    for (own, callee) in [(24, 0), (24, 8), (24, 40), (24, 160), (24, 640), (4, 640)] {
+        let m = module(own, callee);
+        let native_img = parallax_compiler::compile_module(&m).unwrap().link().unwrap();
+        let native = per_call(&native_img);
+
+        // Callee share measured natively.
+        let helper_only = {
+            let mut vm = Vm::new(&native_img);
+            let h = native_img.symbol("helper").unwrap().vaddr;
+            vm.call_function(h, &[callee as u32]).unwrap();
+            let c0 = vm.cycles();
+            vm.call_function(h, &[callee as u32]).unwrap();
+            vm.cycles() - c0
+        };
+
+        let protected = protect(
+            &m,
+            &ProtectConfig {
+                verify_funcs: vec!["vf".into()],
+                ..ProtectConfig::default()
+            },
+        )
+        .unwrap();
+        let chain = per_call(&protected.image);
+        println!(
+            "{own:>7}  {callee:>12}  {native:>10}  {chain:>9}  {:>11.0}%  {:>7.1}x",
+            100.0 * helper_only as f64 / native as f64,
+            chain as f64 / native as f64
+        );
+    }
+    println!("\nthe paper's low-end slowdowns correspond to verification functions");
+    println!("that mostly call into native code (which Parallax leaves at full");
+    println!("speed); the high end corresponds to leaf functions where every");
+    println!("operation pays the gadget (ret-mispredict) tax.");
+}

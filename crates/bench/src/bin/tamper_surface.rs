@@ -1,0 +1,75 @@
+//! §VIII tamper-surface quantification: how much of the binary can an
+//! adversary modify without detection?
+//!
+//! Sweeps single-byte patches across every text byte of a protected
+//! corpus program, classifying each byte by its protection status and
+//! measuring whether the patch changes observable behaviour. This
+//! quantifies the paper's residual-attack conditions: undetected
+//! patches must land in bytes without (used) overlapping gadgets, or
+//! leave gadget semantics equivalent.
+
+use parallax_core::ChainMode;
+use parallax_vm::{Exit, Vm};
+
+fn main() {
+    let w = parallax_corpus::by_name("nginx").unwrap();
+    let input = (w.input)();
+    let protected = parallax_bench::protect_workload(&w, ChainMode::Cleartext);
+    let img = &protected.image;
+
+    // Reference behaviour.
+    let mut vm = Vm::new(img);
+    vm.set_input(&input);
+    let expect = vm.run();
+    let expect_out = vm.take_output();
+    assert!(matches!(expect, Exit::Exited(_)));
+
+    // Used gadget spans.
+    let used = &protected.report.chains[0].used_gadgets;
+    let all_gadgets = parallax_gadgets::find_gadgets(img);
+    let span_of = |va: u32| {
+        all_gadgets
+            .iter()
+            .filter(|g| g.vaddr <= va && va < g.end())
+            .fold((false, false), |(_any, in_used), g| {
+                (true, in_used || used.contains(&g.vaddr))
+            })
+    };
+
+    // Sample every Nth byte to keep runtime sane; the sweep is still
+    // hundreds of runs.
+    let step = 7usize;
+    let mut stats = [[0u32; 2]; 3]; // [category][detected?]
+    let names = ["in used gadget", "in unused gadget", "no gadget overlap"];
+    for off in (0..img.text.len()).step_by(step) {
+        let va = img.text_base + off as u32;
+        let orig = img.read(va, 1).unwrap()[0];
+        let (any, in_used) = span_of(va);
+        let cat = if in_used { 0 } else if any { 1 } else { 2 };
+
+        let mut patched = img.clone();
+        patched.write(va, &[orig ^ 0x40]); // deterministic bit flip
+        let mut vm = Vm::new(&patched);
+        vm.set_input(&input);
+        let got = vm.run();
+        let out = vm.take_output();
+        let detected = got != expect || out != expect_out;
+        stats[cat][detected as usize] += 1;
+    }
+
+    println!("§VIII — single-byte tamper sweep over {} text bytes of nginx", img.text.len());
+    println!("(every {step}th byte flipped; 'detected' = behaviour changed)\n");
+    println!("byte category        patches  detected  rate");
+    println!("-----------------------------------------------");
+    for (i, name) in names.iter().enumerate() {
+        let total = stats[i][0] + stats[i][1];
+        let det = stats[i][1];
+        println!(
+            "{name:<20} {total:>7}  {det:>8}  {:>5.1}%",
+            if total > 0 { 100.0 * det as f64 / total as f64 } else { 0.0 }
+        );
+    }
+    println!("\nthe paper's §VIII conditions predict: bytes inside used gadgets");
+    println!("are the hardest to patch silently; gadget-free bytes are the");
+    println!("residual attack surface Parallax works to minimize (Figure 6).");
+}

@@ -1,0 +1,521 @@
+//! A reference interpreter for the IR.
+//!
+//! Executes modules directly over a byte-array memory, independent of
+//! the x86 backend. Used as the specification in differential tests:
+//! interpreter ≡ compiled-native ≡ ROP-chain behaviour must hold for
+//! any program.
+
+use std::collections::HashMap;
+
+use crate::ir::{BinOp, CmpOp, Expr, Function, Module, Stmt, UnOp};
+
+/// Errors during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Unknown variable.
+    UnknownLocal(String),
+    /// Unknown global.
+    UnknownGlobal(String),
+    /// Unknown function.
+    UnknownFunction(String),
+    /// Memory access outside the data arena.
+    OutOfBounds(u32),
+    /// Division by zero or overflowing division.
+    DivideError,
+    /// `break`/`continue` outside a loop.
+    NotInLoop,
+    /// Step budget exhausted (runaway program).
+    StepLimit,
+    /// Unsupported syscall.
+    BadSyscall(u32),
+}
+
+impl core::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InterpError::UnknownLocal(n) => write!(f, "unknown local `{n}`"),
+            InterpError::UnknownGlobal(n) => write!(f, "unknown global `{n}`"),
+            InterpError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            InterpError::OutOfBounds(a) => write!(f, "memory access out of bounds: {a:#x}"),
+            InterpError::DivideError => write!(f, "divide error"),
+            InterpError::NotInLoop => write!(f, "break/continue outside loop"),
+            InterpError::StepLimit => write!(f, "step limit exhausted"),
+            InterpError::BadSyscall(n) => write!(f, "bad syscall {n}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Why a statement block stopped.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(u32),
+}
+
+/// The interpreter state: globals laid out in one arena at the same
+/// virtual base the linker would use, so addresses taken with
+/// `GlobalAddr` behave identically.
+pub struct Interp<'m> {
+    module: &'m Module,
+    /// Global arena.
+    mem: Vec<u8>,
+    base: u32,
+    globals: HashMap<String, u32>,
+    /// Captured `write` syscall output.
+    pub output: Vec<u8>,
+    /// Input for the `read` syscall.
+    pub input: std::collections::VecDeque<u8>,
+    steps: u64,
+    step_limit: u64,
+    rng: u64,
+    time: u32,
+    traced: bool,
+    /// Mirrors `Vm::attach_debugger`.
+    pub debugger_attached: bool,
+}
+
+/// Virtual base address of the interpreter's data arena (mirrors the
+/// linker's data base order of magnitude; exact value is irrelevant as
+/// long as programs only use addresses they derived from globals).
+pub const ARENA_BASE: u32 = 0x0804_9000;
+
+impl<'m> Interp<'m> {
+    /// Creates an interpreter for `module`.
+    pub fn new(module: &'m Module) -> Interp<'m> {
+        let mut mem = Vec::new();
+        let mut globals = HashMap::new();
+        for g in &module.globals {
+            let addr = ARENA_BASE + mem.len() as u32;
+            globals.insert(g.name.clone(), addr);
+            match &g.init {
+                Some(bytes) => mem.extend_from_slice(bytes),
+                None => mem.extend(std::iter::repeat_n(0, g.size as usize)),
+            }
+        }
+        // Scratch headroom so byte loads of the final word never trap.
+        mem.extend(std::iter::repeat_n(0, 64));
+        Interp {
+            module,
+            mem,
+            base: ARENA_BASE,
+            globals,
+            output: Vec::new(),
+            input: Default::default(),
+            steps: 0,
+            step_limit: 50_000_000,
+            rng: 0x5eed_0001 | 1,
+            time: 0,
+            traced: false,
+            debugger_attached: false,
+        }
+    }
+
+    fn check(&mut self) -> Result<(), InterpError> {
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            return Err(InterpError::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn read32(&self, addr: u32) -> Result<u32, InterpError> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        if off + 4 > self.mem.len() {
+            return Err(InterpError::OutOfBounds(addr));
+        }
+        Ok(u32::from_le_bytes(self.mem[off..off + 4].try_into().unwrap()))
+    }
+
+    fn read8(&self, addr: u32) -> Result<u32, InterpError> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        self.mem
+            .get(off)
+            .map(|b| *b as u32)
+            .ok_or(InterpError::OutOfBounds(addr))
+    }
+
+    fn write32(&mut self, addr: u32, v: u32) -> Result<(), InterpError> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        if off + 4 > self.mem.len() {
+            return Err(InterpError::OutOfBounds(addr));
+        }
+        self.mem[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn write8(&mut self, addr: u32, v: u32) -> Result<(), InterpError> {
+        let off = addr.wrapping_sub(self.base) as usize;
+        match self.mem.get_mut(off) {
+            Some(b) => {
+                *b = v as u8;
+                Ok(())
+            }
+            None => Err(InterpError::OutOfBounds(addr)),
+        }
+    }
+
+    fn syscall(&mut self, nr: u32, args: &[u32]) -> Result<u32, InterpError> {
+        let a = |i: usize| args.get(i).copied().unwrap_or(0);
+        match nr {
+            1 => Err(InterpError::BadSyscall(1)), // exit: handled by run()
+            3 => {
+                let (buf, len) = (a(1), a(2));
+                let mut n = 0;
+                while n < len {
+                    match self.input.pop_front() {
+                        Some(b) => {
+                            self.write8(buf + n, b as u32)?;
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+                Ok(n)
+            }
+            4 => {
+                let (buf, len) = (a(1), a(2));
+                for i in 0..len {
+                    let b = self.read8(buf + i)?;
+                    self.output.push(b as u8);
+                }
+                Ok(len)
+            }
+            13 => {
+                self.time += 1;
+                Ok(self.time)
+            }
+            26 => {
+                if a(0) == 0 {
+                    if self.debugger_attached || self.traced {
+                        Ok(-1i32 as u32)
+                    } else {
+                        self.traced = true;
+                        Ok(0)
+                    }
+                } else {
+                    Ok(-1i32 as u32)
+                }
+            }
+            42 => {
+                let mut x = self.rng;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng = x;
+                Ok((x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32)
+            }
+            other => Err(InterpError::BadSyscall(other)),
+        }
+    }
+
+    fn eval(
+        &mut self,
+        e: &Expr,
+        locals: &mut HashMap<String, u32>,
+    ) -> Result<u32, InterpError> {
+        self.check()?;
+        Ok(match e {
+            Expr::Const(v) => *v as u32,
+            Expr::Local(n) => *locals
+                .get(n)
+                .ok_or_else(|| InterpError::UnknownLocal(n.clone()))?,
+            Expr::GlobalAddr(n) => *self
+                .globals
+                .get(n)
+                .ok_or_else(|| InterpError::UnknownGlobal(n.clone()))?,
+            Expr::Load(a) => {
+                let addr = self.eval(a, locals)?;
+                self.read32(addr)?
+            }
+            Expr::Load8(a) => {
+                let addr = self.eval(a, locals)?;
+                self.read8(addr)?
+            }
+            Expr::Unary(op, a) => {
+                let v = self.eval(a, locals)?;
+                match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => !v,
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let x = self.eval(a, locals)?;
+                let y = self.eval(b, locals)?;
+                match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => x.wrapping_shl(y & 31),
+                    BinOp::ShrL => x.wrapping_shr(y & 31),
+                    BinOp::ShrA => ((x as i32) >> (y & 31)) as u32,
+                    BinOp::DivS => {
+                        let (a, b) = (x as i32, y as i32);
+                        if b == 0 || (a == i32::MIN && b == -1) {
+                            return Err(InterpError::DivideError);
+                        }
+                        (a / b) as u32
+                    }
+                    BinOp::ModS => {
+                        let (a, b) = (x as i32, y as i32);
+                        if b == 0 || (a == i32::MIN && b == -1) {
+                            return Err(InterpError::DivideError);
+                        }
+                        (a % b) as u32
+                    }
+                    BinOp::DivU => {
+                        if y == 0 {
+                            return Err(InterpError::DivideError);
+                        }
+                        x / y
+                    }
+                    BinOp::ModU => {
+                        if y == 0 {
+                            return Err(InterpError::DivideError);
+                        }
+                        x % y
+                    }
+                }
+            }
+            Expr::Cmp(op, a, b) => {
+                let x = self.eval(a, locals)?;
+                let y = self.eval(b, locals)?;
+                let r = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::LtS => (x as i32) < (y as i32),
+                    CmpOp::LeS => (x as i32) <= (y as i32),
+                    CmpOp::GtS => (x as i32) > (y as i32),
+                    CmpOp::GeS => (x as i32) >= (y as i32),
+                    CmpOp::LtU => x < y,
+                    CmpOp::GeU => x >= y,
+                    CmpOp::GtU => x > y,
+                    CmpOp::LeU => x <= y,
+                };
+                r as u32
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, locals)?);
+                }
+                self.call(name, &vals)?
+            }
+            Expr::Syscall(nr, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, locals)?);
+                }
+                self.syscall(*nr, &vals)?
+            }
+        })
+    }
+
+    fn exec_block(
+        &mut self,
+        body: &[Stmt],
+        locals: &mut HashMap<String, u32>,
+        in_loop: bool,
+    ) -> Result<Flow, InterpError> {
+        for s in body {
+            self.check()?;
+            match s {
+                Stmt::Let(n, e) => {
+                    let v = self.eval(e, locals)?;
+                    locals.insert(n.clone(), v);
+                }
+                Stmt::Store(a, v) => {
+                    let addr = self.eval(a, locals)?;
+                    let val = self.eval(v, locals)?;
+                    self.write32(addr, val)?;
+                }
+                Stmt::Store8(a, v) => {
+                    let addr = self.eval(a, locals)?;
+                    let val = self.eval(v, locals)?;
+                    self.write8(addr, val)?;
+                }
+                Stmt::Expr(e) => {
+                    // `exit` inside expression position is surfaced by run()
+                    self.eval(e, locals)?;
+                }
+                Stmt::If(cnd, then, els) => {
+                    let v = self.eval(cnd, locals)?;
+                    let flow = if v != 0 {
+                        self.exec_block(then, locals, in_loop)?
+                    } else {
+                        self.exec_block(els, locals, in_loop)?
+                    };
+                    match flow {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                Stmt::While(cnd, body) => loop {
+                    self.check()?;
+                    if self.eval(cnd, locals)? == 0 {
+                        break;
+                    }
+                    match self.exec_block(body, locals, true)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                    }
+                },
+                Stmt::Break => {
+                    if !in_loop {
+                        return Err(InterpError::NotInLoop);
+                    }
+                    return Ok(Flow::Break);
+                }
+                Stmt::Continue => {
+                    if !in_loop {
+                        return Err(InterpError::NotInLoop);
+                    }
+                    return Ok(Flow::Continue);
+                }
+                Stmt::Return(e) => {
+                    let v = self.eval(e, locals)?;
+                    return Ok(Flow::Return(v));
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Calls a function by name with argument values. Returns its value
+    /// (0 on fall-through, matching the compiled semantics).
+    pub fn call(&mut self, name: &str, args: &[u32]) -> Result<u32, InterpError> {
+        let f: &Function = self
+            .module
+            .get_func(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_owned()))?;
+        let mut locals: HashMap<String, u32> = HashMap::new();
+        for (p, v) in f.params.iter().zip(args) {
+            locals.insert(p.clone(), *v);
+        }
+        match self.exec_block(&f.body, &mut locals, false)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(0),
+        }
+    }
+
+    /// Runs the module's entry function; returns the exit status
+    /// (the entry's return value, as `_start` would pass to `exit`).
+    pub fn run(&mut self) -> Result<i32, InterpError> {
+        let entry = self
+            .module
+            .entry
+            .clone()
+            .ok_or_else(|| InterpError::UnknownFunction("<entry>".into()))?;
+        let nargs = self
+            .module
+            .get_func(&entry)
+            .map(|f| f.params.len())
+            .unwrap_or(0);
+        Ok(self.call(&entry, &vec![0; nargs])? as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build::*;
+    use crate::ir::{Function, Module};
+
+    #[test]
+    fn interprets_arithmetic_and_loops() {
+        let mut m = Module::new();
+        m.func(Function::new(
+            "main",
+            [],
+            vec![
+                let_("i", c(0)),
+                let_("s", c(0)),
+                while_(
+                    lt_s(l("i"), c(10)),
+                    vec![
+                        let_("s", add(l("s"), l("i"))),
+                        let_("i", add(l("i"), c(1))),
+                    ],
+                ),
+                ret(l("s")),
+            ],
+        ));
+        m.entry("main");
+        assert_eq!(Interp::new(&m).run().unwrap(), 45);
+    }
+
+    #[test]
+    fn matches_vm_on_corner_semantics() {
+        // shifts by >=32 masked, signed division truncation, wrapping mul
+        let mut m = Module::new();
+        m.func(Function::new(
+            "main",
+            [],
+            vec![ret(add(
+                add(shl(c(1), c(33)), divs(c(-7), c(2))), // 2 + -3
+                mul(c(0x10001), c(0x10001)),              // wraps
+            ))],
+        ));
+        m.entry("main");
+        let interp = Interp::new(&m).run().unwrap();
+        let img = crate::compile_module(&m).unwrap().link().unwrap();
+        let mut vm = parallax_vm::Vm::new(&img);
+        let native = match vm.run() {
+            parallax_vm::Exit::Exited(v) => v,
+            other => panic!("{other}"),
+        };
+        assert_eq!(interp, native);
+    }
+
+    #[test]
+    fn io_and_globals_match_vm() {
+        let mut m = Module::new();
+        m.global("msg", b"abc".to_vec());
+        m.bss("buf", 8);
+        m.func(Function::new(
+            "main",
+            [],
+            vec![
+                expr(syscall(3, vec![c(0), g("buf"), c(4)])),
+                expr(syscall(4, vec![c(1), g("buf"), c(4)])),
+                expr(syscall(4, vec![c(1), g("msg"), c(3)])),
+                ret(load8(add(g("buf"), c(1)))),
+            ],
+        ));
+        m.entry("main");
+
+        let mut it = Interp::new(&m);
+        it.input = b"WXYZ".to_vec().into();
+        let code = it.run().unwrap();
+
+        let img = crate::compile_module(&m).unwrap().link().unwrap();
+        let mut vm = parallax_vm::Vm::new(&img);
+        vm.set_input(b"WXYZ");
+        let native = vm.run();
+        assert_eq!(native, parallax_vm::Exit::Exited(code));
+        assert_eq!(vm.output(), &it.output[..]);
+    }
+
+    #[test]
+    fn errors_detected() {
+        let mut m = Module::new();
+        m.func(Function::new("main", [], vec![ret(divs(c(1), c(0)))]));
+        m.entry("main");
+        assert_eq!(Interp::new(&m).run(), Err(InterpError::DivideError));
+
+        let mut m2 = Module::new();
+        m2.func(Function::new(
+            "main",
+            [],
+            vec![while_(c(1), vec![let_("x", c(0))]), ret(c(0))],
+        ));
+        m2.entry("main");
+        assert_eq!(Interp::new(&m2).run(), Err(InterpError::StepLimit));
+    }
+}

@@ -1,0 +1,563 @@
+//! The intermediate representation.
+//!
+//! Programs in this repository — the workload corpus, the verification
+//! functions, and the chain-loader runtime — are written in a small
+//! word-oriented IR and compiled to x86-32. The IR plays the role of
+//! the paper's C source: it is the level at which verification
+//! functions are *selected*, and its compiled form is the level at
+//! which instructions are *protected*.
+//!
+//! All values are 32-bit words. Memory is byte-addressed and accessed
+//! through explicit `Load`/`Store` (word) and `Load8`/`Store8` (byte)
+//! operations. Locals and parameters are named slots in the function
+//! frame.
+
+/// Binary word operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (faults on division by zero).
+    DivS,
+    /// Unsigned division.
+    DivU,
+    /// Signed remainder.
+    ModS,
+    /// Unsigned remainder.
+    ModU,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (count masked to 31).
+    Shl,
+    /// Logical shift right.
+    ShrL,
+    /// Arithmetic shift right.
+    ShrA,
+}
+
+/// Comparison operators, producing 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    LtS,
+    /// Signed less-or-equal.
+    LeS,
+    /// Signed greater-than.
+    GtS,
+    /// Signed greater-or-equal.
+    GeS,
+    /// Unsigned less-than.
+    LtU,
+    /// Unsigned greater-or-equal.
+    GeU,
+    /// Unsigned greater-than.
+    GtU,
+    /// Unsigned less-or-equal.
+    LeU,
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise NOT.
+    Not,
+}
+
+/// An expression tree, evaluated to a 32-bit word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A constant.
+    Const(i32),
+    /// The value of a local or parameter.
+    Local(String),
+    /// The address of a global object.
+    GlobalAddr(String),
+    /// A 32-bit load from the address given by the operand.
+    Load(Box<Expr>),
+    /// A zero-extending 8-bit load.
+    Load8(Box<Expr>),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A comparison producing 0 or 1.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// A call to another function in the same module.
+    Call(String, Vec<Expr>),
+    /// A system call: number, then up to four arguments.
+    Syscall(u32, Vec<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Assign a local (declaring it on first assignment).
+    Let(String, Expr),
+    /// 32-bit store: `*addr = value`.
+    Store(Expr, Expr),
+    /// 8-bit store: `*(u8*)addr = value & 0xff`.
+    Store8(Expr, Expr),
+    /// Evaluate for side effects, discarding the value.
+    Expr(Expr),
+    /// Two-armed conditional; a zero condition selects the second arm.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// Pre-tested loop.
+    While(Expr, Vec<Stmt>),
+    /// Leave the innermost loop.
+    Break,
+    /// Re-test the innermost loop.
+    Continue,
+    /// Return a value to the caller.
+    Return(Expr),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter names, in call order.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Creates a function definition.
+    pub fn new(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = &'static str>,
+        body: Vec<Stmt>,
+    ) -> Function {
+        Function {
+            name: name.into(),
+            params: params.into_iter().map(str::to_owned).collect(),
+            body,
+        }
+    }
+
+    /// Collects the locals of this function: every `Let` target that is
+    /// not a parameter, in first-assignment order.
+    pub fn locals(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        fn walk(stmts: &[Stmt], params: &[String], out: &mut Vec<String>) {
+            for s in stmts {
+                match s {
+                    Stmt::Let(name, _)
+                        if !params.contains(name) && !out.contains(name) => {
+                            out.push(name.clone());
+                        }
+                    Stmt::If(_, a, b) => {
+                        walk(a, params, out);
+                        walk(b, params, out);
+                    }
+                    Stmt::While(_, b) => walk(b, params, out),
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.body, &self.params, &mut out);
+        out
+    }
+
+    /// Counts the distinct operation kinds used in the body — the
+    /// "types of operations" metric of the paper's §VII-B selection
+    /// algorithm (step 3 prefers functions with the most op types).
+    pub fn op_type_count(&self) -> usize {
+        use std::collections::HashSet;
+        let mut kinds: HashSet<String> = HashSet::new();
+        fn walk_expr(e: &Expr, kinds: &mut HashSet<String>) {
+            match e {
+                Expr::Const(_) => {
+                    kinds.insert("const".into());
+                }
+                Expr::Local(_) => {}
+                Expr::GlobalAddr(_) => {
+                    kinds.insert("global".into());
+                }
+                Expr::Load(a) | Expr::Load8(a) => {
+                    kinds.insert("load".into());
+                    walk_expr(a, kinds);
+                }
+                Expr::Unary(op, a) => {
+                    kinds.insert(format!("un:{op:?}"));
+                    walk_expr(a, kinds);
+                }
+                Expr::Bin(op, a, b) => {
+                    kinds.insert(format!("bin:{op:?}"));
+                    walk_expr(a, kinds);
+                    walk_expr(b, kinds);
+                }
+                Expr::Cmp(op, a, b) => {
+                    kinds.insert(format!("cmp:{op:?}"));
+                    walk_expr(a, kinds);
+                    walk_expr(b, kinds);
+                }
+                Expr::Call(_, args) => {
+                    kinds.insert("call".into());
+                    for a in args {
+                        walk_expr(a, kinds);
+                    }
+                }
+                Expr::Syscall(_, args) => {
+                    kinds.insert("syscall".into());
+                    for a in args {
+                        walk_expr(a, kinds);
+                    }
+                }
+            }
+        }
+        fn walk(stmts: &[Stmt], kinds: &mut HashSet<String>) {
+            for s in stmts {
+                match s {
+                    Stmt::Let(_, e) | Stmt::Expr(e) | Stmt::Return(e) => walk_expr(e, kinds),
+                    Stmt::Store(a, v) | Stmt::Store8(a, v) => {
+                        kinds.insert("store".into());
+                        walk_expr(a, kinds);
+                        walk_expr(v, kinds);
+                    }
+                    Stmt::If(c, a, b) => {
+                        kinds.insert("if".into());
+                        walk_expr(c, kinds);
+                        walk(a, kinds);
+                        walk(b, kinds);
+                    }
+                    Stmt::While(c, b) => {
+                        kinds.insert("while".into());
+                        walk_expr(c, kinds);
+                        walk(b, kinds);
+                    }
+                    Stmt::Break | Stmt::Continue => {}
+                }
+            }
+        }
+        walk(&self.body, &mut kinds);
+        kinds.len()
+    }
+
+    /// Names of functions called (directly) by this function.
+    pub fn callees(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk_expr(e: &Expr, out: &mut Vec<String>) {
+            match e {
+                Expr::Call(name, args) => {
+                    if !out.contains(name) {
+                        out.push(name.clone());
+                    }
+                    for a in args {
+                        walk_expr(a, out);
+                    }
+                }
+                Expr::Load(a) | Expr::Load8(a) | Expr::Unary(_, a) => walk_expr(a, out),
+                Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                    walk_expr(a, out);
+                    walk_expr(b, out);
+                }
+                Expr::Syscall(_, args) => {
+                    for a in args {
+                        walk_expr(a, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+            for s in stmts {
+                match s {
+                    Stmt::Let(_, e) | Stmt::Expr(e) | Stmt::Return(e) => walk_expr(e, out),
+                    Stmt::Store(a, v) | Stmt::Store8(a, v) => {
+                        walk_expr(a, out);
+                        walk_expr(v, out);
+                    }
+                    Stmt::If(c, a, b) => {
+                        walk_expr(c, out);
+                        walk(a, out);
+                        walk(b, out);
+                    }
+                    Stmt::While(c, b) => {
+                        walk_expr(c, out);
+                        walk(b, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.body, &mut out);
+        out
+    }
+}
+
+/// A global data object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Initial bytes (`None` for a zero-initialized BSS object).
+    pub init: Option<Vec<u8>>,
+    /// Size in bytes (must equal `init.len()` when initialized).
+    pub size: u32,
+}
+
+/// A compilation unit: functions plus globals, with one entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    /// Function definitions.
+    pub funcs: Vec<Function>,
+    /// Global objects.
+    pub globals: Vec<Global>,
+    /// Entry-point function name.
+    pub entry: Option<String>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Adds a function.
+    pub fn func(&mut self, f: Function) -> &mut Self {
+        self.funcs.push(f);
+        self
+    }
+
+    /// Adds an initialized global.
+    pub fn global(&mut self, name: impl Into<String>, init: Vec<u8>) -> &mut Self {
+        let size = init.len() as u32;
+        self.globals.push(Global {
+            name: name.into(),
+            init: Some(init),
+            size,
+        });
+        self
+    }
+
+    /// Adds a zero-initialized global of `size` bytes.
+    pub fn bss(&mut self, name: impl Into<String>, size: u32) -> &mut Self {
+        self.globals.push(Global {
+            name: name.into(),
+            init: None,
+            size,
+        });
+        self
+    }
+
+    /// Sets the entry-point function.
+    pub fn entry(&mut self, name: impl Into<String>) -> &mut Self {
+        self.entry = Some(name.into());
+        self
+    }
+
+    /// Looks up a function by name.
+    pub fn get_func(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Builds the static call graph: `(caller, callee)` edges.
+    pub fn call_graph(&self) -> Vec<(String, String)> {
+        let mut edges = Vec::new();
+        for f in &self.funcs {
+            for callee in f.callees() {
+                edges.push((f.name.clone(), callee));
+            }
+        }
+        edges
+    }
+}
+
+/// Expression builder helpers, designed for terse corpus definitions.
+pub mod build {
+    use super::*;
+
+    /// Constant.
+    pub fn c(v: i32) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Local or parameter value.
+    pub fn l(name: &str) -> Expr {
+        Expr::Local(name.to_owned())
+    }
+
+    /// Address of a global.
+    pub fn g(name: &str) -> Expr {
+        Expr::GlobalAddr(name.to_owned())
+    }
+
+    /// 32-bit load.
+    pub fn load(addr: Expr) -> Expr {
+        Expr::Load(Box::new(addr))
+    }
+
+    /// 8-bit zero-extending load.
+    pub fn load8(addr: Expr) -> Expr {
+        Expr::Load8(Box::new(addr))
+    }
+
+    macro_rules! binops {
+        ($($fn_name:ident => $op:ident),* $(,)?) => {
+            $(
+                /// Binary operation builder.
+                pub fn $fn_name(a: Expr, b: Expr) -> Expr {
+                    Expr::Bin(BinOp::$op, Box::new(a), Box::new(b))
+                }
+            )*
+        };
+    }
+    binops! {
+        add => Add, sub => Sub, mul => Mul, divs => DivS, divu => DivU,
+        mods => ModS, modu => ModU, and => And, or => Or, xor => Xor,
+        shl => Shl, shrl => ShrL, shra => ShrA,
+    }
+
+    macro_rules! cmpops {
+        ($($fn_name:ident => $op:ident),* $(,)?) => {
+            $(
+                /// Comparison builder (yields 0 or 1).
+                pub fn $fn_name(a: Expr, b: Expr) -> Expr {
+                    Expr::Cmp(CmpOp::$op, Box::new(a), Box::new(b))
+                }
+            )*
+        };
+    }
+    cmpops! {
+        eq => Eq, ne => Ne, lt_s => LtS, le_s => LeS, gt_s => GtS,
+        ge_s => GeS, lt_u => LtU, ge_u => GeU, gt_u => GtU, le_u => LeU,
+    }
+
+    /// Negation.
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Unary(UnOp::Neg, Box::new(a))
+    }
+
+    /// Bitwise NOT.
+    pub fn not(a: Expr) -> Expr {
+        Expr::Unary(UnOp::Not, Box::new(a))
+    }
+
+    /// Function call.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.to_owned(), args)
+    }
+
+    /// System call.
+    pub fn syscall(nr: u32, args: Vec<Expr>) -> Expr {
+        Expr::Syscall(nr, args)
+    }
+
+    /// Local assignment statement.
+    pub fn let_(name: &str, e: Expr) -> Stmt {
+        Stmt::Let(name.to_owned(), e)
+    }
+
+    /// 32-bit store statement.
+    pub fn store(addr: Expr, v: Expr) -> Stmt {
+        Stmt::Store(addr, v)
+    }
+
+    /// 8-bit store statement.
+    pub fn store8(addr: Expr, v: Expr) -> Stmt {
+        Stmt::Store8(addr, v)
+    }
+
+    /// Expression statement.
+    pub fn expr(e: Expr) -> Stmt {
+        Stmt::Expr(e)
+    }
+
+    /// Conditional statement.
+    pub fn if_(cond: Expr, then: Vec<Stmt>, els: Vec<Stmt>) -> Stmt {
+        Stmt::If(cond, then, els)
+    }
+
+    /// Loop statement.
+    pub fn while_(cond: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::While(cond, body)
+    }
+
+    /// Return statement.
+    pub fn ret(e: Expr) -> Stmt {
+        Stmt::Return(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn locals_collected_in_order() {
+        let f = Function::new(
+            "f",
+            ["p"],
+            vec![
+                let_("a", c(1)),
+                if_(
+                    eq(l("a"), c(1)),
+                    vec![let_("b", c(2))],
+                    vec![let_("a", c(3)), let_("d", c(4))],
+                ),
+                while_(ne(l("a"), c(0)), vec![let_("e", c(5))]),
+                let_("p", c(9)), // param, not a local
+            ],
+        );
+        assert_eq!(f.locals(), vec!["a", "b", "d", "e"]);
+    }
+
+    #[test]
+    fn callees_found() {
+        let f = Function::new(
+            "f",
+            [],
+            vec![
+                let_("x", call("g", vec![call("h", vec![])])),
+                expr(call("g", vec![])),
+            ],
+        );
+        assert_eq!(f.callees(), vec!["g", "h"]);
+    }
+
+    #[test]
+    fn op_type_count_distinguishes() {
+        let simple = Function::new("s", [], vec![ret(c(0))]);
+        let rich = Function::new(
+            "r",
+            [],
+            vec![
+                let_("a", add(c(1), c(2))),
+                let_("b", mul(l("a"), c(3))),
+                store(g("glob"), xor(l("a"), l("b"))),
+                if_(lt_s(l("a"), c(10)), vec![ret(l("a"))], vec![]),
+                ret(shl(l("b"), c(2))),
+            ],
+        );
+        assert!(rich.op_type_count() > simple.op_type_count());
+    }
+
+    #[test]
+    fn call_graph_edges() {
+        let mut m = Module::new();
+        m.func(Function::new("main", [], vec![expr(call("a", vec![]))]));
+        m.func(Function::new("a", [], vec![expr(call("b", vec![]))]));
+        m.func(Function::new("b", [], vec![ret(c(0))]));
+        let cg = m.call_graph();
+        assert!(cg.contains(&("main".into(), "a".into())));
+        assert!(cg.contains(&("a".into(), "b".into())));
+        assert_eq!(cg.len(), 2);
+    }
+}

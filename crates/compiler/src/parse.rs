@@ -1,0 +1,758 @@
+//! A textual front-end for the IR — the "source language" of this
+//! toolchain, playing the role C plays for the paper's prototype
+//! (which selects verification code at the source level and maps it to
+//! instructions through debug information).
+//!
+//! ```text
+//! // declarations
+//! global table = "hello";       // initialized bytes (string literal)
+//! global buf[64];               // zero-initialized
+//!
+//! fn checksum(ptr, len) {
+//!     let h = 0x1505;
+//!     let i = 0;
+//!     while i < len {
+//!         h = ((h * 33) + mem8[ptr + i]) ^ (h >>> 27);
+//!         i = i + 1;
+//!     }
+//!     return h;
+//! }
+//!
+//! fn main() {
+//!     return checksum(&table, 5) & 0xff;
+//! }
+//! ```
+//!
+//! Semantics notes: all values are 32-bit words; `>>` is arithmetic
+//! shift, `>>>` logical; `<`, `<=`, `>`, `>=`, `/`, `%` are signed —
+//! unsigned variants are the builtins `ltu/leu/gtu/geu/divu/modu`;
+//! `mem[e]`/`mem8[e]` load words/bytes and are assignable;
+//! `syscall(nr, ...)` issues a system call; `&name` takes a global's
+//! address. There is no short-circuit `&&`/`||` (the IR has none) —
+//! use `&`/`|` on the 0/1 results of comparisons.
+
+use core::fmt;
+
+use crate::ir::{BinOp, CmpOp, Expr, Function, Module, Stmt, UnOp};
+
+/// A parse error with line/column information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(i64),
+    Str(Vec<u8>),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    ">>>", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "{", "}", "(", ")", "[", "]", ",",
+    ";", "=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+];
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<(Tok, usize, usize), ParseError> {
+        self.skip_ws();
+        let (line, col) = (self.line, self.col);
+        let Some(b) = self.peek() else {
+            return Ok((Tok::Eof, line, col));
+        };
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let mut s = String::new();
+            while let Some(b) = self.peek() {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    s.push(b as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok((Tok::Ident(s), line, col));
+        }
+        if b.is_ascii_digit() {
+            let mut v: i64 = 0;
+            if b == b'0' && self.src.get(self.pos + 1) == Some(&b'x') {
+                self.bump();
+                self.bump();
+                let mut any = false;
+                while let Some(b) = self.peek() {
+                    if let Some(d) = (b as char).to_digit(16) {
+                        v = (v << 4) | d as i64;
+                        self.bump();
+                        any = true;
+                    } else {
+                        break;
+                    }
+                }
+                if !any {
+                    return Err(self.err("expected hex digits after 0x"));
+                }
+            } else {
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_digit() {
+                        v = v * 10 + (b - b'0') as i64;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            return Ok((Tok::Num(v), line, col));
+        }
+        if b == b'\'' {
+            self.bump();
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated char literal"))?;
+            let c = if c == b'\\' {
+                match self.bump() {
+                    Some(b'n') => b'\n',
+                    Some(b't') => b'\t',
+                    Some(b'0') => 0,
+                    Some(b'\\') => b'\\',
+                    Some(b'\'') => b'\'',
+                    _ => return Err(self.err("bad escape in char literal")),
+                }
+            } else {
+                c
+            };
+            if self.bump() != Some(b'\'') {
+                return Err(self.err("unterminated char literal"));
+            }
+            return Ok((Tok::Num(c as i64), line, col));
+        }
+        if b == b'"' {
+            self.bump();
+            let mut out = Vec::new();
+            loop {
+                match self.bump() {
+                    None => return Err(self.err("unterminated string literal")),
+                    Some(b'"') => break,
+                    Some(b'\\') => match self.bump() {
+                        Some(b'n') => out.push(b'\n'),
+                        Some(b't') => out.push(b'\t'),
+                        Some(b'0') => out.push(0),
+                        Some(b'\\') => out.push(b'\\'),
+                        Some(b'"') => out.push(b'"'),
+                        _ => return Err(self.err("bad escape in string literal")),
+                    },
+                    Some(other) => out.push(other),
+                }
+            }
+            return Ok((Tok::Str(out), line, col));
+        }
+        for p in PUNCTS {
+            if self.src[self.pos..].starts_with(p.as_bytes()) {
+                for _ in 0..p.len() {
+                    self.bump();
+                }
+                return Ok((Tok::Punct(p), line, col));
+            }
+        }
+        Err(self.err(format!("unexpected character `{}`", b as char)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let (_, line, col) = &self.toks[self.pos.min(self.toks.len() - 1)];
+        ParseError {
+            line: *line,
+            col: *col,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].0
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].0.clone();
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Tok::Punct(q) if q == p => Ok(()),
+            other => Err(self.err(format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(q) if *q == p)
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    // ---- expressions: precedence climbing ----
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::Num(v) => Ok(Expr::Const(v as i32)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.eat_punct(")")?;
+                Ok(e)
+            }
+            Tok::Punct("-") => Ok(Expr::Unary(UnOp::Neg, Box::new(self.primary()?))),
+            Tok::Punct("~") => Ok(Expr::Unary(UnOp::Not, Box::new(self.primary()?))),
+            Tok::Punct("!") => {
+                // !e == (e == 0)
+                let e = self.primary()?;
+                Ok(Expr::Cmp(CmpOp::Eq, Box::new(e), Box::new(Expr::Const(0))))
+            }
+            Tok::Punct("&") => {
+                let name = self.eat_ident()?;
+                Ok(Expr::GlobalAddr(name))
+            }
+            Tok::Ident(name) => match name.as_str() {
+                "mem" | "mem8" => {
+                    self.eat_punct("[")?;
+                    let addr = self.expr()?;
+                    self.eat_punct("]")?;
+                    Ok(if name == "mem" {
+                        Expr::Load(Box::new(addr))
+                    } else {
+                        Expr::Load8(Box::new(addr))
+                    })
+                }
+                "syscall" => {
+                    self.eat_punct("(")?;
+                    let mut args = self.call_args()?;
+                    if args.is_empty() {
+                        return Err(self.err("syscall needs a number"));
+                    }
+                    let nr = match args.remove(0) {
+                        Expr::Const(v) => v as u32,
+                        _ => return Err(self.err("syscall number must be a constant")),
+                    };
+                    Ok(Expr::Syscall(nr, args))
+                }
+                // unsigned / division builtins
+                "ltu" | "leu" | "gtu" | "geu" | "divu" | "modu" | "divs" | "mods" => {
+                    self.eat_punct("(")?;
+                    let args = self.call_args()?;
+                    if args.len() != 2 {
+                        return Err(self.err(format!("{name} takes two arguments")));
+                    }
+                    let mut it = args.into_iter();
+                    let a = Box::new(it.next().unwrap());
+                    let b = Box::new(it.next().unwrap());
+                    Ok(match name.as_str() {
+                        "ltu" => Expr::Cmp(CmpOp::LtU, a, b),
+                        "leu" => Expr::Cmp(CmpOp::LeU, a, b),
+                        "gtu" => Expr::Cmp(CmpOp::GtU, a, b),
+                        "geu" => Expr::Cmp(CmpOp::GeU, a, b),
+                        "divu" => Expr::Bin(BinOp::DivU, a, b),
+                        "modu" => Expr::Bin(BinOp::ModU, a, b),
+                        "divs" => Expr::Bin(BinOp::DivS, a, b),
+                        _ => Expr::Bin(BinOp::ModS, a, b),
+                    })
+                }
+                _ => {
+                    if self.at_punct("(") {
+                        self.eat_punct("(")?;
+                        let args = self.call_args()?;
+                        Ok(Expr::Call(name, args))
+                    } else {
+                        Ok(Expr::Local(name))
+                    }
+                }
+            },
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.at_punct(")") {
+            self.bump();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.at_punct(",") {
+                self.bump();
+            } else {
+                self.eat_punct(")")?;
+                return Ok(args);
+            }
+        }
+    }
+
+    fn binop_of(p: &str) -> Option<(u8, Result<BinOp, CmpOp>)> {
+        Some(match p {
+            "*" => (60, Ok(BinOp::Mul)),
+            "/" => (60, Ok(BinOp::DivS)),
+            "%" => (60, Ok(BinOp::ModS)),
+            "+" => (50, Ok(BinOp::Add)),
+            "-" => (50, Ok(BinOp::Sub)),
+            "<<" => (40, Ok(BinOp::Shl)),
+            ">>" => (40, Ok(BinOp::ShrA)),
+            ">>>" => (40, Ok(BinOp::ShrL)),
+            "<" => (35, Err(CmpOp::LtS)),
+            "<=" => (35, Err(CmpOp::LeS)),
+            ">" => (35, Err(CmpOp::GtS)),
+            ">=" => (35, Err(CmpOp::GeS)),
+            "==" => (30, Err(CmpOp::Eq)),
+            "!=" => (30, Err(CmpOp::Ne)),
+            "&" => (24, Ok(BinOp::And)),
+            "^" => (22, Ok(BinOp::Xor)),
+            "|" => (20, Ok(BinOp::Or)),
+            _ => return None,
+        })
+    }
+
+    fn expr_bp(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.primary()?;
+        while let Tok::Punct(op) = self.peek() {
+            let op = *op;
+            let Some((bp, kind)) = Self::binop_of(op) else { break };
+            if bp < min_bp {
+                break;
+            }
+            self.bump();
+            let rhs = self.expr_bp(bp + 1)?;
+            lhs = match kind {
+                Ok(b) => Expr::Bin(b, Box::new(lhs), Box::new(rhs)),
+                Err(c) => Expr::Cmp(c, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expr_bp(0)
+    }
+
+    // ---- statements ----
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.eat_punct("{")?;
+        let mut out = Vec::new();
+        while !self.at_punct("}") {
+            out.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.at_kw("let") {
+            self.bump();
+            let name = self.eat_ident()?;
+            self.eat_punct("=")?;
+            let e = self.expr()?;
+            self.eat_punct(";")?;
+            return Ok(Stmt::Let(name, e));
+        }
+        if self.at_kw("if") {
+            self.bump();
+            let cond = self.expr()?;
+            let then = self.block()?;
+            let els = if self.at_kw("else") {
+                self.bump();
+                if self.at_kw("if") {
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.at_kw("while") {
+            self.bump();
+            let cond = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.at_kw("break") {
+            self.bump();
+            self.eat_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.at_kw("continue") {
+            self.bump();
+            self.eat_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        if self.at_kw("return") {
+            self.bump();
+            let e = if self.at_punct(";") {
+                Expr::Const(0)
+            } else {
+                self.expr()?
+            };
+            self.eat_punct(";")?;
+            return Ok(Stmt::Return(e));
+        }
+        // mem[..] = e; / mem8[..] = e; / name = e; / expr;
+        if let Tok::Ident(name) = self.peek().clone() {
+            if name == "mem" || name == "mem8" {
+                let save = self.pos;
+                self.bump();
+                self.eat_punct("[")?;
+                let addr = self.expr()?;
+                self.eat_punct("]")?;
+                if self.at_punct("=") {
+                    self.bump();
+                    let v = self.expr()?;
+                    self.eat_punct(";")?;
+                    return Ok(if name == "mem" {
+                        Stmt::Store(addr, v)
+                    } else {
+                        Stmt::Store8(addr, v)
+                    });
+                }
+                // it was a load expression statement; rewind and re-parse
+                self.pos = save;
+            } else {
+                // lookahead for `name =`
+                if let Some((Tok::Punct("="), _, _)) = self.toks.get(self.pos + 1) {
+                    self.bump();
+                    self.bump();
+                    let e = self.expr()?;
+                    self.eat_punct(";")?;
+                    return Ok(Stmt::Let(name, e));
+                }
+            }
+        }
+        let e = self.expr()?;
+        self.eat_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    // ---- items ----
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        let mut m = Module::new();
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Ident(kw) if kw == "fn" => {
+                    self.bump();
+                    let name = self.eat_ident()?;
+                    self.eat_punct("(")?;
+                    let mut params = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            params.push(self.eat_ident()?);
+                            if self.at_punct(",") {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(")")?;
+                    let body = self.block()?;
+                    m.funcs.push(Function {
+                        name,
+                        params,
+                        body,
+                    });
+                }
+                Tok::Ident(kw) if kw == "global" => {
+                    self.bump();
+                    let name = self.eat_ident()?;
+                    if self.at_punct("[") {
+                        self.bump();
+                        let size = match self.bump() {
+                            Tok::Num(v) if v >= 0 => v as u32,
+                            _ => return Err(self.err("expected size")),
+                        };
+                        self.eat_punct("]")?;
+                        self.eat_punct(";")?;
+                        m.bss(name, size);
+                    } else {
+                        self.eat_punct("=")?;
+                        match self.bump() {
+                            Tok::Str(bytes) => {
+                                self.eat_punct(";")?;
+                                m.global(name, bytes);
+                            }
+                            Tok::Num(v) => {
+                                self.eat_punct(";")?;
+                                m.global(name, (v as u32).to_le_bytes().to_vec());
+                            }
+                            other => {
+                                return Err(self.err(format!(
+                                    "expected string or number initializer, found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                other => return Err(self.err(format!("expected `fn` or `global`, found {other:?}"))),
+            }
+        }
+        if m.get_func("main").is_some() {
+            m.entry("main");
+        }
+        Ok(m)
+    }
+}
+
+/// Parses source text into a [`Module`]. The entry point is `main`
+/// when present.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let mut lx = Lexer::new(src);
+    let mut toks = Vec::new();
+    loop {
+        let t = lx.next()?;
+        let eof = t.0 == Tok::Eof;
+        toks.push(t);
+        if eof {
+            break;
+        }
+    }
+    Parser { toks, pos: 0 }.module()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_vm::{Exit, Vm};
+
+    fn run(src: &str) -> Exit {
+        let m = parse_module(src).expect("parses");
+        let img = crate::compile_module(&m).expect("compiles").link().expect("links");
+        let mut vm = Vm::new(&img);
+        vm.run()
+    }
+
+    #[test]
+    fn hello_checksum() {
+        let src = r#"
+            // the doc example
+            global table = "hello";
+            global buf[64];
+
+            fn checksum(ptr, len) {
+                let h = 0x1505;
+                let i = 0;
+                while i < len {
+                    h = ((h * 33) + mem8[ptr + i]) ^ (h >>> 27);
+                    i = i + 1;
+                }
+                return h;
+            }
+
+            fn main() {
+                return checksum(&table, 5) & 0xff;
+            }
+        "#;
+        assert!(matches!(run(src), Exit::Exited(_)));
+    }
+
+    #[test]
+    fn precedence_and_semantics() {
+        let src = r#"
+            fn main() {
+                let a = 2 + 3 * 4;        // 14
+                let b = (2 + 3) * 4;      // 20
+                let c = 1 << 4 | 1;       // 17
+                let d = -8 >> 2;          // -2 (arithmetic)
+                let e = -8 >>> 28;        // 15 (logical)
+                let f = ~0 & 0xff;        // 255
+                return a + b + c + d + e + f;  // 14+20+17-2+15+255 = 319... & nothing
+            }
+        "#;
+        assert_eq!(run(src), Exit::Exited(319));
+    }
+
+    #[test]
+    fn control_flow_and_memory() {
+        let src = r#"
+            global buf[32];
+            fn main() {
+                let i = 0;
+                while 1 {
+                    if i >= 8 { break; }
+                    mem[&buf + i * 4] = i * i;
+                    i = i + 1;
+                }
+                let s = 0;
+                let j = 0;
+                while j < 8 {
+                    s = s + mem[&buf + j * 4];
+                    j = j + 1;
+                }
+                return s;   // 0+1+4+9+16+25+36+49 = 140
+            }
+        "#;
+        assert_eq!(run(src), Exit::Exited(140));
+    }
+
+    #[test]
+    fn unsigned_builtins_and_chars() {
+        let src = r#"
+            fn main() {
+                let big = 0 - 1;              // 0xffffffff
+                let r = 0;
+                if ltu(1, big) { r = r | 1; } // unsigned: 1 < huge
+                if big < 1 { r = r | 2; }     // signed: -1 < 1
+                if gtu(big, 1) { r = r | 4; }
+                r = r | (divu(big, 0x10000000) << 3);  // 15 << 3
+                if 'A' == 65 { r = r | 128; }
+                return r;
+            }
+        "#;
+        assert_eq!(run(src), Exit::Exited(1 | 2 | 4 | (15 << 3) | 128));
+    }
+
+    #[test]
+    fn syscalls_and_strings() {
+        let src = r#"
+            global msg = "hi\n";
+            fn main() {
+                syscall(4, 1, &msg, 3);   // write
+                return 0;
+            }
+        "#;
+        let m = parse_module(src).unwrap();
+        let img = crate::compile_module(&m).unwrap().link().unwrap();
+        let mut vm = Vm::new(&img);
+        assert!(vm.run().is_success());
+        assert_eq!(vm.output(), b"hi\n");
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = r#"
+            fn classify(x) {
+                if x < 0 { return 0 - 1; }
+                else if x == 0 { return 0; }
+                else if x < 10 { return 1; }
+                else { return 2; }
+            }
+            fn main() {
+                return classify(0-5) + 1 + classify(0) + classify(3) + classify(99);
+            }
+        "#;
+        assert_eq!(run(src), Exit::Exited(1 + 2));
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = parse_module("fn main( { }").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("expected"));
+
+        let err = parse_module("fn main() { let x = 0x; }").unwrap_err();
+        assert!(err.msg.contains("hex"));
+
+        let err = parse_module("global g = @;").unwrap_err();
+        assert!(err.msg.contains("unexpected character"));
+    }
+
+    #[test]
+    fn mem_load_as_expression_statement() {
+        // `mem[...]` used as an expression (not a store) must re-parse.
+        let src = r#"
+            global b[8];
+            fn main() {
+                mem[&b];          // load, discarded
+                mem[&b] = 5;      // store
+                return mem[&b];
+            }
+        "#;
+        assert_eq!(run(src), Exit::Exited(5));
+    }
+}

@@ -1,0 +1,569 @@
+//! Dynamically generated function chains (paper §V-B).
+//!
+//! Chains can be stored in non-executable *data* memory, so they can be
+//! produced at run time. Three hardening modes are implemented, each
+//! with a *generator* function written in the IR and compiled into the
+//! protected binary itself — its cost is therefore measured by the VM
+//! exactly like any other guest code (this is how the paper's RC4
+//! initialization overhead shows up for short chains):
+//!
+//! * **xor** — the chain is stored encrypted with a xorshift32 key
+//!   stream and decrypted into a BSS buffer on every call;
+//! * **RC4** — the chain is RC4-encrypted; the generator runs the full
+//!   KSA (256 swaps) plus PRGA per call;
+//! * **probabilistic** — the paper's linear-combination scheme: `N`
+//!   compiled chain variants are decomposed over a random GF(2) basis
+//!   into per-position index lists; at every call a fresh variant is
+//!   assembled by XOR-combining basis vectors, choosing one of the `N`
+//!   index lists per position at random. The plaintext chain is never
+//!   stored; different runs verify different gadget subsets.
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Function, Module};
+
+/// How a verification chain is materialized at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainMode {
+    /// The chain is stored in cleartext data.
+    Cleartext,
+    /// Xor-encrypted with a key-stream seed.
+    XorEncrypted {
+        /// Key-stream seed (must be non-zero).
+        key: u32,
+    },
+    /// RC4-encrypted.
+    Rc4Encrypted {
+        /// RC4 key bytes.
+        key: [u8; 8],
+    },
+    /// Probabilistically generated from `variants` compiled variants.
+    Probabilistic {
+        /// Number of compiled variants (`N` in the paper).
+        variants: usize,
+        /// Host-side randomness for basis construction and variant
+        /// compilation seeds.
+        seed: u64,
+    },
+}
+
+impl ChainMode {
+    /// Short name used in reports and benchmarks.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChainMode::Cleartext => "cleartext",
+            ChainMode::XorEncrypted { .. } => "xor",
+            ChainMode::Rc4Encrypted { .. } => "rc4",
+            ChainMode::Probabilistic { .. } => "probabilistic",
+        }
+    }
+}
+
+/// xorshift32 step, mirrored by the IR generator.
+pub fn xorshift32(mut x: u32) -> u32 {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    x
+}
+
+/// Encrypts (or decrypts) chain words with the xor key stream.
+pub fn xor_crypt(words: &mut [u32], key: u32) {
+    let mut ks = key | 1;
+    for w in words.iter_mut() {
+        ks = xorshift32(ks);
+        *w ^= ks;
+    }
+}
+
+/// Plain RC4 implementation (host side, for encrypting the chain).
+pub fn rc4_crypt(data: &mut [u8], key: &[u8]) {
+    let mut s: Vec<u8> = (0..=255).collect();
+    let mut j = 0u8;
+    for i in 0..256 {
+        j = j
+            .wrapping_add(s[i])
+            .wrapping_add(key[i % key.len()]);
+        s.swap(i, j as usize);
+    }
+    let (mut i, mut j) = (0u8, 0u8);
+    for b in data.iter_mut() {
+        i = i.wrapping_add(1);
+        j = j.wrapping_add(s[i as usize]);
+        s.swap(i as usize, j as usize);
+        let k = s[(s[i as usize].wrapping_add(s[j as usize])) as usize];
+        *b ^= k;
+    }
+}
+
+/// IR generator for xor-mode: decrypts `enc` into `buf` and returns
+/// `&buf`. Symbol names are per protected function.
+pub fn xor_generator(
+    name: &str,
+    enc_sym: &str,
+    buf_sym: &str,
+    len_sym: &str,
+    key: u32,
+) -> Function {
+    // ks = key|1; for i in 0..len { ks = xorshift(ks); buf[i] = enc[i]^ks }
+    Function::new(
+        name.to_owned(),
+        [],
+        vec![
+            let_("ks", c((key | 1) as i32)),
+            let_("i", c(0)),
+            let_("len", load(g(len_sym))),
+            while_(
+                lt_u(l("i"), l("len")),
+                vec![
+                    let_("ks", xor(l("ks"), shl(l("ks"), c(13)))),
+                    let_("ks", xor(l("ks"), shrl(l("ks"), c(17)))),
+                    let_("ks", xor(l("ks"), shl(l("ks"), c(5)))),
+                    store(
+                        add(g(buf_sym), mul(l("i"), c(4))),
+                        xor(load(add(g(enc_sym), mul(l("i"), c(4)))), l("ks")),
+                    ),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            ret(g(buf_sym)),
+        ],
+    )
+}
+
+/// IR generator for RC4 mode: full KSA + PRGA per call.
+pub fn rc4_generator(
+    name: &str,
+    enc_sym: &str,
+    buf_sym: &str,
+    len_sym: &str, // length in BYTES here
+    key_sym: &str,
+    key_len: u32,
+    sbox_sym: &str,
+) -> Function {
+    Function::new(
+        name.to_owned(),
+        [],
+        vec![
+            // KSA: S[i] = i
+            let_("i", c(0)),
+            while_(
+                lt_s(l("i"), c(256)),
+                vec![
+                    store8(add(g(sbox_sym), l("i")), l("i")),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            let_("j", c(0)),
+            let_("i", c(0)),
+            while_(
+                lt_s(l("i"), c(256)),
+                vec![
+                    let_(
+                        "j",
+                        and(
+                            add(
+                                add(l("j"), load8(add(g(sbox_sym), l("i")))),
+                                load8(add(g(key_sym), modu(l("i"), c(key_len as i32)))),
+                            ),
+                            c(0xff),
+                        ),
+                    ),
+                    // swap S[i], S[j]
+                    let_("t", load8(add(g(sbox_sym), l("i")))),
+                    store8(
+                        add(g(sbox_sym), l("i")),
+                        load8(add(g(sbox_sym), l("j"))),
+                    ),
+                    store8(add(g(sbox_sym), l("j")), l("t")),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            // PRGA
+            let_("i", c(0)),
+            let_("j", c(0)),
+            let_("n", c(0)),
+            let_("len", load(g(len_sym))),
+            while_(
+                lt_u(l("n"), l("len")),
+                vec![
+                    let_("i", and(add(l("i"), c(1)), c(0xff))),
+                    let_(
+                        "j",
+                        and(add(l("j"), load8(add(g(sbox_sym), l("i")))), c(0xff)),
+                    ),
+                    let_("t", load8(add(g(sbox_sym), l("i")))),
+                    store8(
+                        add(g(sbox_sym), l("i")),
+                        load8(add(g(sbox_sym), l("j"))),
+                    ),
+                    store8(add(g(sbox_sym), l("j")), l("t")),
+                    let_(
+                        "k",
+                        load8(add(
+                            g(sbox_sym),
+                            and(
+                                add(
+                                    load8(add(g(sbox_sym), l("i"))),
+                                    load8(add(g(sbox_sym), l("j"))),
+                                ),
+                                c(0xff),
+                            ),
+                        )),
+                    ),
+                    store8(
+                        add(g(buf_sym), l("n")),
+                        xor(load8(add(g(enc_sym), l("n"))), l("k")),
+                    ),
+                    let_("n", add(l("n"), c(1))),
+                ],
+            ),
+            ret(g(buf_sym)),
+        ],
+    )
+}
+
+/// A GF(2) basis of {0,1}³² with triangular structure: basis vector `i`
+/// has leading bit `i`, so decomposition is a top-down peel.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    /// The 32 basis vectors.
+    pub vectors: [u32; 32],
+}
+
+impl Basis {
+    /// Generates a random triangular basis from `seed`.
+    pub fn random(seed: u64) -> Basis {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32
+        };
+        let mut vectors = [0u32; 32];
+        for (i, v) in vectors.iter_mut().enumerate() {
+            let below = if i == 0 { 0 } else { next() & ((1u32 << i) - 1) };
+            *v = (1u32 << i) | below;
+        }
+        Basis { vectors }
+    }
+
+    /// Decomposes `v` into basis indices whose vectors XOR to `v`.
+    pub fn decompose(&self, v: u32) -> Vec<u8> {
+        let mut residual = v;
+        let mut out = Vec::new();
+        for i in (0..32).rev() {
+            if residual & (1 << i) != 0 {
+                out.push(i as u8);
+                residual ^= self.vectors[i as usize];
+            }
+        }
+        out.reverse();
+        out
+    }
+
+    /// Recombines indices (host-side check).
+    pub fn combine(&self, indices: &[u8]) -> u32 {
+        indices
+            .iter()
+            .fold(0, |acc, &i| acc ^ self.vectors[i as usize])
+    }
+}
+
+/// Serialized index-array blob for the probabilistic generator.
+///
+/// Layout (little-endian u32 words):
+/// `[L][N][offsets: L*N words into the pool][pool: per-list count,idx...]`
+/// where `offsets[l*N + j]` is the pool *word* offset of variant `j`'s
+/// index list for chain position `l`.
+pub fn build_index_blob(basis: &Basis, variants: &[Vec<u32>]) -> Vec<u8> {
+    let n = variants.len();
+    let l = variants[0].len();
+    assert!(variants.iter().all(|v| v.len() == l), "variants same length");
+
+    let mut offsets = Vec::with_capacity(l * n);
+    let mut pool: Vec<u32> = Vec::new();
+    for pos in 0..l {
+        for var in variants {
+            let idxs = basis.decompose(var[pos]);
+            offsets.push(pool.len() as u32);
+            pool.push(idxs.len() as u32);
+            pool.extend(idxs.iter().map(|&i| i as u32));
+        }
+    }
+
+    let mut out = Vec::new();
+    out.extend_from_slice(&(l as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    for o in offsets {
+        out.extend_from_slice(&o.to_le_bytes());
+    }
+    for w in pool {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// IR generator for probabilistic mode: picks a random variant per
+/// position and XOR-combines basis vectors into the chain buffer.
+pub fn probabilistic_generator(
+    name: &str,
+    blob_sym: &str,
+    basis_sym: &str,
+    buf_sym: &str,
+) -> Function {
+    // L = blob[0]; N = blob[1]; offsets at blob+8; pool at blob+8+4*L*N.
+    Function::new(
+        name.to_owned(),
+        [],
+        vec![
+            let_("big_l", load(g(blob_sym))),
+            let_("big_n", load(add(g(blob_sym), c(4)))),
+            let_("offs", add(g(blob_sym), c(8))),
+            let_(
+                "pool",
+                add(l("offs"), mul(mul(l("big_l"), l("big_n")), c(4))),
+            ),
+            let_("r", syscall(42, vec![])),
+            let_("pos", c(0)),
+            while_(
+                lt_u(l("pos"), l("big_l")),
+                vec![
+                    // j = r % N; advance r with xorshift
+                    let_("j", modu(l("r"), l("big_n"))),
+                    let_("r", xor(l("r"), shl(l("r"), c(13)))),
+                    let_("r", xor(l("r"), shrl(l("r"), c(17)))),
+                    let_("r", xor(l("r"), shl(l("r"), c(5)))),
+                    // off = offsets[pos*N + j] (word offset into pool)
+                    let_(
+                        "off",
+                        load(add(
+                            l("offs"),
+                            mul(add(mul(l("pos"), l("big_n")), l("j")), c(4)),
+                        )),
+                    ),
+                    let_("cnt", load(add(l("pool"), mul(l("off"), c(4))))),
+                    let_("acc", c(0)),
+                    let_("k", c(0)),
+                    while_(
+                        lt_u(l("k"), l("cnt")),
+                        vec![
+                            let_(
+                                "idx",
+                                load(add(
+                                    l("pool"),
+                                    mul(add(add(l("off"), c(1)), l("k")), c(4)),
+                                )),
+                            ),
+                            let_(
+                                "acc",
+                                xor(l("acc"), load(add(g(basis_sym), mul(l("idx"), c(4))))),
+                            ),
+                            let_("k", add(l("k"), c(1))),
+                        ],
+                    ),
+                    store(add(g(buf_sym), mul(l("pos"), c(4))), l("acc")),
+                    let_("pos", add(l("pos"), c(1))),
+                ],
+            ),
+            ret(g(buf_sym)),
+        ],
+    )
+}
+
+/// Installs the generator directly into a pre-linked [`Program`] — the
+/// binary-level path, where no IR module exists for the protected
+/// binary. The generator itself is IR (it is *our* runtime, compiled in
+/// isolation); its data objects are added as program items.
+pub fn install_generator_binary(
+    prog: &mut parallax_image::Program,
+    func: &str,
+    mode: &ChainMode,
+) -> Result<Option<String>, parallax_compiler::CompileError> {
+    let gen_sym = format!("__plx_gen_{func}");
+    let enc_sym = format!("__plx_enc_{func}");
+    let buf_sym = format!("__plx_chain_{func}");
+    let len_sym = format!("__plx_len_{func}");
+    let sigs = std::collections::HashMap::new();
+    match mode {
+        ChainMode::Cleartext => Ok(None),
+        ChainMode::XorEncrypted { key } => {
+            let f = xor_generator(&gen_sym, &enc_sym, &buf_sym, &len_sym, *key);
+            let globals = vec![enc_sym.clone(), buf_sym.clone(), len_sym.clone()];
+            prog.add_func(&gen_sym, parallax_compiler::compile_function(&f, &sigs, &globals)?);
+            prog.add_data(&len_sym, vec![0; 4]);
+            prog.add_data(&enc_sym, Vec::new());
+            prog.add_bss(&buf_sym, 0);
+            Ok(Some(gen_sym))
+        }
+        ChainMode::Rc4Encrypted { key } => {
+            let key_sym = format!("__plx_key_{func}");
+            let sbox_sym = format!("__plx_sbox_{func}");
+            let f = rc4_generator(
+                &gen_sym, &enc_sym, &buf_sym, &len_sym, &key_sym, key.len() as u32, &sbox_sym,
+            );
+            let globals = vec![
+                enc_sym.clone(),
+                buf_sym.clone(),
+                len_sym.clone(),
+                key_sym.clone(),
+                sbox_sym.clone(),
+            ];
+            prog.add_func(&gen_sym, parallax_compiler::compile_function(&f, &sigs, &globals)?);
+            prog.add_data(&len_sym, vec![0; 4]);
+            prog.add_data(&key_sym, key.to_vec());
+            prog.add_data(&enc_sym, Vec::new());
+            prog.add_bss(&buf_sym, 0);
+            prog.add_bss(&sbox_sym, 256);
+            Ok(Some(gen_sym))
+        }
+        ChainMode::Probabilistic { .. } => {
+            let blob_sym = format!("__plx_blob_{func}");
+            let basis_sym = format!("__plx_basis_{func}");
+            let f = probabilistic_generator(&gen_sym, &blob_sym, &basis_sym, &buf_sym);
+            let globals = vec![blob_sym.clone(), basis_sym.clone(), buf_sym.clone()];
+            prog.add_func(&gen_sym, parallax_compiler::compile_function(&f, &sigs, &globals)?);
+            prog.add_data(&blob_sym, Vec::new());
+            prog.add_data(&basis_sym, vec![0; 128]);
+            prog.add_bss(&buf_sym, 0);
+            Ok(Some(gen_sym))
+        }
+    }
+}
+
+/// Registers the generator function and its data objects in `module`
+/// for the given mode; returns the generator symbol, or `None` for
+/// cleartext. Data contents are placeholders — `protect` fills them in
+/// during the link fixpoint.
+pub fn add_generator(module: &mut Module, func: &str, mode: &ChainMode) -> Option<String> {
+    let gen_sym = format!("__plx_gen_{func}");
+    let enc_sym = format!("__plx_enc_{func}");
+    let buf_sym = format!("__plx_chain_{func}");
+    let len_sym = format!("__plx_len_{func}");
+    match mode {
+        ChainMode::Cleartext => None,
+        ChainMode::XorEncrypted { key } => {
+            module.func(xor_generator(&gen_sym, &enc_sym, &buf_sym, &len_sym, *key));
+            module.global(&len_sym, vec![0; 4]);
+            module.global(&enc_sym, Vec::new());
+            module.bss(&buf_sym, 0);
+            Some(gen_sym)
+        }
+        ChainMode::Rc4Encrypted { key } => {
+            let key_sym = format!("__plx_key_{func}");
+            let sbox_sym = format!("__plx_sbox_{func}");
+            module.func(rc4_generator(
+                &gen_sym,
+                &enc_sym,
+                &buf_sym,
+                &len_sym,
+                &key_sym,
+                key.len() as u32,
+                &sbox_sym,
+            ));
+            module.global(&len_sym, vec![0; 4]);
+            module.global(&key_sym, key.to_vec());
+            module.global(&enc_sym, Vec::new());
+            module.bss(&buf_sym, 0);
+            module.bss(&sbox_sym, 256);
+            Some(gen_sym)
+        }
+        ChainMode::Probabilistic { .. } => {
+            let blob_sym = format!("__plx_blob_{func}");
+            let basis_sym = format!("__plx_basis_{func}");
+            module.func(probabilistic_generator(
+                &gen_sym, &blob_sym, &basis_sym, &buf_sym,
+            ));
+            module.global(&blob_sym, Vec::new());
+            module.global(&basis_sym, vec![0; 128]);
+            module.bss(&buf_sym, 0);
+            Some(gen_sym)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_roundtrip() {
+        let mut words = vec![0xdead_beef, 0x1234_5678, 0, u32::MAX];
+        let orig = words.clone();
+        xor_crypt(&mut words, 42);
+        assert_ne!(words, orig);
+        xor_crypt(&mut words, 42);
+        assert_eq!(words, orig);
+    }
+
+    #[test]
+    fn rc4_roundtrip_and_vector() {
+        // RFC 6229-style check: key "Key", plaintext "Plaintext".
+        let mut data = b"Plaintext".to_vec();
+        rc4_crypt(&mut data, b"Key");
+        assert_eq!(
+            data,
+            vec![0xbb, 0xf3, 0x16, 0xe8, 0xd9, 0x40, 0xaf, 0x0a, 0xd3]
+        );
+        rc4_crypt(&mut data, b"Key");
+        assert_eq!(data, b"Plaintext");
+    }
+
+    #[test]
+    fn basis_decompose_combine() {
+        let basis = Basis::random(7);
+        for v in [0u32, 1, 0xdead_beef, u32::MAX, 0x8000_0000] {
+            let idxs = basis.decompose(v);
+            assert_eq!(basis.combine(&idxs), v, "value {v:#x}");
+        }
+        // Distinct seeds give distinct bases (overwhelmingly likely).
+        let b2 = Basis::random(8);
+        assert_ne!(basis.vectors, b2.vectors);
+    }
+
+    #[test]
+    fn index_blob_layout() {
+        let basis = Basis::random(3);
+        let variants = vec![vec![5, 10], vec![5, 12]];
+        let blob = build_index_blob(&basis, &variants);
+        let w = |i: usize| u32::from_le_bytes(blob[4 * i..4 * i + 4].try_into().unwrap());
+        assert_eq!(w(0), 2); // L
+        assert_eq!(w(1), 2); // N
+        // offsets for (pos 0, var 0/1), (pos 1, var 0/1)
+        let pool_base = 2 + 4;
+        let off00 = w(2) as usize;
+        let cnt = w(pool_base + off00) as usize;
+        let idxs: Vec<u8> = (0..cnt)
+            .map(|k| w(pool_base + off00 + 1 + k) as u8)
+            .collect();
+        assert_eq!(basis.combine(&idxs), 5);
+    }
+
+    #[test]
+    fn generators_compile_to_ir() {
+        let mut m = Module::new();
+        m.global("__plx_enc_f", vec![0; 16]);
+        m.bss("__plx_chain_f", 16);
+        m.func(Function::new("main", [], vec![ret(c(0))]));
+        m.entry("main");
+        let g = add_generator(&mut m, "f", &ChainMode::XorEncrypted { key: 5 });
+        assert_eq!(g.as_deref(), Some("__plx_gen_f"));
+        // The module (with generator) must compile.
+        parallax_compiler::compile_module(&m).expect("compiles");
+    }
+
+    #[test]
+    fn mode_names() {
+        assert_eq!(ChainMode::Cleartext.name(), "cleartext");
+        assert_eq!(ChainMode::XorEncrypted { key: 1 }.name(), "xor");
+        assert_eq!(ChainMode::Rc4Encrypted { key: [0; 8] }.name(), "rc4");
+        assert_eq!(
+            ChainMode::Probabilistic {
+                variants: 4,
+                seed: 1
+            }
+            .name(),
+            "probabilistic"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Instruction-level verification via µ-chains (paper §V-C).
+//!
+//! Instead of translating a whole function into one chain, µ-chain mode
+//! splits the function into per-statement pieces, each translated into
+//! its own short chain with its own prologue and epilogue. The paper
+//! measured this at roughly 2× the overhead of function chains and
+//! identified further drawbacks (inline setup code is analyzable, and
+//! µ-chains cannot be checksummed or self-modified); this module exists
+//! to reproduce that comparison faithfully.
+//!
+//! [`split_for_microchains`] rewrites a function `f` into:
+//!
+//! * a shared state frame `__mc_f_state` holding every parameter and
+//!   local (statement pieces cannot share machine registers);
+//! * one function `__mc_f_<i>` per top-level statement, reading and
+//!   writing the frame;
+//! * a rebuilt `f` that spills its arguments and calls the pieces in
+//!   order, honouring early returns through a flag slot.
+//!
+//! Protecting all `__mc_f_<i>` pieces as verification functions yields
+//! the paper's µ-chain configuration.
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Expr, Function, Module, Stmt};
+
+use crate::protect::ProtectError;
+
+fn rewrite_expr(e: &Expr, frame: &str, slot_of: &dyn Fn(&str) -> Option<usize>) -> Expr {
+    match e {
+        Expr::Local(n) => match slot_of(n) {
+            Some(i) => load(add(g(frame), c(4 * i as i32))),
+            None => e.clone(),
+        },
+        Expr::Load(a) => Expr::Load(Box::new(rewrite_expr(a, frame, slot_of))),
+        Expr::Load8(a) => Expr::Load8(Box::new(rewrite_expr(a, frame, slot_of))),
+        Expr::Unary(op, a) => Expr::Unary(*op, Box::new(rewrite_expr(a, frame, slot_of))),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            *op,
+            Box::new(rewrite_expr(a, frame, slot_of)),
+            Box::new(rewrite_expr(b, frame, slot_of)),
+        ),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(rewrite_expr(a, frame, slot_of)),
+            Box::new(rewrite_expr(b, frame, slot_of)),
+        ),
+        Expr::Call(n, args) => Expr::Call(
+            n.clone(),
+            args.iter().map(|a| rewrite_expr(a, frame, slot_of)).collect(),
+        ),
+        Expr::Syscall(nr, args) => Expr::Syscall(
+            *nr,
+            args.iter().map(|a| rewrite_expr(a, frame, slot_of)).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+fn rewrite_stmts(
+    body: &[Stmt],
+    frame: &str,
+    slot_of: &dyn Fn(&str) -> Option<usize>,
+    ret_slot: usize,
+    flag_slot: usize,
+) -> Vec<Stmt> {
+    body.iter()
+        .map(|s| match s {
+            Stmt::Let(n, e) => {
+                let v = rewrite_expr(e, frame, slot_of);
+                match slot_of(n) {
+                    Some(i) => store(add(g(frame), c(4 * i as i32)), v),
+                    None => Stmt::Let(n.clone(), v),
+                }
+            }
+            Stmt::Store(a, v) => Stmt::Store(
+                rewrite_expr(a, frame, slot_of),
+                rewrite_expr(v, frame, slot_of),
+            ),
+            Stmt::Store8(a, v) => Stmt::Store8(
+                rewrite_expr(a, frame, slot_of),
+                rewrite_expr(v, frame, slot_of),
+            ),
+            Stmt::Expr(e) => Stmt::Expr(rewrite_expr(e, frame, slot_of)),
+            Stmt::If(cnd, a, b) => Stmt::If(
+                rewrite_expr(cnd, frame, slot_of),
+                rewrite_stmts(a, frame, slot_of, ret_slot, flag_slot),
+                rewrite_stmts(b, frame, slot_of, ret_slot, flag_slot),
+            ),
+            Stmt::While(cnd, b) => Stmt::While(
+                rewrite_expr(cnd, frame, slot_of),
+                rewrite_stmts(b, frame, slot_of, ret_slot, flag_slot),
+            ),
+            Stmt::Return(e) => {
+                // Early return: record value + flag, leave this piece.
+                let v = rewrite_expr(e, frame, slot_of);
+                Stmt::If(
+                    c(1),
+                    vec![
+                        store(add(g(frame), c(4 * ret_slot as i32)), v),
+                        store(add(g(frame), c(4 * flag_slot as i32)), c(1)),
+                        ret(c(0)),
+                    ],
+                    vec![],
+                )
+            }
+            other => other.clone(),
+        })
+        .collect()
+}
+
+/// Splits `func` of `module` into per-statement pieces. Returns the
+/// transformed module and the piece names (the µ-chain verification
+/// set).
+pub fn split_for_microchains(
+    module: &Module,
+    func: &str,
+) -> Result<(Module, Vec<String>), ProtectError> {
+    let f = module
+        .get_func(func)
+        .ok_or_else(|| ProtectError::NoSuchFunction(func.to_owned()))?
+        .clone();
+    let mut m = module.clone();
+
+    // Frame layout: params, locals, then [ret, flag].
+    let mut slots: Vec<String> = f.params.clone();
+    slots.extend(f.locals());
+    let ret_slot = slots.len();
+    let flag_slot = slots.len() + 1;
+    let frame = format!("__mc_{func}_state");
+    m.bss(&frame, 4 * (slots.len() + 2) as u32);
+
+    let slots_for_closure = slots.clone();
+    let slot_of = move |n: &str| slots_for_closure.iter().position(|s| s == n);
+
+    // One piece per top-level statement.
+    let mut pieces = Vec::new();
+    for (i, stmt) in f.body.iter().enumerate() {
+        let name = format!("__mc_{func}_{i}");
+        let body = rewrite_stmts(
+            std::slice::from_ref(stmt),
+            &frame,
+            &slot_of,
+            ret_slot,
+            flag_slot,
+        );
+        m.func(Function::new(name.clone(), [], body));
+        pieces.push(name);
+    }
+
+    // Rebuild the original function as the piece driver.
+    let mut body: Vec<Stmt> = Vec::new();
+    for (i, p) in f.params.iter().enumerate() {
+        body.push(store(add(g(&frame), c(4 * i as i32)), l(p)));
+    }
+    body.push(store(add(g(&frame), c(4 * flag_slot as i32)), c(0)));
+    for piece in &pieces {
+        body.push(expr(call(piece, vec![])));
+        body.push(if_(
+            ne(load(add(g(&frame), c(4 * flag_slot as i32))), c(0)),
+            vec![ret(load(add(g(&frame), c(4 * ret_slot as i32))))],
+            vec![],
+        ));
+    }
+    body.push(ret(c(0)));
+    let driver = m
+        .funcs
+        .iter_mut()
+        .find(|g| g.name == func)
+        .expect("checked above");
+    driver.body = body;
+
+    Ok((m, pieces))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_compiler::compile_module;
+    use parallax_vm::{Exit, Vm};
+
+    fn sample() -> Module {
+        let mut m = Module::new();
+        m.func(Function::new(
+            "vf",
+            ["a", "b"],
+            vec![
+                let_("x", add(mul(l("a"), c(3)), l("b"))),
+                let_("y", c(0)),
+                while_(
+                    gt_s(l("x"), c(0)),
+                    vec![
+                        let_("y", add(l("y"), and(l("x"), c(7)))),
+                        let_("x", sub(l("x"), c(5))),
+                    ],
+                ),
+                if_(gt_s(l("y"), c(50)), vec![ret(sub(l("y"), c(50)))], vec![]),
+                ret(l("y")),
+            ],
+        ));
+        m.func(Function::new(
+            "main",
+            [],
+            vec![ret(add(
+                call("vf", vec![c(10), c(4)]),
+                call("vf", vec![c(2), c(1)]),
+            ))],
+        ));
+        m.entry("main");
+        m
+    }
+
+    fn run(m: &Module) -> Exit {
+        let img = compile_module(m).unwrap().link().unwrap();
+        let mut vm = Vm::new(&img);
+        vm.run()
+    }
+
+    #[test]
+    fn split_preserves_semantics() {
+        let m = sample();
+        let expect = run(&m);
+        let (split, pieces) = split_for_microchains(&m, "vf").unwrap();
+        assert_eq!(pieces.len(), 5);
+        assert_eq!(run(&split), expect);
+    }
+
+    #[test]
+    fn split_pieces_protect_as_microchains() {
+        let m = sample();
+        let expect = run(&m);
+        let (split, pieces) = split_for_microchains(&m, "vf").unwrap();
+        let protected = crate::protect(
+            &split,
+            &crate::ProtectConfig {
+                verify_funcs: pieces,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut vm = Vm::new(&protected.image);
+        assert_eq!(vm.run(), expect);
+        assert_eq!(protected.report.chains.len(), 5);
+    }
+
+    #[test]
+    fn early_return_through_flag() {
+        let mut m = Module::new();
+        m.func(Function::new(
+            "vf",
+            ["a"],
+            vec![
+                if_(lt_s(l("a"), c(0)), vec![ret(c(111))], vec![]),
+                let_("t", mul(l("a"), c(2))),
+                ret(l("t")),
+            ],
+        ));
+        m.func(Function::new(
+            "main",
+            [],
+            vec![ret(add(
+                call("vf", vec![c(-5)]),
+                call("vf", vec![c(21)]),
+            ))],
+        ));
+        m.entry("main");
+        let expect = run(&m);
+        assert_eq!(expect, Exit::Exited(111 + 42));
+        let (split, _) = split_for_microchains(&m, "vf").unwrap();
+        assert_eq!(run(&split), expect);
+    }
+}

@@ -1,0 +1,556 @@
+//! The end-to-end protection pipeline (paper §III).
+//!
+//! [`protect`] takes an IR module and a configuration and produces a
+//! protected executable image:
+//!
+//! 1. compile the module (plus any chain generators) to x86;
+//! 2. apply the §IV-B rewriting rules to craft overlapping gadgets in
+//!    the instructions to protect, and append the standard gadget set;
+//! 3. install the chain-loader runtime and replace each verification
+//!    function's body with a loader stub;
+//! 4. link, discover and validate gadgets, and translate each
+//!    verification function into a ROP chain that *prefers gadgets
+//!    overlapping the protected code* (§III step 4);
+//! 5. install the chains (cleartext, encrypted, or as probabilistic
+//!    index arrays) and produce the final image.
+//!
+//! Because chain sizes depend on compilation and addresses depend on
+//! sizes, steps 4–5 run as a two-pass fixpoint: chains are compiled
+//! once against a placeholder layout to learn their sizes, then
+//! recompiled against the final layout (gadget choices are
+//! deterministic per seed, so sizes are stable).
+
+use std::fmt;
+
+use parallax_compiler::{compile_module, CompileError, Function, Module};
+use parallax_gadgets::{find_gadgets, GadgetMap};
+use parallax_image::{LinkError, LinkedImage, Program};
+use parallax_rewrite::{
+    analyze, protect_program, Coverage, RewriteConfig, RewriteError, RewriteReport,
+};
+use parallax_ropc::{
+    compile_chain_with_guards, fnv1a, frame_size, install_runtime, make_chain_checker,
+    make_stub_full, ChainError, Policy,
+};
+
+use crate::dynamic::{
+    build_index_blob, install_generator_binary, rc4_crypt, xor_crypt, Basis, ChainMode,
+};
+
+/// Configuration for [`protect`].
+#[derive(Debug, Clone)]
+pub struct ProtectConfig {
+    /// Functions to translate into verification chains.
+    pub verify_funcs: Vec<String>,
+    /// Functions whose instructions get overlapping gadgets. `None`
+    /// protects every module function except the verification
+    /// functions themselves (whose bodies are replaced).
+    pub protect_targets: Option<Vec<String>>,
+    /// Rewriting-rule configuration.
+    pub rewrite: RewriteConfig,
+    /// Chain hardening mode.
+    pub mode: ChainMode,
+    /// Seed for gadget-choice randomness.
+    pub seed: u64,
+    /// Critical functions whose every usable gadget the chain executes
+    /// once per call (*guard gadgets* — deterministic coverage of
+    /// hand-picked code, as the paper's §IV-A example protects the
+    /// ptrace call and its guarded jump explicitly).
+    pub guard_funcs: Vec<String>,
+    /// §VI-C: checksum the verification code before every chain call.
+    /// Chains live in data memory, so — unlike code checksumming — this
+    /// is not subject to the Wurster attack. For dynamic modes the
+    /// static ciphertext/index material is checksummed.
+    pub checksum_chains: bool,
+    /// §V-B self-modification: wipe the regenerated plaintext chain
+    /// buffer after every call, so the decrypted chain never persists
+    /// for a memory-dumping adversary. Dynamic modes only (cleartext
+    /// chains are static data and would be destroyed).
+    pub wipe_chains: bool,
+}
+
+impl Default for ProtectConfig {
+    fn default() -> ProtectConfig {
+        ProtectConfig {
+            verify_funcs: Vec::new(),
+            protect_targets: None,
+            rewrite: RewriteConfig::default(),
+            mode: ChainMode::Cleartext,
+            seed: 0xbead_cafe,
+            guard_funcs: Vec::new(),
+            checksum_chains: false,
+            wipe_chains: false,
+        }
+    }
+}
+
+/// Errors from the protection pipeline.
+#[derive(Debug)]
+pub enum ProtectError {
+    /// IR compilation failed.
+    Compile(CompileError),
+    /// Linking failed.
+    Link(LinkError),
+    /// A rewriting rule failed.
+    Rewrite(RewriteError),
+    /// Chain compilation failed.
+    Chain(ChainError),
+    /// A verification function is missing from the module.
+    NoSuchFunction(String),
+    /// The chain size changed between fixpoint passes.
+    UnstableChain(String),
+}
+
+impl fmt::Display for ProtectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectError::Compile(e) => write!(f, "compile: {e}"),
+            ProtectError::Link(e) => write!(f, "link: {e}"),
+            ProtectError::Rewrite(e) => write!(f, "rewrite: {e}"),
+            ProtectError::Chain(e) => write!(f, "chain: {e}"),
+            ProtectError::NoSuchFunction(n) => write!(f, "no such function `{n}`"),
+            ProtectError::UnstableChain(n) => write!(f, "chain for `{n}` unstable"),
+        }
+    }
+}
+
+impl std::error::Error for ProtectError {}
+
+impl From<CompileError> for ProtectError {
+    fn from(e: CompileError) -> Self {
+        ProtectError::Compile(e)
+    }
+}
+impl From<LinkError> for ProtectError {
+    fn from(e: LinkError) -> Self {
+        ProtectError::Link(e)
+    }
+}
+impl From<RewriteError> for ProtectError {
+    fn from(e: RewriteError) -> Self {
+        ProtectError::Rewrite(e)
+    }
+}
+impl From<ChainError> for ProtectError {
+    fn from(e: ChainError) -> Self {
+        ProtectError::Chain(e)
+    }
+}
+
+/// Per-chain statistics.
+#[derive(Debug, Clone)]
+pub struct ChainInfo {
+    /// The translated function.
+    pub func: String,
+    /// Gadget invocations in the chain.
+    pub ops: usize,
+    /// Chain length in 32-bit words.
+    pub words: usize,
+    /// Distinct gadget addresses used (union over variants).
+    pub used_gadgets: Vec<u32>,
+    /// How many used gadgets overlap protected instruction ranges.
+    pub overlapping_used: usize,
+}
+
+/// Output of [`protect`].
+#[derive(Debug, Clone)]
+pub struct ProtectReport {
+    /// What the rewriting rules did.
+    pub rewrites: RewriteReport,
+    /// Per-rule protectable-byte coverage measured on the *unprotected*
+    /// image (the paper's Figure 6 metric).
+    pub coverage: Coverage,
+    /// Per-verification-function chain statistics.
+    pub chains: Vec<ChainInfo>,
+    /// Total usable gadgets discovered in the protected image.
+    pub gadget_count: usize,
+}
+
+/// A protected binary plus its report.
+#[derive(Debug, Clone)]
+pub struct Protected {
+    /// The final executable image.
+    pub image: LinkedImage,
+    /// Protection statistics.
+    pub report: ProtectReport,
+}
+
+/// Number of probabilistic variants compiled when
+/// [`ChainMode::Probabilistic`] requests `variants: 0`.
+pub const DEFAULT_VARIANTS: usize = 8;
+
+/// Runs the full protection pipeline on an IR module (the common,
+/// "source available" path).
+pub fn protect(module: &Module, cfg: &ProtectConfig) -> Result<Protected, ProtectError> {
+    let mut verify_impls = Vec::new();
+    for f in &cfg.verify_funcs {
+        let func = module
+            .get_func(f)
+            .ok_or_else(|| ProtectError::NoSuchFunction(f.clone()))?;
+        verify_impls.push(func.clone());
+    }
+    let prog = compile_module(module)?;
+    protect_binary(prog, &verify_impls, cfg)
+}
+
+/// The binary-level pipeline (paper §I advantage 5: "our approach lends
+/// itself to binary-level implementation, and does not inherently
+/// require source"). Takes an already-built [`Program`] — any
+/// relinkable binary, however it was produced — plus the IR of each
+/// verification function named in `cfg.verify_funcs` (which must exist
+/// as functions in `prog`; their bodies are replaced by loader stubs
+/// and re-expressed as ROP chains). Everything else — gadget crafting,
+/// rewriting, linking — operates purely on the machine code.
+pub fn protect_binary(
+    mut prog: Program,
+    verify_impls: &[Function],
+    cfg: &ProtectConfig,
+) -> Result<Protected, ProtectError> {
+    for f in &cfg.verify_funcs {
+        if prog.func(f).is_none() || !verify_impls.iter().any(|vi| &vi.name == f) {
+            return Err(ProtectError::NoSuchFunction(f.clone()));
+        }
+    }
+    let get_impl = |name: &str| -> &Function {
+        verify_impls
+            .iter()
+            .find(|vi| vi.name == name)
+            .expect("validated above")
+    };
+
+    // Figure-6 coverage is measured on the unprotected image.
+    let coverage = analyze(&prog.link()?);
+
+    // 1. Install chain generators for dynamic modes.
+    let mut gens = Vec::new();
+    for f in cfg.verify_funcs.clone() {
+        let gen = install_generator_binary(&mut prog, &f, &cfg.mode)?;
+        gens.push((f, gen));
+    }
+
+    // 2. Apply the rewriting rules.
+    let targets: Vec<String> = match &cfg.protect_targets {
+        Some(t) => t.clone(),
+        None => prog
+            .func_names()
+            .map(str::to_owned)
+            .filter(|n| {
+                !cfg.verify_funcs.contains(n) && !n.starts_with("__plx_") && n != "_start"
+            })
+            .collect(),
+    };
+    let rewrites = protect_program(&mut prog, &targets, &cfg.rewrite)?;
+
+    // 3. Runtime, frames, stubs, placeholders.
+    install_runtime(&mut prog);
+    prog.add_bss("__plx_scratch", 4096);
+    for (f, gen) in &gens {
+        let func = get_impl(f);
+        let frame_sym = format!("__plx_frame_{f}");
+        let chain_sym = format!("__plx_chain_{f}");
+        prog.add_bss(&frame_sym, frame_size(func));
+        // §VI-C: optional checksum over the chain's static data item.
+        let checker_sym = if cfg.checksum_chains {
+            let ck = format!("__plx_ck_{f}");
+            let target = checksummed_item(f, &cfg.mode);
+            prog.add_func(
+                &ck,
+                make_chain_checker(
+                    &target,
+                    &format!("__plx_cklen_{f}"),
+                    &format!("__plx_ckexp_{f}"),
+                ),
+            );
+            prog.add_data(format!("__plx_cklen_{f}"), vec![0; 4]);
+            prog.add_data(format!("__plx_ckexp_{f}"), vec![0; 4]);
+            Some(ck)
+        } else {
+            None
+        };
+        let wipe_len_sym = format!("__plx_wlen_{f}");
+        let wipe = if cfg.wipe_chains && gen.is_some() {
+            prog.add_data(&wipe_len_sym, vec![0; 4]);
+            Some((chain_sym.as_str(), wipe_len_sym.as_str()))
+        } else {
+            None
+        };
+        let stub = match gen {
+            Some(gen_sym) => make_stub_full(
+                func.params.len(),
+                &frame_sym,
+                None,
+                Some(gen_sym),
+                checker_sym.as_deref(),
+                wipe,
+            ),
+            None => {
+                // Cleartext: the chain itself is a data object.
+                prog.add_data(&chain_sym, Vec::new());
+                make_stub_full(
+                    func.params.len(),
+                    &frame_sym,
+                    Some(&chain_sym),
+                    None,
+                    checker_sym.as_deref(),
+                    None,
+                )
+            }
+        };
+        let slot = prog
+            .func_mut(f)
+            .ok_or_else(|| ProtectError::NoSuchFunction(f.clone()))?;
+        slot.bytes = stub.bytes;
+        slot.relocs = stub.relocs;
+        slot.markers = stub.markers;
+    }
+
+    // 4. Fixpoint pass 1: discover chain sizes.
+    let img1 = prog.link()?;
+    let map1 = GadgetMap::new(find_gadgets(&img1));
+    let ranges1 = target_ranges(&img1, &targets);
+    let mut sizes = Vec::new();
+    for (i, (f, _)) in gens.iter().enumerate() {
+        let func = get_impl(f);
+        let frame = img1.symbol(&format!("__plx_frame_{f}")).unwrap().vaddr;
+        let scratch = img1.symbol("__plx_scratch").unwrap().vaddr;
+        let policy = policy_for(cfg, &ranges1, i as u64, 0);
+        let guards = guard_addrs(&img1, &map1, &cfg.guard_funcs);
+        let compiled =
+            compile_chain_with_guards(func, &map1, &img1, frame, scratch, policy, &guards)?;
+        let words = compiled.chain.len();
+        // Probabilistic blob worst case per (position, variant): a
+        // 4-byte offset-table entry plus a pool list of 1 + up to 32
+        // index words = 136 bytes; pad generously on top.
+        let blob_cap = words * cfg_variants(&cfg.mode) * 140 + 1024;
+        sizes.push((words, blob_cap));
+    }
+
+    // Size the per-chain data objects.
+    for ((f, _gen), (words, blob_cap)) in gens.iter().zip(&sizes) {
+        let bytes = words * 4;
+        match &cfg.mode {
+            ChainMode::Cleartext => {
+                prog.data_item_mut(&format!("__plx_chain_{f}")).unwrap().bytes = vec![0; bytes];
+            }
+            ChainMode::XorEncrypted { .. } | ChainMode::Rc4Encrypted { .. } => {
+                set_size(&mut prog, &format!("__plx_enc_{f}"), bytes);
+                set_bss_size(&mut prog, &format!("__plx_chain_{f}"), bytes as u32);
+            }
+            ChainMode::Probabilistic { .. } => {
+                set_size(&mut prog, &format!("__plx_blob_{f}"), *blob_cap);
+                set_bss_size(&mut prog, &format!("__plx_chain_{f}"), bytes as u32);
+            }
+        }
+    }
+
+    // 5. Fixpoint pass 2: final layout; recompile, serialize, install.
+    let img2 = prog.link()?;
+    let map2 = GadgetMap::new(find_gadgets(&img2));
+    let ranges2 = target_ranges(&img2, &targets);
+    let mut chains = Vec::new();
+    for (i, ((f, _gen), (words, _))) in gens.iter().zip(&sizes).enumerate() {
+        let func = get_impl(f);
+        let frame = img2.symbol(&format!("__plx_frame_{f}")).unwrap().vaddr;
+        let scratch = img2.symbol("__plx_scratch").unwrap().vaddr;
+        let buf_sym = format!("__plx_chain_{f}");
+        let base = img2.symbol(&buf_sym).unwrap().vaddr;
+
+        let nvariants = cfg_variants(&cfg.mode);
+        let mut variant_words: Vec<Vec<u32>> = Vec::new();
+        let mut used = Vec::new();
+        let mut ops = 0;
+        let guards = guard_addrs(&img2, &map2, &cfg.guard_funcs);
+        for v in 0..nvariants {
+            let policy = policy_for(cfg, &ranges2, i as u64, v as u64);
+            let compiled = compile_chain_with_guards(
+                func, &map2, &img2, frame, scratch, policy, &guards,
+            )?;
+            if compiled.chain.len() != *words {
+                return Err(ProtectError::UnstableChain(f.clone()));
+            }
+            let bytes = compiled.chain.serialize(base).map_err(ChainError::from)?;
+            variant_words.push(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            );
+            used.extend(compiled.used_gadgets.iter().copied());
+            ops = compiled.ops;
+        }
+        used.sort_unstable();
+        used.dedup();
+        let overlapping_used = used
+            .iter()
+            .filter(|&&g| ranges2.iter().any(|&(s, e)| g >= s && g < e))
+            .count();
+
+        match &cfg.mode {
+            ChainMode::Cleartext => {
+                let bytes: Vec<u8> = variant_words[0]
+                    .iter()
+                    .flat_map(|w| w.to_le_bytes())
+                    .collect();
+                prog.data_item_mut(&buf_sym).unwrap().bytes = bytes;
+            }
+            ChainMode::XorEncrypted { key } => {
+                let mut wordsv = variant_words[0].clone();
+                xor_crypt(&mut wordsv, *key);
+                let bytes: Vec<u8> = wordsv.iter().flat_map(|w| w.to_le_bytes()).collect();
+                prog.data_item_mut(&format!("__plx_enc_{f}")).unwrap().bytes = bytes;
+                set_word(
+                    &mut prog,
+                    &format!("__plx_len_{f}"),
+                    *words as u32, // word count for the xor generator
+                );
+            }
+            ChainMode::Rc4Encrypted { key } => {
+                let mut bytes: Vec<u8> = variant_words[0]
+                    .iter()
+                    .flat_map(|w| w.to_le_bytes())
+                    .collect();
+                rc4_crypt(&mut bytes, key);
+                prog.data_item_mut(&format!("__plx_enc_{f}")).unwrap().bytes = bytes;
+                set_word(
+                    &mut prog,
+                    &format!("__plx_len_{f}"),
+                    (*words * 4) as u32, // byte count for the RC4 generator
+                );
+            }
+            ChainMode::Probabilistic { seed, .. } => {
+                let basis = Basis::random(seed ^ (0x5a5a + i as u64));
+                let mut blob = build_index_blob(&basis, &variant_words);
+                let cap = prog
+                    .data_item(&format!("__plx_blob_{f}"))
+                    .unwrap()
+                    .bytes
+                    .len();
+                if blob.len() > cap {
+                    return Err(ProtectError::UnstableChain(f.clone()));
+                }
+                blob.resize(cap, 0);
+                prog.data_item_mut(&format!("__plx_blob_{f}")).unwrap().bytes = blob;
+                let basis_bytes: Vec<u8> = basis
+                    .vectors
+                    .iter()
+                    .flat_map(|w| w.to_le_bytes())
+                    .collect();
+                prog.data_item_mut(&format!("__plx_basis_{f}")).unwrap().bytes = basis_bytes;
+            }
+        }
+
+        if cfg.wipe_chains && !matches!(cfg.mode, ChainMode::Cleartext) {
+            set_word(&mut prog, &format!("__plx_wlen_{f}"), (*words * 4) as u32);
+        }
+        if cfg.checksum_chains {
+            let target = checksummed_item(f, &cfg.mode);
+            let bytes = prog
+                .data_item(&target)
+                .expect("checksummed item exists")
+                .bytes
+                .clone();
+            set_word(&mut prog, &format!("__plx_cklen_{f}"), bytes.len() as u32);
+            set_word(&mut prog, &format!("__plx_ckexp_{f}"), fnv1a(&bytes));
+        }
+
+        chains.push(ChainInfo {
+            func: f.clone(),
+            ops,
+            words: *words,
+            used_gadgets: used,
+            overlapping_used,
+        });
+    }
+
+    let image = prog.link()?;
+    debug_assert_eq!(image.text, img2.text, "text stable across final fill");
+
+    Ok(Protected {
+        image,
+        report: ProtectReport {
+            rewrites,
+            coverage,
+            chains,
+            gadget_count: map2.gadgets().len(),
+        },
+    })
+}
+
+/// The static data item that carries a chain's verification material.
+fn checksummed_item(func: &str, mode: &ChainMode) -> String {
+    match mode {
+        ChainMode::Cleartext => format!("__plx_chain_{func}"),
+        ChainMode::XorEncrypted { .. } | ChainMode::Rc4Encrypted { .. } => {
+            format!("__plx_enc_{func}")
+        }
+        ChainMode::Probabilistic { .. } => format!("__plx_blob_{func}"),
+    }
+}
+
+fn cfg_variants(mode: &ChainMode) -> usize {
+    match mode {
+        ChainMode::Probabilistic { variants: 0, .. } => DEFAULT_VARIANTS,
+        ChainMode::Probabilistic { variants, .. } => (*variants).max(2),
+        _ => 1,
+    }
+}
+
+fn policy_for(cfg: &ProtectConfig, ranges: &[(u32, u32)], chain_idx: u64, variant: u64) -> Policy {
+    match &cfg.mode {
+        ChainMode::Probabilistic { seed, .. } => Policy::Grouped {
+            seed: seed ^ (chain_idx << 32) ^ (variant.wrapping_mul(0x9e37_79b9) | 1),
+        },
+        _ => Policy::PreferOverlapping {
+            ranges: ranges.to_vec(),
+            seed: cfg.seed ^ (chain_idx << 16),
+        },
+    }
+}
+
+/// Gadget vaddrs inside the guard functions (all usable gadgets found
+/// there), capped to keep chains bounded.
+fn guard_addrs(
+    img: &LinkedImage,
+    map: &GadgetMap,
+    guard_funcs: &[String],
+) -> Vec<u32> {
+    let mut out = Vec::new();
+    for name in guard_funcs {
+        let Some(sym) = img.symbol(name) else { continue };
+        for g in map.gadgets() {
+            if g.vaddr >= sym.vaddr && g.vaddr < sym.vaddr + sym.size {
+                out.push(g.vaddr);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out.truncate(64);
+    out
+}
+
+fn target_ranges(img: &LinkedImage, targets: &[String]) -> Vec<(u32, u32)> {
+    targets
+        .iter()
+        .filter_map(|t| img.symbol(t))
+        .map(|s| (s.vaddr, s.vaddr + s.size))
+        .collect()
+}
+
+fn set_size(prog: &mut Program, sym: &str, bytes: usize) {
+    prog.data_item_mut(sym)
+        .unwrap_or_else(|| panic!("data item {sym} missing"))
+        .bytes = vec![0; bytes];
+}
+
+fn set_bss_size(prog: &mut Program, sym: &str, size: u32) {
+    prog.data_item_mut(sym)
+        .unwrap_or_else(|| panic!("bss item {sym} missing"))
+        .bss_size = size;
+}
+
+fn set_word(prog: &mut Program, sym: &str, value: u32) {
+    prog.data_item_mut(sym)
+        .unwrap_or_else(|| panic!("data item {sym} missing"))
+        .bytes = value.to_le_bytes().to_vec();
+}

@@ -1,0 +1,233 @@
+//! Automatic verification-function selection (paper §VII-B).
+//!
+//! The paper's (fully automatable) algorithm:
+//!
+//! 1. find functions called repeatedly from several locations (so the
+//!    integrity is verified repeatedly);
+//! 2. keep those contributing less than a threshold (2%) of total
+//!    execution time, measured by profiling;
+//! 3. among those, prefer the functions with the most operation types,
+//!    for good gadget coverage.
+//!
+//! We add the feasibility constraints of our chain compiler: no
+//! division, no recursion, and at most eight parameters.
+
+use parallax_compiler::ir::{BinOp, Expr, Function, Module, Stmt};
+use parallax_compiler::compile_module;
+use parallax_vm::{Vm, VmOptions};
+
+use crate::protect::ProtectError;
+
+/// Tunables for [`select_verification_functions`].
+#[derive(Debug, Clone)]
+pub struct SelectionConfig {
+    /// Maximum fraction of runtime a candidate may account for
+    /// (the paper uses 2%).
+    pub runtime_threshold: f64,
+    /// Minimum dynamic call count.
+    pub min_calls: u64,
+    /// How many functions to select.
+    pub count: usize,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> SelectionConfig {
+        SelectionConfig {
+            runtime_threshold: 0.02,
+            min_calls: 2,
+            count: 1,
+        }
+    }
+}
+
+fn expr_uses_division(e: &Expr) -> bool {
+    match e {
+        Expr::Bin(op, a, b) => {
+            matches!(op, BinOp::DivS | BinOp::DivU | BinOp::ModS | BinOp::ModU)
+                || expr_uses_division(a)
+                || expr_uses_division(b)
+        }
+        Expr::Cmp(_, a, b) => expr_uses_division(a) || expr_uses_division(b),
+        Expr::Load(a) | Expr::Load8(a) | Expr::Unary(_, a) => expr_uses_division(a),
+        Expr::Call(_, args) | Expr::Syscall(_, args) => args.iter().any(expr_uses_division),
+        _ => false,
+    }
+}
+
+fn stmts_use_division(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::Let(_, e) | Stmt::Expr(e) | Stmt::Return(e) => expr_uses_division(e),
+        Stmt::Store(a, v) | Stmt::Store8(a, v) => expr_uses_division(a) || expr_uses_division(v),
+        Stmt::If(c, a, b) => {
+            expr_uses_division(c) || stmts_use_division(a) || stmts_use_division(b)
+        }
+        Stmt::While(c, b) => expr_uses_division(c) || stmts_use_division(b),
+        Stmt::Break | Stmt::Continue => false,
+    })
+}
+
+/// True if the chain compiler can translate `f`.
+pub fn translatable(f: &Function, module: &Module) -> bool {
+    if f.params.len() > 8 || stmts_use_division(&f.body) {
+        return false;
+    }
+    // No recursion: f must not reach itself in the call graph.
+    let edges = module.call_graph();
+    let mut stack = vec![f.name.clone()];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(cur) = stack.pop() {
+        for (caller, callee) in &edges {
+            if *caller == cur {
+                if *callee == f.name {
+                    return false;
+                }
+                if seen.insert(callee.clone()) {
+                    stack.push(callee.clone());
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Runs the paper's selection algorithm over `module`, profiling one
+/// representative execution with `input` as the program's stdin.
+pub fn select_verification_functions(
+    module: &Module,
+    input: &[u8],
+    cfg: &SelectionConfig,
+) -> Result<Vec<String>, ProtectError> {
+    let img = compile_module(module)?.link()?;
+    let mut vm = Vm::with_options(
+        &img,
+        VmOptions {
+            profile: true,
+            ..VmOptions::default()
+        },
+    );
+    vm.set_input(input);
+    let _ = vm.run();
+    let profiler = vm.profiler().expect("profiling enabled");
+
+    let mut candidates: Vec<(&Function, usize)> = Vec::new();
+    for f in &module.funcs {
+        if f.name == "main" || f.name.starts_with("__plx_") {
+            continue;
+        }
+        let Some(p) = profiler.func(&f.name) else { continue };
+        if p.calls < cfg.min_calls {
+            continue;
+        }
+        if profiler.fraction(&f.name) >= cfg.runtime_threshold {
+            continue;
+        }
+        if !translatable(f, module) {
+            continue;
+        }
+        candidates.push((f, f.op_type_count()));
+    }
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.name.cmp(&b.0.name)));
+    Ok(candidates
+        .into_iter()
+        .take(cfg.count)
+        .map(|(f, _)| f.name.clone())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_compiler::ir::build::*;
+
+    fn sample_module() -> Module {
+        let mut m = Module::new();
+        // small helper: called many times, cheap, diverse ops
+        m.func(Function::new(
+            "checksum_step",
+            ["acc", "b"],
+            vec![ret(xor(
+                add(mul(l("acc"), c(31)), l("b")),
+                shrl(l("acc"), c(7)),
+            ))],
+        ));
+        // hot loop: dominates runtime
+        m.func(Function::new(
+            "hot",
+            ["n"],
+            vec![
+                let_("i", c(0)),
+                let_("s", c(0)),
+                while_(
+                    lt_s(l("i"), l("n")),
+                    vec![
+                        let_("s", call("checksum_step", vec![l("s"), l("i")])),
+                        let_("i", add(l("i"), c(1))),
+                    ],
+                ),
+                ret(l("s")),
+            ],
+        ));
+        // recursive: not translatable
+        m.func(Function::new(
+            "recur",
+            ["n"],
+            vec![if_(
+                le_s(l("n"), c(0)),
+                vec![ret(c(0))],
+                vec![ret(call("recur", vec![sub(l("n"), c(1))]))],
+            )],
+        ));
+        // divider: not translatable
+        m.func(Function::new(
+            "divider",
+            ["a"],
+            vec![ret(divs(l("a"), c(3)))],
+        ));
+        m.func(Function::new(
+            "main",
+            [],
+            vec![
+                expr(call("recur", vec![c(5)])),
+                expr(call("divider", vec![c(30)])),
+                ret(call("hot", vec![c(500)])),
+            ],
+        ));
+        m.entry("main");
+        m
+    }
+
+    #[test]
+    fn translatability_filters() {
+        let m = sample_module();
+        assert!(translatable(m.get_func("checksum_step").unwrap(), &m));
+        assert!(!translatable(m.get_func("recur").unwrap(), &m));
+        assert!(!translatable(m.get_func("divider").unwrap(), &m));
+        // hot calls checksum_step but isn't recursive.
+        assert!(translatable(m.get_func("hot").unwrap(), &m));
+    }
+
+    #[test]
+    fn selection_picks_cheap_diverse_repeated() {
+        let m = sample_module();
+        let picked =
+            select_verification_functions(&m, &[], &SelectionConfig::default()).unwrap();
+        // `hot` dominates runtime (excluded); `checksum_step` is called
+        // 500 times, cheap per call... but it accounts for most of the
+        // time too. With the 2% threshold both may be excluded; loosen
+        // to check mechanics.
+        let relaxed = select_verification_functions(
+            &m,
+            &[],
+            &SelectionConfig {
+                runtime_threshold: 2.0,
+                min_calls: 2,
+                count: 2,
+            },
+        )
+        .unwrap();
+        assert!(relaxed.contains(&"checksum_step".to_owned()));
+        assert!(!relaxed.contains(&"recur".to_owned()));
+        assert!(!relaxed.contains(&"divider".to_owned()));
+        let _ = picked;
+    }
+}

@@ -1,0 +1,48 @@
+//! Tampering primitives — the adversary's toolbox for tests, examples,
+//! and benchmarks (hostile-host model, paper §II-B).
+
+use parallax_image::LinkedImage;
+use parallax_x86::decode;
+
+/// Overwrites `len` bytes at `vaddr` with NOPs (static patching, as in
+/// the paper's Listing 2). Returns false if out of range.
+pub fn nop_range(img: &mut LinkedImage, vaddr: u32, len: usize) -> bool {
+    img.write(vaddr, &vec![0x90; len])
+}
+
+/// NOPs out the single instruction at `vaddr`. Returns the instruction
+/// length, or `None` if it does not decode.
+pub fn nop_instruction(img: &mut LinkedImage, vaddr: u32) -> Option<usize> {
+    let bytes = img.read(vaddr, 16.min((img.text_end() - vaddr) as usize))?;
+    let insn = decode(bytes).ok()?;
+    let len = insn.len as usize;
+    nop_range(img, vaddr, len).then_some(len)
+}
+
+/// Overwrites arbitrary bytes (static patch).
+pub fn patch_bytes(img: &mut LinkedImage, vaddr: u32, bytes: &[u8]) -> bool {
+    img.write(vaddr, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_image::Program;
+    use parallax_x86::{Asm, Reg32};
+
+    #[test]
+    fn nop_instruction_patches_whole_insn() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, 1); // 5 bytes
+        a.ret();
+        let mut p = Program::new();
+        p.add_func("main", a.finish().unwrap());
+        p.set_entry("main");
+        let mut img = p.link().unwrap();
+        let entry = img.entry;
+        let len = nop_instruction(&mut img, entry).unwrap();
+        assert_eq!(len, 5);
+        assert_eq!(img.read(entry, 5).unwrap(), &[0x90; 5]);
+        assert_eq!(img.read(entry + 5, 1).unwrap(), &[0xc3]);
+    }
+}

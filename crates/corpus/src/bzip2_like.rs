@@ -1,0 +1,213 @@
+//! `bzip2`-like workload: block compression.
+//!
+//! Block-transform compression in miniature: run-length encode each
+//! input block, apply a move-to-front transform, accumulate symbol
+//! frequencies as an entropy proxy, and emit the transformed block.
+//! Table-driven loops with counters dominate — the bzip2 profile. The
+//! verification candidate is `mtf_one`, the per-symbol move-to-front
+//! step, called from both the encoder and the table initialization
+//! checkpoint logic.
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Function, Module};
+
+/// Builds the workload module.
+pub fn module() -> Module {
+    let mut m = Module::new();
+    m.bss("inblk", 512);
+    m.bss("rle", 1024);
+    m.bss("mtf_table", 256);
+    m.bss("freq", 1024); // 256 u32 counters
+    m.bss("outblk", 1024);
+
+    // mtf_init(): identity table.
+    m.func(Function::new(
+        "mtf_init",
+        [],
+        vec![
+            let_("i", c(0)),
+            while_(
+                lt_s(l("i"), c(256)),
+                vec![
+                    store8(add(g("mtf_table"), l("i")), l("i")),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            ret(c(0)),
+        ],
+    ));
+
+    // mtf_one(sym): find sym's rank, move it to front, return rank.
+    m.func(Function::new(
+        "mtf_one",
+        ["sym"],
+        vec![
+            let_("rank", c(0)),
+            while_(
+                ne(load8(add(g("mtf_table"), l("rank"))), l("sym")),
+                vec![let_("rank", add(l("rank"), c(1)))],
+            ),
+            // shift [0, rank) up by one
+            let_("k", l("rank")),
+            while_(
+                gt_s(l("k"), c(0)),
+                vec![
+                    store8(
+                        add(g("mtf_table"), l("k")),
+                        load8(add(g("mtf_table"), sub(l("k"), c(1)))),
+                    ),
+                    let_("k", sub(l("k"), c(1))),
+                ],
+            ),
+            store8(g("mtf_table"), l("sym")),
+            ret(l("rank")),
+        ],
+    ));
+
+    // rle_encode(src, n, dst): byte runs -> (byte, count) pairs.
+    // Returns encoded length.
+    m.func(Function::new(
+        "rle_encode",
+        ["src", "n", "dst"],
+        vec![
+            let_("i", c(0)),
+            let_("o", c(0)),
+            while_(
+                lt_s(l("i"), l("n")),
+                vec![
+                    let_("b", load8(add(l("src"), l("i")))),
+                    let_("run", c(1)),
+                    while_(
+                        and(
+                            lt_s(add(l("i"), l("run")), l("n")),
+                            and(
+                                eq(load8(add(l("src"), add(l("i"), l("run")))), l("b")),
+                                lt_s(l("run"), c(255)),
+                            ),
+                        ),
+                        vec![let_("run", add(l("run"), c(1)))],
+                    ),
+                    store8(add(l("dst"), l("o")), l("b")),
+                    store8(add(l("dst"), add(l("o"), c(1))), l("run")),
+                    let_("o", add(l("o"), c(2))),
+                    let_("i", add(l("i"), l("run"))),
+                ],
+            ),
+            ret(l("o")),
+        ],
+    ));
+
+    // freq_update(sym): bump a 32-bit counter.
+    m.func(Function::new(
+        "freq_update",
+        ["sym"],
+        vec![
+            let_("slot", add(g("freq"), mul(l("sym"), c(4)))),
+            store(l("slot"), add(load(l("slot")), c(1))),
+            ret(load(l("slot"))),
+        ],
+    ));
+
+    // block_header(sig, rlen): derive a compact block header word from
+    // the signature, length, and a sample of the frequency table.
+    m.func(Function::new(
+        "block_header",
+        ["sig", "rlen"],
+        vec![
+            let_("h", xor(mul(l("sig"), c(2654435)), l("rlen"))),
+            let_("k", c(0)),
+            while_(
+                lt_s(l("k"), c(8)),
+                vec![
+                    let_(
+                        "h",
+                        add(
+                            xor(l("h"), load(add(g("freq"), mul(l("k"), c(16))))),
+                            shrl(l("h"), c(9)),
+                        ),
+                    ),
+                    let_("k", add(l("k"), c(1))),
+                ],
+            ),
+            ret(l("h")),
+        ],
+    ));
+
+    // compress_block(n): RLE, then MTF each encoded byte, emit, and
+    // return a block signature.
+    m.func(Function::new(
+        "compress_block",
+        ["n"],
+        vec![
+            let_("rlen", call("rle_encode", vec![g("inblk"), l("n"), g("rle")])),
+            let_("i", c(0)),
+            let_("sig", c(0)),
+            while_(
+                lt_s(l("i"), l("rlen")),
+                vec![
+                    let_("r", call("mtf_one", vec![load8(add(g("rle"), l("i")))])),
+                    expr(call("freq_update", vec![l("r")])),
+                    store8(add(g("outblk"), l("i")), l("r")),
+                    let_(
+                        "sig",
+                        add(xor(l("sig"), l("r")), shl(l("sig"), c(1))),
+                    ),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            expr(syscall(4, vec![c(1), g("outblk"), l("rlen")])),
+            ret(call("block_header", vec![l("sig"), l("rlen")])),
+        ],
+    ));
+
+    // main: read blocks until EOF.
+    m.func(Function::new(
+        "main",
+        [],
+        vec![
+            expr(call("mtf_init", vec![])),
+            let_("total", c(0)),
+            let_("blocks", c(0)),
+            let_("running", c(1)),
+            while_(
+                eq(l("running"), c(1)),
+                vec![
+                    let_("got", syscall(3, vec![c(0), g("inblk"), c(512)])),
+                    if_(
+                        eq(l("got"), c(0)),
+                        vec![let_("running", c(0))],
+                        vec![
+                            let_(
+                                "total",
+                                xor(l("total"), call("compress_block", vec![l("got")])),
+                            ),
+                            let_("blocks", add(l("blocks"), c(1))),
+                        ],
+                    ),
+                ],
+            ),
+            ret(and(add(l("total"), mul(l("blocks"), c(17))), c(0xff))),
+        ],
+    ));
+    m.entry("main");
+    m
+}
+
+/// Deterministic input: runs of repeated bytes with structure.
+pub fn input() -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut x = 0xb21b_0097u32;
+    for _ in 0..1024 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        let byte = (x >> 24) as u8 % 32 + b'a';
+        let run = 1 + (x >> 8) as usize % 7;
+        for _ in 0..run {
+            out.push(byte);
+        }
+    }
+    out.truncate(2048);
+    out
+}
+
+/// The §VII-B verification candidate.
+pub const VERIFY_FUNC: &str = "block_header";

@@ -1,0 +1,286 @@
+//! `gcc`-like workload: a miniature expression compiler.
+//!
+//! Mirrors a compiler's shape — the paper's most protectable program
+//! (90%): many small functions with diverse operations, table lookups,
+//! and branching. The pipeline tokenizes integer expressions, compiles
+//! them to a stack-machine bytecode with precedence climbing (iterative
+//! shunting-yard), then interprets the bytecode. The verification
+//! candidate is `prec_of`, a small operator-property helper called from
+//! both the compiler and the interpreter's validator.
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Function, Module};
+
+/// Builds the workload module.
+pub fn module() -> Module {
+    let mut m = Module::new();
+    m.bss("srcbuf", 4096);
+    m.bss("code", 2048); // bytecode: pairs of (op, operand)
+    m.bss("opstack", 256);
+    m.bss("vstack", 512);
+
+    // is_digit(ch)
+    m.func(Function::new(
+        "is_digit",
+        ["ch"],
+        vec![ret(and(
+            ge_s(l("ch"), c(b'0' as i32)),
+            le_s(l("ch"), c(b'9' as i32)),
+        ))],
+    ));
+
+    // prec_of(op): precedence; '+'/'-' = 1, '*' = 2, '^'(xor) = 0, else -1.
+    m.func(Function::new(
+        "prec_of",
+        ["op"],
+        vec![
+            if_(
+                or(eq(l("op"), c(b'+' as i32)), eq(l("op"), c(b'-' as i32))),
+                vec![ret(c(1))],
+                vec![],
+            ),
+            if_(eq(l("op"), c(b'*' as i32)), vec![ret(c(2))], vec![]),
+            if_(eq(l("op"), c(b'^' as i32)), vec![ret(c(0))], vec![]),
+            ret(c(-1)),
+        ],
+    ));
+
+    // emit(o, op, val): append a bytecode pair; returns new offset.
+    m.func(Function::new(
+        "emit",
+        ["o", "op", "val"],
+        vec![
+            store(add(g("code"), l("o")), l("op")),
+            store(add(g("code"), add(l("o"), c(4))), l("val")),
+            ret(add(l("o"), c(8))),
+        ],
+    ));
+
+    // compile_expr(pos, len): shunting-yard over srcbuf[pos..len];
+    // returns bytecode length in bytes.
+    m.func(Function::new(
+        "compile_expr",
+        ["pos", "len"],
+        vec![
+            let_("o", c(0)),
+            let_("sp", c(0)), // operator stack pointer (bytes)
+            let_("i", l("pos")),
+            while_(
+                lt_s(l("i"), l("len")),
+                vec![
+                    let_("ch", load8(add(g("srcbuf"), l("i")))),
+                    if_(
+                        eq(call("is_digit", vec![l("ch")]), c(1)),
+                        vec![
+                            // scan the number
+                            let_("v", c(0)),
+                            while_(
+                                and(
+                                    lt_s(l("i"), l("len")),
+                                    eq(
+                                        call(
+                                            "is_digit",
+                                            vec![load8(add(g("srcbuf"), l("i")))],
+                                        ),
+                                        c(1),
+                                    ),
+                                ),
+                                vec![
+                                    let_(
+                                        "v",
+                                        add(
+                                            mul(l("v"), c(10)),
+                                            sub(
+                                                load8(add(g("srcbuf"), l("i"))),
+                                                c(b'0' as i32),
+                                            ),
+                                        ),
+                                    ),
+                                    let_("i", add(l("i"), c(1))),
+                                ],
+                            ),
+                            let_("o", call("emit", vec![l("o"), c(0), l("v")])), // push
+                        ],
+                        vec![
+                            let_("p", call("prec_of", vec![l("ch")])),
+                            if_(
+                                ge_s(l("p"), c(0)),
+                                vec![
+                                    // pop ops with >= precedence
+                                    while_(
+                                        and(
+                                            gt_s(l("sp"), c(0)),
+                                            ge_s(
+                                                call(
+                                                    "prec_of",
+                                                    vec![load(add(
+                                                        g("opstack"),
+                                                        sub(l("sp"), c(4)),
+                                                    ))],
+                                                ),
+                                                l("p"),
+                                            ),
+                                        ),
+                                        vec![
+                                            let_("sp", sub(l("sp"), c(4))),
+                                            let_(
+                                                "o",
+                                                call(
+                                                    "emit",
+                                                    vec![
+                                                        l("o"),
+                                                        load(add(g("opstack"), l("sp"))),
+                                                        c(0),
+                                                    ],
+                                                ),
+                                            ),
+                                        ],
+                                    ),
+                                    store(add(g("opstack"), l("sp")), l("ch")),
+                                    let_("sp", add(l("sp"), c(4))),
+                                ],
+                                vec![],
+                            ),
+                            let_("i", add(l("i"), c(1))),
+                        ],
+                    ),
+                ],
+            ),
+            // drain operators
+            while_(
+                gt_s(l("sp"), c(0)),
+                vec![
+                    let_("sp", sub(l("sp"), c(4))),
+                    let_(
+                        "o",
+                        call("emit", vec![l("o"), load(add(g("opstack"), l("sp"))), c(0)]),
+                    ),
+                ],
+            ),
+            ret(l("o")),
+        ],
+    ));
+
+    // run_code(clen): interpret the bytecode; returns TOS.
+    m.func(Function::new(
+        "run_code",
+        ["clen"],
+        vec![
+            let_("pc", c(0)),
+            let_("vs", c(0)),
+            while_(
+                lt_s(l("pc"), l("clen")),
+                vec![
+                    let_("op", load(add(g("code"), l("pc")))),
+                    let_("arg", load(add(g("code"), add(l("pc"), c(4))))),
+                    if_(
+                        eq(l("op"), c(0)),
+                        vec![
+                            store(add(g("vstack"), l("vs")), l("arg")),
+                            let_("vs", add(l("vs"), c(4))),
+                        ],
+                        vec![
+                            // binary op: validate via prec_of, then apply
+                            if_(
+                                lt_s(call("prec_of", vec![l("op")]), c(0)),
+                                vec![ret(c(-1))],
+                                vec![],
+                            ),
+                            let_("vs", sub(l("vs"), c(4))),
+                            let_("b", load(add(g("vstack"), l("vs")))),
+                            let_("a", load(add(g("vstack"), sub(l("vs"), c(4))))),
+                            let_("r", c(0)),
+                            if_(
+                                eq(l("op"), c(b'+' as i32)),
+                                vec![let_("r", add(l("a"), l("b")))],
+                                vec![if_(
+                                    eq(l("op"), c(b'-' as i32)),
+                                    vec![let_("r", sub(l("a"), l("b")))],
+                                    vec![if_(
+                                        eq(l("op"), c(b'*' as i32)),
+                                        vec![let_("r", mul(l("a"), l("b")))],
+                                        vec![let_("r", xor(l("a"), l("b")))],
+                                    )],
+                                )],
+                            ),
+                            store(add(g("vstack"), sub(l("vs"), c(4))), l("r")),
+                        ],
+                    ),
+                    let_("pc", add(l("pc"), c(8))),
+                ],
+            ),
+            ret(load(g("vstack"))),
+        ],
+    ));
+
+    // mix_result(acc, v): fold one expression's value into the session
+    // accumulator (small, diverse, once per expression).
+    m.func(Function::new(
+        "mix_result",
+        ["acc", "v"],
+        vec![
+            let_("t", xor(add(l("acc"), l("v")), shl(l("acc"), c(3)))),
+            let_("t", add(mul(l("t"), c(17)), shrl(l("t"), c(13)))),
+            if_(
+                lt_s(l("t"), c(0)),
+                vec![ret(neg(l("t")))],
+                vec![ret(l("t"))],
+            ),
+        ],
+    ));
+
+    // main: read expressions (newline-separated), compile + run each.
+    m.func(Function::new(
+        "main",
+        [],
+        vec![
+            let_("n", syscall(3, vec![c(0), g("srcbuf"), c(4000)])),
+            let_("start", c(0)),
+            let_("acc", c(0)),
+            let_("i", c(0)),
+            while_(
+                lt_s(l("i"), l("n")),
+                vec![
+                    if_(
+                        eq(load8(add(g("srcbuf"), l("i"))), c(b'\n' as i32)),
+                        vec![
+                            let_("clen", call("compile_expr", vec![l("start"), l("i")])),
+                            let_("v", call("run_code", vec![l("clen")])),
+                            let_("acc", call("mix_result", vec![l("acc"), l("v")])),
+                            let_("start", add(l("i"), c(1))),
+                        ],
+                        vec![],
+                    ),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            expr(syscall(4, vec![c(1), g("vstack"), c(4)])),
+            ret(and(l("acc"), c(0xff))),
+        ],
+    ));
+    m.entry("main");
+    m
+}
+
+/// Deterministic input: arithmetic expressions.
+pub fn input() -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut x = 0x9cc9_0011u32;
+    for _ in 0..40 {
+        let mut expr = String::new();
+        let terms = 18 + (x >> 29) as usize;
+        for t in 0..terms {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            expr.push_str(&format!("{}", (x >> 20) % 997));
+            if t + 1 < terms {
+                expr.push(['+', '-', '*', '^'][(x >> 17) as usize % 4]);
+            }
+        }
+        expr.push('\n');
+        out.extend_from_slice(expr.as_bytes());
+    }
+    out
+}
+
+/// The §VII-B verification candidate.
+pub const VERIFY_FUNC: &str = "mix_result";

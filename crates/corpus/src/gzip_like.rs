@@ -1,0 +1,231 @@
+//! `gzip`-like workload: LZ77 compression with a hash-chain matcher.
+//!
+//! Hashing, shifting, and multiplication dominate, as in deflate's hot
+//! loop: a 3-byte rolling hash indexes a chain table; matches are
+//! greedily extended; literals and (distance, length) pairs are
+//! emitted; an Adler-32-style checksum runs over the input. The
+//! verification candidate is `adler_step` — small, called per block
+//! from two places, and arithmetically diverse.
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Function, Module, Stmt};
+
+/// Builds the workload module.
+pub fn module() -> Module {
+    let mut m = Module::new();
+    m.bss("src", 4096);
+    m.bss("head", 1024); // 256-entry hash head table (u32)
+    m.bss("out", 8192);
+    m.bss("adler", 8); // [a, b]
+
+    // hash3(p): hash of 3 bytes at p.
+    m.func(Function::new(
+        "hash3",
+        ["p"],
+        vec![ret(and(
+            mul(
+                xor(
+                    xor(load8(l("p")), shl(load8(add(l("p"), c(1))), c(4))),
+                    shl(load8(add(l("p"), c(2))), c(7)),
+                ),
+                c(0x9e37),
+            ),
+            c(0xff),
+        ))],
+    ));
+
+    // adler_step(pos, len): fold src[pos..pos+len] into the checksum.
+    m.func(Function::new(
+        "adler_step",
+        ["pos", "len"],
+        vec![
+            let_("a", load(g("adler"))),
+            let_("b", load(add(g("adler"), c(4)))),
+            let_("i", c(0)),
+            while_(
+                lt_s(l("i"), l("len")),
+                vec![
+                    let_("a", add(l("a"), load8(add(g("src"), add(l("pos"), l("i")))))),
+                    let_("b", add(l("b"), l("a"))),
+                    // cheap mod-ish folding without division
+                    if_(
+                        ge_u(l("a"), c(65521)),
+                        vec![let_("a", sub(l("a"), c(65521)))],
+                        vec![],
+                    ),
+                    let_("b", and(l("b"), c(0x7fff_ffff))),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            store(g("adler"), l("a")),
+            store(add(g("adler"), c(4)), l("b")),
+            ret(xor(shl(l("b"), c(16)), l("a"))),
+        ],
+    ));
+
+    // match_len(a, b, limit): length of common prefix.
+    m.func(Function::new(
+        "match_len",
+        ["a", "b", "limit"],
+        vec![
+            let_("n", c(0)),
+            while_(
+                and(
+                    lt_s(l("n"), l("limit")),
+                    eq(load8(add(l("a"), l("n"))), load8(add(l("b"), l("n")))),
+                ),
+                vec![let_("n", add(l("n"), c(1)))],
+            ),
+            ret(l("n")),
+        ],
+    ));
+
+    // emit(tag, v1, v2): write a 3-byte token.
+    m.func(Function::new(
+        "emit",
+        ["off", "tag", "v1", "v2"],
+        vec![
+            store8(add(g("out"), l("off")), l("tag")),
+            store8(add(g("out"), add(l("off"), c(1))), l("v1")),
+            store8(add(g("out"), add(l("off"), c(2))), l("v2")),
+            ret(add(l("off"), c(3))),
+        ],
+    ));
+
+    // deflate(n): compress src[0..n]; returns output length.
+    m.func(Function::new(
+        "deflate",
+        ["n"],
+        vec![
+            let_("i", c(0)),
+            let_("o", c(0)),
+            while_(
+                lt_s(l("i"), sub(l("n"), c(3))),
+                vec![
+                    let_("h", call("hash3", vec![add(g("src"), l("i"))])),
+                    let_("cand", load(add(g("head"), mul(l("h"), c(4))))),
+                    store(add(g("head"), mul(l("h"), c(4))), l("i")),
+                    let_("mlen", c(0)),
+                    if_(
+                        and(ne(l("cand"), c(0)), lt_s(l("cand"), l("i"))),
+                        vec![
+                            if_(
+                                lt_s(sub(l("i"), l("cand")), c(255)),
+                                vec![let_(
+                                    "mlen",
+                                    call(
+                                        "match_len",
+                                        vec![
+                                            add(g("src"), l("cand")),
+                                            add(g("src"), l("i")),
+                                            c(100),
+                                        ],
+                                    ),
+                                )],
+                                vec![],
+                            ),
+                        ],
+                        vec![],
+                    ),
+                    if_(
+                        ge_s(l("mlen"), c(4)),
+                        vec![
+                            // match token: (1, dist, len)
+                            let_(
+                                "o",
+                                call(
+                                    "emit",
+                                    vec![l("o"), c(1), sub(l("i"), l("cand")), l("mlen")],
+                                ),
+                            ),
+                            expr(call("adler_step", vec![l("i"), l("mlen")])),
+                            let_("i", add(l("i"), l("mlen"))),
+                        ],
+                        vec![
+                            // literal token: (0, byte, 0)
+                            let_(
+                                "o",
+                                call(
+                                    "emit",
+                                    vec![l("o"), c(0), load8(add(g("src"), l("i"))), c(0)],
+                                ),
+                            ),
+                            expr(call("adler_step", vec![l("i"), c(1)])),
+                            let_("i", add(l("i"), c(1))),
+                        ],
+                    ),
+                ],
+            ),
+            ret(l("o")),
+        ],
+    ));
+
+    // chunk_header(olen, n): compact per-chunk header word mixing the
+    // sizes with the running checksum (cheap, called once per chunk).
+    m.func(Function::new(
+        "chunk_header",
+        ["olen", "n"],
+        vec![
+            let_("a", load(g("adler"))),
+            let_("b", load(add(g("adler"), c(4)))),
+            let_("h", xor(shl(l("b"), c(16)), l("a"))),
+            let_("h", add(mul(l("h"), c(33)), l("olen"))),
+            let_("h", xor(l("h"), shl(l("n"), c(3)))),
+            if_(
+                gt_u(l("h"), c(0x7fff_ffff)),
+                vec![ret(xor(l("h"), c(0x55aa)))],
+                vec![ret(l("h"))],
+            ),
+        ],
+    ));
+
+    // main: deflate the input in four chunks.
+    m.func(Function::new(
+        "main",
+        [],
+        vec![
+            store(g("adler"), c(1)),
+            store(add(g("adler"), c(4)), c(0)),
+            let_("hdr", c(0)),
+            let_("chunk", c(0)),
+            while_(
+                lt_s(l("chunk"), c(4)),
+                vec![
+                    let_("n", syscall(3, vec![c(0), g("src"), c(750)])),
+                    if_(eq(l("n"), c(0)), vec![Stmt::Break], vec![]),
+                    let_("olen", call("deflate", vec![l("n")])),
+                    expr(syscall(4, vec![c(1), g("out"), l("olen")])),
+                    let_(
+                        "hdr",
+                        xor(l("hdr"), call("chunk_header", vec![l("olen"), l("n")])),
+                    ),
+                    let_("chunk", add(l("chunk"), c(1))),
+                ],
+            ),
+            ret(and(add(l("hdr"), l("chunk")), c(0xff))),
+        ],
+    ));
+    m.entry("main");
+    m
+}
+
+/// Deterministic input: compressible text with repeats.
+pub fn input() -> Vec<u8> {
+    let phrases: [&[u8]; 4] = [
+        b"the quick brown fox jumps over the lazy dog. ",
+        b"pack my box with five dozen liquor jugs. ",
+        b"lorem ipsum dolor sit amet, consectetur. ",
+        b"abcabcabcabcabc ",
+    ];
+    let mut out = Vec::new();
+    let mut x = 0x6712_aa01u32;
+    while out.len() < 3000 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        out.extend_from_slice(phrases[(x >> 29) as usize % phrases.len()]);
+    }
+    out.truncate(3000);
+    out
+}
+
+/// The §VII-B verification candidate.
+pub const VERIFY_FUNC: &str = "chunk_header";

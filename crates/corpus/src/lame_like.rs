@@ -1,0 +1,173 @@
+//! `lame`-like workload: fixed-point audio encoding.
+//!
+//! Multiply/shift-heavy DSP in the MP3-encoder mold: synthesize PCM
+//! samples, run a 4-tap FIR filter, quantize with a power-law-ish
+//! scale, and pack the quantized values into a bitstream. The
+//! verification candidate is `quantize` — tiny and extremely fast,
+//! which is exactly what makes the paper's `lame` case interesting:
+//! per-call chain-generation overhead (RC4 key setup) dwarfs such a
+//! short chain.
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Function, Module};
+
+/// Builds the workload module.
+pub fn module() -> Module {
+    let mut m = Module::new();
+    m.bss("pcm", 4096); // i32 samples
+    m.bss("filtered", 4096);
+    m.bss("bits", 2048);
+    m.global(
+        "fir_coef",
+        {
+            let mut v = Vec::new();
+            for c in [3i32, 7, 7, 3] {
+                v.extend_from_slice(&c.to_le_bytes());
+            }
+            v
+        },
+    );
+
+    // synth(n, seed): fill pcm[0..n] with a deterministic waveform.
+    m.func(Function::new(
+        "synth",
+        ["n", "seed"],
+        vec![
+            let_("x", l("seed")),
+            let_("i", c(0)),
+            while_(
+                lt_s(l("i"), l("n")),
+                vec![
+                    let_("x", add(mul(l("x"), c(1664525)), c(1013904223))),
+                    // triangle-ish wave: fold the top bits
+                    let_("s", sub(and(shrl(l("x"), c(20)), c(0xfff)), c(0x800))),
+                    store(add(g("pcm"), mul(l("i"), c(4))), l("s")),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            ret(c(0)),
+        ],
+    ));
+
+    // fir_step(i): 4-tap convolution at sample i (clamped history).
+    m.func(Function::new(
+        "fir_step",
+        ["i"],
+        vec![
+            let_("acc", c(0)),
+            let_("t", c(0)),
+            while_(
+                lt_s(l("t"), c(4)),
+                vec![
+                    let_("j", sub(l("i"), l("t"))),
+                    if_(lt_s(l("j"), c(0)), vec![let_("j", c(0))], vec![]),
+                    let_(
+                        "acc",
+                        add(
+                            l("acc"),
+                            mul(
+                                load(add(g("pcm"), mul(l("j"), c(4)))),
+                                load(add(g("fir_coef"), mul(l("t"), c(4)))),
+                            ),
+                        ),
+                    ),
+                    let_("t", add(l("t"), c(1))),
+                ],
+            ),
+            ret(shra(l("acc"), c(4))),
+        ],
+    ));
+
+    // quantize(v, scale): fixed-point scale + clamp to 8 bits.
+    // Deliberately tiny (the paper's lame chain runs in ~4 µs).
+    m.func(Function::new(
+        "quantize",
+        ["v", "scale"],
+        vec![
+            let_("q", shra(mul(l("v"), l("scale")), c(10))),
+            if_(gt_s(l("q"), c(127)), vec![ret(c(127))], vec![]),
+            if_(lt_s(l("q"), c(-128)), vec![ret(c(-128))], vec![]),
+            ret(l("q")),
+        ],
+    ));
+
+    // pack(off, q): pack one signed sample as a byte.
+    m.func(Function::new(
+        "pack",
+        ["off", "q"],
+        vec![
+            store8(add(g("bits"), l("off")), and(add(l("q"), c(128)), c(0xff))),
+            ret(add(l("off"), c(1))),
+        ],
+    ));
+
+    // encode_frame(n, scale): filter + quantize + pack one frame.
+    m.func(Function::new(
+        "encode_frame",
+        ["n", "scale"],
+        vec![
+            let_("i", c(0)),
+            let_("energy", c(0)),
+            while_(
+                lt_s(l("i"), l("n")),
+                vec![
+                    let_("f", call("fir_step", vec![l("i")])),
+                    store(add(g("filtered"), mul(l("i"), c(4))), l("f")),
+                    let_("q", call("quantize", vec![l("f"), l("scale")])),
+                    expr(call("pack", vec![l("i"), l("q")])),
+                    let_("energy", add(l("energy"), mul(l("q"), l("q")))),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            expr(syscall(4, vec![c(1), g("bits"), l("n")])),
+            ret(l("energy")),
+        ],
+    ));
+
+    // scale_adapt(e, scale): the rate-control step — tiny and run once
+    // per frame. This is the paper's `lame` situation: the chain is so
+    // short that per-call chain generation (RC4 setup) dominates.
+    m.func(Function::new(
+        "scale_adapt",
+        ["e", "scale"],
+        vec![
+            if_(
+                gt_s(l("e"), c(500000)),
+                vec![ret(sub(l("scale"), c(60)))],
+                vec![ret(add(l("scale"), c(35)))],
+            ),
+        ],
+    ));
+
+    // main: several frames at adapting scale.
+    m.func(Function::new(
+        "main",
+        [],
+        vec![
+            let_("frame", c(0)),
+            let_("scale", c(700)),
+            let_("sig", c(0)),
+            while_(
+                lt_s(l("frame"), c(6)),
+                vec![
+                    expr(call("synth", vec![c(256), add(c(77), l("frame"))])),
+                    let_("e", call("encode_frame", vec![c(256), l("scale")])),
+                    let_("scale", call("scale_adapt", vec![l("e"), l("scale")])),
+                    let_("sig", xor(add(l("sig"), l("e")), shrl(l("sig"), c(5)))),
+                    let_("frame", add(l("frame"), c(1))),
+                ],
+            ),
+            ret(and(add(l("sig"), l("scale")), c(0xff))),
+        ],
+    ));
+    m.entry("main");
+    m
+}
+
+/// No stdin input needed (synthetic PCM), but provide a tag anyway.
+pub fn input() -> Vec<u8> {
+    Vec::new()
+}
+
+/// The §VII-B verification candidate.
+pub const VERIFY_FUNC: &str = "scale_adapt";

@@ -1,0 +1,204 @@
+//! The evaluation corpus: six workload programs standing in for the
+//! paper's real-world test set (wget, nginx, bzip2, gzip, gcc, lame).
+//!
+//! Each workload is written in the Parallax IR, compiled by
+//! `parallax-compiler`, runs a deterministic end-to-end job inside the
+//! VM (reading its input from the emulated stdin and writing results to
+//! stdout), and designates the verification-function candidate the
+//! §VII-B selection algorithm picks. The programs were designed with
+//! instruction mixes echoing their namesakes: string scanning (wget),
+//! branchy parsing (nginx), table-driven block transforms (bzip2),
+//! hash-and-shift compression (gzip), a many-small-functions compiler
+//! pipeline (gcc), and multiply-heavy DSP (lame).
+
+#![warn(missing_docs)]
+
+pub mod bzip2_like;
+pub mod randprog;
+pub mod gcc_like;
+pub mod gzip_like;
+pub mod lame_like;
+pub mod nginx_like;
+pub mod wget_like;
+
+use parallax_compiler::Module;
+
+/// One corpus entry.
+pub struct Workload {
+    /// Short name (matches the paper's program).
+    pub name: &'static str,
+    /// Builds the IR module.
+    pub module: fn() -> Module,
+    /// Deterministic program input.
+    pub input: fn() -> Vec<u8>,
+    /// The function the paper's selection algorithm designates.
+    pub verify_func: &'static str,
+}
+
+/// All six workloads in the paper's order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "wget",
+            module: wget_like::module,
+            input: wget_like::input,
+            verify_func: wget_like::VERIFY_FUNC,
+        },
+        Workload {
+            name: "nginx",
+            module: nginx_like::module,
+            input: nginx_like::input,
+            verify_func: nginx_like::VERIFY_FUNC,
+        },
+        Workload {
+            name: "bzip2",
+            module: bzip2_like::module,
+            input: bzip2_like::input,
+            verify_func: bzip2_like::VERIFY_FUNC,
+        },
+        Workload {
+            name: "gzip",
+            module: gzip_like::module,
+            input: gzip_like::input,
+            verify_func: gzip_like::VERIFY_FUNC,
+        },
+        Workload {
+            name: "gcc",
+            module: gcc_like::module,
+            input: gcc_like::input,
+            verify_func: gcc_like::VERIFY_FUNC,
+        },
+        Workload {
+            name: "lame",
+            module: lame_like::module,
+            input: lame_like::input,
+            verify_func: lame_like::VERIFY_FUNC,
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_compiler::compile_module;
+    use parallax_vm::{Exit, Vm, VmOptions};
+
+    fn run(w: &Workload) -> (i32, Vec<u8>, u64) {
+        let img = compile_module(&(w.module)()).unwrap().link().unwrap();
+        let mut vm = Vm::new(&img);
+        vm.set_input(&(w.input)());
+        match vm.run() {
+            Exit::Exited(code) => (code, vm.take_output(), vm.cycles()),
+            other => panic!("{} did not exit cleanly: {other} ", w.name),
+        }
+    }
+
+    #[test]
+    fn all_workloads_run_deterministically() {
+        for w in all() {
+            let (code1, out1, cyc1) = run(&w);
+            let (code2, out2, cyc2) = run(&w);
+            assert_eq!(code1, code2, "{} exit code deterministic", w.name);
+            assert_eq!(out1, out2, "{} output deterministic", w.name);
+            assert_eq!(cyc1, cyc2, "{} cycles deterministic", w.name);
+            assert!(!out1.is_empty(), "{} produces output", w.name);
+            assert!(
+                cyc1 > 50_000,
+                "{} must do non-trivial work ({} cycles)",
+                w.name,
+                cyc1
+            );
+        }
+    }
+
+    #[test]
+    fn verify_candidates_exist_and_are_translatable() {
+        for w in all() {
+            let m = (w.module)();
+            let f = m
+                .get_func(w.verify_func)
+                .unwrap_or_else(|| panic!("{}: {} missing", w.name, w.verify_func));
+            assert!(
+                parallax_core::select::translatable(f, &m),
+                "{}: {} must be chain-translatable",
+                w.name,
+                w.verify_func
+            );
+        }
+    }
+
+    #[test]
+    fn verify_candidates_called_repeatedly_and_cheap() {
+        for w in all() {
+            let img = compile_module(&(w.module)()).unwrap().link().unwrap();
+            let mut vm = Vm::with_options(
+                &img,
+                VmOptions {
+                    profile: true,
+                    ..VmOptions::default()
+                },
+            );
+            vm.set_input(&(w.input)());
+            assert!(matches!(vm.run(), Exit::Exited(_)));
+            let p = vm.profiler().unwrap();
+            let prof = p.func(w.verify_func).unwrap();
+            assert!(
+                prof.calls >= 2,
+                "{}: {} called {} times",
+                w.name,
+                w.verify_func,
+                prof.calls
+            );
+            let frac = p.fraction(w.verify_func);
+            assert!(
+                frac < 0.02,
+                "{}: {} accounts for {:.1}% of runtime",
+                w.name,
+                w.verify_func,
+                frac * 100.0
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod interp_differential {
+    use super::*;
+    use parallax_compiler::{compile_module, Interp};
+    use parallax_vm::{Exit, Vm};
+
+    /// Every workload must behave identically under the reference IR
+    /// interpreter and the compiled x86 running in the VM.
+    #[test]
+    fn workloads_match_reference_interpreter() {
+        for w in all() {
+            let m = (w.module)();
+            let mut interp = Interp::new(&m);
+            interp.input = (w.input)().into();
+            let spec = interp
+                .run()
+                .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", w.name));
+
+            let img = compile_module(&m).unwrap().link().unwrap();
+            let mut vm = Vm::new(&img);
+            vm.set_input(&(w.input)());
+            assert_eq!(
+                vm.run(),
+                Exit::Exited(spec),
+                "{}: compiled exit differs from interpreter",
+                w.name
+            );
+            assert_eq!(
+                vm.take_output(),
+                interp.output,
+                "{}: output differs from interpreter",
+                w.name
+            );
+        }
+    }
+}

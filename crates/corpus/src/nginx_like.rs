@@ -1,0 +1,272 @@
+//! `nginx`-like workload: request parsing and routing loop.
+//!
+//! Branch-heavy code in the style of an HTTP server's hot path: read
+//! request lines, classify the method, hash and route the path against
+//! a location table, update per-route counters, and emit a short
+//! response line per request. The verification candidate is
+//! `hash_path`, a djb2-style string hash called once per request from
+//! two sites (routing and logging).
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Function, Module};
+
+/// Builds the workload module.
+pub fn module() -> Module {
+    let mut m = Module::new();
+    m.bss("line", 256);
+    m.bss("routes", 64); // 8 buckets x (hits)
+    m.global(
+        "resp_ok",
+        b"200\n".to_vec(),
+    );
+    m.global("resp_notfound", b"404\n".to_vec());
+    m.global("resp_bad", b"400\n".to_vec());
+
+    // hash_path(ptr, len): djb2 with a twist (xor fold).
+    m.func(Function::new(
+        "hash_path",
+        ["ptr", "len"],
+        vec![
+            let_("h", c(5381)),
+            let_("i", c(0)),
+            while_(
+                lt_s(l("i"), l("len")),
+                vec![
+                    let_(
+                        "h",
+                        xor(
+                            add(mul(l("h"), c(33)), load8(add(l("ptr"), l("i")))),
+                            shrl(l("h"), c(15)),
+                        ),
+                    ),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            ret(l("h")),
+        ],
+    ));
+
+    // read_line(buf, cap): read until '\n' (exclusive); returns length,
+    // or -1 on EOF.
+    m.func(Function::new(
+        "read_line",
+        ["buf", "cap"],
+        vec![
+            let_("n", c(0)),
+            while_(
+                lt_s(l("n"), l("cap")),
+                vec![
+                    let_("got", syscall(3, vec![c(0), add(l("buf"), l("n")), c(1)])),
+                    if_(eq(l("got"), c(0)), vec![ret(c(-1))], vec![]),
+                    if_(
+                        eq(load8(add(l("buf"), l("n"))), c(b'\n' as i32)),
+                        vec![ret(l("n"))],
+                        vec![],
+                    ),
+                    let_("n", add(l("n"), c(1))),
+                ],
+            ),
+            ret(l("n")),
+        ],
+    ));
+
+    // method_of(buf): 1=GET, 2=POST, 3=HEAD, 0=unknown.
+    m.func(Function::new(
+        "method_of",
+        ["buf"],
+        vec![
+            let_("c0", load8(l("buf"))),
+            if_(
+                eq(l("c0"), c(b'G' as i32)),
+                vec![if_(
+                    eq(load8(add(l("buf"), c(1))), c(b'E' as i32)),
+                    vec![ret(c(1))],
+                    vec![ret(c(0))],
+                )],
+                vec![],
+            ),
+            if_(
+                eq(l("c0"), c(b'P' as i32)),
+                vec![ret(c(2))],
+                vec![],
+            ),
+            if_(
+                eq(l("c0"), c(b'H' as i32)),
+                vec![ret(c(3))],
+                vec![],
+            ),
+            ret(c(0)),
+        ],
+    ));
+
+    // path_range(buf, len): index of the path start (after first space),
+    // packed with the path length: (start << 16) | plen. 0 if absent.
+    m.func(Function::new(
+        "path_range",
+        ["buf", "len"],
+        vec![
+            let_("i", c(0)),
+            // find first space
+            while_(
+                and(lt_s(l("i"), l("len")), ne(load8(add(l("buf"), l("i"))), c(32))),
+                vec![let_("i", add(l("i"), c(1)))],
+            ),
+            if_(ge_s(l("i"), l("len")), vec![ret(c(0))], vec![]),
+            let_("start", add(l("i"), c(1))),
+            let_("j", l("start")),
+            while_(
+                and(lt_s(l("j"), l("len")), ne(load8(add(l("buf"), l("j"))), c(32))),
+                vec![let_("j", add(l("j"), c(1)))],
+            ),
+            ret(or(shl(l("start"), c(16)), sub(l("j"), l("start")))),
+        ],
+    ));
+
+    // route(hash): bucket index 0..7; bumps the counter.
+    m.func(Function::new(
+        "route",
+        ["hash"],
+        vec![
+            let_("b", and(l("hash"), c(7))),
+            let_("slot", add(g("routes"), mul(l("b"), c(4)))),
+            store(l("slot"), add(load(l("slot")), c(1))),
+            ret(l("b")),
+        ],
+    ));
+
+    // handle(len): process one request line in `line`; returns status
+    // class (2=ok, 4=client error).
+    m.func(Function::new(
+        "handle",
+        ["len"],
+        vec![
+            let_("meth", call("method_of", vec![g("line")])),
+            if_(
+                eq(l("meth"), c(0)),
+                vec![
+                    expr(syscall(4, vec![c(1), g("resp_bad"), c(4)])),
+                    ret(c(4)),
+                ],
+                vec![],
+            ),
+            let_("pr", call("path_range", vec![g("line"), l("len")])),
+            if_(
+                eq(l("pr"), c(0)),
+                vec![
+                    expr(syscall(4, vec![c(1), g("resp_bad"), c(4)])),
+                    ret(c(4)),
+                ],
+                vec![],
+            ),
+            let_("pp", add(g("line"), shrl(l("pr"), c(16)))),
+            let_("plen", and(l("pr"), c(0xffff))),
+            let_("h", call("hash_path", vec![l("pp"), l("plen")])),
+            let_("bucket", call("route", vec![l("h")])),
+            // "virtual 404": buckets 6,7 are not configured
+            if_(
+                ge_s(l("bucket"), c(6)),
+                vec![
+                    expr(syscall(4, vec![c(1), g("resp_notfound"), c(4)])),
+                    ret(c(4)),
+                ],
+                vec![
+                    expr(syscall(4, vec![c(1), g("resp_ok"), c(4)])),
+                    ret(c(2)),
+                ],
+            ),
+        ],
+    ));
+
+    // rotate_log(seed): fold the route counters into a log signature
+    // (periodic maintenance — cheap, diverse, rarely called).
+    m.func(Function::new(
+        "rotate_log",
+        ["seed"],
+        vec![
+            let_("sig", l("seed")),
+            let_("b", c(0)),
+            while_(
+                lt_s(l("b"), c(8)),
+                vec![
+                    let_("hits", load(add(g("routes"), mul(l("b"), c(4))))),
+                    let_(
+                        "sig",
+                        xor(add(mul(l("sig"), c(31)), l("hits")), shrl(l("sig"), c(11))),
+                    ),
+                    let_("b", add(l("b"), c(1))),
+                ],
+            ),
+            ret(l("sig")),
+        ],
+    ));
+
+    // main: serve until EOF; exit code mixes served counts and a log
+    // hash of the last path.
+    m.func(Function::new(
+        "main",
+        [],
+        vec![
+            let_("ok", c(0)),
+            let_("bad", c(0)),
+            let_("served", c(0)),
+            let_("log", c(0x1dea)),
+            let_("running", c(1)),
+            while_(
+                eq(l("running"), c(1)),
+                vec![
+                    let_("len", call("read_line", vec![g("line"), c(255)])),
+                    if_(
+                        lt_s(l("len"), c(0)),
+                        vec![let_("running", c(0))],
+                        vec![
+                            let_("cls", call("handle", vec![l("len")])),
+                            if_(
+                                eq(l("cls"), c(2)),
+                                vec![let_("ok", add(l("ok"), c(1)))],
+                                vec![let_("bad", add(l("bad"), c(1)))],
+                            ),
+                            let_("served", add(l("served"), c(1))),
+                            if_(
+                                eq(and(l("served"), c(63)), c(0)),
+                                vec![let_("log", call("rotate_log", vec![l("log")]))],
+                                vec![],
+                            ),
+                        ],
+                    ),
+                ],
+            ),
+            let_("log", call("rotate_log", vec![l("log")])),
+            // log-style second use of hash_path over the whole line buffer
+            let_("loghash", call("hash_path", vec![g("line"), c(16)])),
+            ret(and(
+                add(add(add(mul(l("ok"), c(8)), l("bad")), l("loghash")), l("log")),
+                c(0xff),
+            )),
+        ],
+    ));
+    m.entry("main");
+    m
+}
+
+/// Deterministic input: a stream of request lines.
+pub fn input() -> Vec<u8> {
+    let mut out = Vec::new();
+    let methods = ["GET", "POST", "HEAD", "BREW"];
+    let paths = [
+        "/", "/index.html", "/api/v1/items", "/static/app.js", "/login",
+        "/metrics", "/health", "/favicon.ico", "/api/v1/users/42",
+    ];
+    let mut x = 0xc0ffee11u32;
+    for i in 0..240 {
+        x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+        let meth = methods[(x >> 28) as usize % methods.len()];
+        let path = paths[(x >> 20) as usize % paths.len()];
+        out.extend_from_slice(
+            format!("{meth} {path} HTTP/1.{}\n", i % 2).as_bytes(),
+        );
+    }
+    out
+}
+
+/// The §VII-B verification candidate.
+pub const VERIFY_FUNC: &str = "rotate_log";

@@ -1,0 +1,241 @@
+//! `wget`-like workload: fetch-and-save loop.
+//!
+//! Mirrors the structure of a URL fetcher: parse a request line from
+//! the input stream, emit a synthetic HTTP request, locate the header
+//! terminator in the response, copy the body to output while updating
+//! a rolling checksum. String/byte processing dominates, as in the
+//! original. The natural verification candidate is `sum_step`, a small
+//! checksum helper invoked per body byte block — called repeatedly,
+//! cheap, and operation-diverse.
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Function, Module};
+
+/// Block size processed per `sum_step` call.
+const BLOCK: i32 = 16;
+
+/// Builds the workload module.
+pub fn module() -> Module {
+    let mut m = Module::new();
+    m.bss("reqbuf", 128);
+    m.bss("response", 4096);
+    m.bss("body", 4096);
+    m.bss("counters", 32);
+
+    // sum_step(acc, ptr): fold BLOCK bytes into acc (rolling checksum).
+    m.func(Function::new(
+        "sum_step",
+        ["acc", "ptr"],
+        vec![
+            let_("i", c(0)),
+            while_(
+                lt_s(l("i"), c(BLOCK)),
+                vec![
+                    let_(
+                        "acc",
+                        xor(
+                            add(mul(l("acc"), c(33)), load8(add(l("ptr"), l("i")))),
+                            shrl(l("acc"), c(27)),
+                        ),
+                    ),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            ret(l("acc")),
+        ],
+    ));
+
+    // write_str(ptr, len): emit bytes.
+    m.func(Function::new(
+        "write_str",
+        ["ptr", "len"],
+        vec![ret(syscall(4, vec![c(1), l("ptr"), l("len")]))],
+    ));
+
+    // read_into(ptr, len) -> bytes read.
+    m.func(Function::new(
+        "read_into",
+        ["ptr", "len"],
+        vec![ret(syscall(3, vec![c(0), l("ptr"), l("len")]))],
+    ));
+
+    // build_request(host_char): fill reqbuf with "GET /<c> HTTP/1.0\n".
+    m.func(Function::new(
+        "build_request",
+        ["tag"],
+        vec![
+            store8(g("reqbuf"), c(b'G' as i32)),
+            store8(add(g("reqbuf"), c(1)), c(b'E' as i32)),
+            store8(add(g("reqbuf"), c(2)), c(b'T' as i32)),
+            store8(add(g("reqbuf"), c(3)), c(b' ' as i32)),
+            store8(add(g("reqbuf"), c(4)), c(b'/' as i32)),
+            store8(add(g("reqbuf"), c(5)), l("tag")),
+            store8(add(g("reqbuf"), c(6)), c(b'\n' as i32)),
+            ret(c(7)),
+        ],
+    ));
+
+    // parse_status(ptr): parse the 3-digit status from "HTTP/x.y NNN".
+    m.func(Function::new(
+        "parse_status",
+        ["ptr"],
+        vec![
+            let_("i", c(0)),
+            // skip to first space
+            while_(
+                and(lt_s(l("i"), c(12)), ne(load8(add(l("ptr"), l("i"))), c(32))),
+                vec![let_("i", add(l("i"), c(1)))],
+            ),
+            let_("i", add(l("i"), c(1))),
+            let_("code", c(0)),
+            let_("d", c(0)),
+            while_(
+                lt_s(l("d"), c(3)),
+                vec![
+                    let_(
+                        "code",
+                        add(
+                            mul(l("code"), c(10)),
+                            sub(load8(add(l("ptr"), add(l("i"), l("d")))), c(48)),
+                        ),
+                    ),
+                    let_("d", add(l("d"), c(1))),
+                ],
+            ),
+            // sanity fold: 0 if out of range
+            if_(
+                or(lt_s(l("code"), c(100)), gt_s(l("code"), c(599))),
+                vec![ret(c(0))],
+                vec![ret(l("code"))],
+            ),
+        ],
+    ));
+
+    // find_header_end(ptr, len): first index after a blank line
+    // (double '\n'), or len.
+    m.func(Function::new(
+        "find_header_end",
+        ["ptr", "len"],
+        vec![
+            let_("i", c(1)),
+            while_(
+                lt_s(l("i"), l("len")),
+                vec![
+                    if_(
+                        and(
+                            eq(load8(add(l("ptr"), l("i"))), c(b'\n' as i32)),
+                            eq(load8(add(l("ptr"), sub(l("i"), c(1)))), c(b'\n' as i32)),
+                        ),
+                        vec![ret(add(l("i"), c(1)))],
+                        vec![],
+                    ),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            ret(l("len")),
+        ],
+    ));
+
+    // copy_body(src, dst, len): byte copy, returns bytes copied.
+    m.func(Function::new(
+        "copy_body",
+        ["src", "dst", "len"],
+        vec![
+            let_("i", c(0)),
+            while_(
+                lt_s(l("i"), l("len")),
+                vec![
+                    store8(add(l("dst"), l("i")), load8(add(l("src"), l("i")))),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            ret(l("i")),
+        ],
+    ));
+
+    // fetch_one(tag): one request/response round trip; returns body sum.
+    m.func(Function::new(
+        "fetch_one",
+        ["tag"],
+        vec![
+            let_("rlen", call("build_request", vec![l("tag")])),
+            expr(call("write_str", vec![g("reqbuf"), l("rlen")])),
+            let_("got", call("read_into", vec![g("response"), c(4096)])),
+            if_(eq(l("got"), c(0)), vec![ret(c(0))], vec![]),
+            let_("status", call("parse_status", vec![g("response")])),
+            if_(ne(l("status"), c(200)), vec![ret(c(0))], vec![]),
+            let_(
+                "hdr",
+                call("find_header_end", vec![g("response"), l("got")]),
+            ),
+            let_("blen", sub(l("got"), l("hdr"))),
+            expr(call(
+                "copy_body",
+                vec![add(g("response"), l("hdr")), g("body"), l("blen")],
+            )),
+            // checksum the body block by block
+            let_("acc", c(0x1505)),
+            let_("off", c(0)),
+            while_(
+                lt_s(l("off"), l("blen")),
+                vec![
+                    let_("acc", call("sum_step", vec![l("acc"), add(g("body"), l("off"))])),
+                    let_("off", add(l("off"), c(BLOCK))),
+                ],
+            ),
+            // count fetches
+            store(g("counters"), add(load(g("counters")), c(1))),
+            ret(l("acc")),
+        ],
+    ));
+
+    // main: fetch several "urls", combine checksums.
+    m.func(Function::new(
+        "main",
+        [],
+        vec![
+            let_("total", c(0)),
+            let_("t", c(b'a' as i32)),
+            while_(
+                lt_s(l("t"), c(b'a' as i32 + 8)),
+                vec![
+                    let_("total", xor(l("total"), call("fetch_one", vec![l("t")]))),
+                    let_("t", add(l("t"), c(1))),
+                ],
+            ),
+            // exit code: fold to 8 bits, offset by fetch count
+            ret(and(
+                add(l("total"), load(g("counters"))),
+                c(0xff),
+            )),
+        ],
+    ));
+    m.entry("main");
+    m
+}
+
+/// Deterministic input: eight synthetic HTTP responses.
+pub fn input() -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..8u32 {
+        let mut resp = format!(
+            "HTTP/1.0 200 OK\nServer: plx/{i}\nContent-Type: text/plain\n\n"
+        )
+        .into_bytes();
+        // Body: pseudo-random printable bytes.
+        let mut x = 0x1234_5678u32 ^ (i * 0x9e37);
+        let body_len = 3300 + (i * 137) as usize % 700;
+        for _ in 0..body_len {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            resp.push(b' ' + (x >> 25) as u8 % 90);
+        }
+        while resp.len() < 4096 {
+            resp.push(b'.');
+        }
+        out.extend_from_slice(&resp[..4096]);
+    }
+    out
+}
+
+/// The §VII-B verification candidate.
+pub const VERIFY_FUNC: &str = "parse_status";

@@ -1,0 +1,68 @@
+//! ROP gadget discovery and semantic classification for Parallax.
+//!
+//! The pipeline has three stages:
+//!
+//! 1. [`mod@scan`] — find every return-terminated instruction sequence in
+//!    the text section, at aligned and unaligned offsets (≤ 6
+//!    instructions, per the paper's §VII-A);
+//! 2. [`mod@classify`] — abstract interpretation proposing typed effects
+//!    (the paper's gadget types, extended with operand registers as
+//!    §V-B requires);
+//! 3. [`mod@validate`] — concrete differential execution in a probe VM
+//!    confirming each proposed effect before the gadget enters the
+//!    [`GadgetMap`] used by the verification-code compiler.
+
+//! ```
+//! use parallax_image::Program;
+//! use parallax_x86::{Asm, Reg32};
+//! use parallax_gadgets::{build_map, TypeKey};
+//!
+//! let mut p = Program::new();
+//! let mut a = Asm::new();
+//! a.mov_ri(Reg32::Eax, 1);
+//! a.int(0x80);
+//! a.pop_r(Reg32::Ecx);   // pop ecx; ret — a LoadConst gadget
+//! a.ret();
+//! p.add_func("main", a.finish().unwrap());
+//! p.set_entry("main");
+//! let img = p.link().unwrap();
+//!
+//! let map = build_map(&img);
+//! assert!(!map.lookup(TypeKey::LoadConst(Reg32::Ecx)).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod mapping;
+pub mod scan;
+pub mod types;
+pub mod validate;
+
+pub use classify::{classify, Proposal};
+pub use mapping::{GadgetMap, TypeKey};
+pub use scan::{scan, Candidate, MAX_GADGET_BYTES, MAX_GADGET_INSNS};
+pub use types::{Effect, GBinOp, Gadget};
+pub use validate::{validate, validate_with};
+
+use parallax_image::LinkedImage;
+
+/// Runs the full pipeline over an image's text section: scan, classify,
+/// and concretely validate. Returns only usable gadgets.
+pub fn find_gadgets(img: &LinkedImage) -> Vec<Gadget> {
+    let mut probe = parallax_vm::Vm::new(img);
+    let mut out = Vec::new();
+    for cand in scan(&img.text, img.text_base) {
+        if let Some(proposal) = classify(&cand) {
+            if let Some(g) = validate_with(&mut probe, &proposal) {
+                out.push(g);
+            }
+        }
+    }
+    out
+}
+
+/// Like [`find_gadgets`], but returns the typed mapping directly.
+pub fn build_map(img: &LinkedImage) -> GadgetMap {
+    GadgetMap::new(find_gadgets(img))
+}

@@ -1,0 +1,177 @@
+//! The gadget mapping: typed lookup over a gadget collection.
+//!
+//! This is Parallax's "gadget mapping" (§III): the verification-code
+//! compiler asks for gadgets by type (operation + operand registers)
+//! and receives all known implementations, so it can prefer gadgets
+//! that overlap protected instructions (§III step 4) or choose
+//! randomly among equivalents (§V-B probabilistic chains).
+
+use std::collections::HashMap;
+
+use parallax_x86::{Reg32, ShiftOp};
+
+use crate::types::{Effect, GBinOp, Gadget};
+
+/// A type key: an [`Effect`] with position details (slot indices,
+/// displacements) erased.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeKey {
+    /// Constant load into a register.
+    LoadConst(Reg32),
+    /// Register move.
+    MovReg(Reg32, Reg32),
+    /// Binary operation.
+    Binary(GBinOp, Reg32, Reg32),
+    /// Negation.
+    Neg(Reg32),
+    /// Bitwise NOT.
+    Not(Reg32),
+    /// Memory load (dst, addr-base).
+    LoadMem(Reg32, Reg32),
+    /// Memory store (addr-base, src).
+    StoreMem(Reg32, Reg32),
+    /// Memory add-in-place (addr-base, src).
+    AddMem(Reg32, Reg32),
+    /// Stack pivot.
+    PopEsp,
+    /// `esp += src`.
+    AddEsp(Reg32),
+    /// `int 0x80`.
+    Syscall,
+    /// Shift by `cl`.
+    ShiftCl(ShiftOp, Reg32),
+    /// Chain NOP.
+    Nop,
+}
+
+impl TypeKey {
+    /// The key under which an effect is indexed.
+    pub fn of(e: &Effect) -> Option<TypeKey> {
+        Some(match *e {
+            Effect::LoadConst { dst, .. } => TypeKey::LoadConst(dst),
+            Effect::MovReg { dst, src } => TypeKey::MovReg(dst, src),
+            Effect::Binary { op, dst, src } => TypeKey::Binary(op, dst, src),
+            Effect::Neg { dst } => TypeKey::Neg(dst),
+            Effect::Not { dst } => TypeKey::Not(dst),
+            Effect::LoadMem { dst, addr, .. } => TypeKey::LoadMem(dst, addr),
+            Effect::StoreMem { addr, src, .. } => TypeKey::StoreMem(addr, src),
+            Effect::AddMem { addr, src, .. } => TypeKey::AddMem(addr, src),
+            Effect::PopEsp => TypeKey::PopEsp,
+            Effect::AddEsp { src } => TypeKey::AddEsp(src),
+            Effect::Syscall => TypeKey::Syscall,
+            Effect::ShiftCl { op, dst } => TypeKey::ShiftCl(op, dst),
+            Effect::Nop => TypeKey::Nop,
+            Effect::MovLow8 { .. } => return None, // not indexed for chains
+        })
+    }
+}
+
+/// A typed index over a gadget arena.
+#[derive(Debug, Clone, Default)]
+pub struct GadgetMap {
+    gadgets: Vec<Gadget>,
+    by_type: HashMap<TypeKey, Vec<usize>>,
+}
+
+impl GadgetMap {
+    /// Builds the mapping from a gadget collection.
+    pub fn new(gadgets: Vec<Gadget>) -> GadgetMap {
+        let mut by_type: HashMap<TypeKey, Vec<usize>> = HashMap::new();
+        for (i, g) in gadgets.iter().enumerate() {
+            for e in &g.effects {
+                if let Some(key) = TypeKey::of(e) {
+                    by_type.entry(key).or_default().push(i);
+                }
+            }
+        }
+        GadgetMap { gadgets, by_type }
+    }
+
+    /// All gadgets.
+    pub fn gadgets(&self) -> &[Gadget] {
+        &self.gadgets
+    }
+
+    /// The gadget at arena index `i`.
+    pub fn get(&self, i: usize) -> &Gadget {
+        &self.gadgets[i]
+    }
+
+    /// Arena indices of gadgets implementing `key`.
+    pub fn lookup(&self, key: TypeKey) -> &[usize] {
+        self.by_type
+            .get(&key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct type keys available.
+    pub fn type_count(&self) -> usize {
+        self.by_type.len()
+    }
+
+    /// Iterates over `(key, implementing gadget count)` pairs.
+    pub fn type_histogram(&self) -> impl Iterator<Item = (&TypeKey, usize)> {
+        self.by_type.iter().map(|(k, v)| (k, v.len()))
+    }
+
+    /// Finds the effect of gadget `i` matching `key` (recovering slot
+    /// indices and displacements the key erased).
+    pub fn effect_of(&self, i: usize, key: TypeKey) -> Option<&Effect> {
+        self.gadgets[i]
+            .effects
+            .iter()
+            .find(|e| TypeKey::of(e) == Some(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(vaddr: u32, effects: Vec<Effect>) -> Gadget {
+        Gadget {
+            vaddr,
+            len: 2,
+            far: false,
+            slots: 1,
+            effects,
+            clobbers: vec![],
+            mem_preconditions: vec![],
+            disasm: String::new(),
+            insn_count: 2,
+        }
+    }
+
+    #[test]
+    fn lookup_by_type() {
+        let map = GadgetMap::new(vec![
+            g(
+                0x1000,
+                vec![Effect::LoadConst {
+                    dst: Reg32::Eax,
+                    slot: 0,
+                }],
+            ),
+            g(
+                0x2000,
+                vec![
+                    Effect::LoadConst {
+                        dst: Reg32::Eax,
+                        slot: 1,
+                    },
+                    Effect::LoadConst {
+                        dst: Reg32::Ecx,
+                        slot: 0,
+                    },
+                ],
+            ),
+        ]);
+        assert_eq!(map.lookup(TypeKey::LoadConst(Reg32::Eax)).len(), 2);
+        assert_eq!(map.lookup(TypeKey::LoadConst(Reg32::Ecx)), &[1]);
+        assert!(map.lookup(TypeKey::PopEsp).is_empty());
+        let e = map.effect_of(1, TypeKey::LoadConst(Reg32::Ecx)).unwrap();
+        assert!(matches!(e, Effect::LoadConst { slot: 0, .. }));
+        assert_eq!(map.type_count(), 2);
+    }
+}

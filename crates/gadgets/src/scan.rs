@@ -1,0 +1,201 @@
+//! The gadget scanner.
+//!
+//! Scans text-section bytes for return-terminated instruction
+//! sequences, aligned or not: for every `ret`/`retf` opcode byte, every
+//! decode that starts up to [`MAX_GADGET_BYTES`] earlier and lands
+//! exactly on the return is a candidate. Following the paper (§VII-A),
+//! candidates longer than six instructions are discarded, as are
+//! sequences containing control flow before the final return.
+
+use parallax_x86::insn::{Insn, Mnemonic};
+use parallax_x86::{decode, Operand};
+
+/// Maximum gadget length in instructions, including the return
+/// (the paper limits considered gadgets to six instructions).
+pub const MAX_GADGET_INSNS: usize = 6;
+
+/// Maximum distance (bytes) scanned back from a return opcode.
+pub const MAX_GADGET_BYTES: usize = 24;
+
+/// A raw candidate: decoded instructions ending in a return.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Virtual address of the first instruction.
+    pub vaddr: u32,
+    /// The instruction sequence; the last element is the return.
+    pub insns: Vec<Insn>,
+    /// Total byte length.
+    pub len: u32,
+    /// Terminates in `retf`.
+    pub far: bool,
+}
+
+impl Candidate {
+    /// Renders the candidate as `insn; insn; ...`.
+    pub fn disasm(&self) -> String {
+        self.insns
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+}
+
+/// True if `insn` may appear *before* the final return of a gadget.
+fn allowed_interior(insn: &Insn) -> bool {
+    !matches!(
+        insn.mnemonic,
+        Mnemonic::Jmp
+            | Mnemonic::JmpInd
+            | Mnemonic::Jcc(_)
+            | Mnemonic::Call
+            | Mnemonic::CallInd
+            | Mnemonic::Ret
+            | Mnemonic::Retf
+            | Mnemonic::Int3
+            | Mnemonic::Hlt
+    )
+}
+
+fn is_plain_ret(insn: &Insn) -> Option<bool> {
+    match insn.mnemonic {
+        // `ret imm16` releases caller stack; unusable for chains.
+        Mnemonic::Ret if insn.ops.is_empty() => Some(false),
+        Mnemonic::Retf if insn.ops.is_empty() => Some(true),
+        _ => None,
+    }
+}
+
+/// Scans `text` (mapped at `base`) for gadget candidates.
+///
+/// Duplicate sequences at different addresses are all reported; the
+/// classifier deduplicates by effect, not by bytes, since Parallax
+/// cares about *where* a gadget lives (which instructions it overlaps).
+pub fn scan(text: &[u8], base: u32) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (i, &b) in text.iter().enumerate() {
+        if b != 0xc3 && b != 0xcb {
+            continue;
+        }
+        // Candidate starts: walk back.
+        for back in 1..=MAX_GADGET_BYTES.min(i) {
+            let start = i - back;
+            if let Some(c) = try_sequence(text, base, start, i) {
+                out.push(c);
+            }
+        }
+        // The bare return itself is also a (trivial) candidate, useful
+        // as a chain NOP.
+        if let Some(c) = try_sequence(text, base, i, i) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Attempts to decode a straight-line sequence covering
+/// `[start..=ret_at]` whose final instruction is the return at
+/// `ret_at`.
+fn try_sequence(text: &[u8], base: u32, start: usize, ret_at: usize) -> Option<Candidate> {
+    let mut insns = Vec::new();
+    let mut pos = start;
+    while pos <= ret_at {
+        let insn = decode(&text[pos..]).ok()?;
+        let next = pos + insn.len as usize;
+        if pos == ret_at {
+            let far = is_plain_ret(&insn)?;
+            insns.push(insn);
+            if insns.len() > MAX_GADGET_INSNS {
+                return None;
+            }
+            return Some(Candidate {
+                vaddr: base + start as u32,
+                insns,
+                len: (ret_at + 1 - start) as u32,
+                far,
+            });
+        }
+        if !allowed_interior(&insn) || insns.len() + 1 > MAX_GADGET_INSNS {
+            return None;
+        }
+        // The sequence must land exactly on the return byte.
+        if next > ret_at {
+            return None;
+        }
+        insns.push(insn);
+        pos = next;
+    }
+    None
+}
+
+/// Convenience: true if an instruction sequence contains an `int 0x80`.
+pub fn has_syscall(insns: &[Insn]) -> bool {
+    insns.iter().any(|i| {
+        i.mnemonic == Mnemonic::Int && matches!(i.ops.first(), Some(Operand::Imm(0x80)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_aligned_and_unaligned() {
+        // Bytes: b8 01 00 00 00 c3  = mov eax,1; ret
+        // Unaligned suffixes: "00 00 00 c3" = add [eax],al; add bl,al?...
+        let text = [0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3];
+        let cands = scan(&text, 0x1000);
+        // The aligned whole-instruction gadget exists.
+        assert!(cands
+            .iter()
+            .any(|c| c.vaddr == 0x1000 && c.disasm() == "mov eax,0x1; ret"));
+        // An unaligned one starting inside the immediate exists too:
+        // 00 00 = add [eax],al ; 00 c3 = add bl,al ; c3 = ret
+        assert!(cands
+            .iter()
+            .any(|c| c.vaddr == 0x1001 && c.insns.len() == 3));
+        // The bare ret.
+        assert!(cands.iter().any(|c| c.vaddr == 0x1005 && c.insns.len() == 1));
+    }
+
+    #[test]
+    fn respects_instruction_limit() {
+        // Seven pops then ret: the full sequence exceeds 6 insns, but
+        // suffixes are fine.
+        let mut text = vec![0x58u8; 7];
+        text.push(0xc3);
+        let cands = scan(&text, 0);
+        assert!(cands.iter().all(|c| c.insns.len() <= MAX_GADGET_INSNS));
+        assert!(cands.iter().any(|c| c.insns.len() == MAX_GADGET_INSNS));
+    }
+
+    #[test]
+    fn rejects_interior_control_flow() {
+        // e8 xx xx xx xx c3 : call rel32; ret — call may not appear inside.
+        let text = [0xe8, 0x00, 0x00, 0x00, 0x00, 0xc3];
+        let cands = scan(&text, 0);
+        assert!(cands.iter().all(|c| c.disasm() != "call .+0x0; ret"));
+    }
+
+    #[test]
+    fn rejects_ret_imm_but_accepts_retf() {
+        let text = [0x58, 0xc2, 0x08, 0x00]; // pop eax; ret 8
+        assert!(scan(&text, 0)
+            .iter()
+            .all(|c| !c.disasm().contains("ret 0x8")));
+        let text2 = [0x58, 0xcb]; // pop eax; retf
+        let cands = scan(&text2, 0);
+        assert!(cands.iter().any(|c| c.far && c.insns.len() == 2));
+    }
+
+    #[test]
+    fn sequences_must_land_exactly_on_ret() {
+        // 83 c0 c3 : add eax, -0x3d — the c3 is *inside* the add, so
+        // the only gadgets are ones decoding c3 directly.
+        let text = [0x83, 0xc0, 0xc3];
+        let cands = scan(&text, 0);
+        for c in &cands {
+            assert_eq!(c.vaddr, 2, "got {}", c.disasm());
+        }
+    }
+}

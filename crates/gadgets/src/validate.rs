@@ -1,0 +1,291 @@
+//! Concrete validation of proposed gadget effects.
+//!
+//! Symbolic classification can be fooled by abstraction gaps (an
+//! untracked flag dependency, an aliasing store). Before a gadget
+//! enters the mapping, every proposed effect is executed in a probe VM
+//! twice, with different pseudo-random register/flag/memory states, and
+//! only effects whose observable outcome matches survive. This mirrors
+//! the semantic gadget discovery of Q/ROPC on which the paper's
+//! prototype is built.
+
+use std::collections::HashMap;
+
+use parallax_image::LinkedImage;
+use parallax_vm::{Vm, VmOptions, CALL_SENTINEL, STACK_TOP};
+use parallax_x86::Reg32;
+
+use crate::classify::Proposal;
+use crate::types::{Effect, GBinOp, Gadget};
+
+/// Maximum instructions a gadget probe may execute.
+const PROBE_STEPS: usize = 64;
+
+fn prng(seed: &mut u64) -> u32 {
+    let mut x = *seed;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *seed = x;
+    (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32
+}
+
+struct Probe<'v> {
+    vm: &'v mut Vm,
+    esp0: u32,
+    init_regs: [u32; 8],
+    canaries: Vec<u32>,
+    /// Pre-execution contents of the scratch regions.
+    pre_mem: HashMap<u32, u32>,
+}
+
+/// Runs the gadget once with randomized state in a reusable probe VM
+/// (every location the checks depend on is rewritten per run). Returns
+/// the probe for inspection, or `None` if the gadget faulted, ran away,
+/// or never returned to the chain.
+fn run_probe<'v>(vm: &'v mut Vm, p: &Proposal, seed: &mut u64) -> Option<Probe<'v>> {
+    // Scratch pointers for memory-operand registers: spaced regions in
+    // the VM heap, pre-filled with random words.
+    let heap = vm.mem().heap_base();
+    let mut scratch = [0u32; 8];
+    for (i, s) in scratch.iter_mut().enumerate() {
+        *s = heap + 0x1000 + i as u32 * 0x1000 + 0x800; // ±0x800 disp headroom
+    }
+
+    // Which registers must hold scratch pointers?
+    let mut needs_scratch = p.mem_preconditions.clone();
+    for e in &p.effects {
+        match e {
+            Effect::LoadMem { addr, .. }
+            | Effect::StoreMem { addr, .. }
+            | Effect::AddMem { addr, .. }
+                if !needs_scratch.contains(addr) => {
+                    needs_scratch.push(*addr);
+                }
+            _ => {}
+        }
+    }
+
+    let mut init_regs = [0u32; 8];
+    for r in Reg32::ALL {
+        if r == Reg32::Esp {
+            continue;
+        }
+        let v = if needs_scratch.contains(&r) {
+            scratch[r.encoding() as usize]
+        } else {
+            // Arbitrary but non-address values.
+            0x0100_0000 | (prng(seed) & 0x00ff_ffff)
+        };
+        init_regs[r.encoding() as usize] = v;
+        vm.cpu.set_reg(r, v);
+    }
+    // Syscall gadgets must invoke a harmless syscall: `time` (13).
+    if p.effects.contains(&Effect::Syscall) {
+        init_regs[0] = 13;
+        vm.cpu.set_reg(Reg32::Eax, 13);
+    }
+
+    // Randomize flags (catches flag-dependent sequences like adc).
+    vm.cpu.flags.cf = prng(seed) & 1 != 0;
+    vm.cpu.flags.zf = prng(seed) & 1 != 0;
+    vm.cpu.flags.sf = prng(seed) & 1 != 0;
+    vm.cpu.flags.of = prng(seed) & 1 != 0;
+
+    // Fill scratch memory with random words and snapshot it.
+    let mut pre_mem = HashMap::new();
+    for s in scratch {
+        for k in 0..256 {
+            let a = s - 0x200 + k * 4;
+            let v = prng(seed);
+            vm.mem_mut().write32(a, v).ok()?;
+            pre_mem.insert(a, v);
+        }
+    }
+
+    // Lay out the probe chain: `slots` canaries, then the sentinel,
+    // then a dummy CS slot for far returns.
+    let esp0 = STACK_TOP - 0x2000;
+    let mut canaries = Vec::new();
+    for k in 0..p.slots {
+        let c = prng(seed);
+        canaries.push(c);
+        vm.mem_mut().write32(esp0 + 4 * k, c).ok()?;
+    }
+    vm.mem_mut()
+        .write32(esp0 + 4 * p.slots, CALL_SENTINEL)
+        .ok()?;
+    if p.cand.far {
+        vm.mem_mut().write32(esp0 + 4 * p.slots + 4, 0x23).ok()?;
+    }
+
+    // Pivot gadgets reach the sentinel through their pivot target.
+    if p.effects.contains(&Effect::PopEsp) {
+        let landing = esp0 + 0x100;
+        vm.mem_mut().write32(landing, CALL_SENTINEL).ok()?;
+        for k in 0..p.slots {
+            canaries[k as usize] = landing;
+            vm.mem_mut().write32(esp0 + 4 * k, landing).ok()?;
+        }
+    }
+    if let Some(Effect::AddEsp { src }) = p
+        .effects
+        .iter()
+        .find(|e| matches!(e, Effect::AddEsp { .. }))
+    {
+        vm.cpu.set_reg(*src, 64);
+        init_regs[src.encoding() as usize] = 64;
+        vm.mem_mut().write32(esp0 + 64, CALL_SENTINEL).ok()?;
+    }
+
+    vm.cpu.set_esp(esp0);
+    vm.cpu.eip = p.cand.vaddr;
+
+    for _ in 0..PROBE_STEPS {
+        if vm.cpu.eip == CALL_SENTINEL {
+            return Some(Probe {
+                vm,
+                esp0,
+                init_regs,
+                canaries,
+                pre_mem,
+            });
+        }
+        match vm.step() {
+            Ok(None) => {}
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn check_effect(e: &Effect, pr: &Probe, p: &Proposal) -> bool {
+    let vm = &pr.vm;
+    let reg = |r: Reg32| vm.cpu.reg(r);
+    let init_of = |r: Reg32| pr.init_regs[r.encoding() as usize];
+    let semantics_ok = match *e {
+        Effect::LoadConst { dst, slot } => reg(dst) == pr.canaries[slot as usize],
+        Effect::MovReg { dst, src } => reg(dst) == init_of(src),
+        Effect::Binary { op, dst, src } => {
+            let a = init_of(dst);
+            let b = init_of(src);
+            let expect = match op {
+                GBinOp::Add => a.wrapping_add(b),
+                GBinOp::Sub => a.wrapping_sub(b),
+                GBinOp::And => a & b,
+                GBinOp::Or => a | b,
+                GBinOp::Xor => a ^ b,
+                GBinOp::Imul => a.wrapping_mul(b),
+            };
+            reg(dst) == expect
+        }
+        Effect::Neg { dst } => reg(dst) == init_of(dst).wrapping_neg(),
+        Effect::Not { dst } => reg(dst) == !init_of(dst),
+        Effect::LoadMem { dst, addr, off } => {
+            let a = init_of(addr).wrapping_add(off as u32);
+            pr.pre_mem.get(&a).is_some_and(|&v| reg(dst) == v)
+        }
+        Effect::StoreMem { addr, off, src } => {
+            let a = init_of(addr).wrapping_add(off as u32);
+            vm.mem()
+                .read32(a)
+                .map(|v| v == init_of(src))
+                .unwrap_or(false)
+        }
+        Effect::AddMem { addr, off, src } => {
+            let a = init_of(addr).wrapping_add(off as u32);
+            match (pr.pre_mem.get(&a), vm.mem().read32(a)) {
+                (Some(&pre), Ok(post)) => post == pre.wrapping_add(init_of(src)),
+                _ => false,
+            }
+        }
+        Effect::PopEsp | Effect::AddEsp { .. } | Effect::Syscall => true,
+        Effect::ShiftCl { op, dst } => {
+            let a = init_of(dst);
+            let n = init_of(Reg32::Ecx) & 31;
+            let expect = match op {
+                parallax_x86::ShiftOp::Shl => {
+                    if n == 0 { a } else { a << n }
+                }
+                parallax_x86::ShiftOp::Shr => {
+                    if n == 0 { a } else { a >> n }
+                }
+                parallax_x86::ShiftOp::Sar => ((a as i32) >> n) as u32,
+                parallax_x86::ShiftOp::Rol => a.rotate_left(n),
+                parallax_x86::ShiftOp::Ror => a.rotate_right(n),
+            };
+            reg(dst) == expect
+        }
+        Effect::MovLow8 { dst, src } => {
+            let parent = dst.parent();
+            let pv = init_of(src.parent());
+            let want_byte = if src.is_high() {
+                (pv >> 8) as u8
+            } else {
+                pv as u8
+            };
+            let hi_mask: u32 = if dst.is_high() { 0xffff_00ff } else { 0xffff_ff00 };
+            vm.cpu.reg8(dst) == want_byte
+                && (reg(parent) & hi_mask) == (init_of(parent) & hi_mask)
+        }
+        // A NOP may clobber the registers its proposal declares; all
+        // others must be preserved.
+        Effect::Nop => Reg32::ALL
+            .iter()
+            .filter(|&&r| r != Reg32::Esp && !p.clobbers.contains(&r))
+            .all(|&r| reg(r) == init_of(r)),
+    };
+    if !semantics_ok {
+        return false;
+    }
+    // The chain must resume exactly past the consumed slots.
+    match e {
+        Effect::PopEsp | Effect::AddEsp { .. } => true,
+        _ => {
+            let extra = if p.cand.far { 8 } else { 4 };
+            vm.cpu.esp() == pr.esp0 + 4 * p.slots + extra
+        }
+    }
+}
+
+/// Concretely validates a proposal against a reusable probe VM loaded
+/// with the image under analysis; returns the surviving gadget, or
+/// `None` if no proposed effect holds up.
+pub fn validate_with(vm: &mut Vm, p: &Proposal) -> Option<Gadget> {
+    let mut surviving = Vec::new();
+    'effects: for e in &p.effects {
+        for trial in 0..2u64 {
+            let mut seed =
+                0x9e37_79b9_7f4a_7c15u64 ^ ((p.cand.vaddr as u64) << 16) ^ (trial * 0x1234_5677 + 1);
+            match run_probe(vm, p, &mut seed) {
+                Some(pr) => {
+                    if !check_effect(e, &pr, p) {
+                        continue 'effects;
+                    }
+                }
+                None => continue 'effects,
+            }
+        }
+        surviving.push(*e);
+    }
+    if surviving.is_empty() {
+        return None;
+    }
+    Some(Gadget {
+        vaddr: p.cand.vaddr,
+        len: p.cand.len,
+        far: p.cand.far,
+        slots: p.slots,
+        effects: surviving,
+        clobbers: p.clobbers.clone(),
+        mem_preconditions: p.mem_preconditions.clone(),
+        disasm: p.cand.disasm(),
+        insn_count: p.cand.insns.len() as u32,
+    })
+}
+
+/// Convenience wrapper constructing a fresh probe VM (prefer
+/// [`validate_with`] when validating many proposals on one image).
+pub fn validate(img: &LinkedImage, p: &Proposal) -> Option<Gadget> {
+    let mut vm = Vm::with_options(img, VmOptions::default());
+    validate_with(&mut vm, p)
+}

@@ -1,0 +1,184 @@
+//! Full-pipeline tests: scan + classify + validate over real images.
+
+use parallax_gadgets::{build_map, find_gadgets, Effect, GBinOp, TypeKey};
+use parallax_image::Program;
+use parallax_x86::{AluOp, Asm, Reg32};
+
+/// Builds an image containing a curated set of gadget-bearing
+/// "functions" plus a plain main.
+fn gadget_zoo() -> parallax_image::LinkedImage {
+    let mut p = Program::new();
+
+    let mut main = Asm::new();
+    main.mov_ri(Reg32::Eax, 1);
+    main.mov_ri(Reg32::Ebx, 0);
+    main.int(0x80);
+    p.add_func("main", main.finish().unwrap());
+
+    let mut g = Asm::new();
+    // pop eax; ret
+    g.pop_r(Reg32::Eax);
+    g.ret();
+    // add esi, eax; ret
+    g.alu_rr(AluOp::Add, Reg32::Esi, Reg32::Eax);
+    g.ret();
+    // mov edx, ecx; ret
+    g.mov_rr(Reg32::Edx, Reg32::Ecx);
+    g.ret();
+    // mov eax, [ecx]; ret
+    g.mov_rm(Reg32::Eax, parallax_x86::Mem::base(Reg32::Ecx));
+    g.ret();
+    // mov [ecx], eax; ret
+    g.mov_mr(parallax_x86::Mem::base(Reg32::Ecx), Reg32::Eax);
+    g.ret();
+    // add [ecx], eax; ret
+    g.alu_mr(AluOp::Add, parallax_x86::Mem::base(Reg32::Ecx), Reg32::Eax);
+    g.ret();
+    // pop esp; ret
+    g.pop_r(Reg32::Esp);
+    g.ret();
+    // int 0x80; ret
+    g.int(0x80);
+    g.ret();
+    // xor edi, ecx; ret
+    g.alu_rr(AluOp::Xor, Reg32::Edi, Reg32::Ecx);
+    g.ret();
+    // neg eax; ret
+    g.neg_r(Reg32::Eax);
+    g.ret();
+    p.add_func("zoo", g.finish().unwrap());
+    p.set_entry("main");
+    p.link().unwrap()
+}
+
+#[test]
+fn pipeline_finds_and_validates_zoo() {
+    let img = gadget_zoo();
+    let map = build_map(&img);
+
+    assert!(!map.lookup(TypeKey::LoadConst(Reg32::Eax)).is_empty());
+    assert!(!map
+        .lookup(TypeKey::Binary(GBinOp::Add, Reg32::Esi, Reg32::Eax))
+        .is_empty());
+    assert!(!map.lookup(TypeKey::MovReg(Reg32::Edx, Reg32::Ecx)).is_empty());
+    assert!(!map.lookup(TypeKey::LoadMem(Reg32::Eax, Reg32::Ecx)).is_empty());
+    assert!(!map
+        .lookup(TypeKey::StoreMem(Reg32::Ecx, Reg32::Eax))
+        .is_empty());
+    assert!(!map.lookup(TypeKey::AddMem(Reg32::Ecx, Reg32::Eax)).is_empty());
+    assert!(!map.lookup(TypeKey::PopEsp).is_empty());
+    assert!(!map.lookup(TypeKey::Syscall).is_empty());
+    assert!(!map
+        .lookup(TypeKey::Binary(GBinOp::Xor, Reg32::Edi, Reg32::Ecx))
+        .is_empty());
+    assert!(!map.lookup(TypeKey::Neg(Reg32::Eax)).is_empty());
+    assert!(!map.lookup(TypeKey::Nop).is_empty());
+
+    // Validation attached correct slot info to the pop gadget.
+    let idx = map.lookup(TypeKey::LoadConst(Reg32::Eax))[0];
+    let e = map.effect_of(idx, TypeKey::LoadConst(Reg32::Eax)).unwrap();
+    assert!(matches!(e, Effect::LoadConst { slot: 0, .. }));
+}
+
+#[test]
+fn validation_rejects_flag_dependent_misproposals() {
+    // adc esi, eax; ret — symbolically NOT proposed as Add (adc maps to
+    // Unknown), so the gadget list must not contain a Binary Add for
+    // (esi, eax) rooted at that address.
+    let mut p = Program::new();
+    let mut main = Asm::new();
+    main.mov_ri(Reg32::Eax, 1);
+    main.int(0x80);
+    p.add_func("main", main.finish().unwrap());
+    let mut g = Asm::new();
+    g.db(&[0x11, 0xc6]); // adc esi, eax
+    g.ret();
+    p.add_func("g", g.finish().unwrap());
+    p.set_entry("main");
+    let img = p.link().unwrap();
+    let gadgets = find_gadgets(&img);
+    for g in &gadgets {
+        for e in &g.effects {
+            assert!(
+                !matches!(
+                    e,
+                    Effect::Binary {
+                        op: GBinOp::Add,
+                        dst: Reg32::Esi,
+                        src: Reg32::Eax
+                    }
+                ),
+                "adc misclassified as add in {g}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gadgets_found_inside_immediates() {
+    // mov eax, 0x00c35859 — the immediate bytes encode
+    // "pop ecx; pop eax; ret" at an unaligned offset.
+    let mut p = Program::new();
+    let mut main = Asm::new();
+    main.mov_ri(Reg32::Eax, 0x00c3_5859);
+    main.mov_ri(Reg32::Eax, 1);
+    main.int(0x80);
+    p.add_func("main", main.finish().unwrap());
+    p.set_entry("main");
+    let img = p.link().unwrap();
+    let gadgets = find_gadgets(&img);
+    let unaligned = gadgets
+        .iter()
+        .find(|g| g.disasm == "pop ecx; pop eax; ret")
+        .expect("unaligned gadget found inside the immediate");
+    assert_eq!(unaligned.vaddr, img.text_base + 1);
+    assert_eq!(unaligned.slots, 2);
+}
+
+#[test]
+fn far_gadgets_survive_validation() {
+    // pop eax; retf — validation must account for the CS slot.
+    let mut p = Program::new();
+    let mut main = Asm::new();
+    main.mov_ri(Reg32::Eax, 1);
+    main.int(0x80);
+    p.add_func("main", main.finish().unwrap());
+    let mut g = Asm::new();
+    g.pop_r(Reg32::Eax);
+    g.retf();
+    p.add_func("g", g.finish().unwrap());
+    p.set_entry("main");
+    let img = p.link().unwrap();
+    let gadgets = find_gadgets(&img);
+    let far = gadgets
+        .iter()
+        .find(|g| g.far && g.effects.iter().any(|e| matches!(e, Effect::LoadConst { dst: Reg32::Eax, .. })))
+        .expect("far pop gadget validated");
+    assert_eq!(far.slots, 1);
+}
+
+#[test]
+fn clobbers_reported() {
+    // pop ecx; mov eax, ecx... actually: mov eax,ecx; pop ecx; ret
+    // effect MovReg(eax,ecx)? eax = Init(ecx) yes; ecx = Slot(0) =>
+    // LoadConst(ecx). Both are effects; no clobbers.
+    let mut p = Program::new();
+    let mut main = Asm::new();
+    main.mov_ri(Reg32::Eax, 1);
+    main.int(0x80);
+    p.add_func("main", main.finish().unwrap());
+    let mut g = Asm::new();
+    g.mov_rr(Reg32::Eax, Reg32::Ecx);
+    g.pop_r(Reg32::Ecx);
+    g.ret();
+    p.add_func("g", g.finish().unwrap());
+    p.set_entry("main");
+    let img = p.link().unwrap();
+    let gadgets = find_gadgets(&img);
+    let g = gadgets
+        .iter()
+        .find(|g| g.disasm == "mov eax,ecx; pop ecx; ret")
+        .unwrap();
+    assert!(g.effects.len() >= 2);
+    assert!(g.clobbers.is_empty());
+}

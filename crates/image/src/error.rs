@@ -1,0 +1,49 @@
+//! Error types for the image crate.
+
+use core::fmt;
+
+/// Errors produced while linking a [`Program`](crate::Program).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// Two items share a symbol name.
+    DuplicateSymbol(String),
+    /// A relocation or the entry point names an unknown symbol.
+    UndefinedSymbol(String),
+    /// No entry point was declared.
+    NoEntryPoint,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            LinkError::UndefinedSymbol(s) => write!(f, "undefined symbol `{s}`"),
+            LinkError::NoEntryPoint => write!(f, "no entry point declared"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Errors produced while parsing a serialized image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Bad magic number at the start of the file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The file ended prematurely or a field was inconsistent.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not a PLX image (bad magic)"),
+            FormatError::BadVersion(v) => write!(f, "unsupported PLX version {v}"),
+            FormatError::Corrupt(what) => write!(f, "corrupt image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}

@@ -1,0 +1,286 @@
+//! On-disk serialization of linked images (the `PLX` format).
+//!
+//! Parallax protects binaries *statically*: a protected image is
+//! written out and later distributed, loaded, attacked, and executed.
+//! The `PLX` container is a minimal ELF-like format: a fixed header
+//! followed by the text section, data section, symbol table, marker
+//! table, and relocation table. All integers are little-endian.
+
+use std::collections::HashMap;
+
+use parallax_x86::RelocKind;
+
+use crate::error::FormatError;
+use crate::linked::{LinkedImage, RelocSite, Symbol, SymbolKind};
+
+const MAGIC: &[u8; 4] = b"PLX\x7f";
+const VERSION: u16 = 1;
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.out.extend_from_slice(v);
+    }
+    fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, FormatError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(FormatError::Corrupt("unexpected end of file"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn u16(&mut self) -> Result<u16, FormatError> {
+        Ok(self.u8()? as u16 | ((self.u8()? as u16) << 8))
+    }
+    fn u32(&mut self) -> Result<u32, FormatError> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= (self.u8()? as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+    fn i32(&mut self) -> Result<i32, FormatError> {
+        Ok(self.u32()? as i32)
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], FormatError> {
+        let len = self.u32()? as usize;
+        if self.pos + len > self.buf.len() {
+            return Err(FormatError::Corrupt("byte run overruns file"));
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+    fn str(&mut self) -> Result<String, FormatError> {
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|_| FormatError::Corrupt("invalid UTF-8 in string"))
+    }
+}
+
+/// Serializes a linked image to the `PLX` container format.
+pub fn save(img: &LinkedImage) -> Vec<u8> {
+    let mut w = Writer { out: Vec::new() };
+    w.out.extend_from_slice(MAGIC);
+    w.u16(VERSION);
+    w.u32(img.text_base);
+    w.u32(img.data_base);
+    w.u32(img.bss_size);
+    w.u32(img.entry);
+    w.bytes(&img.text);
+    w.bytes(&img.data);
+
+    w.u32(img.symbols.len() as u32);
+    for s in &img.symbols {
+        w.str(&s.name);
+        w.u32(s.vaddr);
+        w.u32(s.size);
+        w.u8(match s.kind {
+            SymbolKind::Func => 0,
+            SymbolKind::Object => 1,
+        });
+    }
+
+    w.u32(img.markers.len() as u32);
+    let mut markers: Vec<_> = img.markers.iter().collect();
+    markers.sort();
+    for (name, va) in markers {
+        w.str(name);
+        w.u32(*va);
+    }
+
+    w.u32(img.reloc_sites.len() as u32);
+    for r in &img.reloc_sites {
+        w.u32(r.vaddr);
+        w.u8(match r.kind {
+            RelocKind::Rel32 => 0,
+            RelocKind::Abs32 => 1,
+        });
+        w.str(&r.symbol);
+        w.i32(r.addend);
+    }
+    w.out
+}
+
+/// Parses a `PLX` container back into a linked image.
+pub fn load(buf: &[u8]) -> Result<LinkedImage, FormatError> {
+    if buf.len() < 4 || &buf[..4] != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let mut r = Reader { buf, pos: 4 };
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(FormatError::BadVersion(version));
+    }
+    let text_base = r.u32()?;
+    let data_base = r.u32()?;
+    let bss_size = r.u32()?;
+    let entry = r.u32()?;
+    let text = r.bytes()?.to_vec();
+    let data = r.bytes()?.to_vec();
+
+    let nsyms = r.u32()? as usize;
+    if nsyms > buf.len() {
+        return Err(FormatError::Corrupt("symbol count exceeds file size"));
+    }
+    let mut symbols = Vec::with_capacity(nsyms);
+    for _ in 0..nsyms {
+        let name = r.str()?;
+        let vaddr = r.u32()?;
+        let size = r.u32()?;
+        let kind = match r.u8()? {
+            0 => SymbolKind::Func,
+            1 => SymbolKind::Object,
+            _ => return Err(FormatError::Corrupt("bad symbol kind")),
+        };
+        symbols.push(Symbol {
+            name,
+            vaddr,
+            size,
+            kind,
+        });
+    }
+
+    let nmarkers = r.u32()? as usize;
+    if nmarkers > buf.len() {
+        return Err(FormatError::Corrupt("marker count exceeds file size"));
+    }
+    let mut markers = HashMap::with_capacity(nmarkers);
+    for _ in 0..nmarkers {
+        let name = r.str()?;
+        let va = r.u32()?;
+        markers.insert(name, va);
+    }
+
+    let nrelocs = r.u32()? as usize;
+    if nrelocs > buf.len() {
+        return Err(FormatError::Corrupt("reloc count exceeds file size"));
+    }
+    let mut reloc_sites = Vec::with_capacity(nrelocs);
+    for _ in 0..nrelocs {
+        let vaddr = r.u32()?;
+        let kind = match r.u8()? {
+            0 => RelocKind::Rel32,
+            1 => RelocKind::Abs32,
+            _ => return Err(FormatError::Corrupt("bad reloc kind")),
+        };
+        let symbol = r.str()?;
+        let addend = r.i32()?;
+        reloc_sites.push(RelocSite {
+            vaddr,
+            kind,
+            symbol,
+            addend,
+        });
+    }
+
+    Ok(LinkedImage {
+        text,
+        text_base,
+        data,
+        data_base,
+        bss_size,
+        symbols,
+        entry,
+        markers,
+        reloc_sites,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LinkedImage {
+        let mut markers = HashMap::new();
+        markers.insert("main.spot".to_owned(), 0x1001);
+        LinkedImage {
+            text: vec![0x90, 0xc3, 0x55],
+            text_base: 0x08048000,
+            data: vec![9, 8, 7],
+            data_base: 0x08049000,
+            bss_size: 32,
+            symbols: vec![
+                Symbol {
+                    name: "main".into(),
+                    vaddr: 0x08048000,
+                    size: 3,
+                    kind: SymbolKind::Func,
+                },
+                Symbol {
+                    name: "glob".into(),
+                    vaddr: 0x08049000,
+                    size: 3,
+                    kind: SymbolKind::Object,
+                },
+            ],
+            entry: 0x08048000,
+            markers,
+            reloc_sites: vec![RelocSite {
+                vaddr: 0x08048001,
+                kind: RelocKind::Rel32,
+                symbol: "main".into(),
+                addend: -2,
+            }],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let img = sample();
+        let bytes = save(&img);
+        let back = load(&bytes).unwrap();
+        assert_eq!(back.text, img.text);
+        assert_eq!(back.data, img.data);
+        assert_eq!(back.text_base, img.text_base);
+        assert_eq!(back.data_base, img.data_base);
+        assert_eq!(back.bss_size, img.bss_size);
+        assert_eq!(back.entry, img.entry);
+        assert_eq!(back.symbols, img.symbols);
+        assert_eq!(back.markers, img.markers);
+        assert_eq!(back.reloc_sites, img.reloc_sites);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(load(b"ELF\x7f....").unwrap_err(), FormatError::BadMagic);
+        assert_eq!(load(b"").unwrap_err(), FormatError::BadMagic);
+        let mut bytes = save(&sample());
+        bytes[4] = 99; // version
+        assert!(matches!(load(&bytes), Err(FormatError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = save(&sample());
+        for cut in [5, 10, 20, bytes.len() - 1] {
+            assert!(load(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Executable-image substrate for Parallax.
+//!
+//! The paper's prototype operates on 32-bit ELF binaries. This crate
+//! provides the equivalent substrate: a relinkable [`Program`]
+//! representation (functions + data with symbolic references and
+//! per-item padding), a [`LinkedImage`] with concrete addresses that
+//! the VM executes and adversaries tamper with, and a small on-disk
+//! container format ([`mod@format`]) so protected binaries can be saved,
+//! distributed, and re-loaded — the static-patching attack surface.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod linked;
+pub mod program;
+
+pub use error::{FormatError, LinkError};
+pub use linked::{LinkedImage, RelocSite, Symbol, SymbolKind};
+pub use program::{Program, SECTION_ALIGN, TEXT_BASE};

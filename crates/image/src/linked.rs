@@ -1,0 +1,192 @@
+//! The linked, executable image.
+
+use std::collections::HashMap;
+
+use parallax_x86::RelocKind;
+
+/// Classification of a symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// A function in the text section.
+    Func,
+    /// A data object (initialized or BSS).
+    Object,
+}
+
+/// A named address range in the image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Start virtual address.
+    pub vaddr: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Function or data object.
+    pub kind: SymbolKind,
+}
+
+impl Symbol {
+    /// True if `vaddr` falls inside this symbol's range.
+    pub fn contains(&self, vaddr: u32) -> bool {
+        vaddr >= self.vaddr && vaddr < self.vaddr + self.size.max(1)
+    }
+}
+
+/// A relocation that was applied at link time, retained so tools can
+/// re-reason about patchable fields (e.g. the jump-offset rewriting
+/// rule needs to know which bytes are relocated references).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelocSite {
+    /// Virtual address of the 4-byte patched field.
+    pub vaddr: u32,
+    /// Relocation kind.
+    pub kind: RelocKind,
+    /// Referenced symbol.
+    pub symbol: String,
+    /// Constant addend.
+    pub addend: i32,
+}
+
+/// A fully linked executable image.
+///
+/// The image is the unit the VM loads, the gadget scanner inspects, and
+/// the adversary tampers with (via [`LinkedImage::write`]).
+#[derive(Debug, Clone)]
+pub struct LinkedImage {
+    /// Text (code) section bytes.
+    pub text: Vec<u8>,
+    /// Virtual address of the first text byte.
+    pub text_base: u32,
+    /// Initialized data section bytes.
+    pub data: Vec<u8>,
+    /// Virtual address of the first data byte.
+    pub data_base: u32,
+    /// Size of the zero-initialized region following `data`.
+    pub bss_size: u32,
+    /// All symbols, in layout order.
+    pub symbols: Vec<Symbol>,
+    /// Entry-point virtual address.
+    pub entry: u32,
+    /// Named code positions (`"func.marker"` → vaddr).
+    pub markers: HashMap<String, u32>,
+    /// Relocations applied at link time.
+    pub reloc_sites: Vec<RelocSite>,
+}
+
+impl LinkedImage {
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Finds the symbol containing `vaddr`, if any.
+    pub fn symbol_at(&self, vaddr: u32) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.contains(vaddr))
+    }
+
+    /// End of the text section (exclusive).
+    pub fn text_end(&self) -> u32 {
+        self.text_base + self.text.len() as u32
+    }
+
+    /// End of the initialized data section (exclusive).
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32
+    }
+
+    /// Reads `len` bytes at `vaddr` from the text or data section.
+    /// Returns `None` if the range is not fully inside one section.
+    pub fn read(&self, vaddr: u32, len: usize) -> Option<&[u8]> {
+        if vaddr >= self.text_base && vaddr + len as u32 <= self.text_end() {
+            let off = (vaddr - self.text_base) as usize;
+            Some(&self.text[off..off + len])
+        } else if vaddr >= self.data_base && vaddr + len as u32 <= self.data_end() {
+            let off = (vaddr - self.data_base) as usize;
+            Some(&self.data[off..off + len])
+        } else {
+            None
+        }
+    }
+
+    /// Overwrites bytes at `vaddr`. This is the *tampering* primitive:
+    /// adversaries in the hostile-host model patch the binary freely.
+    /// Returns false if the range is outside the image.
+    pub fn write(&mut self, vaddr: u32, bytes: &[u8]) -> bool {
+        if vaddr >= self.text_base && vaddr + bytes.len() as u32 <= self.text_end() {
+            let off = (vaddr - self.text_base) as usize;
+            self.text[off..off + bytes.len()].copy_from_slice(bytes);
+            true
+        } else if vaddr >= self.data_base && vaddr + bytes.len() as u32 <= self.data_end() {
+            let off = (vaddr - self.data_base) as usize;
+            self.data[off..off + bytes.len()].copy_from_slice(bytes);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the function symbols in layout order.
+    pub fn funcs(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter().filter(|s| s.kind == SymbolKind::Func)
+    }
+
+    /// Total number of code bytes (the denominator for protectability
+    /// percentages in the paper's Figure 6).
+    pub fn code_bytes(&self) -> usize {
+        self.text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LinkedImage {
+        LinkedImage {
+            text: vec![0x90, 0xc3],
+            text_base: 0x1000,
+            data: vec![1, 2, 3, 4],
+            data_base: 0x2000,
+            bss_size: 8,
+            symbols: vec![
+                Symbol {
+                    name: "f".into(),
+                    vaddr: 0x1000,
+                    size: 2,
+                    kind: SymbolKind::Func,
+                },
+                Symbol {
+                    name: "d".into(),
+                    vaddr: 0x2000,
+                    size: 4,
+                    kind: SymbolKind::Object,
+                },
+            ],
+            entry: 0x1000,
+            markers: HashMap::new(),
+            reloc_sites: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn read_write_bounds() {
+        let mut img = sample();
+        assert_eq!(img.read(0x1000, 2), Some(&[0x90, 0xc3][..]));
+        assert_eq!(img.read(0x1001, 2), None); // crosses end
+        assert_eq!(img.read(0x2000, 4), Some(&[1, 2, 3, 4][..]));
+        assert!(img.write(0x1000, &[0xcc]));
+        assert_eq!(img.text[0], 0xcc);
+        assert!(!img.write(0x3000, &[0]));
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let img = sample();
+        assert_eq!(img.symbol("f").unwrap().vaddr, 0x1000);
+        assert_eq!(img.symbol_at(0x1001).unwrap().name, "f");
+        assert!(img.symbol_at(0x1002).is_none());
+        assert_eq!(img.funcs().count(), 1);
+        assert_eq!(img.code_bytes(), 2);
+    }
+}

@@ -1,0 +1,452 @@
+//! The mutable, pre-link program representation.
+//!
+//! A [`Program`] is a bag of functions and data objects with symbolic
+//! cross-references. Linking lays the items out at concrete virtual
+//! addresses and patches all relocations, producing a
+//! [`LinkedImage`] the VM can execute.
+//!
+//! The representation deliberately keeps per-function padding as a
+//! first-class attribute: Parallax's *rearranged code and data* rule
+//! (paper §IV-B3) aligns functions so that jump offsets encode chosen
+//! byte values (such as `0xc3`, the `ret` opcode), which is expressed
+//! here by adjusting `pad_before` and re-linking.
+
+use std::collections::HashMap;
+
+use parallax_x86::{Assembled, RelocKind, SymReloc};
+
+use crate::error::LinkError;
+use crate::linked::{LinkedImage, RelocSite, Symbol, SymbolKind};
+
+/// Base virtual address of the text section (mirrors a classic
+/// non-PIE 32-bit Linux layout).
+pub const TEXT_BASE: u32 = 0x0804_8000;
+
+/// Alignment between the text and data sections.
+pub const SECTION_ALIGN: u32 = 0x1000;
+
+/// A function awaiting layout.
+#[derive(Debug, Clone)]
+pub struct FuncItem {
+    /// Symbol name.
+    pub name: String,
+    /// Machine code.
+    pub bytes: Vec<u8>,
+    /// Unresolved symbol references within `bytes`.
+    pub relocs: Vec<SymReloc>,
+    /// Named offsets within `bytes`.
+    pub markers: HashMap<String, usize>,
+    /// Padding bytes inserted before this function at layout time.
+    pub pad_before: u32,
+}
+
+/// A data object awaiting layout.
+#[derive(Debug, Clone)]
+pub struct DataItem {
+    /// Symbol name.
+    pub name: String,
+    /// Initial contents; for BSS objects this is empty and `bss_size`
+    /// is non-zero.
+    pub bytes: Vec<u8>,
+    /// Zero-initialized size (mutually exclusive with `bytes`).
+    pub bss_size: u32,
+    /// Unresolved symbol references within `bytes` (e.g. pointer tables).
+    pub relocs: Vec<SymReloc>,
+    /// Padding bytes inserted before this object at layout time.
+    pub pad_before: u32,
+}
+
+/// A mutable, relinkable program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    funcs: Vec<FuncItem>,
+    data: Vec<DataItem>,
+    entry: Option<String>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Adds a function from assembler output. Functions are laid out in
+    /// insertion order.
+    pub fn add_func(&mut self, name: impl Into<String>, asm: Assembled) -> &mut Self {
+        self.funcs.push(FuncItem {
+            name: name.into(),
+            bytes: asm.bytes,
+            relocs: asm.relocs,
+            markers: asm.markers,
+            pad_before: 0,
+        });
+        self
+    }
+
+    /// Adds an initialized data object.
+    pub fn add_data(&mut self, name: impl Into<String>, bytes: Vec<u8>) -> &mut Self {
+        self.data.push(DataItem {
+            name: name.into(),
+            bytes,
+            bss_size: 0,
+            relocs: Vec::new(),
+            pad_before: 0,
+        });
+        self
+    }
+
+    /// Adds an initialized data object containing symbol references.
+    pub fn add_data_with_relocs(
+        &mut self,
+        name: impl Into<String>,
+        bytes: Vec<u8>,
+        relocs: Vec<SymReloc>,
+    ) -> &mut Self {
+        self.data.push(DataItem {
+            name: name.into(),
+            bytes,
+            bss_size: 0,
+            relocs,
+            pad_before: 0,
+        });
+        self
+    }
+
+    /// Adds a zero-initialized object of `size` bytes.
+    pub fn add_bss(&mut self, name: impl Into<String>, size: u32) -> &mut Self {
+        self.data.push(DataItem {
+            name: name.into(),
+            bytes: Vec::new(),
+            bss_size: size,
+            relocs: Vec::new(),
+            pad_before: 0,
+        });
+        self
+    }
+
+    /// Declares the entry-point function.
+    pub fn set_entry(&mut self, name: impl Into<String>) -> &mut Self {
+        self.entry = Some(name.into());
+        self
+    }
+
+    /// Names of all functions, in layout order.
+    pub fn func_names(&self) -> impl Iterator<Item = &str> {
+        self.funcs.iter().map(|f| f.name.as_str())
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncItem> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a function by name, mutably. Used by the rewriter to
+    /// patch instruction bytes or adjust padding.
+    pub fn func_mut(&mut self, name: &str) -> Option<&mut FuncItem> {
+        self.funcs.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Looks up a data object by name.
+    pub fn data_item(&self, name: &str) -> Option<&DataItem> {
+        self.data.iter().find(|d| d.name == name)
+    }
+
+    /// Looks up a data object by name, mutably.
+    pub fn data_item_mut(&mut self, name: &str) -> Option<&mut DataItem> {
+        self.data.iter_mut().find(|d| d.name == name)
+    }
+
+    /// Removes a data object. Returns true if it existed.
+    pub fn remove_data(&mut self, name: &str) -> bool {
+        let before = self.data.len();
+        self.data.retain(|d| d.name != name);
+        self.data.len() != before
+    }
+
+    /// Computes, without linking, the virtual address each function
+    /// would be assigned. Useful for alignment planning.
+    pub fn layout_funcs(&self) -> Vec<(String, u32)> {
+        let mut out = Vec::with_capacity(self.funcs.len());
+        let mut va = TEXT_BASE;
+        for f in &self.funcs {
+            va += f.pad_before;
+            out.push((f.name.clone(), va));
+            va += f.bytes.len() as u32;
+        }
+        out
+    }
+
+    /// Lays out all items, resolves every relocation, and produces an
+    /// executable image.
+    pub fn link(&self) -> Result<LinkedImage, LinkError> {
+        // Pass 1: assign addresses. Qualified marker names
+        // ("func.marker") are also resolvable in relocations.
+        let mut addr_of: HashMap<String, u32> = HashMap::new();
+        let mut text = Vec::new();
+        let mut symbols = Vec::new();
+        for f in &self.funcs {
+            if addr_of.contains_key(f.name.as_str()) {
+                return Err(LinkError::DuplicateSymbol(f.name.clone()));
+            }
+            // nop-pad so stray execution through padding stays harmless.
+            text.extend(std::iter::repeat_n(0x90, f.pad_before as usize));
+            let va = TEXT_BASE + text.len() as u32;
+            addr_of.insert(f.name.clone(), va);
+            for (m, off) in &f.markers {
+                addr_of.insert(format!("{}.{}", f.name, m), va + *off as u32);
+            }
+            symbols.push(Symbol {
+                name: f.name.clone(),
+                vaddr: va,
+                size: f.bytes.len() as u32,
+                kind: SymbolKind::Func,
+            });
+            text.extend_from_slice(&f.bytes);
+        }
+
+        let data_base =
+            (TEXT_BASE + text.len() as u32).div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
+        let mut data = Vec::new();
+        let mut bss_size = 0u32;
+        // Initialized data first, then BSS at the tail of the data segment.
+        for d in &self.data {
+            if d.bss_size != 0 {
+                continue;
+            }
+            if addr_of.contains_key(d.name.as_str()) {
+                return Err(LinkError::DuplicateSymbol(d.name.clone()));
+            }
+            data.extend(std::iter::repeat_n(0, d.pad_before as usize));
+            let va = data_base + data.len() as u32;
+            addr_of.insert(d.name.clone(), va);
+            symbols.push(Symbol {
+                name: d.name.clone(),
+                vaddr: va,
+                size: d.bytes.len() as u32,
+                kind: SymbolKind::Object,
+            });
+            data.extend_from_slice(&d.bytes);
+        }
+        let bss_base = data_base + data.len() as u32;
+        for d in &self.data {
+            if d.bss_size == 0 {
+                continue;
+            }
+            if addr_of.contains_key(d.name.as_str()) {
+                return Err(LinkError::DuplicateSymbol(d.name.clone()));
+            }
+            let va = bss_base + bss_size;
+            addr_of.insert(d.name.clone(), va);
+            symbols.push(Symbol {
+                name: d.name.clone(),
+                vaddr: va,
+                size: d.bss_size,
+                kind: SymbolKind::Object,
+            });
+            bss_size += d.bss_size;
+        }
+
+        // Pass 2: apply relocations.
+        let mut reloc_sites = Vec::new();
+        {
+            let mut text_off = 0usize;
+            for f in &self.funcs {
+                text_off += f.pad_before as usize;
+                for r in &f.relocs {
+                    let target = *addr_of
+                        .get(r.symbol.as_str())
+                        .ok_or_else(|| LinkError::UndefinedSymbol(r.symbol.clone()))?;
+                    let field_va = TEXT_BASE + (text_off + r.offset) as u32;
+                    let value = match r.kind {
+                        RelocKind::Abs32 => target.wrapping_add(r.addend as u32),
+                        RelocKind::Rel32 => target
+                            .wrapping_add(r.addend as u32)
+                            .wrapping_sub(field_va + 4),
+                    };
+                    let at = text_off + r.offset;
+                    text[at..at + 4].copy_from_slice(&value.to_le_bytes());
+                    reloc_sites.push(RelocSite {
+                        vaddr: field_va,
+                        kind: r.kind,
+                        symbol: r.symbol.clone(),
+                        addend: r.addend,
+                    });
+                }
+                text_off += f.bytes.len();
+            }
+        }
+        {
+            let mut data_off = 0usize;
+            for d in &self.data {
+                if d.bss_size != 0 {
+                    continue;
+                }
+                data_off += d.pad_before as usize;
+                for r in &d.relocs {
+                    let target = *addr_of
+                        .get(r.symbol.as_str())
+                        .ok_or_else(|| LinkError::UndefinedSymbol(r.symbol.clone()))?;
+                    let field_va = data_base + (data_off + r.offset) as u32;
+                    let value = match r.kind {
+                        RelocKind::Abs32 => target.wrapping_add(r.addend as u32),
+                        RelocKind::Rel32 => target
+                            .wrapping_add(r.addend as u32)
+                            .wrapping_sub(field_va + 4),
+                    };
+                    let at = data_off + r.offset;
+                    data[at..at + 4].copy_from_slice(&value.to_le_bytes());
+                    reloc_sites.push(RelocSite {
+                        vaddr: field_va,
+                        kind: r.kind,
+                        symbol: r.symbol.clone(),
+                        addend: r.addend,
+                    });
+                }
+                data_off += d.bytes.len();
+            }
+        }
+
+        let entry_name = self.entry.as_deref().ok_or(LinkError::NoEntryPoint)?;
+        let entry = *addr_of
+            .get(entry_name)
+            .ok_or_else(|| LinkError::UndefinedSymbol(entry_name.to_owned()))?;
+
+        // Collect markers as fully-qualified "func.marker" -> vaddr.
+        let mut markers = HashMap::new();
+        let mut text_off = 0usize;
+        for f in &self.funcs {
+            text_off += f.pad_before as usize;
+            for (m, off) in &f.markers {
+                markers.insert(
+                    format!("{}.{}", f.name, m),
+                    TEXT_BASE + (text_off + off) as u32,
+                );
+            }
+            text_off += f.bytes.len();
+        }
+
+        Ok(LinkedImage {
+            text,
+            text_base: TEXT_BASE,
+            data,
+            data_base,
+            bss_size,
+            symbols,
+            entry,
+            markers,
+            reloc_sites,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_x86::{Asm, Reg32};
+
+    fn leaf(ret_val: i32) -> Assembled {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, ret_val);
+        a.ret();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn links_two_functions_with_call() {
+        let mut main = Asm::new();
+        main.call_sym("leaf");
+        main.ret();
+        let mut p = Program::new();
+        p.add_func("main", main.finish().unwrap());
+        p.add_func("leaf", leaf(7));
+        p.set_entry("main");
+        let img = p.link().unwrap();
+
+        assert_eq!(img.entry, TEXT_BASE);
+        let leaf_sym = img.symbol("leaf").unwrap();
+        assert_eq!(leaf_sym.vaddr, TEXT_BASE + 6); // call(5) + ret(1)
+
+        // call rel32 must point at leaf: rel = target - (field + 4)
+        let rel = i32::from_le_bytes(img.text[1..5].try_into().unwrap());
+        assert_eq!(
+            (TEXT_BASE + 1 + 4).wrapping_add(rel as u32),
+            leaf_sym.vaddr
+        );
+    }
+
+    #[test]
+    fn pad_before_shifts_function() {
+        let mut p = Program::new();
+        p.add_func("main", leaf(0));
+        p.add_func("f", leaf(1));
+        p.set_entry("main");
+        let before = p.link().unwrap().symbol("f").unwrap().vaddr;
+        p.func_mut("f").unwrap().pad_before = 3;
+        let img = p.link().unwrap();
+        assert_eq!(img.symbol("f").unwrap().vaddr, before + 3);
+        // Padding is NOPs.
+        let off = (before - TEXT_BASE) as usize;
+        assert_eq!(&img.text[off..off + 3], &[0x90, 0x90, 0x90]);
+    }
+
+    #[test]
+    fn data_and_bss_layout() {
+        let mut p = Program::new();
+        p.add_func("main", leaf(0));
+        p.add_data("table", vec![1, 2, 3, 4]);
+        p.add_bss("buffer", 64);
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let table = img.symbol("table").unwrap();
+        let buffer = img.symbol("buffer").unwrap();
+        assert_eq!(table.vaddr % SECTION_ALIGN, 0);
+        assert_eq!(buffer.vaddr, table.vaddr + 4);
+        assert_eq!(img.bss_size, 64);
+        assert_eq!(img.read(table.vaddr, 4), Some(&[1u8, 2, 3, 4][..]));
+    }
+
+    #[test]
+    fn abs32_reloc_in_code() {
+        let mut a = Asm::new();
+        a.mov_ri_sym(Reg32::Ebx, "table", 8);
+        a.ret();
+        let mut p = Program::new();
+        p.add_func("main", a.finish().unwrap());
+        p.add_data("table", vec![0; 16]);
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let imm = u32::from_le_bytes(img.text[1..5].try_into().unwrap());
+        assert_eq!(imm, img.symbol("table").unwrap().vaddr + 8);
+    }
+
+    #[test]
+    fn errors_reported() {
+        let mut p = Program::new();
+        p.add_func("main", leaf(0));
+        assert!(matches!(p.link(), Err(LinkError::NoEntryPoint)));
+        p.set_entry("missing");
+        assert!(matches!(p.link(), Err(LinkError::UndefinedSymbol(_))));
+        p.set_entry("main");
+        let mut a = Asm::new();
+        a.call_sym("nowhere");
+        let mut p2 = p.clone();
+        p2.add_func("bad", a.finish().unwrap());
+        assert!(matches!(p2.link(), Err(LinkError::UndefinedSymbol(_))));
+        let mut p3 = p.clone();
+        p3.add_func("main", leaf(1));
+        assert!(matches!(p3.link(), Err(LinkError::DuplicateSymbol(_))));
+    }
+
+    #[test]
+    fn markers_become_vaddrs() {
+        let mut a = Asm::new();
+        a.nop();
+        a.marker("spot");
+        a.ret();
+        let mut p = Program::new();
+        p.add_func("main", a.finish().unwrap());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        assert_eq!(img.markers["main.spot"], TEXT_BASE + 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for image linking and the PLX container format.
+
+use proptest::prelude::*;
+
+use parallax_image::{format, LinkedImage, Program, RelocSite, Symbol, SymbolKind, TEXT_BASE};
+use parallax_x86::{Asm, RelocKind, Reg32};
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    (
+        "[a-z_][a-z0-9_]{0,12}",
+        any::<u32>(),
+        0u32..4096,
+        prop_oneof![Just(SymbolKind::Func), Just(SymbolKind::Object)],
+    )
+        .prop_map(|(name, vaddr, size, kind)| Symbol {
+            name,
+            vaddr,
+            size,
+            kind,
+        })
+}
+
+fn arb_reloc() -> impl Strategy<Value = RelocSite> {
+    (
+        any::<u32>(),
+        prop_oneof![Just(RelocKind::Rel32), Just(RelocKind::Abs32)],
+        "[a-z]{1,8}",
+        any::<i32>(),
+    )
+        .prop_map(|(vaddr, kind, symbol, addend)| RelocSite {
+            vaddr,
+            kind,
+            symbol,
+            addend,
+        })
+}
+
+fn arb_image() -> impl Strategy<Value = LinkedImage> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..512),
+        proptest::collection::vec(any::<u8>(), 0..512),
+        proptest::collection::vec(arb_symbol(), 0..8),
+        proptest::collection::vec(arb_reloc(), 0..8),
+        proptest::collection::hash_map("[a-z.]{1,10}", any::<u32>(), 0..4),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(text, data, symbols, reloc_sites, markers, bss_size, entry)| LinkedImage {
+                text,
+                text_base: TEXT_BASE,
+                data,
+                data_base: TEXT_BASE + 0x10000,
+                bss_size,
+                symbols,
+                entry,
+                markers,
+                reloc_sites,
+            },
+        )
+}
+
+proptest! {
+    /// save ∘ load is the identity on every field.
+    #[test]
+    fn plx_roundtrip(img in arb_image()) {
+        let bytes = format::save(&img);
+        let back = format::load(&bytes).unwrap();
+        prop_assert_eq!(back.text, img.text);
+        prop_assert_eq!(back.data, img.data);
+        prop_assert_eq!(back.text_base, img.text_base);
+        prop_assert_eq!(back.data_base, img.data_base);
+        prop_assert_eq!(back.bss_size, img.bss_size);
+        prop_assert_eq!(back.entry, img.entry);
+        prop_assert_eq!(back.symbols, img.symbols);
+        prop_assert_eq!(back.markers, img.markers);
+        prop_assert_eq!(back.reloc_sites, img.reloc_sites);
+    }
+
+    /// The loader never panics on corrupted or truncated containers.
+    #[test]
+    fn plx_load_total(
+        img in arb_image(),
+        cut in any::<prop::sample::Index>(),
+        flip in any::<prop::sample::Index>(),
+        byte in any::<u8>(),
+    ) {
+        let mut bytes = format::save(&img);
+        let n = bytes.len();
+        let _ = format::load(&bytes[..cut.index(n + 1).min(n)]);
+        let at = flip.index(n);
+        bytes[at] = byte;
+        let _ = format::load(&bytes);
+    }
+
+    /// Linking assigns contiguous, non-overlapping function addresses
+    /// in insertion order, whatever the padding.
+    #[test]
+    fn layout_monotone(pads in proptest::collection::vec(0u32..64, 1..8)) {
+        let mut prog = Program::new();
+        for (i, pad) in pads.iter().enumerate() {
+            let mut a = Asm::new();
+            a.mov_ri(Reg32::Eax, i as i32);
+            a.ret();
+            let name = format!("f{i}");
+            prog.add_func(&name, a.finish().unwrap());
+            prog.func_mut(&name).unwrap().pad_before = *pad;
+        }
+        prog.set_entry("f0");
+        let img = prog.link().unwrap();
+        let mut prev_end = TEXT_BASE;
+        for (i, pad) in pads.iter().enumerate() {
+            let s = img.symbol(&format!("f{i}")).unwrap();
+            prop_assert_eq!(s.vaddr, prev_end + pad);
+            prev_end = s.vaddr + s.size;
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Protectable-code-byte analysis — the measurement behind the paper's
+//! Figure 6.
+//!
+//! A code byte is *protectable* under a rule if that rule can craft (or
+//! has found) a gadget overlapping the instruction containing the byte.
+//! Per the paper, percentages are measured per rule on the unmodified
+//! binary; the rules may conflict, so the union ("any") is not the sum.
+
+use std::collections::HashSet;
+
+use parallax_gadgets::{classify, scan, MAX_GADGET_BYTES};
+use parallax_image::LinkedImage;
+use parallax_x86::insn::{AluOp, Mnemonic, OpSize, Operand};
+use parallax_x86::{decode, Reg};
+
+/// Per-rule protectable-byte percentages for one image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coverage {
+    /// Total code bytes analysed.
+    pub code_bytes: usize,
+    /// Bytes overlapped by existing near-return gadgets.
+    pub existing_near: usize,
+    /// Bytes overlapped by existing far-return gadgets.
+    pub existing_far: usize,
+    /// Bytes protectable by the modified-immediates rule.
+    pub immediate: usize,
+    /// Bytes protectable by the jump-offset/alignment rule.
+    pub jump: usize,
+    /// Bytes protectable by at least one rule.
+    pub any: usize,
+}
+
+impl Coverage {
+    fn pct(&self, n: usize) -> f64 {
+        if self.code_bytes == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / self.code_bytes as f64
+        }
+    }
+
+    /// Percentage covered by existing near-return gadgets.
+    pub fn existing_near_pct(&self) -> f64 {
+        self.pct(self.existing_near)
+    }
+
+    /// Percentage covered by existing far-return gadgets.
+    pub fn existing_far_pct(&self) -> f64 {
+        self.pct(self.existing_far)
+    }
+
+    /// Percentage protectable through immediate modification.
+    pub fn immediate_pct(&self) -> f64 {
+        self.pct(self.immediate)
+    }
+
+    /// Percentage protectable through jump-offset modification.
+    pub fn jump_pct(&self) -> f64 {
+        self.pct(self.jump)
+    }
+
+    /// Percentage protectable by any rule.
+    pub fn any_pct(&self) -> f64 {
+        self.pct(self.any)
+    }
+}
+
+/// Instruction families whose immediates the paper's rule modifies
+/// (`add`, `adc`, `sub`, `sbb`, `mov`).
+fn imm_rule_applies(mn: &Mnemonic, ops: &[Operand], size: OpSize) -> bool {
+    if size != OpSize::Dword {
+        return false;
+    }
+    match mn {
+        Mnemonic::Mov => {
+            matches!(ops.first(), Some(Operand::Reg(Reg::R32(_))))
+                && matches!(ops.get(1), Some(Operand::Imm(_)))
+        }
+        Mnemonic::Alu(AluOp::Add | AluOp::Adc | AluOp::Sub | AluOp::Sbb) => {
+            matches!(ops.first(), Some(Operand::Reg(Reg::R32(_))))
+                && matches!(ops.get(1), Some(Operand::Imm(_)))
+        }
+        _ => false,
+    }
+}
+
+/// Jump-offset rule targets: all `jmp`/`jcc` variants plus `call`.
+fn jump_rule_applies(mn: &Mnemonic) -> bool {
+    matches!(mn, Mnemonic::Jmp | Mnemonic::Jcc(_) | Mnemonic::Call)
+}
+
+/// Computes the span of the longest usable gadget that would end at a
+/// `ret` planted at text offset `ret_at` (the byte itself is treated as
+/// `0xc3`). Returns `(start, end)` offsets, spanning at least the ret
+/// byte itself.
+fn planted_gadget_span(text: &[u8], ret_at: usize) -> (usize, usize) {
+    let lo = ret_at.saturating_sub(MAX_GADGET_BYTES);
+    let mut window = text[lo..=ret_at].to_vec();
+    let last = window.len() - 1;
+    window[last] = 0xc3;
+    let mut best = ret_at;
+    for cand in scan(&window, lo as u32) {
+        // Candidates that end exactly at the planted ret and classify
+        // as usable extend the protected span backwards.
+        if cand.vaddr as usize + cand.len as usize == ret_at + 1 && classify(&cand).is_some()
+        {
+            best = best.min(cand.vaddr as usize);
+        }
+    }
+    (best, ret_at + 1)
+}
+
+/// Analyses protectable code bytes of `img` per rewriting rule.
+///
+/// Existing-gadget coverage counts bytes overlapped by *classifiable*
+/// gadget candidates (usable by verification code, including NOP-typed
+/// ones). For the immediate and jump rules, a byte is protectable if it
+/// is overlapped by a gadget that *would exist* after planting a `ret`
+/// in the rewritable field — crafted gadgets extend backwards over the
+/// instruction's own opcode bytes and its predecessors, exactly as in
+/// the paper's `sar byte [ecx+0x7],0x8b ; ret` example.
+pub fn analyze(img: &LinkedImage) -> Coverage {
+    let code_bytes = img.text.len();
+    let mut near: HashSet<u32> = HashSet::new();
+    let mut far: HashSet<u32> = HashSet::new();
+
+    for cand in scan(&img.text, img.text_base) {
+        if classify(&cand).is_none() {
+            continue;
+        }
+        let set = if cand.far { &mut far } else { &mut near };
+        for b in cand.vaddr..cand.vaddr + cand.len {
+            set.insert(b);
+        }
+    }
+
+    let mut imm: HashSet<u32> = HashSet::new();
+    let mut jump: HashSet<u32> = HashSet::new();
+
+    // Relocated fields (absolute global addresses and rel32 call/jump
+    // targets): the referenced object or callee can be aligned so the
+    // field's low byte becomes 0xc3 — the paper's "rearranged code and
+    // data" rule covers both.
+    let reloc_fields: HashSet<u32> = img.reloc_sites.iter().map(|r| r.vaddr).collect();
+
+    // Walk instructions function by function (linear sweep per symbol).
+    for f in img.funcs() {
+        let Some(bytes) = img.read(f.vaddr, f.size as usize) else {
+            continue;
+        };
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let Ok(insn) = decode(&bytes[pos..]) else {
+                pos += 1;
+                continue;
+            };
+            let start = f.vaddr + pos as u32;
+            let end = start + insn.len as u32;
+            let f_off = (f.vaddr - img.text_base) as usize;
+            if imm_rule_applies(&insn.mnemonic, &insn.ops, insn.size) {
+                if let Some(loc) = insn.imm_loc {
+                    // A ret can be planted at any byte of the immediate;
+                    // take the placement with the widest gadget span.
+                    let mut lo = usize::MAX;
+                    let mut hi = 0usize;
+                    for k in 0..loc.width {
+                        let ret_at = f_off + pos + (loc.offset + k) as usize;
+                        let (s0, e0) = planted_gadget_span(&img.text, ret_at);
+                        lo = lo.min(s0);
+                        hi = hi.max(e0);
+                    }
+                    // The instruction itself is covered too (splitting
+                    // keeps the gadget inside its bytes), as is the span.
+                    for b in start..end {
+                        imm.insert(b);
+                    }
+                    for b in lo..hi {
+                        imm.insert(img.text_base + b as u32);
+                    }
+                }
+            }
+            let mark_jump_site = |field_off_in_insn: usize,
+                                      jump: &mut HashSet<u32>| {
+                let ret_at = f_off + pos + field_off_in_insn;
+                let (s0, e0) = planted_gadget_span(&img.text, ret_at);
+                for b in start..end {
+                    jump.insert(b);
+                }
+                for b in s0..e0 {
+                    jump.insert(img.text_base + b as u32);
+                }
+            };
+            if jump_rule_applies(&insn.mnemonic) {
+                if let Some(loc) = insn.rel_loc {
+                    // Alignment steers the LOW byte of the offset.
+                    mark_jump_site(loc.offset as usize, &mut jump);
+                }
+            }
+            // Absolute-address fields (global references): aligning the
+            // referenced data object steers the low byte likewise.
+            for k in 0..insn.len as u32 {
+                if reloc_fields.contains(&(start + k)) {
+                    mark_jump_site(k as usize, &mut jump);
+                }
+            }
+            // Memory displacements: stack-slot displacements are
+            // steerable by frame-slot assignment, disp32 fields by data
+            // layout — the "rearranged code and data" rule again. (As
+            // the paper notes, per-rule counts allow conflicting
+            // modifications; not all sites are steerable at once.)
+            if let Some(dloc) = insn.disp_loc {
+                let rearrangeable = match insn.ops.iter().find_map(|o| match o {
+                    parallax_x86::Operand::Mem(mm) => Some(mm),
+                    _ => None,
+                }) {
+                    Some(mm) => {
+                        mm.base == Some(parallax_x86::Reg32::Ebp) || dloc.width == 4
+                    }
+                    None => false,
+                };
+                if rearrangeable {
+                    mark_jump_site(dloc.offset as usize, &mut jump);
+                }
+            }
+            pos += insn.len as usize;
+        }
+    }
+
+    let mut any: HashSet<u32> = HashSet::new();
+    any.extend(&near);
+    any.extend(&far);
+    any.extend(&imm);
+    any.extend(&jump);
+
+    Coverage {
+        code_bytes,
+        existing_near: near.len(),
+        existing_far: far.len(),
+        immediate: imm.len(),
+        jump: jump.len(),
+        any: any.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_image::Program;
+    use parallax_x86::{Asm, Cond, Reg32};
+
+    #[test]
+    fn coverage_counts_rules() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, 1234); // imm rule: 5 bytes
+        let skip = a.label();
+        a.jcc(Cond::E, skip); // jump rule: 6 bytes
+        a.mov_ri(Reg32::Ecx, 99); // imm rule: 5 bytes
+        a.bind(skip);
+        a.int(0x80); // neither
+        a.ret(); // existing gadget: 1 byte (nop ret)
+        let mut p = Program::new();
+        p.add_func("main", a.finish().unwrap());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+
+        let cov = analyze(&img);
+        assert_eq!(cov.code_bytes, 19);
+        // Both mov-imm instructions (5 bytes each) are imm-rule sites;
+        // crafted-gadget spans may extend the count.
+        assert!(cov.immediate >= 10);
+        // The jcc instruction (6 bytes) is a jump-rule site.
+        assert!(cov.jump >= 6);
+        assert!(cov.existing_near >= 1);
+        assert!(cov.any >= 16);
+        assert!(cov.any <= cov.code_bytes);
+        assert!(cov.any_pct() > 80.0);
+    }
+
+    #[test]
+    fn empty_image_is_zero() {
+        let mut a = Asm::new();
+        a.int(0x80);
+        let mut p = Program::new();
+        p.add_func("main", a.finish().unwrap());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let cov = analyze(&img);
+        assert_eq!(cov.immediate, 0);
+        assert_eq!(cov.jump, 0);
+        assert_eq!(cov.any_pct(), 0.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! The function-level binary rewriting engine.
+//!
+//! Parallax's rules patch immediate bytes, insert compensation
+//! instructions, and add spurious blocks *inside existing functions*.
+//! Any change to instruction sizes moves every later instruction, so
+//! the engine lifts a function's machine code into a list of items
+//! whose internal branches are index-linked, applies mutations, and
+//! re-lays the function out with all relative offsets, symbol
+//! relocations, and markers fixed up.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parallax_image::program::FuncItem;
+use parallax_x86::insn::FieldLoc;
+use parallax_x86::{decode, Insn, SymReloc};
+
+/// Errors produced by the rewriting engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The function bytes did not decode as a clean instruction stream.
+    UndecodableAt(usize),
+    /// An internal branch lands between instruction boundaries.
+    MisalignedBranchTarget {
+        /// Offset of the branch instruction.
+        branch: usize,
+        /// The non-boundary target offset.
+        target: usize,
+    },
+    /// A short (rel8) branch went out of range after rewriting.
+    ShortBranchOverflow(usize),
+    /// A symbol relocation lies outside any decoded instruction.
+    DanglingReloc(usize),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::UndecodableAt(off) => {
+                write!(f, "undecodable instruction at function offset {off:#x}")
+            }
+            RewriteError::MisalignedBranchTarget { branch, target } => write!(
+                f,
+                "branch at {branch:#x} targets non-boundary offset {target:#x}"
+            ),
+            RewriteError::ShortBranchOverflow(off) => {
+                write!(f, "rel8 branch at {off:#x} out of range after rewrite")
+            }
+            RewriteError::DanglingReloc(off) => {
+                write!(f, "relocation at {off:#x} not inside an instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// How an item links to the rest of the function or the image.
+#[derive(Debug, Clone)]
+pub enum Link {
+    /// No outgoing references.
+    None,
+    /// Internal branch to another item, with the relative field's
+    /// position inside the bytes.
+    Branch {
+        /// Index of the target item.
+        target: usize,
+        /// Relative-field location inside the item bytes.
+        rel: FieldLoc,
+    },
+    /// A symbol relocation (call/sym-address) at a field inside the
+    /// bytes. `offset` in the stored reloc is relative to item start.
+    Sym(SymReloc),
+}
+
+/// One rewritable unit: an instruction or an inserted raw block.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Machine bytes of the item.
+    pub bytes: Vec<u8>,
+    /// Offset the instruction had in the original function, if it came
+    /// from there.
+    pub orig_off: Option<usize>,
+    /// Outgoing reference.
+    pub link: Link,
+    /// True for inserted blocks that are never executed (gadget byte
+    /// carriers placed behind jumps or terminators).
+    pub is_raw: bool,
+}
+
+impl Item {
+    /// Decodes the item's bytes as a single instruction.
+    pub fn insn(&self) -> Option<Insn> {
+        if self.is_raw {
+            return None;
+        }
+        decode(&self.bytes).ok().filter(|i| i.len as usize == self.bytes.len())
+    }
+}
+
+/// The lifted, mutable form of one function.
+pub struct FuncRewriter {
+    name: String,
+    items: Vec<Item>,
+    markers: HashMap<String, usize>,
+}
+
+impl FuncRewriter {
+    /// Lifts a linked function item into rewritable form.
+    pub fn lift(func: &FuncItem) -> Result<FuncRewriter, RewriteError> {
+        // Pass 1: decode into instructions, recording boundaries.
+        let mut insns: Vec<(usize, Insn)> = Vec::new();
+        let mut boundary_of: HashMap<usize, usize> = HashMap::new(); // offset -> item idx
+        let mut pos = 0usize;
+        while pos < func.bytes.len() {
+            let insn =
+                decode(&func.bytes[pos..]).map_err(|_| RewriteError::UndecodableAt(pos))?;
+            boundary_of.insert(pos, insns.len());
+            let len = insn.len as usize;
+            insns.push((pos, insn));
+            pos += len;
+        }
+        boundary_of.insert(pos, insns.len()); // end-of-function boundary
+
+        // Index relocations by their field offset.
+        let mut reloc_at: HashMap<usize, SymReloc> = HashMap::new();
+        for r in &func.relocs {
+            reloc_at.insert(r.offset, r.clone());
+        }
+
+        // Pass 2: build items, classifying links.
+        let mut items = Vec::with_capacity(insns.len() + 1);
+        for (off, insn) in &insns {
+            let len = insn.len as usize;
+            let bytes = func.bytes[*off..off + len].to_vec();
+            let mut link = Link::None;
+            if let Some(rel) = insn.rel_loc {
+                let field_off = off + rel.offset as usize;
+                if let Some(mut sr) = reloc_at.remove(&field_off) {
+                    sr.offset = rel.offset as usize;
+                    link = Link::Sym(sr);
+                } else {
+                    // Internal branch: compute target offset.
+                    let raw = &bytes[rel.offset as usize..(rel.offset + rel.width) as usize];
+                    let delta = match rel.width {
+                        1 => raw[0] as i8 as i64,
+                        4 => i32::from_le_bytes(raw.try_into().unwrap()) as i64,
+                        _ => unreachable!(),
+                    };
+                    let target = (*off as i64 + len as i64 + delta) as usize;
+                    let target_idx = *boundary_of.get(&target).ok_or(
+                        RewriteError::MisalignedBranchTarget {
+                            branch: *off,
+                            target,
+                        },
+                    )?;
+                    link = Link::Branch {
+                        target: target_idx,
+                        rel,
+                    };
+                }
+            } else {
+                // Non-branch fields (imm) may carry Abs32 relocations.
+                for probe in *off..off + len {
+                    if let Some(mut sr) = reloc_at.remove(&probe) {
+                        sr.offset = probe - off;
+                        link = Link::Sym(sr);
+                        break;
+                    }
+                }
+            }
+            items.push(Item {
+                bytes,
+                orig_off: Some(*off),
+                link,
+                is_raw: false,
+            });
+        }
+        if let Some((&off, _)) = reloc_at.iter().next() {
+            return Err(RewriteError::DanglingReloc(off));
+        }
+
+        // Branch targets at end-of-function point past the last item;
+        // represent with a virtual end item index == items.len(). To keep
+        // indices stable under insertion we add an explicit empty item.
+        let end_idx = items.len();
+        items.push(Item {
+            bytes: Vec::new(),
+            orig_off: Some(pos),
+            link: Link::None,
+            is_raw: false,
+        });
+        let _ = end_idx;
+
+        let markers = func
+            .markers
+            .iter()
+            .map(|(name, off)| {
+                let idx = boundary_of.get(off).copied().unwrap_or(insns.len());
+                (name.clone(), idx)
+            })
+            .collect();
+
+        Ok(FuncRewriter {
+            name: func.name.clone(),
+            items,
+            markers,
+        })
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All items (the final one is a virtual end-of-function anchor).
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Number of real (non-anchor) items.
+    pub fn len(&self) -> usize {
+        self.items.len() - 1
+    }
+
+    /// True if the function has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutable access to an item's bytes (for in-place byte patches
+    /// that do not change the length).
+    pub fn bytes_mut(&mut self, idx: usize) -> &mut Vec<u8> {
+        &mut self.items[idx].bytes
+    }
+
+    /// Replaces an item's bytes wholesale (length may change).
+    pub fn replace(&mut self, idx: usize, bytes: Vec<u8>) {
+        self.items[idx].bytes = bytes;
+        self.items[idx].orig_off = None;
+    }
+
+    /// Inserts a new instruction item after `idx`. Branch targets and
+    /// markers pointing at later items are adjusted automatically.
+    pub fn insert_after(&mut self, idx: usize, bytes: Vec<u8>, raw: bool) -> usize {
+        let at = idx + 1;
+        self.items.insert(
+            at,
+            Item {
+                bytes,
+                orig_off: None,
+                link: Link::None,
+                is_raw: raw,
+            },
+        );
+        for item in &mut self.items {
+            if let Link::Branch { target, .. } = &mut item.link {
+                if *target >= at {
+                    *target += 1;
+                }
+            }
+        }
+        for v in self.markers.values_mut() {
+            if *v >= at {
+                *v += 1;
+            }
+        }
+        at
+    }
+
+    /// Re-lays the function out, resolving internal branches, and
+    /// produces an updated [`FuncItem`] plus the item→offset map.
+    pub fn finish(
+        &self,
+        pad_before: u32,
+    ) -> Result<(FuncItem, Vec<usize>), RewriteError> {
+        let mut offsets = Vec::with_capacity(self.items.len());
+        let mut pos = 0usize;
+        for item in &self.items {
+            offsets.push(pos);
+            pos += item.bytes.len();
+        }
+
+        let mut bytes = Vec::with_capacity(pos);
+        let mut relocs = Vec::new();
+        for (i, item) in self.items.iter().enumerate() {
+            let start = offsets[i];
+            let mut b = item.bytes.clone();
+            match &item.link {
+                Link::None => {}
+                Link::Sym(sr) => {
+                    let mut sr = sr.clone();
+                    sr.offset += start;
+                    relocs.push(sr);
+                }
+                Link::Branch { target, rel } => {
+                    let end = start + b.len();
+                    let t = offsets[*target];
+                    let delta = t as i64 - end as i64;
+                    match rel.width {
+                        1 => {
+                            if !(-128..=127).contains(&delta) {
+                                return Err(RewriteError::ShortBranchOverflow(start));
+                            }
+                            b[rel.offset as usize] = delta as i8 as u8;
+                        }
+                        4 => {
+                            let d = (delta as i32).to_le_bytes();
+                            b[rel.offset as usize..rel.offset as usize + 4]
+                                .copy_from_slice(&d);
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+            bytes.extend_from_slice(&b);
+        }
+
+        let markers = self
+            .markers
+            .iter()
+            .map(|(name, idx)| (name.clone(), offsets[*idx]))
+            .collect();
+
+        Ok((
+            FuncItem {
+                name: self.name.clone(),
+                bytes,
+                relocs,
+                markers,
+                pad_before,
+            },
+            offsets,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_x86::{AluOp, Asm, Cond, Reg32};
+
+    fn sample_func() -> FuncItem {
+        let mut a = Asm::new();
+        a.push_r(Reg32::Ebp); // 0
+        a.mov_rr(Reg32::Ebp, Reg32::Esp); // 1
+        let end = a.label();
+        a.alu_ri(AluOp::Cmp, Reg32::Eax, 5); // 2
+        a.jcc(Cond::E, end); // 3 (forward branch)
+        a.mov_ri(Reg32::Eax, 7); // 4
+        a.call_sym("helper"); // 5
+        a.marker("mid");
+        a.bind(end);
+        a.leave(); // 6
+        a.ret(); // 7
+        let asm = a.finish().unwrap();
+        FuncItem {
+            name: "f".into(),
+            bytes: asm.bytes,
+            relocs: asm.relocs,
+            markers: asm.markers,
+            pad_before: 0,
+        }
+    }
+
+    #[test]
+    fn lift_and_finish_is_identity() {
+        let f = sample_func();
+        let rw = FuncRewriter::lift(&f).unwrap();
+        let (out, _) = rw.finish(0).unwrap();
+        assert_eq!(out.bytes, f.bytes);
+        assert_eq!(out.relocs, f.relocs);
+        assert_eq!(out.markers, f.markers);
+    }
+
+    #[test]
+    fn insertion_fixes_branches_relocs_markers() {
+        let f = sample_func();
+        let mut rw = FuncRewriter::lift(&f).unwrap();
+        // Insert 3 NOPs after the mov eax,7 (index 4).
+        rw.insert_after(4, vec![0x90, 0x90, 0x90], false);
+        let (out, _) = rw.finish(0).unwrap();
+        assert_eq!(out.bytes.len(), f.bytes.len() + 3);
+        // The function must still decode cleanly end to end.
+        let mut pos = 0;
+        while pos < out.bytes.len() {
+            let i = decode(&out.bytes[pos..]).expect("stream decodes");
+            pos += i.len as usize;
+        }
+        // Reloc moved by 3 (it sits after the insertion point).
+        assert_eq!(out.relocs[0].offset, f.relocs[0].offset + 3);
+        // Marker moved by 3.
+        assert_eq!(out.markers["mid"], f.markers["mid"] + 3);
+        // Branch still lands on `leave`: decode at the jcc and follow.
+        let lifted = FuncRewriter::lift(&out).unwrap();
+        let jcc = lifted
+            .items()
+            .iter()
+            .position(|i| {
+                i.insn()
+                    .map(|x| matches!(x.mnemonic, parallax_x86::Mnemonic::Jcc(_)))
+                    .unwrap_or(false)
+            })
+            .unwrap();
+        if let Link::Branch { target, .. } = &lifted.items()[jcc].link {
+            let t = lifted.items()[*target].insn().unwrap();
+            assert_eq!(t.mnemonic, parallax_x86::Mnemonic::Leave);
+        } else {
+            panic!("jcc lost its branch link");
+        }
+    }
+
+    #[test]
+    fn replace_changes_length_safely() {
+        let f = sample_func();
+        let mut rw = FuncRewriter::lift(&f).unwrap();
+        // Replace `mov eax, 7` (5 bytes) with xor + two-instruction pair.
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, 0x11223344);
+        let patch = a.finish().unwrap().bytes;
+        rw.replace(4, patch);
+        rw.insert_after(4, {
+            let mut a = Asm::new();
+            a.alu_ri32(AluOp::Xor, Reg32::Eax, 0x11223344 ^ 7);
+            a.finish().unwrap().bytes
+        }, false);
+        let (out, _) = rw.finish(0).unwrap();
+        let lifted = FuncRewriter::lift(&out).unwrap();
+        assert!(!lifted.is_empty());
+    }
+
+    #[test]
+    fn raw_blocks_are_preserved_verbatim() {
+        let f = sample_func();
+        let mut rw = FuncRewriter::lift(&f).unwrap();
+        // A raw gadget blob after the ret (index 7): never executed.
+        let idx = rw.insert_after(7, vec![0x58, 0xc3], true);
+        assert!(rw.items()[idx].is_raw);
+        let (out, offsets) = rw.finish(0).unwrap();
+        let off = offsets[idx];
+        assert_eq!(&out.bytes[off..off + 2], &[0x58, 0xc3]);
+    }
+
+    #[test]
+    fn misaligned_target_rejected() {
+        // jmp into the middle of a mov.
+        let mut a = Asm::new();
+        a.db(&[0xeb, 0x01]); // jmp .+1 — lands inside the next insn
+        a.mov_ri(Reg32::Eax, 1);
+        a.ret();
+        let asm = a.finish().unwrap();
+        let f = FuncItem {
+            name: "bad".into(),
+            bytes: asm.bytes,
+            relocs: vec![],
+            markers: HashMap::new(),
+            pad_before: 0,
+        };
+        assert!(matches!(
+            FuncRewriter::lift(&f),
+            Err(RewriteError::MisalignedBranchTarget { .. })
+        ));
+    }
+}

@@ -1,0 +1,481 @@
+//! Rule §IV-B2: modified immediate operands.
+//!
+//! Immediates of `mov` and `add`/`sub` instructions are rewritten to
+//! encode gadget bytes, and a compensating instruction is inserted
+//! directly after so program semantics are preserved:
+//!
+//! * `mov r, K`   →  `mov r, K'` ; `xor r, K' ^ K`
+//! * `add r, K`   →  `add r, K'` ; `add r, K - K'`
+//! * `sub r, K`   →  `sub r, K'` ; `sub r, K - K'`
+//!
+//! `K'` is chosen so that its little-endian bytes contain a gadget body
+//! terminated by `0xc3` (`ret`). Two placements are attempted: a
+//! *completion* placement, where the first immediate byte becomes the
+//! `ret` of a gadget whose body is the (fixed) preceding instruction
+//! bytes — this overlaps the most original code — and a *tail*
+//! placement, where the body itself is written into the free bytes.
+//!
+//! Compensators clobber EFLAGS. This is safe for code produced by
+//! `parallax-compiler`, which never keeps flags live across the
+//! rewritten instruction (comparison producers and consumers are
+//! always adjacent); a source-unaware deployment would save and
+//! restore flags as the paper notes.
+
+use parallax_x86::insn::{AluOp, Mnemonic, OpSize, Operand};
+use parallax_x86::{Asm, Reg, Reg32};
+
+use crate::engine::{FuncRewriter, Link};
+
+/// What kind of splittable instruction a site is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImmKind {
+    /// `mov r32, imm32` (compensated with `xor`).
+    MovRi(Reg32),
+    /// `add r32, imm` (compensated with a second `add`).
+    AddRi(Reg32),
+    /// `sub r32, imm` (compensated with a second `sub`).
+    SubRi(Reg32),
+}
+
+/// A rewritable immediate site inside a lifted function.
+#[derive(Debug, Clone, Copy)]
+pub struct ImmSite {
+    /// Item index within the [`FuncRewriter`].
+    pub idx: usize,
+    /// Site kind.
+    pub kind: ImmKind,
+    /// Original immediate value.
+    pub value: i32,
+    /// Offset of the immediate field inside the item bytes.
+    pub imm_off: usize,
+    /// Width of the immediate field (1 or 4).
+    pub imm_width: usize,
+}
+
+/// Finds every splittable immediate site in a lifted function.
+pub fn find_imm_sites(rw: &FuncRewriter) -> Vec<ImmSite> {
+    let mut out = Vec::new();
+    for (idx, item) in rw.items().iter().enumerate() {
+        // Items carrying relocations get their immediate patched at
+        // link time; leave them alone.
+        if !matches!(item.link, Link::None) {
+            continue;
+        }
+        let Some(insn) = item.insn() else { continue };
+        if insn.size != OpSize::Dword {
+            continue;
+        }
+        let Some(loc) = insn.imm_loc else { continue };
+        let kind = match (&insn.mnemonic, insn.ops.first()) {
+            (Mnemonic::Mov, Some(Operand::Reg(Reg::R32(r)))) if loc.width == 4 => {
+                ImmKind::MovRi(*r)
+            }
+            (Mnemonic::Alu(AluOp::Add), Some(Operand::Reg(Reg::R32(r)))) => ImmKind::AddRi(*r),
+            (Mnemonic::Alu(AluOp::Sub), Some(Operand::Reg(Reg::R32(r)))) => ImmKind::SubRi(*r),
+            _ => continue,
+        };
+        let value = match insn.ops.get(1) {
+            Some(Operand::Imm(v)) => *v as i32,
+            _ => continue,
+        };
+        out.push(ImmSite {
+            idx,
+            kind,
+            value,
+            imm_off: loc.offset as usize,
+            imm_width: loc.width as usize,
+        });
+    }
+    out
+}
+
+/// A gadget body to embed (bytes *before* the terminating `ret`).
+#[derive(Debug, Clone)]
+pub struct GadgetBody {
+    /// Machine bytes of the body (0–3 bytes for a 4-byte immediate).
+    pub bytes: Vec<u8>,
+    /// Human-readable description.
+    pub desc: &'static str,
+}
+
+/// The default rotation of useful gadget bodies, covering the types
+/// the chain compiler consumes. All are ≤ 3 bytes so they fit inside a
+/// 4-byte immediate together with the `ret`.
+pub fn default_bodies() -> Vec<GadgetBody> {
+    fn b(bytes: &[u8], desc: &'static str) -> GadgetBody {
+        GadgetBody {
+            bytes: bytes.to_vec(),
+            desc,
+        }
+    }
+    vec![
+        b(&[0x58], "pop eax"),
+        b(&[0x59], "pop ecx"),
+        b(&[0x89, 0xc8], "mov eax,ecx"),
+        b(&[0x01, 0xc8], "add eax,ecx"),
+        b(&[0x5a], "pop edx"),
+        b(&[0x29, 0xc8], "sub eax,ecx"),
+        b(&[0x31, 0xc8], "xor eax,ecx"),
+        b(&[0x5b], "pop ebx"),
+        b(&[0x8b, 0x01], "mov eax,[ecx]"),
+        b(&[0x8b, 0x09], "mov ecx,[ecx]"),
+        b(&[0x89, 0x01], "mov [ecx],eax"),
+        b(&[0x5e], "pop esi"),
+        b(&[0x21, 0xc8], "and eax,ecx"),
+        b(&[0x09, 0xc8], "or eax,ecx"),
+        b(&[0x5f], "pop edi"),
+        b(&[0x01, 0x01], "add [ecx],eax"),
+        b(&[0x89, 0xc1], "mov ecx,eax"),
+        b(&[0xf7, 0xd8], "neg eax"),
+        b(&[0xf7, 0xd0], "not eax"),
+        b(&[0xd3, 0xe0], "shl eax,cl"),
+        b(&[0xd3, 0xe8], "shr eax,cl"),
+        b(&[0xd3, 0xf8], "sar eax,cl"),
+        b(&[0x5c], "pop esp"),
+        b(&[0x01, 0xc4], "add esp,eax"),
+        b(&[0xcd, 0x80], "int 0x80"),
+        b(&[0x0f, 0xaf, 0xc1], "imul eax,ecx"),
+    ]
+}
+
+/// Result of applying the immediate rule at one site.
+#[derive(Debug, Clone)]
+pub struct ImmRewrite {
+    /// Which site was rewritten.
+    pub idx: usize,
+    /// Description of the embedded gadget body.
+    pub desc: String,
+    /// The new immediate value.
+    pub new_value: i32,
+}
+
+/// Applies the immediate rule at `site`, embedding `body`. Returns the
+/// rewrite record, or `None` if the body does not fit.
+///
+/// The compensating instruction is inserted immediately after the site.
+pub fn apply_imm_rule(
+    rw: &mut FuncRewriter,
+    site: &ImmSite,
+    body: &GadgetBody,
+) -> Option<ImmRewrite> {
+    apply_imm_rule_with_terminator(rw, site, body, 0xc3)
+}
+
+/// Like [`apply_imm_rule`] but planting a far return (`retf`, §IV-B5)
+/// as the gadget terminator. Far gadgets cost an extra chain slot but
+/// extend coverage to the `retf` opcode space, as in the paper's
+/// running example.
+pub fn apply_imm_rule_far(
+    rw: &mut FuncRewriter,
+    site: &ImmSite,
+    body: &GadgetBody,
+) -> Option<ImmRewrite> {
+    apply_imm_rule_with_terminator(rw, site, body, 0xcb)
+}
+
+fn apply_imm_rule_with_terminator(
+    rw: &mut FuncRewriter,
+    site: &ImmSite,
+    body: &GadgetBody,
+    terminator: u8,
+) -> Option<ImmRewrite> {
+    if site.imm_width == 1 {
+        // One free byte: it becomes a bare return, completing whatever
+        // the preceding bytes form.
+        return apply_with_bytes(rw, site, [terminator, 0, 0, 0], 1, "ret (completion)");
+    }
+    let l = body.bytes.len();
+    if l > 3 {
+        return None;
+    }
+    // Tail placement: [orig...] body ret at the end of the field.
+    let mut bytes = [0u8; 4];
+    let orig = current_imm_bytes(rw, site);
+    bytes.copy_from_slice(&orig);
+    let start = 3 - l;
+    bytes[start..3].copy_from_slice(&body.bytes);
+    bytes[3] = terminator;
+    apply_with_bytes(rw, site, bytes, 4, body.desc)
+}
+
+/// Applies the *completion* placement: the first immediate byte becomes
+/// `0xc3`, turning the instruction's own opcode/ModRM bytes into a
+/// gadget body (as in the paper's `sar byte [ecx+0x7],0x8b ; ret`
+/// example). The remaining free bytes embed `extra` when it fits.
+pub fn apply_completion_rule(
+    rw: &mut FuncRewriter,
+    site: &ImmSite,
+    extra: Option<&GadgetBody>,
+) -> Option<ImmRewrite> {
+    if site.imm_width != 4 {
+        return None;
+    }
+    let mut bytes = current_imm_bytes(rw, site);
+    bytes[0] = 0xc3;
+    let mut desc = "ret-completion".to_owned();
+    if let Some(body) = extra {
+        // The bytes after the ret can host a second, tail-placed body.
+        if body.bytes.len() <= 2 {
+            let start = 3 - body.bytes.len();
+            bytes[start..3].copy_from_slice(&body.bytes);
+            bytes[3] = 0xc3;
+            desc = format!("ret-completion + {}", body.desc);
+        }
+    }
+    apply_with_bytes(rw, site, bytes, 4, &desc)
+}
+
+fn current_imm_bytes(rw: &FuncRewriter, site: &ImmSite) -> [u8; 4] {
+    let item = &rw.items()[site.idx];
+    let mut out = [0u8; 4];
+    for (i, b) in item.bytes[site.imm_off..site.imm_off + site.imm_width]
+        .iter()
+        .enumerate()
+    {
+        out[i] = *b;
+    }
+    out
+}
+
+fn apply_with_bytes(
+    rw: &mut FuncRewriter,
+    site: &ImmSite,
+    bytes: [u8; 4],
+    width: usize,
+    desc: &str,
+) -> Option<ImmRewrite> {
+    let new_value = if width == 4 {
+        i32::from_le_bytes(bytes)
+    } else {
+        bytes[0] as i8 as i32
+    };
+    if new_value == site.value {
+        return None; // nothing to do (and no compensator needed)
+    }
+
+    // Patch the immediate in place.
+    {
+        let item_bytes = rw.bytes_mut(site.idx);
+        item_bytes[site.imm_off..site.imm_off + width].copy_from_slice(&bytes[..width]);
+    }
+
+    // Insert the compensator.
+    let mut a = Asm::new();
+    match site.kind {
+        ImmKind::MovRi(r) => a.alu_ri32(AluOp::Xor, r, new_value ^ site.value),
+        ImmKind::AddRi(r) => a.alu_ri32(AluOp::Add, r, site.value.wrapping_sub(new_value)),
+        ImmKind::SubRi(r) => a.alu_ri32(AluOp::Sub, r, site.value.wrapping_sub(new_value)),
+    }
+    let comp = a.finish().expect("compensator assembles").bytes;
+    rw.insert_after(site.idx, comp, false);
+
+    Some(ImmRewrite {
+        idx: site.idx,
+        desc: desc.to_owned(),
+        new_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_image::program::FuncItem;
+    use std::collections::HashMap;
+
+    fn lift(bytes: Vec<u8>) -> FuncRewriter {
+        FuncRewriter::lift(&FuncItem {
+            name: "f".into(),
+            bytes,
+            relocs: vec![],
+            markers: HashMap::new(),
+            pad_before: 0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_mov_and_alu_sites() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, 1234); // site (mov)
+        a.alu_ri32(AluOp::Add, Reg32::Ecx, 0x1000); // site (add, 81-form)
+        a.alu_ri(AluOp::Sub, Reg32::Esp, 24); // site (sub, 83-form imm8)
+        a.alu_ri32(AluOp::Xor, Reg32::Eax, 5); // not a site (xor)
+        a.alu_ri(AluOp::Cmp, Reg32::Eax, 7); // not a site (cmp)
+        a.ret();
+        let rw = lift(a.finish().unwrap().bytes);
+        let sites = find_imm_sites(&rw);
+        assert_eq!(sites.len(), 3);
+        assert!(matches!(sites[0].kind, ImmKind::MovRi(Reg32::Eax)));
+        assert!(matches!(sites[1].kind, ImmKind::AddRi(Reg32::Ecx)));
+        assert!(matches!(sites[2].kind, ImmKind::SubRi(Reg32::Esp)));
+        assert_eq!(sites[2].imm_width, 1);
+    }
+
+    #[test]
+    fn mov_split_preserves_semantics_and_embeds_gadget() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, 0x0012_3456);
+        a.ret();
+        let mut rw = lift(a.finish().unwrap().bytes);
+        let site = find_imm_sites(&rw)[0];
+        let body = GadgetBody {
+            bytes: vec![0x58],
+            desc: "pop eax",
+        };
+        let rewrite = apply_imm_rule(&mut rw, &site, &body).expect("applies");
+        let (out, _) = rw.finish(0).unwrap();
+
+        // The new immediate's bytes end with [.., 0x58, 0xc3].
+        let imm = &out.bytes[1..5];
+        assert_eq!(imm[2], 0x58);
+        assert_eq!(imm[3], 0xc3);
+        assert_eq!(rewrite.new_value as u32 & 0xffff_0000, 0xc358_0000);
+
+        // Semantics: mov K'; xor (K'^K) leaves eax == K. Execute it.
+        let mut p = parallax_image::Program::new();
+        let mut wrap = Asm::new();
+        wrap.db(&out.bytes[..out.bytes.len() - 1]); // drop the ret
+        wrap.mov_rr(Reg32::Ebx, Reg32::Eax);
+        wrap.mov_ri(Reg32::Eax, 1);
+        wrap.int(0x80);
+        p.add_func("main", wrap.finish().unwrap());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let mut vm = parallax_vm::Vm::new(&img);
+        assert_eq!(vm.run(), parallax_vm::Exit::Exited(0x0012_3456));
+    }
+
+    #[test]
+    fn add_split_preserves_semantics() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, 100);
+        a.alu_ri32(AluOp::Add, Reg32::Eax, 0x0011_2233);
+        a.ret();
+        let mut rw = lift(a.finish().unwrap().bytes);
+        let sites = find_imm_sites(&rw);
+        // sites[0] is the mov; rewrite the add (site index 1).
+        let site = sites[1];
+        let body = GadgetBody {
+            bytes: vec![0x89, 0xc8],
+            desc: "mov eax,ecx",
+        };
+        apply_imm_rule(&mut rw, &site, &body).expect("applies");
+        let (out, _) = rw.finish(0).unwrap();
+
+        let mut p = parallax_image::Program::new();
+        let mut wrap = Asm::new();
+        wrap.db(&out.bytes[..out.bytes.len() - 1]);
+        wrap.mov_rr(Reg32::Ebx, Reg32::Eax);
+        wrap.mov_ri(Reg32::Eax, 1);
+        wrap.int(0x80);
+        p.add_func("main", wrap.finish().unwrap());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let mut vm = parallax_vm::Vm::new(&img);
+        assert_eq!(
+            vm.run(),
+            parallax_vm::Exit::Exited(100 + 0x0011_2233)
+        );
+    }
+
+    #[test]
+    fn imm8_site_becomes_ret_and_compensates() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Ecx, 1000);
+        a.alu_ri(AluOp::Sub, Reg32::Ecx, 24); // 83 e9 18
+        a.ret();
+        let mut rw = lift(a.finish().unwrap().bytes);
+        let sites = find_imm_sites(&rw);
+        let site = sites[1];
+        assert_eq!(site.imm_width, 1);
+        apply_imm_rule(
+            &mut rw,
+            &site,
+            &GadgetBody {
+                bytes: vec![],
+                desc: "",
+            },
+        )
+        .expect("applies");
+        let (out, _) = rw.finish(0).unwrap();
+        // The sub's imm8 is now 0xc3 — a ret byte.
+        assert!(out.bytes.windows(3).any(|w| w == [0x83, 0xe9, 0xc3]));
+
+        let mut p = parallax_image::Program::new();
+        let mut wrap = Asm::new();
+        wrap.db(&out.bytes[..out.bytes.len() - 1]);
+        wrap.mov_rr(Reg32::Ebx, Reg32::Ecx);
+        wrap.mov_ri(Reg32::Eax, 1);
+        wrap.int(0x80);
+        p.add_func("main", wrap.finish().unwrap());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let mut vm = parallax_vm::Vm::new(&img);
+        assert_eq!(vm.run(), parallax_vm::Exit::Exited(1000 - 24));
+    }
+
+    #[test]
+    fn completion_rule_places_leading_ret() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Edx, 0x7fff_0001);
+        a.ret();
+        let mut rw = lift(a.finish().unwrap().bytes);
+        let site = find_imm_sites(&rw)[0];
+        let extra = GadgetBody {
+            bytes: vec![0x58],
+            desc: "pop eax",
+        };
+        apply_completion_rule(&mut rw, &site, Some(&extra)).expect("applies");
+        let (out, _) = rw.finish(0).unwrap();
+        // imm bytes: [c3, orig, 58, c3]
+        assert_eq!(out.bytes[1], 0xc3);
+        assert_eq!(out.bytes[3], 0x58);
+        assert_eq!(out.bytes[4], 0xc3);
+        // Compensator restores the original value.
+        let mut p = parallax_image::Program::new();
+        let mut wrap = Asm::new();
+        wrap.db(&out.bytes[..out.bytes.len() - 1]);
+        wrap.mov_rr(Reg32::Ebx, Reg32::Edx);
+        wrap.mov_ri(Reg32::Eax, 1);
+        wrap.int(0x80);
+        p.add_func("main", wrap.finish().unwrap());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let mut vm = parallax_vm::Vm::new(&img);
+        assert_eq!(vm.run(), parallax_vm::Exit::Exited(0x7fff_0001));
+    }
+
+    #[test]
+    fn gadget_actually_scannable_after_rewrite() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, 0x0012_3456);
+        a.mov_ri(Reg32::Eax, 1);
+        a.int(0x80);
+        let mut rw = lift(a.finish().unwrap().bytes);
+        let site = find_imm_sites(&rw)[0];
+        apply_imm_rule(
+            &mut rw,
+            &site,
+            &GadgetBody {
+                bytes: vec![0x59],
+                desc: "pop ecx",
+            },
+        )
+        .unwrap();
+        let (out, _) = rw.finish(0).unwrap();
+        let mut p = parallax_image::Program::new();
+        p.add_func("main", parallax_x86::Assembled {
+            bytes: out.bytes,
+            relocs: out.relocs,
+            markers: out.markers,
+        });
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let gadgets = parallax_gadgets::find_gadgets(&img);
+        assert!(
+            gadgets.iter().any(|g| g.disasm == "pop ecx; ret"),
+            "crafted gadget should be discovered: {:#?}",
+            gadgets.iter().map(|g| &g.disasm).collect::<Vec<_>>()
+        );
+    }
+}

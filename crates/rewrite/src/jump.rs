@@ -1,0 +1,387 @@
+//! Rule §IV-B3: rearranged code — aligning functions and padding code
+//! so that branch/call offsets encode gadget bytes.
+//!
+//! Two mechanisms:
+//!
+//! * **Callee alignment** — for a `call rel32` (or cross-function jump)
+//!   whose callee is laid out *after* the call site, inserting `d`
+//!   padding bytes before the callee adds `d` to the relative offset.
+//!   Choosing `d` so the offset's low byte becomes `0xc3` plants a
+//!   `ret` inside the call instruction, exactly like the paper's
+//!   relocation of `cleanup_and_exit`.
+//! * **Intra-function padding** — for a forward `jcc`/`jmp rel32`
+//!   inside one function, inserting NOPs between the branch and its
+//!   target grows the offset until its low byte is `0xc3`.
+//!
+//! Both mechanisms shift later code, so sites are processed in layout
+//! order with the layout recomputed after every change, and each
+//! planted byte is re-verified on the final image.
+
+use parallax_image::Program;
+use parallax_x86::RelocKind;
+
+use crate::engine::{FuncRewriter, Link, RewriteError};
+
+/// Outcome of one alignment.
+#[derive(Debug, Clone)]
+pub struct JumpRewrite {
+    /// Function containing the branch/call site.
+    pub func: String,
+    /// Offset of the `0xc3` byte within that function (pre-padding).
+    pub ret_byte_off: usize,
+    /// Padding inserted (bytes).
+    pub padding: u32,
+    /// Callee alignment (`true`) or intra-function NOPs (`false`).
+    pub via_callee: bool,
+}
+
+/// Aligns callees so that forward `call rel32` sites in `targets` end
+/// in a `0xc3` offset byte. Greedy: the first site per callee wins.
+pub fn align_callees(prog: &mut Program, targets: &[String], max_pad: u32) -> Vec<JumpRewrite> {
+    let mut out = Vec::new();
+    let mut aligned: Vec<String> = Vec::new();
+
+    // Iterate until no more improvements (each change shifts layout).
+    loop {
+        let layout = prog.layout_funcs();
+        let pos_of = |name: &str| layout.iter().position(|(n, _)| n == name);
+        let addr_of = |name: &str| layout.iter().find(|(n, _)| n == name).map(|(_, a)| *a);
+
+        let mut best: Option<(String, u32, String, usize)> = None; // callee, pad, site func, field off
+        'sites: for (fname, fva) in &layout {
+            if !targets.iter().any(|t| t == fname) {
+                continue;
+            }
+            let func = prog.func(fname).expect("layout function exists");
+            for r in &func.relocs {
+                if r.kind != RelocKind::Rel32 {
+                    continue;
+                }
+                if aligned.contains(&r.symbol) {
+                    continue;
+                }
+                let (Some(site_pos), Some(callee_pos)) = (pos_of(fname), pos_of(&r.symbol))
+                else {
+                    continue;
+                };
+                if callee_pos <= site_pos {
+                    continue; // padding the callee would shift the site too
+                }
+                let Some(callee_va) = addr_of(&r.symbol) else {
+                    continue;
+                };
+                let field_va = fva + r.offset as u32;
+                let rel = callee_va
+                    .wrapping_add(r.addend as u32)
+                    .wrapping_sub(field_va + 4);
+                let d = (0xc3u32.wrapping_sub(rel)) & 0xff;
+                if d == 0 {
+                    // Already ends in 0xc3 — record and move on.
+                    aligned.push(r.symbol.clone());
+                    out.push(JumpRewrite {
+                        func: fname.clone(),
+                        ret_byte_off: r.offset,
+                        padding: 0,
+                        via_callee: true,
+                    });
+                    continue;
+                }
+                if d > max_pad {
+                    continue;
+                }
+                best = Some((r.symbol.clone(), d, fname.clone(), r.offset));
+                break 'sites;
+            }
+        }
+
+        let Some((callee, d, site_func, field_off)) = best else {
+            break;
+        };
+        prog.func_mut(&callee).expect("callee exists").pad_before += d;
+        aligned.push(callee);
+        out.push(JumpRewrite {
+            func: site_func,
+            ret_byte_off: field_off,
+            padding: d,
+            via_callee: true,
+        });
+    }
+    out
+}
+
+/// Pads forward intra-function rel32 branches in `func` with NOPs so
+/// the offset's low byte becomes `0xc3`. Returns rewrites applied.
+pub fn align_internal_branches(
+    rw: &mut FuncRewriter,
+    max_nops: usize,
+) -> Result<Vec<JumpRewrite>, RewriteError> {
+    let mut out = Vec::new();
+    // Iterate until stable; each insertion shifts other branches.
+    loop {
+        let (_, offsets) = rw.finish(0)?;
+        let mut plan: Option<(usize, usize, usize)> = None; // (branch idx, target idx, nops)
+        for (i, item) in rw.items().iter().enumerate() {
+            let Link::Branch { target, rel } = &item.link else {
+                continue;
+            };
+            if rel.width != 4 || *target <= i {
+                continue;
+            }
+            let end = offsets[i] + item.bytes.len();
+            let delta = offsets[*target] as i64 - end as i64;
+            let low = (delta as u32) & 0xff;
+            if low == 0xc3 {
+                continue;
+            }
+            let d = ((0xc3u32.wrapping_sub(low)) & 0xff) as usize;
+            if d == 0 || d > max_nops {
+                continue;
+            }
+            plan = Some((i, *target, d));
+            break;
+        }
+        let Some((branch, target, d)) = plan else { break };
+        // Insert NOPs just before the target (they execute only on the
+        // fall-through path).
+        let at = rw.insert_after(target - 1, vec![0x90; d], false);
+        let _ = at;
+        out.push(JumpRewrite {
+            func: rw.name().to_owned(),
+            ret_byte_off: 0, // resolved post-link
+            padding: d as u32,
+            via_callee: false,
+        });
+        let _ = branch;
+        if out.len() > 64 {
+            break; // safety valve against oscillation
+        }
+    }
+    Ok(out)
+}
+
+/// Verifies on a linked image how many relocated rel32 fields actually
+/// carry a `0xc3` low byte (the planted `ret`s).
+pub fn count_planted_rets(img: &parallax_image::LinkedImage) -> usize {
+    img.reloc_sites
+        .iter()
+        .filter(|r| {
+            r.kind == RelocKind::Rel32
+                && img
+                    .read(r.vaddr, 1)
+                    .map(|b| b[0] == 0xc3)
+                    .unwrap_or(false)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_image::Program;
+    use parallax_x86::{Asm, Cond, Reg32};
+
+    fn leaf() -> parallax_x86::Assembled {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, 7);
+        a.ret();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn callee_alignment_plants_ret_byte() {
+        let mut main = Asm::new();
+        main.call_sym("helper");
+        main.mov_ri(Reg32::Eax, 1);
+        main.mov_ri(Reg32::Ebx, 0);
+        main.int(0x80);
+        let mut p = Program::new();
+        p.add_func("main", main.finish().unwrap());
+        p.add_func("helper", leaf());
+        p.set_entry("main");
+
+        let rewrites = align_callees(&mut p, &["main".to_owned()], 255);
+        assert_eq!(rewrites.len(), 1);
+        let img = p.link().unwrap();
+        assert_eq!(count_planted_rets(&img), 1);
+
+        // The call must still work.
+        let mut vm = parallax_vm::Vm::new(&img);
+        assert!(matches!(vm.run(), parallax_vm::Exit::Exited(0)));
+    }
+
+    #[test]
+    fn internal_branch_alignment() {
+        let mut a = Asm::new();
+        a.alu_ri(parallax_x86::AluOp::Cmp, Reg32::Eax, 0);
+        let end = a.label();
+        a.jcc(Cond::E, end);
+        a.mov_ri(Reg32::Ecx, 5);
+        a.bind(end);
+        a.mov_ri(Reg32::Eax, 1);
+        a.mov_ri(Reg32::Ebx, 42);
+        a.int(0x80);
+        let asm = a.finish().unwrap();
+        let f = parallax_image::program::FuncItem {
+            name: "main".into(),
+            bytes: asm.bytes,
+            relocs: asm.relocs,
+            markers: asm.markers,
+            pad_before: 0,
+        };
+        let mut rw = FuncRewriter::lift(&f).unwrap();
+        let rewrites = align_internal_branches(&mut rw, 255).unwrap();
+        assert_eq!(rewrites.len(), 1);
+        let (out, _) = rw.finish(0).unwrap();
+
+        // The jcc's rel32 low byte is now 0xc3.
+        let lifted = FuncRewriter::lift(&out).unwrap();
+        let jcc = lifted
+            .items()
+            .iter()
+            .find(|i| {
+                i.insn()
+                    .map(|x| matches!(x.mnemonic, parallax_x86::Mnemonic::Jcc(_)))
+                    .unwrap_or(false)
+            })
+            .unwrap();
+        let rel_off = jcc.insn().unwrap().rel_loc.unwrap().offset as usize;
+        assert_eq!(jcc.bytes[rel_off], 0xc3);
+
+        // Program still behaves (exit 42 either way).
+        let mut p = Program::new();
+        p.add_func(
+            "main",
+            parallax_x86::Assembled {
+                bytes: out.bytes,
+                relocs: out.relocs,
+                markers: out.markers,
+            },
+        );
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let mut vm = parallax_vm::Vm::new(&img);
+        assert_eq!(vm.run(), parallax_vm::Exit::Exited(42));
+    }
+
+    #[test]
+    fn backward_callees_are_skipped() {
+        // helper laid out BEFORE main: padding helper would shift main too.
+        let mut main = Asm::new();
+        main.call_sym("helper");
+        main.mov_ri(Reg32::Eax, 1);
+        main.int(0x80);
+        let mut p = Program::new();
+        p.add_func("helper", leaf());
+        p.add_func("main", main.finish().unwrap());
+        p.set_entry("main");
+        let rewrites = align_callees(&mut p, &["main".to_owned()], 255);
+        assert!(rewrites.is_empty());
+    }
+}
+
+/// Aligns *data objects* so that `Abs32` references to them from
+/// `targets` carry a `0xc3` low byte — the "global variables" half of
+/// the paper's rearranged-code-and-data rule. Greedy: first reference
+/// per object wins; later objects shift, so the layout is recomputed
+/// via a link probe after every change.
+pub fn align_data(prog: &mut Program, targets: &[String], max_pad: u32) -> Vec<JumpRewrite> {
+    let mut out = Vec::new();
+    let mut aligned: Vec<String> = Vec::new();
+    while let Ok(img) = prog.link() {
+        let mut plan: Option<(String, u32, String, usize)> = None;
+        'outer: for fname in targets {
+            let Some(func) = prog.func(fname) else { continue };
+            for r in &func.relocs {
+                if r.kind != RelocKind::Abs32 || aligned.contains(&r.symbol) {
+                    continue;
+                }
+                // Only data objects are padded here (functions are the
+                // callee-alignment rule's job).
+                let Some(sym) = img.symbol(&r.symbol) else { continue };
+                if sym.kind != parallax_image::SymbolKind::Object {
+                    continue;
+                }
+                // BSS objects cannot be padded independently of the
+                // initialized data; restrict to initialized objects.
+                let is_init = prog
+                    .data_item(&r.symbol)
+                    .map(|d| d.bss_size == 0)
+                    .unwrap_or(false);
+                if !is_init {
+                    continue;
+                }
+                let value = sym.vaddr.wrapping_add(r.addend as u32);
+                let d = (0xc3u32.wrapping_sub(value)) & 0xff;
+                if d == 0 {
+                    aligned.push(r.symbol.clone());
+                    out.push(JumpRewrite {
+                        func: fname.clone(),
+                        ret_byte_off: r.offset,
+                        padding: 0,
+                        via_callee: false,
+                    });
+                    continue;
+                }
+                if d > max_pad {
+                    continue;
+                }
+                plan = Some((r.symbol.clone(), d, fname.clone(), r.offset));
+                break 'outer;
+            }
+        }
+        let Some((symbol, d, fname, off)) = plan else { break };
+        prog.data_item_mut(&symbol).expect("checked above").pad_before += d;
+        aligned.push(symbol);
+        out.push(JumpRewrite {
+            func: fname,
+            ret_byte_off: off,
+            padding: d,
+            via_callee: false,
+        });
+    }
+    out
+}
+
+/// Counts `Abs32` fields in the linked image whose low byte is `0xc3`.
+pub fn count_planted_data_rets(img: &parallax_image::LinkedImage) -> usize {
+    img.reloc_sites
+        .iter()
+        .filter(|r| {
+            r.kind == RelocKind::Abs32
+                && img
+                    .read(r.vaddr, 1)
+                    .map(|b| b[0] == 0xc3)
+                    .unwrap_or(false)
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod data_tests {
+    use super::*;
+    use parallax_image::Program;
+    use parallax_x86::{Asm, Reg32};
+
+    #[test]
+    fn data_alignment_plants_ret_in_abs32() {
+        let mut main = Asm::new();
+        main.mov_ri_sym(Reg32::Ecx, "table", 0);
+        main.mov_ri(Reg32::Eax, 1);
+        main.mov_ri(Reg32::Ebx, 0);
+        main.int(0x80);
+        let mut p = Program::new();
+        p.add_func("main", main.finish().unwrap());
+        p.add_data("filler", vec![0xaa; 7]); // non-ideal starting offset
+        p.add_data("table", vec![1, 2, 3, 4]);
+        p.set_entry("main");
+
+        let rewrites = align_data(&mut p, &["main".to_owned()], 255);
+        assert_eq!(rewrites.len(), 1);
+        let img = p.link().unwrap();
+        assert_eq!(count_planted_data_rets(&img), 1);
+        // Address low byte of `table` is now 0xc3 and the program runs.
+        assert_eq!(img.symbol("table").unwrap().vaddr & 0xff, 0xc3);
+        let mut vm = parallax_vm::Vm::new(&img);
+        assert!(matches!(vm.run(), parallax_vm::Exit::Exited(0)));
+    }
+}

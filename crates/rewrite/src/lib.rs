@@ -1,0 +1,172 @@
+//! Binary rewriting rules for crafting overlapping gadgets (paper §IV-B).
+//!
+//! The [`protect_program`] entry point applies, per target function:
+//!
+//! 1. the **modified-immediates** rule ([`imm`]) — immediates of
+//!    `mov`/`add`/`sub` are rewritten to contain gadget bytes, with a
+//!    compensating instruction inserted after;
+//! 2. the **intra-function jump-offset** rule ([`jump`]) — forward
+//!    rel32 branches are padded so their offset's low byte is `0xc3`;
+//! 3. the **callee-alignment** rule ([`jump`]) — functions are moved so
+//!    `call` offsets end in `0xc3`, as the paper does for
+//!    `cleanup_and_exit`;
+//! 4. optionally the **standard gadget set** ([`spurious`]) is
+//!    appended, guaranteeing the chain compiler a complete type set.
+//!
+//! Existing and far-return gadgets (§IV-B1/B5) need no rewriting; they
+//! are discovered by `parallax-gadgets` and measured by [`coverage`].
+
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod engine;
+pub mod imm;
+pub mod jump;
+pub mod spurious;
+
+pub use coverage::{analyze, Coverage};
+pub use engine::{FuncRewriter, Item, Link, RewriteError};
+pub use imm::{apply_completion_rule, apply_imm_rule, apply_imm_rule_far, default_bodies, find_imm_sites, GadgetBody, ImmRewrite, ImmSite};
+pub use jump::{align_callees, align_data, align_internal_branches, count_planted_data_rets, count_planted_rets, JumpRewrite};
+pub use spurious::{insert_dead_block, jmp_over_block, standard_set, STDSET_NAME};
+
+use parallax_image::Program;
+
+/// Configuration for [`protect_program`].
+#[derive(Debug, Clone)]
+pub struct RewriteConfig {
+    /// Apply the modified-immediates rule.
+    pub imm_rule: bool,
+    /// Also use the completion placement (leading `ret` byte) on every
+    /// third site, mirroring the paper's mixed usage.
+    pub imm_completion: bool,
+    /// Use the completion placement at *every* site. The leading `ret`
+    /// occupies the immediate's low byte, so value-forcing patches
+    /// (e.g. cracking a return value from 0 to 1) necessarily destroy
+    /// the gadget — closing the §VIII condition-(3) escape for
+    /// value-critical immediates.
+    pub imm_completion_always: bool,
+    /// Apply callee alignment for cross-function calls.
+    pub jump_rule: bool,
+    /// Apply NOP padding for intra-function branches.
+    pub internal_jump_rule: bool,
+    /// Append the standard (non-overlapping) gadget set.
+    pub stdset: bool,
+    /// Maximum padding inserted before a callee.
+    pub max_callee_pad: u32,
+    /// Maximum NOPs inserted for one internal branch.
+    pub max_internal_nops: usize,
+    /// Cap on immediate sites rewritten per function.
+    pub max_imm_sites_per_func: usize,
+    /// Functions excluded from the *immediate* rule (its compensators
+    /// execute inline, so hot functions are usually exempted —
+    /// profile-guided placement; the overlap-only rules still apply).
+    pub imm_exclude: Vec<String>,
+}
+
+impl Default for RewriteConfig {
+    fn default() -> RewriteConfig {
+        RewriteConfig {
+            imm_rule: true,
+            imm_completion: true,
+            imm_completion_always: false,
+            jump_rule: true,
+            internal_jump_rule: true,
+            stdset: true,
+            max_callee_pad: 255,
+            max_internal_nops: 48,
+            max_imm_sites_per_func: usize::MAX,
+            imm_exclude: Vec::new(),
+        }
+    }
+}
+
+/// What [`protect_program`] did.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteReport {
+    /// Immediate-rule rewrites, per function.
+    pub imm_rewrites: Vec<(String, ImmRewrite)>,
+    /// Jump-rule alignments (both mechanisms).
+    pub jump_rewrites: Vec<JumpRewrite>,
+    /// Whether the standard set was appended.
+    pub stdset_added: bool,
+}
+
+impl RewriteReport {
+    /// Total number of crafted gadget sites.
+    pub fn crafted_count(&self) -> usize {
+        self.imm_rewrites.len() + self.jump_rewrites.len()
+    }
+}
+
+/// Applies the rewriting rules to `targets` within `prog`.
+///
+/// The gadget bodies embedded by the immediate rule rotate through
+/// [`default_bodies`], so repeated application spreads every gadget
+/// type the chain compiler consumes across the protected code.
+pub fn protect_program(
+    prog: &mut Program,
+    targets: &[String],
+    cfg: &RewriteConfig,
+) -> Result<RewriteReport, RewriteError> {
+    let mut report = RewriteReport::default();
+    let bodies = default_bodies();
+    let mut body_cursor = 0usize;
+
+    for name in targets {
+        let Some(func) = prog.func(name) else { continue };
+        let mut rw = FuncRewriter::lift(func)?;
+
+        if cfg.imm_rule && !cfg.imm_exclude.contains(name) {
+            // Apply in descending item order so insertions do not
+            // invalidate later site indices.
+            let mut sites = find_imm_sites(&rw);
+            sites.sort_by_key(|s| std::cmp::Reverse(s.idx));
+            for (n, site) in sites.iter().enumerate() {
+                if n >= cfg.max_imm_sites_per_func {
+                    break;
+                }
+                let body = &bodies[body_cursor % bodies.len()];
+                let use_completion = cfg.imm_completion_always || (cfg.imm_completion && n % 3 == 2);
+                let applied = if use_completion && site.imm_width == 4 {
+                    apply_completion_rule(&mut rw, site, Some(body))
+                } else if n % 7 == 5 && site.imm_width == 4 {
+                    // Sprinkle far-return gadgets in (§IV-B5).
+                    apply_imm_rule_far(&mut rw, site, body)
+                } else {
+                    apply_imm_rule(&mut rw, site, body)
+                };
+                if let Some(rewrite) = applied {
+                    body_cursor += 1;
+                    report.imm_rewrites.push((name.clone(), rewrite));
+                }
+            }
+        }
+
+        if cfg.internal_jump_rule {
+            let rewrites = align_internal_branches(&mut rw, cfg.max_internal_nops)?;
+            report.jump_rewrites.extend(rewrites);
+        }
+
+        let pad = prog.func(name).map(|f| f.pad_before).unwrap_or(0);
+        let (new_item, _) = rw.finish(pad)?;
+        let slot = prog.func_mut(name).expect("target exists");
+        slot.bytes = new_item.bytes;
+        slot.relocs = new_item.relocs;
+        slot.markers = new_item.markers;
+    }
+
+    if cfg.jump_rule {
+        let rewrites = align_callees(prog, targets, cfg.max_callee_pad);
+        report.jump_rewrites.extend(rewrites);
+        let rewrites = align_data(prog, targets, cfg.max_callee_pad);
+        report.jump_rewrites.extend(rewrites);
+    }
+
+    if cfg.stdset && prog.func(STDSET_NAME).is_none() {
+        prog.add_func(STDSET_NAME, standard_set());
+        report.stdset_added = true;
+    }
+
+    Ok(report)
+}

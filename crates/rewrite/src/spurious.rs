@@ -1,0 +1,234 @@
+//! Rule §IV-B4: spurious instructions, and the standard gadget set.
+//!
+//! Spurious code can always be inserted, so — as the paper notes — it
+//! needs no coverage measurement; its role here is twofold:
+//!
+//! * [`standard_set`] emits the complete, non-overlapping gadget set
+//!   the chain compiler may fall back on when a needed type has no
+//!   overlapping implementation (§III: "a standard set of
+//!   non-overlapping gadgets can be inserted"). It is appended as an
+//!   uncalled function whose first byte is a `ret` (so a stray call is
+//!   harmless).
+//! * [`insert_dead_block`] plants arbitrary gadget bytes inside a
+//!   function behind an unconditional control transfer, where they are
+//!   never executed but still live among the instructions they guard.
+
+use parallax_x86::{Asm, AluOp, Assembled, Mem, Reg32, ShiftOp};
+
+use crate::engine::{FuncRewriter, Link};
+
+/// Name of the appended standard-set function.
+pub const STDSET_NAME: &str = "__plx_stdset";
+
+/// Emits the standard gadget set: every type the verification-code
+/// compiler can consume, on its canonical register convention
+/// (`eax` accumulator, `ecx` secondary/address, syscall args in
+/// `ebx`/`ecx`/`edx`/`esi`).
+pub fn standard_set() -> Assembled {
+    let mut a = Asm::new();
+    a.ret(); // stray-call guard
+
+    // Constant loads.
+    for r in [
+        Reg32::Eax,
+        Reg32::Ecx,
+        Reg32::Edx,
+        Reg32::Ebx,
+        Reg32::Esi,
+        Reg32::Edi,
+        Reg32::Ebp,
+    ] {
+        a.pop_r(r);
+        a.ret();
+    }
+
+    // Moves through the accumulator.
+    for r in [Reg32::Ecx, Reg32::Edx, Reg32::Ebx, Reg32::Esi, Reg32::Edi] {
+        a.mov_rr(r, Reg32::Eax);
+        a.ret();
+        a.mov_rr(Reg32::Eax, r);
+        a.ret();
+    }
+
+    // Binary operations on (eax, ecx).
+    for op in [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor] {
+        a.alu_rr(op, Reg32::Eax, Reg32::Ecx);
+        a.ret();
+    }
+    a.imul_rr(Reg32::Eax, Reg32::Ecx);
+    a.ret();
+
+    // Shifts by cl.
+    for op in [ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar] {
+        a.shift_r_cl(op, Reg32::Eax);
+        a.ret();
+    }
+
+    // Unary.
+    a.neg_r(Reg32::Eax);
+    a.ret();
+    a.not_r(Reg32::Eax);
+    a.ret();
+
+    // Memory through ecx.
+    a.mov_rm(Reg32::Eax, Mem::base(Reg32::Ecx));
+    a.ret();
+    a.mov_rm(Reg32::Ecx, Mem::base(Reg32::Ecx));
+    a.ret();
+    a.mov_mr(Mem::base(Reg32::Ecx), Reg32::Eax);
+    a.ret();
+    a.alu_mr(AluOp::Add, Mem::base(Reg32::Ecx), Reg32::Eax);
+    a.ret();
+
+    // Control primitives.
+    a.pop_r(Reg32::Esp);
+    a.ret();
+    a.alu_rr(AluOp::Add, Reg32::Esp, Reg32::Eax);
+    a.ret();
+
+    // Syscall.
+    a.int(0x80);
+    a.ret();
+
+    a.finish().expect("standard set assembles")
+}
+
+/// Inserts raw gadget `bytes` into `rw` immediately after an
+/// unconditional control transfer (`ret`, `jmp`), where they can never
+/// execute. Returns the item index, or `None` if the function has no
+/// such site.
+pub fn insert_dead_block(rw: &mut FuncRewriter, bytes: Vec<u8>) -> Option<usize> {
+    let site = rw.items().iter().enumerate().find_map(|(i, item)| {
+        let insn = item.insn()?;
+        let unconditional = insn.is_ret()
+            || matches!(
+                insn.mnemonic,
+                parallax_x86::Mnemonic::Jmp | parallax_x86::Mnemonic::JmpInd
+            );
+        // Do not place a block between a branch and an item that other
+        // branches fall into — any spot after an unconditional transfer
+        // is fine because execution cannot fall through into it, but
+        // branch *targets* must stay at item boundaries, which
+        // insert_after preserves.
+        if unconditional {
+            Some(i)
+        } else {
+            None
+        }
+    })?;
+    Some(rw.insert_after(site, bytes, true))
+}
+
+/// Wraps gadget bytes in a `jmp over` block executable at any position
+/// (the fallback when a function has no unconditional transfer).
+pub fn jmp_over_block(gadget_bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(gadget_bytes.len() + 2);
+    assert!(gadget_bytes.len() <= 127, "jmp-over block too large");
+    out.push(0xeb);
+    out.push(gadget_bytes.len() as u8);
+    out.extend_from_slice(gadget_bytes);
+    out
+}
+
+/// True if `rw` contains an item carrying a link to `symbol` (used to
+/// detect functions that already reference the standard set).
+pub fn references_symbol(rw: &FuncRewriter, symbol: &str) -> bool {
+    rw.items().iter().any(|i| match &i.link {
+        Link::Sym(s) => s.symbol == symbol,
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_gadgets::{GBinOp, TypeKey};
+    use parallax_image::Program;
+
+    #[test]
+    fn standard_set_provides_all_chain_types() {
+        let mut p = Program::new();
+        let mut main = Asm::new();
+        main.mov_ri(Reg32::Eax, 1);
+        main.int(0x80);
+        p.add_func("main", main.finish().unwrap());
+        p.add_func(STDSET_NAME, standard_set());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let map = parallax_gadgets::build_map(&img);
+
+        for r in [
+            Reg32::Eax,
+            Reg32::Ecx,
+            Reg32::Edx,
+            Reg32::Ebx,
+            Reg32::Esi,
+            Reg32::Edi,
+        ] {
+            assert!(
+                !map.lookup(TypeKey::LoadConst(r)).is_empty(),
+                "missing pop {r}"
+            );
+        }
+        for op in [GBinOp::Add, GBinOp::Sub, GBinOp::And, GBinOp::Or, GBinOp::Xor, GBinOp::Imul]
+        {
+            assert!(
+                !map.lookup(TypeKey::Binary(op, Reg32::Eax, Reg32::Ecx)).is_empty(),
+                "missing binary {op:?}"
+            );
+        }
+        assert!(!map.lookup(TypeKey::MovReg(Reg32::Ecx, Reg32::Eax)).is_empty());
+        assert!(!map.lookup(TypeKey::MovReg(Reg32::Eax, Reg32::Ecx)).is_empty());
+        assert!(!map.lookup(TypeKey::LoadMem(Reg32::Eax, Reg32::Ecx)).is_empty());
+        assert!(!map.lookup(TypeKey::StoreMem(Reg32::Ecx, Reg32::Eax)).is_empty());
+        assert!(!map.lookup(TypeKey::AddMem(Reg32::Ecx, Reg32::Eax)).is_empty());
+        assert!(!map.lookup(TypeKey::Neg(Reg32::Eax)).is_empty());
+        assert!(!map.lookup(TypeKey::Not(Reg32::Eax)).is_empty());
+        assert!(!map.lookup(TypeKey::PopEsp).is_empty());
+        assert!(!map.lookup(TypeKey::AddEsp(Reg32::Eax)).is_empty());
+        assert!(!map.lookup(TypeKey::Syscall).is_empty());
+    }
+
+    #[test]
+    fn dead_block_is_unreachable_but_scannable() {
+        let mut a = Asm::new();
+        a.mov_ri(Reg32::Eax, 1);
+        a.mov_ri(Reg32::Ebx, 9);
+        a.int(0x80);
+        a.ret();
+        let asm = a.finish().unwrap();
+        let f = parallax_image::program::FuncItem {
+            name: "main".into(),
+            bytes: asm.bytes,
+            relocs: asm.relocs,
+            markers: Default::default(),
+            pad_before: 0,
+        };
+        let mut rw = FuncRewriter::lift(&f).unwrap();
+        insert_dead_block(&mut rw, vec![0x5a, 0xc3]).expect("site found");
+        let (out, _) = rw.finish(0).unwrap();
+        let mut p = Program::new();
+        p.add_func(
+            "main",
+            parallax_x86::Assembled {
+                bytes: out.bytes,
+                relocs: out.relocs,
+                markers: out.markers,
+            },
+        );
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        // Program still exits 9; block never executes.
+        let mut vm = parallax_vm::Vm::new(&img);
+        assert_eq!(vm.run(), parallax_vm::Exit::Exited(9));
+        // The planted pop edx; ret is discoverable.
+        let gadgets = parallax_gadgets::find_gadgets(&img);
+        assert!(gadgets.iter().any(|g| g.disasm == "pop edx; ret"));
+    }
+
+    #[test]
+    fn jmp_over_wraps() {
+        let b = jmp_over_block(&[0x58, 0xc3]);
+        assert_eq!(b, vec![0xeb, 0x02, 0x58, 0xc3]);
+    }
+}

@@ -1,0 +1,221 @@
+//! The chain representation: a sequence of 32-bit words laid out in
+//! data memory, executed by returning through it.
+
+use core::fmt;
+
+/// A position label inside a chain, resolved at serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChainLabel(pub(crate) usize);
+
+/// One 32-bit chain word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Word {
+    /// The address of a gadget in the text section.
+    Gadget(u32),
+    /// A literal constant (popped by a `LoadConst` gadget, or data).
+    Const(u32),
+    /// Byte delta from `anchor` (a word index) to a label: the value an
+    /// `add esp, reg` gadget needs to branch to the label. Resolves to
+    /// `4 * (pos(label) - anchor)`, possibly negative.
+    DeltaTo {
+        /// Branch target.
+        label: ChainLabel,
+        /// Word index esp points at when the delta is applied.
+        anchor: usize,
+    },
+    /// Absolute address of a chain slot (`chain_base + 4 * pos(label)`).
+    AbsSlot(ChainLabel),
+    /// Dummy code-segment slot consumed by far-return gadgets.
+    DummyCs,
+    /// Filler for junk pops of multi-slot gadgets.
+    Junk,
+}
+
+/// Errors during chain construction or serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainLayoutError {
+    /// A label was referenced but never bound.
+    UnboundLabel(ChainLabel),
+}
+
+impl fmt::Display for ChainLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainLayoutError::UnboundLabel(l) => write!(f, "unbound chain label {:?}", l),
+        }
+    }
+}
+
+impl std::error::Error for ChainLayoutError {}
+
+/// A chain under construction (and its final form).
+#[derive(Debug, Clone, Default)]
+pub struct Chain {
+    words: Vec<Word>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Chain {
+    /// Creates an empty chain.
+    pub fn new() -> Chain {
+        Chain::default()
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when no words have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Size in bytes once serialized.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// The words emitted so far.
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// Appends a word, returning its index.
+    pub fn push(&mut self, w: Word) -> usize {
+        self.words.push(w);
+        self.words.len() - 1
+    }
+
+    /// Replaces the word at `idx`.
+    pub fn set(&mut self, idx: usize, w: Word) {
+        self.words[idx] = w;
+    }
+
+    /// Creates an unbound label.
+    pub fn label(&mut self) -> ChainLabel {
+        self.labels.push(None);
+        ChainLabel(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next word position.
+    pub fn bind(&mut self, label: ChainLabel) {
+        self.labels[label.0] = Some(self.words.len());
+    }
+
+    /// The position a bound label points at.
+    pub fn position(&self, label: ChainLabel) -> Option<usize> {
+        self.labels.get(label.0).copied().flatten()
+    }
+
+    /// Serializes the chain for placement at virtual address `base`.
+    pub fn serialize(&self, base: u32) -> Result<Vec<u8>, ChainLayoutError> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        for w in &self.words {
+            let v: u32 = match w {
+                Word::Gadget(a) => *a,
+                Word::Const(c) => *c,
+                Word::DeltaTo { label, anchor } => {
+                    let pos = self
+                        .position(*label)
+                        .ok_or(ChainLayoutError::UnboundLabel(*label))?;
+                    ((pos as i64 - *anchor as i64) * 4) as u32
+                }
+                Word::AbsSlot(label) => {
+                    let pos = self
+                        .position(*label)
+                        .ok_or(ChainLayoutError::UnboundLabel(*label))?;
+                    base + 4 * pos as u32
+                }
+                Word::DummyCs => 0x23,
+                Word::Junk => 0x6a6a_6a6a,
+            };
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    /// The distinct gadget addresses referenced by the chain.
+    pub fn gadget_addrs(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .words
+            .iter()
+            .filter_map(|w| match w {
+                Word::Gadget(a) => Some(*a),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_resolves_labels() {
+        let mut c = Chain::new();
+        let l = c.label();
+        c.push(Word::Gadget(0x08048000));
+        let delta_idx = c.push(Word::Const(0)); // placeholder
+        c.push(Word::Gadget(0x08048010));
+        c.bind(l);
+        c.push(Word::Const(42));
+        c.set(
+            delta_idx,
+            Word::DeltaTo {
+                label: l,
+                anchor: 2,
+            },
+        );
+        let bytes = c.serialize(0x1000).unwrap();
+        assert_eq!(bytes.len(), 16);
+        let delta = i32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        assert_eq!(delta, 4); // (3 - 2) * 4
+
+        let mut c2 = Chain::new();
+        let l2 = c2.label();
+        c2.bind(l2);
+        c2.push(Word::AbsSlot(l2));
+        let b2 = c2.serialize(0x2000).unwrap();
+        assert_eq!(u32::from_le_bytes(b2[..4].try_into().unwrap()), 0x2000);
+    }
+
+    #[test]
+    fn negative_deltas() {
+        let mut c = Chain::new();
+        let top = c.label();
+        c.bind(top);
+        c.push(Word::Gadget(1));
+        c.push(Word::DeltaTo {
+            label: top,
+            anchor: 5,
+        });
+        for _ in 0..3 {
+            c.push(Word::Junk);
+        }
+        let bytes = c.serialize(0).unwrap();
+        let delta = i32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        assert_eq!(delta, -20);
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut c = Chain::new();
+        let l = c.label();
+        c.push(Word::AbsSlot(l));
+        assert!(c.serialize(0).is_err());
+    }
+
+    #[test]
+    fn gadget_addrs_deduped() {
+        let mut c = Chain::new();
+        c.push(Word::Gadget(5));
+        c.push(Word::Gadget(3));
+        c.push(Word::Gadget(5));
+        assert_eq!(c.gadget_addrs(), vec![3, 5]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Chain disassembly: render a serialized chain's words as gadget
+//! invocations — the analysis view an adversary (or a debugging
+//! developer) sees, modulo the paper's §VI hardening.
+
+use std::collections::HashMap;
+
+use parallax_gadgets::GadgetMap;
+use parallax_image::LinkedImage;
+
+/// One decoded chain word.
+#[derive(Debug, Clone)]
+pub enum ChainWord {
+    /// A gadget address, with its disassembly and typed effects.
+    Gadget {
+        /// Word index in the chain.
+        index: usize,
+        /// Gadget vaddr.
+        vaddr: u32,
+        /// Disassembly text.
+        disasm: String,
+        /// Effects summary.
+        effects: String,
+        /// Host function containing the gadget.
+        host: String,
+    },
+    /// A non-gadget word (constant, junk, or pivot target).
+    Data {
+        /// Word index in the chain.
+        index: usize,
+        /// Raw value.
+        value: u32,
+        /// Best-effort annotation (e.g. a symbol the value points at).
+        note: Option<String>,
+    },
+}
+
+/// Disassembles chain `bytes` (as stored in the image) against the
+/// image's gadget map.
+pub fn disasm_chain(img: &LinkedImage, map: &GadgetMap, bytes: &[u8]) -> Vec<ChainWord> {
+    let by_addr: HashMap<u32, usize> = map
+        .gadgets()
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.vaddr, i))
+        .collect();
+    let mut out = Vec::new();
+    for (index, chunk) in bytes.chunks_exact(4).enumerate() {
+        let value = u32::from_le_bytes(chunk.try_into().unwrap());
+        match by_addr.get(&value) {
+            Some(&gi) => {
+                let g = map.get(gi);
+                out.push(ChainWord::Gadget {
+                    index,
+                    vaddr: value,
+                    disasm: g.disasm.clone(),
+                    effects: g
+                        .effects
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    host: img
+                        .symbol_at(value)
+                        .map(|s| s.name.clone())
+                        .unwrap_or_else(|| "?".into()),
+                });
+            }
+            None => {
+                let note = img.symbol_at(value).map(|s| {
+                    format!("&{}{:+}", s.name, value as i64 - s.vaddr as i64)
+                });
+                out.push(ChainWord::Data { index, value, note });
+            }
+        }
+    }
+    out
+}
+
+/// Renders a disassembled chain as text.
+pub fn format_chain(words: &[ChainWord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for w in words {
+        match w {
+            ChainWord::Gadget {
+                index,
+                vaddr,
+                disasm,
+                effects,
+                host,
+            } => {
+                writeln!(
+                    out,
+                    "[{index:>4}] {vaddr:#010x}  {disasm:<40} ; {effects}  (in {host})"
+                )
+                .unwrap();
+            }
+            ChainWord::Data { index, value, note } => {
+                match note {
+                    Some(n) => writeln!(out, "[{index:>4}] {value:#010x}  .data {n}").unwrap(),
+                    None => writeln!(out, "[{index:>4}] {value:#010x}  .data").unwrap(),
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{Chain, Word};
+
+    #[test]
+    fn disassembles_gadgets_and_data() {
+        // Build a tiny image with one gadget.
+        let mut p = parallax_image::Program::new();
+        let mut main = parallax_x86::Asm::new();
+        main.mov_ri(parallax_x86::Reg32::Eax, 1);
+        main.int(0x80);
+        p.add_func("main", main.finish().unwrap());
+        let mut gf = parallax_x86::Asm::new();
+        gf.pop_r(parallax_x86::Reg32::Eax);
+        gf.ret();
+        p.add_func("g", gf.finish().unwrap());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        let map = parallax_gadgets::build_map(&img);
+        let gaddr = img.symbol("g").unwrap().vaddr;
+
+        let mut c = Chain::new();
+        c.push(Word::Gadget(gaddr));
+        c.push(Word::Const(0x1234));
+        let bytes = c.serialize(0x5000).unwrap();
+
+        let words = disasm_chain(&img, &map, &bytes);
+        assert_eq!(words.len(), 2);
+        assert!(matches!(&words[0], ChainWord::Gadget { disasm, .. } if disasm == "pop eax; ret"));
+        assert!(matches!(&words[1], ChainWord::Data { value: 0x1234, .. }));
+        let text = format_chain(&words);
+        assert!(text.contains("pop eax; ret"));
+        assert!(text.contains("(in g)"));
+    }
+}

@@ -1,0 +1,21 @@
+//! The ROP chain compiler and loader runtime for Parallax.
+//!
+//! Verification code (paper §V) is produced here: IR functions are
+//! translated into ROP chains ([`compile`]) laid out as 32-bit words in
+//! data memory ([`chain`]), bootstrapped and unwound by a small native
+//! runtime ([`runtime`]). Gadget selection honours the paper's §III
+//! preference for gadgets overlapping the protected instructions, and
+//! its §V-B probabilistic mode selects uniformly among shape-equivalent
+//! gadgets so multiple variants of one chain can be generated.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod compile;
+pub mod disasm;
+pub mod runtime;
+
+pub use chain::{Chain, ChainLabel, ChainLayoutError, Word};
+pub use disasm::{disasm_chain, format_chain, ChainWord};
+pub use compile::{compile_chain, compile_chain_with_guards, frame_size, ChainError, CompiledChain, Policy, TEMP_SLOTS};
+pub use runtime::{fnv1a, install_runtime, make_chain_checker, make_stub, make_stub_full, make_stub_with_checker, CALLSLOT, CALL_NATIVE, CELLS, CHAIN_CK_EXIT, CHAIN_ENTER, CHAIN_EXIT, EXITSLOT};

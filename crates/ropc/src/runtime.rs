@@ -1,0 +1,316 @@
+//! The native chain-loader runtime (paper §V-A).
+//!
+//! Three small native routines plus a few data cells bootstrap and
+//! unwind ROP chains:
+//!
+//! * `__plx_chain_enter(chain)` — saves registers (`pushad`), stashes
+//!   the stack pointer, pivots `esp` into the chain, and `ret`s into
+//!   the first gadget;
+//! * `__plx_chain_exit` — the epilogue target: restores the native
+//!   stack and registers (`popad`) and returns the chain's result;
+//! * `__plx_call_native` — the trampoline chains use to call ordinary
+//!   functions: it switches back to the native stack, pushes the
+//!   arguments the chain stored in the argument buffer, performs the
+//!   call, and pivots back into the chain at its resume point.
+//!
+//! The paper's loader performs the same duties (pushad/popad around the
+//! chain, a `pop esp` epilogue returning to the calling frame).
+
+use parallax_image::Program;
+use parallax_x86::{Asm, AluOp, Assembled, Cond, Mem, Reg32, RelocKind, SymReloc};
+
+/// Symbol of the cell block.
+pub const CELLS: &str = "__plx_cells";
+/// Symbol of the call-trampoline pivot slot.
+pub const CALLSLOT: &str = "__plx_callslot";
+/// Symbol of the chain-exit pivot slot.
+pub const EXITSLOT: &str = "__plx_exitslot";
+/// Symbol of the enter routine.
+pub const CHAIN_ENTER: &str = "__plx_chain_enter";
+/// Symbol of the exit routine.
+pub const CHAIN_EXIT: &str = "__plx_chain_exit";
+/// Symbol of the native-call trampoline.
+pub const CALL_NATIVE: &str = "__plx_call_native";
+
+/// Offset of the saved native stack pointer within the cells.
+pub const CELL_SAVED_ESP: i32 = 0;
+/// Offset of the chain return value.
+pub const CELL_RET: i32 = 4;
+/// Offset of the chain resume stack pointer.
+pub const CELL_RESUME: i32 = 8;
+/// Offset of the native-call result.
+pub const CELL_RET_TMP: i32 = 12;
+/// Offset of the native-call target address.
+pub const CELL_ARG_TARGET: i32 = 20;
+/// Offset of the native-call argument count.
+pub const CELL_ARG_N: i32 = 24;
+/// Offset of the first native-call argument (1-based slots).
+pub const CELL_ARGS: i32 = 28;
+/// Maximum native-call arguments supported by the trampoline.
+pub const MAX_NATIVE_ARGS: usize = 8;
+/// Total size of the cell block.
+pub const CELLS_SIZE: u32 = (CELL_ARGS as u32) + 4 * MAX_NATIVE_ARGS as u32;
+
+fn chain_enter() -> Assembled {
+    let mut a = Asm::new();
+    a.pushad();
+    a.mov_ri_sym(Reg32::Eax, CELLS, 0);
+    a.mov_mr(Mem::base_disp(Reg32::Eax, CELL_SAVED_ESP), Reg32::Esp);
+    // Argument sits above the pushad frame (32) and return address (4).
+    a.mov_rm(Reg32::Eax, Mem::base_disp(Reg32::Esp, 36));
+    a.mov_rr(Reg32::Esp, Reg32::Eax);
+    a.ret(); // into the first gadget
+    a.finish().expect("chain_enter assembles")
+}
+
+fn chain_exit() -> Assembled {
+    let mut a = Asm::new();
+    a.mov_ri_sym(Reg32::Esp, CELLS, 0);
+    a.mov_rm(Reg32::Esp, Mem::base_disp(Reg32::Esp, CELL_SAVED_ESP));
+    a.popad();
+    a.mov_ri_sym(Reg32::Eax, CELLS, 0);
+    a.mov_rm(Reg32::Eax, Mem::base_disp(Reg32::Eax, CELL_RET));
+    a.ret();
+    a.finish().expect("chain_exit assembles")
+}
+
+fn call_native() -> Assembled {
+    let mut a = Asm::new();
+    // Switch to the native stack, below the saved pushad frame.
+    a.mov_ri_sym(Reg32::Esp, CELLS, 0);
+    a.mov_rm(Reg32::Esp, Mem::base_disp(Reg32::Esp, CELL_SAVED_ESP));
+    a.alu_ri(AluOp::Sub, Reg32::Esp, 0x40);
+    a.mov_ri_sym(Reg32::Edx, CELLS, 0);
+    a.mov_rm(Reg32::Ecx, Mem::base_disp(Reg32::Edx, CELL_ARG_N));
+    let do_call = a.label();
+    let top = a.here();
+    a.test_rr(Reg32::Ecx, Reg32::Ecx);
+    a.jcc(Cond::E, do_call);
+    // push args right-to-left: arg[ecx] at cells + CELL_ARG_N + 4*ecx
+    a.push_m(Mem {
+        base: Some(Reg32::Edx),
+        index: Some((Reg32::Ecx, 4)),
+        disp: CELL_ARG_N,
+    });
+    a.dec_r(Reg32::Ecx);
+    a.jmp(top);
+    a.bind(do_call);
+    a.mov_rm(Reg32::Eax, Mem::base_disp(Reg32::Edx, CELL_ARG_TARGET));
+    a.call_r(Reg32::Eax);
+    // The callee may clobber edx; reload the cell base.
+    a.mov_ri_sym(Reg32::Edx, CELLS, 0);
+    a.mov_mr(Mem::base_disp(Reg32::Edx, CELL_RET_TMP), Reg32::Eax);
+    a.mov_rm(Reg32::Esp, Mem::base_disp(Reg32::Edx, CELL_RESUME));
+    a.ret(); // back into the chain
+    a.finish().expect("call_native assembles")
+}
+
+/// Installs the runtime (routines + cells) into `prog`. Idempotent.
+pub fn install_runtime(prog: &mut Program) {
+    if prog.func(CHAIN_ENTER).is_some() {
+        return;
+    }
+    prog.add_func(CHAIN_ENTER, chain_enter());
+    prog.add_func(CHAIN_EXIT, chain_exit());
+    prog.add_func(CALL_NATIVE, call_native());
+    prog.add_bss(CELLS, CELLS_SIZE);
+    prog.add_data_with_relocs(
+        CALLSLOT,
+        vec![0; 4],
+        vec![SymReloc {
+            offset: 0,
+            symbol: CALL_NATIVE.to_owned(),
+            kind: RelocKind::Abs32,
+            addend: 0,
+        }],
+    );
+    prog.add_data_with_relocs(
+        EXITSLOT,
+        vec![0; 4],
+        vec![SymReloc {
+            offset: 0,
+            symbol: CHAIN_EXIT.to_owned(),
+            kind: RelocKind::Abs32,
+            addend: 0,
+        }],
+    );
+}
+
+/// Exit status of the chain-checksum tamper response (§VI-C).
+pub const CHAIN_CK_EXIT: i32 = 0x6b;
+
+/// Builds a native FNV-1a checker over a data object (the verification
+/// code, which lives in data memory — §VI-C: chains *can* be protected
+/// by traditional checksumming, without Wurster risk, because they are
+/// legitimately read as data). `data_sym` is summed over
+/// `[len_sym]` bytes and compared with `[exp_sym]`; mismatch exits with
+/// [`CHAIN_CK_EXIT`].
+pub fn make_chain_checker(data_sym: &str, len_sym: &str, exp_sym: &str) -> Assembled {
+    let mut a = Asm::new();
+    a.push_r(Reg32::Ebx);
+    a.mov_ri_sym(Reg32::Ecx, data_sym, 0);
+    a.mov_ri_sym(Reg32::Ebx, len_sym, 0);
+    a.mov_rm(Reg32::Ebx, Mem::base(Reg32::Ebx));
+    a.alu_rr(AluOp::Add, Reg32::Ebx, Reg32::Ecx); // end pointer
+    a.mov_ri(Reg32::Eax, 0x811c_9dc5u32 as i32); // FNV offset basis
+    let done = a.label();
+    let top = a.here();
+    a.alu_rr(AluOp::Cmp, Reg32::Ecx, Reg32::Ebx);
+    a.jcc(Cond::E, done);
+    a.movzx_rm8(Reg32::Edx, Mem::base(Reg32::Ecx));
+    a.alu_rr(AluOp::Xor, Reg32::Eax, Reg32::Edx);
+    a.imul_rri(Reg32::Eax, Reg32::Eax, 16_777_619);
+    a.inc_r(Reg32::Ecx);
+    a.jmp(top);
+    a.bind(done);
+    a.mov_ri_sym(Reg32::Ecx, exp_sym, 0);
+    a.mov_rm(Reg32::Ecx, Mem::base(Reg32::Ecx));
+    let ok = a.label();
+    a.alu_rr(AluOp::Cmp, Reg32::Eax, Reg32::Ecx);
+    a.jcc(Cond::E, ok);
+    a.mov_ri(Reg32::Eax, 1);
+    a.mov_ri(Reg32::Ebx, CHAIN_CK_EXIT);
+    a.int(0x80);
+    a.bind(ok);
+    a.pop_r(Reg32::Ebx);
+    a.ret();
+    a.finish().expect("chain checker assembles")
+}
+
+/// Host-side FNV-1a matching [`make_chain_checker`].
+pub fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(16_777_619);
+    }
+    h
+}
+
+/// Builds the stub that replaces a protected function's body: it copies
+/// its stack arguments into the chain frame, obtains the chain address
+/// (a static chain symbol, or by calling a generator that returns one),
+/// and runs the chain through [`CHAIN_ENTER`].
+pub fn make_stub(
+    params: usize,
+    frame_sym: &str,
+    chain_sym: Option<&str>,
+    generator_sym: Option<&str>,
+) -> Assembled {
+    make_stub_with_checker(params, frame_sym, chain_sym, generator_sym, None)
+}
+
+/// [`make_stub`] plus an optional §VI-C chain-checksum call performed
+/// before every chain invocation.
+pub fn make_stub_with_checker(
+    params: usize,
+    frame_sym: &str,
+    chain_sym: Option<&str>,
+    generator_sym: Option<&str>,
+    checker_sym: Option<&str>,
+) -> Assembled {
+    make_stub_full(params, frame_sym, chain_sym, generator_sym, checker_sym, None)
+}
+
+/// The full stub builder: optionally checksums the chain material
+/// before the call (§VI-C) and *wipes* the regenerated plaintext chain
+/// buffer after it (§V-B self-modification: the decrypted chain never
+/// persists between calls). `wipe` is `(buffer_sym, len_cell_sym)`.
+pub fn make_stub_full(
+    params: usize,
+    frame_sym: &str,
+    chain_sym: Option<&str>,
+    generator_sym: Option<&str>,
+    checker_sym: Option<&str>,
+    wipe: Option<(&str, &str)>,
+) -> Assembled {
+    let mut a = Asm::new();
+    if let Some(ck) = checker_sym {
+        a.call_sym(ck);
+    }
+    if params > 0 {
+        a.mov_ri_sym(Reg32::Ecx, frame_sym, 0);
+        for i in 0..params {
+            a.mov_rm(Reg32::Eax, Mem::base_disp(Reg32::Esp, 4 + 4 * i as i32));
+            a.mov_mr(Mem::base_disp(Reg32::Ecx, 4 * i as i32), Reg32::Eax);
+        }
+    }
+    match (chain_sym, generator_sym) {
+        (_, Some(generator)) => {
+            a.call_sym(generator);
+            a.push_r(Reg32::Eax);
+        }
+        (Some(chain), None) => {
+            a.push_i_sym(chain, 0);
+        }
+        (None, None) => panic!("stub needs a chain symbol or a generator"),
+    }
+    a.call_sym(CHAIN_ENTER);
+    a.alu_ri(AluOp::Add, Reg32::Esp, 4);
+    if let Some((buf_sym, len_sym)) = wipe {
+        // Zero the plaintext chain buffer; eax (the result) survives in
+        // a stack slot.
+        a.push_r(Reg32::Eax);
+        a.mov_ri_sym(Reg32::Ecx, buf_sym, 0);
+        a.mov_ri_sym(Reg32::Edx, len_sym, 0);
+        a.mov_rm(Reg32::Edx, Mem::base(Reg32::Edx));
+        let done = a.label();
+        let top = a.here();
+        a.test_rr(Reg32::Edx, Reg32::Edx);
+        a.jcc(Cond::E, done);
+        a.dec_r(Reg32::Edx);
+        a.mov_mi8(
+            Mem {
+                base: Some(Reg32::Ecx),
+                index: Some((Reg32::Edx, 1)),
+                disp: 0,
+            },
+            0,
+        );
+        a.jmp(top);
+        a.bind(done);
+        a.pop_r(Reg32::Eax);
+    }
+    a.ret();
+    a.finish().expect("stub assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_assembles_and_links() {
+        let mut p = Program::new();
+        let mut main = Asm::new();
+        main.mov_ri(Reg32::Eax, 1);
+        main.mov_ri(Reg32::Ebx, 0);
+        main.int(0x80);
+        p.add_func("main", main.finish().unwrap());
+        install_runtime(&mut p);
+        install_runtime(&mut p); // idempotent
+        p.set_entry("main");
+        let img = p.link().unwrap();
+        assert!(img.symbol(CHAIN_ENTER).is_some());
+        assert!(img.symbol(CELLS).unwrap().size >= CELLS_SIZE);
+        // The call slot points at the trampoline.
+        let slot = img.symbol(CALLSLOT).unwrap();
+        let val = u32::from_le_bytes(img.read(slot.vaddr, 4).unwrap().try_into().unwrap());
+        assert_eq!(val, img.symbol(CALL_NATIVE).unwrap().vaddr);
+    }
+
+    #[test]
+    fn stub_shape() {
+        let s = make_stub(2, "frame", Some("chain"), None);
+        assert!(!s.bytes.is_empty());
+        assert_eq!(
+            s.relocs
+                .iter()
+                .filter(|r| r.kind == RelocKind::Abs32)
+                .count(),
+            2 // frame + chain
+        );
+        let s2 = make_stub(0, "frame", None, Some("gen"));
+        assert!(s2.relocs.iter().any(|r| r.symbol == "gen"));
+    }
+}

@@ -1,0 +1,315 @@
+//! End-to-end verification-chain tests: translate IR functions into
+//! ROP chains, execute them through the loader runtime, and check that
+//! they compute exactly what the native code computed — and stop doing
+//! so when a used gadget is tampered with.
+
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{compile_module, Function, Module, Stmt};
+use parallax_gadgets::GadgetMap;
+use parallax_image::LinkedImage;
+use parallax_ropc::{
+    compile_chain, frame_size, install_runtime, make_stub, CompiledChain, Policy,
+};
+use parallax_rewrite::{standard_set, STDSET_NAME};
+use parallax_vm::{Exit, Vm};
+
+/// Protects `vfunc` of `module` by translating it to a chain, applying
+/// the full two-phase link. Returns the final image and the chain info.
+fn protect(module: &Module, vfunc: &str, policy: Policy) -> (LinkedImage, CompiledChain) {
+    let mut prog = compile_module(module).expect("module compiles");
+    prog.add_func(STDSET_NAME, standard_set());
+    install_runtime(&mut prog);
+
+    let f = module.get_func(vfunc).expect("vfunc exists").clone();
+    let frame_sym = format!("__plx_frame_{vfunc}");
+    let chain_sym = format!("__plx_chain_{vfunc}");
+    prog.add_bss(&frame_sym, frame_size(&f));
+    prog.add_bss("__plx_scratch", 4096);
+
+    // Replace the verification function's body with the loader stub.
+    let stub = make_stub(f.params.len(), &frame_sym, Some(&chain_sym), None);
+    {
+        let slot = prog.func_mut(vfunc).unwrap();
+        slot.bytes = stub.bytes.clone();
+        slot.relocs = stub.relocs.clone();
+        slot.markers = stub.markers.clone();
+    }
+
+    // Pass 1: empty placeholder to discover the chain length.
+    prog.add_data(&chain_sym, Vec::new());
+    let img1 = prog.link().expect("pass-1 links");
+    let map = GadgetMap::new(parallax_gadgets::find_gadgets(&img1));
+    let frame = img1.symbol(&frame_sym).unwrap().vaddr;
+    let scratch = img1.symbol("__plx_scratch").unwrap().vaddr;
+    let compiled1 = compile_chain(&f, &map, &img1, frame, scratch, policy.clone())
+        .expect("chain compiles (pass 1)");
+
+    // Pass 2: re-link with the placeholder sized, recompile against the
+    // final addresses, and fill in the bytes.
+    prog.data_item_mut(&chain_sym).unwrap().bytes = vec![0; compiled1.chain.byte_len()];
+    let img2 = prog.link().expect("pass-2 links");
+    let map2 = GadgetMap::new(parallax_gadgets::find_gadgets(&img2));
+    let frame2 = img2.symbol(&frame_sym).unwrap().vaddr;
+    let scratch2 = img2.symbol("__plx_scratch").unwrap().vaddr;
+    let compiled2 = compile_chain(&f, &map2, &img2, frame2, scratch2, policy)
+        .expect("chain compiles (pass 2)");
+    assert_eq!(
+        compiled1.chain.byte_len(),
+        compiled2.chain.byte_len(),
+        "chain length must be stable across passes"
+    );
+    let base = img2.symbol(&chain_sym).unwrap().vaddr;
+    let bytes = compiled2.chain.serialize(base).expect("serializes");
+    prog.data_item_mut(&chain_sym).unwrap().bytes = bytes;
+    let img3 = prog.link().expect("final link");
+    (img3, compiled2)
+}
+
+fn run_vf(img: &LinkedImage, func: &str, args: &[u32]) -> Result<u32, Exit> {
+    let mut vm = Vm::new(img);
+    let entry = img.symbol(func).unwrap().vaddr;
+    vm.call_function(entry, args)
+}
+
+#[test]
+fn straight_line_arithmetic_chain() {
+    let mut m = Module::new();
+    m.func(Function::new(
+        "vf",
+        ["a", "b"],
+        vec![
+            let_("x", add(l("a"), c(10))),
+            let_("y", mul(l("b"), c(3))),
+            ret(sub(add(l("x"), l("y")), c(1))),
+        ],
+    ));
+    m.func(Function::new("main", [], vec![ret(call("vf", vec![c(1), c(2)]))]));
+    m.entry("main");
+
+    // Native result first.
+    let native = compile_module(&m).unwrap().link().unwrap();
+    let expect = {
+        let mut vm = Vm::new(&native);
+        let entry = native.symbol("vf").unwrap().vaddr;
+        vm.call_function(entry, &[5, 7]).unwrap()
+    };
+    assert_eq!(expect, (5 + 10) + (7 * 3) - 1);
+
+    let (img, compiled) = protect(&m, "vf", Policy::First);
+    assert!(compiled.ops > 5);
+    assert_eq!(run_vf(&img, "vf", &[5, 7]).unwrap(), expect);
+    // Different arguments, same chain.
+    assert_eq!(run_vf(&img, "vf", &[100, 0]).unwrap(), 109);
+}
+
+#[test]
+fn control_flow_chain_if_and_while() {
+    let mut m = Module::new();
+    // vf(n) = sum of odd i in 1..=n
+    m.func(Function::new(
+        "vf",
+        ["n"],
+        vec![
+            let_("i", c(0)),
+            let_("sum", c(0)),
+            while_(
+                lt_s(l("i"), l("n")),
+                vec![
+                    let_("i", add(l("i"), c(1))),
+                    if_(
+                        eq(and(l("i"), c(1)), c(1)),
+                        vec![let_("sum", add(l("sum"), l("i")))],
+                        vec![],
+                    ),
+                ],
+            ),
+            ret(l("sum")),
+        ],
+    ));
+    m.func(Function::new("main", [], vec![ret(c(0))]));
+    m.entry("main");
+
+    let (img, _) = protect(&m, "vf", Policy::First);
+    assert_eq!(run_vf(&img, "vf", &[10]).unwrap(), 25); // 1+3+5+7+9
+    assert_eq!(run_vf(&img, "vf", &[0]).unwrap(), 0);
+    assert_eq!(run_vf(&img, "vf", &[1]).unwrap(), 1);
+    assert_eq!(run_vf(&img, "vf", &[100]).unwrap(), 2500);
+}
+
+#[test]
+fn comparisons_and_bitwise_chain() {
+    let mut m = Module::new();
+    m.func(Function::new(
+        "vf",
+        ["a", "b"],
+        vec![
+            let_("r", c(0)),
+            if_(lt_s(l("a"), l("b")), vec![let_("r", or(l("r"), c(1)))], vec![]),
+            if_(lt_u(l("a"), l("b")), vec![let_("r", or(l("r"), c(2)))], vec![]),
+            if_(eq(l("a"), l("b")), vec![let_("r", or(l("r"), c(4)))], vec![]),
+            if_(ne(l("a"), l("b")), vec![let_("r", or(l("r"), c(8)))], vec![]),
+            if_(ge_s(l("a"), l("b")), vec![let_("r", or(l("r"), c(16)))], vec![]),
+            ret(l("r")),
+        ],
+    ));
+    m.func(Function::new("main", [], vec![ret(c(0))]));
+    m.entry("main");
+    let (img, _) = protect(&m, "vf", Policy::First);
+
+    // a < b signed and unsigned
+    assert_eq!(run_vf(&img, "vf", &[3, 9]).unwrap(), 1 | 2 | 8);
+    // equal
+    assert_eq!(run_vf(&img, "vf", &[7, 7]).unwrap(), 4 | 16);
+    // a = -1 (signed less, unsigned greater)
+    assert_eq!(run_vf(&img, "vf", &[0xffff_ffff, 4]).unwrap(), 1 | 8);
+    // a > b both ways
+    assert_eq!(run_vf(&img, "vf", &[9, 2]).unwrap(), 8 | 16);
+}
+
+#[test]
+fn memory_and_shift_chain() {
+    let mut m = Module::new();
+    m.global("table", vec![1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0]);
+    m.bss("out", 16);
+    m.func(Function::new(
+        "vf",
+        ["k"],
+        vec![
+            // out[0] = (table[0] + table[1] + table[2]) << k
+            let_(
+                "s",
+                add(
+                    load(g("table")),
+                    add(load(add(g("table"), c(4))), load(add(g("table"), c(8)))),
+                ),
+            ),
+            store(g("out"), shl(l("s"), l("k"))),
+            ret(load(g("out"))),
+        ],
+    ));
+    m.func(Function::new("main", [], vec![ret(c(0))]));
+    m.entry("main");
+    let (img, _) = protect(&m, "vf", Policy::First);
+    assert_eq!(run_vf(&img, "vf", &[0]).unwrap(), 6);
+    assert_eq!(run_vf(&img, "vf", &[4]).unwrap(), 96);
+}
+
+#[test]
+fn syscall_chain_ptrace_detector() {
+    // The paper's running example as verification code.
+    let mut m = Module::new();
+    m.func(Function::new(
+        "check_ptrace",
+        [],
+        vec![if_(
+            eq(syscall(26, vec![c(0)]), c(0)),
+            vec![ret(c(0))],
+            vec![ret(c(1))],
+        )],
+    ));
+    m.func(Function::new("main", [], vec![ret(c(0))]));
+    m.entry("main");
+    let (img, _) = protect(&m, "check_ptrace", Policy::First);
+
+    // Clean run: no debugger, detector returns 0.
+    assert_eq!(run_vf(&img, "check_ptrace", &[]).unwrap(), 0);
+
+    // With a debugger attached, the chain detects it.
+    let mut vm = Vm::new(&img);
+    vm.attach_debugger();
+    let entry = img.symbol("check_ptrace").unwrap().vaddr;
+    assert_eq!(vm.call_function(entry, &[]).unwrap(), 1);
+}
+
+#[test]
+fn native_call_from_chain() {
+    let mut m = Module::new();
+    m.func(Function::new(
+        "helper",
+        ["x"],
+        vec![ret(mul(l("x"), l("x")))],
+    ));
+    m.func(Function::new(
+        "vf",
+        ["a"],
+        vec![ret(add(call("helper", vec![l("a")]), c(1)))],
+    ));
+    m.func(Function::new("main", [], vec![ret(c(0))]));
+    m.entry("main");
+    let (img, _) = protect(&m, "vf", Policy::First);
+    assert_eq!(run_vf(&img, "vf", &[6]).unwrap(), 37);
+    assert_eq!(run_vf(&img, "vf", &[0]).unwrap(), 1);
+}
+
+#[test]
+fn tampering_with_used_gadget_breaks_chain() {
+    let mut m = Module::new();
+    m.func(Function::new(
+        "vf",
+        ["a", "b"],
+        vec![ret(add(l("a"), l("b")))],
+    ));
+    m.func(Function::new("main", [], vec![ret(c(0))]));
+    m.entry("main");
+    let (img, compiled) = protect(&m, "vf", Policy::First);
+    assert_eq!(run_vf(&img, "vf", &[2, 3]).unwrap(), 5);
+
+    // Tamper with every used gadget in turn; each time, the chain must
+    // stop producing the correct result.
+    let mut detected = 0;
+    for &gaddr in &compiled.used_gadgets {
+        let mut broken = img.clone();
+        // Overwrite the gadget's first byte with a NOP (0x90) — the
+        // canonical attack from Listing 2.
+        broken.write(gaddr, &[0x90]);
+        let outcome = run_vf(&broken, "vf", &[2, 3]);
+        match outcome {
+            Ok(5) => {} // this particular patch went unnoticed
+            _ => detected += 1,
+        }
+    }
+    assert!(
+        detected as f64 >= compiled.used_gadgets.len() as f64 * 0.8,
+        "most gadget tampering must break the chain: {detected}/{}",
+        compiled.used_gadgets.len()
+    );
+}
+
+#[test]
+fn probabilistic_variants_have_identical_shape() {
+    let mut m = Module::new();
+    m.func(Function::new(
+        "vf",
+        ["a"],
+        vec![
+            let_("x", add(l("a"), c(3))),
+            ret(xor(l("x"), c(0x55))),
+        ],
+    ));
+    m.func(Function::new("main", [], vec![ret(c(0))]));
+    m.entry("main");
+
+    // Compile several Grouped variants against the same image.
+    let (img, _) = protect(&m, "vf", Policy::Grouped { seed: 1 });
+    let expect = run_vf(&img, "vf", &[10]).unwrap();
+    assert_eq!(expect, (10 + 3) ^ 0x55);
+}
+
+#[test]
+fn store8_in_chain() {
+    let mut m = Module::new();
+    m.global("buf", vec![0xaa, 0xbb, 0xcc, 0xdd, 0x11, 0x22, 0x33, 0x44]);
+    m.func(Function::new(
+        "vf",
+        ["v"],
+        vec![
+            Stmt::Store8(add(g("buf"), c(1)), l("v")),
+            ret(load(g("buf"))),
+        ],
+    ));
+    m.func(Function::new("main", [], vec![ret(c(0))]));
+    m.entry("main");
+    let (img, _) = protect(&m, "vf", Policy::First);
+    // Writing 0x7f at buf+1: word becomes dd cc 7f aa (LE: 0xddcc7faa)
+    assert_eq!(run_vf(&img, "vf", &[0x7f]).unwrap(), 0xddcc_7faa);
+}

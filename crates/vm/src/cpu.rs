@@ -1,0 +1,211 @@
+//! CPU register file and flags.
+
+use parallax_x86::{Cond, Reg32, Reg8};
+
+/// The x86 status flags tracked by the VM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flags {
+    /// Carry flag.
+    pub cf: bool,
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Overflow flag.
+    pub of: bool,
+    /// Parity flag (even parity of the low result byte).
+    pub pf: bool,
+    /// Auxiliary carry flag (carry out of bit 3).
+    pub af: bool,
+}
+
+impl Flags {
+    /// Evaluates a condition code against the current flags.
+    pub fn cond(&self, c: Cond) -> bool {
+        match c {
+            Cond::O => self.of,
+            Cond::No => !self.of,
+            Cond::B => self.cf,
+            Cond::Ae => !self.cf,
+            Cond::E => self.zf,
+            Cond::Ne => !self.zf,
+            Cond::Be => self.cf || self.zf,
+            Cond::A => !self.cf && !self.zf,
+            Cond::S => self.sf,
+            Cond::Ns => !self.sf,
+            Cond::P => self.pf,
+            Cond::Np => !self.pf,
+            Cond::L => self.sf != self.of,
+            Cond::Ge => self.sf == self.of,
+            Cond::Le => self.zf || (self.sf != self.of),
+            Cond::G => !self.zf && (self.sf == self.of),
+        }
+    }
+
+    /// Packs the flags into EFLAGS format (for `pushfd`).
+    pub fn to_eflags(&self) -> u32 {
+        let mut v = 0x2; // reserved bit 1 always set
+        if self.cf {
+            v |= 1 << 0;
+        }
+        if self.pf {
+            v |= 1 << 2;
+        }
+        if self.af {
+            v |= 1 << 4;
+        }
+        if self.zf {
+            v |= 1 << 6;
+        }
+        if self.sf {
+            v |= 1 << 7;
+        }
+        if self.of {
+            v |= 1 << 11;
+        }
+        v
+    }
+
+    /// Unpacks EFLAGS format (for `popfd`).
+    pub fn from_eflags(v: u32) -> Flags {
+        Flags {
+            cf: v & (1 << 0) != 0,
+            pf: v & (1 << 2) != 0,
+            af: v & (1 << 4) != 0,
+            zf: v & (1 << 6) != 0,
+            sf: v & (1 << 7) != 0,
+            of: v & (1 << 11) != 0,
+        }
+    }
+}
+
+/// The register file plus instruction pointer and flags.
+#[derive(Debug, Clone, Default)]
+pub struct Cpu {
+    regs: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Status flags.
+    pub flags: Flags,
+}
+
+impl Cpu {
+    /// Reads a 32-bit register.
+    #[inline]
+    pub fn reg(&self, r: Reg32) -> u32 {
+        self.regs[r.encoding() as usize]
+    }
+
+    /// Writes a 32-bit register.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg32, v: u32) {
+        self.regs[r.encoding() as usize] = v;
+    }
+
+    /// Reads an 8-bit register (low or high byte of its parent).
+    #[inline]
+    pub fn reg8(&self, r: Reg8) -> u8 {
+        let parent = self.reg(r.parent());
+        if r.is_high() {
+            (parent >> 8) as u8
+        } else {
+            parent as u8
+        }
+    }
+
+    /// Writes an 8-bit register, preserving the other bytes.
+    #[inline]
+    pub fn set_reg8(&mut self, r: Reg8, v: u8) {
+        let parent = r.parent();
+        let old = self.reg(parent);
+        let new = if r.is_high() {
+            (old & 0xffff_00ff) | ((v as u32) << 8)
+        } else {
+            (old & 0xffff_ff00) | v as u32
+        };
+        self.set_reg(parent, new);
+    }
+
+    /// The stack pointer.
+    #[inline]
+    pub fn esp(&self) -> u32 {
+        self.reg(Reg32::Esp)
+    }
+
+    /// Sets the stack pointer.
+    #[inline]
+    pub fn set_esp(&mut self, v: u32) {
+        self.set_reg(Reg32::Esp, v);
+    }
+}
+
+/// Computes the parity flag: true if the low byte has even parity.
+#[inline]
+pub fn parity(v: u32) -> bool {
+    (v as u8).count_ones().is_multiple_of(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subregister_aliasing() {
+        let mut cpu = Cpu::default();
+        cpu.set_reg(Reg32::Eax, 0x1234_5678);
+        assert_eq!(cpu.reg8(Reg8::Al), 0x78);
+        assert_eq!(cpu.reg8(Reg8::Ah), 0x56);
+        cpu.set_reg8(Reg8::Al, 0xaa);
+        assert_eq!(cpu.reg(Reg32::Eax), 0x1234_56aa);
+        cpu.set_reg8(Reg8::Ah, 0xbb);
+        assert_eq!(cpu.reg(Reg32::Eax), 0x1234_bbaa);
+        cpu.set_reg8(Reg8::Ch, 0x11);
+        assert_eq!(cpu.reg(Reg32::Ecx), 0x0000_1100);
+    }
+
+    #[test]
+    fn eflags_roundtrip() {
+        let f = Flags {
+            cf: true,
+            zf: true,
+            sf: false,
+            of: true,
+            pf: false,
+            af: true,
+        };
+        assert_eq!(Flags::from_eflags(f.to_eflags()), f);
+    }
+
+    #[test]
+    fn conditions() {
+        let mut f = Flags {
+            zf: true,
+            ..Flags::default()
+        };
+        assert!(f.cond(Cond::E));
+        assert!(!f.cond(Cond::Ne));
+        assert!(f.cond(Cond::Be));
+        assert!(f.cond(Cond::Le));
+        f = Flags {
+            sf: true,
+            of: false,
+            ..Flags::default()
+        };
+        assert!(f.cond(Cond::L));
+        assert!(!f.cond(Cond::Ge));
+        assert!(f.cond(Cond::S));
+        f = Flags::default();
+        assert!(f.cond(Cond::A));
+        assert!(f.cond(Cond::G));
+        assert!(f.cond(Cond::Ns));
+    }
+
+    #[test]
+    fn parity_is_low_byte_even() {
+        assert!(parity(0x00));
+        assert!(parity(0x03));
+        assert!(!parity(0x01));
+        assert!(parity(0xff));
+        assert!(!parity(0x1_07)); // only low byte counts
+    }
+}

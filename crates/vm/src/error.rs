@@ -1,0 +1,101 @@
+//! Fault and exit types for the VM.
+
+use core::fmt;
+
+/// Why a memory access or instruction faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Access outside every mapped region.
+    OutOfBounds,
+    /// Data write into the text region under W⊕X.
+    WriteToText,
+    /// Instruction fetch outside the text region.
+    ExecOutsideText,
+    /// Undecodable instruction bytes at `eip`.
+    InvalidInstruction,
+    /// Division by zero (or quotient overflow).
+    DivideError,
+    /// `int` with an unsupported vector, or an unknown syscall number.
+    BadSyscall,
+    /// `int3` breakpoint hit.
+    Breakpoint,
+    /// `hlt` executed in user code.
+    Halted,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::OutOfBounds => "memory access out of bounds",
+            FaultKind::WriteToText => "write to text segment (W^X)",
+            FaultKind::ExecOutsideText => "instruction fetch outside text",
+            FaultKind::InvalidInstruction => "invalid instruction",
+            FaultKind::DivideError => "divide error",
+            FaultKind::BadSyscall => "bad syscall",
+            FaultKind::Breakpoint => "breakpoint",
+            FaultKind::Halted => "halted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A runtime fault, with the faulting address or instruction pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Faulting virtual address (the accessed address for memory
+    /// faults, otherwise the instruction pointer).
+    pub vaddr: u32,
+    /// Classification.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Creates a fault record.
+    pub fn new(vaddr: u32, kind: FaultKind) -> Fault {
+        Fault { vaddr, kind }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {:#010x}", self.kind, self.vaddr)
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// How a VM run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// The program invoked the `exit` syscall.
+    Exited(i32),
+    /// The program faulted.
+    Fault(Fault),
+    /// The configured cycle budget was exhausted (runaway program).
+    CycleLimit,
+}
+
+impl Exit {
+    /// True for a clean `exit(0)`.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Exit::Exited(0))
+    }
+
+    /// The exit status, if the program exited cleanly.
+    pub fn status(&self) -> Option<i32> {
+        match self {
+            Exit::Exited(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Exit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exit::Exited(s) => write!(f, "exited with status {s}"),
+            Exit::Fault(fault) => write!(f, "faulted: {fault}"),
+            Exit::CycleLimit => write!(f, "cycle limit exhausted"),
+        }
+    }
+}

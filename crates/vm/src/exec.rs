@@ -1,0 +1,840 @@
+//! The instruction execution engine.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use parallax_image::LinkedImage;
+use parallax_x86::insn::{AluOp, Insn, Mem, Mnemonic, OpSize, Operand, ShiftOp};
+use parallax_x86::{decode, Reg, Reg32, Reg8};
+
+use crate::cost::{CostModel, ReturnStackBuffer};
+use crate::cpu::{parity, Cpu, Flags};
+use crate::error::{Exit, Fault, FaultKind};
+use crate::mem::Memory;
+use crate::profile::Profiler;
+use crate::syscall::{self, SyscallState};
+
+/// Return address sentinel used by [`Vm::call_function`]. Lies outside
+/// every mapped region, so a stray jump to it faults instead of
+/// silently succeeding.
+pub const CALL_SENTINEL: u32 = 0xffff_fff0;
+
+/// Construction options for a [`Vm`].
+#[derive(Debug, Clone)]
+pub struct VmOptions {
+    /// Cycle budget before [`Exit::CycleLimit`] (default 2 × 10⁹).
+    pub cycle_limit: u64,
+    /// Collect a per-function flat profile.
+    pub profile: bool,
+    /// The cycle-cost model.
+    pub cost: CostModel,
+    /// Seed for the deterministic `random` syscall.
+    pub seed: u64,
+}
+
+impl Default for VmOptions {
+    fn default() -> VmOptions {
+        VmOptions {
+            cycle_limit: 2_000_000_000,
+            profile: false,
+            cost: CostModel::default(),
+            seed: 0x5eed_0001,
+        }
+    }
+}
+
+/// A single-process x86-32 virtual machine.
+pub struct Vm {
+    /// CPU state.
+    pub cpu: Cpu,
+    mem: Memory,
+    cost: CostModel,
+    cycles: u64,
+    cycle_limit: u64,
+    rsb: ReturnStackBuffer,
+    sys: SyscallState,
+    profiler: Option<Profiler>,
+    decode_cache: HashMap<u32, Rc<Insn>>,
+    /// Retired instruction count.
+    pub instructions: u64,
+}
+
+impl Vm {
+    /// Creates a VM with default options, loading `image`.
+    pub fn new(image: &LinkedImage) -> Vm {
+        Vm::with_options(image, VmOptions::default())
+    }
+
+    /// Creates a VM with explicit options.
+    pub fn with_options(image: &LinkedImage, opts: VmOptions) -> Vm {
+        let mem = Memory::new(
+            image.text.clone(),
+            image.text_base,
+            image.data.clone(),
+            image.data_base,
+            image.bss_size,
+        );
+        let mut cpu = Cpu::default();
+        cpu.set_esp(mem.initial_esp());
+        cpu.eip = image.entry;
+        let profiler = if opts.profile {
+            Some(Profiler::new(image.funcs().map(|s| {
+                (s.name.clone(), s.vaddr, s.size)
+            })))
+        } else {
+            None
+        };
+        Vm {
+            cpu,
+            mem,
+            cost: opts.cost,
+            cycles: 0,
+            cycle_limit: opts.cycle_limit,
+            rsb: ReturnStackBuffer::default(),
+            sys: SyscallState::new(opts.seed),
+            profiler,
+            decode_cache: HashMap::new(),
+            instructions: 0,
+        }
+    }
+
+    /// Total cycles retired so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The memory subsystem.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (test harnesses and attack drivers).
+    /// Any code patch must go through [`Vm::write_code`] /
+    /// [`Vm::write_icache`] so the decode cache stays coherent.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The flat profiler, if enabled.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Bytes written to stdout via the `write` syscall.
+    pub fn output(&self) -> &[u8] {
+        &self.sys.output
+    }
+
+    /// Drains captured output.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.sys.output)
+    }
+
+    /// Provides bytes for the `read` syscall.
+    pub fn set_input(&mut self, input: &[u8]) {
+        self.sys.input = input.to_vec().into();
+    }
+
+    /// Marks a debugger as attached, so the `ptrace(TRACEME)` syscall
+    /// fails — the condition the paper's detector checks for.
+    pub fn attach_debugger(&mut self) {
+        self.sys.debugger_attached = true;
+    }
+
+    /// Enables split instruction/data views (Wurster et al. attack).
+    pub fn enable_split_cache(&mut self) {
+        self.mem.enable_split_cache();
+    }
+
+    /// Patches the instruction view only (requires split-cache mode).
+    pub fn write_icache(&mut self, vaddr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        self.decode_cache.clear();
+        self.mem.write_icache(vaddr, bytes)
+    }
+
+    /// Patches code in both views (debugger-style dynamic tampering).
+    pub fn write_code(&mut self, vaddr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        self.decode_cache.clear();
+        self.mem.write_code(vaddr, bytes)
+    }
+
+    /// Runs until exit, fault, or cycle exhaustion.
+    pub fn run(&mut self) -> Exit {
+        loop {
+            if self.cycles >= self.cycle_limit {
+                return Exit::CycleLimit;
+            }
+            match self.step() {
+                Ok(None) => {}
+                Ok(Some(status)) => return Exit::Exited(status),
+                Err(f) => return Exit::Fault(f),
+            }
+        }
+    }
+
+    /// Calls the function at `entry` with `args` (cdecl), running until
+    /// it returns. Returns `eax`. A clean `exit` syscall or a fault
+    /// during the call is reported as `Err`.
+    pub fn call_function(&mut self, entry: u32, args: &[u32]) -> Result<u32, Exit> {
+        let saved_esp = self.cpu.esp();
+        let mut esp = saved_esp;
+        for &a in args.iter().rev() {
+            esp -= 4;
+            self.mem.write32(esp, a).map_err(Exit::Fault)?;
+        }
+        esp -= 4;
+        self.mem.write32(esp, CALL_SENTINEL).map_err(Exit::Fault)?;
+        self.cpu.set_esp(esp);
+        self.cpu.eip = entry;
+        loop {
+            if self.cpu.eip == CALL_SENTINEL {
+                self.cpu.set_esp(saved_esp);
+                return Ok(self.cpu.reg(Reg32::Eax));
+            }
+            if self.cycles >= self.cycle_limit {
+                return Err(Exit::CycleLimit);
+            }
+            match self.step() {
+                Ok(None) => {}
+                Ok(Some(status)) => return Err(Exit::Exited(status)),
+                Err(f) => return Err(Exit::Fault(f)),
+            }
+        }
+    }
+
+    fn decode_at(&mut self, eip: u32) -> Result<Rc<Insn>, Fault> {
+        if let Some(i) = self.decode_cache.get(&eip) {
+            return Ok(Rc::clone(i));
+        }
+        let bytes = self.mem.fetch(eip)?;
+        let insn = decode(bytes)
+            .map_err(|_| Fault::new(eip, FaultKind::InvalidInstruction))?;
+        let rc = Rc::new(insn);
+        self.decode_cache.insert(eip, Rc::clone(&rc));
+        Ok(rc)
+    }
+
+    /// Executes one instruction. `Ok(Some(status))` means the program
+    /// invoked `exit`.
+    pub fn step(&mut self) -> Result<Option<i32>, Fault> {
+        let eip = self.cpu.eip;
+        let insn = self.decode_at(eip)?;
+        let next = eip.wrapping_add(insn.len as u32);
+        self.cpu.eip = next;
+        self.instructions += 1;
+
+        let mut cost = self.cost.alu;
+        if insn
+            .ops
+            .iter()
+            .any(|o| matches!(o, Operand::Mem(_)))
+            && insn.mnemonic != Mnemonic::Lea
+        {
+            cost += self.cost.mem;
+        }
+
+        let mut exited = None;
+        match insn.mnemonic {
+            Mnemonic::Nop | Mnemonic::Clc | Mnemonic::Stc | Mnemonic::Cmc => {
+                match insn.mnemonic {
+                    Mnemonic::Clc => self.cpu.flags.cf = false,
+                    Mnemonic::Stc => self.cpu.flags.cf = true,
+                    Mnemonic::Cmc => self.cpu.flags.cf = !self.cpu.flags.cf,
+                    _ => {}
+                }
+            }
+            Mnemonic::Mov => {
+                let v = self.read_op(&insn.ops[1], insn.size)?;
+                self.write_op(&insn.ops[0], insn.size, v)?;
+            }
+            Mnemonic::Movzx => {
+                let v = self.read_op(&insn.ops[1], OpSize::Byte)?;
+                self.write_op(&insn.ops[0], OpSize::Dword, v & 0xff)?;
+            }
+            Mnemonic::Movsx => {
+                let v = self.read_op(&insn.ops[1], OpSize::Byte)?;
+                self.write_op(&insn.ops[0], OpSize::Dword, v as u8 as i8 as i32 as u32)?;
+            }
+            Mnemonic::Lea => {
+                let m = insn.ops[1].mem().expect("lea has a memory source");
+                let ea = self.ea(&m);
+                self.write_op(&insn.ops[0], OpSize::Dword, ea)?;
+            }
+            Mnemonic::Xchg => {
+                let a = self.read_op(&insn.ops[0], insn.size)?;
+                let b = self.read_op(&insn.ops[1], insn.size)?;
+                self.write_op(&insn.ops[0], insn.size, b)?;
+                self.write_op(&insn.ops[1], insn.size, a)?;
+            }
+            Mnemonic::Alu(op) => {
+                let a = self.read_op(&insn.ops[0], insn.size)?;
+                let b = self.read_op(&insn.ops[1], insn.size)?;
+                let r = self.alu(op, a, b, insn.size);
+                if op != AluOp::Cmp {
+                    self.write_op(&insn.ops[0], insn.size, r)?;
+                }
+            }
+            Mnemonic::Test => {
+                let a = self.read_op(&insn.ops[0], insn.size)?;
+                let b = self.read_op(&insn.ops[1], insn.size)?;
+                self.alu(AluOp::And, a, b, insn.size);
+            }
+            Mnemonic::Inc | Mnemonic::Dec => {
+                let a = self.read_op(&insn.ops[0], insn.size)?;
+                let cf = self.cpu.flags.cf;
+                let op = if insn.mnemonic == Mnemonic::Inc {
+                    AluOp::Add
+                } else {
+                    AluOp::Sub
+                };
+                let r = self.alu(op, a, 1, insn.size);
+                self.cpu.flags.cf = cf; // inc/dec preserve CF
+                self.write_op(&insn.ops[0], insn.size, r)?;
+            }
+            Mnemonic::Neg => {
+                let a = self.read_op(&insn.ops[0], insn.size)?;
+                let r = self.alu(AluOp::Sub, 0, a, insn.size);
+                self.cpu.flags.cf = a != 0;
+                self.write_op(&insn.ops[0], insn.size, r)?;
+            }
+            Mnemonic::Not => {
+                let a = self.read_op(&insn.ops[0], insn.size)?;
+                self.write_op(&insn.ops[0], insn.size, !a)?;
+            }
+            Mnemonic::Shift(op) => {
+                let a = self.read_op(&insn.ops[0], insn.size)?;
+                let n = self.read_op(&insn.ops[1], OpSize::Byte)? & 31;
+                let r = self.shift(op, a, n, insn.size);
+                self.write_op(&insn.ops[0], insn.size, r)?;
+            }
+            Mnemonic::Mul => {
+                cost += self.cost.mul;
+                let src = self.read_op(&insn.ops[0], insn.size)?;
+                match insn.size {
+                    OpSize::Dword => {
+                        let p = self.cpu.reg(Reg32::Eax) as u64 * src as u64;
+                        self.cpu.set_reg(Reg32::Eax, p as u32);
+                        self.cpu.set_reg(Reg32::Edx, (p >> 32) as u32);
+                        let hi = (p >> 32) != 0;
+                        self.cpu.flags.cf = hi;
+                        self.cpu.flags.of = hi;
+                    }
+                    OpSize::Byte => {
+                        let p = (self.cpu.reg8(Reg8::Al) as u16) * (src as u8 as u16);
+                        let eax = self.cpu.reg(Reg32::Eax);
+                        self.cpu.set_reg(Reg32::Eax, (eax & 0xffff_0000) | p as u32);
+                        let hi = (p >> 8) != 0;
+                        self.cpu.flags.cf = hi;
+                        self.cpu.flags.of = hi;
+                    }
+                }
+            }
+            Mnemonic::Imul => {
+                cost += self.cost.mul;
+                match insn.ops.len() {
+                    1 => {
+                        let src = self.read_op(&insn.ops[0], insn.size)?;
+                        match insn.size {
+                            OpSize::Dword => {
+                                let p = (self.cpu.reg(Reg32::Eax) as i32 as i64)
+                                    * (src as i32 as i64);
+                                self.cpu.set_reg(Reg32::Eax, p as u32);
+                                self.cpu.set_reg(Reg32::Edx, (p >> 32) as u32);
+                                let fits = p == (p as i32) as i64;
+                                self.cpu.flags.cf = !fits;
+                                self.cpu.flags.of = !fits;
+                            }
+                            OpSize::Byte => {
+                                let p = (self.cpu.reg8(Reg8::Al) as i8 as i16)
+                                    * (src as u8 as i8 as i16);
+                                let eax = self.cpu.reg(Reg32::Eax);
+                                self.cpu
+                                    .set_reg(Reg32::Eax, (eax & 0xffff_0000) | p as u16 as u32);
+                                let fits = p == (p as i8) as i16;
+                                self.cpu.flags.cf = !fits;
+                                self.cpu.flags.of = !fits;
+                            }
+                        }
+                    }
+                    2 => {
+                        let a = self.read_op(&insn.ops[0], OpSize::Dword)? as i32 as i64;
+                        let b = self.read_op(&insn.ops[1], OpSize::Dword)? as i32 as i64;
+                        let p = a * b;
+                        self.write_op(&insn.ops[0], OpSize::Dword, p as u32)?;
+                        let fits = p == (p as i32) as i64;
+                        self.cpu.flags.cf = !fits;
+                        self.cpu.flags.of = !fits;
+                    }
+                    _ => {
+                        let b = self.read_op(&insn.ops[1], OpSize::Dword)? as i32 as i64;
+                        let c = insn.ops[2].imm().expect("imul imm form");
+                        let p = b * c;
+                        self.write_op(&insn.ops[0], OpSize::Dword, p as u32)?;
+                        let fits = p == (p as i32) as i64;
+                        self.cpu.flags.cf = !fits;
+                        self.cpu.flags.of = !fits;
+                    }
+                }
+            }
+            Mnemonic::Div => {
+                cost += self.cost.div;
+                let src = self.read_op(&insn.ops[0], insn.size)?;
+                match insn.size {
+                    OpSize::Dword => {
+                        if src == 0 {
+                            return Err(Fault::new(eip, FaultKind::DivideError));
+                        }
+                        let dividend = ((self.cpu.reg(Reg32::Edx) as u64) << 32)
+                            | self.cpu.reg(Reg32::Eax) as u64;
+                        let q = dividend / src as u64;
+                        if q > u32::MAX as u64 {
+                            return Err(Fault::new(eip, FaultKind::DivideError));
+                        }
+                        self.cpu.set_reg(Reg32::Eax, q as u32);
+                        self.cpu.set_reg(Reg32::Edx, (dividend % src as u64) as u32);
+                    }
+                    OpSize::Byte => {
+                        let s = src as u8;
+                        if s == 0 {
+                            return Err(Fault::new(eip, FaultKind::DivideError));
+                        }
+                        let ax = (self.cpu.reg(Reg32::Eax) & 0xffff) as u16;
+                        let q = ax / s as u16;
+                        if q > 0xff {
+                            return Err(Fault::new(eip, FaultKind::DivideError));
+                        }
+                        let r = ax % s as u16;
+                        let eax = self.cpu.reg(Reg32::Eax);
+                        self.cpu.set_reg(
+                            Reg32::Eax,
+                            (eax & 0xffff_0000) | ((r as u32) << 8) | q as u32,
+                        );
+                    }
+                }
+            }
+            Mnemonic::Idiv => {
+                cost += self.cost.div;
+                let src = self.read_op(&insn.ops[0], insn.size)?;
+                match insn.size {
+                    OpSize::Dword => {
+                        let s = src as i32;
+                        if s == 0 {
+                            return Err(Fault::new(eip, FaultKind::DivideError));
+                        }
+                        let dividend = (((self.cpu.reg(Reg32::Edx) as u64) << 32)
+                            | self.cpu.reg(Reg32::Eax) as u64)
+                            as i64;
+                        let q = dividend / s as i64;
+                        if q > i32::MAX as i64 || q < i32::MIN as i64 {
+                            return Err(Fault::new(eip, FaultKind::DivideError));
+                        }
+                        self.cpu.set_reg(Reg32::Eax, q as u32);
+                        self.cpu.set_reg(Reg32::Edx, (dividend % s as i64) as u32);
+                    }
+                    OpSize::Byte => {
+                        let s = src as u8 as i8;
+                        if s == 0 {
+                            return Err(Fault::new(eip, FaultKind::DivideError));
+                        }
+                        let ax = (self.cpu.reg(Reg32::Eax) & 0xffff) as u16 as i16;
+                        let q = ax / s as i16;
+                        if q > i8::MAX as i16 || q < i8::MIN as i16 {
+                            return Err(Fault::new(eip, FaultKind::DivideError));
+                        }
+                        let r = ax % s as i16;
+                        let eax = self.cpu.reg(Reg32::Eax);
+                        self.cpu.set_reg(
+                            Reg32::Eax,
+                            (eax & 0xffff_0000) | ((r as u8 as u32) << 8) | q as u8 as u32,
+                        );
+                    }
+                }
+            }
+            Mnemonic::Cwde => {
+                let ax = (self.cpu.reg(Reg32::Eax) & 0xffff) as u16;
+                self.cpu.set_reg(Reg32::Eax, ax as i16 as i32 as u32);
+            }
+            Mnemonic::Cdq => {
+                let eax = self.cpu.reg(Reg32::Eax) as i32;
+                self.cpu
+                    .set_reg(Reg32::Edx, if eax < 0 { 0xffff_ffff } else { 0 });
+            }
+            Mnemonic::Push => {
+                cost += self.cost.mem;
+                let v = self.read_op(&insn.ops[0], OpSize::Dword)?;
+                self.push(v)?;
+            }
+            Mnemonic::Pop => {
+                cost += self.cost.mem;
+                let v = self.pop()?;
+                // For `pop esp`, the popped value wins (x86 semantics).
+                self.write_op(&insn.ops[0], OpSize::Dword, v)?;
+            }
+            Mnemonic::Pushad => {
+                cost += self.cost.pushad;
+                let orig = self.cpu.esp();
+                for r in [
+                    Reg32::Eax,
+                    Reg32::Ecx,
+                    Reg32::Edx,
+                    Reg32::Ebx,
+                    Reg32::Esp,
+                    Reg32::Ebp,
+                    Reg32::Esi,
+                    Reg32::Edi,
+                ] {
+                    let v = if r == Reg32::Esp { orig } else { self.cpu.reg(r) };
+                    self.push(v)?;
+                }
+            }
+            Mnemonic::Popad => {
+                cost += self.cost.pushad;
+                for r in [
+                    Reg32::Edi,
+                    Reg32::Esi,
+                    Reg32::Ebp,
+                    Reg32::Esp, // skipped
+                    Reg32::Ebx,
+                    Reg32::Edx,
+                    Reg32::Ecx,
+                    Reg32::Eax,
+                ] {
+                    let v = self.pop()?;
+                    if r != Reg32::Esp {
+                        self.cpu.set_reg(r, v);
+                    }
+                }
+            }
+            Mnemonic::Pushfd => {
+                cost += self.cost.mem;
+                self.push(self.cpu.flags.to_eflags())?;
+            }
+            Mnemonic::Popfd => {
+                cost += self.cost.mem;
+                let v = self.pop()?;
+                self.cpu.flags = Flags::from_eflags(v);
+            }
+            Mnemonic::Leave => {
+                cost += self.cost.mem;
+                self.cpu.set_esp(self.cpu.reg(Reg32::Ebp));
+                let v = self.pop()?;
+                self.cpu.set_reg(Reg32::Ebp, v);
+            }
+            Mnemonic::Jmp => {
+                cost = self.cost.branch_taken;
+                let rel = rel_of(&insn);
+                self.cpu.eip = next.wrapping_add(rel as u32);
+            }
+            Mnemonic::JmpInd => {
+                cost = self.cost.branch_taken + self.cost.mem;
+                let t = self.read_op(&insn.ops[0], OpSize::Dword)?;
+                self.cpu.eip = t;
+            }
+            Mnemonic::Jcc(c) => {
+                if self.cpu.flags.cond(c) {
+                    cost = self.cost.branch_taken;
+                    let rel = rel_of(&insn);
+                    self.cpu.eip = next.wrapping_add(rel as u32);
+                } else {
+                    cost = self.cost.branch_not_taken;
+                }
+            }
+            Mnemonic::Setcc(c) => {
+                let v = self.cpu.flags.cond(c) as u32;
+                self.write_op(&insn.ops[0], OpSize::Byte, v)?;
+            }
+            Mnemonic::Cmovcc(c) => {
+                let v = self.read_op(&insn.ops[1], OpSize::Dword)?;
+                if self.cpu.flags.cond(c) {
+                    self.write_op(&insn.ops[0], OpSize::Dword, v)?;
+                }
+            }
+            Mnemonic::Call => {
+                cost = self.cost.call;
+                let rel = rel_of(&insn);
+                let target = next.wrapping_add(rel as u32);
+                self.push(next)?;
+                self.rsb.push(next);
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record_call(target);
+                }
+                self.cpu.eip = target;
+            }
+            Mnemonic::CallInd => {
+                cost = self.cost.call + self.cost.mem;
+                let target = self.read_op(&insn.ops[0], OpSize::Dword)?;
+                self.push(next)?;
+                self.rsb.push(next);
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record_call(target);
+                }
+                self.cpu.eip = target;
+            }
+            Mnemonic::Ret => {
+                let target = self.pop()?;
+                if let Some(Operand::Imm(n)) = insn.ops.first() {
+                    let esp = self.cpu.esp();
+                    self.cpu.set_esp(esp.wrapping_add(*n as u32));
+                }
+                let predicted = self.rsb.pop_and_check(target);
+                cost = if predicted {
+                    self.cost.ret_predicted
+                } else {
+                    self.cost.ret_mispredict
+                };
+                self.cpu.eip = target;
+            }
+            Mnemonic::Retf => {
+                let target = self.pop()?;
+                let _cs = self.pop()?; // flat model: code segment discarded
+                if let Some(Operand::Imm(n)) = insn.ops.first() {
+                    let esp = self.cpu.esp();
+                    self.cpu.set_esp(esp.wrapping_add(*n as u32));
+                }
+                // Far returns are never RSB-predicted.
+                cost = self.cost.ret_mispredict;
+                self.cpu.eip = target;
+            }
+            Mnemonic::Int => {
+                let vector = insn.ops[0].imm().unwrap_or(0) as u8;
+                if vector != 0x80 {
+                    return Err(Fault::new(eip, FaultKind::BadSyscall));
+                }
+                cost = self.cost.syscall;
+                match syscall::dispatch(&mut self.cpu, &mut self.mem, &mut self.sys) {
+                    Ok(Some(status)) => exited = Some(status),
+                    Ok(None) => {}
+                    Err(f) => return Err(f),
+                }
+            }
+            Mnemonic::Int3 => return Err(Fault::new(eip, FaultKind::Breakpoint)),
+            Mnemonic::Hlt => return Err(Fault::new(eip, FaultKind::Halted)),
+        }
+
+        self.cycles += cost;
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(eip, cost);
+        }
+        Ok(exited)
+    }
+
+    fn push(&mut self, v: u32) -> Result<(), Fault> {
+        let esp = self.cpu.esp().wrapping_sub(4);
+        self.mem.write32(esp, v)?;
+        self.cpu.set_esp(esp);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<u32, Fault> {
+        let esp = self.cpu.esp();
+        let v = self.mem.read32(esp)?;
+        self.cpu.set_esp(esp.wrapping_add(4));
+        Ok(v)
+    }
+
+    fn ea(&self, m: &Mem) -> u32 {
+        let mut a = m.disp as u32;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.cpu.reg(b));
+        }
+        if let Some((i, s)) = m.index {
+            a = a.wrapping_add(self.cpu.reg(i).wrapping_mul(s as u32));
+        }
+        a
+    }
+
+    fn read_op(&self, op: &Operand, size: OpSize) -> Result<u32, Fault> {
+        match op {
+            Operand::Reg(Reg::R32(r)) => Ok(self.cpu.reg(*r)),
+            Operand::Reg(Reg::R8(r)) => Ok(self.cpu.reg8(*r) as u32),
+            Operand::Imm(v) => Ok(*v as u32),
+            Operand::Mem(m) => {
+                let ea = self.ea(m);
+                match size {
+                    OpSize::Dword => self.mem.read32(ea),
+                    OpSize::Byte => Ok(self.mem.read8(ea)? as u32),
+                }
+            }
+            Operand::Rel(_) => unreachable!("relative operands are branch-only"),
+        }
+    }
+
+    fn write_op(&mut self, op: &Operand, size: OpSize, v: u32) -> Result<(), Fault> {
+        match op {
+            Operand::Reg(Reg::R32(r)) => {
+                self.cpu.set_reg(*r, v);
+                Ok(())
+            }
+            Operand::Reg(Reg::R8(r)) => {
+                self.cpu.set_reg8(*r, v as u8);
+                Ok(())
+            }
+            Operand::Mem(m) => {
+                let ea = self.ea(m);
+                match size {
+                    OpSize::Dword => self.mem.write32(ea, v),
+                    OpSize::Byte => self.mem.write8(ea, v as u8),
+                }
+            }
+            Operand::Imm(_) | Operand::Rel(_) => {
+                unreachable!("immediates are never destinations")
+            }
+        }
+    }
+
+    /// Performs a group-1 ALU operation, setting flags, and returns the
+    /// (masked) result.
+    fn alu(&mut self, op: AluOp, a: u32, b: u32, size: OpSize) -> u32 {
+        let (mask, sign): (u32, u32) = match size {
+            OpSize::Dword => (0xffff_ffff, 0x8000_0000),
+            OpSize::Byte => (0xff, 0x80),
+        };
+        let a = a & mask;
+        let b = b & mask;
+        let cf_in = self.cpu.flags.cf as u32;
+        let f = &mut self.cpu.flags;
+        let r = match op {
+            AluOp::Add => {
+                let r = a.wrapping_add(b) & mask;
+                f.cf = (a as u64 + b as u64) > mask as u64;
+                f.of = ((a ^ r) & (b ^ r) & sign) != 0;
+                f.af = ((a ^ b ^ r) & 0x10) != 0;
+                r
+            }
+            AluOp::Adc => {
+                let r = a.wrapping_add(b).wrapping_add(cf_in) & mask;
+                f.cf = (a as u64 + b as u64 + cf_in as u64) > mask as u64;
+                f.of = ((a ^ r) & (b ^ r) & sign) != 0;
+                f.af = ((a ^ b ^ r) & 0x10) != 0;
+                r
+            }
+            AluOp::Sub | AluOp::Cmp => {
+                let r = a.wrapping_sub(b) & mask;
+                f.cf = b > a;
+                f.of = ((a ^ b) & (a ^ r) & sign) != 0;
+                f.af = ((a ^ b ^ r) & 0x10) != 0;
+                r
+            }
+            AluOp::Sbb => {
+                let r = a.wrapping_sub(b).wrapping_sub(cf_in) & mask;
+                f.cf = (b as u64 + cf_in as u64) > a as u64;
+                f.of = ((a ^ b) & (a ^ r) & sign) != 0;
+                f.af = ((a ^ b ^ r) & 0x10) != 0;
+                r
+            }
+            AluOp::And => {
+                let r = a & b;
+                f.cf = false;
+                f.of = false;
+                r
+            }
+            AluOp::Or => {
+                let r = a | b;
+                f.cf = false;
+                f.of = false;
+                r
+            }
+            AluOp::Xor => {
+                let r = a ^ b;
+                f.cf = false;
+                f.of = false;
+                r
+            }
+        };
+        f.zf = r == 0;
+        f.sf = (r & sign) != 0;
+        f.pf = parity(r);
+        r
+    }
+
+    fn shift(&mut self, op: ShiftOp, a: u32, n: u32, size: OpSize) -> u32 {
+        let bits = size.bytes() as u32 * 8;
+        let (mask, sign): (u32, u32) = match size {
+            OpSize::Dword => (0xffff_ffff, 0x8000_0000),
+            OpSize::Byte => (0xff, 0x80),
+        };
+        let a = a & mask;
+        if n == 0 {
+            return a;
+        }
+        let f = &mut self.cpu.flags;
+        let r = match op {
+            ShiftOp::Shl => {
+                let r = if n >= bits { 0 } else { (a << n) & mask };
+                f.cf = if n <= bits {
+                    (a >> (bits - n)) & 1 != 0
+                } else {
+                    false
+                };
+                if n == 1 {
+                    f.of = ((r & sign) != 0) != f.cf;
+                }
+                r
+            }
+            ShiftOp::Shr => {
+                let r = if n >= bits { 0 } else { a >> n };
+                f.cf = if n <= bits {
+                    (a >> (n - 1)) & 1 != 0
+                } else {
+                    false
+                };
+                if n == 1 {
+                    f.of = (a & sign) != 0;
+                }
+                r
+            }
+            ShiftOp::Sar => {
+                let signed = if (a & sign) != 0 {
+                    // sign-extend to 32 bits first
+                    a | !mask
+                } else {
+                    a
+                } as i32;
+                let sh = n.min(bits - 1).min(31);
+                let r = ((signed >> sh) as u32) & mask;
+                f.cf = ((signed >> (n.min(31) - 1).min(31)) & 1) != 0;
+                if n == 1 {
+                    f.of = false;
+                }
+                r
+            }
+            ShiftOp::Rol => {
+                let n = n % bits;
+                let r = if n == 0 {
+                    a
+                } else {
+                    ((a << n) | (a >> (bits - n))) & mask
+                };
+                f.cf = r & 1 != 0;
+                if n == 1 {
+                    f.of = ((r & sign) != 0) != f.cf;
+                }
+                return r; // rotates do not touch SZP
+            }
+            ShiftOp::Ror => {
+                let n = n % bits;
+                let r = if n == 0 {
+                    a
+                } else {
+                    ((a >> n) | (a << (bits - n))) & mask
+                };
+                f.cf = (r & sign) != 0;
+                if n == 1 {
+                    f.of = ((r & sign) != 0) != ((r & (sign >> 1)) != 0);
+                }
+                return r;
+            }
+        };
+        f.zf = r == 0;
+        f.sf = (r & sign) != 0;
+        f.pf = parity(r);
+        r
+    }
+}
+
+fn rel_of(insn: &Insn) -> i32 {
+    match insn.ops.first() {
+        Some(Operand::Rel(r)) => *r,
+        _ => unreachable!("relative branch without Rel operand"),
+    }
+}

@@ -1,0 +1,313 @@
+//! The VM memory model.
+//!
+//! Memory is three flat regions: text (execute + read, normally not
+//! writable — W⊕X), data (the image's initialized data, BSS, and a
+//! scratch heap), and the stack. Instruction fetches are serviced from
+//! the text region, or — when *split-cache mode* is enabled — from a
+//! shadow copy representing the processor's instruction cache. Split
+//! mode reproduces the attack of Wurster et al.: an adversary with a
+//! kernel patch modifies code as fetched for execution while data reads
+//! of the same addresses still observe the original bytes, which
+//! defeats every checksumming-based self-verification scheme.
+
+use crate::error::{Fault, FaultKind};
+
+/// Default stack region size.
+pub const STACK_SIZE: u32 = 256 * 1024;
+
+/// Top of the stack region (initial `esp`).
+pub const STACK_TOP: u32 = 0x0c00_0000;
+
+/// Extra zeroed scratch space appended after BSS, usable as a heap.
+pub const HEAP_SIZE: u32 = 1024 * 1024;
+
+/// The VM's memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    text: Vec<u8>,
+    text_base: u32,
+    /// Shadow instruction bytes; `Some` only in split-cache mode.
+    icache: Option<Vec<u8>>,
+    data: Vec<u8>,
+    data_base: u32,
+    stack: Vec<u8>,
+    stack_base: u32,
+    /// When true (default), data writes to the text region fault.
+    pub w_xor_x: bool,
+}
+
+impl Memory {
+    /// Builds memory from image sections. `bss_size` bytes of zeros and
+    /// a scratch heap are appended after the initialized data.
+    pub fn new(text: Vec<u8>, text_base: u32, mut data: Vec<u8>, data_base: u32, bss_size: u32) -> Memory {
+        data.extend(std::iter::repeat_n(0, (bss_size + HEAP_SIZE) as usize));
+        Memory {
+            text,
+            text_base,
+            icache: None,
+            data,
+            data_base,
+            stack: vec![0; STACK_SIZE as usize],
+            stack_base: STACK_TOP - STACK_SIZE,
+            w_xor_x: true,
+        }
+    }
+
+    /// Start of the text region.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// End of the text region (exclusive).
+    pub fn text_end(&self) -> u32 {
+        self.text_base + self.text.len() as u32
+    }
+
+    /// Start of the data region.
+    pub fn data_base(&self) -> u32 {
+        self.data_base
+    }
+
+    /// End of the data region (exclusive), including BSS and heap.
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32
+    }
+
+    /// Start of the scratch heap (after image data and BSS).
+    pub fn heap_base(&self) -> u32 {
+        self.data_end() - HEAP_SIZE
+    }
+
+    /// Initial stack pointer.
+    pub fn initial_esp(&self) -> u32 {
+        STACK_TOP - 64 // leave headroom for the harness
+    }
+
+    /// True if `vaddr` lies in the text region.
+    pub fn in_text(&self, vaddr: u32) -> bool {
+        vaddr >= self.text_base && vaddr < self.text_end()
+    }
+
+    /// Enables split instruction/data views of the text region
+    /// (the Wurster et al. attack primitive). The instruction view
+    /// starts as a copy of the current text bytes.
+    pub fn enable_split_cache(&mut self) {
+        if self.icache.is_none() {
+            self.icache = Some(self.text.clone());
+        }
+    }
+
+    /// True if split-cache mode is active.
+    pub fn split_cache_enabled(&self) -> bool {
+        self.icache.is_some()
+    }
+
+    /// Patches the *instruction view* only. Requires split-cache mode.
+    /// Data reads of the same addresses keep returning original bytes.
+    pub fn write_icache(&mut self, vaddr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        let base = self.text_base;
+        let end = self.text_end();
+        let icache = self.icache.as_mut().expect("split-cache mode not enabled");
+        if vaddr < base || vaddr + bytes.len() as u32 > end {
+            return Err(Fault::new(vaddr, FaultKind::OutOfBounds));
+        }
+        let off = (vaddr - base) as usize;
+        icache[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Patches code in both views, as a debugger with `mprotect`
+    /// powers would (the classic dynamic-tampering attack).
+    pub fn write_code(&mut self, vaddr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        if !self.in_text(vaddr) || vaddr + bytes.len() as u32 > self.text_end() {
+            return Err(Fault::new(vaddr, FaultKind::OutOfBounds));
+        }
+        let off = (vaddr - self.text_base) as usize;
+        self.text[off..off + bytes.len()].copy_from_slice(bytes);
+        if let Some(ic) = self.icache.as_mut() {
+            ic[off..off + bytes.len()].copy_from_slice(bytes);
+        }
+        Ok(())
+    }
+
+    /// Fetches up to 16 instruction bytes at `vaddr` for decoding.
+    /// Served from the instruction view in split-cache mode.
+    pub fn fetch(&self, vaddr: u32) -> Result<&[u8], Fault> {
+        if !self.in_text(vaddr) {
+            return Err(Fault::new(vaddr, FaultKind::ExecOutsideText));
+        }
+        let off = (vaddr - self.text_base) as usize;
+        let src = self.icache.as_deref().unwrap_or(&self.text);
+        let end = (off + 16).min(src.len());
+        Ok(&src[off..end])
+    }
+
+    fn region(&self, vaddr: u32, len: u32) -> Result<(&[u8], usize), Fault> {
+        let end = vaddr
+            .checked_add(len)
+            .ok_or(Fault::new(vaddr, FaultKind::OutOfBounds))?;
+        if vaddr >= self.text_base && end <= self.text_end() {
+            Ok((&self.text, (vaddr - self.text_base) as usize))
+        } else if vaddr >= self.data_base && end <= self.data_end() {
+            Ok((&self.data, (vaddr - self.data_base) as usize))
+        } else if vaddr >= self.stack_base && end <= STACK_TOP {
+            Ok((&self.stack, (vaddr - self.stack_base) as usize))
+        } else {
+            Err(Fault::new(vaddr, FaultKind::OutOfBounds))
+        }
+    }
+
+    /// Reads an 8-bit value (data view).
+    pub fn read8(&self, vaddr: u32) -> Result<u8, Fault> {
+        let (region, off) = self.region(vaddr, 1)?;
+        Ok(region[off])
+    }
+
+    /// Reads a 32-bit little-endian value (data view).
+    pub fn read32(&self, vaddr: u32) -> Result<u32, Fault> {
+        let (region, off) = self.region(vaddr, 4)?;
+        Ok(u32::from_le_bytes(region[off..off + 4].try_into().unwrap()))
+    }
+
+    /// Reads `len` bytes (data view).
+    pub fn read_bytes(&self, vaddr: u32, len: u32) -> Result<&[u8], Fault> {
+        let (region, off) = self.region(vaddr, len)?;
+        Ok(&region[off..off + len as usize])
+    }
+
+    fn region_mut(&mut self, vaddr: u32, len: u32) -> Result<(&mut [u8], usize), Fault> {
+        let end = vaddr
+            .checked_add(len)
+            .ok_or(Fault::new(vaddr, FaultKind::OutOfBounds))?;
+        if vaddr >= self.text_base && end <= self.text_end() {
+            if self.w_xor_x {
+                return Err(Fault::new(vaddr, FaultKind::WriteToText));
+            }
+            Ok((&mut self.text, (vaddr - self.text_base) as usize))
+        } else if vaddr >= self.data_base && end <= self.data_end() {
+            let off = (vaddr - self.data_base) as usize;
+            Ok((&mut self.data, off))
+        } else if vaddr >= self.stack_base && end <= STACK_TOP {
+            let off = (vaddr - self.stack_base) as usize;
+            Ok((&mut self.stack, off))
+        } else {
+            Err(Fault::new(vaddr, FaultKind::OutOfBounds))
+        }
+    }
+
+    /// Writes an 8-bit value.
+    pub fn write8(&mut self, vaddr: u32, v: u8) -> Result<(), Fault> {
+        let (region, off) = self.region_mut(vaddr, 1)?;
+        region[off] = v;
+        Ok(())
+    }
+
+    /// Writes a 32-bit little-endian value.
+    pub fn write32(&mut self, vaddr: u32, v: u32) -> Result<(), Fault> {
+        let (region, off) = self.region_mut(vaddr, 4)?;
+        region[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a byte slice.
+    pub fn write_bytes(&mut self, vaddr: u32, bytes: &[u8]) -> Result<(), Fault> {
+        let (region, off) = self.region_mut(vaddr, bytes.len() as u32)?;
+        region[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(vec![0x90, 0xc3], 0x1000, vec![1, 2, 3, 4], 0x2000, 8)
+    }
+
+    #[test]
+    fn read_write_data_and_stack() {
+        let mut m = mem();
+        assert_eq!(m.read32(0x2000).unwrap(), 0x04030201);
+        m.write32(0x2004, 0xdeadbeef).unwrap(); // BSS
+        assert_eq!(m.read32(0x2004).unwrap(), 0xdeadbeef);
+        let sp = m.initial_esp();
+        m.write32(sp - 4, 42).unwrap();
+        assert_eq!(m.read32(sp - 4).unwrap(), 42);
+    }
+
+    #[test]
+    fn w_xor_x_enforced() {
+        let mut m = mem();
+        let err = m.write8(0x1000, 0xcc).unwrap_err();
+        assert_eq!(err.kind, FaultKind::WriteToText);
+        m.w_xor_x = false;
+        m.write8(0x1000, 0xcc).unwrap();
+        assert_eq!(m.read8(0x1000).unwrap(), 0xcc);
+    }
+
+    #[test]
+    fn fetch_requires_text() {
+        let m = mem();
+        assert!(m.fetch(0x1000).is_ok());
+        let err = m.fetch(0x2000).unwrap_err();
+        assert_eq!(err.kind, FaultKind::ExecOutsideText);
+    }
+
+    #[test]
+    fn split_cache_diverges_views() {
+        let mut m = mem();
+        m.enable_split_cache();
+        m.write_icache(0x1000, &[0xcc]).unwrap();
+        // Executed bytes see the patch...
+        assert_eq!(m.fetch(0x1000).unwrap()[0], 0xcc);
+        // ...but data reads (as used by checksumming) see the original.
+        assert_eq!(m.read8(0x1000).unwrap(), 0x90);
+    }
+
+    #[test]
+    fn write_code_hits_both_views() {
+        let mut m = mem();
+        m.enable_split_cache();
+        m.write_code(0x1001, &[0x90]).unwrap();
+        assert_eq!(m.fetch(0x1001).unwrap()[0], 0x90);
+        assert_eq!(m.read8(0x1001).unwrap(), 0x90);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let m = mem();
+        assert_eq!(m.read8(0x0).unwrap_err().kind, FaultKind::OutOfBounds);
+        assert_eq!(
+            m.read32(m.data_end() - 2).unwrap_err().kind,
+            FaultKind::OutOfBounds
+        );
+    }
+
+    #[test]
+    fn heap_is_zeroed_scratch() {
+        let m = mem();
+        let hb = m.heap_base();
+        assert_eq!(m.read32(hb).unwrap(), 0);
+        assert!(hb >= 0x2000 + 4 + 8);
+    }
+}
+
+#[cfg(test)]
+mod overflow_tests {
+    use super::*;
+
+    /// Regression: addresses near u32::MAX must fault, not wrap past
+    /// the bounds check and panic (found by the tamper-sweep fuzzer).
+    #[test]
+    fn near_max_addresses_fault_cleanly() {
+        let m = Memory::new(vec![0x90; 16], 0x1000, vec![0; 16], 0x2000, 0);
+        for addr in [u32::MAX, u32::MAX - 1, u32::MAX - 3, 0xffff_fffe] {
+            assert!(m.read32(addr).is_err(), "{addr:#x}");
+            assert!(m.read8(addr).is_err() || addr > u32::MAX - 1, "{addr:#x}");
+            assert!(m.read_bytes(addr, 8).is_err(), "{addr:#x}");
+        }
+        let mut m = m;
+        assert!(m.write32(u32::MAX - 2, 1).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Flat per-function cycle and call-count attribution.
+//!
+//! The verification-function selection algorithm of the paper (§VII-B)
+//! needs two runtime facts per function: how often it is called, and
+//! what fraction of total execution time it accounts for. The profiler
+//! attributes each retired instruction's cycles to the function whose
+//! range contains `eip` (flat profile, no call-graph accumulation).
+
+use std::collections::HashMap;
+
+/// Per-function profile counters.
+#[derive(Debug, Clone, Default)]
+pub struct FuncProfile {
+    /// Cycles retired while `eip` was inside the function.
+    pub cycles: u64,
+    /// Number of `call` instructions that targeted the function's
+    /// entry point.
+    pub calls: u64,
+}
+
+/// A flat execution profiler.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    /// Sorted (start, end, name-index) ranges.
+    ranges: Vec<(u32, u32, usize)>,
+    names: Vec<String>,
+    entry_of: HashMap<u32, usize>,
+    stats: Vec<FuncProfile>,
+    /// Cycles attributed to no known function.
+    pub other_cycles: u64,
+    /// Total cycles observed.
+    pub total_cycles: u64,
+    /// Cache of the last range hit (instruction streams are local).
+    last: Option<usize>,
+}
+
+impl Profiler {
+    /// Builds a profiler from `(name, start_vaddr, size)` triples.
+    pub fn new(funcs: impl IntoIterator<Item = (String, u32, u32)>) -> Profiler {
+        let mut p = Profiler::default();
+        for (name, start, size) in funcs {
+            let idx = p.names.len();
+            p.names.push(name);
+            p.ranges.push((start, start + size.max(1), idx));
+            p.entry_of.insert(start, idx);
+            p.stats.push(FuncProfile::default());
+        }
+        p.ranges.sort_unstable();
+        p
+    }
+
+    fn lookup(&mut self, eip: u32) -> Option<usize> {
+        if let Some(last) = self.last {
+            for &(s, e, idx) in &self.ranges {
+                if idx == last {
+                    if eip >= s && eip < e {
+                        return Some(idx);
+                    }
+                    break;
+                }
+            }
+        }
+        let pos = self.ranges.partition_point(|&(s, _, _)| s <= eip);
+        if pos > 0 {
+            let (s, e, idx) = self.ranges[pos - 1];
+            if eip >= s && eip < e {
+                self.last = Some(idx);
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Attributes `cycles` to the function containing `eip`.
+    pub fn record(&mut self, eip: u32, cycles: u64) {
+        self.total_cycles += cycles;
+        match self.lookup(eip) {
+            Some(idx) => self.stats[idx].cycles += cycles,
+            None => self.other_cycles += cycles,
+        }
+    }
+
+    /// Records a call whose target is `entry`.
+    pub fn record_call(&mut self, entry: u32) {
+        if let Some(&idx) = self.entry_of.get(&entry) {
+            self.stats[idx].calls += 1;
+        }
+    }
+
+    /// Profile for a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncProfile> {
+        let idx = self.names.iter().position(|n| n == name)?;
+        Some(&self.stats[idx])
+    }
+
+    /// Fraction of total cycles spent in `name` (0.0 if never seen).
+    pub fn fraction(&self, name: &str) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        match self.func(name) {
+            Some(f) => f.cycles as f64 / self.total_cycles as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Iterates `(name, profile)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &FuncProfile)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.stats.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution() {
+        let mut p = Profiler::new(vec![
+            ("a".to_owned(), 0x1000, 0x10),
+            ("b".to_owned(), 0x1010, 0x10),
+        ]);
+        p.record(0x1000, 5);
+        p.record(0x100f, 5);
+        p.record(0x1010, 7);
+        p.record(0x2000, 3);
+        assert_eq!(p.func("a").unwrap().cycles, 10);
+        assert_eq!(p.func("b").unwrap().cycles, 7);
+        assert_eq!(p.other_cycles, 3);
+        assert_eq!(p.total_cycles, 20);
+        assert!((p.fraction("a") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn call_counting() {
+        let mut p = Profiler::new(vec![("f".to_owned(), 0x1000, 4)]);
+        p.record_call(0x1000);
+        p.record_call(0x1000);
+        p.record_call(0x1002); // mid-function target is not an entry
+        assert_eq!(p.func("f").unwrap().calls, 2);
+    }
+}

@@ -1,0 +1,162 @@
+//! Differential testing of ALU flag semantics against an independent
+//! reference model (wide-arithmetic formulations, computed without the
+//! VM's own flag code).
+
+use proptest::prelude::*;
+
+use parallax_image::Program;
+use parallax_vm::{Flags, Vm};
+use parallax_x86::{AluOp, Asm, Cond, Reg32, ShiftOp};
+
+/// Reference flag computation using 64-bit arithmetic.
+fn ref_add(a: u32, b: u32, carry_in: u32) -> (u32, bool, bool) {
+    let wide = a as u64 + b as u64 + carry_in as u64;
+    let r = wide as u32;
+    let cf = wide > u32::MAX as u64;
+    let sa = (a as i32) as i64;
+    let sb = (b as i32) as i64;
+    let swide = sa + sb + carry_in as i64;
+    let of = swide != (swide as i32) as i64;
+    (r, cf, of)
+}
+
+fn ref_sub(a: u32, b: u32, borrow_in: u32) -> (u32, bool, bool) {
+    let r = a.wrapping_sub(b).wrapping_sub(borrow_in);
+    let cf = (b as u64 + borrow_in as u64) > a as u64;
+    let sa = (a as i32) as i64;
+    let sb = (b as i32) as i64;
+    let swide = sa - sb - borrow_in as i64;
+    let of = swide != (swide as i32) as i64;
+    (r, cf, of)
+}
+
+/// Executes `op a, b` in the VM and returns (result, flags).
+fn run_alu(op: AluOp, a: u32, b: u32, cf_in: bool) -> (u32, Flags) {
+    let mut asm = Asm::new();
+    asm.alu_rr(op, Reg32::Eax, Reg32::Ecx);
+    asm.ret();
+    let mut p = Program::new();
+    p.add_func("f", asm.finish().unwrap());
+    p.set_entry("f");
+    let img = p.link().unwrap();
+    let mut vm = Vm::new(&img);
+    vm.cpu.set_reg(Reg32::Eax, a);
+    vm.cpu.set_reg(Reg32::Ecx, b);
+    vm.cpu.flags.cf = cf_in;
+    vm.cpu.eip = img.entry;
+    vm.step().unwrap();
+    (vm.cpu.reg(Reg32::Eax), vm.cpu.flags)
+}
+
+fn run_shift(op: ShiftOp, a: u32, n: u8) -> (u32, Flags) {
+    let mut asm = Asm::new();
+    asm.shift_ri(op, Reg32::Eax, n);
+    asm.ret();
+    let mut p = Program::new();
+    p.add_func("f", asm.finish().unwrap());
+    p.set_entry("f");
+    let img = p.link().unwrap();
+    let mut vm = Vm::new(&img);
+    vm.cpu.set_reg(Reg32::Eax, a);
+    vm.cpu.eip = img.entry;
+    vm.step().unwrap();
+    (vm.cpu.reg(Reg32::Eax), vm.cpu.flags)
+}
+
+proptest! {
+    #[test]
+    fn add_flags_match_reference(a in any::<u32>(), b in any::<u32>()) {
+        let (r, f) = run_alu(AluOp::Add, a, b, false);
+        let (er, ecf, eof) = ref_add(a, b, 0);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!(f.cf, ecf);
+        prop_assert_eq!(f.of, eof);
+        prop_assert_eq!(f.zf, er == 0);
+        prop_assert_eq!(f.sf, (er as i32) < 0);
+    }
+
+    #[test]
+    fn adc_flags_match_reference(a in any::<u32>(), b in any::<u32>(), cin in any::<bool>()) {
+        let (r, f) = run_alu(AluOp::Adc, a, b, cin);
+        let (er, ecf, eof) = ref_add(a, b, cin as u32);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!(f.cf, ecf);
+        prop_assert_eq!(f.of, eof);
+    }
+
+    #[test]
+    fn sub_flags_match_reference(a in any::<u32>(), b in any::<u32>()) {
+        let (r, f) = run_alu(AluOp::Sub, a, b, false);
+        let (er, ecf, eof) = ref_sub(a, b, 0);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!(f.cf, ecf);
+        prop_assert_eq!(f.of, eof);
+        prop_assert_eq!(f.zf, er == 0);
+        prop_assert_eq!(f.sf, (er as i32) < 0);
+    }
+
+    #[test]
+    fn sbb_flags_match_reference(a in any::<u32>(), b in any::<u32>(), cin in any::<bool>()) {
+        let (r, f) = run_alu(AluOp::Sbb, a, b, cin);
+        let (er, ecf, eof) = ref_sub(a, b, cin as u32);
+        prop_assert_eq!(r, er);
+        prop_assert_eq!(f.cf, ecf);
+        prop_assert_eq!(f.of, eof);
+    }
+
+    #[test]
+    fn logic_clears_cf_of(a in any::<u32>(), b in any::<u32>()) {
+        for op in [AluOp::And, AluOp::Or, AluOp::Xor] {
+            let (r, f) = run_alu(op, a, b, true);
+            let er = match op {
+                AluOp::And => a & b,
+                AluOp::Or => a | b,
+                _ => a ^ b,
+            };
+            prop_assert_eq!(r, er);
+            prop_assert!(!f.cf);
+            prop_assert!(!f.of);
+            prop_assert_eq!(f.zf, er == 0);
+        }
+    }
+
+    #[test]
+    fn cmp_is_nondestructive_sub(a in any::<u32>(), b in any::<u32>()) {
+        let (r, f) = run_alu(AluOp::Cmp, a, b, false);
+        prop_assert_eq!(r, a, "cmp must not write the destination");
+        let (_, ecf, eof) = ref_sub(a, b, 0);
+        prop_assert_eq!(f.cf, ecf);
+        prop_assert_eq!(f.of, eof);
+        prop_assert_eq!(f.zf, a == b);
+        // Signed comparisons through the standard condition synthesis.
+        prop_assert_eq!(f.cond(Cond::L), (a as i32) < (b as i32));
+        prop_assert_eq!(f.cond(Cond::Le), (a as i32) <= (b as i32));
+        prop_assert_eq!(f.cond(Cond::B), a < b);
+        prop_assert_eq!(f.cond(Cond::Ae), a >= b);
+        prop_assert_eq!(f.cond(Cond::A), a > b);
+        prop_assert_eq!(f.cond(Cond::G), (a as i32) > (b as i32));
+    }
+
+    #[test]
+    fn shifts_match_reference(a in any::<u32>(), n in 1u8..32) {
+        let (r, f) = run_shift(ShiftOp::Shl, a, n);
+        prop_assert_eq!(r, a << n);
+        prop_assert_eq!(f.cf, (a >> (32 - n)) & 1 != 0);
+
+        let (r, f) = run_shift(ShiftOp::Shr, a, n);
+        prop_assert_eq!(r, a >> n);
+        prop_assert_eq!(f.cf, (a >> (n - 1)) & 1 != 0);
+
+        let (r, f) = run_shift(ShiftOp::Sar, a, n);
+        prop_assert_eq!(r, ((a as i32) >> n) as u32);
+        prop_assert_eq!(f.cf, ((a as i32) >> (n - 1)) & 1 != 0);
+    }
+
+    #[test]
+    fn rotates_match_reference(a in any::<u32>(), n in 1u8..32) {
+        let (r, _) = run_shift(ShiftOp::Rol, a, n);
+        prop_assert_eq!(r, a.rotate_left(n as u32));
+        let (r, _) = run_shift(ShiftOp::Ror, a, n);
+        prop_assert_eq!(r, a.rotate_right(n as u32));
+    }
+}

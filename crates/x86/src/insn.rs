@@ -1,0 +1,671 @@
+//! The decoded-instruction model shared by the assembler, disassembler,
+//! emulator, and gadget classifier.
+
+use core::fmt;
+
+use crate::reg::{Reg, Reg32};
+
+/// Condition codes for `jcc`, `setcc`, and `cmovcc`.
+///
+/// The discriminant equals the low nibble of the opcode (`0x70 + cc`,
+/// `0x0f 0x80 + cc`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow (`OF = 1`).
+    O = 0x0,
+    /// No overflow (`OF = 0`).
+    No = 0x1,
+    /// Below / carry (`CF = 1`).
+    B = 0x2,
+    /// Above or equal / no carry (`CF = 0`).
+    Ae = 0x3,
+    /// Equal / zero (`ZF = 1`).
+    E = 0x4,
+    /// Not equal / non-zero (`ZF = 0`).
+    Ne = 0x5,
+    /// Below or equal (`CF = 1 || ZF = 1`).
+    Be = 0x6,
+    /// Above (`CF = 0 && ZF = 0`).
+    A = 0x7,
+    /// Sign (`SF = 1`).
+    S = 0x8,
+    /// No sign (`SF = 0`).
+    Ns = 0x9,
+    /// Parity even (`PF = 1`).
+    P = 0xa,
+    /// Parity odd (`PF = 0`).
+    Np = 0xb,
+    /// Less (`SF != OF`).
+    L = 0xc,
+    /// Greater or equal (`SF = OF`).
+    Ge = 0xd,
+    /// Less or equal (`ZF = 1 || SF != OF`).
+    Le = 0xe,
+    /// Greater (`ZF = 0 && SF = OF`).
+    G = 0xf,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// Decodes a condition from the low nibble of its opcode.
+    #[inline]
+    pub fn from_encoding(enc: u8) -> Cond {
+        Cond::ALL[(enc & 0xf) as usize]
+    }
+
+    /// Hardware encoding (0–15).
+    #[inline]
+    pub fn encoding(self) -> u8 {
+        self as u8
+    }
+
+    /// The negated condition (flips the lowest encoding bit).
+    pub fn negate(self) -> Cond {
+        Cond::from_encoding(self.encoding() ^ 1)
+    }
+
+    /// Mnemonic suffix, e.g. `"ns"` for [`Cond::Ns`].
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::P => "p",
+            Cond::Np => "np",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+}
+
+/// Operand size of an instruction's data operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpSize {
+    /// 8-bit operation.
+    Byte,
+    /// 32-bit operation.
+    Dword,
+}
+
+impl OpSize {
+    /// Width in bytes (1 or 4).
+    pub fn bytes(self) -> u8 {
+        match self {
+            OpSize::Byte => 1,
+            OpSize::Dword => 4,
+        }
+    }
+}
+
+/// A memory operand: `[base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mem {
+    /// Base register, if any.
+    pub base: Option<Reg32>,
+    /// Index register and scale (1, 2, 4, or 8), if any.
+    pub index: Option<(Reg32, u8)>,
+    /// Constant displacement.
+    pub disp: i32,
+}
+
+impl Mem {
+    /// `[base]`
+    pub fn base(base: Reg32) -> Mem {
+        Mem {
+            base: Some(base),
+            index: None,
+            disp: 0,
+        }
+    }
+
+    /// `[base + disp]`
+    pub fn base_disp(base: Reg32, disp: i32) -> Mem {
+        Mem {
+            base: Some(base),
+            index: None,
+            disp,
+        }
+    }
+
+    /// `[disp]` (absolute address).
+    pub fn abs(disp: i32) -> Mem {
+        Mem {
+            base: None,
+            index: None,
+            disp,
+        }
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((i, s)) = self.index {
+            if wrote {
+                write!(f, "+")?;
+            }
+            write!(f, "{i}*{s}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp < 0 {
+                    write!(f, "-{:#x}", -(self.disp as i64))?;
+                } else {
+                    write!(f, "+{:#x}", self.disp)?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp as u32)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register.
+    Reg(Reg),
+    /// An immediate constant (sign-extended to `i64`).
+    Imm(i64),
+    /// A memory reference.
+    Mem(Mem),
+    /// A relative branch displacement (from the end of the instruction).
+    Rel(i32),
+}
+
+impl Operand {
+    /// The register, if this operand is one.
+    pub fn reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The 32-bit register, if this operand is one.
+    pub fn reg32(&self) -> Option<Reg32> {
+        match self {
+            Operand::Reg(Reg::R32(r)) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The immediate value, if this operand is one.
+    pub fn imm(&self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The memory reference, if this operand is one.
+    pub fn mem(&self) -> Option<Mem> {
+        match self {
+            Operand::Mem(m) => Some(*m),
+            _ => None,
+        }
+    }
+}
+
+impl From<Reg32> for Operand {
+    fn from(r: Reg32) -> Operand {
+        Operand::Reg(Reg::R32(r))
+    }
+}
+
+impl From<crate::reg::Reg8> for Operand {
+    fn from(r: crate::reg::Reg8) -> Operand {
+        Operand::Reg(Reg::R8(r))
+    }
+}
+
+impl From<Mem> for Operand {
+    fn from(m: Mem) -> Operand {
+        Operand::Mem(m)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => r.fmt(f),
+            Operand::Imm(v) => write!(f, "{:#x}", v),
+            Operand::Mem(m) => m.fmt(f),
+            Operand::Rel(d) => write!(f, ".{:+#x}", d),
+        }
+    }
+}
+
+/// ALU operation selector shared by the group-1 opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Bitwise OR.
+    Or,
+    /// Add with carry.
+    Adc,
+    /// Subtract with borrow.
+    Sbb,
+    /// Bitwise AND.
+    And,
+    /// Subtraction.
+    Sub,
+    /// Bitwise XOR.
+    Xor,
+    /// Compare (subtraction discarding the result).
+    Cmp,
+}
+
+impl AluOp {
+    /// All eight operations in group-1 `/r` encoding order.
+    pub const ALL: [AluOp; 8] = [
+        AluOp::Add,
+        AluOp::Or,
+        AluOp::Adc,
+        AluOp::Sbb,
+        AluOp::And,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::Cmp,
+    ];
+
+    /// Group-1 `/r` encoding (0–7).
+    pub fn encoding(self) -> u8 {
+        AluOp::ALL.iter().position(|&o| o == self).unwrap() as u8
+    }
+
+    /// Mnemonic text.
+    pub fn name(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Or => "or",
+            AluOp::Adc => "adc",
+            AluOp::Sbb => "sbb",
+            AluOp::And => "and",
+            AluOp::Sub => "sub",
+            AluOp::Xor => "xor",
+            AluOp::Cmp => "cmp",
+        }
+    }
+}
+
+/// Shift operation selector for the `c0`/`c1`/`d0`–`d3` groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Rotate left.
+    Rol,
+    /// Rotate right.
+    Ror,
+    /// Shift left (same as `sal`).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+}
+
+impl ShiftOp {
+    /// Group encoding (`/r` field); returns `None` for unused slots.
+    pub fn from_encoding(enc: u8) -> Option<ShiftOp> {
+        match enc {
+            0 => Some(ShiftOp::Rol),
+            1 => Some(ShiftOp::Ror),
+            4 | 6 => Some(ShiftOp::Shl),
+            5 => Some(ShiftOp::Shr),
+            7 => Some(ShiftOp::Sar),
+            _ => None,
+        }
+    }
+
+    /// Canonical `/r` encoding.
+    pub fn encoding(self) -> u8 {
+        match self {
+            ShiftOp::Rol => 0,
+            ShiftOp::Ror => 1,
+            ShiftOp::Shl => 4,
+            ShiftOp::Shr => 5,
+            ShiftOp::Sar => 7,
+        }
+    }
+
+    /// Mnemonic text.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShiftOp::Rol => "rol",
+            ShiftOp::Ror => "ror",
+            ShiftOp::Shl => "shl",
+            ShiftOp::Shr => "shr",
+            ShiftOp::Sar => "sar",
+        }
+    }
+}
+
+/// Instruction mnemonics understood by the toolchain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mnemonic {
+    /// Group-1 ALU operation (`add`, `sub`, `xor`, …).
+    Alu(AluOp),
+    /// Data move.
+    Mov,
+    /// Load effective address.
+    Lea,
+    /// Logical compare (AND discarding the result).
+    Test,
+    /// Exchange.
+    Xchg,
+    /// Push onto the stack.
+    Push,
+    /// Pop from the stack.
+    Pop,
+    /// Increment by one.
+    Inc,
+    /// Decrement by one.
+    Dec,
+    /// Two's-complement negation.
+    Neg,
+    /// One's-complement negation.
+    Not,
+    /// Unsigned multiply (`edx:eax = eax * rm`).
+    Mul,
+    /// Signed multiply.
+    Imul,
+    /// Unsigned divide (`eax = edx:eax / rm`, `edx =` remainder).
+    Div,
+    /// Signed divide.
+    Idiv,
+    /// Shift or rotate.
+    Shift(ShiftOp),
+    /// Unconditional relative jump.
+    Jmp,
+    /// Indirect jump through a register or memory operand.
+    JmpInd,
+    /// Conditional relative jump.
+    Jcc(Cond),
+    /// Set byte on condition.
+    Setcc(Cond),
+    /// Conditional move.
+    Cmovcc(Cond),
+    /// Relative call.
+    Call,
+    /// Indirect call through a register or memory operand.
+    CallInd,
+    /// Near return (optionally releasing stack bytes).
+    Ret,
+    /// Far return.
+    Retf,
+    /// `mov esp, ebp; pop ebp`.
+    Leave,
+    /// No operation.
+    Nop,
+    /// Push all general-purpose registers.
+    Pushad,
+    /// Pop all general-purpose registers.
+    Popad,
+    /// Push the flags register.
+    Pushfd,
+    /// Pop the flags register.
+    Popfd,
+    /// Sign-extend `ax` into `eax`.
+    Cwde,
+    /// Sign-extend `eax` into `edx:eax`.
+    Cdq,
+    /// Software interrupt.
+    Int,
+    /// Breakpoint (`int3`).
+    Int3,
+    /// Halt.
+    Hlt,
+    /// Clear carry flag.
+    Clc,
+    /// Set carry flag.
+    Stc,
+    /// Complement carry flag.
+    Cmc,
+    /// Zero-extending move from a narrower operand.
+    Movzx,
+    /// Sign-extending move from a narrower operand.
+    Movsx,
+}
+
+impl Mnemonic {
+    /// Mnemonic text, e.g. `"jns"` or `"add"`.
+    pub fn name(self) -> String {
+        match self {
+            Mnemonic::Alu(op) => op.name().to_owned(),
+            Mnemonic::Mov => "mov".to_owned(),
+            Mnemonic::Lea => "lea".to_owned(),
+            Mnemonic::Test => "test".to_owned(),
+            Mnemonic::Xchg => "xchg".to_owned(),
+            Mnemonic::Push => "push".to_owned(),
+            Mnemonic::Pop => "pop".to_owned(),
+            Mnemonic::Inc => "inc".to_owned(),
+            Mnemonic::Dec => "dec".to_owned(),
+            Mnemonic::Neg => "neg".to_owned(),
+            Mnemonic::Not => "not".to_owned(),
+            Mnemonic::Mul => "mul".to_owned(),
+            Mnemonic::Imul => "imul".to_owned(),
+            Mnemonic::Div => "div".to_owned(),
+            Mnemonic::Idiv => "idiv".to_owned(),
+            Mnemonic::Shift(op) => op.name().to_owned(),
+            Mnemonic::Jmp => "jmp".to_owned(),
+            Mnemonic::JmpInd => "jmp".to_owned(),
+            Mnemonic::Jcc(c) => format!("j{}", c.suffix()),
+            Mnemonic::Setcc(c) => format!("set{}", c.suffix()),
+            Mnemonic::Cmovcc(c) => format!("cmov{}", c.suffix()),
+            Mnemonic::Call => "call".to_owned(),
+            Mnemonic::CallInd => "call".to_owned(),
+            Mnemonic::Ret => "ret".to_owned(),
+            Mnemonic::Retf => "retf".to_owned(),
+            Mnemonic::Leave => "leave".to_owned(),
+            Mnemonic::Nop => "nop".to_owned(),
+            Mnemonic::Pushad => "pushad".to_owned(),
+            Mnemonic::Popad => "popad".to_owned(),
+            Mnemonic::Pushfd => "pushfd".to_owned(),
+            Mnemonic::Popfd => "popfd".to_owned(),
+            Mnemonic::Cwde => "cwde".to_owned(),
+            Mnemonic::Cdq => "cdq".to_owned(),
+            Mnemonic::Int => "int".to_owned(),
+            Mnemonic::Int3 => "int3".to_owned(),
+            Mnemonic::Hlt => "hlt".to_owned(),
+            Mnemonic::Clc => "clc".to_owned(),
+            Mnemonic::Stc => "stc".to_owned(),
+            Mnemonic::Cmc => "cmc".to_owned(),
+            Mnemonic::Movzx => "movzx".to_owned(),
+            Mnemonic::Movsx => "movsx".to_owned(),
+        }
+    }
+}
+
+/// Byte range of a field inside an instruction encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldLoc {
+    /// Offset of the field from the start of the instruction, in bytes.
+    pub offset: u8,
+    /// Width of the field in bytes.
+    pub width: u8,
+}
+
+/// A fully decoded instruction.
+///
+/// Besides the semantic content (mnemonic, operands, operand size), the
+/// structure records where immediates, displacements, and relative
+/// branch offsets live *inside the encoding*. The binary-rewriting
+/// rules of Parallax (modified immediates, jump-offset alignment) patch
+/// those bytes in place, so their exact positions matter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Insn {
+    /// The operation.
+    pub mnemonic: Mnemonic,
+    /// Operands in Intel order (destination first).
+    pub ops: Vec<Operand>,
+    /// Data operand size.
+    pub size: OpSize,
+    /// Total encoded length in bytes.
+    pub len: u8,
+    /// Location of the immediate field, if any.
+    pub imm_loc: Option<FieldLoc>,
+    /// Location of the memory displacement field, if any.
+    pub disp_loc: Option<FieldLoc>,
+    /// Location of the relative branch offset field, if any.
+    pub rel_loc: Option<FieldLoc>,
+}
+
+impl Insn {
+    /// Creates an instruction with no recorded field locations.
+    pub fn new(mnemonic: Mnemonic, ops: Vec<Operand>, size: OpSize, len: u8) -> Insn {
+        Insn {
+            mnemonic,
+            ops,
+            size,
+            len,
+            imm_loc: None,
+            disp_loc: None,
+            rel_loc: None,
+        }
+    }
+
+    /// True if the instruction ends a basic block (returns, jumps,
+    /// calls, halts, or software interrupts).
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self.mnemonic,
+            Mnemonic::Ret
+                | Mnemonic::Retf
+                | Mnemonic::Jmp
+                | Mnemonic::JmpInd
+                | Mnemonic::Jcc(_)
+                | Mnemonic::Hlt
+        )
+    }
+
+    /// True for near and far returns.
+    pub fn is_ret(&self) -> bool {
+        matches!(self.mnemonic, Mnemonic::Ret | Mnemonic::Retf)
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic.name())?;
+        let mut first = true;
+        for op in &self.ops {
+            if first {
+                write!(f, " ")?;
+                first = false;
+            } else {
+                write!(f, ",")?;
+            }
+            // Annotate byte-sized memory operands the way disassemblers do.
+            if let Operand::Mem(m) = op {
+                if self.size == OpSize::Byte {
+                    write!(f, "byte {m}")?;
+                    continue;
+                }
+            }
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg8;
+
+    #[test]
+    fn cond_negate() {
+        assert_eq!(Cond::E.negate(), Cond::Ne);
+        assert_eq!(Cond::Ns.negate(), Cond::S);
+        assert_eq!(Cond::L.negate(), Cond::Ge);
+    }
+
+    #[test]
+    fn cond_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_encoding(c.encoding()), c);
+        }
+    }
+
+    #[test]
+    fn alu_encoding_order() {
+        assert_eq!(AluOp::Add.encoding(), 0);
+        assert_eq!(AluOp::Cmp.encoding(), 7);
+        assert_eq!(AluOp::Xor.encoding(), 6);
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        for op in [
+            ShiftOp::Rol,
+            ShiftOp::Ror,
+            ShiftOp::Shl,
+            ShiftOp::Shr,
+            ShiftOp::Sar,
+        ] {
+            assert_eq!(ShiftOp::from_encoding(op.encoding()), Some(op));
+        }
+        assert_eq!(ShiftOp::from_encoding(6), Some(ShiftOp::Shl));
+        assert_eq!(ShiftOp::from_encoding(2), None);
+    }
+
+    #[test]
+    fn mem_display() {
+        assert_eq!(Mem::base_disp(Reg32::Ecx, 7).to_string(), "[ecx+0x7]");
+        assert_eq!(Mem::base_disp(Reg32::Ebp, -8).to_string(), "[ebp-0x8]");
+        assert_eq!(Mem::abs(0x8049000).to_string(), "[0x8049000]");
+        assert_eq!(Mem::base(Reg32::Esp).to_string(), "[esp]");
+    }
+
+    #[test]
+    fn insn_display() {
+        let i = Insn::new(
+            Mnemonic::Alu(AluOp::Add),
+            vec![Operand::from(Reg8::Bl), Operand::from(Reg8::Ch)],
+            OpSize::Byte,
+            2,
+        );
+        assert_eq!(i.to_string(), "add bl,ch");
+        let r = Insn::new(Mnemonic::Ret, vec![], OpSize::Dword, 1);
+        assert_eq!(r.to_string(), "ret");
+        assert!(r.is_ret());
+        assert!(r.is_terminator());
+    }
+}

@@ -1,0 +1,240 @@
+//! Register definitions for 32-bit x86.
+
+use core::fmt;
+
+/// A 32-bit general-purpose register.
+///
+/// The discriminant equals the hardware encoding used in ModRM and
+/// opcode-embedded register fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Reg32 {
+    /// Accumulator.
+    Eax = 0,
+    /// Counter.
+    Ecx = 1,
+    /// Data.
+    Edx = 2,
+    /// Base.
+    Ebx = 3,
+    /// Stack pointer.
+    Esp = 4,
+    /// Frame pointer.
+    Ebp = 5,
+    /// Source index.
+    Esi = 6,
+    /// Destination index.
+    Edi = 7,
+}
+
+impl Reg32 {
+    /// All eight registers in encoding order.
+    pub const ALL: [Reg32; 8] = [
+        Reg32::Eax,
+        Reg32::Ecx,
+        Reg32::Edx,
+        Reg32::Ebx,
+        Reg32::Esp,
+        Reg32::Ebp,
+        Reg32::Esi,
+        Reg32::Edi,
+    ];
+
+    /// Hardware encoding (0–7).
+    #[inline]
+    pub fn encoding(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a register from its 3-bit hardware encoding.
+    #[inline]
+    pub fn from_encoding(enc: u8) -> Reg32 {
+        Reg32::ALL[(enc & 7) as usize]
+    }
+
+    /// Returns the canonical lowercase name, e.g. `"eax"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg32::Eax => "eax",
+            Reg32::Ecx => "ecx",
+            Reg32::Edx => "edx",
+            Reg32::Ebx => "ebx",
+            Reg32::Esp => "esp",
+            Reg32::Ebp => "ebp",
+            Reg32::Esi => "esi",
+            Reg32::Edi => "edi",
+        }
+    }
+}
+
+impl fmt::Display for Reg32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An 8-bit register.
+///
+/// Encodings 0–3 are the low bytes of `eax`, `ecx`, `edx`, `ebx`;
+/// encodings 4–7 are the corresponding high bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Reg8 {
+    /// Low byte of `eax`.
+    Al = 0,
+    /// Low byte of `ecx`.
+    Cl = 1,
+    /// Low byte of `edx`.
+    Dl = 2,
+    /// Low byte of `ebx`.
+    Bl = 3,
+    /// Bits 8–15 of `eax`.
+    Ah = 4,
+    /// Bits 8–15 of `ecx`.
+    Ch = 5,
+    /// Bits 8–15 of `edx`.
+    Dh = 6,
+    /// Bits 8–15 of `ebx`.
+    Bh = 7,
+}
+
+impl Reg8 {
+    /// All eight registers in encoding order.
+    pub const ALL: [Reg8; 8] = [
+        Reg8::Al,
+        Reg8::Cl,
+        Reg8::Dl,
+        Reg8::Bl,
+        Reg8::Ah,
+        Reg8::Ch,
+        Reg8::Dh,
+        Reg8::Bh,
+    ];
+
+    /// Hardware encoding (0–7).
+    #[inline]
+    pub fn encoding(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a register from its 3-bit hardware encoding.
+    #[inline]
+    pub fn from_encoding(enc: u8) -> Reg8 {
+        Reg8::ALL[(enc & 7) as usize]
+    }
+
+    /// The 32-bit register this byte register aliases.
+    pub fn parent(self) -> Reg32 {
+        Reg32::from_encoding(self.encoding() & 3)
+    }
+
+    /// True for `ah`, `ch`, `dh`, `bh`.
+    pub fn is_high(self) -> bool {
+        self.encoding() >= 4
+    }
+
+    /// Returns the canonical lowercase name, e.g. `"al"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg8::Al => "al",
+            Reg8::Cl => "cl",
+            Reg8::Dl => "dl",
+            Reg8::Bl => "bl",
+            Reg8::Ah => "ah",
+            Reg8::Ch => "ch",
+            Reg8::Dh => "dh",
+            Reg8::Bh => "bh",
+        }
+    }
+}
+
+impl fmt::Display for Reg8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A register of either width, as it appears in an operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg {
+    /// A 32-bit register.
+    R32(Reg32),
+    /// An 8-bit register.
+    R8(Reg8),
+}
+
+impl Reg {
+    /// The 32-bit register this operand reads or writes (high-byte
+    /// registers map to their parent).
+    pub fn parent(self) -> Reg32 {
+        match self {
+            Reg::R32(r) => r,
+            Reg::R8(r) => r.parent(),
+        }
+    }
+
+    /// Width of the register in bytes (4 or 1).
+    pub fn width(self) -> u8 {
+        match self {
+            Reg::R32(_) => 4,
+            Reg::R8(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::R32(r) => r.fmt(f),
+            Reg::R8(r) => r.fmt(f),
+        }
+    }
+}
+
+impl From<Reg32> for Reg {
+    fn from(r: Reg32) -> Reg {
+        Reg::R32(r)
+    }
+}
+
+impl From<Reg8> for Reg {
+    fn from(r: Reg8) -> Reg {
+        Reg::R8(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg32_roundtrip() {
+        for r in Reg32::ALL {
+            assert_eq!(Reg32::from_encoding(r.encoding()), r);
+        }
+    }
+
+    #[test]
+    fn reg8_roundtrip() {
+        for r in Reg8::ALL {
+            assert_eq!(Reg8::from_encoding(r.encoding()), r);
+        }
+    }
+
+    #[test]
+    fn reg8_parents() {
+        assert_eq!(Reg8::Al.parent(), Reg32::Eax);
+        assert_eq!(Reg8::Ah.parent(), Reg32::Eax);
+        assert_eq!(Reg8::Ch.parent(), Reg32::Ecx);
+        assert_eq!(Reg8::Bl.parent(), Reg32::Ebx);
+        assert!(Reg8::Ch.is_high());
+        assert!(!Reg8::Cl.is_high());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg32::Esp.to_string(), "esp");
+        assert_eq!(Reg8::Bh.to_string(), "bh");
+        assert_eq!(Reg::from(Reg32::Esi).to_string(), "esi");
+    }
+}

@@ -1,0 +1,158 @@
+//! Exhaustive coverage tests for the decoder: every one-byte opcode is
+//! classified (supported/unsupported), and every ModRM/SIB form of a
+//! representative instruction decodes with consistent lengths.
+
+use parallax_x86::{decode, DecodeError, Mnemonic};
+
+/// Bytes long enough to satisfy any operand tail.
+const TAIL: [u8; 15] = [
+    0x41, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+];
+
+fn try_opcode(op: u8) -> Result<parallax_x86::Insn, DecodeError> {
+    let mut buf = vec![op];
+    buf.extend_from_slice(&TAIL);
+    decode(&buf)
+}
+
+/// The exact set of supported one-byte opcodes. A change to the decoder
+/// that silently adds or drops support must update this table.
+#[test]
+fn one_byte_opcode_coverage_is_exactly_as_documented() {
+    for op in 0u16..=0xff {
+        let op = op as u8;
+        // The TAIL's first byte is ModRM 0x41 (= mod 01, reg 0, rm 1):
+        // group opcodes therefore select their /0 slot, which is valid
+        // for every supported group.
+        let supported = match op {
+            // Group-1 ALU families: forms /0../5 of each 8-opcode row.
+            0x00..=0x3f if (op & 7) < 6 && !matches!(op & 0x38, 0x38) => true,
+            0x38..=0x3d => true, // cmp family
+            0x0f => true,        // two-byte escape: 0f 41 = cmovno
+            0x40..=0x4f => true, // inc/dec
+            0x50..=0x5f => true, // push/pop
+            0x60 | 0x61 => true, // pushad/popad
+            0x68..=0x6b => true,
+            0x70..=0x7f => true, // jcc rel8
+            0x80 | 0x81 | 0x83 => true,
+            0x84..=0x8b => true,
+            0x8d => true,        // lea (memory tail)
+            0x8f => true,        // pop r/m, /0
+            0x90..=0x99 => true,
+            0x9c | 0x9d => true,
+            0xa0..=0xa3 => true,
+            0xa8 | 0xa9 => true,
+            0xb0..=0xbf => true,
+            0xc0 | 0xc1 => true, // shift group, /0 = rol
+            0xc2 | 0xc3 => true,
+            0xc6 | 0xc7 => true, // mov r/m, imm — /0
+            0xc9..=0xcd => true,
+            0xd0..=0xd3 => true,
+            0xe8 | 0xe9 | 0xeb => true,
+            0xf4 | 0xf5 => true,
+            0xf6 | 0xf7 => true, // group 3, /0 = test imm
+            0xf8 | 0xf9 => true,
+            0xfe | 0xff => true, // group 4/5, /0 = inc
+            _ => false,
+        };
+        let got = try_opcode(op);
+        assert_eq!(
+            got.is_ok(),
+            supported,
+            "opcode {op:#04x}: expected supported={supported}, got {got:?}"
+        );
+    }
+}
+
+/// Every two-byte opcode the decoder supports, by row.
+#[test]
+fn two_byte_opcode_coverage() {
+    for op2 in 0u16..=0xff {
+        let op2 = op2 as u8;
+        let mut buf = vec![0x0f, op2];
+        buf.extend_from_slice(&TAIL);
+        let supported = matches!(op2, 0x40..=0x4f | 0x80..=0x8f | 0x90..=0x9f | 0xaf | 0xb6 | 0xbe);
+        assert_eq!(
+            decode(&buf).is_ok(),
+            supported,
+            "opcode 0f {op2:#04x}"
+        );
+    }
+}
+
+/// All 256 ModRM bytes for `mov r32, r/m32` decode, and the decoded
+/// length always covers opcode + modrm + sib? + disp?.
+#[test]
+fn all_modrm_forms_decode_with_consistent_lengths() {
+    for modrm in 0u16..=0xff {
+        let modrm = modrm as u8;
+        for sib in [0x00u8, 0x24, 0x65, 0xe5, 0xff] {
+            let mut buf = vec![0x8b, modrm, sib];
+            buf.extend_from_slice(&[0x11, 0x22, 0x33, 0x44, 0x55, 0x66]);
+            let insn = decode(&buf).unwrap_or_else(|e| {
+                panic!("mov with modrm {modrm:#04x} sib {sib:#04x} failed: {e}")
+            });
+            let md = modrm >> 6;
+            let rm = modrm & 7;
+            let mut expect = 2; // opcode + modrm
+            if md != 3 && rm == 4 {
+                expect += 1; // sib
+                if md == 0 && (sib & 7) == 5 {
+                    expect += 4;
+                }
+            }
+            match md {
+                0 if rm == 5 => expect += 4,
+                1 => expect += 1,
+                2 => expect += 4,
+                _ => {}
+            }
+            assert_eq!(
+                insn.len, expect,
+                "modrm {modrm:#04x} sib {sib:#04x}: {insn}"
+            );
+            assert_eq!(insn.mnemonic, Mnemonic::Mov);
+        }
+    }
+}
+
+/// Decoding is length-stable: for every supported instruction the
+/// reported length never exceeds the input we gave it.
+#[test]
+fn reported_lengths_are_within_input() {
+    for op in 0u16..=0xff {
+        let mut buf = vec![op as u8];
+        buf.extend_from_slice(&TAIL);
+        if let Ok(insn) = decode(&buf) {
+            assert!(
+                (insn.len as usize) <= buf.len(),
+                "opcode {op:#04x} overruns"
+            );
+            assert!(insn.len >= 1);
+        }
+    }
+}
+
+/// Truncation at every prefix length either decodes identically or
+/// reports `Truncated` — never panics, never mis-decodes.
+#[test]
+fn truncation_behaviour() {
+    let samples: &[&[u8]] = &[
+        &[0xb8, 0x01, 0x02, 0x03, 0x04],
+        &[0x8b, 0x44, 0xb3, 0x08],
+        &[0x0f, 0x84, 0x00, 0x01, 0x00, 0x00],
+        &[0x81, 0xc1, 0xaa, 0xbb, 0xcc, 0xdd],
+        &[0xc7, 0x05, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08],
+    ];
+    for s in samples {
+        let full = decode(s).expect("full decodes");
+        assert_eq!(full.len as usize, s.len());
+        for cut in 0..s.len() {
+            match decode(&s[..cut]) {
+                Err(DecodeError::Truncated) => {}
+                Err(_) if cut == 0 => {}
+                other => panic!("cut {cut} of {s:02x?}: {other:?}"),
+            }
+        }
+    }
+}

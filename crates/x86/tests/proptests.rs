@@ -1,0 +1,211 @@
+//! Property-based tests for the x86 encoder/decoder pair.
+
+use proptest::prelude::*;
+
+use parallax_x86::{decode, AluOp, Asm, Cond, Mem, Reg32, Reg8, ShiftOp};
+
+fn reg32() -> impl Strategy<Value = Reg32> {
+    (0u8..8).prop_map(Reg32::from_encoding)
+}
+
+fn reg8() -> impl Strategy<Value = Reg8> {
+    (0u8..8).prop_map(Reg8::from_encoding)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    (0usize..8).prop_map(|i| AluOp::ALL[i])
+}
+
+fn shift_op() -> impl Strategy<Value = ShiftOp> {
+    prop_oneof![
+        Just(ShiftOp::Rol),
+        Just(ShiftOp::Ror),
+        Just(ShiftOp::Shl),
+        Just(ShiftOp::Shr),
+        Just(ShiftOp::Sar),
+    ]
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    (0u8..16).prop_map(Cond::from_encoding)
+}
+
+fn mem() -> impl Strategy<Value = Mem> {
+    (
+        proptest::option::of(reg32()),
+        proptest::option::of((reg32().prop_filter("esp cannot index", |r| *r != Reg32::Esp), 0u8..4)),
+        any::<i32>(),
+    )
+        .prop_map(|(base, index, disp)| Mem {
+            base,
+            index: index.map(|(r, s)| (r, 1u8 << s)),
+            disp,
+        })
+}
+
+/// One random emitter invocation, returning the expected disassembly.
+#[derive(Debug, Clone)]
+enum Op {
+    MovRr(Reg32, Reg32),
+    MovRi(Reg32, i32),
+    MovRm(Reg32, Mem),
+    MovMr(Mem, Reg32),
+    MovMi(Mem, i32),
+    MovRr8(Reg8, Reg8),
+    AluRr(AluOp, Reg32, Reg32),
+    AluRi(AluOp, Reg32, i32),
+    AluRm(AluOp, Reg32, Mem),
+    AluMr(AluOp, Mem, Reg32),
+    AluRr8(AluOp, Reg8, Reg8),
+    ShiftRi(ShiftOp, Reg32, u8),
+    PushR(Reg32),
+    PopR(Reg32),
+    PushI(i32),
+    IncR(Reg32),
+    DecR(Reg32),
+    NegR(Reg32),
+    NotR(Reg32),
+    Lea(Reg32, Mem),
+    Setcc(Cond, Reg8),
+    Cmovcc(Cond, Reg32, Reg32),
+    TestRr(Reg32, Reg32),
+    Xchg(Reg32, Reg32),
+    ImulRr(Reg32, Reg32),
+    Ret,
+    Retf,
+    Leave,
+    Nop,
+    Int(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (reg32(), reg32()).prop_map(|(a, b)| Op::MovRr(a, b)),
+        (reg32(), any::<i32>()).prop_map(|(a, b)| Op::MovRi(a, b)),
+        (reg32(), mem()).prop_map(|(a, b)| Op::MovRm(a, b)),
+        (mem(), reg32()).prop_map(|(a, b)| Op::MovMr(a, b)),
+        (mem(), any::<i32>()).prop_map(|(a, b)| Op::MovMi(a, b)),
+        (reg8(), reg8()).prop_map(|(a, b)| Op::MovRr8(a, b)),
+        (alu_op(), reg32(), reg32()).prop_map(|(o, a, b)| Op::AluRr(o, a, b)),
+        (alu_op(), reg32(), any::<i32>()).prop_map(|(o, a, b)| Op::AluRi(o, a, b)),
+        (alu_op(), reg32(), mem()).prop_map(|(o, a, b)| Op::AluRm(o, a, b)),
+        (alu_op(), mem(), reg32()).prop_map(|(o, a, b)| Op::AluMr(o, a, b)),
+        (alu_op(), reg8(), reg8()).prop_map(|(o, a, b)| Op::AluRr8(o, a, b)),
+        (shift_op(), reg32(), 0u8..32).prop_map(|(o, a, b)| Op::ShiftRi(o, a, b)),
+        reg32().prop_map(Op::PushR),
+        reg32().prop_map(Op::PopR),
+        any::<i32>().prop_map(Op::PushI),
+        reg32().prop_map(Op::IncR),
+        reg32().prop_map(Op::DecR),
+        reg32().prop_map(Op::NegR),
+        reg32().prop_map(Op::NotR),
+        (reg32(), mem()).prop_map(|(a, b)| Op::Lea(a, b)),
+        (cond(), reg8()).prop_map(|(c, r)| Op::Setcc(c, r)),
+        (cond(), reg32(), reg32()).prop_map(|(c, a, b)| Op::Cmovcc(c, a, b)),
+        (reg32(), reg32()).prop_map(|(a, b)| Op::TestRr(a, b)),
+        (reg32(), reg32()).prop_map(|(a, b)| Op::Xchg(a, b)),
+        (reg32(), reg32()).prop_map(|(a, b)| Op::ImulRr(a, b)),
+        Just(Op::Ret),
+        Just(Op::Retf),
+        Just(Op::Leave),
+        Just(Op::Nop),
+        any::<u8>().prop_map(Op::Int),
+    ]
+}
+
+fn emit(a: &mut Asm, op: &Op) {
+    match *op {
+        Op::MovRr(d, s) => a.mov_rr(d, s),
+        Op::MovRi(d, i) => a.mov_ri(d, i),
+        Op::MovRm(d, m) => a.mov_rm(d, m),
+        Op::MovMr(m, s) => a.mov_mr(m, s),
+        Op::MovMi(m, i) => a.mov_mi(m, i),
+        Op::MovRr8(d, s) => a.mov_rr8(d, s),
+        Op::AluRr(o, d, s) => a.alu_rr(o, d, s),
+        Op::AluRi(o, d, i) => a.alu_ri(o, d, i),
+        Op::AluRm(o, d, m) => a.alu_rm(o, d, m),
+        Op::AluMr(o, m, s) => a.alu_mr(o, m, s),
+        Op::AluRr8(o, d, s) => a.alu_rr8(o, d, s),
+        Op::ShiftRi(o, d, i) => a.shift_ri(o, d, i),
+        Op::PushR(r) => a.push_r(r),
+        Op::PopR(r) => a.pop_r(r),
+        Op::PushI(i) => a.push_i(i),
+        Op::IncR(r) => a.inc_r(r),
+        Op::DecR(r) => a.dec_r(r),
+        Op::NegR(r) => a.neg_r(r),
+        Op::NotR(r) => a.not_r(r),
+        Op::Lea(d, m) => a.lea(d, m),
+        Op::Setcc(c, r) => a.setcc(c, r),
+        Op::Cmovcc(c, d, s) => a.cmovcc(c, d, s),
+        Op::TestRr(d, s) => a.test_rr(d, s),
+        Op::Xchg(d, s) => a.xchg_rr(d, s),
+        Op::ImulRr(d, s) => a.imul_rr(d, s),
+        Op::Ret => a.ret(),
+        Op::Retf => a.retf(),
+        Op::Leave => a.leave(),
+        Op::Nop => a.nop(),
+        Op::Int(n) => a.int(n),
+    }
+}
+
+proptest! {
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..24)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Every emitted instruction decodes, and the decoded length equals
+    /// the emitted length (so instruction streams re-synchronize).
+    #[test]
+    fn encode_then_decode(ops in proptest::collection::vec(op(), 1..24)) {
+        let mut a = Asm::new();
+        let mut lens = Vec::new();
+        for o in &ops {
+            let before = a.pos();
+            emit(&mut a, o);
+            lens.push(a.pos() - before);
+        }
+        let out = a.finish().unwrap();
+        let mut pos = 0;
+        for (i, expected_len) in lens.iter().enumerate() {
+            let insn = decode(&out.bytes[pos..])
+                .unwrap_or_else(|e| panic!("op {i} ({:?}) failed to decode: {e}", ops[i]));
+            prop_assert_eq!(insn.len as usize, *expected_len, "op {} ({:?})", i, &ops[i]);
+            pos += insn.len as usize;
+        }
+        prop_assert_eq!(pos, out.bytes.len());
+    }
+
+    /// Immediate/displacement field locations reported by the decoder
+    /// point at the actual little-endian bytes of the value.
+    #[test]
+    fn field_locations_are_faithful(d in reg32(), m in mem(), imm in any::<i32>()) {
+        let mut a = Asm::new();
+        a.mov_mi(m, imm);
+        a.mov_ri(d, imm);
+        let out = a.finish().unwrap();
+
+        let i1 = decode(&out.bytes).unwrap();
+        let loc = i1.imm_loc.unwrap();
+        prop_assert_eq!(loc.width, 4);
+        let raw = &out.bytes[loc.offset as usize..loc.offset as usize + 4];
+        prop_assert_eq!(i32::from_le_bytes(raw.try_into().unwrap()), imm);
+
+        if let Some(dloc) = i1.disp_loc {
+            let start = dloc.offset as usize;
+            let val = match dloc.width {
+                1 => out.bytes[start] as i8 as i32,
+                4 => i32::from_le_bytes(out.bytes[start..start + 4].try_into().unwrap()),
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(val, m.disp);
+        }
+
+        let i2 = decode(&out.bytes[i1.len as usize..]).unwrap();
+        let loc2 = i2.imm_loc.unwrap();
+        let start = i1.len as usize + loc2.offset as usize;
+        let raw2 = &out.bytes[start..start + 4];
+        prop_assert_eq!(i32::from_le_bytes(raw2.try_into().unwrap()), imm);
+    }
+}

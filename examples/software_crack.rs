@@ -1,0 +1,81 @@
+//! Static software cracking (the paper's distribution scenario): an
+//! attacker patches a license check in the binary *on disk* and
+//! distributes the result. Parallax-protected binaries stop working.
+//!
+//! ```sh
+//! cargo run --example software_crack
+//! ```
+
+use parallax::compiler::ir::build::*;
+use parallax::compiler::{Function, Module};
+use parallax::core::{protect, ProtectConfig};
+use parallax::image::format;
+use parallax::vm::{Exit, Vm};
+
+fn module() -> Module {
+    let mut m = Module::new();
+    m.func(Function::new("licensed", [], vec![ret(c(0))])); // unlicensed copy
+    m.func(Function::new(
+        "render_output",
+        ["x"],
+        vec![ret(xor(mul(l("x"), c(7)), c(0x29)))],
+    ));
+    m.func(Function::new(
+        "main",
+        [],
+        vec![
+            if_(
+                ne(call("licensed", vec![]), c(1)),
+                vec![ret(c(2))], // demo mode
+                vec![],
+            ),
+            ret(and(call("render_output", vec![c(6)]), c(0xff))), // full mode
+        ],
+    ));
+    m.entry("main");
+    m
+}
+
+fn main() {
+    let m = module();
+
+    let protected = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec!["render_output".into()],
+            guard_funcs: vec!["licensed".into(), "main".into()],
+            rewrite: parallax::rewrite::RewriteConfig {
+                imm_completion_always: true,
+                ..Default::default()
+            },
+            ..ProtectConfig::default()
+        },
+    )
+    .expect("protects");
+
+    // The vendor ships the protected binary as a file.
+    let shipped = format::save(&protected.image);
+    println!("shipped binary: {} bytes (PLX format)", shipped.len());
+
+    // Honest user: demo mode.
+    let mut vm = Vm::new(&format::load(&shipped).unwrap());
+    println!("honest run:            {}", vm.run());
+
+    // Cracker: load the file, overwrite `licensed` with `mov eax,1; ret`,
+    // re-save, distribute.
+    let mut img = format::load(&shipped).unwrap();
+    let lic = img.symbol("licensed").unwrap().vaddr;
+    img.write(lic, &[0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3]);
+    let cracked_file = format::save(&img);
+    println!("cracked binary: {} bytes", cracked_file.len());
+
+    // Victim runs the cracked copy.
+    let mut vm = Vm::new(&format::load(&cracked_file).unwrap());
+    let outcome = vm.run();
+    println!("cracked run:           {outcome}");
+    let full_mode = Exit::Exited(((6 * 7) ^ 0x29) & 0xff);
+    assert_ne!(outcome, full_mode, "the crack must not unlock full mode");
+    println!("\nthe crack destroyed guard gadgets inside `licensed` that the");
+    println!("verification chain executes — the cracked copy is unusable, which");
+    println!("is Parallax's anti-cracking goal (§II-B, §V-B).");
+}

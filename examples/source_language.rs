@@ -1,0 +1,68 @@
+//! The source-language front-end: compile a `.px` file, protect it with
+//! Parallax, and exercise the result — the same flow the `plx` CLI
+//! drives (`plx build` / `plx protect` / `plx run`).
+//!
+//! ```sh
+//! cargo run --example source_language
+//! ```
+
+use parallax::compiler::parse_module;
+use parallax::core::{protect, ProtectConfig};
+use parallax::vm::{Exit, Vm};
+
+fn main() {
+    let src = include_str!("px/license.px");
+    let module = parse_module(src).expect("source parses");
+    println!(
+        "parsed {} functions, {} globals",
+        module.funcs.len(),
+        module.globals.len()
+    );
+
+    // Native run.
+    let img = parallax::compiler::compile_module(&module)
+        .unwrap()
+        .link()
+        .unwrap();
+    let mut vm = Vm::new(&img);
+    let native = vm.run();
+    println!("native:    {native} ({})", String::from_utf8_lossy(vm.output()).trim());
+
+    // Protect: verify_pipeline becomes the chain; the license check is
+    // guard-covered; chains are checksummed per §VI-C.
+    let protected = protect(
+        &module,
+        &ProtectConfig {
+            verify_funcs: vec!["verify_pipeline".into()],
+            guard_funcs: vec!["licensed".into()],
+            checksum_chains: true,
+            ..ProtectConfig::default()
+        },
+    )
+    .expect("protects");
+    let mut vm = Vm::new(&protected.image);
+    let got = vm.run();
+    println!("protected: {got}");
+    assert_eq!(got, native);
+
+    // Crack attempt 1: overwrite `licensed` -> guard gadgets die.
+    let lic = protected.image.symbol("licensed").unwrap().vaddr;
+    let mut cracked = protected.image.clone();
+    cracked.write(lic, &[0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3]);
+    let mut vm = Vm::new(&cracked);
+    let r1 = vm.run();
+    println!("crack #1 (patch licensed):     {r1}");
+    assert_ne!(r1, native);
+
+    // Crack attempt 2: patch the verification chain itself -> the §VI-C
+    // checksum over the chain data fires.
+    let chain = protected.image.symbol("__plx_chain_verify_pipeline").unwrap();
+    let mut cracked = protected.image.clone();
+    let b = cracked.read(chain.vaddr + 4, 1).unwrap()[0];
+    cracked.write(chain.vaddr + 4, &[b ^ 1]);
+    let mut vm = Vm::new(&cracked);
+    let r2 = vm.run();
+    println!("crack #2 (patch chain data):   {r2}");
+    assert_eq!(r2, Exit::Exited(parallax::ropc::CHAIN_CK_EXIT));
+    println!("\nboth tampering channels detected.");
+}

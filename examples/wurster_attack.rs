@@ -1,0 +1,80 @@
+//! The Wurster et al. split instruction/data cache attack (§I, §IX):
+//! the kernel-level technique that defeats *every* checksumming-based
+//! self-verification scheme — and why Parallax is immune.
+//!
+//! ```sh
+//! cargo run --example wurster_attack
+//! ```
+
+use parallax::baselines::{attack_icache, attack_static, protect_with_checksums, TAMPER_EXIT};
+use parallax::compiler::ir::build::*;
+use parallax::compiler::{Function, Module};
+use parallax::core::{protect, ProtectConfig};
+use parallax::vm::Exit;
+
+fn module() -> Module {
+    let mut m = Module::new();
+    m.func(Function::new("licensed", [], vec![ret(c(0))]));
+    m.func(Function::new(
+        "gate",
+        [],
+        vec![if_(
+            eq(call("licensed", vec![]), c(1)),
+            vec![ret(c(7))],
+            vec![ret(c(99))],
+        )],
+    ));
+    m.func(Function::new("main", [], vec![ret(call("gate", vec![]))]));
+    m.entry("main");
+    m
+}
+
+fn main() {
+    let m = module();
+    let crack = |img: &parallax::image::LinkedImage| {
+        let f = img.symbol("licensed").unwrap();
+        (f.vaddr, vec![0xb8u8, 0x01, 0x00, 0x00, 0x00, 0xc3])
+    };
+
+    // ---- Checksumming network (Chang & Atallah style) ----
+    let (ck, checkers) = protect_with_checksums(&m, &["licensed".into()], 3).unwrap();
+    println!("checksumming network: {} cross-verifying checkers", checkers.len());
+    let p = crack(&ck);
+    println!("  static patch:       {}", verdict(attack_static(&ck, std::slice::from_ref(&p), &[]).exit));
+    println!("  icache-only patch:  {}", verdict(attack_icache(&ck, &[p], &[]).exit));
+    println!("  -> the checksums read code as DATA; the split cache shows them");
+    println!("     the original bytes while the patched code executes.\n");
+
+    // ---- Parallax ----
+    let plx = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec!["gate".into()],
+            guard_funcs: vec!["licensed".into()],
+            rewrite: parallax::rewrite::RewriteConfig {
+                // Put the planted rets in the low immediate bytes so
+                // value-forcing patches destroy them (§VIII cond. 3).
+                imm_completion_always: true,
+                ..Default::default()
+            },
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+    let p = crack(&plx.image);
+    println!("parallax:");
+    println!("  static patch:       {}", verdict(attack_static(&plx.image, std::slice::from_ref(&p), &[]).exit));
+    println!("  icache-only patch:  {}", verdict(attack_icache(&plx.image, &[p], &[]).exit));
+    println!("  -> verification happens by EXECUTING the protected bytes as");
+    println!("     gadgets; whichever view the attacker patches is the view the");
+    println!("     processor fetches, so the chain malfunctions either way.");
+}
+
+fn verdict(e: Exit) -> String {
+    match e {
+        Exit::Exited(7) => "CRACKED (exit 7: attacker's licensed path)".into(),
+        Exit::Exited(99) => "ineffective (honest path)".into(),
+        Exit::Exited(s) if s == TAMPER_EXIT => "DETECTED (checksum tamper response)".into(),
+        other => format!("DETECTED ({other})"),
+    }
+}

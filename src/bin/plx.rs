@@ -1,0 +1,21 @@
+//! The `plx` command-line tool: build, protect, run, inspect, and
+//! attack Parallax images. See `plx --help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", parallax::cli::USAGE);
+        std::process::exit(2);
+    };
+    if cmd == "--help" || cmd == "-h" || cmd == "help" {
+        println!("{}", parallax::cli::USAGE);
+        return;
+    }
+    match parallax::cli::dispatch(cmd, &args[1..]) {
+        Ok(msg) => println!("{msg}"),
+        Err(e) => {
+            eprintln!("plx: {}", e.0);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,738 @@
+//! Implementation of the `plx` command-line tool.
+//!
+//! The binary in `src/bin/plx.rs` is a thin wrapper; all logic lives
+//! here so it can be unit-tested. Subcommands:
+//!
+//! ```text
+//! plx build   <src>  -o <out.plx>                  compile source to an image
+//! plx protect <src>  -o <out.plx> --verify f[,g]   compile + Parallax-protect
+//!             [--mode cleartext|xor|rc4|prob] [--guard f[,g]] [--seed N]
+//! plx run     <img.plx> [--input <file>] [--debugger]
+//! plx inspect <img.plx>                            sections + symbols
+//! plx disasm  <img.plx> [function]
+//! plx gadgets <img.plx>                            usable gadgets + types
+//! plx coverage <img.plx>                           Figure-6 style analysis
+//! plx tamper  <img.plx> --at <vaddr> --bytes aa,bb -o <out.plx>
+//! ```
+
+use std::fmt::Write as _;
+
+use parallax_core::{protect, ChainMode, ProtectConfig};
+use parallax_image::{format, LinkedImage};
+use parallax_vm::{Vm, VmOptions};
+
+/// A CLI failure, printed to stderr by the wrapper.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl<E: std::error::Error> From<E> for CliError {
+    fn from(e: E) -> CliError {
+        CliError(e.to_string())
+    }
+}
+
+type Result<T> = std::result::Result<T, CliError>;
+
+fn bail(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Minimal flag parser: positional args plus `--flag value` pairs.
+pub struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (after the subcommand).
+    pub fn parse(raw: &[String]) -> Result<Args> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                // switches take no value
+                if matches!(name, "debugger" | "profile") {
+                    switches.push(name.to_owned());
+                    i += 1;
+                } else {
+                    let v = raw
+                        .get(i + 1)
+                        .ok_or_else(|| bail(format!("--{name} needs a value")))?;
+                    flags.push((name.to_owned(), v.clone()));
+                    i += 2;
+                }
+            } else if let Some(name) = a.strip_prefix("-") {
+                let v = raw
+                    .get(i + 1)
+                    .ok_or_else(|| bail(format!("-{name} needs a value")))?;
+                flags.push((name.to_owned(), v.clone()));
+                i += 2;
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Args {
+            positional,
+            flags,
+            switches,
+        })
+    }
+
+    fn pos(&self, i: usize, what: &str) -> Result<&str> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| bail(format!("missing {what}")))
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load_image(path: &str) -> Result<LinkedImage> {
+    let bytes = std::fs::read(path).map_err(|e| bail(format!("{path}: {e}")))?;
+    Ok(format::load(&bytes)?)
+}
+
+fn compile_source(path: &str) -> Result<parallax_compiler::Module> {
+    let src = std::fs::read_to_string(path).map_err(|e| bail(format!("{path}: {e}")))?;
+    Ok(parallax_compiler::parse_module(&src)?)
+}
+
+fn parse_mode(s: &str, seed: u64) -> Result<ChainMode> {
+    Ok(match s {
+        "cleartext" => ChainMode::Cleartext,
+        "xor" => ChainMode::XorEncrypted {
+            key: (seed as u32) | 1,
+        },
+        "rc4" => ChainMode::Rc4Encrypted {
+            key: (seed ^ 0x5045_4c58_4b45_5921).to_le_bytes(),
+        },
+        "prob" | "probabilistic" => ChainMode::Probabilistic {
+            variants: 6,
+            seed,
+        },
+        other => return Err(bail(format!("unknown mode `{other}`"))),
+    })
+}
+
+fn list(s: &str) -> Vec<String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// `plx build`
+pub fn cmd_build(args: &Args) -> Result<String> {
+    let src = args.pos(0, "source file")?;
+    let out = args.flag("o").ok_or_else(|| bail("missing -o <out.plx>"))?;
+    let module = compile_source(src)?;
+    let img = parallax_compiler::compile_module(&module)?.link()?;
+    let bytes = format::save(&img);
+    std::fs::write(out, &bytes).map_err(|e| bail(format!("{out}: {e}")))?;
+    Ok(format!(
+        "built {out}: {} text bytes, {} data bytes, {} functions",
+        img.text.len(),
+        img.data.len(),
+        img.funcs().count()
+    ))
+}
+
+/// `plx protect`
+pub fn cmd_protect(args: &Args) -> Result<String> {
+    let src = args.pos(0, "source file")?;
+    let out = args.flag("o").ok_or_else(|| bail("missing -o <out.plx>"))?;
+    let module_for_selection = compile_source(src)?;
+    let verify = match (args.flag("verify"), args.flag("select")) {
+        (Some(v), _) => list(v),
+        (None, Some(n)) => {
+            // §VII-B automatic selection: profile one run (with --input
+            // if given) and pick the best candidates.
+            let n: usize = n.parse().map_err(|e| bail(format!("bad --select: {e}")))?;
+            let input = match args.flag("input") {
+                Some(p) => std::fs::read(p).map_err(|e| bail(format!("{p}: {e}")))?,
+                None => Vec::new(),
+            };
+            let picked = parallax_core::select_verification_functions(
+                &module_for_selection,
+                &input,
+                &parallax_core::SelectionConfig {
+                    count: n,
+                    ..Default::default()
+                },
+            )?;
+            if picked.is_empty() {
+                return Err(bail(
+                    "automatic selection found no suitable function                      (needs: called repeatedly, <2% of runtime,                      chain-translatable); use --verify",
+                ));
+            }
+            picked
+        }
+        (None, None) => return Err(bail("missing --verify <func[,func]> or --select <n>")),
+    };
+    let seed = args
+        .flag("seed")
+        .map(|s| s.parse::<u64>().map_err(|e| bail(e.to_string())))
+        .transpose()?
+        .unwrap_or(0xbead_cafe);
+    let mode = parse_mode(args.flag("mode").unwrap_or("cleartext"), seed)?;
+    let guard_funcs = args.flag("guard").map(list).unwrap_or_default();
+
+    let module = module_for_selection;
+    let protected = protect(
+        &module,
+        &ProtectConfig {
+            verify_funcs: verify.clone(),
+            mode: mode.clone(),
+            seed,
+            guard_funcs,
+            ..ProtectConfig::default()
+        },
+    )?;
+    let bytes = format::save(&protected.image);
+    std::fs::write(out, &bytes).map_err(|e| bail(format!("{out}: {e}")))?;
+
+    let mut msg = String::new();
+    let r = &protected.report;
+    writeln!(
+        msg,
+        "protected {out} (mode: {}, verify: {})",
+        mode.name(),
+        verify.join(",")
+    )
+    .unwrap();
+    writeln!(
+        msg,
+        "  gadgets discovered: {}; crafted sites: {}",
+        r.gadget_count,
+        r.rewrites.crafted_count()
+    )
+    .unwrap();
+    writeln!(msg, "  protectable bytes:  {:.1}%", r.coverage.any_pct()).unwrap();
+    for ci in &r.chains {
+        writeln!(
+            msg,
+            "  chain {}: {} ops, {} words, {} gadgets ({} overlapping)",
+            ci.func,
+            ci.ops,
+            ci.words,
+            ci.used_gadgets.len(),
+            ci.overlapping_used
+        )
+        .unwrap();
+    }
+    Ok(msg.trim_end().to_owned())
+}
+
+/// `plx run`
+pub fn cmd_run(args: &Args) -> Result<String> {
+    let img = load_image(args.pos(0, "image")?)?;
+    let input = match args.flag("input") {
+        Some(p) => std::fs::read(p).map_err(|e| bail(format!("{p}: {e}")))?,
+        None => Vec::new(),
+    };
+    let mut vm = Vm::with_options(
+        &img,
+        VmOptions {
+            profile: args.switch("profile"),
+            ..VmOptions::default()
+        },
+    );
+    vm.set_input(&input);
+    if args.switch("debugger") {
+        vm.attach_debugger();
+    }
+    let trace: u64 = args
+        .flag("trace")
+        .map(|v| v.parse().map_err(|e| bail(format!("bad --trace: {e}"))))
+        .transpose()?
+        .unwrap_or(0);
+    let exit = if trace > 0 {
+        let mut result = None;
+        for _ in 0..trace {
+            let eip = vm.cpu.eip;
+            let sym = img
+                .symbol_at(eip)
+                .map(|s| format!("{}+{:#x}", s.name, eip - s.vaddr))
+                .unwrap_or_else(|| format!("{eip:#010x}"));
+            let dis = img
+                .read(eip, 16.min((img.text_end().saturating_sub(eip)) as usize))
+                .and_then(|b| parallax_x86::decode(b).ok())
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "?".into());
+            eprintln!("[trace] {sym:<28} {dis}");
+            match vm.step() {
+                Ok(None) => {}
+                Ok(Some(code)) => {
+                    result = Some(parallax_vm::Exit::Exited(code));
+                    break;
+                }
+                Err(f) => {
+                    result = Some(parallax_vm::Exit::Fault(f));
+                    break;
+                }
+            }
+        }
+        match result {
+            Some(e) => e,
+            None => vm.run(),
+        }
+    } else {
+        vm.run()
+    };
+    let mut msg = String::new();
+    let out = vm.take_output();
+    if !out.is_empty() {
+        writeln!(msg, "--- output ({} bytes) ---", out.len()).unwrap();
+        writeln!(msg, "{}", String::from_utf8_lossy(&out)).unwrap();
+    }
+    writeln!(msg, "{exit}; {} cycles, {} instructions", vm.cycles(), vm.instructions).unwrap();
+    if let Some(p) = vm.profiler() {
+        let mut rows: Vec<(String, f64, u64)> = p
+            .iter()
+            .map(|(n, fp)| (n.to_owned(), p.fraction(n) * 100.0, fp.calls))
+            .filter(|(_, f, _)| *f > 0.005)
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        writeln!(msg, "--- profile ---").unwrap();
+        for (n, f, calls) in rows.iter().take(12) {
+            writeln!(msg, "{f:6.2}%  calls={calls:<8} {n}").unwrap();
+        }
+    }
+    Ok(msg.trim_end().to_owned())
+}
+
+/// `plx inspect`
+pub fn cmd_inspect(args: &Args) -> Result<String> {
+    let img = load_image(args.pos(0, "image")?)?;
+    let mut msg = String::new();
+    writeln!(
+        msg,
+        "text: {:#010x}..{:#010x} ({} bytes)",
+        img.text_base,
+        img.text_end(),
+        img.text.len()
+    )
+    .unwrap();
+    writeln!(
+        msg,
+        "data: {:#010x}..{:#010x} ({} bytes + {} bss)",
+        img.data_base,
+        img.data_end(),
+        img.data.len(),
+        img.bss_size
+    )
+    .unwrap();
+    writeln!(msg, "entry: {:#010x}", img.entry).unwrap();
+    writeln!(msg, "symbols:").unwrap();
+    for s in &img.symbols {
+        writeln!(
+            msg,
+            "  {:#010x} {:>6}  {:?}  {}",
+            s.vaddr, s.size, s.kind, s.name
+        )
+        .unwrap();
+    }
+    writeln!(msg, "relocations: {}", img.reloc_sites.len()).unwrap();
+    Ok(msg.trim_end().to_owned())
+}
+
+/// `plx disasm`
+pub fn cmd_disasm(args: &Args) -> Result<String> {
+    let img = load_image(args.pos(0, "image")?)?;
+    let filter = args.positional.get(1).cloned();
+    let mut msg = String::new();
+    for f in img.funcs() {
+        if let Some(want) = &filter {
+            if &f.name != want {
+                continue;
+            }
+        }
+        writeln!(msg, "<{}>:", f.name).unwrap();
+        let Some(bytes) = img.read(f.vaddr, f.size as usize) else {
+            continue;
+        };
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            match parallax_x86::decode(&bytes[pos..]) {
+                Ok(i) => {
+                    let raw: Vec<String> = bytes[pos..pos + i.len as usize]
+                        .iter()
+                        .map(|b| format!("{b:02x}"))
+                        .collect();
+                    writeln!(
+                        msg,
+                        "  {:#010x}: {:<24} {}",
+                        f.vaddr + pos as u32,
+                        raw.join(" "),
+                        i
+                    )
+                    .unwrap();
+                    pos += i.len as usize;
+                }
+                Err(_) => {
+                    writeln!(
+                        msg,
+                        "  {:#010x}: {:02x}                        (data)",
+                        f.vaddr + pos as u32,
+                        bytes[pos]
+                    )
+                    .unwrap();
+                    pos += 1;
+                }
+            }
+        }
+    }
+    if msg.is_empty() {
+        return Err(bail("no matching function"));
+    }
+    Ok(msg.trim_end().to_owned())
+}
+
+/// `plx gadgets`
+pub fn cmd_gadgets(args: &Args) -> Result<String> {
+    let img = load_image(args.pos(0, "image")?)?;
+    let gadgets = parallax_gadgets::find_gadgets(&img);
+    let mut msg = String::new();
+    writeln!(msg, "{} usable gadgets:", gadgets.len()).unwrap();
+    for g in &gadgets {
+        let host = img
+            .symbol_at(g.vaddr)
+            .map(|s| s.name.as_str())
+            .unwrap_or("?");
+        writeln!(msg, "  {g}   [in {host}]").unwrap();
+    }
+    Ok(msg.trim_end().to_owned())
+}
+
+/// `plx coverage`
+pub fn cmd_coverage(args: &Args) -> Result<String> {
+    let img = load_image(args.pos(0, "image")?)?;
+    let cov = parallax_rewrite::analyze(&img);
+    Ok(format!(
+        "code bytes: {}\nexisting near-ret: {:.1}%\nexisting far-ret:  {:.1}%\nimmediates rule:   {:.1}%\nrearrange rule:    {:.1}%\nany rule:          {:.1}%",
+        cov.code_bytes,
+        cov.existing_near_pct(),
+        cov.existing_far_pct(),
+        cov.immediate_pct(),
+        cov.jump_pct(),
+        cov.any_pct()
+    ))
+}
+
+/// `plx chain`: disassemble a verification chain.
+pub fn cmd_chain(args: &Args) -> Result<String> {
+    let img = load_image(args.pos(0, "image")?)?;
+    let func = args.pos(1, "function name")?;
+    let sym = img
+        .symbol(&format!("__plx_chain_{func}"))
+        .ok_or_else(|| bail(format!("no chain for `{func}` in this image")))?;
+    let bytes = img
+        .read(sym.vaddr, sym.size as usize)
+        .ok_or_else(|| bail("chain data unreadable (runtime-generated chains live in BSS; disassemble a cleartext build)"))?
+        .to_vec();
+    let map = parallax_gadgets::build_map(&img);
+    let words = parallax_ropc::disasm_chain(&img, &map, &bytes);
+    Ok(format!(
+        "chain for `{func}`: {} words at {:#010x}
+{}",
+        bytes.len() / 4,
+        sym.vaddr,
+        parallax_ropc::format_chain(&words)
+    ))
+}
+
+/// `plx tamper`
+pub fn cmd_tamper(args: &Args) -> Result<String> {
+    let mut img = load_image(args.pos(0, "image")?)?;
+    let out = args.flag("o").ok_or_else(|| bail("missing -o <out.plx>"))?;
+    let at = args.flag("at").ok_or_else(|| bail("missing --at <vaddr>"))?;
+    let at = u32::from_str_radix(at.trim_start_matches("0x"), 16)
+        .map_err(|e| bail(format!("bad --at: {e}")))?;
+    let bytes: Vec<u8> = args
+        .flag("bytes")
+        .ok_or_else(|| bail("missing --bytes aa,bb,.."))?
+        .split(',')
+        .map(|b| u8::from_str_radix(b.trim(), 16).map_err(|e| bail(e.to_string())))
+        .collect::<Result<_>>()?;
+    if !img.write(at, &bytes) {
+        return Err(bail(format!("{at:#x} is outside the image")));
+    }
+    std::fs::write(out, format::save(&img)).map_err(|e| bail(format!("{out}: {e}")))?;
+    Ok(format!("patched {} bytes at {at:#x} -> {out}", bytes.len()))
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+plx — the Parallax toolchain
+
+USAGE:
+  plx build    <src> -o <out.plx>
+  plx protect  <src> -o <out.plx> (--verify f[,g] | --select n [--input file])
+               [--mode cleartext|xor|rc4|prob] [--guard f[,g]] [--seed N]
+  plx run      <img.plx> [--input <file>] [--debugger] [--profile]
+  plx inspect  <img.plx>
+  plx disasm   <img.plx> [function]
+  plx gadgets  <img.plx>
+  plx coverage <img.plx>
+  plx chain    <img.plx> <function>
+  plx tamper   <img.plx> --at <hex-vaddr> --bytes aa,bb -o <out.plx>";
+
+/// Dispatches a subcommand.
+pub fn dispatch(cmd: &str, raw: &[String]) -> Result<String> {
+    let args = Args::parse(raw)?;
+    match cmd {
+        "build" => cmd_build(&args),
+        "protect" => cmd_protect(&args),
+        "run" => cmd_run(&args),
+        "inspect" => cmd_inspect(&args),
+        "disasm" => cmd_disasm(&args),
+        "gadgets" => cmd_gadgets(&args),
+        "coverage" => cmd_coverage(&args),
+        "chain" => cmd_chain(&args),
+        "tamper" => cmd_tamper(&args),
+        _ => Err(bail(format!("unknown command `{cmd}`\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+        global secret = "k3y";
+        fn licensed() { return 0; }
+        fn vf(x) { return x * 3 + 1; }
+        fn main() {
+            // The verification function must run unconditionally so its
+            // chain (and guard gadgets) execute on every path.
+            let r = vf(2);
+            if licensed() == 1 { return r; }
+            return 99;
+        }
+    "#;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("plx-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_str().unwrap().to_owned()
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn build_run_inspect_roundtrip() {
+        let src_path = tmp("prog.px");
+        std::fs::write(&src_path, SRC).unwrap();
+        let out = tmp("prog.plx");
+
+        let msg = dispatch("build", &argv(&[&src_path, "-o", &out])).unwrap();
+        assert!(msg.contains("built"));
+
+        let msg = dispatch("run", &argv(&[&out])).unwrap();
+        assert!(msg.contains("status 99"), "{msg}");
+
+        let msg = dispatch("inspect", &argv(&[&out])).unwrap();
+        assert!(msg.contains("licensed"));
+        assert!(msg.contains("entry:"));
+
+        let msg = dispatch("disasm", &argv(&[&out, "licensed"])).unwrap();
+        assert!(msg.contains("<licensed>:"));
+        assert!(msg.contains("ret"));
+
+        let msg = dispatch("coverage", &argv(&[&out])).unwrap();
+        assert!(msg.contains("any rule:"));
+    }
+
+    #[test]
+    fn protect_and_tamper_flow() {
+        let src_path = tmp("prot.px");
+        std::fs::write(&src_path, SRC).unwrap();
+        let out = tmp("prot.plx");
+
+        let msg = dispatch(
+            "protect",
+            &argv(&[
+                &src_path, "-o", &out, "--verify", "vf", "--guard", "licensed",
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("chain vf"), "{msg}");
+
+        let msg = dispatch("run", &argv(&[&out])).unwrap();
+        assert!(msg.contains("status 99"), "{msg}");
+
+        // Find a gadget address inside `licensed` via `gadgets`, patch it.
+        let gout = dispatch("gadgets", &argv(&[&out])).unwrap();
+        let line = gout
+            .lines()
+            .find(|l| l.contains("[in licensed]"))
+            .expect("a gadget in licensed");
+        let addr = line.trim().split(':').next().unwrap().trim().to_owned();
+        let tampered = tmp("prot-tampered.plx");
+        let msg = dispatch(
+            "tamper",
+            &argv(&[&out, "--at", &addr, "--bytes", "90,90", "-o", &tampered]),
+        )
+        .unwrap();
+        assert!(msg.contains("patched"));
+
+        let msg = dispatch("run", &argv(&[&tampered])).unwrap();
+        assert!(
+            !msg.contains("status 99"),
+            "tampered run should misbehave: {msg}"
+        );
+    }
+
+    #[test]
+    fn protect_modes() {
+        let src_path = tmp("modes.px");
+        std::fs::write(&src_path, SRC).unwrap();
+        for mode in ["xor", "rc4", "prob"] {
+            let out = tmp(&format!("modes-{mode}.plx"));
+            dispatch(
+                "protect",
+                &argv(&[&src_path, "-o", &out, "--verify", "vf", "--mode", mode]),
+            )
+            .unwrap();
+            let msg = dispatch("run", &argv(&[&out])).unwrap();
+            assert!(msg.contains("status 99"), "mode {mode}: {msg}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(dispatch("nope", &[]).is_err());
+        assert!(dispatch("build", &argv(&["missing.px", "-o", "x"])).is_err());
+        let src_path = tmp("bad.px");
+        std::fs::write(&src_path, "fn main( {").unwrap();
+        let e = dispatch("build", &argv(&[&src_path, "-o", tmp("bad.plx").as_str()]))
+            .unwrap_err();
+        assert!(e.0.contains("parse error"));
+    }
+}
+
+#[cfg(test)]
+mod chain_cmd_tests {
+    use super::*;
+
+    #[test]
+    fn chain_disassembly_via_cli() {
+        let src_path = {
+            let dir = std::env::temp_dir().join("plx-cli-tests");
+            std::fs::create_dir_all(&dir).unwrap();
+            let p = dir.join("chaincmd.px");
+            std::fs::write(
+                &p,
+                "fn vf(x) { return x + 1; }\nfn main() { return vf(4); }\n",
+            )
+            .unwrap();
+            p.to_str().unwrap().to_owned()
+        };
+        let out = std::env::temp_dir()
+            .join("plx-cli-tests/chaincmd.plx")
+            .to_str()
+            .unwrap()
+            .to_owned();
+        let argv = |parts: &[&str]| -> Vec<String> {
+            parts.iter().map(|s| s.to_string()).collect()
+        };
+        dispatch("protect", &argv(&[&src_path, "-o", &out, "--verify", "vf"])).unwrap();
+        let msg = dispatch("chain", &argv(&[&out, "vf"])).unwrap();
+        assert!(msg.contains("chain for `vf`"), "{msg}");
+        assert!(msg.contains("pop"), "{msg}");
+        assert!(msg.contains(".data"), "{msg}");
+        // No chain for an unprotected function.
+        assert!(dispatch("chain", &argv(&[&out, "main"])).is_err());
+    }
+}
+
+#[cfg(test)]
+mod select_cmd_tests {
+    use super::*;
+
+    #[test]
+    fn auto_selection_from_cli() {
+        let dir = std::env::temp_dir().join("plx-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("select.px");
+        std::fs::write(
+            &src,
+            r#"
+            global acc = 0;
+            fn fold(x) { return ((x * 31) ^ (x >>> 7)) + 5; }
+            fn hot(n) {
+                let i = 0;
+                let s = 0;
+                while i < n { s = s + fold(i) + i * i; i = i + 1; }
+                return s;
+            }
+            fn finish(s) { return (s ^ (s >>> 16)) & 0xff; }
+            fn main() {
+                let s = hot(300);
+                let r = finish(s);
+                r = r + finish(s + 1);
+                return r & 0xff;
+            }
+            "#,
+        )
+        .unwrap();
+        let out = dir.join("select.plx");
+        let argv: Vec<String> = vec![
+            src.to_str().unwrap().into(),
+            "-o".into(),
+            out.to_str().unwrap().into(),
+            "--select".into(),
+            "1".into(),
+        ];
+        let msg = dispatch("protect", &argv).unwrap();
+        // `finish` is the §VII-B pick: called twice, tiny, diverse.
+        assert!(msg.contains("chain finish"), "{msg}");
+        let run = dispatch("run", &[out.to_str().unwrap().to_string()]).unwrap();
+        assert!(run.contains("status"), "{run}");
+    }
+}
+
+#[cfg(test)]
+mod trace_cmd_tests {
+    use super::*;
+
+    #[test]
+    fn run_with_trace_flag() {
+        let dir = std::env::temp_dir().join("plx-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("trace.px");
+        std::fs::write(&src, "fn main() { return 5; }").unwrap();
+        let out = dir.join("trace.plx");
+        let argv: Vec<String> = vec![
+            src.to_str().unwrap().into(),
+            "-o".into(),
+            out.to_str().unwrap().into(),
+        ];
+        dispatch("build", &argv).unwrap();
+        let msg = dispatch(
+            "run",
+            &[out.to_str().unwrap().into(), "--trace".into(), "50".into()],
+        )
+        .unwrap();
+        assert!(msg.contains("status 5"), "{msg}");
+    }
+}

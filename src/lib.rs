@@ -1,0 +1,14 @@
+//! Parallax umbrella crate: re-exports all subsystem crates and hosts
+//! the `plx` command-line tool ([`cli`]).
+pub mod cli;
+
+pub use parallax_baselines as baselines;
+pub use parallax_compiler as compiler;
+pub use parallax_core as core;
+pub use parallax_corpus as corpus;
+pub use parallax_gadgets as gadgets;
+pub use parallax_image as image;
+pub use parallax_rewrite as rewrite;
+pub use parallax_ropc as ropc;
+pub use parallax_vm as vm;
+pub use parallax_x86 as x86;

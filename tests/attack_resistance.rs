@@ -1,0 +1,182 @@
+//! Reproductions of the paper's §VI attack-resistance discussion: what
+//! the adversary can and cannot get away with, including the honest
+//! limitations the paper itself states.
+
+use parallax::core::{protect, ChainMode, ProtectConfig};
+use parallax::vm::{Exit, Vm};
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{Function, Module};
+
+/// §VI-A code restoration: a dynamic adversary patches protected code
+/// and restores it before verification re-runs. The paper: no
+/// self-contained scheme prevents this entirely; the defense is
+/// *frequent re-verification* (criterion 1 of §VII-B's selection).
+#[test]
+fn code_restoration_attack_and_frequency_defense() {
+    // licensed() is protected; vf runs REPEATEDLY (each loop pass).
+    let mut m = Module::new();
+    m.func(Function::new("licensed", [], vec![ret(c(0))]));
+    m.func(Function::new(
+        "vf",
+        ["x"],
+        vec![ret(add(mul(l("x"), c(3)), c(1)))],
+    ));
+    m.func(Function::new(
+        "main",
+        [],
+        vec![
+            let_("i", c(0)),
+            let_("acc", c(0)),
+            while_(
+                lt_s(l("i"), c(8)),
+                vec![
+                    let_("acc", add(l("acc"), call("vf", vec![l("i")]))),
+                    let_("i", add(l("i"), c(1))),
+                ],
+            ),
+            if_(
+                eq(call("licensed", vec![]), c(1)),
+                vec![ret(c(7))],
+                vec![ret(and(l("acc"), c(0x7f)))],
+            ),
+        ],
+    ));
+    m.entry("main");
+
+    let protected = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec!["vf".into()],
+            guard_funcs: vec!["licensed".into()],
+            rewrite: parallax::rewrite::RewriteConfig {
+                imm_completion_always: true,
+                ..Default::default()
+            },
+            mode: ChainMode::Cleartext,
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut honest = Vm::new(&protected.image);
+    let honest_exit = honest.run();
+
+    // The adversary's dynamic plan: patch `licensed` mid-run to return
+    // 1, then restore the original bytes before the *next* chain call.
+    let lic = protected.image.symbol("licensed").unwrap();
+    let crack = [0xb8u8, 0x01, 0x00, 0x00, 0x00, 0xc3];
+
+    // Window 1: patch applied across a verification call — DETECTED.
+    {
+        let mut vm = Vm::new(&protected.image);
+        vm.mem_mut().w_xor_x = false; // debugger powers
+        // Run a little, patch, keep running through chain calls.
+        for _ in 0..200 {
+            let _ = vm.step();
+        }
+        vm.write_code(lic.vaddr, &crack).unwrap();
+        let exit = vm.run();
+        assert_ne!(
+            exit, honest_exit,
+            "a patch held across chain executions must be noticed"
+        );
+    }
+
+    // Window 2: patch + restore entirely BETWEEN chain calls, applied
+    // only for the final licensed() call after all verification ran —
+    // the §VI-A residual attack the paper concedes. We emulate perfect
+    // timing by patching just before the gate executes.
+    {
+        let mut vm = Vm::new(&protected.image);
+        vm.mem_mut().w_xor_x = false;
+        let gate_call = protected.image.symbol("main").unwrap();
+        let mut patched = false;
+        let outcome = loop {
+            // Patch once eip enters main's tail (after the loop, all
+            // chain calls completed). We detect by watching for eip in
+            // licensed() itself: patch right before executing it.
+            if !patched && vm.cpu.eip == lic.vaddr {
+                vm.write_code(lic.vaddr, &crack).unwrap();
+                patched = true;
+            }
+            match vm.step() {
+                Ok(None) => {}
+                Ok(Some(code)) => break Exit::Exited(code),
+                Err(f) => break Exit::Fault(f),
+            }
+            let _ = gate_call;
+        };
+        assert!(patched, "the attack window was reached");
+        assert_eq!(
+            outcome,
+            Exit::Exited(7),
+            "perfectly-timed restore attacks succeed — the §VI-A residual \
+             the paper concedes; frequency of verification narrows the window"
+        );
+    }
+}
+
+/// §VI-B verification-code replacement: an adversary who fully
+/// reverse-engineers the verification function can replace the stub
+/// with an equivalent native implementation, decoupling it from the
+/// gadgets. The paper's defenses are reverse-engineering cost and
+/// §V-B dynamism — with an omniscient adversary the replacement works,
+/// as documented.
+#[test]
+fn verification_replacement_attack_semantics() {
+    let mut m = Module::new();
+    m.func(Function::new("licensed", [], vec![ret(c(0))]));
+    m.func(Function::new(
+        "vf",
+        ["x"],
+        vec![ret(add(mul(l("x"), c(3)), c(1)))],
+    ));
+    m.func(Function::new(
+        "main",
+        [],
+        vec![
+            let_("r", call("vf", vec![c(5)])),
+            if_(
+                eq(call("licensed", vec![]), c(1)),
+                vec![ret(l("r"))],
+                vec![ret(c(99))],
+            ),
+        ],
+    ));
+    m.entry("main");
+
+    let protected = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec!["vf".into()],
+            guard_funcs: vec!["licensed".into()],
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Omniscient adversary: overwrite vf's STUB with the native
+    // implementation (mov eax,[esp+4]; imul eax,eax,3; inc eax; ret),
+    // then crack licensed.
+    let vf = protected.image.symbol("vf").unwrap();
+    let mut img = protected.image.clone();
+    let replacement = [
+        0x8b, 0x44, 0x24, 0x04, // mov eax, [esp+4]
+        0x6b, 0xc0, 0x03,       // imul eax, eax, 3
+        0x40,                   // inc eax
+        0xc3,                   // ret
+    ];
+    assert!(replacement.len() as u32 <= vf.size);
+    img.write(vf.vaddr, &replacement);
+    let lic = img.symbol("licensed").unwrap();
+    img.write(lic.vaddr, &[0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3]);
+
+    let mut vm = Vm::new(&img);
+    assert_eq!(
+        vm.run(),
+        Exit::Exited(16),
+        "full functional replacement bypasses implicit verification — \
+         §VI-B's premise; the paper's mitigations are RE cost, dynamic \
+         generation (§V-B), and checksumming the chain data (§VI-C)"
+    );
+}

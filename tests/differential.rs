@@ -1,0 +1,202 @@
+//! Differential testing: protection must preserve the observable
+//! behaviour of randomly generated programs, in every chain mode, and
+//! tampering must not go unnoticed.
+
+use parallax::core::{protect, ChainMode, ProtectConfig};
+use parallax::vm::{Exit, Vm, VmOptions};
+use parallax_corpus::randprog::Gen;
+
+fn native_outcome(m: &parallax::compiler::Module) -> (Exit, Vec<u8>, u64) {
+    let img = parallax::compiler::compile_module(m).unwrap().link().unwrap();
+    let mut vm = Vm::new(&img);
+    let exit = vm.run();
+    let cycles = vm.cycles();
+    (exit, vm.take_output(), cycles)
+}
+
+#[test]
+fn random_programs_survive_protection_cleartext() {
+    for seed in 0..25u64 {
+        let m = Gen::new(seed).module();
+        let (exit, out, _) = native_outcome(&m);
+        let Exit::Exited(_) = exit else {
+            panic!("seed {seed}: native run failed");
+        };
+        let protected = protect(
+            &m,
+            &ProtectConfig {
+                verify_funcs: vec!["vf".into()],
+                ..ProtectConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: protect failed: {e}"));
+        let mut vm = Vm::new(&protected.image);
+        assert_eq!(vm.run(), exit, "seed {seed}: exit differs");
+        assert_eq!(vm.take_output(), out, "seed {seed}: output differs");
+    }
+}
+
+#[test]
+fn random_programs_survive_protection_dynamic_modes() {
+    for seed in [3u64, 11, 17] {
+        let m = Gen::new(seed).module();
+        let (exit, _, _) = native_outcome(&m);
+        for mode in [
+            ChainMode::XorEncrypted { key: seed as u32 | 1 },
+            ChainMode::Rc4Encrypted { key: *b"diffkey!" },
+            ChainMode::Probabilistic {
+                variants: 3,
+                seed: seed ^ 0xaaaa,
+            },
+        ] {
+            let protected = protect(
+                &m,
+                &ProtectConfig {
+                    verify_funcs: vec!["vf".into()],
+                    mode: mode.clone(),
+                    ..ProtectConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("seed {seed} mode {}: {e}", mode.name()));
+            // Probabilistic chains must work across VM seeds too.
+            for vm_seed in [1u64, 2] {
+                let mut vm = Vm::with_options(
+                    &protected.image,
+                    VmOptions {
+                        seed: vm_seed,
+                        ..VmOptions::default()
+                    },
+                );
+                assert_eq!(
+                    vm.run(),
+                    exit,
+                    "seed {seed} mode {} vm_seed {vm_seed}",
+                    mode.name()
+                );
+            }
+        }
+    }
+}
+
+/// Fuzz-tampering: flipping any single byte of a *used* gadget must
+/// change observable behaviour for at least the vast majority of
+/// gadgets; flipping never-executed, never-verified bytes must never
+/// change it (no false positives).
+#[test]
+fn fuzz_tamper_detection_and_no_false_positives() {
+    let mut m = Gen::new(7).module();
+    // A dead function: never called, never executed. Bytes here that no
+    // used gadget overlaps are legitimate no-false-positive targets.
+    {
+        use parallax::compiler::ir::build::*;
+        use parallax::compiler::Function;
+        m.func(Function::new(
+            "cold_fn",
+            ["x"],
+            vec![
+                let_("y", mul(l("x"), c(0x1234))),
+                let_("y", add(l("y"), c(0x777))),
+                ret(xor(l("y"), c(0x5a5a))),
+            ],
+        ));
+    }
+    let (exit, out, _) = native_outcome(&m);
+    let protected = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec!["vf".into()],
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Detection sweep over used gadgets, several patch values each.
+    let gadgets = &protected.report.chains[0].used_gadgets;
+    let mut detected = 0;
+    let mut total = 0;
+    for &g in gadgets {
+        for patch in [0x90u8, 0xcc, 0x00] {
+            total += 1;
+            let mut img = protected.image.clone();
+            img.write(g, &[patch]);
+            let mut vm = Vm::new(&img);
+            let got = vm.run();
+            if got != exit || vm.take_output() != out {
+                detected += 1;
+            }
+        }
+    }
+    assert!(
+        detected * 10 >= total * 8,
+        "only {detected}/{total} single-byte gadget patches detected"
+    );
+
+    // No false positives: patch bytes of the dead function that no
+    // used gadget overlaps (within the 24-byte max gadget span).
+    let cold = protected.image.symbol("cold_fn").unwrap();
+    let used = &protected.report.chains[0].used_gadgets;
+    let mut checked = 0;
+    for va in cold.vaddr..cold.vaddr + cold.size {
+        let overlapped = used
+            .iter()
+            .any(|&g| g <= va && va < g.saturating_add(24));
+        if overlapped {
+            continue;
+        }
+        let mut img = protected.image.clone();
+        img.write(va, &[0xcc]);
+        let mut vm = Vm::new(&img);
+        assert_eq!(
+            vm.run(),
+            exit,
+            "dead-code patch at {va:#x} falsely broke the program"
+        );
+        checked += 1;
+        if checked >= 5 {
+            break;
+        }
+    }
+    assert!(checked > 0, "no unverified dead bytes found");
+}
+
+/// Three-way differential: the IR interpreter (specification), the
+/// compiled native binary, and the ROP-chain-protected binary must all
+/// agree, for both results and emitted output.
+#[test]
+fn three_way_interpreter_native_chain() {
+    for seed in 100..118u64 {
+        let m = Gen::new(seed).module();
+
+        // Specification.
+        let mut interp = parallax::compiler::Interp::new(&m);
+        let spec = match interp.run() {
+            Ok(code) => code & 0xff, // main is masked in the generator
+            Err(e) => panic!("seed {seed}: interpreter failed: {e}"),
+        };
+
+        // Native.
+        let (native_exit, native_out, _) = native_outcome(&m);
+        assert_eq!(
+            native_exit,
+            Exit::Exited(spec),
+            "seed {seed}: native != interpreter"
+        );
+        assert_eq!(native_out, interp.output, "seed {seed}: output differs");
+
+        // Chain.
+        let protected = protect(
+            &m,
+            &ProtectConfig {
+                verify_funcs: vec!["vf".into()],
+                ..ProtectConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: protect failed: {e}"));
+        let mut vm = Vm::new(&protected.image);
+        assert_eq!(
+            vm.run(),
+            Exit::Exited(spec),
+            "seed {seed}: chain != interpreter"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Cross-crate integration tests: the full Parallax pipeline applied to
+//! the evaluation corpus, plus the comparative attack matrix.
+
+use parallax::baselines::{attack_icache, attack_static, protect_with_checksums, TAMPER_EXIT};
+use parallax::core::{protect, ChainMode, ProtectConfig};
+use parallax::vm::{Exit, Vm};
+
+fn native_run(w: &parallax_corpus::Workload) -> (i32, Vec<u8>) {
+    let img = parallax_compiler::compile_module(&(w.module)())
+        .unwrap()
+        .link()
+        .unwrap();
+    let mut vm = Vm::new(&img);
+    vm.set_input(&(w.input)());
+    match vm.run() {
+        Exit::Exited(code) => (code, vm.take_output()),
+        other => panic!("{}: native run failed: {other}", w.name),
+    }
+}
+
+fn protect_workload(
+    w: &parallax_corpus::Workload,
+    mode: ChainMode,
+) -> parallax::core::Protected {
+    protect(
+        &(w.module)(),
+        &ProtectConfig {
+            verify_funcs: vec![w.verify_func.to_owned()],
+            mode,
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{}: protect failed: {e}", w.name))
+}
+
+#[test]
+fn corpus_programs_survive_protection() {
+    // Protect a representative subset in each mode (the full sweep runs
+    // in the benchmark harness).
+    for w in parallax_corpus::all() {
+        let (code, output) = native_run(&w);
+        let protected = protect_workload(&w, ChainMode::Cleartext);
+        let mut vm = Vm::new(&protected.image);
+        vm.set_input(&(w.input)());
+        assert_eq!(
+            vm.run(),
+            Exit::Exited(code),
+            "{}: protected behaviour differs",
+            w.name
+        );
+        assert_eq!(vm.take_output(), output, "{}: output differs", w.name);
+    }
+}
+
+#[test]
+fn encrypted_and_probabilistic_modes_on_corpus_sample() {
+    let w = parallax_corpus::by_name("lame").unwrap();
+    let (code, _) = native_run(&w);
+    for mode in [
+        ChainMode::XorEncrypted { key: 0x1001 },
+        ChainMode::Rc4Encrypted { key: *b"corpuske" },
+        ChainMode::Probabilistic {
+            variants: 4,
+            seed: 5,
+        },
+    ] {
+        let protected = protect_workload(&w, mode.clone());
+        let mut vm = Vm::new(&protected.image);
+        vm.set_input(&(w.input)());
+        assert_eq!(
+            vm.run(),
+            Exit::Exited(code),
+            "{}: mode {} differs",
+            w.name,
+            mode.name()
+        );
+    }
+}
+
+#[test]
+fn corpus_tamper_detection() {
+    let w = parallax_corpus::by_name("nginx").unwrap();
+    let (code, _) = native_run(&w);
+    let protected = protect_workload(&w, ChainMode::Cleartext);
+
+    let gadgets = &protected.report.chains[0].used_gadgets;
+    assert!(!gadgets.is_empty());
+    let mut detected = 0;
+    for &g in gadgets {
+        let mut img = protected.image.clone();
+        img.write(g, &[0x90]);
+        let mut vm = Vm::new(&img);
+        vm.set_input(&(w.input)());
+        if vm.run() != Exit::Exited(code) {
+            detected += 1;
+        }
+    }
+    assert!(
+        detected * 10 >= gadgets.len() * 8,
+        "nginx: only {detected}/{} patches detected",
+        gadgets.len()
+    );
+}
+
+/// The paper's central comparison (§I, §IX): the Wurster attack defeats
+/// checksumming but not Parallax.
+#[test]
+fn wurster_attack_matrix() {
+    use parallax_compiler::ir::build::*;
+    use parallax_compiler::{Function, Module};
+
+    // A license check the attacker wants to force to "licensed".
+    let mut m = Module::new();
+    m.func(Function::new("licensed", [], vec![ret(c(0))]));
+    m.func(Function::new(
+        "gate",
+        [],
+        vec![if_(
+            eq(call("licensed", vec![]), c(1)),
+            vec![ret(c(7))],
+            vec![ret(c(99))],
+        )],
+    ));
+    m.func(Function::new("main", [], vec![ret(call("gate", vec![]))]));
+    m.entry("main");
+
+    let crack = |img: &parallax_image::LinkedImage| -> (u32, Vec<u8>) {
+        let f = img.symbol("licensed").unwrap();
+        let span = img.read(f.vaddr, f.size as usize).unwrap();
+        let off = span
+            .windows(5)
+            .position(|w| w == [0xb8, 0x00, 0x00, 0x00, 0x00])
+            .expect("mov eax,0 in licensed");
+        (f.vaddr + off as u32 + 1, vec![1])
+    };
+
+    // --- Checksumming: static patch caught, icache patch wins. ---
+    let (ck_img, _) = protect_with_checksums(&m, &["licensed".into()], 3).unwrap();
+    let patch = crack(&ck_img);
+    assert_eq!(
+        attack_static(&ck_img, std::slice::from_ref(&patch), &[]).exit,
+        Exit::Exited(TAMPER_EXIT)
+    );
+    assert_eq!(
+        attack_icache(&ck_img, &[patch], &[]).exit,
+        Exit::Exited(7),
+        "Wurster must defeat checksumming"
+    );
+
+    // --- Parallax: gate is translated to a chain; `licensed` (which it
+    // calls) carries overlapping gadgets. ---
+    let protected = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec!["gate".into()],
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+    // Untampered: runs as before.
+    let mut vm = Vm::new(&protected.image);
+    assert_eq!(vm.run(), Exit::Exited(99));
+
+    // Attack the gadgets the chain uses, icache-only: Parallax verifies
+    // by EXECUTION, so the patched gadget misbehaves and the crack is
+    // detected (the program stops working correctly), unlike the
+    // checksumming case where the attack sailed through.
+    let gadgets = &protected.report.chains[0].used_gadgets;
+    let mut survived_attacks = 0;
+    for &g in gadgets.iter().take(12) {
+        let out = attack_icache(&protected.image, &[(g, vec![0x90])], &[]);
+        if out.exit == Exit::Exited(99) {
+            survived_attacks += 1;
+        }
+    }
+    assert!(
+        survived_attacks * 5 <= gadgets.len().min(12),
+        "icache patches of used gadgets must disturb the chain \
+         ({survived_attacks} patches went unnoticed)"
+    );
+}
+
+#[test]
+fn selection_algorithm_picks_the_designated_candidates() {
+    use parallax::core::{select_verification_functions, SelectionConfig};
+    for w in parallax_corpus::all() {
+        let picked = select_verification_functions(
+            &(w.module)(),
+            &(w.input)(),
+            &SelectionConfig {
+                runtime_threshold: 0.02,
+                min_calls: 2,
+                count: 3,
+            },
+        )
+        .unwrap();
+        assert!(
+            picked.iter().any(|p| p == w.verify_func),
+            "{}: {} not among {:?}",
+            w.name,
+            w.verify_func,
+            picked
+        );
+    }
+}
+
+#[test]
+fn protected_corpus_image_saves_and_reloads() {
+    let w = parallax_corpus::by_name("gcc").unwrap();
+    let (code, _) = native_run(&w);
+    let protected = protect_workload(&w, ChainMode::Cleartext);
+    let bytes = parallax_image::format::save(&protected.image);
+    assert!(bytes.len() > 4096);
+    let back = parallax_image::format::load(&bytes).unwrap();
+    let mut vm = Vm::new(&back);
+    vm.set_input(&(w.input)());
+    assert_eq!(vm.run(), Exit::Exited(code));
+}
+
+#[test]
+fn far_return_gadgets_are_crafted_and_usable() {
+    // §IV-B5: the rewriting rotation plants retf-terminated gadgets;
+    // they must be discovered and usable by chains (with CS slots).
+    let w = parallax_corpus::by_name("bzip2").unwrap();
+    let protected = protect(
+        &(w.module)(),
+        &ProtectConfig {
+            verify_funcs: vec![w.verify_func.to_owned()],
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+    let gadgets = parallax_gadgets::find_gadgets(&protected.image);
+    let far: Vec<_> = gadgets.iter().filter(|g| g.far).collect();
+    assert!(
+        !far.is_empty(),
+        "far-return gadgets should exist after rewriting"
+    );
+    // And the program still behaves.
+    let (code, _) = native_run(&w);
+    let mut vm = Vm::new(&protected.image);
+    vm.set_input(&(w.input)());
+    assert_eq!(vm.run(), Exit::Exited(code));
+}
