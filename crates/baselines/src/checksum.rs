@@ -87,10 +87,7 @@ pub fn protect_with_checksums(
                     ],
                 ),
                 if_(
-                    ne(
-                        l("h"),
-                        load(add(g("__ck_expected"), c(4 * i as i32))),
-                    ),
+                    ne(l("h"), load(add(g("__ck_expected"), c(4 * i as i32)))),
                     vec![expr(syscall(1, vec![c(TAMPER_EXIT)]))],
                     vec![],
                 ),
@@ -176,11 +173,7 @@ mod tests {
 
     fn sample() -> Module {
         let mut m = Module::new();
-        m.func(Function::new(
-            "licensed",
-            [],
-            vec![ret(c(1))],
-        ));
+        m.func(Function::new("licensed", [], vec![ret(c(1))]));
         m.func(Function::new(
             "main",
             [],
@@ -217,8 +210,7 @@ mod tests {
 
     #[test]
     fn checker_tampering_is_cross_detected() {
-        let (img, checkers) =
-            protect_with_checksums(&sample(), &["licensed".into()], 3).unwrap();
+        let (img, checkers) = protect_with_checksums(&sample(), &["licensed".into()], 3).unwrap();
         // Patch checker 1's comparison; checker 0 cross-checks it.
         let mut broken = img.clone();
         let c1 = broken.symbol(&checkers[1].name).unwrap().vaddr;

@@ -14,9 +14,9 @@
 //! The instrumentation also slows the protected function itself down,
 //! unlike Parallax's overlapping gadgets.
 
-use parallax_compiler::ir::{Expr, Module, Stmt};
-use parallax_compiler::ir::build::*;
 use parallax_compiler::compile_module;
+use parallax_compiler::ir::build::*;
+use parallax_compiler::ir::{Expr, Module, Stmt};
 use parallax_image::LinkedImage;
 use parallax_vm::Vm;
 
@@ -119,7 +119,11 @@ pub struct Trained {
 /// Runs the instrumented program once in "record" mode (expected = the
 /// observed hash, checked after the fact) and produces a verifying
 /// image. The training environment is a plain VM with `input`.
-pub fn train(module: &Module, input: &[u8], configure: impl Fn(&mut Vm)) -> Result<Trained, BaselineError> {
+pub fn train(
+    module: &Module,
+    input: &[u8],
+    configure: impl Fn(&mut Vm),
+) -> Result<Trained, BaselineError> {
     let mut prog = compile_module(module)?;
     // Record pass: expected = sentinel that can never match, but we
     // must avoid triggering the response — so record with the check

@@ -89,8 +89,7 @@ mod tests {
 
     #[test]
     fn wurster_defeats_checksumming() {
-        let (img, _) =
-            protect_with_checksums(&license_module(), &["licensed".into()], 3).unwrap();
+        let (img, _) = protect_with_checksums(&license_module(), &["licensed".into()], 3).unwrap();
 
         // Static patch: the checksum network catches it.
         let patch = crack_patch(&img);

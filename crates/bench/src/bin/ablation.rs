@@ -44,9 +44,9 @@ fn main() {
     println!("candidate          translated  overhead");
     println!("------------------------------------------");
     for cand in [w.verify_func, hottest.as_str(), "method_of"] {
-        if m.get_func(cand).map(|f| {
-            !parallax_core::select::translatable(f, &m)
-        }).unwrap_or(true)
+        if m.get_func(cand)
+            .map(|f| !parallax_core::select::translatable(f, &m))
+            .unwrap_or(true)
         {
             println!("{cand:<18} {:>10}  (not chain-translatable)", "no");
             continue;
@@ -66,7 +66,11 @@ fn main() {
             other => panic!("{other}"),
         };
         let overhead = 100.0 * (cycles as f64 - base_cycles as f64) / base_cycles as f64;
-        let marker = if cand == w.verify_func { "  <- §VII-B pick" } else { "" };
+        let marker = if cand == w.verify_func {
+            "  <- §VII-B pick"
+        } else {
+            ""
+        };
         println!("{cand:<18} {:>10}  {overhead:+7.2}%{marker}", "yes");
     }
 
@@ -109,9 +113,20 @@ fn main() {
     let cov = analyze(&base);
     println!("rule subset                 protectable %");
     println!("--------------------------------------------");
-    println!("existing gadgets only       {:>8.1}%", cov.existing_near_pct() + cov.existing_far_pct());
-    println!("+ immediates rule           {:>8.1}%  (rule alone: {:.1}%)", cov.immediate_pct().max(cov.existing_near_pct()), cov.immediate_pct());
-    println!("+ rearrangement rule        {:>8.1}%  (rule alone: {:.1}%)", cov.any_pct(), cov.jump_pct());
+    println!(
+        "existing gadgets only       {:>8.1}%",
+        cov.existing_near_pct() + cov.existing_far_pct()
+    );
+    println!(
+        "+ immediates rule           {:>8.1}%  (rule alone: {:.1}%)",
+        cov.immediate_pct().max(cov.existing_near_pct()),
+        cov.immediate_pct()
+    );
+    println!(
+        "+ rearrangement rule        {:>8.1}%  (rule alone: {:.1}%)",
+        cov.any_pct(),
+        cov.jump_pct()
+    );
     let _ = RewriteConfig::default();
     let _ = ChainMode::Cleartext;
 }

@@ -4,9 +4,10 @@
 use parallax_baselines::{attack_icache, attack_static, protect_with_checksums, TAMPER_EXIT};
 use parallax_compiler::ir::build::*;
 use parallax_compiler::{compile_module, Function, Module};
+use parallax_core::tamper::{classify_outcome, run_baseline, Baseline, Verdict};
 use parallax_core::{protect, ProtectConfig};
 use parallax_image::LinkedImage;
-use parallax_vm::Exit;
+use parallax_vm::{Exit, VmOptions};
 
 fn license_module() -> Module {
     let mut m = Module::new();
@@ -34,18 +35,21 @@ fn crack_patch(img: &LinkedImage) -> (u32, Vec<u8>) {
 fn main() {
     println!("Attack matrix: crack a license check (want exit 7; honest exit 99)\n");
     let m = license_module();
+    let opts = VmOptions::default();
 
     // Unprotected.
     let plain = compile_module(&m).unwrap().link().unwrap();
+    let base_plain = run_baseline(&plain, &[], &opts);
     let p = crack_patch(&plain);
-    let r1 = attack_static(&plain, std::slice::from_ref(&p), &[]).exit;
-    let r2 = attack_icache(&plain, &[p], &[]).exit;
+    let r1 = attack_static(&plain, std::slice::from_ref(&p), &[]);
+    let r2 = attack_icache(&plain, &[p], &[]);
 
     // Checksumming network.
     let (ck, _) = protect_with_checksums(&m, &["licensed".into()], 3).unwrap();
+    let base_ck = run_baseline(&ck, &[], &opts);
     let pc = crack_patch(&ck);
-    let r3 = attack_static(&ck, std::slice::from_ref(&pc), &[]).exit;
-    let r4 = attack_icache(&ck, &[pc], &[]).exit;
+    let r3 = attack_static(&ck, std::slice::from_ref(&pc), &[]);
+    let r4 = attack_icache(&ck, &[pc], &[]);
 
     // Parallax: `gate` becomes the verification chain; its gadgets
     // overlap the instructions of `licensed` and `main`. Value-critical
@@ -91,8 +95,9 @@ fn main() {
         lic.vaddr + mov_off as u32 + 1,
         new_imm.to_le_bytes().to_vec(),
     );
-    let r5 = attack_static(&plx.image, std::slice::from_ref(&targeted), &[]).exit;
-    let r6 = attack_icache(&plx.image, &[targeted], &[]).exit;
+    let base_plx = run_baseline(&plx.image, &[], &opts);
+    let r5 = attack_static(&plx.image, std::slice::from_ref(&targeted), &[]);
+    let r6 = attack_icache(&plx.image, &[targeted], &[]);
 
     // Naive whole-entry overwrite: succeeds only if it misses every
     // used gadget — the paper's residual condition (§VIII (1)).
@@ -100,19 +105,39 @@ fn main() {
     let naive_hits_gadget = used_in_licensed
         .iter()
         .any(|&g| g < naive.0 + naive.1.len() as u32);
-    let r7 = attack_static(&plx.image, &[naive], &[]).exit;
+    let r7 = attack_static(&plx.image, &[naive], &[]);
 
-    let verdict = |e: Exit| match e {
-        Exit::Exited(7) => "CRACKED".to_owned(),
-        Exit::Exited(99) => "patch ineffective".to_owned(),
-        Exit::Exited(s) if s == TAMPER_EXIT => "DETECTED (tamper exit)".to_owned(),
-        other => format!("DETECTED ({other})"),
+    // Each cell: the attacker's goal status plus the watchdog's
+    // tamper-verdict class (clean / wrong result / fault / hang /
+    // mem limit) relative to that defense's honest baseline.
+    let verdict = |o: &parallax_baselines::AttackOutcome, base: &Baseline| -> String {
+        let watch = classify_outcome(o.exit, &o.output, base);
+        match (watch, o.exit) {
+            (Verdict::Clean, _) => "patch ineffective [clean]".to_owned(),
+            (Verdict::WrongResult, Exit::Exited(7)) => "CRACKED [wrong result]".to_owned(),
+            (Verdict::WrongResult, Exit::Exited(s)) if s == TAMPER_EXIT => {
+                "DETECTED [tamper exit]".to_owned()
+            }
+            (watch, _) => format!("DETECTED [{watch}]"),
+        }
     };
-    println!("defense         static patch            icache-only patch (Wurster)");
-    println!("---------------------------------------------------------------------");
-    println!("none            {:<23} {}", verdict(r1), verdict(r2));
-    println!("checksumming    {:<23} {}", verdict(r3), verdict(r4));
-    println!("parallax*       {:<23} {}", verdict(r5), verdict(r6));
+    println!("defense         static patch                 icache-only patch (Wurster)");
+    println!("--------------------------------------------------------------------------");
+    println!(
+        "none            {:<28} {}",
+        verdict(&r1, &base_plain),
+        verdict(&r2, &base_plain)
+    );
+    println!(
+        "checksumming    {:<28} {}",
+        verdict(&r3, &base_ck),
+        verdict(&r4, &base_ck)
+    );
+    println!(
+        "parallax*       {:<28} {}",
+        verdict(&r5, &base_plx),
+        verdict(&r6, &base_plx)
+    );
     println!();
     println!("* semantics-correct crack of the split immediate in `licensed`");
     println!("  (natively forces return 1, but rewrites the gadget bytes).");
@@ -122,12 +147,27 @@ fn main() {
     );
     println!(
         "  naive entry overwrite: {} (hit a used gadget: {}) — the paper's §VIII",
-        verdict(r7),
+        verdict(&r7, &base_plx),
         naive_hits_gadget
     );
     println!("  residual condition (1): patches confined to gadget-free bytes evade detection;");
     println!("  Parallax minimizes those bytes (Figure 6 coverage).");
     println!();
+
+    // Chain corruption (not an attack, bit-rot / blind patching): a
+    // truncated chain must be *contained* by the watchdog budgets and
+    // classified, never hang the harness.
+    let mut trunc = plx.image.clone();
+    let keep = plx.report.chains[0].words / 2;
+    if parallax_core::truncate_chain(&mut trunc, "gate", keep) {
+        let quick = VmOptions {
+            cycle_limit: 2_000_000,
+            ..VmOptions::default()
+        };
+        let v = parallax_core::classify(&trunc, &[], &base_plx, &quick);
+        println!("  chain truncated to {keep} words: DETECTED [{v}] (watchdog-contained)");
+        println!();
+    }
     println!("(paper: checksumming falls to Wurster; Parallax verifies by");
     println!(" execution, so both patch channels disturb the chain)");
 }

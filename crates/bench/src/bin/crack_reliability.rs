@@ -27,7 +27,13 @@ fn main() {
     // Expected behaviour per seed (identical results, different chains).
     let mut expects = Vec::new();
     for &s in &seeds {
-        let mut vm = Vm::with_options(img, VmOptions { seed: s, ..Default::default() });
+        let mut vm = Vm::with_options(
+            img,
+            VmOptions {
+                seed: s,
+                ..Default::default()
+            },
+        );
         vm.set_input(&input);
         let e = vm.run();
         assert!(matches!(e, Exit::Exited(_)));
@@ -45,7 +51,13 @@ fn main() {
         for (i, &s) in seeds.iter().enumerate() {
             let mut patched = img.clone();
             patched.write(g, &[0x90]);
-            let mut vm = Vm::with_options(&patched, VmOptions { seed: s, ..Default::default() });
+            let mut vm = Vm::with_options(
+                &patched,
+                VmOptions {
+                    seed: s,
+                    ..Default::default()
+                },
+            );
             vm.set_input(&input);
             let e = vm.run();
             let out = vm.take_output();
@@ -60,8 +72,14 @@ fn main() {
         }
     }
 
-    println!("§V-B crack reliability — nginx, N=6 variants, {} seeds\n", seeds.len());
-    println!("single-byte NOP patches over the {} gadgets in the variant union:", total);
+    println!(
+        "§V-B crack reliability — nginx, N=6 variants, {} seeds\n",
+        seeds.len()
+    );
+    println!(
+        "single-byte NOP patches over the {} gadgets in the variant union:",
+        total
+    );
     println!("  detected on EVERY run:       {always:>3}  (crack never works)");
     println!("  detected on SOME runs:       {sometimes:>3}  (crack unreliable across users)");
     println!("  detected on NO run sampled:  {never:>3}");

@@ -142,8 +142,16 @@ fn main() {
     let yn = |b: bool| if b { "yes" } else { "NO" };
     println!("capability                          OH     Parallax");
     println!("----------------------------------------------------");
-    println!("deterministic code protected        {:<6} {}", yn(oh_det), yn(plx_det));
-    println!("non-deterministic (ptrace) code     {:<6} {}", yn(oh_nondet), yn(plx_nondet));
+    println!(
+        "deterministic code protected        {:<6} {}",
+        yn(oh_det),
+        yn(plx_det)
+    );
+    println!(
+        "non-deterministic (ptrace) code     {:<6} {}",
+        yn(oh_nondet),
+        yn(plx_nondet)
+    );
     println!();
     println!("protected-function cost (cycles): native={native}, under OH={oh_protected_fn}, under Parallax={plx_protected_fn}");
     println!("(OH slows the protected code itself; Parallax's overlap rules do not — paper advantage #3)");

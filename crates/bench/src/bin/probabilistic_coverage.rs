@@ -56,13 +56,7 @@ fn main() {
         let before = cumulative.len();
         cumulative.extend(used.iter().copied());
         let new = cumulative.len() - before;
-        println!(
-            "{:>3}  {:>6}  {:>12}  {:>6}",
-            i + 1,
-            seed,
-            used.len(),
-            new
-        );
+        println!("{:>3}  {:>6}  {:>12}  {:>6}", i + 1, seed, used.len(), new);
         seen_subsets.insert(used);
     }
     println!(

@@ -22,7 +22,10 @@ fn module(own_ops: i32, callee_iters: i32) -> Module {
             while_(
                 lt_s(l("i"), l("n")),
                 vec![
-                    let_("s", xor(add(l("s"), mul(l("i"), c(31))), shrl(l("s"), c(3)))),
+                    let_(
+                        "s",
+                        xor(add(l("s"), mul(l("i"), c(31))), shrl(l("s"), c(3))),
+                    ),
                     let_("i", add(l("i"), c(1))),
                 ],
             ),
@@ -35,7 +38,11 @@ fn module(own_ops: i32, callee_iters: i32) -> Module {
     }
     body.push(ret(l("acc")));
     m.func(Function::new("vf", [], body));
-    m.func(Function::new("main", [], vec![ret(and(call("vf", vec![]), c(0xff)))]));
+    m.func(Function::new(
+        "main",
+        [],
+        vec![ret(and(call("vf", vec![]), c(0xff)))],
+    ));
     m.entry("main");
     m
 }
@@ -56,7 +63,10 @@ fn main() {
     println!("-----------------------------------------------------------------------");
     for (own, callee) in [(24, 0), (24, 8), (24, 40), (24, 160), (24, 640), (4, 640)] {
         let m = module(own, callee);
-        let native_img = parallax_compiler::compile_module(&m).unwrap().link().unwrap();
+        let native_img = parallax_compiler::compile_module(&m)
+            .unwrap()
+            .link()
+            .unwrap();
         let native = per_call(&native_img);
 
         // Callee share measured natively.

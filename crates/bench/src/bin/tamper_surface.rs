@@ -45,7 +45,13 @@ fn main() {
         let va = img.text_base + off as u32;
         let orig = img.read(va, 1).unwrap()[0];
         let (any, in_used) = span_of(va);
-        let cat = if in_used { 0 } else if any { 1 } else { 2 };
+        let cat = if in_used {
+            0
+        } else if any {
+            1
+        } else {
+            2
+        };
 
         let mut patched = img.clone();
         patched.write(va, &[orig ^ 0x40]); // deterministic bit flip
@@ -57,7 +63,10 @@ fn main() {
         stats[cat][detected as usize] += 1;
     }
 
-    println!("§VIII — single-byte tamper sweep over {} text bytes of nginx", img.text.len());
+    println!(
+        "§VIII — single-byte tamper sweep over {} text bytes of nginx",
+        img.text.len()
+    );
     println!("(every {step}th byte flipped; 'detected' = behaviour changed)\n");
     println!("byte category        patches  detected  rate");
     println!("-----------------------------------------------");
@@ -66,7 +75,11 @@ fn main() {
         let det = stats[i][1];
         println!(
             "{name:<20} {total:>7}  {det:>8}  {:>5.1}%",
-            if total > 0 { 100.0 * det as f64 / total as f64 } else { 0.0 }
+            if total > 0 {
+                100.0 * det as f64 / total as f64
+            } else {
+                0.0
+            }
         );
     }
     println!("\nthe paper's §VIII conditions predict: bytes inside used gadgets");

@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 
 use parallax_compiler::compile_module;
-use parallax_core::{protect, ChainMode, Protected, ProtectConfig};
+use parallax_core::{protect, ChainMode, ProtectConfig, Protected};
 use parallax_corpus::Workload;
 use parallax_rewrite::analyze;
 use parallax_vm::{Exit, Vm, VmOptions};

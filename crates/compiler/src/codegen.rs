@@ -425,7 +425,9 @@ pub fn compile_module(m: &Module) -> Result<Program, CompileError> {
     start.int(0x80);
     prog.add_func(
         "_start",
-        start.finish().map_err(|e| CompileError::Asm(e.to_string()))?,
+        start
+            .finish()
+            .map_err(|e| CompileError::Asm(e.to_string()))?,
     );
 
     for f in &m.funcs {
@@ -464,11 +466,7 @@ mod tests {
         m.func(Function::new(
             "main",
             [],
-            vec![
-                let_("a", c(6)),
-                let_("b", c(7)),
-                ret(mul(l("a"), l("b"))),
-            ],
+            vec![let_("a", c(6)), let_("b", c(7)), ret(mul(l("a"), l("b")))],
         ));
         m.entry("main");
         assert_eq!(run_module(&m), parallax_vm::Exit::Exited(42));
@@ -487,10 +485,7 @@ mod tests {
                 let_("uq", divu(c(7), c(2))),
                 let_("ur", modu(c(7), c(2))),
                 // -3 + -1 + 3 + 1 = 0 -> add 5 so exit code is visible
-                ret(add(
-                    c(5),
-                    add(add(l("q"), l("r")), add(l("uq"), l("ur"))),
-                )),
+                ret(add(c(5), add(add(l("q"), l("r")), add(l("uq"), l("ur"))))),
             ],
         ));
         m.entry("main");
@@ -512,11 +507,7 @@ mod tests {
                     vec![
                         let_("i", add(l("i"), c(1))),
                         if_(gt_s(l("i"), c(100)), vec![Stmt::Break], vec![]),
-                        if_(
-                            eq(modu(l("i"), c(2)), c(0)),
-                            vec![Stmt::Continue],
-                            vec![],
-                        ),
+                        if_(eq(modu(l("i"), c(2)), c(0)), vec![Stmt::Continue], vec![]),
                         let_("sum", add(l("sum"), l("i"))),
                     ],
                 ),
@@ -585,9 +576,9 @@ mod tests {
             "main",
             [],
             vec![
-                let_("x", shl(c(1), c(10))), // 1024
-                let_("y", shrl(c(-16), c(28))), // 0xF
-                let_("z", shra(c(-16), c(2))), // -4
+                let_("x", shl(c(1), c(10))),           // 1024
+                let_("y", shrl(c(-16), c(28))),        // 0xF
+                let_("z", shra(c(-16), c(2))),         // -4
                 ret(add(l("x"), add(l("y"), l("z")))), // 1024 + 15 - 4
             ],
         ));

@@ -126,7 +126,9 @@ impl<'m> Interp<'m> {
         if off + 4 > self.mem.len() {
             return Err(InterpError::OutOfBounds(addr));
         }
-        Ok(u32::from_le_bytes(self.mem[off..off + 4].try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.mem[off..off + 4].try_into().unwrap(),
+        ))
     }
 
     fn read8(&self, addr: u32) -> Result<u32, InterpError> {
@@ -211,11 +213,7 @@ impl<'m> Interp<'m> {
         }
     }
 
-    fn eval(
-        &mut self,
-        e: &Expr,
-        locals: &mut HashMap<String, u32>,
-    ) -> Result<u32, InterpError> {
+    fn eval(&mut self, e: &Expr, locals: &mut HashMap<String, u32>) -> Result<u32, InterpError> {
         self.check()?;
         Ok(match e {
             Expr::Const(v) => *v as u32,
@@ -438,10 +436,7 @@ mod tests {
                 let_("s", c(0)),
                 while_(
                     lt_s(l("i"), c(10)),
-                    vec![
-                        let_("s", add(l("s"), l("i"))),
-                        let_("i", add(l("i"), c(1))),
-                    ],
+                    vec![let_("s", add(l("s"), l("i"))), let_("i", add(l("i"), c(1)))],
                 ),
                 ret(l("s")),
             ],

@@ -157,10 +157,9 @@ impl Function {
         fn walk(stmts: &[Stmt], params: &[String], out: &mut Vec<String>) {
             for s in stmts {
                 match s {
-                    Stmt::Let(name, _)
-                        if !params.contains(name) && !out.contains(name) => {
-                            out.push(name.clone());
-                        }
+                    Stmt::Let(name, _) if !params.contains(name) && !out.contains(name) => {
+                        out.push(name.clone());
+                    }
                     Stmt::If(_, a, b) => {
                         walk(a, params, out);
                         walk(b, params, out);

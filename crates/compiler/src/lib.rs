@@ -44,5 +44,5 @@ pub mod sysno {
 
 pub use codegen::{compile_function, compile_module, CompileError};
 pub use interp::{Interp, InterpError};
-pub use parse::{parse_module, ParseError};
 pub use ir::{build, BinOp, CmpOp, Expr, Function, Global, Module, Stmt, UnOp};
+pub use parse::{parse_module, ParseError};

@@ -71,8 +71,8 @@ struct Lexer<'a> {
 }
 
 const PUNCTS: &[&str] = &[
-    ">>>", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "{", "}", "(", ")", "[", "]", ",",
-    ";", "=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
+    ">>>", "<<", ">>", "==", "!=", "<=", ">=", "&&", "||", "{", "}", "(", ")", "[", "]", ",", ";",
+    "=", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">",
 ];
 
 impl<'a> Lexer<'a> {
@@ -401,7 +401,9 @@ impl Parser {
         let mut lhs = self.primary()?;
         while let Tok::Punct(op) = self.peek() {
             let op = *op;
-            let Some((bp, kind)) = Self::binop_of(op) else { break };
+            let Some((bp, kind)) = Self::binop_of(op) else {
+                break;
+            };
             if bp < min_bp {
                 break;
             }
@@ -542,11 +544,7 @@ impl Parser {
                     }
                     self.eat_punct(")")?;
                     let body = self.block()?;
-                    m.funcs.push(Function {
-                        name,
-                        params,
-                        body,
-                    });
+                    m.funcs.push(Function { name, params, body });
                 }
                 Tok::Ident(kw) if kw == "global" => {
                     self.bump();
@@ -579,7 +577,9 @@ impl Parser {
                         }
                     }
                 }
-                other => return Err(self.err(format!("expected `fn` or `global`, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected `fn` or `global`, found {other:?}")))
+                }
             }
         }
         if m.get_func("main").is_some() {
@@ -612,7 +612,10 @@ mod tests {
 
     fn run(src: &str) -> Exit {
         let m = parse_module(src).expect("parses");
-        let img = crate::compile_module(&m).expect("compiles").link().expect("links");
+        let img = crate::compile_module(&m)
+            .expect("compiles")
+            .link()
+            .expect("links");
         let mut vm = Vm::new(&img);
         vm.run()
     }

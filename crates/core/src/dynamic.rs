@@ -80,9 +80,7 @@ pub fn rc4_crypt(data: &mut [u8], key: &[u8]) {
     let mut s: Vec<u8> = (0..=255).collect();
     let mut j = 0u8;
     for i in 0..256 {
-        j = j
-            .wrapping_add(s[i])
-            .wrapping_add(key[i % key.len()]);
+        j = j.wrapping_add(s[i]).wrapping_add(key[i % key.len()]);
         s.swap(i, j as usize);
     }
     let (mut i, mut j) = (0u8, 0u8);
@@ -170,10 +168,7 @@ pub fn rc4_generator(
                     ),
                     // swap S[i], S[j]
                     let_("t", load8(add(g(sbox_sym), l("i")))),
-                    store8(
-                        add(g(sbox_sym), l("i")),
-                        load8(add(g(sbox_sym), l("j"))),
-                    ),
+                    store8(add(g(sbox_sym), l("i")), load8(add(g(sbox_sym), l("j")))),
                     store8(add(g(sbox_sym), l("j")), l("t")),
                     let_("i", add(l("i"), c(1))),
                 ],
@@ -192,10 +187,7 @@ pub fn rc4_generator(
                         and(add(l("j"), load8(add(g(sbox_sym), l("i")))), c(0xff)),
                     ),
                     let_("t", load8(add(g(sbox_sym), l("i")))),
-                    store8(
-                        add(g(sbox_sym), l("i")),
-                        load8(add(g(sbox_sym), l("j"))),
-                    ),
+                    store8(add(g(sbox_sym), l("i")), load8(add(g(sbox_sym), l("j")))),
                     store8(add(g(sbox_sym), l("j")), l("t")),
                     let_(
                         "k",
@@ -242,7 +234,11 @@ impl Basis {
         };
         let mut vectors = [0u32; 32];
         for (i, v) in vectors.iter_mut().enumerate() {
-            let below = if i == 0 { 0 } else { next() & ((1u32 << i) - 1) };
+            let below = if i == 0 {
+                0
+            } else {
+                next() & ((1u32 << i) - 1)
+            };
             *v = (1u32 << i) | below;
         }
         Basis { vectors }
@@ -279,7 +275,10 @@ impl Basis {
 pub fn build_index_blob(basis: &Basis, variants: &[Vec<u32>]) -> Vec<u8> {
     let n = variants.len();
     let l = variants[0].len();
-    assert!(variants.iter().all(|v| v.len() == l), "variants same length");
+    assert!(
+        variants.iter().all(|v| v.len() == l),
+        "variants same length"
+    );
 
     let mut offsets = Vec::with_capacity(l * n);
     let mut pool: Vec<u32> = Vec::new();
@@ -350,10 +349,7 @@ pub fn probabilistic_generator(
                         vec![
                             let_(
                                 "idx",
-                                load(add(
-                                    l("pool"),
-                                    mul(add(add(l("off"), c(1)), l("k")), c(4)),
-                                )),
+                                load(add(l("pool"), mul(add(add(l("off"), c(1)), l("k")), c(4)))),
                             ),
                             let_(
                                 "acc",
@@ -390,7 +386,10 @@ pub fn install_generator_binary(
         ChainMode::XorEncrypted { key } => {
             let f = xor_generator(&gen_sym, &enc_sym, &buf_sym, &len_sym, *key);
             let globals = vec![enc_sym.clone(), buf_sym.clone(), len_sym.clone()];
-            prog.add_func(&gen_sym, parallax_compiler::compile_function(&f, &sigs, &globals)?);
+            prog.add_func(
+                &gen_sym,
+                parallax_compiler::compile_function(&f, &sigs, &globals)?,
+            );
             prog.add_data(&len_sym, vec![0; 4]);
             prog.add_data(&enc_sym, Vec::new());
             prog.add_bss(&buf_sym, 0);
@@ -400,7 +399,13 @@ pub fn install_generator_binary(
             let key_sym = format!("__plx_key_{func}");
             let sbox_sym = format!("__plx_sbox_{func}");
             let f = rc4_generator(
-                &gen_sym, &enc_sym, &buf_sym, &len_sym, &key_sym, key.len() as u32, &sbox_sym,
+                &gen_sym,
+                &enc_sym,
+                &buf_sym,
+                &len_sym,
+                &key_sym,
+                key.len() as u32,
+                &sbox_sym,
             );
             let globals = vec![
                 enc_sym.clone(),
@@ -409,7 +414,10 @@ pub fn install_generator_binary(
                 key_sym.clone(),
                 sbox_sym.clone(),
             ];
-            prog.add_func(&gen_sym, parallax_compiler::compile_function(&f, &sigs, &globals)?);
+            prog.add_func(
+                &gen_sym,
+                parallax_compiler::compile_function(&f, &sigs, &globals)?,
+            );
             prog.add_data(&len_sym, vec![0; 4]);
             prog.add_data(&key_sym, key.to_vec());
             prog.add_data(&enc_sym, Vec::new());
@@ -422,7 +430,10 @@ pub fn install_generator_binary(
             let basis_sym = format!("__plx_basis_{func}");
             let f = probabilistic_generator(&gen_sym, &blob_sym, &basis_sym, &buf_sym);
             let globals = vec![blob_sym.clone(), basis_sym.clone(), buf_sym.clone()];
-            prog.add_func(&gen_sym, parallax_compiler::compile_function(&f, &sigs, &globals)?);
+            prog.add_func(
+                &gen_sym,
+                parallax_compiler::compile_function(&f, &sigs, &globals)?,
+            );
             prog.add_data(&blob_sym, Vec::new());
             prog.add_data(&basis_sym, vec![0; 128]);
             prog.add_bss(&buf_sym, 0);
@@ -529,7 +540,7 @@ mod tests {
         let w = |i: usize| u32::from_le_bytes(blob[4 * i..4 * i + 4].try_into().unwrap());
         assert_eq!(w(0), 2); // L
         assert_eq!(w(1), 2); // N
-        // offsets for (pos 0, var 0/1), (pos 1, var 0/1)
+                             // offsets for (pos 0, var 0/1), (pos 1, var 0/1)
         let pool_base = 2 + 4;
         let off00 = w(2) as usize;
         let cnt = w(pool_base + off00) as usize;

@@ -1,0 +1,172 @@
+//! Deterministic fault injection for the protection pipeline.
+//!
+//! Robustness harness (not part of the paper's threat model): a
+//! [`FaultPlan`] perturbs the pipeline at a chosen stage boundary so
+//! tests can assert that every failure surfaces as the correct typed
+//! [`ProtectError`](crate::ProtectError) — never a panic — and that
+//! post-link corruption is classified by the tamper-verdict watchdog
+//! ([`crate::tamper::classify`]) rather than crashing the VM.
+//!
+//! Two layers of perturbation:
+//!
+//! * **Pipeline faults** ([`FaultPlan`], consumed by
+//!   [`protect_binary_faulted`]) — applied to the [`Program`] between
+//!   pipeline stages, before the image exists: undecodable function
+//!   bodies (→ `Rewrite`), dropped chain frames and corrupted
+//!   relocation records (→ `Link`), emptied gadget scans
+//!   (→ `GadgetScan`).
+//! * **Image faults** ([`truncate_chain`], [`flip_byte`]) — applied to
+//!   the final [`LinkedImage`], modelling an adversary or bit-rot;
+//!   their effect is observed at run time and classified by the
+//!   watchdog.
+
+use parallax_image::{LinkedImage, Program};
+
+use crate::protect::{protect_binary_with_plan, ProtectConfig, ProtectError, Protected};
+use parallax_compiler::Function;
+
+/// A deterministic set of perturbations applied at stage boundaries.
+///
+/// The default plan injects nothing; [`protect_binary`](crate::protect_binary)
+/// runs every build through the same code path with an empty plan, so
+/// the injection seams are always exercised.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    undecodable_funcs: Vec<String>,
+    dropped_frames: Vec<String>,
+    corrupt_reloc: Option<usize>,
+    empty_gadget_scan: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Overwrites `func`'s body with undecodable bytes before the
+    /// rewriting rules run. Expected failure: `Rewrite` stage.
+    pub fn undecodable_func(mut self, func: impl Into<String>) -> FaultPlan {
+        self.undecodable_funcs.push(func.into());
+        self
+    }
+
+    /// Skips allocating the chain frame for verification function
+    /// `func`. The loader stub still references the frame symbol, so
+    /// the expected failure is the `Link` stage (undefined symbol).
+    pub fn drop_frame(mut self, func: impl Into<String>) -> FaultPlan {
+        self.dropped_frames.push(func.into());
+        self
+    }
+
+    /// Renames the `nth` function relocation (in layout order) to an
+    /// undefined symbol before linking. Expected failure: `Link` stage.
+    pub fn corrupt_reloc(mut self, nth: usize) -> FaultPlan {
+        self.corrupt_reloc = Some(nth);
+        self
+    }
+
+    /// Discards every discovered gadget. Expected failure:
+    /// `GadgetScan` stage.
+    pub fn empty_gadget_scan(mut self) -> FaultPlan {
+        self.empty_gadget_scan = true;
+        self
+    }
+
+    pub(crate) fn drops_frame(&self, func: &str) -> bool {
+        self.dropped_frames.iter().any(|f| f == func)
+    }
+
+    pub(crate) fn empties_gadget_scan(&self) -> bool {
+        self.empty_gadget_scan
+    }
+
+    /// Applied before the rewriting rules see the program.
+    pub(crate) fn apply_pre_rewrite(&self, prog: &mut Program) {
+        for name in &self.undecodable_funcs {
+            if let Some(func) = prog.func_mut(name) {
+                // 0xff 0xff is an undefined /7 form of the FF group —
+                // guaranteed to fail instruction decoding.
+                func.bytes = vec![0xff; 8.max(func.bytes.len())];
+                func.relocs.clear();
+                func.markers.clear();
+            }
+        }
+    }
+
+    /// Applied after stubs are installed, before the first link.
+    pub(crate) fn apply_pre_link(&self, prog: &mut Program) {
+        let Some(nth) = self.corrupt_reloc else {
+            return;
+        };
+        let names: Vec<String> = prog.func_names().map(str::to_owned).collect();
+        let mut seen = 0usize;
+        for name in names {
+            let Some(func) = prog.func_mut(&name) else {
+                continue;
+            };
+            for reloc in &mut func.relocs {
+                if seen == nth {
+                    reloc.symbol = "__fault_injected_undefined__".to_owned();
+                    return;
+                }
+                seen += 1;
+            }
+        }
+    }
+}
+
+/// [`crate::protect_binary`] under a fault plan (test entry point).
+pub fn protect_binary_faulted(
+    prog: Program,
+    verify_impls: &[Function],
+    cfg: &ProtectConfig,
+    plan: &FaultPlan,
+) -> Result<Protected, ProtectError> {
+    protect_binary_with_plan(prog, verify_impls, cfg, plan)
+}
+
+/// Truncates the serialized chain of verification function `func` to
+/// its first `keep_words` 32-bit words, zeroing the rest (cleartext
+/// chains only — the chain is the static data object
+/// `__plx_chain_{func}`). Returns false when the chain object is
+/// absent or lives in BSS (dynamic modes).
+pub fn truncate_chain(img: &mut LinkedImage, func: &str, keep_words: usize) -> bool {
+    let sym = match img.symbol(&format!("__plx_chain_{func}")) {
+        Some(s) => s.clone(),
+        None => return false,
+    };
+    let total_words = (sym.size as usize) / 4;
+    if keep_words >= total_words {
+        return false;
+    }
+    let start = sym.vaddr + (keep_words * 4) as u32;
+    let zeros = vec![0u8; (total_words - keep_words) * 4];
+    img.write(start, &zeros)
+}
+
+/// Flips one bit (XOR `0x01`) of the byte at `vaddr`. Returns false
+/// when `vaddr` is outside the image.
+pub fn flip_byte(img: &mut LinkedImage, vaddr: u32) -> bool {
+    let Some(bytes) = img.read(vaddr, 1) else {
+        return false;
+    };
+    let flipped = bytes[0] ^ 0x01;
+    img.write(vaddr, &[flipped])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(!plan.empties_gadget_scan());
+        assert!(!plan.drops_frame("f"));
+        let mut prog = Program::new();
+        prog.add_bss("x", 4);
+        plan.apply_pre_rewrite(&mut prog);
+        plan.apply_pre_link(&mut prog);
+    }
+}

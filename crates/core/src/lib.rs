@@ -29,13 +29,21 @@
 #![warn(missing_docs)]
 
 pub mod dynamic;
+pub mod faultinject;
 pub mod microchain;
 pub mod protect;
 pub mod select;
 pub mod tamper;
 
 pub use dynamic::{Basis, ChainMode};
-pub use protect::{protect, protect_binary, ChainInfo, Protected, ProtectConfig, ProtectError, ProtectReport};
+pub use faultinject::{flip_byte, protect_binary_faulted, truncate_chain, FaultPlan};
 pub use microchain::split_for_microchains;
+pub use protect::{
+    protect, protect_binary, ChainInfo, DegradationReport, ErrorKind, ProtectConfig, ProtectError,
+    ProtectReport, Protected, Stage,
+};
 pub use select::{select_verification_functions, SelectionConfig};
-pub use tamper::{nop_instruction, nop_range, patch_bytes};
+pub use tamper::{
+    classify, classify_outcome, nop_instruction, nop_range, patch_bytes, run_baseline, Baseline,
+    Verdict,
+};

@@ -46,11 +46,15 @@ fn rewrite_expr(e: &Expr, frame: &str, slot_of: &dyn Fn(&str) -> Option<usize>) 
         ),
         Expr::Call(n, args) => Expr::Call(
             n.clone(),
-            args.iter().map(|a| rewrite_expr(a, frame, slot_of)).collect(),
+            args.iter()
+                .map(|a| rewrite_expr(a, frame, slot_of))
+                .collect(),
         ),
         Expr::Syscall(nr, args) => Expr::Syscall(
             *nr,
-            args.iter().map(|a| rewrite_expr(a, frame, slot_of)).collect(),
+            args.iter()
+                .map(|a| rewrite_expr(a, frame, slot_of))
+                .collect(),
         ),
         other => other.clone(),
     }
@@ -117,7 +121,7 @@ pub fn split_for_microchains(
 ) -> Result<(Module, Vec<String>), ProtectError> {
     let f = module
         .get_func(func)
-        .ok_or_else(|| ProtectError::NoSuchFunction(func.to_owned()))?
+        .ok_or_else(|| ProtectError::no_such_function(func))?
         .clone();
     let mut m = module.clone();
 
@@ -257,10 +261,7 @@ mod tests {
         m.func(Function::new(
             "main",
             [],
-            vec![ret(add(
-                call("vf", vec![c(-5)]),
-                call("vf", vec![c(21)]),
-            ))],
+            vec![ret(add(call("vf", vec![c(-5)]), call("vf", vec![c(21)])))],
         ));
         m.entry("main");
         let expect = run(&m);

@@ -19,6 +19,16 @@
 //! once against a placeholder layout to learn their sizes, then
 //! recompiled against the final layout (gadget choices are
 //! deterministic per seed, so sizes are stable).
+//!
+//! # Failure model
+//!
+//! Every failure is a typed [`ProtectError`] carrying the pipeline
+//! [`Stage`] it arose in — the pipeline never panics on malformed
+//! input. When chain compilation cannot find a needed gadget type the
+//! pipeline does not abort immediately: it retries the rewrite with
+//! alternate immediate-rule body rotations and finally falls back to
+//! appending the standard gadget set (the paper's §III escape hatch),
+//! recording each fallback in a [`DegradationReport`].
 
 use std::fmt;
 
@@ -36,6 +46,7 @@ use parallax_ropc::{
 use crate::dynamic::{
     build_index_blob, install_generator_binary, rc4_crypt, xor_crypt, Basis, ChainMode,
 };
+use crate::faultinject::FaultPlan;
 
 /// Configuration for [`protect`].
 #[derive(Debug, Clone)]
@@ -67,6 +78,11 @@ pub struct ProtectConfig {
     /// for a memory-dumping adversary. Dynamic modes only (cleartext
     /// chains are static data and would be destroyed).
     pub wipe_chains: bool,
+    /// Retry with alternate rewrite-rule orderings and fall back to
+    /// the appended standard gadget set when a needed gadget type
+    /// cannot be crafted (on by default). Disable to surface the raw
+    /// [`Stage::ChainCompile`] / [`Stage::GadgetScan`] error instead.
+    pub degrade: bool,
 }
 
 impl Default for ProtectConfig {
@@ -80,61 +96,232 @@ impl Default for ProtectConfig {
             guard_funcs: Vec::new(),
             checksum_chains: false,
             wipe_chains: false,
+            degrade: true,
         }
     }
 }
 
-/// Errors from the protection pipeline.
+/// The pipeline stage a [`ProtectError`] arose in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Validating the requested verification functions against the
+    /// module/program.
+    Select,
+    /// Compiling and installing helper code (chain generators, the
+    /// loader runtime, stubs).
+    Load,
+    /// Applying the §IV-B rewriting rules.
+    Rewrite,
+    /// Scanning, classifying and validating gadgets in a linked image.
+    GadgetScan,
+    /// Translating a verification function into a ROP chain.
+    ChainCompile,
+    /// Sizing and placing chain data objects across the fixpoint
+    /// passes (symbols, data items, chain-buffer capacities).
+    Map,
+    /// Producing a linked image.
+    Link,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Select => "select",
+            Stage::Load => "load",
+            Stage::Rewrite => "rewrite",
+            Stage::GadgetScan => "gadget-scan",
+            Stage::ChainCompile => "chain-compile",
+            Stage::Map => "map",
+            Stage::Link => "link",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What went wrong (see [`ProtectError::stage`] for where).
 #[derive(Debug)]
-pub enum ProtectError {
+pub enum ErrorKind {
     /// IR compilation failed.
     Compile(CompileError),
     /// Linking failed.
     Link(LinkError),
     /// A rewriting rule failed.
     Rewrite(RewriteError),
-    /// Chain compilation failed.
-    Chain(ChainError),
+    /// Chain compilation failed, for the named verification function
+    /// when known.
+    Chain {
+        /// The verification function being translated, if known.
+        func: Option<String>,
+        /// The underlying chain-compiler error.
+        err: ChainError,
+    },
     /// A verification function is missing from the module.
     NoSuchFunction(String),
     /// The chain size changed between fixpoint passes.
     UnstableChain(String),
+    /// A pipeline-managed symbol vanished between passes.
+    MissingSymbol(String),
+    /// A pipeline-managed data item vanished between passes.
+    MissingDataItem(String),
+    /// Serialized chain material exceeded its reserved capacity.
+    ChainTooLarge {
+        /// The verification function whose chain overflowed.
+        func: String,
+        /// Bytes the chain material needs.
+        needed: usize,
+        /// Bytes reserved for it.
+        capacity: usize,
+    },
+    /// Gadget discovery found no usable gadgets at all.
+    NoUsableGadgets,
 }
 
-impl fmt::Display for ProtectError {
+impl fmt::Display for ErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProtectError::Compile(e) => write!(f, "compile: {e}"),
-            ProtectError::Link(e) => write!(f, "link: {e}"),
-            ProtectError::Rewrite(e) => write!(f, "rewrite: {e}"),
-            ProtectError::Chain(e) => write!(f, "chain: {e}"),
-            ProtectError::NoSuchFunction(n) => write!(f, "no such function `{n}`"),
-            ProtectError::UnstableChain(n) => write!(f, "chain for `{n}` unstable"),
+            ErrorKind::Compile(e) => write!(f, "compile: {e}"),
+            ErrorKind::Link(e) => write!(f, "link: {e}"),
+            ErrorKind::Rewrite(e) => write!(f, "rewrite: {e}"),
+            ErrorKind::Chain { func: Some(n), err } => write!(f, "chain for `{n}`: {err}"),
+            ErrorKind::Chain { func: None, err } => write!(f, "chain: {err}"),
+            ErrorKind::NoSuchFunction(n) => write!(f, "no such function `{n}`"),
+            ErrorKind::UnstableChain(n) => write!(f, "chain for `{n}` unstable"),
+            ErrorKind::MissingSymbol(s) => write!(f, "missing symbol `{s}`"),
+            ErrorKind::MissingDataItem(s) => write!(f, "missing data item `{s}`"),
+            ErrorKind::ChainTooLarge {
+                func,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "chain material for `{func}` needs {needed} bytes, only {capacity} reserved"
+            ),
+            ErrorKind::NoUsableGadgets => write!(f, "no usable gadgets in image"),
         }
     }
 }
 
-impl std::error::Error for ProtectError {}
+/// Errors from the protection pipeline, with stage provenance.
+#[derive(Debug)]
+pub struct ProtectError {
+    /// Where in the pipeline the error arose.
+    pub stage: Stage,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+impl ProtectError {
+    /// Creates an error with explicit stage provenance.
+    pub fn new(stage: Stage, kind: ErrorKind) -> ProtectError {
+        ProtectError { stage, kind }
+    }
+
+    /// A [`Stage::Select`] error for a missing verification function.
+    pub fn no_such_function(name: impl Into<String>) -> ProtectError {
+        ProtectError::new(Stage::Select, ErrorKind::NoSuchFunction(name.into()))
+    }
+
+    fn missing_symbol(sym: impl Into<String>) -> ProtectError {
+        ProtectError::new(Stage::Map, ErrorKind::MissingSymbol(sym.into()))
+    }
+
+    fn missing_data(sym: impl Into<String>) -> ProtectError {
+        ProtectError::new(Stage::Map, ErrorKind::MissingDataItem(sym.into()))
+    }
+
+    fn chain_for(func: &str, err: ChainError) -> ProtectError {
+        ProtectError::new(
+            Stage::ChainCompile,
+            ErrorKind::Chain {
+                func: Some(func.to_owned()),
+                err,
+            },
+        )
+    }
+
+    /// True when the failure means "a needed gadget type is not in the
+    /// image" — the condition the degradation ladder can remedy by
+    /// re-rewriting or appending the standard set.
+    pub fn is_gadget_starvation(&self) -> bool {
+        matches!(
+            self.kind,
+            ErrorKind::Chain {
+                err: ChainError::MissingGadget(_),
+                ..
+            } | ErrorKind::NoUsableGadgets
+        )
+    }
+
+    /// The starved function and missing-gadget description, when
+    /// [`Self::is_gadget_starvation`] holds.
+    fn starvation_detail(&self) -> Option<(String, String)> {
+        match &self.kind {
+            ErrorKind::Chain {
+                func,
+                err: err @ ChainError::MissingGadget(_),
+            } => Some((
+                func.clone().unwrap_or_else(|| "*".to_owned()),
+                err.to_string(),
+            )),
+            ErrorKind::NoUsableGadgets => Some(("*".to_owned(), self.kind.to_string())),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ProtectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} stage: {}", self.stage, self.kind)
+    }
+}
+
+impl std::error::Error for ProtectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            ErrorKind::Compile(e) => Some(e),
+            ErrorKind::Link(e) => Some(e),
+            ErrorKind::Rewrite(e) => Some(e),
+            ErrorKind::Chain { err, .. } => Some(err),
+            _ => None,
+        }
+    }
+}
 
 impl From<CompileError> for ProtectError {
     fn from(e: CompileError) -> Self {
-        ProtectError::Compile(e)
+        ProtectError::new(Stage::Load, ErrorKind::Compile(e))
     }
 }
 impl From<LinkError> for ProtectError {
     fn from(e: LinkError) -> Self {
-        ProtectError::Link(e)
+        ProtectError::new(Stage::Link, ErrorKind::Link(e))
     }
 }
 impl From<RewriteError> for ProtectError {
     fn from(e: RewriteError) -> Self {
-        ProtectError::Rewrite(e)
+        ProtectError::new(Stage::Rewrite, ErrorKind::Rewrite(e))
     }
 }
 impl From<ChainError> for ProtectError {
     fn from(e: ChainError) -> Self {
-        ProtectError::Chain(e)
+        ProtectError::new(Stage::ChainCompile, ErrorKind::Chain { func: None, err: e })
     }
+}
+
+/// One fallback taken by the degradation ladder (paper §III escape
+/// hatch) instead of aborting the pipeline.
+#[derive(Debug, Clone)]
+pub struct DegradationReport {
+    /// Verification function whose chain could not be compiled (`"*"`
+    /// when the failure was not attributable to one function, e.g. an
+    /// empty gadget scan).
+    pub func: String,
+    /// What was missing (the chain compiler's description).
+    pub missing: String,
+    /// Immediate-rule body rotation used by the retry.
+    pub retry_rotation: usize,
+    /// Whether the retry force-appended the standard gadget set.
+    pub stdset_forced: bool,
 }
 
 /// Per-chain statistics.
@@ -164,6 +351,9 @@ pub struct ProtectReport {
     pub chains: Vec<ChainInfo>,
     /// Total usable gadgets discovered in the protected image.
     pub gadget_count: usize,
+    /// Fallbacks the degradation ladder took (empty when the first
+    /// attempt succeeded).
+    pub degradations: Vec<DegradationReport>,
 }
 
 /// A protected binary plus its report.
@@ -186,7 +376,7 @@ pub fn protect(module: &Module, cfg: &ProtectConfig) -> Result<Protected, Protec
     for f in &cfg.verify_funcs {
         let func = module
             .get_func(f)
-            .ok_or_else(|| ProtectError::NoSuchFunction(f.clone()))?;
+            .ok_or_else(|| ProtectError::no_such_function(f))?;
         verify_impls.push(func.clone());
     }
     let prog = compile_module(module)?;
@@ -202,53 +392,133 @@ pub fn protect(module: &Module, cfg: &ProtectConfig) -> Result<Protected, Protec
 /// and re-expressed as ROP chains). Everything else — gadget crafting,
 /// rewriting, linking — operates purely on the machine code.
 pub fn protect_binary(
-    mut prog: Program,
+    prog: Program,
     verify_impls: &[Function],
     cfg: &ProtectConfig,
 ) -> Result<Protected, ProtectError> {
+    protect_binary_with_plan(prog, verify_impls, cfg, &FaultPlan::default())
+}
+
+/// [`protect_binary`] with a fault-injection plan (test seam; see
+/// [`crate::faultinject`]).
+pub(crate) fn protect_binary_with_plan(
+    prog: Program,
+    verify_impls: &[Function],
+    cfg: &ProtectConfig,
+    plan: &FaultPlan,
+) -> Result<Protected, ProtectError> {
+    // Stage: Select — the requested functions must exist both in the
+    // program and among the supplied IR implementations.
     for f in &cfg.verify_funcs {
         if prog.func(f).is_none() || !verify_impls.iter().any(|vi| &vi.name == f) {
-            return Err(ProtectError::NoSuchFunction(f.clone()));
+            return Err(ProtectError::no_such_function(f));
         }
     }
-    let get_impl = |name: &str| -> &Function {
-        verify_impls
-            .iter()
-            .find(|vi| vi.name == name)
-            .expect("validated above")
-    };
 
     // Figure-6 coverage is measured on the unprotected image.
     let coverage = analyze(&prog.link()?);
 
-    // 1. Install chain generators for dynamic modes.
+    // Degradation ladder: the base attempt, then (when enabled)
+    // alternate immediate-rule body rotations, then a forced standard
+    // gadget set. Each attempt restarts from the pristine program.
+    let base_rotation = cfg.rewrite.body_rotation;
+    let mut attempts: Vec<(RewriteConfig, bool)> = vec![(cfg.rewrite.clone(), false)];
+    if cfg.degrade {
+        for extra in 1..=2usize {
+            let mut rw = cfg.rewrite.clone();
+            rw.body_rotation = base_rotation + extra;
+            attempts.push((rw, false));
+        }
+        if !cfg.rewrite.stdset {
+            let mut rw = cfg.rewrite.clone();
+            rw.stdset = true;
+            attempts.push((rw, true));
+        }
+    }
+
+    let mut degradations: Vec<DegradationReport> = Vec::new();
+    let last = attempts.len() - 1;
+    for (i, (rw_cfg, _)) in attempts.iter().enumerate() {
+        match run_pipeline(prog.clone(), verify_impls, cfg, rw_cfg, plan) {
+            Ok((image, rewrites, chains, gadget_count)) => {
+                return Ok(Protected {
+                    image,
+                    report: ProtectReport {
+                        rewrites,
+                        coverage,
+                        chains,
+                        gadget_count,
+                        degradations,
+                    },
+                });
+            }
+            Err(e) => {
+                let retryable = cfg.degrade && i < last && e.is_gadget_starvation();
+                if !retryable {
+                    return Err(e);
+                }
+                // Describe the fallback the *next* attempt makes.
+                let (next_cfg, next_forced) = &attempts[i + 1];
+                if let Some((func, missing)) = e.starvation_detail() {
+                    degradations.push(DegradationReport {
+                        func,
+                        missing,
+                        retry_rotation: next_cfg.body_rotation,
+                        stdset_forced: *next_forced,
+                    });
+                }
+            }
+        }
+    }
+    unreachable!("degradation ladder returns on its final attempt")
+}
+
+/// One end-to-end pipeline attempt (steps 1–5 of the module docs).
+/// Returns the final image plus report ingredients.
+#[allow(clippy::type_complexity)]
+fn run_pipeline(
+    mut prog: Program,
+    verify_impls: &[Function],
+    cfg: &ProtectConfig,
+    rw_cfg: &RewriteConfig,
+    plan: &FaultPlan,
+) -> Result<(LinkedImage, RewriteReport, Vec<ChainInfo>, usize), ProtectError> {
+    let get_impl = |name: &str| -> Result<&Function, ProtectError> {
+        verify_impls
+            .iter()
+            .find(|vi| vi.name == name)
+            .ok_or_else(|| ProtectError::no_such_function(name))
+    };
+
+    // 1. Install chain generators for dynamic modes (stage: Load).
     let mut gens = Vec::new();
     for f in cfg.verify_funcs.clone() {
         let gen = install_generator_binary(&mut prog, &f, &cfg.mode)?;
         gens.push((f, gen));
     }
 
-    // 2. Apply the rewriting rules.
+    // 2. Apply the rewriting rules (stage: Rewrite).
     let targets: Vec<String> = match &cfg.protect_targets {
         Some(t) => t.clone(),
         None => prog
             .func_names()
             .map(str::to_owned)
-            .filter(|n| {
-                !cfg.verify_funcs.contains(n) && !n.starts_with("__plx_") && n != "_start"
-            })
+            .filter(|n| !cfg.verify_funcs.contains(n) && !n.starts_with("__plx_") && n != "_start")
             .collect(),
     };
-    let rewrites = protect_program(&mut prog, &targets, &cfg.rewrite)?;
+    plan.apply_pre_rewrite(&mut prog);
+    let rewrites = protect_program(&mut prog, &targets, rw_cfg)?;
 
-    // 3. Runtime, frames, stubs, placeholders.
+    // 3. Runtime, frames, stubs, placeholders (stage: Load).
     install_runtime(&mut prog);
     prog.add_bss("__plx_scratch", 4096);
     for (f, gen) in &gens {
-        let func = get_impl(f);
+        let func = get_impl(f)?;
         let frame_sym = format!("__plx_frame_{f}");
         let chain_sym = format!("__plx_chain_{f}");
-        prog.add_bss(&frame_sym, frame_size(func));
+        if !plan.drops_frame(f) {
+            prog.add_bss(&frame_sym, frame_size(func));
+        }
         // §VI-C: optional checksum over the chain's static data item.
         let checker_sym = if cfg.checksum_chains {
             let ck = format!("__plx_ck_{f}");
@@ -298,25 +568,28 @@ pub fn protect_binary(
         };
         let slot = prog
             .func_mut(f)
-            .ok_or_else(|| ProtectError::NoSuchFunction(f.clone()))?;
+            .ok_or_else(|| ProtectError::no_such_function(f))?;
         slot.bytes = stub.bytes;
         slot.relocs = stub.relocs;
         slot.markers = stub.markers;
     }
+    plan.apply_pre_link(&mut prog);
 
-    // 4. Fixpoint pass 1: discover chain sizes.
+    // 4. Fixpoint pass 1: discover chain sizes (stages: Link,
+    // GadgetScan, Map, ChainCompile).
     let img1 = prog.link()?;
-    let map1 = GadgetMap::new(find_gadgets(&img1));
+    let map1 = scan_gadgets(&img1, plan)?;
     let ranges1 = target_ranges(&img1, &targets);
     let mut sizes = Vec::new();
     for (i, (f, _)) in gens.iter().enumerate() {
-        let func = get_impl(f);
-        let frame = img1.symbol(&format!("__plx_frame_{f}")).unwrap().vaddr;
-        let scratch = img1.symbol("__plx_scratch").unwrap().vaddr;
+        let func = get_impl(f)?;
+        let frame = symbol_vaddr(&img1, &format!("__plx_frame_{f}"))?;
+        let scratch = symbol_vaddr(&img1, "__plx_scratch")?;
         let policy = policy_for(cfg, &ranges1, i as u64, 0);
         let guards = guard_addrs(&img1, &map1, &cfg.guard_funcs);
         let compiled =
-            compile_chain_with_guards(func, &map1, &img1, frame, scratch, policy, &guards)?;
+            compile_chain_with_guards(func, &map1, &img1, frame, scratch, policy, &guards)
+                .map_err(|e| ProtectError::chain_for(f, e))?;
         let words = compiled.chain.len();
         // Probabilistic blob worst case per (position, variant): a
         // 4-byte offset-table entry plus a pool list of 1 + up to 32
@@ -325,35 +598,35 @@ pub fn protect_binary(
         sizes.push((words, blob_cap));
     }
 
-    // Size the per-chain data objects.
+    // Size the per-chain data objects (stage: Map).
     for ((f, _gen), (words, blob_cap)) in gens.iter().zip(&sizes) {
         let bytes = words * 4;
         match &cfg.mode {
             ChainMode::Cleartext => {
-                prog.data_item_mut(&format!("__plx_chain_{f}")).unwrap().bytes = vec![0; bytes];
+                set_size(&mut prog, &format!("__plx_chain_{f}"), bytes)?;
             }
             ChainMode::XorEncrypted { .. } | ChainMode::Rc4Encrypted { .. } => {
-                set_size(&mut prog, &format!("__plx_enc_{f}"), bytes);
-                set_bss_size(&mut prog, &format!("__plx_chain_{f}"), bytes as u32);
+                set_size(&mut prog, &format!("__plx_enc_{f}"), bytes)?;
+                set_bss_size(&mut prog, &format!("__plx_chain_{f}"), bytes as u32)?;
             }
             ChainMode::Probabilistic { .. } => {
-                set_size(&mut prog, &format!("__plx_blob_{f}"), *blob_cap);
-                set_bss_size(&mut prog, &format!("__plx_chain_{f}"), bytes as u32);
+                set_size(&mut prog, &format!("__plx_blob_{f}"), *blob_cap)?;
+                set_bss_size(&mut prog, &format!("__plx_chain_{f}"), bytes as u32)?;
             }
         }
     }
 
     // 5. Fixpoint pass 2: final layout; recompile, serialize, install.
     let img2 = prog.link()?;
-    let map2 = GadgetMap::new(find_gadgets(&img2));
+    let map2 = scan_gadgets(&img2, plan)?;
     let ranges2 = target_ranges(&img2, &targets);
     let mut chains = Vec::new();
     for (i, ((f, _gen), (words, _))) in gens.iter().zip(&sizes).enumerate() {
-        let func = get_impl(f);
-        let frame = img2.symbol(&format!("__plx_frame_{f}")).unwrap().vaddr;
-        let scratch = img2.symbol("__plx_scratch").unwrap().vaddr;
+        let func = get_impl(f)?;
+        let frame = symbol_vaddr(&img2, &format!("__plx_frame_{f}"))?;
+        let scratch = symbol_vaddr(&img2, "__plx_scratch")?;
         let buf_sym = format!("__plx_chain_{f}");
-        let base = img2.symbol(&buf_sym).unwrap().vaddr;
+        let base = symbol_vaddr(&img2, &buf_sym)?;
 
         let nvariants = cfg_variants(&cfg.mode);
         let mut variant_words: Vec<Vec<u32>> = Vec::new();
@@ -362,17 +635,23 @@ pub fn protect_binary(
         let guards = guard_addrs(&img2, &map2, &cfg.guard_funcs);
         for v in 0..nvariants {
             let policy = policy_for(cfg, &ranges2, i as u64, v as u64);
-            let compiled = compile_chain_with_guards(
-                func, &map2, &img2, frame, scratch, policy, &guards,
-            )?;
+            let compiled =
+                compile_chain_with_guards(func, &map2, &img2, frame, scratch, policy, &guards)
+                    .map_err(|e| ProtectError::chain_for(f, e))?;
             if compiled.chain.len() != *words {
-                return Err(ProtectError::UnstableChain(f.clone()));
+                return Err(ProtectError::new(
+                    Stage::Map,
+                    ErrorKind::UnstableChain(f.clone()),
+                ));
             }
-            let bytes = compiled.chain.serialize(base).map_err(ChainError::from)?;
+            let bytes = compiled
+                .chain
+                .serialize(base)
+                .map_err(|e| ProtectError::chain_for(f, ChainError::from(e)))?;
             variant_words.push(
                 bytes
                     .chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                     .collect(),
             );
             used.extend(compiled.used_gadgets.iter().copied());
@@ -391,18 +670,18 @@ pub fn protect_binary(
                     .iter()
                     .flat_map(|w| w.to_le_bytes())
                     .collect();
-                prog.data_item_mut(&buf_sym).unwrap().bytes = bytes;
+                data_mut(&mut prog, &buf_sym)?.bytes = bytes;
             }
             ChainMode::XorEncrypted { key } => {
                 let mut wordsv = variant_words[0].clone();
                 xor_crypt(&mut wordsv, *key);
                 let bytes: Vec<u8> = wordsv.iter().flat_map(|w| w.to_le_bytes()).collect();
-                prog.data_item_mut(&format!("__plx_enc_{f}")).unwrap().bytes = bytes;
+                data_mut(&mut prog, &format!("__plx_enc_{f}"))?.bytes = bytes;
                 set_word(
                     &mut prog,
                     &format!("__plx_len_{f}"),
                     *words as u32, // word count for the xor generator
-                );
+                )?;
             }
             ChainMode::Rc4Encrypted { key } => {
                 let mut bytes: Vec<u8> = variant_words[0]
@@ -410,47 +689,52 @@ pub fn protect_binary(
                     .flat_map(|w| w.to_le_bytes())
                     .collect();
                 rc4_crypt(&mut bytes, key);
-                prog.data_item_mut(&format!("__plx_enc_{f}")).unwrap().bytes = bytes;
+                data_mut(&mut prog, &format!("__plx_enc_{f}"))?.bytes = bytes;
                 set_word(
                     &mut prog,
                     &format!("__plx_len_{f}"),
                     (*words * 4) as u32, // byte count for the RC4 generator
-                );
+                )?;
             }
             ChainMode::Probabilistic { seed, .. } => {
                 let basis = Basis::random(seed ^ (0x5a5a + i as u64));
                 let mut blob = build_index_blob(&basis, &variant_words);
+                let blob_sym = format!("__plx_blob_{f}");
                 let cap = prog
-                    .data_item(&format!("__plx_blob_{f}"))
-                    .unwrap()
+                    .data_item(&blob_sym)
+                    .ok_or_else(|| ProtectError::missing_data(&blob_sym))?
                     .bytes
                     .len();
                 if blob.len() > cap {
-                    return Err(ProtectError::UnstableChain(f.clone()));
+                    return Err(ProtectError::new(
+                        Stage::Map,
+                        ErrorKind::ChainTooLarge {
+                            func: f.clone(),
+                            needed: blob.len(),
+                            capacity: cap,
+                        },
+                    ));
                 }
                 blob.resize(cap, 0);
-                prog.data_item_mut(&format!("__plx_blob_{f}")).unwrap().bytes = blob;
-                let basis_bytes: Vec<u8> = basis
-                    .vectors
-                    .iter()
-                    .flat_map(|w| w.to_le_bytes())
-                    .collect();
-                prog.data_item_mut(&format!("__plx_basis_{f}")).unwrap().bytes = basis_bytes;
+                data_mut(&mut prog, &blob_sym)?.bytes = blob;
+                let basis_bytes: Vec<u8> =
+                    basis.vectors.iter().flat_map(|w| w.to_le_bytes()).collect();
+                data_mut(&mut prog, &format!("__plx_basis_{f}"))?.bytes = basis_bytes;
             }
         }
 
         if cfg.wipe_chains && !matches!(cfg.mode, ChainMode::Cleartext) {
-            set_word(&mut prog, &format!("__plx_wlen_{f}"), (*words * 4) as u32);
+            set_word(&mut prog, &format!("__plx_wlen_{f}"), (*words * 4) as u32)?;
         }
         if cfg.checksum_chains {
             let target = checksummed_item(f, &cfg.mode);
             let bytes = prog
                 .data_item(&target)
-                .expect("checksummed item exists")
+                .ok_or_else(|| ProtectError::missing_data(&target))?
                 .bytes
                 .clone();
-            set_word(&mut prog, &format!("__plx_cklen_{f}"), bytes.len() as u32);
-            set_word(&mut prog, &format!("__plx_ckexp_{f}"), fnv1a(&bytes));
+            set_word(&mut prog, &format!("__plx_cklen_{f}"), bytes.len() as u32)?;
+            set_word(&mut prog, &format!("__plx_ckexp_{f}"), fnv1a(&bytes))?;
         }
 
         chains.push(ChainInfo {
@@ -465,15 +749,24 @@ pub fn protect_binary(
     let image = prog.link()?;
     debug_assert_eq!(image.text, img2.text, "text stable across final fill");
 
-    Ok(Protected {
-        image,
-        report: ProtectReport {
-            rewrites,
-            coverage,
-            chains,
-            gadget_count: map2.gadgets().len(),
-        },
-    })
+    Ok((image, rewrites, chains, map2.gadgets().len()))
+}
+
+/// Gadget discovery with a typed [`Stage::GadgetScan`] error when the
+/// image yields nothing usable (or the fault plan empties the scan).
+fn scan_gadgets(img: &LinkedImage, plan: &FaultPlan) -> Result<GadgetMap, ProtectError> {
+    let gadgets = if plan.empties_gadget_scan() {
+        Vec::new()
+    } else {
+        find_gadgets(img)
+    };
+    if gadgets.is_empty() {
+        return Err(ProtectError::new(
+            Stage::GadgetScan,
+            ErrorKind::NoUsableGadgets,
+        ));
+    }
+    Ok(GadgetMap::new(gadgets))
 }
 
 /// The static data item that carries a chain's verification material.
@@ -509,14 +802,12 @@ fn policy_for(cfg: &ProtectConfig, ranges: &[(u32, u32)], chain_idx: u64, varian
 
 /// Gadget vaddrs inside the guard functions (all usable gadgets found
 /// there), capped to keep chains bounded.
-fn guard_addrs(
-    img: &LinkedImage,
-    map: &GadgetMap,
-    guard_funcs: &[String],
-) -> Vec<u32> {
+fn guard_addrs(img: &LinkedImage, map: &GadgetMap, guard_funcs: &[String]) -> Vec<u32> {
     let mut out = Vec::new();
     for name in guard_funcs {
-        let Some(sym) = img.symbol(name) else { continue };
+        let Some(sym) = img.symbol(name) else {
+            continue;
+        };
         for g in map.gadgets() {
             if g.vaddr >= sym.vaddr && g.vaddr < sym.vaddr + sym.size {
                 out.push(g.vaddr);
@@ -537,20 +828,31 @@ fn target_ranges(img: &LinkedImage, targets: &[String]) -> Vec<(u32, u32)> {
         .collect()
 }
 
-fn set_size(prog: &mut Program, sym: &str, bytes: usize) {
+fn data_mut<'p>(
+    prog: &'p mut Program,
+    sym: &str,
+) -> Result<&'p mut parallax_image::program::DataItem, ProtectError> {
     prog.data_item_mut(sym)
-        .unwrap_or_else(|| panic!("data item {sym} missing"))
-        .bytes = vec![0; bytes];
+        .ok_or_else(|| ProtectError::missing_data(sym))
 }
 
-fn set_bss_size(prog: &mut Program, sym: &str, size: u32) {
-    prog.data_item_mut(sym)
-        .unwrap_or_else(|| panic!("bss item {sym} missing"))
-        .bss_size = size;
+fn set_size(prog: &mut Program, sym: &str, bytes: usize) -> Result<(), ProtectError> {
+    data_mut(prog, sym)?.bytes = vec![0; bytes];
+    Ok(())
 }
 
-fn set_word(prog: &mut Program, sym: &str, value: u32) {
-    prog.data_item_mut(sym)
-        .unwrap_or_else(|| panic!("data item {sym} missing"))
-        .bytes = value.to_le_bytes().to_vec();
+fn set_bss_size(prog: &mut Program, sym: &str, size: u32) -> Result<(), ProtectError> {
+    data_mut(prog, sym)?.bss_size = size;
+    Ok(())
+}
+
+fn set_word(prog: &mut Program, sym: &str, value: u32) -> Result<(), ProtectError> {
+    data_mut(prog, sym)?.bytes = value.to_le_bytes().to_vec();
+    Ok(())
+}
+
+fn symbol_vaddr(img: &LinkedImage, sym: &str) -> Result<u32, ProtectError> {
+    img.symbol(sym)
+        .map(|s| s.vaddr)
+        .ok_or_else(|| ProtectError::missing_symbol(sym))
 }

@@ -12,8 +12,8 @@
 //! We add the feasibility constraints of our chain compiler: no
 //! division, no recursion, and at most eight parameters.
 
-use parallax_compiler::ir::{BinOp, Expr, Function, Module, Stmt};
 use parallax_compiler::compile_module;
+use parallax_compiler::ir::{BinOp, Expr, Function, Module, Stmt};
 use parallax_vm::{Vm, VmOptions};
 
 use crate::protect::ProtectError;
@@ -114,7 +114,9 @@ pub fn select_verification_functions(
         if f.name == "main" || f.name.starts_with("__plx_") {
             continue;
         }
-        let Some(p) = profiler.func(&f.name) else { continue };
+        let Some(p) = profiler.func(&f.name) else {
+            continue;
+        };
         if p.calls < cfg.min_calls {
             continue;
         }
@@ -209,8 +211,7 @@ mod tests {
     #[test]
     fn selection_picks_cheap_diverse_repeated() {
         let m = sample_module();
-        let picked =
-            select_verification_functions(&m, &[], &SelectionConfig::default()).unwrap();
+        let picked = select_verification_functions(&m, &[], &SelectionConfig::default()).unwrap();
         // `hot` dominates runtime (excluded); `checksum_step` is called
         // 500 times, cheap per call... but it accounts for most of the
         // time too. With the 2% threshold both may be excluded; loosen

@@ -1,7 +1,18 @@
-//! Tampering primitives — the adversary's toolbox for tests, examples,
+//! Tampering primitives and the tamper-verdict watchdog — the
+//! adversary's toolbox plus the defender's oracle for tests, examples,
 //! and benchmarks (hostile-host model, paper §II-B).
+//!
+//! The watchdog half ([`run_baseline`] / [`classify`]) executes an
+//! image under the VM's cycle and output budgets and classifies the
+//! outcome against a pristine baseline as a [`Verdict`]: patches can
+//! manifest as wrong output, traps, hangs (a corrupted chain looping
+//! through gadgets), or runaway writes — all of which must be
+//! *contained and classified*, never crash the harness.
+
+use std::fmt;
 
 use parallax_image::LinkedImage;
+use parallax_vm::{Exit, Fault, Vm, VmOptions};
 use parallax_x86::decode;
 
 /// Overwrites `len` bytes at `vaddr` with NOPs (static patching, as in
@@ -22,6 +33,97 @@ pub fn nop_instruction(img: &mut LinkedImage, vaddr: u32) -> Option<usize> {
 /// Overwrites arbitrary bytes (static patch).
 pub fn patch_bytes(img: &mut LinkedImage, vaddr: u32, bytes: &[u8]) -> bool {
     img.write(vaddr, bytes)
+}
+
+/// How a (possibly tampered) image's run compares to its baseline.
+///
+/// `Fault`, `Hang` and `MemLimit` are *implicit detections* in the
+/// paper's sense: a patch that corrupts a gadget makes the chain trap
+/// or diverge instead of raising an explicit alarm. `WrongResult`
+/// covers semantic divergence (different exit status or output), and
+/// `Clean` asserts the absence of false positives — a byte flip
+/// outside every protected range must stay `Clean`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Same exit status and output as the baseline.
+    Clean,
+    /// Exited cleanly but with a different status or output.
+    WrongResult,
+    /// The run trapped.
+    Fault(Fault),
+    /// The cycle budget ran out (e.g. a corrupted chain looping).
+    Hang,
+    /// The output budget ran out (runaway writer).
+    MemLimit,
+}
+
+impl Verdict {
+    /// True for every verdict except [`Verdict::Clean`] — i.e. the
+    /// tampering was (implicitly) detected or broke the program.
+    pub fn is_detection(&self) -> bool {
+        !matches!(self, Verdict::Clean)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Clean => f.write_str("clean"),
+            Verdict::WrongResult => f.write_str("wrong result"),
+            Verdict::Fault(fault) => write!(f, "fault ({fault})"),
+            Verdict::Hang => f.write_str("hang (cycle limit)"),
+            Verdict::MemLimit => f.write_str("mem limit (output budget)"),
+        }
+    }
+}
+
+/// Reference behavior of a pristine image: its exit and full syscall
+/// output under a fixed input.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// How the pristine run ended.
+    pub exit: Exit,
+    /// Its complete syscall output stream.
+    pub output: Vec<u8>,
+}
+
+fn run_to_exit(img: &LinkedImage, input: &[u8], opts: &VmOptions) -> (Exit, Vec<u8>) {
+    let mut vm = Vm::with_options(img, opts.clone());
+    vm.set_input(input);
+    let exit = vm.run();
+    (exit, vm.take_output())
+}
+
+/// Runs the pristine image once and records its behavior.
+pub fn run_baseline(img: &LinkedImage, input: &[u8], opts: &VmOptions) -> Baseline {
+    let (exit, output) = run_to_exit(img, input, opts);
+    Baseline { exit, output }
+}
+
+/// Runs a (possibly tampered) image and classifies the outcome against
+/// `baseline`. Every outcome the VM can produce maps to a verdict —
+/// the watchdog itself never panics or hangs (the cycle and output
+/// budgets in `opts` bound the run).
+pub fn classify(img: &LinkedImage, input: &[u8], baseline: &Baseline, opts: &VmOptions) -> Verdict {
+    let (exit, output) = run_to_exit(img, input, opts);
+    classify_outcome(exit, &output, baseline)
+}
+
+/// Classifies an already-observed run against `baseline` (for harnesses
+/// that drive the VM themselves, e.g. split-cache attacks).
+pub fn classify_outcome(exit: Exit, output: &[u8], baseline: &Baseline) -> Verdict {
+    match exit {
+        Exit::CycleLimit => Verdict::Hang,
+        Exit::MemLimit => Verdict::MemLimit,
+        Exit::Fault(fault) => Verdict::Fault(fault),
+        Exit::Exited(status) => {
+            if baseline.exit == Exit::Exited(status) && baseline.output == output {
+                Verdict::Clean
+            } else {
+                Verdict::WrongResult
+            }
+        }
+    }
 }
 
 #[cfg(test)]

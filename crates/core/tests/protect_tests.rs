@@ -1,5 +1,9 @@
 //! End-to-end protection tests across all chain modes.
 
+// Test helpers unwrap freely (the crate-level unwrap_used deny is for
+// production paths).
+#![allow(clippy::unwrap_used)]
+
 use parallax_compiler::ir::build::*;
 use parallax_compiler::{Function, Module};
 use parallax_core::{protect, ChainMode, ProtectConfig};
@@ -47,7 +51,10 @@ fn sample_module() -> Module {
 }
 
 fn expected_result(m: &Module) -> i32 {
-    let img = parallax_compiler::compile_module(m).unwrap().link().unwrap();
+    let img = parallax_compiler::compile_module(m)
+        .unwrap()
+        .link()
+        .unwrap();
     let mut vm = Vm::new(&img);
     match vm.run() {
         Exit::Exited(v) => v,
@@ -250,11 +257,7 @@ fn dynamic_code_protection_ptrace_end_to_end() {
 #[test]
 fn multiple_verification_functions() {
     let mut m = sample_module();
-    m.func(Function::new(
-        "vf2",
-        ["x"],
-        vec![ret(xor(l("x"), c(0x5a)))],
-    ));
+    m.func(Function::new("vf2", ["x"], vec![ret(xor(l("x"), c(0x5a)))]));
     // main uses both.
     let main = m.funcs.iter_mut().find(|f| f.name == "main").unwrap();
     main.body = vec![ret(add(

@@ -139,7 +139,10 @@ pub fn module() -> Module {
         "compress_block",
         ["n"],
         vec![
-            let_("rlen", call("rle_encode", vec![g("inblk"), l("n"), g("rle")])),
+            let_(
+                "rlen",
+                call("rle_encode", vec![g("inblk"), l("n"), g("rle")]),
+            ),
             let_("i", c(0)),
             let_("sig", c(0)),
             while_(
@@ -148,10 +151,7 @@ pub fn module() -> Module {
                     let_("r", call("mtf_one", vec![load8(add(g("rle"), l("i")))])),
                     expr(call("freq_update", vec![l("r")])),
                     store8(add(g("outblk"), l("i")), l("r")),
-                    let_(
-                        "sig",
-                        add(xor(l("sig"), l("r")), shl(l("sig"), c(1))),
-                    ),
+                    let_("sig", add(xor(l("sig"), l("r")), shl(l("sig"), c(1)))),
                     let_("i", add(l("i"), c(1))),
                 ],
             ),

@@ -78,10 +78,7 @@ pub fn module() -> Module {
                                 and(
                                     lt_s(l("i"), l("len")),
                                     eq(
-                                        call(
-                                            "is_digit",
-                                            vec![load8(add(g("srcbuf"), l("i")))],
-                                        ),
+                                        call("is_digit", vec![load8(add(g("srcbuf"), l("i")))]),
                                         c(1),
                                     ),
                                 ),
@@ -90,10 +87,7 @@ pub fn module() -> Module {
                                         "v",
                                         add(
                                             mul(l("v"), c(10)),
-                                            sub(
-                                                load8(add(g("srcbuf"), l("i"))),
-                                                c(b'0' as i32),
-                                            ),
+                                            sub(load8(add(g("srcbuf"), l("i"))), c(b'0' as i32)),
                                         ),
                                     ),
                                     let_("i", add(l("i"), c(1))),

@@ -45,7 +45,10 @@ pub fn module() -> Module {
             while_(
                 lt_s(l("i"), l("len")),
                 vec![
-                    let_("a", add(l("a"), load8(add(g("src"), add(l("pos"), l("i")))))),
+                    let_(
+                        "a",
+                        add(l("a"), load8(add(g("src"), add(l("pos"), l("i"))))),
+                    ),
                     let_("b", add(l("b"), l("a"))),
                     // cheap mod-ish folding without division
                     if_(
@@ -108,23 +111,17 @@ pub fn module() -> Module {
                     let_("mlen", c(0)),
                     if_(
                         and(ne(l("cand"), c(0)), lt_s(l("cand"), l("i"))),
-                        vec![
-                            if_(
-                                lt_s(sub(l("i"), l("cand")), c(255)),
-                                vec![let_(
-                                    "mlen",
-                                    call(
-                                        "match_len",
-                                        vec![
-                                            add(g("src"), l("cand")),
-                                            add(g("src"), l("i")),
-                                            c(100),
-                                        ],
-                                    ),
-                                )],
-                                vec![],
-                            ),
-                        ],
+                        vec![if_(
+                            lt_s(sub(l("i"), l("cand")), c(255)),
+                            vec![let_(
+                                "mlen",
+                                call(
+                                    "match_len",
+                                    vec![add(g("src"), l("cand")), add(g("src"), l("i")), c(100)],
+                                ),
+                            )],
+                            vec![],
+                        )],
                         vec![],
                     ),
                     if_(

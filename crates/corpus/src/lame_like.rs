@@ -17,16 +17,13 @@ pub fn module() -> Module {
     m.bss("pcm", 4096); // i32 samples
     m.bss("filtered", 4096);
     m.bss("bits", 2048);
-    m.global(
-        "fir_coef",
-        {
-            let mut v = Vec::new();
-            for c in [3i32, 7, 7, 3] {
-                v.extend_from_slice(&c.to_le_bytes());
-            }
-            v
-        },
-    );
+    m.global("fir_coef", {
+        let mut v = Vec::new();
+        for c in [3i32, 7, 7, 3] {
+            v.extend_from_slice(&c.to_le_bytes());
+        }
+        v
+    });
 
     // synth(n, seed): fill pcm[0..n] with a deterministic waveform.
     m.func(Function::new(
@@ -130,13 +127,11 @@ pub fn module() -> Module {
     m.func(Function::new(
         "scale_adapt",
         ["e", "scale"],
-        vec![
-            if_(
-                gt_s(l("e"), c(500000)),
-                vec![ret(sub(l("scale"), c(60)))],
-                vec![ret(add(l("scale"), c(35)))],
-            ),
-        ],
+        vec![if_(
+            gt_s(l("e"), c(500000)),
+            vec![ret(sub(l("scale"), c(60)))],
+            vec![ret(add(l("scale"), c(35)))],
+        )],
     ));
 
     // main: several frames at adapting scale.

@@ -14,11 +14,11 @@
 #![warn(missing_docs)]
 
 pub mod bzip2_like;
-pub mod randprog;
 pub mod gcc_like;
 pub mod gzip_like;
 pub mod lame_like;
 pub mod nginx_like;
+pub mod randprog;
 pub mod wget_like;
 
 use parallax_compiler::Module;

@@ -15,10 +15,7 @@ pub fn module() -> Module {
     let mut m = Module::new();
     m.bss("line", 256);
     m.bss("routes", 64); // 8 buckets x (hits)
-    m.global(
-        "resp_ok",
-        b"200\n".to_vec(),
-    );
+    m.global("resp_ok", b"200\n".to_vec());
     m.global("resp_notfound", b"404\n".to_vec());
     m.global("resp_bad", b"400\n".to_vec());
 
@@ -85,16 +82,8 @@ pub fn module() -> Module {
                 )],
                 vec![],
             ),
-            if_(
-                eq(l("c0"), c(b'P' as i32)),
-                vec![ret(c(2))],
-                vec![],
-            ),
-            if_(
-                eq(l("c0"), c(b'H' as i32)),
-                vec![ret(c(3))],
-                vec![],
-            ),
+            if_(eq(l("c0"), c(b'P' as i32)), vec![ret(c(2))], vec![]),
+            if_(eq(l("c0"), c(b'H' as i32)), vec![ret(c(3))], vec![]),
             ret(c(0)),
         ],
     ));
@@ -108,14 +97,20 @@ pub fn module() -> Module {
             let_("i", c(0)),
             // find first space
             while_(
-                and(lt_s(l("i"), l("len")), ne(load8(add(l("buf"), l("i"))), c(32))),
+                and(
+                    lt_s(l("i"), l("len")),
+                    ne(load8(add(l("buf"), l("i"))), c(32)),
+                ),
                 vec![let_("i", add(l("i"), c(1)))],
             ),
             if_(ge_s(l("i"), l("len")), vec![ret(c(0))], vec![]),
             let_("start", add(l("i"), c(1))),
             let_("j", l("start")),
             while_(
-                and(lt_s(l("j"), l("len")), ne(load8(add(l("buf"), l("j"))), c(32))),
+                and(
+                    lt_s(l("j"), l("len")),
+                    ne(load8(add(l("buf"), l("j"))), c(32)),
+                ),
                 vec![let_("j", add(l("j"), c(1)))],
             ),
             ret(or(shl(l("start"), c(16)), sub(l("j"), l("start")))),
@@ -143,19 +138,13 @@ pub fn module() -> Module {
             let_("meth", call("method_of", vec![g("line")])),
             if_(
                 eq(l("meth"), c(0)),
-                vec![
-                    expr(syscall(4, vec![c(1), g("resp_bad"), c(4)])),
-                    ret(c(4)),
-                ],
+                vec![expr(syscall(4, vec![c(1), g("resp_bad"), c(4)])), ret(c(4))],
                 vec![],
             ),
             let_("pr", call("path_range", vec![g("line"), l("len")])),
             if_(
                 eq(l("pr"), c(0)),
-                vec![
-                    expr(syscall(4, vec![c(1), g("resp_bad"), c(4)])),
-                    ret(c(4)),
-                ],
+                vec![expr(syscall(4, vec![c(1), g("resp_bad"), c(4)])), ret(c(4))],
                 vec![],
             ),
             let_("pp", add(g("line"), shrl(l("pr"), c(16)))),
@@ -169,10 +158,7 @@ pub fn module() -> Module {
                     expr(syscall(4, vec![c(1), g("resp_notfound"), c(4)])),
                     ret(c(4)),
                 ],
-                vec![
-                    expr(syscall(4, vec![c(1), g("resp_ok"), c(4)])),
-                    ret(c(2)),
-                ],
+                vec![expr(syscall(4, vec![c(1), g("resp_ok"), c(4)])), ret(c(2))],
             ),
         ],
     ));
@@ -239,7 +225,10 @@ pub fn module() -> Module {
             // log-style second use of hash_path over the whole line buffer
             let_("loghash", call("hash_path", vec![g("line"), c(16)])),
             ret(and(
-                add(add(add(mul(l("ok"), c(8)), l("bad")), l("loghash")), l("log")),
+                add(
+                    add(add(mul(l("ok"), c(8)), l("bad")), l("loghash")),
+                    l("log"),
+                ),
                 c(0xff),
             )),
         ],
@@ -253,17 +242,22 @@ pub fn input() -> Vec<u8> {
     let mut out = Vec::new();
     let methods = ["GET", "POST", "HEAD", "BREW"];
     let paths = [
-        "/", "/index.html", "/api/v1/items", "/static/app.js", "/login",
-        "/metrics", "/health", "/favicon.ico", "/api/v1/users/42",
+        "/",
+        "/index.html",
+        "/api/v1/items",
+        "/static/app.js",
+        "/login",
+        "/metrics",
+        "/health",
+        "/favicon.ico",
+        "/api/v1/users/42",
     ];
     let mut x = 0xc0ffee11u32;
     for i in 0..240 {
         x = x.wrapping_mul(1664525).wrapping_add(1013904223);
         let meth = methods[(x >> 28) as usize % methods.len()];
         let path = paths[(x >> 20) as usize % paths.len()];
-        out.extend_from_slice(
-            format!("{meth} {path} HTTP/1.{}\n", i % 2).as_bytes(),
-        );
+        out.extend_from_slice(format!("{meth} {path} HTTP/1.{}\n", i % 2).as_bytes());
     }
     out
 }

@@ -18,9 +18,7 @@ pub struct Gen {
 impl Gen {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Gen {
-        Gen {
-            state: seed | 1,
-        }
+        Gen { state: seed | 1 }
     }
 
     fn next(&mut self) -> u32 {
@@ -160,16 +158,10 @@ impl Gen {
         let n1 = 4 + self.pick(4);
         body.extend(self.block(&vars, 2, n1));
         // A helper call mixed in (exercises the native-call trampoline).
-        body.push(let_(
-            "t0",
-            add(l("t0"), call("rp_helper", vec![l("a")])),
-        ));
+        body.push(let_("t0", add(l("t0"), call("rp_helper", vec![l("a")]))));
         let n2 = 2 + self.pick(3);
         body.extend(self.block(&vars, 1, n2));
-        body.push(ret(xor(
-            add(l("t0"), l("t1")),
-            add(l("a"), l("b")),
-        )));
+        body.push(ret(xor(add(l("t0"), l("t1")), add(l("a"), l("b")))));
         m.func(Function::new("vf", ["a", "b"], body));
 
         m.func(Function::new(
@@ -183,10 +175,7 @@ impl Gen {
                     vec![
                         let_(
                             "acc",
-                            xor(
-                                l("acc"),
-                                call("vf", vec![l("k"), add(l("acc"), c(3))]),
-                            ),
+                            xor(l("acc"), call("vf", vec![l("k"), add(l("acc"), c(3))])),
                         ),
                         let_("k", add(l("k"), c(1))),
                     ],

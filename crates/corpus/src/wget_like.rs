@@ -179,7 +179,10 @@ pub fn module() -> Module {
             while_(
                 lt_s(l("off"), l("blen")),
                 vec![
-                    let_("acc", call("sum_step", vec![l("acc"), add(g("body"), l("off"))])),
+                    let_(
+                        "acc",
+                        call("sum_step", vec![l("acc"), add(g("body"), l("off"))]),
+                    ),
                     let_("off", add(l("off"), c(BLOCK))),
                 ],
             ),
@@ -204,10 +207,7 @@ pub fn module() -> Module {
                 ],
             ),
             // exit code: fold to 8 bits, offset by fetch count
-            ret(and(
-                add(l("total"), load(g("counters"))),
-                c(0xff),
-            )),
+            ret(and(add(l("total"), load(g("counters"))), c(0xff))),
         ],
     ));
     m.entry("main");
@@ -218,10 +218,8 @@ pub fn module() -> Module {
 pub fn input() -> Vec<u8> {
     let mut out = Vec::new();
     for i in 0..8u32 {
-        let mut resp = format!(
-            "HTTP/1.0 200 OK\nServer: plx/{i}\nContent-Type: text/plain\n\n"
-        )
-        .into_bytes();
+        let mut resp =
+            format!("HTTP/1.0 200 OK\nServer: plx/{i}\nContent-Type: text/plain\n\n").into_bytes();
         // Body: pseudo-random printable bytes.
         let mut x = 0x1234_5678u32 ^ (i * 0x9e37);
         let body_len = 3300 + (i * 137) as usize % 700;

@@ -359,10 +359,9 @@ fn const_fold8(op: GBinOp, a: &V8, b: &V8) -> V8 {
     }
     // AND with 0 is 0 regardless of the other side — this is exactly
     // what makes the paper's `and al,0; ...; add al,ch` gadget a move.
-    if op == GBinOp::And
-        && (matches!(a, V8::Const8(0)) || matches!(b, V8::Const8(0))) {
-            return V8::Const8(0);
-        }
+    if op == GBinOp::And && (matches!(a, V8::Const8(0)) || matches!(b, V8::Const8(0))) {
+        return V8::Const8(0);
+    }
     if a == b {
         match op {
             GBinOp::Xor | GBinOp::Sub => return V8::Const8(0),
@@ -737,17 +736,15 @@ fn step(st: &mut St, insn: &Insn) -> bool {
                 return false;
             }
         }
-        M::Setcc(_) => {
-            match &insn.ops[0] {
-                Operand::Reg(Reg::R8(r)) => st.set_reg8(*r, V8::Unknown),
-                Operand::Mem(m) => {
-                    if !st.write_mem(m, V::Unknown, true) {
-                        return false;
-                    }
+        M::Setcc(_) => match &insn.ops[0] {
+            Operand::Reg(Reg::R8(r)) => st.set_reg8(*r, V8::Unknown),
+            Operand::Mem(m) => {
+                if !st.write_mem(m, V::Unknown, true) {
+                    return false;
                 }
-                _ => return false,
             }
-        }
+            _ => return false,
+        },
         M::Cmovcc(_) => {
             if let Operand::Reg(Reg::R32(d)) = &insn.ops[0] {
                 if let Operand::Mem(m) = &insn.ops[1] {
@@ -828,9 +825,7 @@ fn step(st: &mut St, insn: &Insn) -> bool {
             st.syscall = true;
             st.set_reg(Reg32::Eax, V::Unknown);
         }
-        M::Int3 | M::Hlt | M::Jmp | M::JmpInd | M::Jcc(_) | M::Call | M::CallInd => {
-            return false
-        }
+        M::Int3 | M::Hlt | M::Jmp | M::JmpInd | M::Jcc(_) | M::Call | M::CallInd => return false,
     }
     !st.dead
 }
@@ -1247,9 +1242,7 @@ mod tests {
     fn push_then_ret_to_own_value_rejected() {
         // push eax; ret — returns to eax, not chain-controlled.
         let props = classify_bytes(&[0x50, 0xc3]);
-        assert!(props
-            .iter()
-            .all(|p| p.cand.disasm() != "push eax; ret"));
+        assert!(props.iter().all(|p| p.cand.disasm() != "push eax; ret"));
     }
 
     #[test]

@@ -99,10 +99,7 @@ impl GadgetMap {
 
     /// Arena indices of gadgets implementing `key`.
     pub fn lookup(&self, key: TypeKey) -> &[usize] {
-        self.by_type
-            .get(&key)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_type.get(&key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of distinct type keys available.

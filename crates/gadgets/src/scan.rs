@@ -130,9 +130,9 @@ fn try_sequence(text: &[u8], base: u32, start: usize, ret_at: usize) -> Option<C
 
 /// Convenience: true if an instruction sequence contains an `int 0x80`.
 pub fn has_syscall(insns: &[Insn]) -> bool {
-    insns.iter().any(|i| {
-        i.mnemonic == Mnemonic::Int && matches!(i.ops.first(), Some(Operand::Imm(0x80)))
-    })
+    insns
+        .iter()
+        .any(|i| i.mnemonic == Mnemonic::Int && matches!(i.ops.first(), Some(Operand::Imm(0x80))))
 }
 
 #[cfg(test)]
@@ -155,7 +155,9 @@ mod tests {
             .iter()
             .any(|c| c.vaddr == 0x1001 && c.insns.len() == 3));
         // The bare ret.
-        assert!(cands.iter().any(|c| c.vaddr == 0x1005 && c.insns.len() == 1));
+        assert!(cands
+            .iter()
+            .any(|c| c.vaddr == 0x1005 && c.insns.len() == 1));
     }
 
     #[test]

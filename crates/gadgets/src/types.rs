@@ -24,7 +24,10 @@ pub enum GBinOp {
 impl GBinOp {
     /// True if the operation commutes.
     pub fn commutes(self) -> bool {
-        matches!(self, GBinOp::Add | GBinOp::And | GBinOp::Or | GBinOp::Xor | GBinOp::Imul)
+        matches!(
+            self,
+            GBinOp::Add | GBinOp::And | GBinOp::Or | GBinOp::Xor | GBinOp::Imul
+        )
     }
 }
 

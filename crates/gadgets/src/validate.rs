@@ -58,9 +58,10 @@ fn run_probe<'v>(vm: &'v mut Vm, p: &Proposal, seed: &mut u64) -> Option<Probe<'
             Effect::LoadMem { addr, .. }
             | Effect::StoreMem { addr, .. }
             | Effect::AddMem { addr, .. }
-                if !needs_scratch.contains(addr) => {
-                    needs_scratch.push(*addr);
-                }
+                if !needs_scratch.contains(addr) =>
+            {
+                needs_scratch.push(*addr);
+            }
             _ => {}
         }
     }
@@ -204,10 +205,18 @@ fn check_effect(e: &Effect, pr: &Probe, p: &Proposal) -> bool {
             let n = init_of(Reg32::Ecx) & 31;
             let expect = match op {
                 parallax_x86::ShiftOp::Shl => {
-                    if n == 0 { a } else { a << n }
+                    if n == 0 {
+                        a
+                    } else {
+                        a << n
+                    }
                 }
                 parallax_x86::ShiftOp::Shr => {
-                    if n == 0 { a } else { a >> n }
+                    if n == 0 {
+                        a
+                    } else {
+                        a >> n
+                    }
                 }
                 parallax_x86::ShiftOp::Sar => ((a as i32) >> n) as u32,
                 parallax_x86::ShiftOp::Rol => a.rotate_left(n),
@@ -223,9 +232,12 @@ fn check_effect(e: &Effect, pr: &Probe, p: &Proposal) -> bool {
             } else {
                 pv as u8
             };
-            let hi_mask: u32 = if dst.is_high() { 0xffff_00ff } else { 0xffff_ff00 };
-            vm.cpu.reg8(dst) == want_byte
-                && (reg(parent) & hi_mask) == (init_of(parent) & hi_mask)
+            let hi_mask: u32 = if dst.is_high() {
+                0xffff_00ff
+            } else {
+                0xffff_ff00
+            };
+            vm.cpu.reg8(dst) == want_byte && (reg(parent) & hi_mask) == (init_of(parent) & hi_mask)
         }
         // A NOP may clobber the registers its proposal declares; all
         // others must be preserved.
@@ -254,8 +266,9 @@ pub fn validate_with(vm: &mut Vm, p: &Proposal) -> Option<Gadget> {
     let mut surviving = Vec::new();
     'effects: for e in &p.effects {
         for trial in 0..2u64 {
-            let mut seed =
-                0x9e37_79b9_7f4a_7c15u64 ^ ((p.cand.vaddr as u64) << 16) ^ (trial * 0x1234_5677 + 1);
+            let mut seed = 0x9e37_79b9_7f4a_7c15u64
+                ^ ((p.cand.vaddr as u64) << 16)
+                ^ (trial * 0x1234_5677 + 1);
             match run_probe(vm, p, &mut seed) {
                 Some(pr) => {
                     if !check_effect(e, &pr, p) {

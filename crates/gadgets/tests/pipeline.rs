@@ -60,12 +60,18 @@ fn pipeline_finds_and_validates_zoo() {
     assert!(!map
         .lookup(TypeKey::Binary(GBinOp::Add, Reg32::Esi, Reg32::Eax))
         .is_empty());
-    assert!(!map.lookup(TypeKey::MovReg(Reg32::Edx, Reg32::Ecx)).is_empty());
-    assert!(!map.lookup(TypeKey::LoadMem(Reg32::Eax, Reg32::Ecx)).is_empty());
+    assert!(!map
+        .lookup(TypeKey::MovReg(Reg32::Edx, Reg32::Ecx))
+        .is_empty());
+    assert!(!map
+        .lookup(TypeKey::LoadMem(Reg32::Eax, Reg32::Ecx))
+        .is_empty());
     assert!(!map
         .lookup(TypeKey::StoreMem(Reg32::Ecx, Reg32::Eax))
         .is_empty());
-    assert!(!map.lookup(TypeKey::AddMem(Reg32::Ecx, Reg32::Eax)).is_empty());
+    assert!(!map
+        .lookup(TypeKey::AddMem(Reg32::Ecx, Reg32::Eax))
+        .is_empty());
     assert!(!map.lookup(TypeKey::PopEsp).is_empty());
     assert!(!map.lookup(TypeKey::Syscall).is_empty());
     assert!(!map
@@ -152,7 +158,18 @@ fn far_gadgets_survive_validation() {
     let gadgets = find_gadgets(&img);
     let far = gadgets
         .iter()
-        .find(|g| g.far && g.effects.iter().any(|e| matches!(e, Effect::LoadConst { dst: Reg32::Eax, .. })))
+        .find(|g| {
+            g.far
+                && g.effects.iter().any(|e| {
+                    matches!(
+                        e,
+                        Effect::LoadConst {
+                            dst: Reg32::Eax,
+                            ..
+                        }
+                    )
+                })
+        })
         .expect("far pop gadget validated");
     assert_eq!(far.slots, 1);
 }

@@ -204,8 +204,7 @@ impl Program {
             text.extend_from_slice(&f.bytes);
         }
 
-        let data_base =
-            (TEXT_BASE + text.len() as u32).div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
+        let data_base = (TEXT_BASE + text.len() as u32).div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
         let mut data = Vec::new();
         let mut bss_size = 0u32;
         // Initialized data first, then BSS at the tail of the data segment.
@@ -368,10 +367,7 @@ mod tests {
 
         // call rel32 must point at leaf: rel = target - (field + 4)
         let rel = i32::from_le_bytes(img.text[1..5].try_into().unwrap());
-        assert_eq!(
-            (TEXT_BASE + 1 + 4).wrapping_add(rel as u32),
-            leaf_sym.vaddr
-        );
+        assert_eq!((TEXT_BASE + 1 + 4).wrapping_add(rel as u32), leaf_sym.vaddr);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use parallax_image::{format, LinkedImage, Program, RelocSite, Symbol, SymbolKind, TEXT_BASE};
-use parallax_x86::{Asm, RelocKind, Reg32};
+use parallax_x86::{Asm, Reg32, RelocKind};
 
 fn arb_symbol() -> impl Strategy<Value = Symbol> {
     (

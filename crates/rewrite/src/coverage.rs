@@ -102,8 +102,7 @@ fn planted_gadget_span(text: &[u8], ret_at: usize) -> (usize, usize) {
     for cand in scan(&window, lo as u32) {
         // Candidates that end exactly at the planted ret and classify
         // as usable extend the protected span backwards.
-        if cand.vaddr as usize + cand.len as usize == ret_at + 1 && classify(&cand).is_some()
-        {
+        if cand.vaddr as usize + cand.len as usize == ret_at + 1 && classify(&cand).is_some() {
             best = best.min(cand.vaddr as usize);
         }
     }
@@ -179,8 +178,7 @@ pub fn analyze(img: &LinkedImage) -> Coverage {
                     }
                 }
             }
-            let mark_jump_site = |field_off_in_insn: usize,
-                                      jump: &mut HashSet<u32>| {
+            let mark_jump_site = |field_off_in_insn: usize, jump: &mut HashSet<u32>| {
                 let ret_at = f_off + pos + field_off_in_insn;
                 let (s0, e0) = planted_gadget_span(&img.text, ret_at);
                 for b in start..end {
@@ -213,9 +211,7 @@ pub fn analyze(img: &LinkedImage) -> Coverage {
                     parallax_x86::Operand::Mem(mm) => Some(mm),
                     _ => None,
                 }) {
-                    Some(mm) => {
-                        mm.base == Some(parallax_x86::Reg32::Ebp) || dloc.width == 4
-                    }
+                    Some(mm) => mm.base == Some(parallax_x86::Reg32::Ebp) || dloc.width == 4,
                     None => false,
                 };
                 if rearrangeable {

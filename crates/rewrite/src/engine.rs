@@ -94,7 +94,9 @@ impl Item {
         if self.is_raw {
             return None;
         }
-        decode(&self.bytes).ok().filter(|i| i.len as usize == self.bytes.len())
+        decode(&self.bytes)
+            .ok()
+            .filter(|i| i.len as usize == self.bytes.len())
     }
 }
 
@@ -113,8 +115,7 @@ impl FuncRewriter {
         let mut boundary_of: HashMap<usize, usize> = HashMap::new(); // offset -> item idx
         let mut pos = 0usize;
         while pos < func.bytes.len() {
-            let insn =
-                decode(&func.bytes[pos..]).map_err(|_| RewriteError::UndecodableAt(pos))?;
+            let insn = decode(&func.bytes[pos..]).map_err(|_| RewriteError::UndecodableAt(pos))?;
             boundary_of.insert(pos, insns.len());
             let len = insn.len as usize;
             insns.push((pos, insn));
@@ -148,12 +149,13 @@ impl FuncRewriter {
                         _ => unreachable!(),
                     };
                     let target = (*off as i64 + len as i64 + delta) as usize;
-                    let target_idx = *boundary_of.get(&target).ok_or(
-                        RewriteError::MisalignedBranchTarget {
-                            branch: *off,
-                            target,
-                        },
-                    )?;
+                    let target_idx =
+                        *boundary_of
+                            .get(&target)
+                            .ok_or(RewriteError::MisalignedBranchTarget {
+                                branch: *off,
+                                target,
+                            })?;
                     link = Link::Branch {
                         target: target_idx,
                         rel,
@@ -270,10 +272,7 @@ impl FuncRewriter {
 
     /// Re-lays the function out, resolving internal branches, and
     /// produces an updated [`FuncItem`] plus the item→offset map.
-    pub fn finish(
-        &self,
-        pad_before: u32,
-    ) -> Result<(FuncItem, Vec<usize>), RewriteError> {
+    pub fn finish(&self, pad_before: u32) -> Result<(FuncItem, Vec<usize>), RewriteError> {
         let mut offsets = Vec::with_capacity(self.items.len());
         let mut pos = 0usize;
         for item in &self.items {
@@ -306,8 +305,7 @@ impl FuncRewriter {
                         }
                         4 => {
                             let d = (delta as i32).to_le_bytes();
-                            b[rel.offset as usize..rel.offset as usize + 4]
-                                .copy_from_slice(&d);
+                            b[rel.offset as usize..rel.offset as usize + 4].copy_from_slice(&d);
                         }
                         _ => unreachable!(),
                     }
@@ -419,11 +417,15 @@ mod tests {
         a.mov_ri(Reg32::Eax, 0x11223344);
         let patch = a.finish().unwrap().bytes;
         rw.replace(4, patch);
-        rw.insert_after(4, {
-            let mut a = Asm::new();
-            a.alu_ri32(AluOp::Xor, Reg32::Eax, 0x11223344 ^ 7);
-            a.finish().unwrap().bytes
-        }, false);
+        rw.insert_after(
+            4,
+            {
+                let mut a = Asm::new();
+                a.alu_ri32(AluOp::Xor, Reg32::Eax, 0x11223344 ^ 7);
+                a.finish().unwrap().bytes
+            },
+            false,
+        );
         let (out, _) = rw.finish(0).unwrap();
         let lifted = FuncRewriter::lift(&out).unwrap();
         assert!(!lifted.is_empty());

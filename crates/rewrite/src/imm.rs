@@ -372,10 +372,7 @@ mod tests {
         p.set_entry("main");
         let img = p.link().unwrap();
         let mut vm = parallax_vm::Vm::new(&img);
-        assert_eq!(
-            vm.run(),
-            parallax_vm::Exit::Exited(100 + 0x0011_2233)
-        );
+        assert_eq!(vm.run(), parallax_vm::Exit::Exited(100 + 0x0011_2233));
     }
 
     #[test]
@@ -464,11 +461,14 @@ mod tests {
         .unwrap();
         let (out, _) = rw.finish(0).unwrap();
         let mut p = parallax_image::Program::new();
-        p.add_func("main", parallax_x86::Assembled {
-            bytes: out.bytes,
-            relocs: out.relocs,
-            markers: out.markers,
-        });
+        p.add_func(
+            "main",
+            parallax_x86::Assembled {
+                bytes: out.bytes,
+                relocs: out.relocs,
+                markers: out.markers,
+            },
+        );
         p.set_entry("main");
         let img = p.link().unwrap();
         let gadgets = parallax_gadgets::find_gadgets(&img);

@@ -60,8 +60,7 @@ pub fn align_callees(prog: &mut Program, targets: &[String], max_pad: u32) -> Ve
                 if aligned.contains(&r.symbol) {
                     continue;
                 }
-                let (Some(site_pos), Some(callee_pos)) = (pos_of(fname), pos_of(&r.symbol))
-                else {
+                let (Some(site_pos), Some(callee_pos)) = (pos_of(fname), pos_of(&r.symbol)) else {
                     continue;
                 };
                 if callee_pos <= site_pos {
@@ -140,7 +139,9 @@ pub fn align_internal_branches(
             plan = Some((i, *target, d));
             break;
         }
-        let Some((branch, target, d)) = plan else { break };
+        let Some((branch, target, d)) = plan else {
+            break;
+        };
         // Insert NOPs just before the target (they execute only on the
         // fall-through path).
         let at = rw.insert_after(target - 1, vec![0x90; d], false);
@@ -166,10 +167,7 @@ pub fn count_planted_rets(img: &parallax_image::LinkedImage) -> usize {
         .iter()
         .filter(|r| {
             r.kind == RelocKind::Rel32
-                && img
-                    .read(r.vaddr, 1)
-                    .map(|b| b[0] == 0xc3)
-                    .unwrap_or(false)
+                && img.read(r.vaddr, 1).map(|b| b[0] == 0xc3).unwrap_or(false)
         })
         .count()
 }
@@ -290,14 +288,18 @@ pub fn align_data(prog: &mut Program, targets: &[String], max_pad: u32) -> Vec<J
     while let Ok(img) = prog.link() {
         let mut plan: Option<(String, u32, String, usize)> = None;
         'outer: for fname in targets {
-            let Some(func) = prog.func(fname) else { continue };
+            let Some(func) = prog.func(fname) else {
+                continue;
+            };
             for r in &func.relocs {
                 if r.kind != RelocKind::Abs32 || aligned.contains(&r.symbol) {
                     continue;
                 }
                 // Only data objects are padded here (functions are the
                 // callee-alignment rule's job).
-                let Some(sym) = img.symbol(&r.symbol) else { continue };
+                let Some(sym) = img.symbol(&r.symbol) else {
+                    continue;
+                };
                 if sym.kind != parallax_image::SymbolKind::Object {
                     continue;
                 }
@@ -329,8 +331,12 @@ pub fn align_data(prog: &mut Program, targets: &[String], max_pad: u32) -> Vec<J
                 break 'outer;
             }
         }
-        let Some((symbol, d, fname, off)) = plan else { break };
-        prog.data_item_mut(&symbol).expect("checked above").pad_before += d;
+        let Some((symbol, d, fname, off)) = plan else {
+            break;
+        };
+        prog.data_item_mut(&symbol)
+            .expect("checked above")
+            .pad_before += d;
         aligned.push(symbol);
         out.push(JumpRewrite {
             func: fname,
@@ -348,10 +354,7 @@ pub fn count_planted_data_rets(img: &parallax_image::LinkedImage) -> usize {
         .iter()
         .filter(|r| {
             r.kind == RelocKind::Abs32
-                && img
-                    .read(r.vaddr, 1)
-                    .map(|b| b[0] == 0xc3)
-                    .unwrap_or(false)
+                && img.read(r.vaddr, 1).map(|b| b[0] == 0xc3).unwrap_or(false)
         })
         .count()
 }

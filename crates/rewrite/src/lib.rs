@@ -26,8 +26,14 @@ pub mod spurious;
 
 pub use coverage::{analyze, Coverage};
 pub use engine::{FuncRewriter, Item, Link, RewriteError};
-pub use imm::{apply_completion_rule, apply_imm_rule, apply_imm_rule_far, default_bodies, find_imm_sites, GadgetBody, ImmRewrite, ImmSite};
-pub use jump::{align_callees, align_data, align_internal_branches, count_planted_data_rets, count_planted_rets, JumpRewrite};
+pub use imm::{
+    apply_completion_rule, apply_imm_rule, apply_imm_rule_far, default_bodies, find_imm_sites,
+    GadgetBody, ImmRewrite, ImmSite,
+};
+pub use jump::{
+    align_callees, align_data, align_internal_branches, count_planted_data_rets,
+    count_planted_rets, JumpRewrite,
+};
 pub use spurious::{insert_dead_block, jmp_over_block, standard_set, STDSET_NAME};
 
 use parallax_image::Program;
@@ -62,6 +68,12 @@ pub struct RewriteConfig {
     /// execute inline, so hot functions are usually exempted —
     /// profile-guided placement; the overlap-only rules still apply).
     pub imm_exclude: Vec<String>,
+    /// Starting offset into [`default_bodies`] for the immediate rule.
+    /// Rotating the start point yields an alternate assignment of
+    /// gadget bodies to immediate sites — the degradation ladder in
+    /// `parallax-core` retries with different rotations when a needed
+    /// gadget type fails to materialize.
+    pub body_rotation: usize,
 }
 
 impl Default for RewriteConfig {
@@ -77,6 +89,7 @@ impl Default for RewriteConfig {
             max_internal_nops: 48,
             max_imm_sites_per_func: usize::MAX,
             imm_exclude: Vec::new(),
+            body_rotation: 0,
         }
     }
 }
@@ -111,10 +124,12 @@ pub fn protect_program(
 ) -> Result<RewriteReport, RewriteError> {
     let mut report = RewriteReport::default();
     let bodies = default_bodies();
-    let mut body_cursor = 0usize;
+    let mut body_cursor = cfg.body_rotation;
 
     for name in targets {
-        let Some(func) = prog.func(name) else { continue };
+        let Some(func) = prog.func(name) else {
+            continue;
+        };
         let mut rw = FuncRewriter::lift(func)?;
 
         if cfg.imm_rule && !cfg.imm_exclude.contains(name) {
@@ -127,7 +142,8 @@ pub fn protect_program(
                     break;
                 }
                 let body = &bodies[body_cursor % bodies.len()];
-                let use_completion = cfg.imm_completion_always || (cfg.imm_completion && n % 3 == 2);
+                let use_completion =
+                    cfg.imm_completion_always || (cfg.imm_completion && n % 3 == 2);
                 let applied = if use_completion && site.imm_width == 4 {
                     apply_completion_rule(&mut rw, site, Some(body))
                 } else if n % 7 == 5 && site.imm_width == 4 {
@@ -150,7 +166,9 @@ pub fn protect_program(
 
         let pad = prog.func(name).map(|f| f.pad_before).unwrap_or(0);
         let (new_item, _) = rw.finish(pad)?;
-        let slot = prog.func_mut(name).expect("target exists");
+        let Some(slot) = prog.func_mut(name) else {
+            continue;
+        };
         slot.bytes = new_item.bytes;
         slot.relocs = new_item.relocs;
         slot.markers = new_item.markers;

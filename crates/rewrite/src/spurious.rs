@@ -13,7 +13,7 @@
 //!   function behind an unconditional control transfer, where they are
 //!   never executed but still live among the instructions they guard.
 
-use parallax_x86::{Asm, AluOp, Assembled, Mem, Reg32, ShiftOp};
+use parallax_x86::{AluOp, Asm, Assembled, Mem, Reg32, ShiftOp};
 
 use crate::engine::{FuncRewriter, Link};
 
@@ -170,18 +170,35 @@ mod tests {
                 "missing pop {r}"
             );
         }
-        for op in [GBinOp::Add, GBinOp::Sub, GBinOp::And, GBinOp::Or, GBinOp::Xor, GBinOp::Imul]
-        {
+        for op in [
+            GBinOp::Add,
+            GBinOp::Sub,
+            GBinOp::And,
+            GBinOp::Or,
+            GBinOp::Xor,
+            GBinOp::Imul,
+        ] {
             assert!(
-                !map.lookup(TypeKey::Binary(op, Reg32::Eax, Reg32::Ecx)).is_empty(),
+                !map.lookup(TypeKey::Binary(op, Reg32::Eax, Reg32::Ecx))
+                    .is_empty(),
                 "missing binary {op:?}"
             );
         }
-        assert!(!map.lookup(TypeKey::MovReg(Reg32::Ecx, Reg32::Eax)).is_empty());
-        assert!(!map.lookup(TypeKey::MovReg(Reg32::Eax, Reg32::Ecx)).is_empty());
-        assert!(!map.lookup(TypeKey::LoadMem(Reg32::Eax, Reg32::Ecx)).is_empty());
-        assert!(!map.lookup(TypeKey::StoreMem(Reg32::Ecx, Reg32::Eax)).is_empty());
-        assert!(!map.lookup(TypeKey::AddMem(Reg32::Ecx, Reg32::Eax)).is_empty());
+        assert!(!map
+            .lookup(TypeKey::MovReg(Reg32::Ecx, Reg32::Eax))
+            .is_empty());
+        assert!(!map
+            .lookup(TypeKey::MovReg(Reg32::Eax, Reg32::Ecx))
+            .is_empty());
+        assert!(!map
+            .lookup(TypeKey::LoadMem(Reg32::Eax, Reg32::Ecx))
+            .is_empty());
+        assert!(!map
+            .lookup(TypeKey::StoreMem(Reg32::Ecx, Reg32::Eax))
+            .is_empty());
+        assert!(!map
+            .lookup(TypeKey::AddMem(Reg32::Ecx, Reg32::Eax))
+            .is_empty());
         assert!(!map.lookup(TypeKey::Neg(Reg32::Eax)).is_empty());
         assert!(!map.lookup(TypeKey::Not(Reg32::Eax)).is_empty());
         assert!(!map.lookup(TypeKey::PopEsp).is_empty());

@@ -23,7 +23,6 @@
 //! the protected ranges (§III step 4), pick uniformly at random among
 //! equivalents (§V-B probabilistic chains), or take the first found.
 
-
 use std::fmt;
 
 use parallax_compiler::ir::{BinOp, CmpOp, Expr, Function, Stmt, UnOp};
@@ -159,9 +158,7 @@ impl<'a> Ctx<'a> {
     /// preparatory scratch load first.
     fn pre_set_regs(key: TypeKey) -> Vec<Reg32> {
         match key {
-            TypeKey::LoadMem(_, a)
-            | TypeKey::StoreMem(a, _)
-            | TypeKey::AddMem(a, _) => vec![a],
+            TypeKey::LoadMem(_, a) | TypeKey::StoreMem(a, _) | TypeKey::AddMem(a, _) => vec![a],
             _ => vec![],
         }
     }
@@ -197,12 +194,7 @@ impl<'a> Ctx<'a> {
                 // absorbed after the next gadget word) but not for
                 // pivots, branches, or flush NOPs, whose successor word
                 // positions must be exact.
-                if g.far
-                    && matches!(
-                        key,
-                        TypeKey::PopEsp | TypeKey::AddEsp(_) | TypeKey::Nop
-                    )
-                {
+                if g.far && matches!(key, TypeKey::PopEsp | TypeKey::AddEsp(_) | TypeKey::Nop) {
                     return false;
                 }
                 if g.clobbers.iter().any(|c| live.contains(c)) {
@@ -214,9 +206,10 @@ impl<'a> Ctx<'a> {
                         Effect::LoadMem { off, .. }
                         | Effect::StoreMem { off, .. }
                         | Effect::AddMem { off, .. }
-                            if *off != 0 => {
-                                return false;
-                            }
+                            if *off != 0 =>
+                        {
+                            return false;
+                        }
                         _ => {}
                     }
                 }
@@ -277,9 +270,7 @@ impl<'a> Ctx<'a> {
                 for (k, v) in &groups {
                     let replace = match best {
                         None => true,
-                        Some((bk, bv)) => {
-                            v.len() > bv.len() || (v.len() == bv.len() && k < bk)
-                        }
+                        Some((bk, bv)) => v.len() > bv.len() || (v.len() == bv.len() && k < bk),
                     };
                     if replace {
                         best = Some((k, v));
@@ -767,16 +758,16 @@ impl<'a> Ctx<'a> {
     /// touching registers are pre-pointed at scratch.
     fn emit_guards(&mut self, guards: &[u32]) -> Result<(), ChainError> {
         for &va in guards {
-            let Some(idx) = (0..self.map.gadgets().len())
-                .find(|&i| self.map.get(i).vaddr == va)
+            let Some(idx) = (0..self.map.gadgets().len()).find(|&i| self.map.get(i).vaddr == va)
             else {
                 continue;
             };
             let g = self.map.get(idx).clone();
             // Pivots, esp arithmetic, and syscalls cannot run blindly.
-            let unsafe_effect = g.effects.iter().any(|e| {
-                matches!(e, Effect::PopEsp | Effect::AddEsp { .. } | Effect::Syscall)
-            });
+            let unsafe_effect = g
+                .effects
+                .iter()
+                .any(|e| matches!(e, Effect::PopEsp | Effect::AddEsp { .. } | Effect::Syscall));
             if unsafe_effect || g.slots > 8 {
                 continue;
             }
@@ -787,9 +778,10 @@ impl<'a> Ctx<'a> {
                     Effect::LoadMem { addr, .. }
                     | Effect::StoreMem { addr, .. }
                     | Effect::AddMem { addr, .. }
-                        if !addr_regs.contains(addr) => {
-                            addr_regs.push(*addr);
-                        }
+                        if !addr_regs.contains(addr) =>
+                    {
+                        addr_regs.push(*addr);
+                    }
                     _ => {}
                 }
             }
@@ -861,13 +853,7 @@ impl<'a> Ctx<'a> {
             self.chain.push(Word::Junk);
         }
         let anchor = self.chain.len();
-        self.chain.set(
-            delta_slot,
-            Word::DeltaTo {
-                label,
-                anchor,
-            },
-        );
+        self.chain.set(delta_slot, Word::DeltaTo { label, anchor });
         self.ops += 1;
         Ok(())
     }
@@ -912,13 +898,7 @@ impl<'a> Ctx<'a> {
             self.chain.push(Word::Junk);
         }
         let anchor = self.chain.len();
-        self.chain.set(
-            delta_slot,
-            Word::DeltaTo {
-                label,
-                anchor,
-            },
-        );
+        self.chain.set(delta_slot, Word::DeltaTo { label, anchor });
         self.ops += 1;
         Ok(())
     }

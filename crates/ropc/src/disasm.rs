@@ -45,7 +45,7 @@ pub fn disasm_chain(img: &LinkedImage, map: &GadgetMap, bytes: &[u8]) -> Vec<Cha
         .collect();
     let mut out = Vec::new();
     for (index, chunk) in bytes.chunks_exact(4).enumerate() {
-        let value = u32::from_le_bytes(chunk.try_into().unwrap());
+        let value = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         match by_addr.get(&value) {
             Some(&gi) => {
                 let g = map.get(gi);
@@ -66,9 +66,9 @@ pub fn disasm_chain(img: &LinkedImage, map: &GadgetMap, bytes: &[u8]) -> Vec<Cha
                 });
             }
             None => {
-                let note = img.symbol_at(value).map(|s| {
-                    format!("&{}{:+}", s.name, value as i64 - s.vaddr as i64)
-                });
+                let note = img
+                    .symbol_at(value)
+                    .map(|s| format!("&{}{:+}", s.name, value as i64 - s.vaddr as i64));
                 out.push(ChainWord::Data { index, value, note });
             }
         }
@@ -89,17 +89,17 @@ pub fn format_chain(words: &[ChainWord]) -> String {
                 effects,
                 host,
             } => {
-                writeln!(
+                // Writes to a String are infallible.
+                let _ = writeln!(
                     out,
                     "[{index:>4}] {vaddr:#010x}  {disasm:<40} ; {effects}  (in {host})"
-                )
-                .unwrap();
+                );
             }
             ChainWord::Data { index, value, note } => {
-                match note {
-                    Some(n) => writeln!(out, "[{index:>4}] {value:#010x}  .data {n}").unwrap(),
-                    None => writeln!(out, "[{index:>4}] {value:#010x}  .data").unwrap(),
-                }
+                let _ = match note {
+                    Some(n) => writeln!(out, "[{index:>4}] {value:#010x}  .data {n}"),
+                    None => writeln!(out, "[{index:>4}] {value:#010x}  .data"),
+                };
             }
         }
     }

@@ -16,6 +16,12 @@ pub mod disasm;
 pub mod runtime;
 
 pub use chain::{Chain, ChainLabel, ChainLayoutError, Word};
+pub use compile::{
+    compile_chain, compile_chain_with_guards, frame_size, ChainError, CompiledChain, Policy,
+    TEMP_SLOTS,
+};
 pub use disasm::{disasm_chain, format_chain, ChainWord};
-pub use compile::{compile_chain, compile_chain_with_guards, frame_size, ChainError, CompiledChain, Policy, TEMP_SLOTS};
-pub use runtime::{fnv1a, install_runtime, make_chain_checker, make_stub, make_stub_full, make_stub_with_checker, CALLSLOT, CALL_NATIVE, CELLS, CHAIN_CK_EXIT, CHAIN_ENTER, CHAIN_EXIT, EXITSLOT};
+pub use runtime::{
+    fnv1a, install_runtime, make_chain_checker, make_stub, make_stub_full, make_stub_with_checker,
+    CALLSLOT, CALL_NATIVE, CELLS, CHAIN_CK_EXIT, CHAIN_ENTER, CHAIN_EXIT, EXITSLOT,
+};

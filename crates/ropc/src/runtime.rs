@@ -17,7 +17,7 @@
 //! chain, a `pop esp` epilogue returning to the calling frame).
 
 use parallax_image::Program;
-use parallax_x86::{Asm, AluOp, Assembled, Cond, Mem, Reg32, RelocKind, SymReloc};
+use parallax_x86::{AluOp, Asm, Assembled, Cond, Mem, Reg32, RelocKind, SymReloc};
 
 /// Symbol of the cell block.
 pub const CELLS: &str = "__plx_cells";
@@ -209,7 +209,14 @@ pub fn make_stub_with_checker(
     generator_sym: Option<&str>,
     checker_sym: Option<&str>,
 ) -> Assembled {
-    make_stub_full(params, frame_sym, chain_sym, generator_sym, checker_sym, None)
+    make_stub_full(
+        params,
+        frame_sym,
+        chain_sym,
+        generator_sym,
+        checker_sym,
+        None,
+    )
 }
 
 /// The full stub builder: optionally checksums the chain material

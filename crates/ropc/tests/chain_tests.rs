@@ -3,14 +3,16 @@
 //! they compute exactly what the native code computed — and stop doing
 //! so when a used gadget is tampered with.
 
+// Test helpers unwrap freely (the crate-level unwrap_used deny is for
+// production paths).
+#![allow(clippy::unwrap_used)]
+
 use parallax_compiler::ir::build::*;
 use parallax_compiler::{compile_module, Function, Module, Stmt};
 use parallax_gadgets::GadgetMap;
 use parallax_image::LinkedImage;
-use parallax_ropc::{
-    compile_chain, frame_size, install_runtime, make_stub, CompiledChain, Policy,
-};
 use parallax_rewrite::{standard_set, STDSET_NAME};
+use parallax_ropc::{compile_chain, frame_size, install_runtime, make_stub, CompiledChain, Policy};
 use parallax_vm::{Exit, Vm};
 
 /// Protects `vfunc` of `module` by translating it to a chain, applying
@@ -51,8 +53,8 @@ fn protect(module: &Module, vfunc: &str, policy: Policy) -> (LinkedImage, Compil
     let map2 = GadgetMap::new(parallax_gadgets::find_gadgets(&img2));
     let frame2 = img2.symbol(&frame_sym).unwrap().vaddr;
     let scratch2 = img2.symbol("__plx_scratch").unwrap().vaddr;
-    let compiled2 = compile_chain(&f, &map2, &img2, frame2, scratch2, policy)
-        .expect("chain compiles (pass 2)");
+    let compiled2 =
+        compile_chain(&f, &map2, &img2, frame2, scratch2, policy).expect("chain compiles (pass 2)");
     assert_eq!(
         compiled1.chain.byte_len(),
         compiled2.chain.byte_len(),
@@ -83,7 +85,11 @@ fn straight_line_arithmetic_chain() {
             ret(sub(add(l("x"), l("y")), c(1))),
         ],
     ));
-    m.func(Function::new("main", [], vec![ret(call("vf", vec![c(1), c(2)]))]));
+    m.func(Function::new(
+        "main",
+        [],
+        vec![ret(call("vf", vec![c(1), c(2)]))],
+    ));
     m.entry("main");
 
     // Native result first.
@@ -144,11 +150,31 @@ fn comparisons_and_bitwise_chain() {
         ["a", "b"],
         vec![
             let_("r", c(0)),
-            if_(lt_s(l("a"), l("b")), vec![let_("r", or(l("r"), c(1)))], vec![]),
-            if_(lt_u(l("a"), l("b")), vec![let_("r", or(l("r"), c(2)))], vec![]),
-            if_(eq(l("a"), l("b")), vec![let_("r", or(l("r"), c(4)))], vec![]),
-            if_(ne(l("a"), l("b")), vec![let_("r", or(l("r"), c(8)))], vec![]),
-            if_(ge_s(l("a"), l("b")), vec![let_("r", or(l("r"), c(16)))], vec![]),
+            if_(
+                lt_s(l("a"), l("b")),
+                vec![let_("r", or(l("r"), c(1)))],
+                vec![],
+            ),
+            if_(
+                lt_u(l("a"), l("b")),
+                vec![let_("r", or(l("r"), c(2)))],
+                vec![],
+            ),
+            if_(
+                eq(l("a"), l("b")),
+                vec![let_("r", or(l("r"), c(4)))],
+                vec![],
+            ),
+            if_(
+                ne(l("a"), l("b")),
+                vec![let_("r", or(l("r"), c(8)))],
+                vec![],
+            ),
+            if_(
+                ge_s(l("a"), l("b")),
+                vec![let_("r", or(l("r"), c(16)))],
+                vec![],
+            ),
             ret(l("r")),
         ],
     ));
@@ -281,10 +307,7 @@ fn probabilistic_variants_have_identical_shape() {
     m.func(Function::new(
         "vf",
         ["a"],
-        vec![
-            let_("x", add(l("a"), c(3))),
-            ret(xor(l("x"), c(0x55))),
-        ],
+        vec![let_("x", add(l("a"), c(3))), ret(xor(l("x"), c(0x55)))],
     ));
     m.func(Function::new("main", [], vec![ret(c(0))]));
     m.entry("main");

@@ -2,6 +2,10 @@
 //! fabricated gadget maps (no VM execution — the chains are inspected
 //! structurally).
 
+// Test helpers unwrap freely (the crate-level unwrap_used deny is for
+// production paths).
+#![allow(clippy::unwrap_used)]
+
 use parallax_compiler::ir::build::*;
 use parallax_compiler::Function;
 use parallax_gadgets::{Effect, GBinOp, Gadget, GadgetMap};
@@ -41,16 +45,102 @@ fn runtime_image() -> LinkedImage {
 /// The full fabricated standard set on the chain ABI.
 fn full_map(extra: Vec<Gadget>) -> GadgetMap {
     let mut g = vec![
-        gadget(0x100, 1, vec![Effect::LoadConst { dst: Reg32::Eax, slot: 0 }], vec![]),
-        gadget(0x102, 1, vec![Effect::LoadConst { dst: Reg32::Ecx, slot: 0 }], vec![]),
-        gadget(0x104, 0, vec![Effect::MovReg { dst: Reg32::Ecx, src: Reg32::Eax }], vec![]),
-        gadget(0x106, 0, vec![Effect::MovReg { dst: Reg32::Eax, src: Reg32::Ecx }], vec![]),
-        gadget(0x108, 0, vec![Effect::Binary { op: GBinOp::Add, dst: Reg32::Eax, src: Reg32::Ecx }], vec![]),
-        gadget(0x10a, 0, vec![Effect::Binary { op: GBinOp::Sub, dst: Reg32::Eax, src: Reg32::Ecx }], vec![]),
-        gadget(0x10c, 0, vec![Effect::Binary { op: GBinOp::Xor, dst: Reg32::Eax, src: Reg32::Ecx }], vec![]),
-        gadget(0x10e, 0, vec![Effect::LoadMem { dst: Reg32::Eax, addr: Reg32::Ecx, off: 0 }], vec![]),
-        gadget(0x110, 0, vec![Effect::LoadMem { dst: Reg32::Ecx, addr: Reg32::Ecx, off: 0 }], vec![]),
-        gadget(0x112, 0, vec![Effect::StoreMem { addr: Reg32::Ecx, off: 0, src: Reg32::Eax }], vec![]),
+        gadget(
+            0x100,
+            1,
+            vec![Effect::LoadConst {
+                dst: Reg32::Eax,
+                slot: 0,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x102,
+            1,
+            vec![Effect::LoadConst {
+                dst: Reg32::Ecx,
+                slot: 0,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x104,
+            0,
+            vec![Effect::MovReg {
+                dst: Reg32::Ecx,
+                src: Reg32::Eax,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x106,
+            0,
+            vec![Effect::MovReg {
+                dst: Reg32::Eax,
+                src: Reg32::Ecx,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x108,
+            0,
+            vec![Effect::Binary {
+                op: GBinOp::Add,
+                dst: Reg32::Eax,
+                src: Reg32::Ecx,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x10a,
+            0,
+            vec![Effect::Binary {
+                op: GBinOp::Sub,
+                dst: Reg32::Eax,
+                src: Reg32::Ecx,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x10c,
+            0,
+            vec![Effect::Binary {
+                op: GBinOp::Xor,
+                dst: Reg32::Eax,
+                src: Reg32::Ecx,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x10e,
+            0,
+            vec![Effect::LoadMem {
+                dst: Reg32::Eax,
+                addr: Reg32::Ecx,
+                off: 0,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x110,
+            0,
+            vec![Effect::LoadMem {
+                dst: Reg32::Ecx,
+                addr: Reg32::Ecx,
+                off: 0,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x112,
+            0,
+            vec![Effect::StoreMem {
+                addr: Reg32::Ecx,
+                off: 0,
+                src: Reg32::Eax,
+            }],
+            vec![],
+        ),
         gadget(0x114, 0, vec![Effect::PopEsp], vec![]),
         gadget(0x116, 0, vec![Effect::AddEsp { src: Reg32::Eax }], vec![]),
     ];
@@ -63,9 +153,34 @@ fn missing_gadget_type_is_reported() {
     let img = runtime_image();
     // Map with no Binary Add.
     let map = GadgetMap::new(vec![
-        gadget(0x100, 1, vec![Effect::LoadConst { dst: Reg32::Eax, slot: 0 }], vec![]),
-        gadget(0x102, 1, vec![Effect::LoadConst { dst: Reg32::Ecx, slot: 0 }], vec![]),
-        gadget(0x112, 0, vec![Effect::StoreMem { addr: Reg32::Ecx, off: 0, src: Reg32::Eax }], vec![]),
+        gadget(
+            0x100,
+            1,
+            vec![Effect::LoadConst {
+                dst: Reg32::Eax,
+                slot: 0,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x102,
+            1,
+            vec![Effect::LoadConst {
+                dst: Reg32::Ecx,
+                slot: 0,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x112,
+            0,
+            vec![Effect::StoreMem {
+                addr: Reg32::Ecx,
+                off: 0,
+                src: Reg32::Eax,
+            }],
+            vec![],
+        ),
         gadget(0x114, 0, vec![Effect::PopEsp], vec![]),
     ]);
     let f = Function::new("vf", [], vec![ret(add(c(1), c(2)))]);
@@ -82,7 +197,10 @@ fn clobbering_gadgets_avoided_while_register_is_live() {
     let map = full_map(vec![gadget(
         0x200,
         1,
-        vec![Effect::LoadConst { dst: Reg32::Ecx, slot: 0 }],
+        vec![Effect::LoadConst {
+            dst: Reg32::Ecx,
+            slot: 0,
+        }],
         vec![Reg32::Eax],
     )]);
     // `ret(a + 1)`: after evaluating `a` into eax, the constant loads
@@ -119,14 +237,23 @@ fn junk_slots_filled_for_multi_pop_gadgets() {
     // Only LoadConst(eax) available consumes 3 slots, value in slot 1.
     let mut gs = full_map(vec![]).gadgets().to_vec();
     gs.retain(|g| {
-        !g.effects
-            .iter()
-            .any(|e| matches!(e, Effect::LoadConst { dst: Reg32::Eax, .. }))
+        !g.effects.iter().any(|e| {
+            matches!(
+                e,
+                Effect::LoadConst {
+                    dst: Reg32::Eax,
+                    ..
+                }
+            )
+        })
     });
     gs.push(gadget(
         0x300,
         3,
-        vec![Effect::LoadConst { dst: Reg32::Eax, slot: 1 }],
+        vec![Effect::LoadConst {
+            dst: Reg32::Eax,
+            slot: 1,
+        }],
         vec![Reg32::Edx, Reg32::Ebx],
     ));
     let map = GadgetMap::new(gs);
@@ -152,7 +279,11 @@ fn far_gadgets_get_cs_slots_and_pivots_stay_near() {
     let mut far_add = gadget(
         0x400,
         0,
-        vec![Effect::Binary { op: GBinOp::Add, dst: Reg32::Eax, src: Reg32::Ecx }],
+        vec![Effect::Binary {
+            op: GBinOp::Add,
+            dst: Reg32::Eax,
+            src: Reg32::Ecx,
+        }],
         vec![],
     );
     far_add.far = true;
@@ -196,8 +327,26 @@ fn grouped_policy_produces_equal_length_variants() {
     let img = runtime_image();
     // Three interchangeable Add gadgets with identical shape.
     let map = full_map(vec![
-        gadget(0x500, 0, vec![Effect::Binary { op: GBinOp::Add, dst: Reg32::Eax, src: Reg32::Ecx }], vec![]),
-        gadget(0x502, 0, vec![Effect::Binary { op: GBinOp::Add, dst: Reg32::Eax, src: Reg32::Ecx }], vec![]),
+        gadget(
+            0x500,
+            0,
+            vec![Effect::Binary {
+                op: GBinOp::Add,
+                dst: Reg32::Eax,
+                src: Reg32::Ecx,
+            }],
+            vec![],
+        ),
+        gadget(
+            0x502,
+            0,
+            vec![Effect::Binary {
+                op: GBinOp::Add,
+                dst: Reg32::Eax,
+                src: Reg32::Ecx,
+            }],
+            vec![],
+        ),
     ]);
     let f = Function::new(
         "vf",

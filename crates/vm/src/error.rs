@@ -73,6 +73,8 @@ pub enum Exit {
     Fault(Fault),
     /// The configured cycle budget was exhausted (runaway program).
     CycleLimit,
+    /// The configured output budget was exhausted (runaway writer).
+    MemLimit,
 }
 
 impl Exit {
@@ -96,6 +98,7 @@ impl fmt::Display for Exit {
             Exit::Exited(s) => write!(f, "exited with status {s}"),
             Exit::Fault(fault) => write!(f, "faulted: {fault}"),
             Exit::CycleLimit => write!(f, "cycle limit exhausted"),
+            Exit::MemLimit => write!(f, "output limit exhausted"),
         }
     }
 }

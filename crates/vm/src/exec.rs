@@ -24,6 +24,10 @@ pub const CALL_SENTINEL: u32 = 0xffff_fff0;
 pub struct VmOptions {
     /// Cycle budget before [`Exit::CycleLimit`] (default 2 × 10⁹).
     pub cycle_limit: u64,
+    /// Bytes of syscall output before [`Exit::MemLimit`] (default
+    /// 64 MiB). Syscall output is the only unbounded allocation in the
+    /// VM, so this caps total memory growth of a runaway writer.
+    pub output_limit: usize,
     /// Collect a per-function flat profile.
     pub profile: bool,
     /// The cycle-cost model.
@@ -36,6 +40,7 @@ impl Default for VmOptions {
     fn default() -> VmOptions {
         VmOptions {
             cycle_limit: 2_000_000_000,
+            output_limit: 64 << 20,
             profile: false,
             cost: CostModel::default(),
             seed: 0x5eed_0001,
@@ -51,6 +56,7 @@ pub struct Vm {
     cost: CostModel,
     cycles: u64,
     cycle_limit: u64,
+    output_limit: usize,
     rsb: ReturnStackBuffer,
     sys: SyscallState,
     profiler: Option<Profiler>,
@@ -78,9 +84,9 @@ impl Vm {
         cpu.set_esp(mem.initial_esp());
         cpu.eip = image.entry;
         let profiler = if opts.profile {
-            Some(Profiler::new(image.funcs().map(|s| {
-                (s.name.clone(), s.vaddr, s.size)
-            })))
+            Some(Profiler::new(
+                image.funcs().map(|s| (s.name.clone(), s.vaddr, s.size)),
+            ))
         } else {
             None
         };
@@ -90,6 +96,7 @@ impl Vm {
             cost: opts.cost,
             cycles: 0,
             cycle_limit: opts.cycle_limit,
+            output_limit: opts.output_limit,
             rsb: ReturnStackBuffer::default(),
             sys: SyscallState::new(opts.seed),
             profiler,
@@ -164,6 +171,9 @@ impl Vm {
             if self.cycles >= self.cycle_limit {
                 return Exit::CycleLimit;
             }
+            if self.sys.output.len() > self.output_limit {
+                return Exit::MemLimit;
+            }
             match self.step() {
                 Ok(None) => {}
                 Ok(Some(status)) => return Exit::Exited(status),
@@ -194,6 +204,9 @@ impl Vm {
             if self.cycles >= self.cycle_limit {
                 return Err(Exit::CycleLimit);
             }
+            if self.sys.output.len() > self.output_limit {
+                return Err(Exit::MemLimit);
+            }
             match self.step() {
                 Ok(None) => {}
                 Ok(Some(status)) => return Err(Exit::Exited(status)),
@@ -207,8 +220,7 @@ impl Vm {
             return Ok(Rc::clone(i));
         }
         let bytes = self.mem.fetch(eip)?;
-        let insn = decode(bytes)
-            .map_err(|_| Fault::new(eip, FaultKind::InvalidInstruction))?;
+        let insn = decode(bytes).map_err(|_| Fault::new(eip, FaultKind::InvalidInstruction))?;
         let rc = Rc::new(insn);
         self.decode_cache.insert(eip, Rc::clone(&rc));
         Ok(rc)
@@ -224,25 +236,18 @@ impl Vm {
         self.instructions += 1;
 
         let mut cost = self.cost.alu;
-        if insn
-            .ops
-            .iter()
-            .any(|o| matches!(o, Operand::Mem(_)))
-            && insn.mnemonic != Mnemonic::Lea
-        {
+        if insn.ops.iter().any(|o| matches!(o, Operand::Mem(_))) && insn.mnemonic != Mnemonic::Lea {
             cost += self.cost.mem;
         }
 
         let mut exited = None;
         match insn.mnemonic {
-            Mnemonic::Nop | Mnemonic::Clc | Mnemonic::Stc | Mnemonic::Cmc => {
-                match insn.mnemonic {
-                    Mnemonic::Clc => self.cpu.flags.cf = false,
-                    Mnemonic::Stc => self.cpu.flags.cf = true,
-                    Mnemonic::Cmc => self.cpu.flags.cf = !self.cpu.flags.cf,
-                    _ => {}
-                }
-            }
+            Mnemonic::Nop | Mnemonic::Clc | Mnemonic::Stc | Mnemonic::Cmc => match insn.mnemonic {
+                Mnemonic::Clc => self.cpu.flags.cf = false,
+                Mnemonic::Stc => self.cpu.flags.cf = true,
+                Mnemonic::Cmc => self.cpu.flags.cf = !self.cpu.flags.cf,
+                _ => {}
+            },
             Mnemonic::Mov => {
                 let v = self.read_op(&insn.ops[1], insn.size)?;
                 self.write_op(&insn.ops[0], insn.size, v)?;
@@ -336,8 +341,8 @@ impl Vm {
                         let src = self.read_op(&insn.ops[0], insn.size)?;
                         match insn.size {
                             OpSize::Dword => {
-                                let p = (self.cpu.reg(Reg32::Eax) as i32 as i64)
-                                    * (src as i32 as i64);
+                                let p =
+                                    (self.cpu.reg(Reg32::Eax) as i32 as i64) * (src as i32 as i64);
                                 self.cpu.set_reg(Reg32::Eax, p as u32);
                                 self.cpu.set_reg(Reg32::Edx, (p >> 32) as u32);
                                 let fits = p == (p as i32) as i64;
@@ -483,7 +488,11 @@ impl Vm {
                     Reg32::Esi,
                     Reg32::Edi,
                 ] {
-                    let v = if r == Reg32::Esp { orig } else { self.cpu.reg(r) };
+                    let v = if r == Reg32::Esp {
+                        orig
+                    } else {
+                        self.cpu.reg(r)
+                    };
                     self.push(v)?;
                 }
             }

@@ -39,7 +39,13 @@ pub struct Memory {
 impl Memory {
     /// Builds memory from image sections. `bss_size` bytes of zeros and
     /// a scratch heap are appended after the initialized data.
-    pub fn new(text: Vec<u8>, text_base: u32, mut data: Vec<u8>, data_base: u32, bss_size: u32) -> Memory {
+    pub fn new(
+        text: Vec<u8>,
+        text_base: u32,
+        mut data: Vec<u8>,
+        data_base: u32,
+        bss_size: u32,
+    ) -> Memory {
         data.extend(std::iter::repeat_n(0, (bss_size + HEAP_SIZE) as usize));
         Memory {
             text,

@@ -106,10 +106,7 @@ impl Profiler {
 
     /// Iterates `(name, profile)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &FuncProfile)> {
-        self.names
-            .iter()
-            .map(String::as_str)
-            .zip(self.stats.iter())
+        self.names.iter().map(String::as_str).zip(self.stats.iter())
     }
 }
 

@@ -79,7 +79,10 @@ fn call_function_harness_and_recursion() {
     let mut main = Asm::new();
     emit_exit(&mut main, 0);
     let img = link(
-        vec![("main", main.finish().unwrap()), ("fib", f.finish().unwrap())],
+        vec![
+            ("main", main.finish().unwrap()),
+            ("fib", f.finish().unwrap()),
+        ],
         "main",
     );
     let mut vm = Vm::new(&img);
@@ -197,7 +200,10 @@ fn rop_rets_cost_more_than_native_rets() {
     }
     emit_exit(&mut native, 0);
     let img = link(
-        vec![("main", native.finish().unwrap()), ("f", f.finish().unwrap())],
+        vec![
+            ("main", native.finish().unwrap()),
+            ("f", f.finish().unwrap()),
+        ],
         "main",
     );
     let mut vm = Vm::new(&img);
@@ -261,7 +267,10 @@ fn profiler_attributes_and_counts() {
     main.call_sym("hot");
     emit_exit(&mut main, 0);
     let img = link(
-        vec![("main", main.finish().unwrap()), ("hot", hot.finish().unwrap())],
+        vec![
+            ("main", main.finish().unwrap()),
+            ("hot", hot.finish().unwrap()),
+        ],
         "main",
     );
     let mut vm = Vm::with_options(
@@ -416,7 +425,10 @@ fn retf_pops_code_segment_slot() {
     main.marker("done");
     emit_exit(&mut main, 7);
     let img = link(
-        vec![("main", main.finish().unwrap()), ("g_far", g.finish().unwrap())],
+        vec![
+            ("main", main.finish().unwrap()),
+            ("g_far", g.finish().unwrap()),
+        ],
         "main",
     );
     let mut vm = Vm::new(&img);

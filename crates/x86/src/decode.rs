@@ -222,7 +222,8 @@ pub fn decode(bytes: &[u8]) -> Result<Insn> {
     //   base+0: rm8, r8     base+1: rm32, r32
     //   base+2: r8, rm8     base+3: r32, rm32
     //   base+4: al, imm8    base+5: eax, imm32
-    if opcode < 0x40 && (opcode & 7) < 6 && (opcode & 0x38) != 0x38 || (0x38..0x3e).contains(&opcode)
+    if opcode < 0x40 && (opcode & 7) < 6 && (opcode & 0x38) != 0x38
+        || (0x38..0x3e).contains(&opcode)
     {
         let alu = AluOp::ALL[(opcode >> 3) as usize];
         return decode_alu_family(&mut cur, Mnemonic::Alu(alu), opcode & 7);
@@ -325,7 +326,12 @@ pub fn decode(bytes: &[u8]) -> Result<Insn> {
                 0x81 => (cur.i32()? as i64, 4),
                 _ => (cur.i8()? as i64, 1),
             };
-            let mut i = fixed(&cur, Mnemonic::Alu(alu), vec![rm.op, Operand::Imm(imm)], size);
+            let mut i = fixed(
+                &cur,
+                Mnemonic::Alu(alu),
+                vec![rm.op, Operand::Imm(imm)],
+                size,
+            );
             i.disp_loc = rm.disp_loc;
             i.imm_loc = Some(FieldLoc { offset: off, width });
             Ok(i)
@@ -632,8 +638,7 @@ pub fn decode(bytes: &[u8]) -> Result<Insn> {
                     } else {
                         (cur.i32()? as i64, 4)
                     };
-                    let mut i =
-                        fixed(&cur, Mnemonic::Test, vec![rm.op, Operand::Imm(imm)], size);
+                    let mut i = fixed(&cur, Mnemonic::Test, vec![rm.op, Operand::Imm(imm)], size);
                     i.disp_loc = rm.disp_loc;
                     i.imm_loc = Some(FieldLoc { offset: off, width });
                     Ok(i)
@@ -845,8 +850,20 @@ mod tests {
         // sar byte [ecx+0x7],0x8b ; ret (the immediate-modification gadget)
         let i = d(&[0xc0, 0x79, 0x07, 0x8b]);
         assert_eq!(i.to_string(), "sar byte [ecx+0x7],0x8b");
-        assert_eq!(i.imm_loc, Some(FieldLoc { offset: 3, width: 1 }));
-        assert_eq!(i.disp_loc, Some(FieldLoc { offset: 2, width: 1 }));
+        assert_eq!(
+            i.imm_loc,
+            Some(FieldLoc {
+                offset: 3,
+                width: 1
+            })
+        );
+        assert_eq!(
+            i.disp_loc,
+            Some(FieldLoc {
+                offset: 2,
+                width: 1
+            })
+        );
     }
 
     #[test]
@@ -862,7 +879,13 @@ mod tests {
     fn decodes_mov_imm() {
         let i = d(&[0xb8, 0x01, 0x00, 0x00, 0x00]);
         assert_eq!(i.to_string(), "mov eax,0x1");
-        assert_eq!(i.imm_loc, Some(FieldLoc { offset: 1, width: 4 }));
+        assert_eq!(
+            i.imm_loc,
+            Some(FieldLoc {
+                offset: 1,
+                width: 4
+            })
+        );
         assert_eq!(i.len, 5);
     }
 
@@ -877,18 +900,36 @@ mod tests {
         // mov dword [esp+4], imm32 => c7 44 24 04 xx
         let i = d(&[0xc7, 0x44, 0x24, 0x04, 0x2a, 0x00, 0x00, 0x00]);
         assert_eq!(i.to_string(), "mov [esp+0x4],0x2a");
-        assert_eq!(i.imm_loc, Some(FieldLoc { offset: 4, width: 4 }));
+        assert_eq!(
+            i.imm_loc,
+            Some(FieldLoc {
+                offset: 4,
+                width: 4
+            })
+        );
     }
 
     #[test]
     fn decodes_branches() {
         let i = d(&[0x79, 0x05]);
         assert_eq!(i.to_string(), "jns .+0x5");
-        assert_eq!(i.rel_loc, Some(FieldLoc { offset: 1, width: 1 }));
+        assert_eq!(
+            i.rel_loc,
+            Some(FieldLoc {
+                offset: 1,
+                width: 1
+            })
+        );
 
         let i = d(&[0xe8, 0x10, 0x00, 0x00, 0x00]);
         assert_eq!(i.mnemonic, Mnemonic::Call);
-        assert_eq!(i.rel_loc, Some(FieldLoc { offset: 1, width: 4 }));
+        assert_eq!(
+            i.rel_loc,
+            Some(FieldLoc {
+                offset: 1,
+                width: 4
+            })
+        );
 
         let i = d(&[0x0f, 0x84, 0x00, 0x01, 0x00, 0x00]);
         assert_eq!(i.to_string(), "je .+0x100");

@@ -678,10 +678,7 @@ impl Asm {
             match f.width {
                 1 => {
                     if !(-128..=127).contains(&distance) {
-                        return Err(AsmError::ShortBranchOutOfRange {
-                            at: f.at,
-                            distance,
-                        });
+                        return Err(AsmError::ShortBranchOutOfRange { at: f.at, distance });
                     }
                     self.bytes[f.at] = distance as i8 as u8;
                 }
@@ -751,9 +748,15 @@ mod tests {
 
     #[test]
     fn encodes_alu() {
-        roundtrip(|a| a.alu_rr(AluOp::Add, Reg32::Esi, Reg32::Eax), "add esi,eax");
+        roundtrip(
+            |a| a.alu_rr(AluOp::Add, Reg32::Esi, Reg32::Eax),
+            "add esi,eax",
+        );
         roundtrip(|a| a.alu_ri(AluOp::Sub, Reg32::Esp, 24), "sub esp,0x18");
-        roundtrip(|a| a.alu_ri(AluOp::Add, Reg32::Ecx, 0x1000), "add ecx,0x1000");
+        roundtrip(
+            |a| a.alu_ri(AluOp::Add, Reg32::Ecx, 0x1000),
+            "add ecx,0x1000",
+        );
         roundtrip(|a| a.alu_ri32(AluOp::Add, Reg32::Eax, 5), "add eax,0x5");
         roundtrip(|a| a.alu_ri32(AluOp::Xor, Reg32::Ebx, 3), "xor ebx,0x3");
         roundtrip(
@@ -788,7 +791,10 @@ mod tests {
             |a| a.cmovcc(Cond::E, Reg32::Eax, Reg32::Ebx),
             "cmove eax,ebx",
         );
-        roundtrip(|a| a.lea(Reg32::Eax, Mem::base_disp(Reg32::Esp, 8)), "lea eax,[esp+0x8]");
+        roundtrip(
+            |a| a.lea(Reg32::Eax, Mem::base_disp(Reg32::Esp, 8)),
+            "lea eax,[esp+0x8]",
+        );
         roundtrip(|a| a.call_r(Reg32::Eax), "call eax");
         roundtrip(|a| a.cdq(), "cdq");
     }

@@ -36,8 +36,8 @@ fn one_byte_opcode_coverage_is_exactly_as_documented() {
             0x70..=0x7f => true, // jcc rel8
             0x80 | 0x81 | 0x83 => true,
             0x84..=0x8b => true,
-            0x8d => true,        // lea (memory tail)
-            0x8f => true,        // pop r/m, /0
+            0x8d => true, // lea (memory tail)
+            0x8f => true, // pop r/m, /0
             0x90..=0x99 => true,
             0x9c | 0x9d => true,
             0xa0..=0xa3 => true,
@@ -72,11 +72,7 @@ fn two_byte_opcode_coverage() {
         let mut buf = vec![0x0f, op2];
         buf.extend_from_slice(&TAIL);
         let supported = matches!(op2, 0x40..=0x4f | 0x80..=0x8f | 0x90..=0x9f | 0xaf | 0xb6 | 0xbe);
-        assert_eq!(
-            decode(&buf).is_ok(),
-            supported,
-            "opcode 0f {op2:#04x}"
-        );
+        assert_eq!(decode(&buf).is_ok(), supported, "opcode 0f {op2:#04x}");
     }
 }
 

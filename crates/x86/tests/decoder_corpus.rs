@@ -1,0 +1,143 @@
+//! Deterministic adversarial corpus for the decoder.
+//!
+//! Promotes the `decode_total` property ("decoding never panics on
+//! arbitrary bytes") into a regression test over a checked-in corpus
+//! of byte strings chosen to hit the decoder's edge cases: overlapping
+//! instruction prefixes, truncated ModRM/SIB forms, and immediates or
+//! displacements that would span past the end of the buffer. The
+//! corpus is exact — a decoder change that starts panicking (or
+//! looping) on any of these is caught without property-test luck.
+
+use parallax_x86::{decode, decode_run};
+
+/// Adversarial byte strings. Comments give the intent of each entry;
+/// many are *prefixes* of longer valid encodings, so the decoder must
+/// fail cleanly at the missing byte rather than read past the end.
+const CORPUS: &[&[u8]] = &[
+    // Empty and single bytes spanning the opcode map.
+    &[],
+    &[0x00],
+    &[0xff],
+    &[0xc3],
+    &[0x0f], // two-byte opcode escape, no second byte
+    &[0x66], // operand-size prefix alone
+    &[0xf0], // lock prefix alone
+    &[0xf3], // rep prefix alone
+    &[0x67], // address-size prefix alone
+    // Prefix pileups (overlapping/redundant prefixes, no opcode).
+    &[0x66, 0x66, 0x66],
+    &[0xf0, 0xf2, 0xf3, 0x66, 0x67],
+    &[0x66, 0x0f], // prefix + escape, truncated
+    // Truncated ModRM: opcode present, ModRM byte missing.
+    &[0x89],       // mov r/m32, r32
+    &[0x8b],       // mov r32, r/m32
+    &[0x01],       // add r/m32, r32
+    &[0x85],       // test r/m32, r32
+    &[0xff, 0x25], // jmp [disp32] with no displacement
+    // ModRM demanding a SIB byte that is absent.
+    &[0x8b, 0x04], // mod=00 rm=100 → SIB required
+    &[0x8b, 0x44], // mod=01 rm=100 → SIB + disp8 required
+    &[0x8b, 0x84], // mod=10 rm=100 → SIB + disp32 required
+    // SIB present but displacement truncated.
+    &[0x8b, 0x04, 0x25],             // SIB says disp32, none follows
+    &[0x8b, 0x04, 0x25, 0x78],       // disp32 cut after one byte
+    &[0x8b, 0x44, 0x24],             // disp8 missing after SIB
+    &[0x8b, 0x84, 0x24, 0x01, 0x02], // disp32 cut after two bytes
+    // Direct-displacement forms truncated (mod=00 rm=101 → disp32).
+    &[0x8b, 0x05],
+    &[0x8b, 0x05, 0x44, 0x33],
+    // Immediates spanning past the end of the section/buffer.
+    &[0xb8],                   // mov eax, imm32 with no imm
+    &[0xb8, 0x11],             // one of four imm bytes
+    &[0xb8, 0x11, 0x22, 0x33], // three of four imm bytes
+    &[0x68, 0xde, 0xad],       // push imm32, truncated
+    &[0xc7, 0x00, 0x01],       // mov [eax], imm32 truncated
+    &[0x81, 0xc0, 0x44],       // add eax, imm32 truncated
+    &[0x69, 0xc0, 0x10, 0x20], // imul r32, r/m32, imm32 truncated
+    &[0x05, 0xff, 0xff, 0xff], // add eax, imm32 truncated
+    &[0xa9, 0x01, 0x02, 0x03], // test eax, imm32 truncated
+    &[0x66, 0xb8, 0x12],       // 16-bit mov imm truncated
+    // Relative branches with truncated offsets.
+    &[0xe8],                         // call rel32, no offset
+    &[0xe8, 0x01, 0x02, 0x03],       // call rel32, 3 of 4 bytes
+    &[0xe9, 0xff],                   // jmp rel32 truncated
+    &[0x0f, 0x84, 0x10, 0x20, 0x30], // jz rel32, 3 of 4 bytes
+    &[0xeb],                         // jmp rel8, no offset
+    &[0x74],                         // jz rel8, no offset
+    // Far-return / far-branch oddities.
+    &[0xca],       // retf imm16, no imm
+    &[0xca, 0x08], // retf imm16, 1 of 2 bytes
+    &[0xc2, 0x04], // ret imm16, 1 of 2 bytes
+    // Group opcodes with undefined /reg forms.
+    &[0xff, 0xff], // FF /7 — undefined
+    &[0xff, 0xf8], // FF /7 alternate encoding
+    &[0xf6, 0xc8], // F6 /1 — undefined test form
+    &[0x8f, 0xc8], // 8F /1 — only /0 (pop) defined
+    // Shift group with immediate truncated.
+    &[0xc1, 0xe0], // shl eax, imm8 — imm missing
+    &[0xc0, 0xe0], // shl al, imm8 — imm missing
+    // Overlapping-prefix soup ending inside an instruction (the
+    // gadget-discovery case: decoding from a misaligned offset).
+    &[0x00, 0xb8, 0x01, 0x00, 0x00], // starts inside a mov
+    &[0x00, 0x00, 0x0f, 0xaf],       // escape + imul, no ModRM
+    &[0xc3, 0xb8, 0xc3],             // ret; then truncated mov
+    &[0x35, 0x90, 0x90, 0x90],       // xor eax, imm32 truncated
+    // Interrupt / syscall forms.
+    &[0xcd], // int imm8, no vector
+    &[0xcc], // int3 — valid single byte
+    // Long runs of a single byte (stress the no-progress paths).
+    &[0x66; 16],
+    &[0x0f; 16],
+    &[0x90; 16],
+    &[0xff; 16],
+    &[0xb8; 16],
+    &[0xe8; 16],
+];
+
+/// Every corpus entry decodes to `Ok` or a clean `Err` — never a panic,
+/// and never a zero-length "instruction" that would stall a scanner.
+#[test]
+fn corpus_never_panics_and_always_progresses() {
+    for (i, bytes) in CORPUS.iter().enumerate() {
+        if let Ok(insn) = decode(bytes) {
+            assert!(
+                insn.len > 0 && insn.len as usize <= bytes.len(),
+                "entry {i}: decoded length {} out of range for {} bytes",
+                insn.len,
+                bytes.len()
+            );
+        }
+    }
+}
+
+/// Every *suffix* of every corpus entry is also safe — this is exactly
+/// how the gadget scanner consumes bytes (decode at every offset).
+#[test]
+fn all_suffixes_are_safe() {
+    for (i, bytes) in CORPUS.iter().enumerate() {
+        for start in 0..bytes.len() {
+            let tail = &bytes[start..];
+            if let Ok(insn) = decode(tail) {
+                assert!(
+                    insn.len > 0 && insn.len as usize <= tail.len(),
+                    "entry {i} offset {start}: bad decoded length"
+                );
+            }
+        }
+    }
+}
+
+/// `decode_run` (the scanner's bulk API) terminates on every entry and
+/// never claims more bytes than exist.
+#[test]
+fn decode_run_terminates_within_bounds() {
+    for (i, bytes) in CORPUS.iter().enumerate() {
+        let insns = decode_run(bytes, 64);
+        let total: usize = insns.iter().map(|x| x.len as usize).sum();
+        assert!(
+            total <= bytes.len(),
+            "entry {i}: decode_run consumed {total} of {} bytes",
+            bytes.len()
+        );
+    }
+}

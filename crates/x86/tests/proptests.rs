@@ -33,7 +33,10 @@ fn cond() -> impl Strategy<Value = Cond> {
 fn mem() -> impl Strategy<Value = Mem> {
     (
         proptest::option::of(reg32()),
-        proptest::option::of((reg32().prop_filter("esp cannot index", |r| *r != Reg32::Esp), 0u8..4)),
+        proptest::option::of((
+            reg32().prop_filter("esp cannot index", |r| *r != Reg32::Esp),
+            0u8..4,
+        )),
         any::<i32>(),
     )
         .prop_map(|(base, index, disp)| Mem {

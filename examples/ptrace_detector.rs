@@ -93,7 +93,8 @@ fn main() {
         .expect("chain executes a gadget overlapping the detector");
     println!(
         "\nadversary NOPs 4 bytes at {victim:#x} (inside check_ptrace, {}..{})",
-        det.vaddr, det.vaddr + det.size
+        det.vaddr,
+        det.vaddr + det.size
     );
     let mut cracked = protected.image.clone();
     cracked.write(victim, &[0x90, 0x90, 0x90, 0x90]);

@@ -26,7 +26,10 @@ fn main() {
         .unwrap();
     let mut vm = Vm::new(&img);
     let native = vm.run();
-    println!("native:    {native} ({})", String::from_utf8_lossy(vm.output()).trim());
+    println!(
+        "native:    {native} ({})",
+        String::from_utf8_lossy(vm.output()).trim()
+    );
 
     // Protect: verify_pipeline becomes the chain; the license check is
     // guard-covered; chains are checksummed per §VI-C.
@@ -56,7 +59,10 @@ fn main() {
 
     // Crack attempt 2: patch the verification chain itself -> the §VI-C
     // checksum over the chain data fires.
-    let chain = protected.image.symbol("__plx_chain_verify_pipeline").unwrap();
+    let chain = protected
+        .image
+        .symbol("__plx_chain_verify_pipeline")
+        .unwrap();
     let mut cracked = protected.image.clone();
     let b = cracked.read(chain.vaddr + 4, 1).unwrap()[0];
     cracked.write(chain.vaddr + 4, &[b ^ 1]);

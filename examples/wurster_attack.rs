@@ -38,10 +38,19 @@ fn main() {
 
     // ---- Checksumming network (Chang & Atallah style) ----
     let (ck, checkers) = protect_with_checksums(&m, &["licensed".into()], 3).unwrap();
-    println!("checksumming network: {} cross-verifying checkers", checkers.len());
+    println!(
+        "checksumming network: {} cross-verifying checkers",
+        checkers.len()
+    );
     let p = crack(&ck);
-    println!("  static patch:       {}", verdict(attack_static(&ck, std::slice::from_ref(&p), &[]).exit));
-    println!("  icache-only patch:  {}", verdict(attack_icache(&ck, &[p], &[]).exit));
+    println!(
+        "  static patch:       {}",
+        verdict(attack_static(&ck, std::slice::from_ref(&p), &[]).exit)
+    );
+    println!(
+        "  icache-only patch:  {}",
+        verdict(attack_icache(&ck, &[p], &[]).exit)
+    );
     println!("  -> the checksums read code as DATA; the split cache shows them");
     println!("     the original bytes while the patched code executes.\n");
 
@@ -63,8 +72,14 @@ fn main() {
     .unwrap();
     let p = crack(&plx.image);
     println!("parallax:");
-    println!("  static patch:       {}", verdict(attack_static(&plx.image, std::slice::from_ref(&p), &[]).exit));
-    println!("  icache-only patch:  {}", verdict(attack_icache(&plx.image, &[p], &[]).exit));
+    println!(
+        "  static patch:       {}",
+        verdict(attack_static(&plx.image, std::slice::from_ref(&p), &[]).exit)
+    );
+    println!(
+        "  icache-only patch:  {}",
+        verdict(attack_icache(&plx.image, &[p], &[]).exit)
+    );
     println!("  -> verification happens by EXECUTING the protected bytes as");
     println!("     gadgets; whichever view the attacker patches is the view the");
     println!("     processor fetches, so the chain malfunctions either way.");

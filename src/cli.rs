@@ -122,10 +122,7 @@ fn parse_mode(s: &str, seed: u64) -> Result<ChainMode> {
         "rc4" => ChainMode::Rc4Encrypted {
             key: (seed ^ 0x5045_4c58_4b45_5921).to_le_bytes(),
         },
-        "prob" | "probabilistic" => ChainMode::Probabilistic {
-            variants: 6,
-            seed,
-        },
+        "prob" | "probabilistic" => ChainMode::Probabilistic { variants: 6, seed },
         other => return Err(bail(format!("unknown mode `{other}`"))),
     })
 }
@@ -302,7 +299,13 @@ pub fn cmd_run(args: &Args) -> Result<String> {
         writeln!(msg, "--- output ({} bytes) ---", out.len()).unwrap();
         writeln!(msg, "{}", String::from_utf8_lossy(&out)).unwrap();
     }
-    writeln!(msg, "{exit}; {} cycles, {} instructions", vm.cycles(), vm.instructions).unwrap();
+    writeln!(
+        msg,
+        "{exit}; {} cycles, {} instructions",
+        vm.cycles(),
+        vm.instructions
+    )
+    .unwrap();
     if let Some(p) = vm.profiler() {
         let mut rows: Vec<(String, f64, u64)> = p
             .iter()
@@ -462,7 +465,9 @@ pub fn cmd_chain(args: &Args) -> Result<String> {
 pub fn cmd_tamper(args: &Args) -> Result<String> {
     let mut img = load_image(args.pos(0, "image")?)?;
     let out = args.flag("o").ok_or_else(|| bail("missing -o <out.plx>"))?;
-    let at = args.flag("at").ok_or_else(|| bail("missing --at <vaddr>"))?;
+    let at = args
+        .flag("at")
+        .ok_or_else(|| bail("missing --at <vaddr>"))?;
     let at = u32::from_str_radix(at.trim_start_matches("0x"), 16)
         .map_err(|e| bail(format!("bad --at: {e}")))?;
     let bytes: Vec<u8> = args
@@ -624,8 +629,7 @@ mod tests {
         assert!(dispatch("build", &argv(&["missing.px", "-o", "x"])).is_err());
         let src_path = tmp("bad.px");
         std::fs::write(&src_path, "fn main( {").unwrap();
-        let e = dispatch("build", &argv(&[&src_path, "-o", tmp("bad.plx").as_str()]))
-            .unwrap_err();
+        let e = dispatch("build", &argv(&[&src_path, "-o", tmp("bad.plx").as_str()])).unwrap_err();
         assert!(e.0.contains("parse error"));
     }
 }
@@ -652,9 +656,8 @@ mod chain_cmd_tests {
             .to_str()
             .unwrap()
             .to_owned();
-        let argv = |parts: &[&str]| -> Vec<String> {
-            parts.iter().map(|s| s.to_string()).collect()
-        };
+        let argv =
+            |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
         dispatch("protect", &argv(&[&src_path, "-o", &out, "--verify", "vf"])).unwrap();
         let msg = dispatch("chain", &argv(&[&out, "vf"])).unwrap();
         assert!(msg.contains("chain for `vf`"), "{msg}");

@@ -70,7 +70,7 @@ fn code_restoration_attack_and_frequency_defense() {
     {
         let mut vm = Vm::new(&protected.image);
         vm.mem_mut().w_xor_x = false; // debugger powers
-        // Run a little, patch, keep running through chain calls.
+                                      // Run a little, patch, keep running through chain calls.
         for _ in 0..200 {
             let _ = vm.step();
         }
@@ -162,9 +162,9 @@ fn verification_replacement_attack_semantics() {
     let mut img = protected.image.clone();
     let replacement = [
         0x8b, 0x44, 0x24, 0x04, // mov eax, [esp+4]
-        0x6b, 0xc0, 0x03,       // imul eax, eax, 3
-        0x40,                   // inc eax
-        0xc3,                   // ret
+        0x6b, 0xc0, 0x03, // imul eax, eax, 3
+        0x40, // inc eax
+        0xc3, // ret
     ];
     assert!(replacement.len() as u32 <= vf.size);
     img.write(vf.vaddr, &replacement);

@@ -100,7 +100,11 @@ fn binary_only_protection_round_trip() {
     let mut cracked = protected.image.clone();
     cracked.write(lic.vaddr, &[0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3]);
     let mut vm = Vm::new(&cracked);
-    assert_ne!(vm.run(), Exit::Exited(2 * 20 + 3), "crack must not yield full mode");
+    assert_ne!(
+        vm.run(),
+        Exit::Exited(2 * 20 + 3),
+        "crack must not yield full mode"
+    );
     assert_ne!(vm.run(), honest, "tampering must be noticed");
 }
 
@@ -116,8 +120,9 @@ fn binary_path_rejects_unknown_verify_funcs() {
         },
     )
     .unwrap_err();
+    assert_eq!(err.stage, parallax::core::Stage::Select);
     assert!(matches!(
-        err,
-        parallax::core::ProtectError::NoSuchFunction(_)
+        err.kind,
+        parallax::core::ErrorKind::NoSuchFunction(_)
     ));
 }

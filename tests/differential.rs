@@ -7,7 +7,10 @@ use parallax::vm::{Exit, Vm, VmOptions};
 use parallax_corpus::randprog::Gen;
 
 fn native_outcome(m: &parallax::compiler::Module) -> (Exit, Vec<u8>, u64) {
-    let img = parallax::compiler::compile_module(m).unwrap().link().unwrap();
+    let img = parallax::compiler::compile_module(m)
+        .unwrap()
+        .link()
+        .unwrap();
     let mut vm = Vm::new(&img);
     let exit = vm.run();
     let cycles = vm.cycles();
@@ -42,7 +45,9 @@ fn random_programs_survive_protection_dynamic_modes() {
         let m = Gen::new(seed).module();
         let (exit, _, _) = native_outcome(&m);
         for mode in [
-            ChainMode::XorEncrypted { key: seed as u32 | 1 },
+            ChainMode::XorEncrypted {
+                key: seed as u32 | 1,
+            },
             ChainMode::Rc4Encrypted { key: *b"diffkey!" },
             ChainMode::Probabilistic {
                 variants: 3,
@@ -137,9 +142,7 @@ fn fuzz_tamper_detection_and_no_false_positives() {
     let used = &protected.report.chains[0].used_gadgets;
     let mut checked = 0;
     for va in cold.vaddr..cold.vaddr + cold.size {
-        let overlapped = used
-            .iter()
-            .any(|&g| g <= va && va < g.saturating_add(24));
+        let overlapped = used.iter().any(|&g| g <= va && va < g.saturating_add(24));
         if overlapped {
             continue;
         }

@@ -18,10 +18,7 @@ fn native_run(w: &parallax_corpus::Workload) -> (i32, Vec<u8>) {
     }
 }
 
-fn protect_workload(
-    w: &parallax_corpus::Workload,
-    mode: ChainMode,
-) -> parallax::core::Protected {
+fn protect_workload(w: &parallax_corpus::Workload, mode: ChainMode) -> parallax::core::Protected {
     protect(
         &(w.module)(),
         &ProtectConfig {

@@ -1,0 +1,355 @@
+//! Deterministic fault injection across every stage boundary of the
+//! protection pipeline: each perturbation must surface as the correct
+//! typed [`ProtectError`] or be contained and classified by the
+//! tamper-verdict watchdog — zero panics, zero unbounded hangs.
+
+use parallax::core::{
+    classify, protect, protect_binary, protect_binary_faulted, run_baseline, truncate_chain,
+    Baseline, ChainMode, ErrorKind, FaultPlan, ProtectConfig, Stage, Verdict,
+};
+use parallax::vm::{Exit, VmOptions};
+use parallax::x86::{Asm, Reg32};
+use parallax_compiler::ir::build::*;
+use parallax_compiler::{compile_module, Function, Module};
+use parallax_image::Program;
+
+/// A small program with a verification function (`vf`), a protected
+/// license check (`licensed`), and a never-called function (`dead`)
+/// whose bytes are outside every protected range.
+fn module() -> Module {
+    let mut m = Module::new();
+    m.func(Function::new("licensed", [], vec![ret(c(0))]));
+    m.func(Function::new(
+        "dead",
+        ["x"],
+        vec![ret(mul(add(l("x"), c(7)), c(3)))],
+    ));
+    m.func(Function::new(
+        "vf",
+        ["x"],
+        vec![ret(add(mul(l("x"), c(3)), c(1)))],
+    ));
+    m.func(Function::new(
+        "main",
+        [],
+        vec![ret(add(
+            call("vf", vec![c(5)]),
+            mul(call("licensed", vec![]), c(100)),
+        ))],
+    ));
+    m.entry("main");
+    m
+}
+
+/// Exit status of the honest program: vf(5) = 16, licensed() = 0.
+const HONEST_EXIT: i32 = 16;
+
+fn cfg() -> ProtectConfig {
+    ProtectConfig {
+        verify_funcs: vec!["vf".into()],
+        guard_funcs: vec!["licensed".into()],
+        mode: ChainMode::Cleartext,
+        ..ProtectConfig::default()
+    }
+}
+
+/// Bounded budgets so corrupted chains cannot stall the suite.
+fn bounded() -> VmOptions {
+    VmOptions {
+        cycle_limit: 2_000_000,
+        output_limit: 1 << 20,
+        ..VmOptions::default()
+    }
+}
+
+fn starved_cfg() -> ProtectConfig {
+    let mut cfg = cfg();
+    cfg.rewrite.imm_rule = false;
+    cfg.rewrite.jump_rule = false;
+    cfg.rewrite.internal_jump_rule = false;
+    cfg.rewrite.stdset = false;
+    cfg
+}
+
+// ---------------------------------------------------------------------
+// Pipeline-stage faults → typed errors with correct stage provenance.
+// ---------------------------------------------------------------------
+
+#[test]
+fn corrupted_relocation_fails_in_link_stage() {
+    let m = module();
+    let vf_ir = m.get_func("vf").unwrap().clone();
+    for nth in [0usize, 1, 5] {
+        let prog = compile_module(&m).unwrap();
+        let err = protect_binary_faulted(
+            prog,
+            std::slice::from_ref(&vf_ir),
+            &cfg(),
+            &FaultPlan::none().corrupt_reloc(nth),
+        )
+        .unwrap_err();
+        assert_eq!(err.stage, Stage::Link, "reloc {nth}: {err}");
+        assert!(matches!(err.kind, ErrorKind::Link(_)), "reloc {nth}: {err}");
+        // Stage provenance is part of the message.
+        assert!(err.to_string().contains("link stage"), "{err}");
+    }
+}
+
+#[test]
+fn dropped_frame_fails_in_link_stage() {
+    let m = module();
+    let vf_ir = m.get_func("vf").unwrap().clone();
+    let prog = compile_module(&m).unwrap();
+    let err = protect_binary_faulted(
+        prog,
+        std::slice::from_ref(&vf_ir),
+        &cfg(),
+        &FaultPlan::none().drop_frame("vf"),
+    )
+    .unwrap_err();
+    assert_eq!(err.stage, Stage::Link, "{err}");
+    assert!(matches!(err.kind, ErrorKind::Link(_)), "{err}");
+}
+
+#[test]
+fn undecodable_function_fails_in_rewrite_stage() {
+    let m = module();
+    let vf_ir = m.get_func("vf").unwrap().clone();
+    let prog = compile_module(&m).unwrap();
+    let err = protect_binary_faulted(
+        prog,
+        std::slice::from_ref(&vf_ir),
+        &cfg(),
+        &FaultPlan::none().undecodable_func("licensed"),
+    )
+    .unwrap_err();
+    assert_eq!(err.stage, Stage::Rewrite, "{err}");
+    assert!(matches!(err.kind, ErrorKind::Rewrite(_)), "{err}");
+}
+
+#[test]
+fn emptied_gadget_scan_fails_in_scan_stage() {
+    let m = module();
+    let vf_ir = m.get_func("vf").unwrap().clone();
+    let prog = compile_module(&m).unwrap();
+    let mut cfg = cfg();
+    cfg.degrade = false; // surface the raw scan error
+    let err = protect_binary_faulted(
+        prog,
+        std::slice::from_ref(&vf_ir),
+        &cfg,
+        &FaultPlan::none().empty_gadget_scan(),
+    )
+    .unwrap_err();
+    assert_eq!(err.stage, Stage::GadgetScan, "{err}");
+    assert!(matches!(err.kind, ErrorKind::NoUsableGadgets), "{err}");
+    assert!(err.is_gadget_starvation());
+}
+
+#[test]
+fn unknown_verify_func_fails_in_select_stage() {
+    let err = protect(
+        &module(),
+        &ProtectConfig {
+            verify_funcs: vec!["missing".into()],
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(err.stage, Stage::Select, "{err}");
+    assert!(matches!(err.kind, ErrorKind::NoSuchFunction(_)), "{err}");
+}
+
+// ---------------------------------------------------------------------
+// Gadget starvation and the degradation ladder.
+// ---------------------------------------------------------------------
+
+#[test]
+fn gadget_starved_build_fails_typed_without_degradation() {
+    let mut cfg = starved_cfg();
+    cfg.degrade = false;
+    let err = protect(&module(), &cfg).unwrap_err();
+    assert!(
+        err.is_gadget_starvation(),
+        "starved build must report missing gadgets: {err}"
+    );
+    assert!(
+        matches!(err.stage, Stage::ChainCompile | Stage::GadgetScan),
+        "{err}"
+    );
+}
+
+#[test]
+fn degradation_ladder_recovers_via_standard_set() {
+    let protected = protect(&module(), &starved_cfg()).expect("ladder must recover");
+    let degr = &protected.report.degradations;
+    assert!(!degr.is_empty(), "fallbacks must be reported");
+    assert!(
+        degr.last().unwrap().stdset_forced,
+        "final fallback appends the standard set: {degr:?}"
+    );
+    assert!(degr.iter().all(|d| !d.missing.is_empty()));
+    // The degraded build still runs correctly.
+    let mut vm = parallax::vm::Vm::with_options(&protected.image, bounded());
+    assert_eq!(vm.run(), Exit::Exited(HONEST_EXIT));
+}
+
+#[test]
+fn successful_build_reports_no_degradation() {
+    let protected = protect(&module(), &cfg()).unwrap();
+    assert!(protected.report.degradations.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Post-link corruption → contained, classified verdicts.
+// ---------------------------------------------------------------------
+
+#[test]
+fn truncated_chains_are_detected_and_contained() {
+    let protected = protect(&module(), &cfg()).unwrap();
+    let base = run_baseline(&protected.image, &[], &bounded());
+    assert_eq!(base.exit, Exit::Exited(HONEST_EXIT));
+    let words = protected.report.chains[0].words;
+    for keep in [1usize, 3, words / 2] {
+        let mut img = protected.image.clone();
+        assert!(truncate_chain(&mut img, "vf", keep), "truncate at {keep}");
+        let v = classify(&img, &[], &base, &bounded());
+        assert!(
+            v.is_detection(),
+            "chain truncated to {keep}/{words} words must not pass as clean"
+        );
+    }
+}
+
+#[test]
+fn flips_inside_protected_ranges_are_classified() {
+    let protected = protect(&module(), &cfg()).unwrap();
+    let base = run_baseline(&protected.image, &[], &bounded());
+    let lic = protected.image.symbol("licensed").unwrap().clone();
+    let mut detections = 0usize;
+    for off in 0..lic.size {
+        let mut img = protected.image.clone();
+        assert!(parallax::core::flip_byte(&mut img, lic.vaddr + off));
+        // Any verdict is acceptable — the requirement is that every
+        // flip is *classified* within the budgets, never a panic or
+        // an unbounded hang.
+        if classify(&img, &[], &base, &bounded()).is_detection() {
+            detections += 1;
+        }
+    }
+    assert!(
+        detections > 0,
+        "guarded function must detect at least one single-byte flip"
+    );
+}
+
+#[test]
+fn flips_outside_protected_ranges_stay_clean() {
+    // Binary-level build so an unreferenced slack object exists.
+    let m = module();
+    let vf_ir = m.get_func("vf").unwrap().clone();
+    let mut prog = compile_module(&m).unwrap();
+    prog.add_data("slack", vec![0xaa; 64]);
+    let mut cfg = cfg();
+    // Only `licensed` is protected; `dead` and `slack` are outside
+    // every protected range.
+    cfg.protect_targets = Some(vec!["licensed".into()]);
+    let protected = protect_binary(prog, std::slice::from_ref(&vf_ir), &cfg).unwrap();
+    let base = run_baseline(&protected.image, &[], &bounded());
+    assert_eq!(base.exit, Exit::Exited(HONEST_EXIT));
+
+    let slack = protected.image.symbol("slack").unwrap().clone();
+    for off in (0..slack.size).step_by(7) {
+        let mut img = protected.image.clone();
+        assert!(parallax::core::flip_byte(&mut img, slack.vaddr + off));
+        assert_eq!(
+            classify(&img, &[], &base, &bounded()),
+            Verdict::Clean,
+            "flip in unreferenced data at +{off} must not trip the watchdog"
+        );
+    }
+
+    // Dead code: never executed, unprotected. Keep clear of chain
+    // gadgets (the policy may fall back to any usable gadget).
+    let dead = protected.image.symbol("dead").unwrap().clone();
+    let used = &protected.report.chains[0].used_gadgets;
+    for off in 0..dead.size {
+        let vaddr = dead.vaddr + off;
+        if used
+            .iter()
+            .any(|&g| vaddr >= g.saturating_sub(1) && vaddr < g + 16)
+        {
+            continue;
+        }
+        let mut img = protected.image.clone();
+        assert!(parallax::core::flip_byte(&mut img, vaddr));
+        assert_eq!(
+            classify(&img, &[], &base, &bounded()),
+            Verdict::Clean,
+            "flip in dead code at +{off} must not trip the watchdog"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Watchdog budget classes: Hang and MemLimit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn runaway_loop_classifies_as_hang() {
+    let mut a = Asm::new();
+    let top = a.here();
+    a.jmp(top);
+    let mut p = Program::new();
+    p.add_func("main", a.finish().unwrap());
+    p.set_entry("main");
+    let img = p.link().unwrap();
+    let base = Baseline {
+        exit: Exit::Exited(0),
+        output: Vec::new(),
+    };
+    let opts = VmOptions {
+        cycle_limit: 10_000,
+        ..VmOptions::default()
+    };
+    assert_eq!(classify(&img, &[], &base, &opts), Verdict::Hang);
+}
+
+#[test]
+fn runaway_writer_classifies_as_mem_limit() {
+    // loop { write(1, blob, 64) } — output is the VM's only unbounded
+    // allocation; the output budget must contain it.
+    let mut a = Asm::new();
+    a.mov_ri(Reg32::Ebx, 1);
+    let top = a.here();
+    a.mov_ri(Reg32::Eax, 4);
+    a.mov_ri_sym(Reg32::Ecx, "blob", 0);
+    a.mov_ri(Reg32::Edx, 64);
+    a.int(0x80);
+    a.jmp(top);
+    let mut p = Program::new();
+    p.add_func("main", a.finish().unwrap());
+    p.add_data("blob", vec![0x42; 64]);
+    p.set_entry("main");
+    let img = p.link().unwrap();
+    let opts = VmOptions {
+        output_limit: 4096,
+        ..VmOptions::default()
+    };
+    let base = run_baseline(&img, &[], &opts);
+    assert_eq!(
+        base.exit,
+        Exit::MemLimit,
+        "baseline run is itself contained"
+    );
+    let verdict = classify(
+        &img,
+        &[],
+        &Baseline {
+            exit: Exit::Exited(0),
+            output: Vec::new(),
+        },
+        &opts,
+    );
+    assert_eq!(verdict, Verdict::MemLimit);
+}

@@ -1,0 +1,96 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Deterministic xorshift-based PRNG implementing the small API
+//! surface this workspace needs. Not cryptographically secure and not
+//! statistically rigorous — a build-time dependency shim only.
+
+use std::ops::Range;
+
+/// Core random-number source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// splitmix64 generator; used for both `StdRng` and `SmallRng`.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+pub mod rngs {
+    pub use super::StdRng;
+    pub type SmallRng = StdRng;
+}
+
+/// Process-wide generator. Deterministic (fixed seed) by design: this
+/// workspace never wants irreproducible randomness.
+pub fn thread_rng() -> StdRng {
+    StdRng::seed_from_u64(0x5eed_5eed_5eed_5eed)
+}
+
+pub mod prelude {
+    pub use super::{thread_rng, Rng, RngCore, SeedableRng, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(10..20);
+            assert_eq!(x, b.gen_range(10..20));
+            assert!((10..20).contains(&x));
+        }
+    }
+}
