@@ -22,7 +22,8 @@
 
 use parallax_image::{LinkedImage, Program};
 
-use crate::protect::{protect_binary_with_plan, ProtectConfig, ProtectError, Protected};
+use crate::hooks::NoHooks;
+use crate::protect::{protect_binary_hooked, ProtectConfig, ProtectError, Protected};
 use parallax_compiler::Function;
 
 /// A deterministic set of perturbations applied at stage boundaries.
@@ -36,6 +37,7 @@ pub struct FaultPlan {
     dropped_frames: Vec<String>,
     corrupt_reloc: Option<usize>,
     empty_gadget_scan: bool,
+    poison_scan_cache: bool,
 }
 
 impl FaultPlan {
@@ -71,6 +73,37 @@ impl FaultPlan {
     pub fn empty_gadget_scan(mut self) -> FaultPlan {
         self.empty_gadget_scan = true;
         self
+    }
+
+    /// Poisoned-cache-entry scenario: asks the batch engine to corrupt
+    /// the stored bytes of this job's cached artifacts before they are
+    /// consulted, modelling on-disk bit-rot (or tampering) in the
+    /// artifact cache. Expected behavior: *no failure* — the cache
+    /// detects the content-hash mismatch on load, evicts the entry, and
+    /// recomputes, so the job's output is byte-identical to an
+    /// uncached run. Consumed by `parallax-engine`, not the pipeline.
+    pub fn poison_scan_cache(mut self) -> FaultPlan {
+        self.poison_scan_cache = true;
+        self
+    }
+
+    /// True when [`Self::poison_scan_cache`] was requested (read by the
+    /// batch engine).
+    pub fn poisons_scan_cache(&self) -> bool {
+        self.poison_scan_cache
+    }
+
+    /// The plan with cache-layer faults removed — the
+    /// pipeline-affecting remainder. Cache poisoning is detected and
+    /// healed by the artifact cache, so it never changes the protected
+    /// output; cache keys must therefore be derived from this
+    /// normalized plan, or a poisoned run would silently key away from
+    /// the very entries the scenario poisons.
+    pub fn without_cache_faults(&self) -> FaultPlan {
+        FaultPlan {
+            poison_scan_cache: false,
+            ..self.clone()
+        }
     }
 
     pub(crate) fn drops_frame(&self, func: &str) -> bool {
@@ -123,7 +156,19 @@ pub fn protect_binary_faulted(
     cfg: &ProtectConfig,
     plan: &FaultPlan,
 ) -> Result<Protected, ProtectError> {
-    protect_binary_with_plan(prog, verify_impls, cfg, plan)
+    protect_binary_hooked(prog, verify_impls, cfg, plan, &NoHooks)
+}
+
+/// Flips one bit in the middle of a serialized cache artifact —
+/// the corruption primitive behind [`FaultPlan::poison_scan_cache`].
+/// Returns false (and leaves the blob alone) when it is empty.
+pub fn poison_cache_blob(blob: &mut [u8]) -> bool {
+    if blob.is_empty() {
+        return false;
+    }
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0x40;
+    true
 }
 
 /// Truncates the serialized chain of verification function `func` to

@@ -1,0 +1,74 @@
+//! Pipeline instrumentation and artifact-reuse seams.
+//!
+//! The batch-protection engine (`parallax-engine`) runs many
+//! [`protect`](crate::protect) jobs concurrently and wants to (a) reuse
+//! expensive intermediate artifacts across jobs that share an input
+//! image and (b) attribute wall time to pipeline [`Stage`]s. Rather
+//! than threading an engine type through the pipeline, the pipeline
+//! calls out through the [`PipelineHooks`] trait at well-defined seams:
+//!
+//! * **gadget scans** — before scanning a linked image the pipeline
+//!   offers the image to [`PipelineHooks::cached_scan`]; a `Some`
+//!   answer skips [`find_gadgets`](parallax_gadgets::find_gadgets)
+//!   entirely. Implementations key their store by a *content hash of
+//!   the image bytes*, so a stale or cross-wired entry can never be
+//!   returned for the wrong image.
+//! * **Figure-6 coverage** — the per-rule protectability analysis runs
+//!   on the *unprotected* image, which is shared by every job that
+//!   protects the same program (whatever the chain mode or seed).
+//! * **stage timing** — [`PipelineHooks::stage_completed`] receives
+//!   the wall time of each stage block as it finishes, including
+//!   repeats across degradation-ladder retries.
+//! * **degradations** — surfaced as they happen, so a live progress
+//!   display can show them before the job finishes.
+//!
+//! All hook methods default to no-ops; [`NoHooks`] is the pipeline's
+//! default implementation, and `protect`/`protect_binary` route through
+//! it so the hooked and unhooked paths are the same code.
+
+use std::time::Duration;
+
+use parallax_gadgets::Gadget;
+use parallax_image::LinkedImage;
+use parallax_rewrite::Coverage;
+
+use crate::protect::{DegradationReport, Stage};
+
+/// Observation and artifact-reuse callbacks for the protection
+/// pipeline. Implementations must be `Send + Sync`: one hooks value may
+/// be shared by many concurrent pipeline runs.
+pub trait PipelineHooks: Send + Sync {
+    /// A previously computed gadget scan for an image with identical
+    /// content, or `None` to run the scanner. Returning an empty vector
+    /// is treated as a miss (an empty scan is an error condition the
+    /// pipeline must re-derive itself).
+    fn cached_scan(&self, _img: &LinkedImage) -> Option<Vec<Gadget>> {
+        None
+    }
+
+    /// Offers a freshly computed gadget scan for reuse.
+    fn store_scan(&self, _img: &LinkedImage, _gadgets: &[Gadget]) {}
+
+    /// A previously computed Figure-6 coverage analysis for an image
+    /// with identical content, or `None` to run the analysis.
+    fn cached_coverage(&self, _img: &LinkedImage) -> Option<Coverage> {
+        None
+    }
+
+    /// Offers a freshly computed coverage analysis for reuse.
+    fn store_coverage(&self, _img: &LinkedImage, _coverage: &Coverage) {}
+
+    /// A pipeline stage block finished after `elapsed` wall time.
+    /// Stages repeat across fixpoint passes and degradation retries;
+    /// implementations should accumulate.
+    fn stage_completed(&self, _stage: Stage, _elapsed: Duration) {}
+
+    /// The degradation ladder took a fallback.
+    fn degraded(&self, _report: &DegradationReport) {}
+}
+
+/// The default hooks: observe nothing, cache nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHooks;
+
+impl PipelineHooks for NoHooks {}

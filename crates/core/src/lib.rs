@@ -30,17 +30,21 @@
 
 pub mod dynamic;
 pub mod faultinject;
+pub mod hooks;
 pub mod microchain;
 pub mod protect;
 pub mod select;
 pub mod tamper;
 
 pub use dynamic::{Basis, ChainMode};
-pub use faultinject::{flip_byte, protect_binary_faulted, truncate_chain, FaultPlan};
+pub use faultinject::{
+    flip_byte, poison_cache_blob, protect_binary_faulted, truncate_chain, FaultPlan,
+};
+pub use hooks::{NoHooks, PipelineHooks};
 pub use microchain::split_for_microchains;
 pub use protect::{
-    protect, protect_binary, ChainInfo, DegradationReport, ErrorKind, ProtectConfig, ProtectError,
-    ProtectReport, Protected, Stage,
+    protect, protect_binary, protect_binary_hooked, protect_with_hooks, ChainInfo,
+    DegradationReport, ErrorKind, ProtectConfig, ProtectError, ProtectReport, Protected, Stage,
 };
 pub use select::{select_verification_functions, SelectionConfig};
 pub use tamper::{

@@ -31,6 +31,7 @@
 //! recording each fallback in a [`DegradationReport`].
 
 use std::fmt;
+use std::time::Instant;
 
 use parallax_compiler::{compile_module, CompileError, Function, Module};
 use parallax_gadgets::{find_gadgets, GadgetMap};
@@ -47,6 +48,7 @@ use crate::dynamic::{
     build_index_blob, install_generator_binary, rc4_crypt, xor_crypt, Basis, ChainMode,
 };
 use crate::faultinject::FaultPlan;
+use crate::hooks::{NoHooks, PipelineHooks};
 
 /// Configuration for [`protect`].
 #[derive(Debug, Clone)]
@@ -372,6 +374,16 @@ pub const DEFAULT_VARIANTS: usize = 8;
 /// Runs the full protection pipeline on an IR module (the common,
 /// "source available" path).
 pub fn protect(module: &Module, cfg: &ProtectConfig) -> Result<Protected, ProtectError> {
+    protect_with_hooks(module, cfg, &NoHooks)
+}
+
+/// [`protect`] with [`PipelineHooks`] for artifact reuse and stage
+/// telemetry (the batch engine's entry point).
+pub fn protect_with_hooks(
+    module: &Module,
+    cfg: &ProtectConfig,
+    hooks: &dyn PipelineHooks,
+) -> Result<Protected, ProtectError> {
     let mut verify_impls = Vec::new();
     for f in &cfg.verify_funcs {
         let func = module
@@ -380,7 +392,7 @@ pub fn protect(module: &Module, cfg: &ProtectConfig) -> Result<Protected, Protec
         verify_impls.push(func.clone());
     }
     let prog = compile_module(module)?;
-    protect_binary(prog, &verify_impls, cfg)
+    protect_binary_hooked(prog, &verify_impls, cfg, &FaultPlan::default(), hooks)
 }
 
 /// The binary-level pipeline (paper §I advantage 5: "our approach lends
@@ -396,16 +408,18 @@ pub fn protect_binary(
     verify_impls: &[Function],
     cfg: &ProtectConfig,
 ) -> Result<Protected, ProtectError> {
-    protect_binary_with_plan(prog, verify_impls, cfg, &FaultPlan::default())
+    protect_binary_hooked(prog, verify_impls, cfg, &FaultPlan::default(), &NoHooks)
 }
 
-/// [`protect_binary`] with a fault-injection plan (test seam; see
-/// [`crate::faultinject`]).
-pub(crate) fn protect_binary_with_plan(
+/// [`protect_binary`] with a fault-injection plan (see
+/// [`crate::faultinject`]) and [`PipelineHooks`] — the fully general
+/// entry point the batch engine and the fault harness share.
+pub fn protect_binary_hooked(
     prog: Program,
     verify_impls: &[Function],
     cfg: &ProtectConfig,
     plan: &FaultPlan,
+    hooks: &dyn PipelineHooks,
 ) -> Result<Protected, ProtectError> {
     // Stage: Select — the requested functions must exist both in the
     // program and among the supplied IR implementations.
@@ -415,8 +429,21 @@ pub(crate) fn protect_binary_with_plan(
         }
     }
 
-    // Figure-6 coverage is measured on the unprotected image.
-    let coverage = analyze(&prog.link()?);
+    // Figure-6 coverage is measured on the unprotected image — shared
+    // by every job protecting the same program, so it is offered to the
+    // hooks for reuse. Attributed to the Select stage: it is part of
+    // sizing up the pristine input before the pipeline mutates it.
+    let coverage = timed(hooks, Stage::Select, || -> Result<_, ProtectError> {
+        let base = prog.link()?;
+        Ok(match hooks.cached_coverage(&base) {
+            Some(c) => c,
+            None => {
+                let c = analyze(&base);
+                hooks.store_coverage(&base, &c);
+                c
+            }
+        })
+    })?;
 
     // Degradation ladder: the base attempt, then (when enabled)
     // alternate immediate-rule body rotations, then a forced standard
@@ -439,7 +466,7 @@ pub(crate) fn protect_binary_with_plan(
     let mut degradations: Vec<DegradationReport> = Vec::new();
     let last = attempts.len() - 1;
     for (i, (rw_cfg, _)) in attempts.iter().enumerate() {
-        match run_pipeline(prog.clone(), verify_impls, cfg, rw_cfg, plan) {
+        match run_pipeline(prog.clone(), verify_impls, cfg, rw_cfg, plan, hooks) {
             Ok((image, rewrites, chains, gadget_count)) => {
                 return Ok(Protected {
                     image,
@@ -460,12 +487,14 @@ pub(crate) fn protect_binary_with_plan(
                 // Describe the fallback the *next* attempt makes.
                 let (next_cfg, next_forced) = &attempts[i + 1];
                 if let Some((func, missing)) = e.starvation_detail() {
-                    degradations.push(DegradationReport {
+                    let report = DegradationReport {
                         func,
                         missing,
                         retry_rotation: next_cfg.body_rotation,
                         stdset_forced: *next_forced,
-                    });
+                    };
+                    hooks.degraded(&report);
+                    degradations.push(report);
                 }
             }
         }
@@ -482,6 +511,7 @@ fn run_pipeline(
     cfg: &ProtectConfig,
     rw_cfg: &RewriteConfig,
     plan: &FaultPlan,
+    hooks: &dyn PipelineHooks,
 ) -> Result<(LinkedImage, RewriteReport, Vec<ChainInfo>, usize), ProtectError> {
     let get_impl = |name: &str| -> Result<&Function, ProtectError> {
         verify_impls
@@ -491,11 +521,14 @@ fn run_pipeline(
     };
 
     // 1. Install chain generators for dynamic modes (stage: Load).
-    let mut gens = Vec::new();
-    for f in cfg.verify_funcs.clone() {
-        let gen = install_generator_binary(&mut prog, &f, &cfg.mode)?;
-        gens.push((f, gen));
-    }
+    let gens = timed(hooks, Stage::Load, || -> Result<_, ProtectError> {
+        let mut gens = Vec::new();
+        for f in cfg.verify_funcs.clone() {
+            let gen = install_generator_binary(&mut prog, &f, &cfg.mode)?;
+            gens.push((f, gen));
+        }
+        Ok(gens)
+    })?;
 
     // 2. Apply the rewriting rules (stage: Rewrite).
     let targets: Vec<String> = match &cfg.protect_targets {
@@ -507,9 +540,12 @@ fn run_pipeline(
             .collect(),
     };
     plan.apply_pre_rewrite(&mut prog);
-    let rewrites = protect_program(&mut prog, &targets, rw_cfg)?;
+    let rewrites = timed(hooks, Stage::Rewrite, || {
+        protect_program(&mut prog, &targets, rw_cfg)
+    })?;
 
     // 3. Runtime, frames, stubs, placeholders (stage: Load).
+    let t_load = Instant::now();
     install_runtime(&mut prog);
     prog.add_bss("__plx_scratch", 4096);
     for (f, gen) in &gens {
@@ -574,12 +610,14 @@ fn run_pipeline(
         slot.markers = stub.markers;
     }
     plan.apply_pre_link(&mut prog);
+    hooks.stage_completed(Stage::Load, t_load.elapsed());
 
     // 4. Fixpoint pass 1: discover chain sizes (stages: Link,
     // GadgetScan, Map, ChainCompile).
-    let img1 = prog.link()?;
-    let map1 = scan_gadgets(&img1, plan)?;
+    let img1 = timed(hooks, Stage::Link, || prog.link())?;
+    let map1 = scan_gadgets(&img1, plan, hooks)?;
     let ranges1 = target_ranges(&img1, &targets);
+    let t_chain1 = Instant::now();
     let mut sizes = Vec::new();
     for (i, (f, _)) in gens.iter().enumerate() {
         let func = get_impl(f)?;
@@ -597,8 +635,10 @@ fn run_pipeline(
         let blob_cap = words * cfg_variants(&cfg.mode) * 140 + 1024;
         sizes.push((words, blob_cap));
     }
+    hooks.stage_completed(Stage::ChainCompile, t_chain1.elapsed());
 
     // Size the per-chain data objects (stage: Map).
+    let t_map = Instant::now();
     for ((f, _gen), (words, blob_cap)) in gens.iter().zip(&sizes) {
         let bytes = words * 4;
         match &cfg.mode {
@@ -615,11 +655,13 @@ fn run_pipeline(
             }
         }
     }
+    hooks.stage_completed(Stage::Map, t_map.elapsed());
 
     // 5. Fixpoint pass 2: final layout; recompile, serialize, install.
-    let img2 = prog.link()?;
-    let map2 = scan_gadgets(&img2, plan)?;
+    let img2 = timed(hooks, Stage::Link, || prog.link())?;
+    let map2 = scan_gadgets(&img2, plan, hooks)?;
     let ranges2 = target_ranges(&img2, &targets);
+    let t_chain2 = Instant::now();
     let mut chains = Vec::new();
     for (i, ((f, _gen), (words, _))) in gens.iter().zip(&sizes).enumerate() {
         let func = get_impl(f)?;
@@ -745,21 +787,46 @@ fn run_pipeline(
             overlapping_used,
         });
     }
+    hooks.stage_completed(Stage::ChainCompile, t_chain2.elapsed());
 
-    let image = prog.link()?;
+    let image = timed(hooks, Stage::Link, || prog.link())?;
     debug_assert_eq!(image.text, img2.text, "text stable across final fill");
 
     Ok((image, rewrites, chains, map2.gadgets().len()))
 }
 
+/// Times one stage block and reports it to the hooks.
+fn timed<T>(hooks: &dyn PipelineHooks, stage: Stage, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let out = f();
+    hooks.stage_completed(stage, t0.elapsed());
+    out
+}
+
 /// Gadget discovery with a typed [`Stage::GadgetScan`] error when the
 /// image yields nothing usable (or the fault plan empties the scan).
-fn scan_gadgets(img: &LinkedImage, plan: &FaultPlan) -> Result<GadgetMap, ProtectError> {
+/// Consults the hooks' content-addressed scan cache first — two jobs
+/// whose pipelines link a byte-identical intermediate image (e.g. the
+/// same program protected under different seeds) share one scan.
+fn scan_gadgets(
+    img: &LinkedImage,
+    plan: &FaultPlan,
+    hooks: &dyn PipelineHooks,
+) -> Result<GadgetMap, ProtectError> {
+    let t0 = Instant::now();
     let gadgets = if plan.empties_gadget_scan() {
         Vec::new()
     } else {
-        find_gadgets(img)
+        match hooks.cached_scan(img) {
+            Some(cached) if !cached.is_empty() => cached,
+            _ => {
+                let fresh = find_gadgets(img);
+                hooks.store_scan(img, &fresh);
+                fresh
+            }
+        }
     };
+    hooks.stage_completed(Stage::GadgetScan, t0.elapsed());
     if gadgets.is_empty() {
         return Err(ProtectError::new(
             Stage::GadgetScan,

@@ -1,0 +1,224 @@
+//! Typed payload codecs for the artifact cache.
+//!
+//! Gadget scans have their own codec in `parallax-gadgets`
+//! (`serialize_gadgets`); this module covers the two engine-specific
+//! artifacts — the Figure-6 coverage analysis and the full protected
+//! result — in the same hand-rolled little-endian style. Decoders are
+//! total: malformed bytes yield `None` (a cache miss), never a panic.
+
+use parallax_core::ProtectReport;
+use parallax_rewrite::Coverage;
+
+const COVERAGE_MAGIC: &[u8; 4] = b"PCV\x01";
+const PROTECTED_MAGIC: &[u8; 4] = b"PPR\x01";
+
+/// Per-chain statistics preserved through the protected-artifact cache
+/// (the subset of [`parallax_core::ChainInfo`] the batch reports use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainSummary {
+    /// The translated verification function.
+    pub func: String,
+    /// Gadget invocations in the chain.
+    pub ops: usize,
+    /// Chain length in 32-bit words.
+    pub words: usize,
+    /// Distinct gadgets used that overlap protected instructions.
+    pub overlapping_used: usize,
+    /// Distinct gadget addresses used.
+    pub used_gadgets: usize,
+}
+
+/// A decoded protected-result artifact.
+#[derive(Debug, Clone)]
+pub struct ProtectedArtifact {
+    /// The final image, in `PLX` container bytes.
+    pub image: Vec<u8>,
+    /// Total usable gadgets discovered.
+    pub gadget_count: usize,
+    /// Per-chain statistics.
+    pub chains: Vec<ChainSummary>,
+    /// How many degradation-ladder fallbacks the build took.
+    pub degradations: usize,
+}
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.out.extend_from_slice(v);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let slice = self.buf.get(self.pos..end)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(slice);
+        self.pos = end;
+        Some(u64::from_le_bytes(raw))
+    }
+    fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+    fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.usize()?;
+        let end = self.pos.checked_add(len)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+    fn str(&mut self) -> Option<String> {
+        Some(std::str::from_utf8(self.bytes()?).ok()?.to_owned())
+    }
+}
+
+/// Encodes a coverage analysis.
+pub fn encode_coverage(c: &Coverage) -> Vec<u8> {
+    let mut w = Writer {
+        out: COVERAGE_MAGIC.to_vec(),
+    };
+    for n in [
+        c.code_bytes,
+        c.existing_near,
+        c.existing_far,
+        c.immediate,
+        c.jump,
+        c.any,
+    ] {
+        w.u64(n as u64);
+    }
+    w.out
+}
+
+/// Decodes a coverage analysis.
+pub fn decode_coverage(bytes: &[u8]) -> Option<Coverage> {
+    if bytes.len() != 4 + 6 * 8 || &bytes[..4] != COVERAGE_MAGIC {
+        return None;
+    }
+    let mut r = Reader { buf: bytes, pos: 4 };
+    Some(Coverage {
+        code_bytes: r.usize()?,
+        existing_near: r.usize()?,
+        existing_far: r.usize()?,
+        immediate: r.usize()?,
+        jump: r.usize()?,
+        any: r.usize()?,
+    })
+}
+
+/// Encodes a protected result (image bytes + compact report).
+pub fn encode_protected(image: &[u8], report: &ProtectReport) -> Vec<u8> {
+    let mut w = Writer {
+        out: PROTECTED_MAGIC.to_vec(),
+    };
+    w.u64(report.gadget_count as u64);
+    w.u64(report.degradations.len() as u64);
+    w.u64(report.chains.len() as u64);
+    for c in &report.chains {
+        w.bytes(c.func.as_bytes());
+        w.u64(c.ops as u64);
+        w.u64(c.words as u64);
+        w.u64(c.overlapping_used as u64);
+        w.u64(c.used_gadgets.len() as u64);
+    }
+    w.bytes(image);
+    w.out
+}
+
+/// Decodes a protected result.
+pub fn decode_protected(bytes: &[u8]) -> Option<ProtectedArtifact> {
+    if bytes.len() < 4 || &bytes[..4] != PROTECTED_MAGIC {
+        return None;
+    }
+    let mut r = Reader { buf: bytes, pos: 4 };
+    let gadget_count = r.usize()?;
+    let degradations = r.usize()?;
+    let n_chains = r.usize()?;
+    let mut chains = Vec::with_capacity(n_chains.min(1024));
+    for _ in 0..n_chains {
+        chains.push(ChainSummary {
+            func: r.str()?,
+            ops: r.usize()?,
+            words: r.usize()?,
+            overlapping_used: r.usize()?,
+            used_gadgets: r.usize()?,
+        });
+    }
+    let image = r.bytes()?.to_vec();
+    (r.pos == bytes.len()).then_some(ProtectedArtifact {
+        image,
+        gadget_count,
+        chains,
+        degradations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_roundtrip() {
+        let c = Coverage {
+            code_bytes: 4096,
+            existing_near: 12,
+            existing_far: 3,
+            immediate: 900,
+            jump: 700,
+            any: 1500,
+        };
+        let bytes = encode_coverage(&c);
+        let back = decode_coverage(&bytes).unwrap();
+        assert_eq!(back.code_bytes, 4096);
+        assert_eq!(back.any, 1500);
+        assert!(decode_coverage(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_coverage(b"nope").is_none());
+    }
+
+    #[test]
+    fn protected_roundtrip() {
+        let report = ProtectReport {
+            rewrites: Default::default(),
+            coverage: Coverage {
+                code_bytes: 0,
+                existing_near: 0,
+                existing_far: 0,
+                immediate: 0,
+                jump: 0,
+                any: 0,
+            },
+            chains: vec![parallax_core::ChainInfo {
+                func: "vf".into(),
+                ops: 10,
+                words: 40,
+                used_gadgets: vec![0x1000, 0x1005],
+                overlapping_used: 1,
+            }],
+            gadget_count: 77,
+            degradations: Vec::new(),
+        };
+        let bytes = encode_protected(b"IMAGEBYTES", &report);
+        let a = decode_protected(&bytes).unwrap();
+        assert_eq!(a.image, b"IMAGEBYTES");
+        assert_eq!(a.gadget_count, 77);
+        assert_eq!(a.chains.len(), 1);
+        assert_eq!(a.chains[0].func, "vf");
+        assert_eq!(a.chains[0].used_gadgets, 2);
+        assert!(decode_protected(&bytes[..10]).is_none());
+        let mut extra = bytes.clone();
+        extra.push(1);
+        assert!(decode_protected(&extra).is_none());
+    }
+}

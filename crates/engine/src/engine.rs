@@ -1,0 +1,545 @@
+//! The batch-protection engine.
+//!
+//! An [`Engine`] executes a queue of [`Job`]s — each a (program,
+//! [`ProtectConfig`], seed) triple — on a work-stealing pool of OS
+//! threads, sharing one content-addressed [`ArtifactCache`] so jobs
+//! that protect the same base image reuse each other's gadget scans,
+//! coverage analyses, and (on repeat runs) whole protected results.
+//! Every observable step is published as an [`EngineEvent`] through an
+//! [`EventSink`].
+//!
+//! Determinism: a job's output depends only on its inputs — the base
+//! image bytes, the full `ProtectConfig` (including the seed), and the
+//! fault plan — never on worker count or scheduling. The cache is keyed
+//! by a content hash of exactly those inputs and verified on every
+//! fetch, so a hit is byte-for-byte what a recompute would produce.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use parallax_compiler::{compile_module, Module};
+use parallax_core::{
+    classify_outcome, protect_binary_hooked, run_baseline, Baseline, DegradationReport, FaultPlan,
+    PipelineHooks, ProtectConfig, Stage, Verdict,
+};
+use parallax_corpus::by_name;
+use parallax_gadgets::{deserialize_gadgets, serialize_gadgets, Gadget};
+use parallax_image::{format, LinkedImage};
+use parallax_rewrite::Coverage;
+use parallax_vm::{Vm, VmOptions};
+
+use crate::artifacts::{
+    decode_coverage, decode_protected, encode_coverage, encode_protected, ChainSummary,
+};
+use crate::cache::{ArtifactCache, ArtifactKind, Fetch, Key};
+use crate::events::{EngineEvent, EventSink};
+use crate::hash::{hash128, hash128_pair};
+use crate::metrics::MetricsSnapshot;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads (clamped to at least 1 and at most the job
+    /// count).
+    pub workers: usize,
+    /// In-memory cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// On-disk cache directory (`None` for memory-only).
+    pub cache_dir: Option<PathBuf>,
+    /// Run every protected image in the VM and classify it against the
+    /// unprotected baseline (the tamper watchdog's `Clean` check).
+    pub validate: bool,
+    /// Write each event as a line of JSON to this path.
+    pub log_json: Option<PathBuf>,
+    /// VM budgets for baseline and validation runs.
+    pub vm: VmOptions,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            workers: 1,
+            cache_capacity: 256,
+            cache_dir: None,
+            validate: true,
+            log_json: None,
+            vm: VmOptions::default(),
+        }
+    }
+}
+
+/// Where a job's IR module comes from.
+#[derive(Debug, Clone)]
+pub enum JobSource {
+    /// A named corpus workload (`wget`, `nginx`, ...).
+    Corpus(String),
+    /// An explicit IR module.
+    Module(Box<Module>),
+}
+
+/// One protection job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Display name (`program/mode#seed` by convention).
+    pub name: String,
+    /// Module source.
+    pub source: JobSource,
+    /// Protection configuration. For corpus sources with empty
+    /// `verify_funcs`, the workload's designated verification function
+    /// is filled in.
+    pub cfg: ProtectConfig,
+    /// Validation input (`None` uses the workload's deterministic
+    /// input, or empty for module sources).
+    pub input: Option<Vec<u8>>,
+    /// Fault-injection plan (default: no faults).
+    pub plan: FaultPlan,
+}
+
+impl Job {
+    /// A corpus job with the conventional display name.
+    pub fn corpus(program: &str, cfg: ProtectConfig) -> Job {
+        Job {
+            name: format!("{program}/{}#{}", cfg.mode.name(), cfg.seed),
+            source: JobSource::Corpus(program.to_owned()),
+            cfg,
+            input: None,
+            plan: FaultPlan::default(),
+        }
+    }
+}
+
+/// Outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Display name.
+    pub name: String,
+    /// The protected image in `PLX` container bytes (empty on error).
+    pub image: Vec<u8>,
+    /// Total usable gadgets in the protected image.
+    pub gadget_count: usize,
+    /// Per-chain statistics.
+    pub chains: Vec<ChainSummary>,
+    /// Degradation-ladder fallbacks the build took.
+    pub degradations: usize,
+    /// Whether the protected result came from the cache.
+    pub cached: bool,
+    /// Watchdog verdict (`None` when validation was disabled or the
+    /// job failed before it).
+    pub verdict: Option<Verdict>,
+    /// VM cycles spent validating.
+    pub vm_cycles: u64,
+    /// Job wall time in microseconds.
+    pub micros: u64,
+    /// Failure message, `None` on success.
+    pub error: Option<String>,
+}
+
+/// Everything a finished batch produced.
+pub struct BatchReport {
+    /// Per-job outcomes, in submission order.
+    pub results: Vec<JobResult>,
+    /// Frozen batch metrics.
+    pub metrics: MetricsSnapshot,
+}
+
+impl BatchReport {
+    /// True when every job succeeded and every validated image ran
+    /// byte-identically to its unprotected baseline.
+    pub fn all_clean(&self) -> bool {
+        self.results
+            .iter()
+            .all(|r| r.error.is_none() && r.verdict.is_none_or(|v| v == Verdict::Clean))
+    }
+}
+
+/// The batch-protection engine. One instance owns the artifact cache
+/// and the baseline store; [`Engine::run`] executes batches against
+/// them, so consecutive batches share warm state.
+pub struct Engine {
+    opts: EngineOptions,
+    cache: ArtifactCache,
+    baselines: Mutex<HashMap<u128, Arc<Baseline>>>,
+}
+
+impl Engine {
+    /// Creates an engine.
+    pub fn new(opts: EngineOptions) -> Engine {
+        let cache = ArtifactCache::new(opts.cache_capacity, opts.cache_dir.clone());
+        Engine {
+            opts,
+            cache,
+            baselines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The engine's artifact cache.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Executes `jobs`, streaming events to `subscriber`, and returns
+    /// per-job results (in submission order) plus batch metrics.
+    pub fn run(
+        &self,
+        jobs: Vec<Job>,
+        subscriber: impl FnMut(&EngineEvent) + Send,
+    ) -> std::io::Result<BatchReport> {
+        let sink = EventSink::new(subscriber, self.opts.log_json.as_deref())?;
+        for (i, job) in jobs.iter().enumerate() {
+            sink.emit(&EngineEvent::JobQueued {
+                job: i,
+                name: job.name.clone(),
+            });
+        }
+
+        let t0 = Instant::now();
+        let n_workers = self.opts.workers.clamp(1, jobs.len().max(1));
+        // Round-robin initial distribution; idle workers steal from the
+        // back of their neighbors' deques.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..n_workers)
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect();
+        for i in 0..jobs.len() {
+            if let Ok(mut q) = queues[i % n_workers].lock() {
+                q.push_back(i);
+            }
+        }
+        let results: Vec<Mutex<Option<JobResult>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        {
+            let jobs = &jobs;
+            let queues = &queues;
+            let results = &results;
+            let sink = &sink;
+            std::thread::scope(|s| {
+                for w in 0..n_workers {
+                    s.spawn(move || {
+                        let pop = || {
+                            for off in 0..n_workers {
+                                let q = &queues[(w + off) % n_workers];
+                                let Ok(mut q) = q.lock() else { continue };
+                                let idx = if off == 0 {
+                                    q.pop_front()
+                                } else {
+                                    q.pop_back()
+                                };
+                                if idx.is_some() {
+                                    return idx;
+                                }
+                            }
+                            None
+                        };
+                        while let Some(idx) = pop() {
+                            let job = &jobs[idx];
+                            sink.emit(&EngineEvent::JobStarted {
+                                job: idx,
+                                name: job.name.clone(),
+                                worker: w,
+                            });
+                            let t = Instant::now();
+                            let mut result = match self.run_job(idx, job, sink) {
+                                Ok(r) => r,
+                                Err(e) => JobResult {
+                                    name: job.name.clone(),
+                                    image: Vec::new(),
+                                    gadget_count: 0,
+                                    chains: Vec::new(),
+                                    degradations: 0,
+                                    cached: false,
+                                    verdict: None,
+                                    vm_cycles: 0,
+                                    micros: 0,
+                                    error: Some(e),
+                                },
+                            };
+                            result.micros = t.elapsed().as_micros() as u64;
+                            sink.emit(&EngineEvent::JobFinished {
+                                job: idx,
+                                name: result.name.clone(),
+                                micros: result.micros,
+                                cached: result.cached,
+                                verdict: result.verdict,
+                                vm_cycles: result.vm_cycles,
+                                error: result.error.clone(),
+                            });
+                            if let Ok(mut slot) = results[idx].lock() {
+                                *slot = Some(result);
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        sink.flush();
+        let metrics = sink.metrics.snapshot(t0.elapsed(), self.cache.stats());
+        let results = results
+            .into_iter()
+            .zip(&jobs)
+            .map(|(slot, job)| {
+                slot.into_inner().ok().flatten().unwrap_or(JobResult {
+                    name: job.name.clone(),
+                    image: Vec::new(),
+                    gadget_count: 0,
+                    chains: Vec::new(),
+                    degradations: 0,
+                    cached: false,
+                    verdict: None,
+                    vm_cycles: 0,
+                    micros: 0,
+                    error: Some("worker died before finishing the job".to_owned()),
+                })
+            })
+            .collect();
+        Ok(BatchReport { results, metrics })
+    }
+
+    fn run_job(&self, idx: usize, job: &Job, sink: &EventSink<'_>) -> Result<JobResult, String> {
+        // Resolve the module and effective config.
+        let (module, default_input, cfg) = match &job.source {
+            JobSource::Corpus(name) => {
+                let w = by_name(name).ok_or_else(|| format!("unknown corpus program '{name}'"))?;
+                let mut cfg = job.cfg.clone();
+                if cfg.verify_funcs.is_empty() {
+                    cfg.verify_funcs.push(w.verify_func.to_owned());
+                }
+                ((w.module)(), (w.input)(), cfg)
+            }
+            JobSource::Module(m) => ((**m).clone(), Vec::new(), job.cfg.clone()),
+        };
+        let input = job.input.clone().unwrap_or(default_input);
+
+        let mut verify_impls = Vec::new();
+        for f in &cfg.verify_funcs {
+            let func = module
+                .get_func(f)
+                .cloned()
+                .ok_or_else(|| format!("no such function '{f}'"))?;
+            verify_impls.push(func);
+        }
+        let prog = compile_module(&module).map_err(|e| format!("compile: {e:?}"))?;
+        let base_img = prog.link().map_err(|e| format!("link: {e:?}"))?;
+        let base_bytes = format::save(&base_img);
+
+        if job.plan.poisons_scan_cache() {
+            // Fault-injection scenario: everything cached so far rots
+            // (payload bytes flip, stored hashes stay). The fetches
+            // below must detect the mismatch and recompute.
+            self.cache.poison_everything();
+        }
+
+        // The protected result is fully determined by the base image
+        // bytes and the (config, pipeline-affecting fault plan) pair;
+        // `Debug` of plain data is a stable canonical text form.
+        // Cache-layer faults are normalized away: poisoning is healed
+        // by the cache, so it must not key away from the poisoned
+        // entries.
+        let pkey = Key {
+            kind: ArtifactKind::Protected,
+            hash: hash128_pair(
+                &base_bytes,
+                format!("cfg={cfg:?};plan={:?}", job.plan.without_cache_faults()).as_bytes(),
+            ),
+        };
+        let fetched = match self.cache.fetch(pkey) {
+            Fetch::Hit(payload) => match decode_protected(&payload) {
+                Some(a) => {
+                    sink.emit(&EngineEvent::CacheHit {
+                        job: idx,
+                        kind: ArtifactKind::Protected,
+                    });
+                    Some(a)
+                }
+                None => None,
+            },
+            Fetch::Poisoned => {
+                sink.emit(&EngineEvent::CachePoisoned {
+                    job: idx,
+                    kind: ArtifactKind::Protected,
+                });
+                None
+            }
+            Fetch::Miss => {
+                sink.emit(&EngineEvent::CacheMiss {
+                    job: idx,
+                    kind: ArtifactKind::Protected,
+                });
+                None
+            }
+        };
+
+        let (image_bytes, gadget_count, chains, degradations, cached) = match fetched {
+            Some(a) => (a.image, a.gadget_count, a.chains, a.degradations, true),
+            None => {
+                let hooks = JobHooks {
+                    job: idx,
+                    cache: &self.cache,
+                    sink,
+                };
+                let protected = protect_binary_hooked(prog, &verify_impls, &cfg, &job.plan, &hooks)
+                    .map_err(|e| e.to_string())?;
+                let image_bytes = format::save(&protected.image);
+                self.cache
+                    .store(pkey, encode_protected(&image_bytes, &protected.report));
+                let chains = protected
+                    .report
+                    .chains
+                    .iter()
+                    .map(|c| ChainSummary {
+                        func: c.func.clone(),
+                        ops: c.ops,
+                        words: c.words,
+                        overlapping_used: c.overlapping_used,
+                        used_gadgets: c.used_gadgets.len(),
+                    })
+                    .collect();
+                (
+                    image_bytes,
+                    protected.report.gadget_count,
+                    chains,
+                    protected.report.degradations.len(),
+                    false,
+                )
+            }
+        };
+
+        let (verdict, vm_cycles) = if self.opts.validate {
+            let img = format::load(&image_bytes).map_err(|e| format!("image decode: {e:?}"))?;
+            let baseline = self.baseline_for(&base_bytes, &base_img, &input);
+            let mut vm = Vm::with_options(&img, self.opts.vm.clone());
+            vm.set_input(&input);
+            let exit = vm.run();
+            let cycles = vm.cycles();
+            let output = vm.take_output();
+            (Some(classify_outcome(exit, &output, &baseline)), cycles)
+        } else {
+            (None, 0)
+        };
+
+        Ok(JobResult {
+            name: job.name.clone(),
+            image: image_bytes,
+            gadget_count,
+            chains,
+            degradations,
+            cached,
+            verdict,
+            vm_cycles,
+            micros: 0,
+            error: None,
+        })
+    }
+
+    /// The unprotected baseline for (base image, input), computed once
+    /// and shared across every mode and seed of the same program.
+    fn baseline_for(
+        &self,
+        base_bytes: &[u8],
+        base_img: &LinkedImage,
+        input: &[u8],
+    ) -> Arc<Baseline> {
+        let key = hash128_pair(base_bytes, input);
+        if let Ok(map) = self.baselines.lock() {
+            if let Some(b) = map.get(&key) {
+                return Arc::clone(b);
+            }
+        }
+        // Computed outside the lock: two workers may race to the same
+        // baseline, which is idempotent and cheaper than serializing
+        // every VM run behind the map.
+        let b = Arc::new(run_baseline(base_img, input, &self.opts.vm));
+        if let Ok(mut map) = self.baselines.lock() {
+            return Arc::clone(map.entry(key).or_insert(b));
+        }
+        b
+    }
+}
+
+/// Per-job [`PipelineHooks`]: routes the pipeline's artifact seams to
+/// the shared cache and its telemetry seams to the event sink.
+struct JobHooks<'a, 'cb> {
+    job: usize,
+    cache: &'a ArtifactCache,
+    sink: &'a EventSink<'cb>,
+}
+
+impl JobHooks<'_, '_> {
+    fn key_for(&self, kind: ArtifactKind, img: &LinkedImage) -> Key {
+        Key {
+            kind,
+            hash: hash128(&format::save(img)),
+        }
+    }
+
+    fn fetch(&self, key: Key) -> Option<Vec<u8>> {
+        match self.cache.fetch(key) {
+            Fetch::Hit(payload) => {
+                self.sink.emit(&EngineEvent::CacheHit {
+                    job: self.job,
+                    kind: key.kind,
+                });
+                Some(payload)
+            }
+            Fetch::Poisoned => {
+                self.sink.emit(&EngineEvent::CachePoisoned {
+                    job: self.job,
+                    kind: key.kind,
+                });
+                None
+            }
+            Fetch::Miss => {
+                self.sink.emit(&EngineEvent::CacheMiss {
+                    job: self.job,
+                    kind: key.kind,
+                });
+                None
+            }
+        }
+    }
+}
+
+impl PipelineHooks for JobHooks<'_, '_> {
+    fn cached_scan(&self, img: &LinkedImage) -> Option<Vec<Gadget>> {
+        let payload = self.fetch(self.key_for(ArtifactKind::Scan, img))?;
+        deserialize_gadgets(&payload).filter(|g| !g.is_empty())
+    }
+
+    fn store_scan(&self, img: &LinkedImage, gadgets: &[Gadget]) {
+        self.cache.store(
+            self.key_for(ArtifactKind::Scan, img),
+            serialize_gadgets(gadgets),
+        );
+    }
+
+    fn cached_coverage(&self, img: &LinkedImage) -> Option<Coverage> {
+        let payload = self.fetch(self.key_for(ArtifactKind::Coverage, img))?;
+        decode_coverage(&payload)
+    }
+
+    fn store_coverage(&self, img: &LinkedImage, coverage: &Coverage) {
+        self.cache.store(
+            self.key_for(ArtifactKind::Coverage, img),
+            encode_coverage(coverage),
+        );
+    }
+
+    fn stage_completed(&self, stage: Stage, elapsed: Duration) {
+        self.sink.emit(&EngineEvent::StageCompleted {
+            job: self.job,
+            stage,
+            micros: elapsed.as_micros() as u64,
+        });
+    }
+
+    fn degraded(&self, report: &DegradationReport) {
+        self.sink.emit(&EngineEvent::Degraded {
+            job: self.job,
+            func: report.func.clone(),
+            missing: report.missing.clone(),
+            stdset_forced: report.stdset_forced,
+        });
+    }
+}

@@ -1,0 +1,306 @@
+//! The engine's structured event stream.
+//!
+//! Every observable engine action — job lifecycle, pipeline stage
+//! completions, cache traffic, degradations — is an [`EngineEvent`].
+//! Events flow through one [`EventSink`] shared by all workers: the
+//! sink updates the live metrics, optionally appends the event as a
+//! line of JSON (`--log-json`, hand-rolled writer in the style of
+//! `parallax-image`'s `PLX` codec — no serde), and forwards it to the
+//! caller's subscriber for live progress display. Event order is the
+//! real interleaving of the worker pool; per-job events are ordered,
+//! cross-job events interleave.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+use parallax_core::{Stage, Verdict};
+
+use crate::cache::ArtifactKind;
+use crate::metrics::Metrics;
+
+/// One observable engine action.
+#[derive(Debug, Clone)]
+pub enum EngineEvent {
+    /// A job entered the queue.
+    JobQueued {
+        /// Job index within the batch.
+        job: usize,
+        /// Display name (`program/mode#seed`).
+        name: String,
+    },
+    /// A worker picked the job up.
+    JobStarted {
+        /// Job index.
+        job: usize,
+        /// Display name.
+        name: String,
+        /// Worker index executing the job.
+        worker: usize,
+    },
+    /// A pipeline stage block finished (repeats across fixpoint passes
+    /// and degradation retries).
+    StageCompleted {
+        /// Job index.
+        job: usize,
+        /// The pipeline stage.
+        stage: Stage,
+        /// Wall time of the block in microseconds.
+        micros: u64,
+    },
+    /// An artifact was served from the cache.
+    CacheHit {
+        /// Job index.
+        job: usize,
+        /// Artifact kind.
+        kind: ArtifactKind,
+    },
+    /// An artifact was absent and had to be computed.
+    CacheMiss {
+        /// Job index.
+        job: usize,
+        /// Artifact kind.
+        kind: ArtifactKind,
+    },
+    /// A cached artifact failed its content-hash check and was evicted
+    /// (the job recomputes — correctness is unaffected).
+    CachePoisoned {
+        /// Job index.
+        job: usize,
+        /// Artifact kind.
+        kind: ArtifactKind,
+    },
+    /// The degradation ladder took a fallback during this job.
+    Degraded {
+        /// Job index.
+        job: usize,
+        /// Starved verification function (`*` when not attributable).
+        func: String,
+        /// What was missing.
+        missing: String,
+        /// Whether the retry force-appended the standard gadget set.
+        stdset_forced: bool,
+    },
+    /// The job finished (successfully or not).
+    JobFinished {
+        /// Job index.
+        job: usize,
+        /// Display name.
+        name: String,
+        /// Total job wall time in microseconds.
+        micros: u64,
+        /// Whether the protected result came from the cache.
+        cached: bool,
+        /// Watchdog verdict of the validation run (when validated).
+        verdict: Option<Verdict>,
+        /// Cycles the validation run spent in the VM.
+        vm_cycles: u64,
+        /// Failure message, `None` on success.
+        error: Option<String>,
+    },
+}
+
+fn esc(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl EngineEvent {
+    /// The job index the event belongs to.
+    pub fn job(&self) -> usize {
+        match self {
+            EngineEvent::JobQueued { job, .. }
+            | EngineEvent::JobStarted { job, .. }
+            | EngineEvent::StageCompleted { job, .. }
+            | EngineEvent::CacheHit { job, .. }
+            | EngineEvent::CacheMiss { job, .. }
+            | EngineEvent::CachePoisoned { job, .. }
+            | EngineEvent::Degraded { job, .. }
+            | EngineEvent::JobFinished { job, .. } => *job,
+        }
+    }
+
+    /// Renders the event as one line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let field_str = |s: &mut String, k: &str, v: &str| {
+            let _ = write!(s, ",\"{k}\":");
+            esc(v, s);
+        };
+        match self {
+            EngineEvent::JobQueued { job, name } => {
+                let _ = write!(s, "{{\"event\":\"job_queued\",\"job\":{job}");
+                field_str(&mut s, "name", name);
+            }
+            EngineEvent::JobStarted { job, name, worker } => {
+                let _ = write!(s, "{{\"event\":\"job_started\",\"job\":{job}");
+                field_str(&mut s, "name", name);
+                let _ = write!(s, ",\"worker\":{worker}");
+            }
+            EngineEvent::StageCompleted { job, stage, micros } => {
+                let _ = write!(
+                    s,
+                    "{{\"event\":\"stage_completed\",\"job\":{job},\"stage\":\"{stage}\",\"micros\":{micros}"
+                );
+            }
+            EngineEvent::CacheHit { job, kind } => {
+                let _ = write!(
+                    s,
+                    "{{\"event\":\"cache_hit\",\"job\":{job},\"kind\":\"{kind}\""
+                );
+            }
+            EngineEvent::CacheMiss { job, kind } => {
+                let _ = write!(
+                    s,
+                    "{{\"event\":\"cache_miss\",\"job\":{job},\"kind\":\"{kind}\""
+                );
+            }
+            EngineEvent::CachePoisoned { job, kind } => {
+                let _ = write!(
+                    s,
+                    "{{\"event\":\"cache_poisoned\",\"job\":{job},\"kind\":\"{kind}\""
+                );
+            }
+            EngineEvent::Degraded {
+                job,
+                func,
+                missing,
+                stdset_forced,
+            } => {
+                let _ = write!(s, "{{\"event\":\"degraded\",\"job\":{job}");
+                field_str(&mut s, "func", func);
+                field_str(&mut s, "missing", missing);
+                let _ = write!(s, ",\"stdset_forced\":{stdset_forced}");
+            }
+            EngineEvent::JobFinished {
+                job,
+                name,
+                micros,
+                cached,
+                verdict,
+                vm_cycles,
+                error,
+            } => {
+                let _ = write!(s, "{{\"event\":\"job_finished\",\"job\":{job}");
+                field_str(&mut s, "name", name);
+                let _ = write!(
+                    s,
+                    ",\"micros\":{micros},\"cached\":{cached},\"vm_cycles\":{vm_cycles}"
+                );
+                match verdict {
+                    Some(v) => field_str(&mut s, "verdict", &v.to_string()),
+                    None => s.push_str(",\"verdict\":null"),
+                }
+                match error {
+                    Some(e) => field_str(&mut s, "error", e),
+                    None => s.push_str(",\"error\":null"),
+                }
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+type Subscriber<'cb> = Box<dyn FnMut(&EngineEvent) + Send + 'cb>;
+
+/// Fan-in point for worker events: metrics, optional NDJSON log,
+/// subscriber callback.
+pub struct EventSink<'cb> {
+    subscriber: Mutex<Subscriber<'cb>>,
+    json: Option<Mutex<std::io::BufWriter<std::fs::File>>>,
+    /// Live metrics accumulated from the event stream.
+    pub metrics: Metrics,
+}
+
+impl<'cb> EventSink<'cb> {
+    /// Creates a sink forwarding to `subscriber`, optionally appending
+    /// newline-delimited JSON to `log_json`.
+    pub fn new(
+        subscriber: impl FnMut(&EngineEvent) + Send + 'cb,
+        log_json: Option<&Path>,
+    ) -> std::io::Result<EventSink<'cb>> {
+        let json = match log_json {
+            Some(path) => {
+                let file = std::fs::File::create(path)?;
+                Some(Mutex::new(std::io::BufWriter::new(file)))
+            }
+            None => None,
+        };
+        Ok(EventSink {
+            subscriber: Mutex::new(Box::new(subscriber)),
+            json,
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// Publishes one event to all three consumers.
+    pub fn emit(&self, ev: &EngineEvent) {
+        self.metrics.absorb(ev);
+        if let Some(json) = &self.json {
+            if let Ok(mut w) = json.lock() {
+                let _ = writeln!(w, "{}", ev.to_json());
+            }
+        }
+        if let Ok(mut cb) = self.subscriber.lock() {
+            cb(ev);
+        }
+    }
+
+    /// Flushes the JSON log (called once at end of batch).
+    pub fn flush(&self) {
+        if let Some(json) = &self.json {
+            if let Ok(mut w) = json.lock() {
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let ev = EngineEvent::JobFinished {
+            job: 3,
+            name: "wget/\"xor\"".into(),
+            micros: 1234,
+            cached: true,
+            verdict: Some(Verdict::Clean),
+            vm_cycles: 99,
+            error: None,
+        };
+        let line = ev.to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\\\"xor\\\""), "{line}");
+        assert!(line.contains("\"verdict\":\"clean\""), "{line}");
+        assert!(line.contains("\"error\":null"), "{line}");
+        assert!(!line.contains('\n'));
+
+        let ev = EngineEvent::StageCompleted {
+            job: 0,
+            stage: Stage::GadgetScan,
+            micros: 7,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"event\":\"stage_completed\",\"job\":0,\"stage\":\"gadget-scan\",\"micros\":7}"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Content hashing for cache keys.
+//!
+//! Cache keys are 128-bit FNV-1a digests (two independent 64-bit
+//! streams) over the *canonical serialized bytes* of the artifact's
+//! inputs. FNV is not cryptographic — the cache defends against
+//! corruption and stale reuse, not a collision-crafting adversary (who,
+//! in the paper's threat model, already holds the binary and has no
+//! reason to attack the *protector's* build cache). What matters here
+//! is determinism across runs, platforms, and thread interleavings.
+
+/// FNV-1a 64-bit, with a caller-chosen offset basis.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The standard FNV-1a offset basis.
+const BASIS_LO: u64 = 0xcbf2_9ce4_8422_2325;
+/// A second, independent basis for the high half (the standard basis
+/// folded with an arbitrary odd constant).
+const BASIS_HI: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+
+/// 128-bit content hash of a byte string.
+pub fn hash128(bytes: &[u8]) -> u128 {
+    let lo = fnv1a64(bytes, BASIS_LO);
+    let hi = fnv1a64(bytes, BASIS_HI);
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// 128-bit content hash of the concatenation of two byte strings,
+/// length-prefixed so `("ab","c")` and `("a","bc")` differ.
+pub fn hash128_pair(a: &[u8], b: &[u8]) -> u128 {
+    let mut buf = Vec::with_capacity(a.len() + b.len() + 16);
+    buf.extend_from_slice(&(a.len() as u64).to_le_bytes());
+    buf.extend_from_slice(a);
+    buf.extend_from_slice(&(b.len() as u64).to_le_bytes());
+    buf.extend_from_slice(b);
+    hash128(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        assert_eq!(hash128(b"parallax"), hash128(b"parallax"));
+        assert_ne!(hash128(b"parallax"), hash128(b"parallaX"));
+        assert_ne!(hash128(b""), hash128(b"\0"));
+    }
+
+    #[test]
+    fn pair_respects_boundaries() {
+        assert_ne!(hash128_pair(b"ab", b"c"), hash128_pair(b"a", b"bc"));
+        assert_eq!(hash128_pair(b"ab", b"c"), hash128_pair(b"ab", b"c"));
+    }
+}

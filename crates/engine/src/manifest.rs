@@ -1,0 +1,268 @@
+//! Batch manifest parsing for `plx batch`.
+//!
+//! A manifest is a plain-text job list: one target per line, blank
+//! lines and `#` comments ignored. Each line is a target followed by
+//! `key=value` options:
+//!
+//! ```text
+//! # all four modes of the wget workload, two seeds each
+//! corpus:wget modes=cleartext,xor,rc4,prob seeds=1,2
+//! # the whole corpus in one mode
+//! corpus:* mode=xor seed=7
+//! # a source file (verify= is required for sources)
+//! examples/license.px verify=vf guard=licensed mode=prob
+//! ```
+//!
+//! Targets are either `corpus:<name>` (a workload from
+//! `parallax-corpus`; `corpus:*` expands to all six), or a path to a
+//! `.px` source file. `modes=`/`seeds=` expand to the cross product, so
+//! one line can contribute many [`Job`]s.
+//!
+//! Mode names map to [`ChainMode`] values via [`chain_mode_for`] — the
+//! same derivation `plx protect --mode` uses, so a batch job and a
+//! one-off protect of the same target produce byte-identical images.
+
+use parallax_core::{ChainMode, ProtectConfig};
+
+use crate::engine::{Job, JobSource};
+
+/// Derives the [`ChainMode`] for a mode name and seed, exactly as
+/// `plx protect --mode <name> --seed <seed>` does: the xor key stream
+/// is seeded with the (odd-forced) low seed bits, the RC4 key folds
+/// the seed with the `PLXKEY!` constant, and probabilistic mode
+/// compiles 6 variants.
+pub fn chain_mode_for(name: &str, seed: u64) -> Option<ChainMode> {
+    Some(match name {
+        "cleartext" => ChainMode::Cleartext,
+        "xor" => ChainMode::XorEncrypted {
+            key: (seed as u32) | 1,
+        },
+        "rc4" => ChainMode::Rc4Encrypted {
+            key: (seed ^ 0x5045_4c58_4b45_5921).to_le_bytes(),
+        },
+        "prob" | "probabilistic" => ChainMode::Probabilistic { variants: 6, seed },
+        _ => return None,
+    })
+}
+
+/// The four mode names every corpus program is protected with in the
+/// paper's evaluation (Table III).
+pub const ALL_MODES: [&str; 4] = ["cleartext", "xor", "rc4", "prob"];
+
+fn split_list(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+struct Line {
+    target: String,
+    modes: Vec<String>,
+    seeds: Vec<u64>,
+    verify: Vec<String>,
+    guard: Vec<String>,
+    input: Option<String>,
+}
+
+fn parse_line(no: usize, line: &str) -> Result<Line, String> {
+    let mut tokens = line.split_whitespace();
+    let target = tokens
+        .next()
+        .ok_or_else(|| format!("line {no}: empty target"))?
+        .to_owned();
+    let mut out = Line {
+        target,
+        modes: vec!["cleartext".to_owned()],
+        seeds: vec![ProtectConfig::default().seed],
+        verify: Vec::new(),
+        guard: Vec::new(),
+        input: None,
+    };
+    for tok in tokens {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("line {no}: expected key=value, got `{tok}`"))?;
+        match key {
+            "mode" | "modes" => out.modes = split_list(value),
+            "seed" | "seeds" => {
+                out.seeds = split_list(value)
+                    .iter()
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|e| format!("line {no}: bad seed `{s}`: {e}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "verify" => out.verify = split_list(value),
+            "guard" => out.guard = split_list(value),
+            "input" => out.input = Some(value.to_owned()),
+            other => return Err(format!("line {no}: unknown key `{other}`")),
+        }
+    }
+    if out.modes.is_empty() {
+        return Err(format!("line {no}: empty mode list"));
+    }
+    if out.seeds.is_empty() {
+        return Err(format!("line {no}: empty seed list"));
+    }
+    Ok(out)
+}
+
+fn expand_line(no: usize, line: Line) -> Result<Vec<Job>, String> {
+    // Resolve the target once; the mode×seed cross product shares it.
+    enum Target {
+        Corpus(Vec<String>),
+        Source(String, parallax_compiler::Module),
+    }
+    let target = if let Some(prog) = line.target.strip_prefix("corpus:") {
+        if prog == "*" {
+            Target::Corpus(
+                parallax_corpus::all()
+                    .iter()
+                    .map(|w| w.name.to_owned())
+                    .collect(),
+            )
+        } else {
+            parallax_corpus::by_name(prog)
+                .ok_or_else(|| format!("line {no}: unknown corpus program `{prog}`"))?;
+            Target::Corpus(vec![prog.to_owned()])
+        }
+    } else {
+        if line.verify.is_empty() {
+            return Err(format!(
+                "line {no}: source targets need verify=<func[,func]>"
+            ));
+        }
+        let src = std::fs::read_to_string(&line.target)
+            .map_err(|e| format!("line {no}: {}: {e}", line.target))?;
+        let module = parallax_compiler::parse_module(&src)
+            .map_err(|e| format!("line {no}: {}: {e}", line.target))?;
+        let stem = std::path::Path::new(&line.target)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| line.target.clone());
+        Target::Source(stem, module)
+    };
+    let input = match &line.input {
+        Some(path) => Some(std::fs::read(path).map_err(|e| format!("line {no}: {path}: {e}"))?),
+        None => None,
+    };
+
+    let mut jobs = Vec::new();
+    for mode_name in &line.modes {
+        for &seed in &line.seeds {
+            let mode = chain_mode_for(mode_name, seed)
+                .ok_or_else(|| format!("line {no}: unknown mode `{mode_name}`"))?;
+            let cfg = ProtectConfig {
+                verify_funcs: line.verify.clone(),
+                guard_funcs: line.guard.clone(),
+                mode,
+                seed,
+                ..ProtectConfig::default()
+            };
+            match &target {
+                Target::Corpus(progs) => {
+                    for prog in progs {
+                        let mut job = Job::corpus(prog, cfg.clone());
+                        job.input.clone_from(&input);
+                        jobs.push(job);
+                    }
+                }
+                Target::Source(stem, module) => {
+                    jobs.push(Job {
+                        name: format!("{stem}/{}#{seed}", cfg.mode.name()),
+                        source: JobSource::Module(Box::new(module.clone())),
+                        cfg,
+                        input: input.clone(),
+                        plan: Default::default(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(jobs)
+}
+
+/// Parses a manifest into the job list it describes. Source targets
+/// are read and compiled here, so a bad path or parse error surfaces
+/// before the batch starts.
+pub fn parse_manifest(text: &str) -> Result<Vec<Job>, String> {
+    let mut jobs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        jobs.extend(expand_line(i + 1, parse_line(i + 1, line)?)?);
+    }
+    if jobs.is_empty() {
+        return Err("manifest contains no jobs".to_owned());
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_derivation_matches_cli() {
+        assert_eq!(chain_mode_for("cleartext", 9), Some(ChainMode::Cleartext));
+        assert_eq!(
+            chain_mode_for("xor", 8),
+            Some(ChainMode::XorEncrypted { key: 9 })
+        );
+        assert_eq!(
+            chain_mode_for("rc4", 3),
+            Some(ChainMode::Rc4Encrypted {
+                key: (3u64 ^ 0x5045_4c58_4b45_5921).to_le_bytes()
+            })
+        );
+        assert_eq!(
+            chain_mode_for("prob", 5),
+            Some(ChainMode::Probabilistic {
+                variants: 6,
+                seed: 5
+            })
+        );
+        assert_eq!(chain_mode_for("rot13", 5), None);
+    }
+
+    #[test]
+    fn cross_product_expansion() {
+        let jobs = parse_manifest(
+            "# comment\n\ncorpus:wget modes=cleartext,xor seeds=1,2\ncorpus:gzip mode=rc4\n",
+        )
+        .unwrap();
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(jobs[0].name, "wget/cleartext#1");
+        assert_eq!(jobs[3].name, "wget/xor#2");
+        assert_eq!(
+            jobs[4].name,
+            format!("gzip/rc4#{}", ProtectConfig::default().seed)
+        );
+    }
+
+    #[test]
+    fn wildcard_covers_the_corpus() {
+        let jobs = parse_manifest("corpus:* mode=cleartext seed=1\n").unwrap();
+        assert_eq!(jobs.len(), parallax_corpus::all().len());
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        assert!(parse_manifest("").is_err());
+        let e = parse_manifest("corpus:wget\ncorpus:nope\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        let e = parse_manifest("corpus:wget frobnicate=1\n").unwrap_err();
+        assert!(e.contains("unknown key"), "{e}");
+        let e = parse_manifest("corpus:wget mode=rot13\n").unwrap_err();
+        assert!(e.contains("unknown mode"), "{e}");
+        let e = parse_manifest("no-such-file.px verify=vf\n").unwrap_err();
+        assert!(e.contains("line 1"), "{e}");
+        let e = parse_manifest("some.px mode=xor\n").unwrap_err();
+        assert!(e.contains("verify="), "{e}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Live batch metrics, accumulated lock-free from the event stream.
+//!
+//! [`Metrics`] is the always-on accumulator inside the event sink:
+//! plain atomic counters, safe to bump from every worker thread
+//! without serializing them. [`MetricsSnapshot`] is the frozen
+//! end-of-batch view — stage wall times, throughput, cache hit rate,
+//! VM cycles — rendered by `plx batch` and the throughput bench.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parallax_core::Stage;
+
+use crate::cache::CacheStats;
+use crate::events::EngineEvent;
+
+/// Every pipeline stage, in execution order. Indexes the per-stage
+/// counters and fixes the rendering order of snapshots.
+pub const ALL_STAGES: [Stage; 7] = [
+    Stage::Select,
+    Stage::Load,
+    Stage::Rewrite,
+    Stage::GadgetScan,
+    Stage::ChainCompile,
+    Stage::Map,
+    Stage::Link,
+];
+
+fn stage_index(stage: Stage) -> usize {
+    match stage {
+        Stage::Select => 0,
+        Stage::Load => 1,
+        Stage::Rewrite => 2,
+        Stage::GadgetScan => 3,
+        Stage::ChainCompile => 4,
+        Stage::Map => 5,
+        Stage::Link => 6,
+    }
+}
+
+/// Thread-safe metric accumulator fed by [`EngineEvent`]s.
+#[derive(Default)]
+pub struct Metrics {
+    jobs: AtomicU64,
+    failed: AtomicU64,
+    cached_results: AtomicU64,
+    vm_cycles: AtomicU64,
+    degradations: AtomicU64,
+    stage_micros: [AtomicU64; 7],
+    stage_calls: [AtomicU64; 7],
+}
+
+impl Metrics {
+    /// Folds one event into the counters.
+    pub fn absorb(&self, ev: &EngineEvent) {
+        match ev {
+            EngineEvent::StageCompleted { stage, micros, .. } => {
+                let i = stage_index(*stage);
+                self.stage_micros[i].fetch_add(*micros, Ordering::Relaxed);
+                self.stage_calls[i].fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::Degraded { .. } => {
+                self.degradations.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::JobFinished {
+                cached,
+                vm_cycles,
+                error,
+                ..
+            } => {
+                self.jobs.fetch_add(1, Ordering::Relaxed);
+                if error.is_some() {
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                if *cached {
+                    self.cached_results.fetch_add(1, Ordering::Relaxed);
+                }
+                self.vm_cycles.fetch_add(*vm_cycles, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Freezes the counters into a snapshot. `wall` is the batch wall
+    /// time; `cache` the final cache counters.
+    pub fn snapshot(&self, wall: Duration, cache: CacheStats) -> MetricsSnapshot {
+        let jobs = self.jobs.load(Ordering::Relaxed);
+        let wall_micros = wall.as_micros() as u64;
+        let jobs_per_sec = if wall_micros == 0 {
+            0.0
+        } else {
+            jobs as f64 * 1_000_000.0 / wall_micros as f64
+        };
+        let stage_micros = ALL_STAGES
+            .iter()
+            .enumerate()
+            .map(|(i, &stage)| StageTime {
+                stage,
+                micros: self.stage_micros[i].load(Ordering::Relaxed),
+                calls: self.stage_calls[i].load(Ordering::Relaxed),
+            })
+            .collect();
+        MetricsSnapshot {
+            jobs,
+            failed: self.failed.load(Ordering::Relaxed),
+            cached_results: self.cached_results.load(Ordering::Relaxed),
+            wall_micros,
+            jobs_per_sec,
+            stage_micros,
+            cache,
+            vm_cycles: self.vm_cycles.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cumulative wall time of one pipeline stage across the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTime {
+    /// The stage.
+    pub stage: Stage,
+    /// Total microseconds spent in it, summed over all workers (can
+    /// exceed batch wall time when workers overlap).
+    pub micros: u64,
+    /// How many timed blocks completed.
+    pub calls: u64,
+}
+
+/// Frozen end-of-batch metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Jobs finished (successfully or not).
+    pub jobs: u64,
+    /// Jobs that ended with an error.
+    pub failed: u64,
+    /// Jobs whose protected result was served from the cache.
+    pub cached_results: u64,
+    /// Batch wall time in microseconds.
+    pub wall_micros: u64,
+    /// Throughput over the batch wall time.
+    pub jobs_per_sec: f64,
+    /// Per-stage cumulative wall time, in [`ALL_STAGES`] order.
+    pub stage_micros: Vec<StageTime>,
+    /// Artifact-cache counters.
+    pub cache: CacheStats,
+    /// VM cycles spent validating protected images.
+    pub vm_cycles: u64,
+    /// Degradation-ladder fallbacks taken across the batch.
+    pub degradations: u64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as an aligned text block for terminals.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "jobs        {} ({} failed, {} from cache)",
+            self.jobs, self.failed, self.cached_results
+        );
+        let _ = writeln!(
+            out,
+            "wall        {:.3} s  ({:.2} jobs/s)",
+            self.wall_micros as f64 / 1e6,
+            self.jobs_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "cache       {} hits / {} misses / {} poisoned ({} evictions, hit rate {:.0}%)",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.poisoned,
+            self.cache.evictions,
+            self.cache.hit_rate() * 100.0
+        );
+        let _ = writeln!(out, "vm cycles   {}", self.vm_cycles);
+        let _ = writeln!(out, "degraded    {}", self.degradations);
+        for st in &self.stage_micros {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10.3} ms  ({} blocks)",
+                st.stage.to_string(),
+                st.micros as f64 / 1e3,
+                st.calls
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_counts_events() {
+        let m = Metrics::default();
+        m.absorb(&EngineEvent::StageCompleted {
+            job: 0,
+            stage: Stage::GadgetScan,
+            micros: 500,
+        });
+        m.absorb(&EngineEvent::StageCompleted {
+            job: 1,
+            stage: Stage::GadgetScan,
+            micros: 700,
+        });
+        m.absorb(&EngineEvent::Degraded {
+            job: 0,
+            func: "vf".into(),
+            missing: "store-mem".into(),
+            stdset_forced: true,
+        });
+        m.absorb(&EngineEvent::JobFinished {
+            job: 0,
+            name: "a".into(),
+            micros: 9,
+            cached: true,
+            verdict: None,
+            vm_cycles: 40,
+            error: None,
+        });
+        m.absorb(&EngineEvent::JobFinished {
+            job: 1,
+            name: "b".into(),
+            micros: 9,
+            cached: false,
+            verdict: None,
+            vm_cycles: 2,
+            error: Some("boom".into()),
+        });
+        let snap = m.snapshot(Duration::from_secs(2), CacheStats::default());
+        assert_eq!(snap.jobs, 2);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.cached_results, 1);
+        assert_eq!(snap.vm_cycles, 42);
+        assert_eq!(snap.degradations, 1);
+        assert!((snap.jobs_per_sec - 1.0).abs() < 1e-9);
+        let scan = snap.stage_micros[3];
+        assert_eq!(scan.stage, Stage::GadgetScan);
+        assert_eq!(scan.micros, 1200);
+        assert_eq!(scan.calls, 2);
+        assert!(!snap.render().is_empty());
+    }
+}

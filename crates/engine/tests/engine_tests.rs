@@ -1,0 +1,197 @@
+//! End-to-end engine tests: scheduling-independence of outputs, warm
+//! cache behavior, and poisoned-cache recovery.
+
+use std::sync::Mutex;
+
+use parallax_compiler::parse_module;
+use parallax_core::{protect, FaultPlan, ProtectConfig, Verdict};
+use parallax_engine::{
+    chain_mode_for, ArtifactKind, Engine, EngineEvent, EngineOptions, Job, JobSource, ALL_MODES,
+};
+use parallax_image::format;
+
+const SRC: &str = r#"
+    global secret = "k3y";
+    fn licensed() { return 0; }
+    fn vf(x) { return x * 3 + 1; }
+    fn main() {
+        let r = vf(2);
+        if licensed() == 1 { return r; }
+        return 99;
+    }
+"#;
+
+fn test_jobs() -> Vec<Job> {
+    let module = parse_module(SRC).expect("test module parses");
+    ALL_MODES
+        .iter()
+        .flat_map(|mode| {
+            [1u64, 2].map(|seed| {
+                let cfg = ProtectConfig {
+                    verify_funcs: vec!["vf".to_owned()],
+                    mode: chain_mode_for(mode, seed).expect("known mode"),
+                    seed,
+                    ..ProtectConfig::default()
+                };
+                Job {
+                    name: format!("test/{mode}#{seed}"),
+                    source: JobSource::Module(Box::new(module.clone())),
+                    cfg,
+                    input: None,
+                    plan: FaultPlan::default(),
+                }
+            })
+        })
+        .collect()
+}
+
+fn run_with_workers(workers: usize) -> parallax_engine::BatchReport {
+    let engine = Engine::new(EngineOptions {
+        workers,
+        ..EngineOptions::default()
+    });
+    engine.run(test_jobs(), |_| {}).expect("no log file in use")
+}
+
+#[test]
+fn outputs_are_identical_across_worker_counts_and_match_direct_protect() {
+    let one = run_with_workers(1);
+    let eight = run_with_workers(8);
+    assert_eq!(one.results.len(), eight.results.len());
+    assert!(one.all_clean(), "single-worker batch must validate Clean");
+    assert!(eight.all_clean(), "8-worker batch must validate Clean");
+
+    let module = parse_module(SRC).expect("test module parses");
+    for (a, b) in one.results.iter().zip(&eight.results) {
+        assert_eq!(a.name, b.name);
+        assert!(!a.image.is_empty(), "{}: empty image", a.name);
+        assert_eq!(
+            a.image, b.image,
+            "{}: image bytes differ between 1 and 8 workers",
+            a.name
+        );
+        assert_eq!(a.verdict, Some(Verdict::Clean), "{}", a.name);
+
+        // The engine path must be byte-identical to a sequential
+        // `protect()` of the same module and config.
+        let job = &test_jobs()[one
+            .results
+            .iter()
+            .position(|r| r.name == a.name)
+            .expect("job present")];
+        let direct = protect(&module, &job.cfg).expect("direct protect succeeds");
+        assert_eq!(
+            a.image,
+            format::save(&direct.image),
+            "{}: engine output differs from direct protect()",
+            a.name
+        );
+    }
+}
+
+#[test]
+fn warm_second_batch_is_served_from_cache() {
+    let engine = Engine::new(EngineOptions {
+        workers: 2,
+        ..EngineOptions::default()
+    });
+    let cold = engine.run(test_jobs(), |_| {}).expect("cold batch runs");
+    assert!(cold.all_clean());
+    assert!(
+        cold.results.iter().all(|r| !r.cached),
+        "cold batch must compute everything"
+    );
+    // Scans of the pass-1/pass-2 placeholder images repeat across the
+    // two seeds of each mode, so even the cold batch sees scan hits.
+    assert!(cold.metrics.cache.hits > 0, "{:?}", cold.metrics.cache);
+
+    let warm = engine.run(test_jobs(), |_| {}).expect("warm batch runs");
+    assert!(warm.all_clean());
+    assert!(
+        warm.results.iter().all(|r| r.cached),
+        "warm batch must be served from the protected-result cache"
+    );
+    assert!(warm.metrics.cache.hit_rate() > 0.0);
+    for (a, b) in cold.results.iter().zip(&warm.results) {
+        assert_eq!(a.image, b.image, "{}: cached result differs", a.name);
+    }
+}
+
+#[test]
+fn poisoned_cache_is_detected_evicted_and_recomputed() {
+    let engine = Engine::new(EngineOptions::default());
+    let jobs = || {
+        let mut jobs = test_jobs();
+        jobs.truncate(1);
+        jobs
+    };
+    let first = engine.run(jobs(), |_| {}).expect("first run");
+    assert!(first.all_clean());
+
+    // Same job again, but the fault plan rots every cached payload
+    // before the job's fetches (stored hashes stay, so verification
+    // must catch the mismatch).
+    let events = Mutex::new(Vec::new());
+    let mut poisoned_jobs = jobs();
+    poisoned_jobs[0].plan = FaultPlan::default().poison_scan_cache();
+    let second = engine
+        .run(poisoned_jobs, |ev| {
+            if let Ok(mut v) = events.lock() {
+                v.push(ev.clone());
+            }
+        })
+        .expect("poisoned run");
+    assert!(second.all_clean());
+
+    let events = events.into_inner().expect("no poisoned lock");
+    let poisoned_kinds: Vec<ArtifactKind> = events
+        .iter()
+        .filter_map(|ev| match ev {
+            EngineEvent::CachePoisoned { kind, .. } => Some(*kind),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        poisoned_kinds.contains(&ArtifactKind::Protected),
+        "poisoned protected-result entry must be reported: {poisoned_kinds:?}"
+    );
+    assert!(
+        !second.results[0].cached,
+        "poisoned entry must not be served"
+    );
+    assert_eq!(
+        first.results[0].image, second.results[0].image,
+        "recomputed result must be byte-identical"
+    );
+    assert!(second.metrics.cache.poisoned > 0);
+
+    // And the cache healed: a third run hits cleanly again.
+    let third = engine.run(jobs(), |_| {}).expect("third run");
+    assert!(third.results[0].cached, "cache must heal after recompute");
+    assert_eq!(first.results[0].image, third.results[0].image);
+}
+
+#[test]
+fn ndjson_log_is_written() {
+    let dir = std::env::temp_dir().join("plx-engine-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let log = dir.join(format!("events-{}.ndjson", std::process::id()));
+    let engine = Engine::new(EngineOptions {
+        log_json: Some(log.clone()),
+        ..EngineOptions::default()
+    });
+    let report = engine.run(test_jobs(), |_| {}).expect("batch runs");
+    assert!(report.all_clean());
+    let text = std::fs::read_to_string(&log).expect("log written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3 * report.results.len());
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"event\":\"") && line.ends_with('}'),
+            "malformed NDJSON line: {line}"
+        );
+    }
+    assert!(lines.iter().any(|l| l.contains("\"job_finished\"")));
+    assert!(lines.iter().any(|l| l.contains("\"stage_completed\"")));
+    let _ = std::fs::remove_file(&log);
+}

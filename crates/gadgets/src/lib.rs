@@ -36,12 +36,14 @@
 pub mod classify;
 pub mod mapping;
 pub mod scan;
+pub mod serialize;
 pub mod types;
 pub mod validate;
 
 pub use classify::{classify, Proposal};
 pub use mapping::{GadgetMap, TypeKey};
 pub use scan::{scan, Candidate, MAX_GADGET_BYTES, MAX_GADGET_INSNS};
+pub use serialize::{deserialize_gadgets, serialize_gadgets};
 pub use types::{Effect, GBinOp, Gadget};
 pub use validate::{validate, validate_with};
 

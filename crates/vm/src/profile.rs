@@ -108,6 +108,19 @@ impl Profiler {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &FuncProfile)> {
         self.names.iter().map(String::as_str).zip(self.stats.iter())
     }
+
+    /// The profile ranked by cycle share, hottest first, dropping
+    /// functions below `min_fraction` of total cycles. Each row is
+    /// `(name, fraction, calls)` with `fraction` in `[0, 1]`.
+    pub fn hotspots(&self, min_fraction: f64) -> Vec<(String, f64, u64)> {
+        let mut rows: Vec<(String, f64, u64)> = self
+            .iter()
+            .map(|(n, fp)| (n.to_owned(), self.fraction(n), fp.calls))
+            .filter(|&(_, f, _)| f > min_fraction)
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +142,21 @@ mod tests {
         assert_eq!(p.other_cycles, 3);
         assert_eq!(p.total_cycles, 20);
         assert!((p.fraction("a") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hotspots_rank_by_cycle_share() {
+        let mut p = Profiler::new(vec![
+            ("cold".to_owned(), 0x1000, 0x10),
+            ("hot".to_owned(), 0x1010, 0x10),
+        ]);
+        p.record(0x1000, 1);
+        p.record(0x1010, 99);
+        let rows = p.hotspots(0.005);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "hot");
+        assert!((rows[0].1 - 0.99).abs() < 1e-9);
+        assert_eq!(p.hotspots(0.5).len(), 1, "cold falls under the floor");
     }
 
     #[test]

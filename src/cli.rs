@@ -13,11 +13,17 @@
 //! plx gadgets <img.plx>                            usable gadgets + types
 //! plx coverage <img.plx>                           Figure-6 style analysis
 //! plx tamper  <img.plx> --at <vaddr> --bytes aa,bb -o <out.plx>
+//! plx batch   <manifest> [--jobs N] [--out dir]    batch-protect via the engine
 //! ```
+//!
+//! Flags are validated against each subcommand's known set; an unknown
+//! `--flag` is rejected with a "did you mean" suggestion instead of
+//! being silently swallowed as a positional or mis-paired value.
 
 use std::fmt::Write as _;
 
 use parallax_core::{protect, ChainMode, ProtectConfig};
+use parallax_engine::{Engine, EngineEvent, EngineOptions};
 use parallax_image::{format, LinkedImage};
 use parallax_vm::{Vm, VmOptions};
 
@@ -37,7 +43,71 @@ fn bail(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
-/// Minimal flag parser: positional args plus `--flag value` pairs.
+/// The flags and switches one subcommand accepts. Anything else on the
+/// command line is rejected at parse time.
+pub struct Spec {
+    /// `--flag value` (and `-f value`) names.
+    pub flags: &'static [&'static str],
+    /// Valueless `--switch` names.
+    pub switches: &'static [&'static str],
+}
+
+/// The accepted flag set per subcommand.
+pub fn spec_for(cmd: &str) -> Spec {
+    let (flags, switches): (&'static [&'static str], &'static [&'static str]) = match cmd {
+        "build" => (&["o"], &[]),
+        "protect" => (
+            &["o", "verify", "select", "input", "mode", "guard", "seed"],
+            &[],
+        ),
+        "run" => (&["input", "trace"], &["debugger", "profile"]),
+        "tamper" => (&["o", "at", "bytes"], &[]),
+        "batch" => (
+            &["jobs", "out", "log-json", "cache-dir", "seed"],
+            &["no-validate"],
+        ),
+        // inspect / disasm / gadgets / coverage / chain take only
+        // positionals.
+        _ => (&[], &[]),
+    };
+    Spec { flags, switches }
+}
+
+/// Levenshtein distance, for "did you mean" suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The closest known name within edit distance 2, if any.
+fn suggest<'a>(name: &str, known: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    known
+        .into_iter()
+        .map(|k| (edit_distance(name, k), k))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, k)| k)
+}
+
+fn unknown_flag(name: &str, spec: &Spec) -> CliError {
+    let known = spec.flags.iter().chain(spec.switches).copied();
+    match suggest(name, known) {
+        Some(s) => bail(format!("unknown flag `--{name}` (did you mean `--{s}`?)")),
+        None => bail(format!("unknown flag `--{name}`")),
+    }
+}
+
+/// Minimal flag parser: positional args plus `--flag value` pairs,
+/// validated against the subcommand's [`Spec`].
 pub struct Args {
     positional: Vec<String>,
     flags: Vec<(String, String)>,
@@ -45,32 +115,31 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses raw arguments (after the subcommand).
-    pub fn parse(raw: &[String]) -> Result<Args> {
+    /// Parses raw arguments (after the subcommand), rejecting any flag
+    /// the spec doesn't know.
+    pub fn parse(raw: &[String], spec: &Spec) -> Result<Args> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut switches = Vec::new();
         let mut i = 0;
         while i < raw.len() {
             let a = &raw[i];
-            if let Some(name) = a.strip_prefix("--") {
-                // switches take no value
-                if matches!(name, "debugger" | "profile") {
+            let name = a
+                .strip_prefix("--")
+                .or_else(|| a.strip_prefix("-").filter(|n| !n.is_empty()));
+            if let Some(name) = name {
+                if spec.switches.contains(&name) {
                     switches.push(name.to_owned());
                     i += 1;
-                } else {
+                } else if spec.flags.contains(&name) {
                     let v = raw
                         .get(i + 1)
                         .ok_or_else(|| bail(format!("--{name} needs a value")))?;
                     flags.push((name.to_owned(), v.clone()));
                     i += 2;
+                } else {
+                    return Err(unknown_flag(name, spec));
                 }
-            } else if let Some(name) = a.strip_prefix("-") {
-                let v = raw
-                    .get(i + 1)
-                    .ok_or_else(|| bail(format!("-{name} needs a value")))?;
-                flags.push((name.to_owned(), v.clone()));
-                i += 2;
             } else {
                 positional.push(a.clone());
                 i += 1;
@@ -114,17 +183,9 @@ fn compile_source(path: &str) -> Result<parallax_compiler::Module> {
 }
 
 fn parse_mode(s: &str, seed: u64) -> Result<ChainMode> {
-    Ok(match s {
-        "cleartext" => ChainMode::Cleartext,
-        "xor" => ChainMode::XorEncrypted {
-            key: (seed as u32) | 1,
-        },
-        "rc4" => ChainMode::Rc4Encrypted {
-            key: (seed ^ 0x5045_4c58_4b45_5921).to_le_bytes(),
-        },
-        "prob" | "probabilistic" => ChainMode::Probabilistic { variants: 6, seed },
-        other => return Err(bail(format!("unknown mode `{other}`"))),
-    })
+    // Shared with `plx batch`'s manifest expansion, so a batch job and
+    // a one-off protect of the same target are byte-identical.
+    parallax_engine::chain_mode_for(s, seed).ok_or_else(|| bail(format!("unknown mode `{s}`")))
 }
 
 fn list(s: &str) -> Vec<String> {
@@ -307,15 +368,9 @@ pub fn cmd_run(args: &Args) -> Result<String> {
     )
     .unwrap();
     if let Some(p) = vm.profiler() {
-        let mut rows: Vec<(String, f64, u64)> = p
-            .iter()
-            .map(|(n, fp)| (n.to_owned(), p.fraction(n) * 100.0, fp.calls))
-            .filter(|(_, f, _)| *f > 0.005)
-            .collect();
-        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         writeln!(msg, "--- profile ---").unwrap();
-        for (n, f, calls) in rows.iter().take(12) {
-            writeln!(msg, "{f:6.2}%  calls={calls:<8} {n}").unwrap();
+        for (n, f, calls) in p.hotspots(0.005 / 100.0).iter().take(12) {
+            writeln!(msg, "{:6.2}%  calls={calls:<8} {n}", f * 100.0).unwrap();
         }
     }
     Ok(msg.trim_end().to_owned())
@@ -483,6 +538,114 @@ pub fn cmd_tamper(args: &Args) -> Result<String> {
     Ok(format!("patched {} bytes at {at:#x} -> {out}", bytes.len()))
 }
 
+/// `plx batch`: run a manifest of protection jobs through the engine.
+pub fn cmd_batch(args: &Args) -> Result<String> {
+    let manifest_path = args.pos(0, "manifest file")?;
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| bail(format!("{manifest_path}: {e}")))?;
+    let jobs = parallax_engine::parse_manifest(&text).map_err(bail)?;
+    let n = jobs.len();
+
+    let workers = match args.flag("jobs") {
+        Some(v) => v.parse().map_err(|e| bail(format!("bad --jobs: {e}")))?,
+        None => std::thread::available_parallelism().map_or(1, usize::from),
+    };
+    let cache_dir = match args.flag("cache-dir") {
+        Some("none") => None,
+        Some(dir) => Some(std::path::PathBuf::from(dir)),
+        None => Some(std::path::PathBuf::from("target/plx-cache")),
+    };
+    let engine = Engine::new(EngineOptions {
+        workers,
+        cache_dir,
+        validate: !args.switch("no-validate"),
+        log_json: args.flag("log-json").map(std::path::PathBuf::from),
+        ..EngineOptions::default()
+    });
+
+    // Live progress goes to stderr (stdout carries the final summary,
+    // like every other subcommand).
+    let report = engine
+        .run(jobs, |ev| match ev {
+            EngineEvent::JobStarted { job, name, worker } => {
+                eprintln!("[{:>3}/{n}] {name} started (worker {worker})", job + 1);
+            }
+            EngineEvent::CachePoisoned { job, kind } => {
+                eprintln!(
+                    "[{:>3}/{n}] poisoned {kind} cache entry detected; recomputing",
+                    job + 1
+                );
+            }
+            EngineEvent::Degraded {
+                job, func, missing, ..
+            } => {
+                eprintln!("[{:>3}/{n}] degraded: {func} missing {missing}", job + 1);
+            }
+            EngineEvent::JobFinished {
+                job,
+                name,
+                micros,
+                cached,
+                verdict,
+                error,
+                ..
+            } => {
+                let status = match (error, verdict) {
+                    (Some(e), _) => format!("FAILED: {e}"),
+                    (None, Some(v)) => v.to_string(),
+                    (None, None) => "ok (not validated)".to_owned(),
+                };
+                let src = if *cached { " [cached]" } else { "" };
+                eprintln!(
+                    "[{:>3}/{n}] {name} finished in {:.1} ms{src}: {status}",
+                    job + 1,
+                    *micros as f64 / 1e3
+                );
+            }
+            _ => {}
+        })
+        .map_err(|e| bail(format!("event log: {e}")))?;
+
+    if let Some(dir) = args.flag("out") {
+        std::fs::create_dir_all(dir).map_err(|e| bail(format!("{dir}: {e}")))?;
+        for r in report.results.iter().filter(|r| r.error.is_none()) {
+            let file = format!("{}.plx", r.name.replace(['/', '#'], "-"));
+            let path = std::path::Path::new(dir).join(file);
+            std::fs::write(&path, &r.image)
+                .map_err(|e| bail(format!("{}: {e}", path.display())))?;
+        }
+    }
+
+    let mut msg = String::new();
+    for r in &report.results {
+        let status = match (&r.error, r.verdict) {
+            (Some(e), _) => format!("FAILED: {e}"),
+            (None, Some(v)) => v.to_string(),
+            (None, None) => "ok (not validated)".to_owned(),
+        };
+        writeln!(
+            msg,
+            "  {:<28} {:>6} gadgets  {:>9.1} ms  {}{}",
+            r.name,
+            r.gadget_count,
+            r.micros as f64 / 1e3,
+            status,
+            if r.cached { " [cached]" } else { "" }
+        )
+        .unwrap();
+    }
+    msg.push('\n');
+    msg.push_str(&report.metrics.render());
+    if report.all_clean() {
+        Ok(msg.trim_end().to_owned())
+    } else {
+        Err(bail(format!(
+            "{}\nbatch had failures or non-clean verdicts",
+            msg.trim_end()
+        )))
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 plx — the Parallax toolchain
@@ -497,11 +660,18 @@ USAGE:
   plx gadgets  <img.plx>
   plx coverage <img.plx>
   plx chain    <img.plx> <function>
-  plx tamper   <img.plx> --at <hex-vaddr> --bytes aa,bb -o <out.plx>";
+  plx tamper   <img.plx> --at <hex-vaddr> --bytes aa,bb -o <out.plx>
+  plx batch    <manifest> [--jobs N] [--out <dir>] [--log-json <path>]
+               [--cache-dir <dir>|none] [--no-validate]";
+
+const COMMANDS: [&str; 10] = [
+    "build", "protect", "run", "inspect", "disasm", "gadgets", "coverage", "chain", "tamper",
+    "batch",
+];
 
 /// Dispatches a subcommand.
 pub fn dispatch(cmd: &str, raw: &[String]) -> Result<String> {
-    let args = Args::parse(raw)?;
+    let args = Args::parse(raw, &spec_for(cmd))?;
     match cmd {
         "build" => cmd_build(&args),
         "protect" => cmd_protect(&args),
@@ -512,7 +682,13 @@ pub fn dispatch(cmd: &str, raw: &[String]) -> Result<String> {
         "coverage" => cmd_coverage(&args),
         "chain" => cmd_chain(&args),
         "tamper" => cmd_tamper(&args),
-        _ => Err(bail(format!("unknown command `{cmd}`\n\n{USAGE}"))),
+        "batch" => cmd_batch(&args),
+        _ => match suggest(cmd, COMMANDS) {
+            Some(s) => Err(bail(format!(
+                "unknown command `{cmd}` (did you mean `{s}`?)\n\n{USAGE}"
+            ))),
+            None => Err(bail(format!("unknown command `{cmd}`\n\n{USAGE}"))),
+        },
     }
 }
 
@@ -737,5 +913,141 @@ mod trace_cmd_tests {
         )
         .unwrap();
         assert!(msg.contains("status 5"), "{msg}");
+    }
+}
+
+#[cfg(test)]
+mod strict_flag_tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected_with_suggestion() {
+        let e = dispatch("protect", &argv(&["x.px", "-o", "y", "--mdoe", "xor"])).unwrap_err();
+        assert!(
+            e.0.contains("unknown flag `--mdoe`") && e.0.contains("did you mean `--mode`?"),
+            "{}",
+            e.0
+        );
+        let e = dispatch("run", &argv(&["x.plx", "--debuger"])).unwrap_err();
+        assert!(e.0.contains("did you mean `--debugger`?"), "{}", e.0);
+        let e = dispatch("batch", &argv(&["m.txt", "--job", "4"])).unwrap_err();
+        assert!(e.0.contains("did you mean `--jobs`?"), "{}", e.0);
+    }
+
+    #[test]
+    fn unknown_flag_without_a_close_match() {
+        let e = dispatch("protect", &argv(&["x.px", "--frobnicate", "1"])).unwrap_err();
+        assert!(e.0.contains("unknown flag `--frobnicate`"), "{}", e.0);
+        assert!(!e.0.contains("did you mean"), "{}", e.0);
+    }
+
+    #[test]
+    fn flags_are_per_command() {
+        // `--mode` belongs to protect, not build.
+        let e = dispatch("build", &argv(&["x.px", "-o", "y", "--mode", "xor"])).unwrap_err();
+        assert!(e.0.contains("unknown flag `--mode`"), "{}", e.0);
+        // Positional-only commands accept no flags at all.
+        let e = dispatch("inspect", &argv(&["x.plx", "--verbose"])).unwrap_err();
+        assert!(e.0.contains("unknown flag `--verbose`"), "{}", e.0);
+    }
+
+    #[test]
+    fn unknown_command_suggestion() {
+        let e = dispatch("protct", &[]).unwrap_err();
+        assert!(e.0.contains("did you mean `protect`?"), "{}", e.0);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("mode", "mode"), 0);
+        assert_eq!(edit_distance("mdoe", "mode"), 2);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(suggest("sede", ["seed", "mode"]), Some("seed"));
+        assert_eq!(suggest("zzzzzz", ["seed", "mode"]), None);
+    }
+}
+
+#[cfg(test)]
+mod batch_cmd_tests {
+    use super::*;
+
+    #[test]
+    fn batch_from_manifest() {
+        let dir = std::env::temp_dir().join("plx-cli-batch-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("batch.px");
+        std::fs::write(
+            &src,
+            "fn vf(x) { return x * 3 + 1; }\nfn main() { return vf(2) & 0xff; }\n",
+        )
+        .unwrap();
+        let manifest = dir.join("batch.manifest");
+        std::fs::write(
+            &manifest,
+            format!(
+                "# test manifest\n{} verify=vf modes=cleartext,xor seeds=1,2\n",
+                src.display()
+            ),
+        )
+        .unwrap();
+        let out_dir = dir.join("out");
+        let cache_dir = dir.join("cache");
+        let argv: Vec<String> = vec![
+            manifest.display().to_string(),
+            "--jobs".into(),
+            "2".into(),
+            "--out".into(),
+            out_dir.display().to_string(),
+            "--cache-dir".into(),
+            cache_dir.display().to_string(),
+        ];
+        let msg = dispatch("batch", &argv).unwrap();
+        assert!(msg.contains("clean"), "{msg}");
+        assert!(msg.contains("jobs        4"), "{msg}");
+        assert!(msg.contains("cache"), "{msg}");
+        // Images land in --out with slash/hash-free names.
+        assert!(out_dir.join("batch-cleartext-1.plx").exists());
+        assert!(out_dir.join("batch-xor-2.plx").exists());
+        // A batch-protected image equals a one-off `plx protect` of the
+        // same source, mode, and seed.
+        let single = dir.join("single.plx");
+        dispatch(
+            "protect",
+            &[
+                src.display().to_string(),
+                "-o".into(),
+                single.display().to_string(),
+                "--verify".into(),
+                "vf".into(),
+                "--mode".into(),
+                "xor".into(),
+                "--seed".into(),
+                "2".into(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(out_dir.join("batch-xor-2.plx")).unwrap(),
+            std::fs::read(&single).unwrap(),
+            "batch and one-off protect must be byte-identical"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_rejects_bad_manifests() {
+        let dir = std::env::temp_dir().join("plx-cli-batch-tests-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.join("bad.manifest");
+        std::fs::write(&manifest, "corpus:wget mode=rot13\n").unwrap();
+        let e = dispatch("batch", &[manifest.display().to_string()]).unwrap_err();
+        assert!(e.0.contains("unknown mode"), "{}", e.0);
+        let e = dispatch("batch", &[]).unwrap_err();
+        assert!(e.0.contains("missing manifest"), "{}", e.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
