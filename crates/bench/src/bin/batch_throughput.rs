@@ -13,6 +13,12 @@
 //!   job validates non-Clean or the warm batch sees a zero cache
 //!   hit-rate. This is the CI gate: it checks the engine's correctness
 //!   invariants (watchdog verdicts, cache reuse), not wall-clock.
+//!
+//! Both modes also append machine-readable results to
+//! `BENCH_batch.json` (one record per measured batch:
+//! `{bench, config, wall_ms, jobs_per_sec, cache_hit_rate}`), so the
+//! performance trajectory is recorded across runs without changing the
+//! human-readable output.
 
 use std::process::ExitCode;
 
@@ -52,6 +58,38 @@ fn describe(report: &BatchReport) -> String {
     )
 }
 
+/// One measured batch for `BENCH_batch.json`.
+struct BenchRec {
+    config: String,
+    wall_ms: f64,
+    jobs_per_sec: f64,
+    cache_hit_rate: f64,
+}
+
+fn record(records: &mut Vec<BenchRec>, config: &str, report: &BatchReport) {
+    records.push(BenchRec {
+        config: config.to_owned(),
+        wall_ms: report.metrics.wall_micros as f64 / 1e3,
+        jobs_per_sec: report.metrics.jobs_per_sec,
+        cache_hit_rate: report.metrics.cache.hit_rate(),
+    });
+}
+
+fn write_bench_json(records: &[BenchRec]) {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  {{\"bench\": \"batch_throughput\", \"config\": \"{}\", \"wall_ms\": {:.3}, \"jobs_per_sec\": {:.3}, \"cache_hit_rate\": {:.4}}}{comma}\n",
+            r.config, r.wall_ms, r.jobs_per_sec, r.cache_hit_rate
+        ));
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write("BENCH_batch.json", out) {
+        eprintln!("warn: could not write BENCH_batch.json: {e}");
+    }
+}
+
 fn gate(report: &BatchReport, label: &str) -> bool {
     let mut ok = true;
     for r in &report.results {
@@ -82,6 +120,10 @@ fn smoke() -> ExitCode {
     println!("smoke cold: {}", describe(&cold));
     let warm = run_batch(&engine, jobs(&["wget", "gzip"], &modes, 7));
     println!("smoke warm: {}", describe(&warm));
+    let mut records = Vec::new();
+    record(&mut records, "smoke workers=2 cold", &cold);
+    record(&mut records, "smoke workers=2 warm", &warm);
+    write_bench_json(&records);
 
     let mut ok = gate(&cold, "cold") && gate(&warm, "warm");
     if warm.metrics.cache.hit_rate() <= 0.0 {
@@ -117,6 +159,7 @@ fn full() -> ExitCode {
     println!("(cold = fresh engine; warm = immediate rerun, protected-result cache hot)\n");
     let mut ok = true;
     let mut baseline_cold = 0.0f64;
+    let mut records = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let engine = Engine::new(EngineOptions {
             workers,
@@ -124,6 +167,8 @@ fn full() -> ExitCode {
         });
         let cold = run_batch(&engine, jobs(&programs, &modes, 7));
         let warm = run_batch(&engine, jobs(&programs, &modes, 7));
+        record(&mut records, &format!("workers={workers} cold"), &cold);
+        record(&mut records, &format!("workers={workers} warm"), &warm);
         ok &= gate(&cold, "cold") && gate(&warm, "warm");
         if workers == 1 {
             baseline_cold = cold.metrics.jobs_per_sec;
@@ -143,6 +188,7 @@ fn full() -> ExitCode {
             warm.metrics.jobs_per_sec / cold.metrics.jobs_per_sec.max(f64::MIN_POSITIVE)
         );
     }
+    write_bench_json(&records);
     if ok {
         ExitCode::SUCCESS
     } else {

@@ -58,6 +58,12 @@ pub trait PipelineHooks: Send + Sync {
     /// Offers a freshly computed coverage analysis for reuse.
     fn store_coverage(&self, _img: &LinkedImage, _coverage: &Coverage) {}
 
+    /// A pipeline stage block is starting. Every call is paired with a
+    /// later [`PipelineHooks::stage_completed`] for the same stage on
+    /// the same thread; stage blocks do not nest. Span-building
+    /// implementations (see `TracingHooks`) open a span here.
+    fn stage_started(&self, _stage: Stage) {}
+
     /// A pipeline stage block finished after `elapsed` wall time.
     /// Stages repeat across fixpoint passes and degradation retries;
     /// implementations should accumulate.

@@ -35,6 +35,7 @@ pub mod microchain;
 pub mod protect;
 pub mod select;
 pub mod tamper;
+pub mod trace;
 
 pub use dynamic::{Basis, ChainMode};
 pub use faultinject::{
@@ -43,11 +44,13 @@ pub use faultinject::{
 pub use hooks::{NoHooks, PipelineHooks};
 pub use microchain::split_for_microchains;
 pub use protect::{
-    protect, protect_binary, protect_binary_hooked, protect_with_hooks, ChainInfo,
-    DegradationReport, ErrorKind, ProtectConfig, ProtectError, ProtectReport, Protected, Stage,
+    protect, protect_binary, protect_binary_hooked, protect_binary_traced, protect_traced,
+    protect_with_hooks, ChainInfo, DegradationReport, ErrorKind, ProtectConfig, ProtectError,
+    ProtectReport, Protected, Stage,
 };
 pub use select::{select_verification_functions, SelectionConfig};
 pub use tamper::{
     classify, classify_outcome, nop_instruction, nop_range, patch_bytes, run_baseline, Baseline,
     Verdict,
 };
+pub use trace::{chain_tracer_for, chain_tracer_for_image, effect_kind, TracingHooks};

@@ -37,18 +37,20 @@ use parallax_compiler::{compile_module, CompileError, Function, Module};
 use parallax_gadgets::{find_gadgets, GadgetMap};
 use parallax_image::{LinkError, LinkedImage, Program};
 use parallax_rewrite::{
-    analyze, protect_program, Coverage, RewriteConfig, RewriteError, RewriteReport,
+    analyze_traced, protect_program_traced, Coverage, RewriteConfig, RewriteError, RewriteReport,
 };
 use parallax_ropc::{
-    compile_chain_with_guards, fnv1a, frame_size, install_runtime, make_chain_checker,
-    make_stub_full, ChainError, Policy,
+    compile_chain_traced, fnv1a, frame_size, install_runtime, make_chain_checker, make_stub_full,
+    ChainError, Policy,
 };
+use parallax_trace::Tracer;
 
 use crate::dynamic::{
     build_index_blob, install_generator_binary, rc4_crypt, xor_crypt, Basis, ChainMode,
 };
 use crate::faultinject::FaultPlan;
 use crate::hooks::{NoHooks, PipelineHooks};
+use crate::trace::TracingHooks;
 
 /// Configuration for [`protect`].
 #[derive(Debug, Clone)]
@@ -384,6 +386,26 @@ pub fn protect_with_hooks(
     cfg: &ProtectConfig,
     hooks: &dyn PipelineHooks,
 ) -> Result<Protected, ProtectError> {
+    protect_full(module, cfg, hooks, None)
+}
+
+/// [`protect`] recording hierarchical spans, counters and histograms
+/// on `tracer`: one span per pipeline stage block, rewrite-pass and
+/// per-chain sub-spans, and the §IV-B gadget-preference counters.
+pub fn protect_traced(
+    module: &Module,
+    cfg: &ProtectConfig,
+    tracer: &Tracer,
+) -> Result<Protected, ProtectError> {
+    protect_full(module, cfg, &NoHooks, Some(tracer))
+}
+
+fn protect_full(
+    module: &Module,
+    cfg: &ProtectConfig,
+    hooks: &dyn PipelineHooks,
+    trace: Option<&Tracer>,
+) -> Result<Protected, ProtectError> {
     let mut verify_impls = Vec::new();
     for f in &cfg.verify_funcs {
         let func = module
@@ -392,7 +414,14 @@ pub fn protect_with_hooks(
         verify_impls.push(func.clone());
     }
     let prog = compile_module(module)?;
-    protect_binary_hooked(prog, &verify_impls, cfg, &FaultPlan::default(), hooks)
+    protect_binary_traced(
+        prog,
+        &verify_impls,
+        cfg,
+        &FaultPlan::default(),
+        hooks,
+        trace,
+    )
 }
 
 /// The binary-level pipeline (paper §I advantage 5: "our approach lends
@@ -421,6 +450,39 @@ pub fn protect_binary_hooked(
     plan: &FaultPlan,
     hooks: &dyn PipelineHooks,
 ) -> Result<Protected, ProtectError> {
+    protect_binary_impl(prog, verify_impls, cfg, plan, hooks, None)
+}
+
+/// [`protect_binary_hooked`] with optional span tracing: the whole run
+/// nests under a root `protect` span, each stage block becomes a child
+/// span (via [`TracingHooks`]), and the rewrite/chain-compiler layers
+/// add their own sub-spans, counters and histograms.
+pub fn protect_binary_traced(
+    prog: Program,
+    verify_impls: &[Function],
+    cfg: &ProtectConfig,
+    plan: &FaultPlan,
+    hooks: &dyn PipelineHooks,
+    trace: Option<&Tracer>,
+) -> Result<Protected, ProtectError> {
+    match trace {
+        Some(t) => {
+            let _root = t.span("protect", "pipeline");
+            let tracing = TracingHooks::new(hooks, t);
+            protect_binary_impl(prog, verify_impls, cfg, plan, &tracing, Some(t))
+        }
+        None => protect_binary_impl(prog, verify_impls, cfg, plan, hooks, None),
+    }
+}
+
+fn protect_binary_impl(
+    prog: Program,
+    verify_impls: &[Function],
+    cfg: &ProtectConfig,
+    plan: &FaultPlan,
+    hooks: &dyn PipelineHooks,
+    trace: Option<&Tracer>,
+) -> Result<Protected, ProtectError> {
     // Stage: Select — the requested functions must exist both in the
     // program and among the supplied IR implementations.
     for f in &cfg.verify_funcs {
@@ -438,7 +500,7 @@ pub fn protect_binary_hooked(
         Ok(match hooks.cached_coverage(&base) {
             Some(c) => c,
             None => {
-                let c = analyze(&base);
+                let c = analyze_traced(&base, trace);
                 hooks.store_coverage(&base, &c);
                 c
             }
@@ -466,7 +528,7 @@ pub fn protect_binary_hooked(
     let mut degradations: Vec<DegradationReport> = Vec::new();
     let last = attempts.len() - 1;
     for (i, (rw_cfg, _)) in attempts.iter().enumerate() {
-        match run_pipeline(prog.clone(), verify_impls, cfg, rw_cfg, plan, hooks) {
+        match run_pipeline(prog.clone(), verify_impls, cfg, rw_cfg, plan, hooks, trace) {
             Ok((image, rewrites, chains, gadget_count)) => {
                 return Ok(Protected {
                     image,
@@ -504,7 +566,7 @@ pub fn protect_binary_hooked(
 
 /// One end-to-end pipeline attempt (steps 1–5 of the module docs).
 /// Returns the final image plus report ingredients.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn run_pipeline(
     mut prog: Program,
     verify_impls: &[Function],
@@ -512,6 +574,7 @@ fn run_pipeline(
     rw_cfg: &RewriteConfig,
     plan: &FaultPlan,
     hooks: &dyn PipelineHooks,
+    trace: Option<&Tracer>,
 ) -> Result<(LinkedImage, RewriteReport, Vec<ChainInfo>, usize), ProtectError> {
     let get_impl = |name: &str| -> Result<&Function, ProtectError> {
         verify_impls
@@ -541,11 +604,11 @@ fn run_pipeline(
     };
     plan.apply_pre_rewrite(&mut prog);
     let rewrites = timed(hooks, Stage::Rewrite, || {
-        protect_program(&mut prog, &targets, rw_cfg)
+        protect_program_traced(&mut prog, &targets, rw_cfg, trace)
     })?;
 
     // 3. Runtime, frames, stubs, placeholders (stage: Load).
-    let t_load = Instant::now();
+    let load_block = StageBlock::begin(hooks, Stage::Load);
     install_runtime(&mut prog);
     prog.add_bss("__plx_scratch", 4096);
     for (f, gen) in &gens {
@@ -610,14 +673,14 @@ fn run_pipeline(
         slot.markers = stub.markers;
     }
     plan.apply_pre_link(&mut prog);
-    hooks.stage_completed(Stage::Load, t_load.elapsed());
+    drop(load_block);
 
     // 4. Fixpoint pass 1: discover chain sizes (stages: Link,
     // GadgetScan, Map, ChainCompile).
     let img1 = timed(hooks, Stage::Link, || prog.link())?;
     let map1 = scan_gadgets(&img1, plan, hooks)?;
     let ranges1 = target_ranges(&img1, &targets);
-    let t_chain1 = Instant::now();
+    let chain1_block = StageBlock::begin(hooks, Stage::ChainCompile);
     let mut sizes = Vec::new();
     for (i, (f, _)) in gens.iter().enumerate() {
         let func = get_impl(f)?;
@@ -626,7 +689,7 @@ fn run_pipeline(
         let policy = policy_for(cfg, &ranges1, i as u64, 0);
         let guards = guard_addrs(&img1, &map1, &cfg.guard_funcs);
         let compiled =
-            compile_chain_with_guards(func, &map1, &img1, frame, scratch, policy, &guards)
+            compile_chain_traced(func, &map1, &img1, frame, scratch, policy, &guards, trace)
                 .map_err(|e| ProtectError::chain_for(f, e))?;
         let words = compiled.chain.len();
         // Probabilistic blob worst case per (position, variant): a
@@ -635,10 +698,10 @@ fn run_pipeline(
         let blob_cap = words * cfg_variants(&cfg.mode) * 140 + 1024;
         sizes.push((words, blob_cap));
     }
-    hooks.stage_completed(Stage::ChainCompile, t_chain1.elapsed());
+    drop(chain1_block);
 
     // Size the per-chain data objects (stage: Map).
-    let t_map = Instant::now();
+    let map_block = StageBlock::begin(hooks, Stage::Map);
     for ((f, _gen), (words, blob_cap)) in gens.iter().zip(&sizes) {
         let bytes = words * 4;
         match &cfg.mode {
@@ -655,13 +718,13 @@ fn run_pipeline(
             }
         }
     }
-    hooks.stage_completed(Stage::Map, t_map.elapsed());
+    drop(map_block);
 
     // 5. Fixpoint pass 2: final layout; recompile, serialize, install.
     let img2 = timed(hooks, Stage::Link, || prog.link())?;
     let map2 = scan_gadgets(&img2, plan, hooks)?;
     let ranges2 = target_ranges(&img2, &targets);
-    let t_chain2 = Instant::now();
+    let chain2_block = StageBlock::begin(hooks, Stage::ChainCompile);
     let mut chains = Vec::new();
     for (i, ((f, _gen), (words, _))) in gens.iter().zip(&sizes).enumerate() {
         let func = get_impl(f)?;
@@ -678,7 +741,7 @@ fn run_pipeline(
         for v in 0..nvariants {
             let policy = policy_for(cfg, &ranges2, i as u64, v as u64);
             let compiled =
-                compile_chain_with_guards(func, &map2, &img2, frame, scratch, policy, &guards)
+                compile_chain_traced(func, &map2, &img2, frame, scratch, policy, &guards, trace)
                     .map_err(|e| ProtectError::chain_for(f, e))?;
             if compiled.chain.len() != *words {
                 return Err(ProtectError::new(
@@ -779,6 +842,12 @@ fn run_pipeline(
             set_word(&mut prog, &format!("__plx_ckexp_{f}"), fnv1a(&bytes))?;
         }
 
+        if let Some(t) = trace {
+            t.count("chain.used.total", used.len() as u64);
+            t.count("chain.used.overlapping", overlapping_used as u64);
+            t.record("chain.words", *words as u64);
+            t.record("chain.ops", ops as u64);
+        }
         chains.push(ChainInfo {
             func: f.clone(),
             ops,
@@ -787,7 +856,7 @@ fn run_pipeline(
             overlapping_used,
         });
     }
-    hooks.stage_completed(Stage::ChainCompile, t_chain2.elapsed());
+    drop(chain2_block);
 
     let image = timed(hooks, Stage::Link, || prog.link())?;
     debug_assert_eq!(image.text, img2.text, "text stable across final fill");
@@ -795,11 +864,39 @@ fn run_pipeline(
     Ok((image, rewrites, chains, map2.gadgets().len()))
 }
 
+/// An in-flight pipeline stage block. [`StageBlock::begin`] fires
+/// [`PipelineHooks::stage_started`]; dropping the guard fires
+/// [`PipelineHooks::stage_completed`] with the elapsed wall time —
+/// including on early (`?`) exits, so span-building hooks never see an
+/// unmatched start.
+struct StageBlock<'a> {
+    hooks: &'a dyn PipelineHooks,
+    stage: Stage,
+    t0: Instant,
+}
+
+impl<'a> StageBlock<'a> {
+    fn begin(hooks: &'a dyn PipelineHooks, stage: Stage) -> StageBlock<'a> {
+        hooks.stage_started(stage);
+        StageBlock {
+            hooks,
+            stage,
+            t0: Instant::now(),
+        }
+    }
+}
+
+impl Drop for StageBlock<'_> {
+    fn drop(&mut self) {
+        self.hooks.stage_completed(self.stage, self.t0.elapsed());
+    }
+}
+
 /// Times one stage block and reports it to the hooks.
 fn timed<T>(hooks: &dyn PipelineHooks, stage: Stage, f: impl FnOnce() -> T) -> T {
-    let t0 = Instant::now();
+    let block = StageBlock::begin(hooks, stage);
     let out = f();
-    hooks.stage_completed(stage, t0.elapsed());
+    drop(block);
     out
 }
 
@@ -813,7 +910,7 @@ fn scan_gadgets(
     plan: &FaultPlan,
     hooks: &dyn PipelineHooks,
 ) -> Result<GadgetMap, ProtectError> {
-    let t0 = Instant::now();
+    let block = StageBlock::begin(hooks, Stage::GadgetScan);
     let gadgets = if plan.empties_gadget_scan() {
         Vec::new()
     } else {
@@ -826,7 +923,7 @@ fn scan_gadgets(
             }
         }
     };
-    hooks.stage_completed(Stage::GadgetScan, t0.elapsed());
+    drop(block);
     if gadgets.is_empty() {
         return Err(ProtectError::new(
             Stage::GadgetScan,

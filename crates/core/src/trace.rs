@@ -1,0 +1,221 @@
+//! Pipeline tracing: turns [`PipelineHooks`] stage callbacks into
+//! hierarchical [`parallax_trace`] spans.
+//!
+//! The pipeline itself only knows about hooks; [`TracingHooks`] is the
+//! adapter that listens on the `stage_started`/`stage_completed` seam
+//! and opens/closes one span per stage block (named after the
+//! [`Stage`], in the `stage` category lane). Because the span is
+//! opened on the pipeline's own thread, any spans the inner layers
+//! open while the stage runs — rewrite passes, per-chain compiles —
+//! nest under it automatically.
+//!
+//! All other hook methods delegate to a wrapped inner implementation,
+//! so tracing composes with the batch engine's cache hooks.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use parallax_gadgets::{find_gadgets, Effect, Gadget};
+use parallax_image::LinkedImage;
+use parallax_rewrite::Coverage;
+use parallax_trace::{SpanId, Tracer};
+use parallax_vm::ChainTracer;
+
+use crate::hooks::PipelineHooks;
+use crate::protect::{DegradationReport, Protected, Stage};
+
+/// [`PipelineHooks`] adapter that records each stage block as a span
+/// on a [`Tracer`], delegating everything to an inner hooks value.
+pub struct TracingHooks<'a> {
+    inner: &'a dyn PipelineHooks,
+    tracer: &'a Tracer,
+    open: Mutex<Vec<(Stage, SpanId)>>,
+}
+
+impl std::fmt::Debug for TracingHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracingHooks").finish_non_exhaustive()
+    }
+}
+
+impl<'a> TracingHooks<'a> {
+    /// Wraps `inner` so stage blocks also become spans on `tracer`.
+    pub fn new(inner: &'a dyn PipelineHooks, tracer: &'a Tracer) -> TracingHooks<'a> {
+        TracingHooks {
+            inner,
+            tracer,
+            open: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn open_spans(&self) -> std::sync::MutexGuard<'_, Vec<(Stage, SpanId)>> {
+        self.open.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl PipelineHooks for TracingHooks<'_> {
+    fn cached_scan(&self, img: &LinkedImage) -> Option<Vec<Gadget>> {
+        self.inner.cached_scan(img)
+    }
+
+    fn store_scan(&self, img: &LinkedImage, gadgets: &[Gadget]) {
+        self.inner.store_scan(img, gadgets)
+    }
+
+    fn cached_coverage(&self, img: &LinkedImage) -> Option<Coverage> {
+        self.inner.cached_coverage(img)
+    }
+
+    fn store_coverage(&self, img: &LinkedImage, coverage: &Coverage) {
+        self.inner.store_coverage(img, coverage)
+    }
+
+    fn stage_started(&self, stage: Stage) {
+        self.inner.stage_started(stage);
+        let id = self.tracer.enter(&stage.to_string(), "stage");
+        self.open_spans().push((stage, id));
+    }
+
+    fn stage_completed(&self, stage: Stage, elapsed: Duration) {
+        let id = {
+            let mut open = self.open_spans();
+            open.iter()
+                .rposition(|(s, _)| *s == stage)
+                .map(|pos| open.remove(pos).1)
+        };
+        if let Some(id) = id {
+            self.tracer.exit(id);
+        }
+        self.inner.stage_completed(stage, elapsed);
+    }
+
+    fn degraded(&self, report: &DegradationReport) {
+        self.tracer.instant(
+            "degraded",
+            "pipeline",
+            vec![
+                ("func".to_string(), report.func.as_str().into()),
+                ("missing".to_string(), report.missing.as_str().into()),
+                (
+                    "retry_rotation".to_string(),
+                    (report.retry_rotation as u64).into(),
+                ),
+                (
+                    "stdset_forced".to_string(),
+                    u64::from(report.stdset_forced).into(),
+                ),
+            ],
+        );
+        self.tracer.count("pipeline.degradations", 1);
+        self.inner.degraded(report)
+    }
+}
+
+/// The short kind label a gadget dispatch is tagged with (its primary
+/// effect's variant name, or `"Nop"` for pure filler).
+pub fn effect_kind(e: &Effect) -> &'static str {
+    match e {
+        Effect::LoadConst { .. } => "LoadConst",
+        Effect::MovReg { .. } => "MovReg",
+        Effect::Binary { .. } => "Binary",
+        Effect::Neg { .. } => "Neg",
+        Effect::Not { .. } => "Not",
+        Effect::LoadMem { .. } => "LoadMem",
+        Effect::StoreMem { .. } => "StoreMem",
+        Effect::AddMem { .. } => "AddMem",
+        Effect::PopEsp => "PopEsp",
+        Effect::AddEsp { .. } => "AddEsp",
+        Effect::Syscall => "Syscall",
+        Effect::ShiftCl { .. } => "ShiftCl",
+        Effect::MovLow8 { .. } => "MovLow8",
+        Effect::Nop => "Nop",
+    }
+}
+
+/// Builds a [`ChainTracer`] for a protected image: every gadget
+/// address the report's chains use is registered with its effect kind,
+/// and every verification function's entry point is registered so VM
+/// runs attribute chain executions to it. Install the result with
+/// [`parallax_vm::Vm::set_chain_tracer`].
+pub fn chain_tracer_for(protected: &Protected) -> ChainTracer {
+    let mut ct = ChainTracer::new();
+    let kind_of: HashMap<u32, &'static str> = find_gadgets(&protected.image)
+        .iter()
+        .map(|g| {
+            let kind = g.effects.first().map(effect_kind).unwrap_or("Nop");
+            (g.vaddr, kind)
+        })
+        .collect();
+    let entry_of: HashMap<&str, u32> = protected
+        .image
+        .funcs()
+        .map(|s| (s.name.as_str(), s.vaddr))
+        .collect();
+    for chain in &protected.report.chains {
+        if let Some(&entry) = entry_of.get(chain.func.as_str()) {
+            ct.register_verify(entry, &chain.func);
+        }
+        for &vaddr in &chain.used_gadgets {
+            let kind = kind_of.get(&vaddr).copied().unwrap_or("Unknown");
+            ct.register_gadget(vaddr, kind);
+        }
+    }
+    ct
+}
+
+/// [`chain_tracer_for`] from the image alone, when no
+/// [`crate::protect::ProtectReport`] is at hand (e.g. `plx run` on a
+/// saved `.plx` file). Every discovered gadget is registered, and
+/// verification entries are recovered from the `__plx_chain_<func>`
+/// symbols the protection pipeline emits.
+pub fn chain_tracer_for_image(img: &LinkedImage) -> ChainTracer {
+    let mut ct = ChainTracer::new();
+    for g in find_gadgets(img) {
+        let kind = g.effects.first().map(effect_kind).unwrap_or("Nop");
+        ct.register_gadget(g.vaddr, kind);
+    }
+    let entry_of: HashMap<&str, u32> = img.funcs().map(|s| (s.name.as_str(), s.vaddr)).collect();
+    for sym in &img.symbols {
+        if let Some(func) = sym.name.strip_prefix("__plx_chain_") {
+            if let Some(&entry) = entry_of.get(func) {
+                ct.register_verify(entry, func);
+            }
+        }
+    }
+    ct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::NoHooks;
+
+    #[test]
+    fn stage_blocks_become_spans() {
+        let tracer = Tracer::new();
+        let hooks = TracingHooks::new(&NoHooks, &tracer);
+        hooks.stage_started(Stage::Select);
+        hooks.stage_completed(Stage::Select, Duration::from_micros(5));
+        hooks.stage_started(Stage::Link);
+        hooks.stage_completed(Stage::Link, Duration::from_micros(5));
+        let snap = tracer.snapshot();
+        let names: Vec<&str> = snap
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                parallax_trace::Event::Span { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["select", "link"]);
+    }
+
+    #[test]
+    fn unmatched_completion_is_ignored() {
+        let tracer = Tracer::new();
+        let hooks = TracingHooks::new(&NoHooks, &tracer);
+        hooks.stage_completed(Stage::Map, Duration::ZERO);
+        assert!(tracer.snapshot().events.is_empty());
+    }
+}

@@ -21,13 +21,14 @@ use std::time::{Duration, Instant};
 
 use parallax_compiler::{compile_module, Module};
 use parallax_core::{
-    classify_outcome, protect_binary_hooked, run_baseline, Baseline, DegradationReport, FaultPlan,
+    classify_outcome, protect_binary_traced, run_baseline, Baseline, DegradationReport, FaultPlan,
     PipelineHooks, ProtectConfig, Stage, Verdict,
 };
 use parallax_corpus::by_name;
 use parallax_gadgets::{deserialize_gadgets, serialize_gadgets, Gadget};
 use parallax_image::{format, LinkedImage};
 use parallax_rewrite::Coverage;
+use parallax_trace::Tracer;
 use parallax_vm::{Vm, VmOptions};
 
 use crate::artifacts::{
@@ -55,6 +56,9 @@ pub struct EngineOptions {
     pub log_json: Option<PathBuf>,
     /// VM budgets for baseline and validation runs.
     pub vm: VmOptions,
+    /// Shared tracer: per-job spans, pipeline stage spans, and every
+    /// [`EngineEvent`] as an instant, all on one timeline.
+    pub trace: Option<Arc<Tracer>>,
 }
 
 impl Default for EngineOptions {
@@ -66,6 +70,7 @@ impl Default for EngineOptions {
             validate: true,
             log_json: None,
             vm: VmOptions::default(),
+            trace: None,
         }
     }
 }
@@ -186,7 +191,23 @@ impl Engine {
         jobs: Vec<Job>,
         subscriber: impl FnMut(&EngineEvent) + Send,
     ) -> std::io::Result<BatchReport> {
-        let sink = EventSink::new(subscriber, self.opts.log_json.as_deref())?;
+        // Every event also lands on the trace timeline as an instant,
+        // so a --trace-out file carries the full event stream.
+        let ev_trace = self.opts.trace.clone();
+        let mut subscriber = subscriber;
+        let sink = EventSink::new(
+            move |ev: &EngineEvent| {
+                if let Some(t) = &ev_trace {
+                    t.instant(
+                        ev.kind(),
+                        "engine",
+                        vec![("job".to_string(), (ev.job() as u64).into())],
+                    );
+                }
+                subscriber(ev);
+            },
+            self.opts.log_json.as_deref(),
+        )?;
         for (i, job) in jobs.iter().enumerate() {
             sink.emit(&EngineEvent::JobQueued {
                 job: i,
@@ -232,8 +253,16 @@ impl Engine {
                             }
                             None
                         };
+                        if let Some(t) = &self.opts.trace {
+                            t.set_thread_name(&format!("worker-{w}"));
+                        }
                         while let Some(idx) = pop() {
                             let job = &jobs[idx];
+                            let job_span = self
+                                .opts
+                                .trace
+                                .as_ref()
+                                .map(|t| t.span(&format!("job:{}", job.name), "engine"));
                             sink.emit(&EngineEvent::JobStarted {
                                 job: idx,
                                 name: job.name.clone(),
@@ -268,6 +297,7 @@ impl Engine {
                             if let Ok(mut slot) = results[idx].lock() {
                                 *slot = Some(result);
                             }
+                            drop(job_span);
                         }
                     });
                 }
@@ -379,8 +409,15 @@ impl Engine {
                     cache: &self.cache,
                     sink,
                 };
-                let protected = protect_binary_hooked(prog, &verify_impls, &cfg, &job.plan, &hooks)
-                    .map_err(|e| e.to_string())?;
+                let protected = protect_binary_traced(
+                    prog,
+                    &verify_impls,
+                    &cfg,
+                    &job.plan,
+                    &hooks,
+                    self.opts.trace.as_deref(),
+                )
+                .map_err(|e| e.to_string())?;
                 let image_bytes = format::save(&protected.image);
                 self.cache
                     .store(pkey, encode_protected(&image_bytes, &protected.report));
@@ -407,6 +444,11 @@ impl Engine {
         };
 
         let (verdict, vm_cycles) = if self.opts.validate {
+            let _vspan = self
+                .opts
+                .trace
+                .as_ref()
+                .map(|t| t.span("validate", "engine"));
             let img = format::load(&image_bytes).map_err(|e| format!("image decode: {e:?}"))?;
             let baseline = self.baseline_for(&base_bytes, &base_img, &input);
             let mut vm = Vm::with_options(&img, self.opts.vm.clone());
@@ -414,6 +456,9 @@ impl Engine {
             let exit = vm.run();
             let cycles = vm.cycles();
             let output = vm.take_output();
+            if let Some(t) = &self.opts.trace {
+                t.record("vm.validate.cycles", cycles);
+            }
             (Some(classify_outcome(exit, &output, &baseline)), cycles)
         } else {
             (None, 0)

@@ -134,6 +134,21 @@ impl EngineEvent {
         }
     }
 
+    /// The event's kind tag — the same string as the `"event"` field
+    /// of [`EngineEvent::to_json`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EngineEvent::JobQueued { .. } => "job_queued",
+            EngineEvent::JobStarted { .. } => "job_started",
+            EngineEvent::StageCompleted { .. } => "stage_completed",
+            EngineEvent::CacheHit { .. } => "cache_hit",
+            EngineEvent::CacheMiss { .. } => "cache_miss",
+            EngineEvent::CachePoisoned { .. } => "cache_poisoned",
+            EngineEvent::Degraded { .. } => "degraded",
+            EngineEvent::JobFinished { .. } => "job_finished",
+        }
+    }
+
     /// Renders the event as one line of JSON (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(96);
@@ -302,5 +317,87 @@ mod tests {
             ev.to_json(),
             "{\"event\":\"stage_completed\",\"job\":0,\"stage\":\"gadget-scan\",\"micros\":7}"
         );
+    }
+
+    #[test]
+    fn json_escapes_backslashes_and_control_chars() {
+        let ev = EngineEvent::Degraded {
+            job: 1,
+            func: "path\\to\\vf".into(),
+            missing: "store\tmem\nline".into(),
+            stdset_forced: false,
+        };
+        let line = ev.to_json();
+        assert!(line.contains("path\\\\to\\\\vf"), "{line}");
+        assert!(line.contains("store\\tmem\\nline"), "{line}");
+        assert!(!line.contains('\n'), "log lines must stay single-line");
+
+        let ev = EngineEvent::JobFinished {
+            job: 0,
+            name: "x".into(),
+            micros: 1,
+            cached: false,
+            verdict: None,
+            vm_cycles: 0,
+            error: Some("fault \"at\" \u{1} stage".into()),
+        };
+        let line = ev.to_json();
+        assert!(line.contains("fault \\\"at\\\" \\u0001 stage"), "{line}");
+    }
+
+    #[test]
+    fn kind_matches_json_event_field() {
+        let events = [
+            EngineEvent::JobQueued {
+                job: 0,
+                name: "a".into(),
+            },
+            EngineEvent::JobStarted {
+                job: 0,
+                name: "a".into(),
+                worker: 0,
+            },
+            EngineEvent::StageCompleted {
+                job: 0,
+                stage: Stage::Select,
+                micros: 0,
+            },
+            EngineEvent::CacheHit {
+                job: 0,
+                kind: ArtifactKind::Scan,
+            },
+            EngineEvent::CacheMiss {
+                job: 0,
+                kind: ArtifactKind::Scan,
+            },
+            EngineEvent::CachePoisoned {
+                job: 0,
+                kind: ArtifactKind::Scan,
+            },
+            EngineEvent::Degraded {
+                job: 0,
+                func: "f".into(),
+                missing: "m".into(),
+                stdset_forced: false,
+            },
+            EngineEvent::JobFinished {
+                job: 0,
+                name: "a".into(),
+                micros: 0,
+                cached: false,
+                verdict: None,
+                vm_cycles: 0,
+                error: None,
+            },
+        ];
+        for ev in &events {
+            let expected = format!("{{\"event\":\"{}\"", ev.kind());
+            assert!(
+                ev.to_json().starts_with(&expected),
+                "kind {:?} vs json {}",
+                ev.kind(),
+                ev.to_json()
+            );
+        }
     }
 }

@@ -243,4 +243,42 @@ mod tests {
         assert_eq!(scan.calls, 2);
         assert!(!snap.render().is_empty());
     }
+
+    #[test]
+    fn zero_job_snapshot_has_no_division_artifacts() {
+        // An empty batch with zero wall time must not divide by zero:
+        // throughput and hit rate stay finite, render stays total.
+        let m = Metrics::default();
+        let snap = m.snapshot(Duration::ZERO, CacheStats::default());
+        assert_eq!(snap.jobs, 0);
+        assert_eq!(snap.wall_micros, 0);
+        assert_eq!(snap.jobs_per_sec, 0.0);
+        assert!(snap.jobs_per_sec.is_finite());
+        assert!(snap.cache.hit_rate().is_finite());
+        assert_eq!(snap.cache.hit_rate(), 0.0);
+        let rendered = snap.render();
+        assert!(rendered.contains("jobs        0"), "{rendered}");
+        assert!(!rendered.contains("NaN"), "{rendered}");
+        assert!(!rendered.contains("inf"), "{rendered}");
+        assert_eq!(snap.stage_micros.len(), 7);
+    }
+
+    #[test]
+    fn jobs_without_wall_time_do_not_blow_up_throughput() {
+        // Jobs finished but the clock reads zero (coarse timers):
+        // jobs_per_sec falls back to 0 rather than +inf.
+        let m = Metrics::default();
+        m.absorb(&EngineEvent::JobFinished {
+            job: 0,
+            name: "a".into(),
+            micros: 0,
+            cached: false,
+            verdict: None,
+            vm_cycles: 0,
+            error: None,
+        });
+        let snap = m.snapshot(Duration::ZERO, CacheStats::default());
+        assert_eq!(snap.jobs, 1);
+        assert_eq!(snap.jobs_per_sec, 0.0);
+    }
 }

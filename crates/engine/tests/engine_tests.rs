@@ -172,6 +172,61 @@ fn poisoned_cache_is_detected_evicted_and_recomputed() {
 }
 
 #[test]
+fn traced_batch_lands_jobs_stages_and_events_on_one_timeline() {
+    let tracer = std::sync::Arc::new(parallax_trace::Tracer::new());
+    let engine = Engine::new(EngineOptions {
+        workers: 2,
+        trace: Some(std::sync::Arc::clone(&tracer)),
+        ..EngineOptions::default()
+    });
+    let mut jobs = test_jobs();
+    jobs.truncate(2);
+    let report = engine.run(jobs, |_| {}).expect("traced batch runs");
+    assert!(report.all_clean());
+
+    let snap = tracer.snapshot();
+    let span_names: Vec<&str> = snap
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            parallax_trace::Event::Span { name, .. } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        span_names.iter().filter(|n| n.starts_with("job:")).count(),
+        2,
+        "one span per job: {span_names:?}"
+    );
+    for stage in ["select", "chain-compile", "link"] {
+        assert!(span_names.contains(&stage), "{stage} span: {span_names:?}");
+    }
+    assert!(
+        span_names.contains(&"validate"),
+        "validation span: {span_names:?}"
+    );
+    // Engine events ride along as instants with the event kind as name.
+    let instant_names: Vec<&str> = snap
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            parallax_trace::Event::Instant { name, cat, .. } if *cat == "engine" => {
+                Some(name.as_str())
+            }
+            _ => None,
+        })
+        .collect();
+    for kind in ["job_queued", "job_started", "job_finished", "cache_miss"] {
+        assert!(
+            instant_names.contains(&kind),
+            "{kind} instant: {instant_names:?}"
+        );
+    }
+    assert!(snap.hists.contains_key("vm.validate.cycles"));
+    assert_eq!(snap.hists["vm.validate.cycles"].count, 2);
+}
+
+#[test]
 fn ndjson_log_is_written() {
     let dir = std::env::temp_dir().join("plx-engine-tests");
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -119,6 +119,13 @@ fn planted_gadget_span(text: &[u8], ret_at: usize) -> (usize, usize) {
 /// instruction's own opcode bytes and its predecessors, exactly as in
 /// the paper's `sar byte [ecx+0x7],0x8b ; ret` example.
 pub fn analyze(img: &LinkedImage) -> Coverage {
+    analyze_traced(img, None)
+}
+
+/// [`analyze`] with an optional tracing span (`coverage` in the
+/// `rewrite` lane) so the Figure-6 analysis shows up on timelines.
+pub fn analyze_traced(img: &LinkedImage, trace: Option<&parallax_trace::Tracer>) -> Coverage {
+    let _span = trace.map(|t| t.span("coverage", "rewrite"));
     let code_bytes = img.text.len();
     let mut near: HashSet<u32> = HashSet::new();
     let mut far: HashSet<u32> = HashSet::new();

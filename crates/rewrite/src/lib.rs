@@ -24,7 +24,7 @@ pub mod imm;
 pub mod jump;
 pub mod spurious;
 
-pub use coverage::{analyze, Coverage};
+pub use coverage::{analyze, analyze_traced, Coverage};
 pub use engine::{FuncRewriter, Item, Link, RewriteError};
 pub use imm::{
     apply_completion_rule, apply_imm_rule, apply_imm_rule_far, default_bodies, find_imm_sites,
@@ -37,6 +37,7 @@ pub use jump::{
 pub use spurious::{insert_dead_block, jmp_over_block, standard_set, STDSET_NAME};
 
 use parallax_image::Program;
+use parallax_trace::Tracer;
 
 /// Configuration for [`protect_program`].
 #[derive(Debug, Clone)]
@@ -122,10 +123,26 @@ pub fn protect_program(
     targets: &[String],
     cfg: &RewriteConfig,
 ) -> Result<RewriteReport, RewriteError> {
+    protect_program_traced(prog, targets, cfg, None)
+}
+
+/// [`protect_program`] with optional per-pass tracing: one span per
+/// rewriting pass (`imm`, `jump`, `spurious`) plus site counters, so a
+/// trace shows where rewrite wall-time goes.
+pub fn protect_program_traced(
+    prog: &mut Program,
+    targets: &[String],
+    cfg: &RewriteConfig,
+    trace: Option<&Tracer>,
+) -> Result<RewriteReport, RewriteError> {
     let mut report = RewriteReport::default();
     let bodies = default_bodies();
     let mut body_cursor = cfg.body_rotation;
 
+    // Pass 1: per-function body rewriting — the immediate rule plus
+    // intra-function branch alignment (both operate on the lifted
+    // item list, so they share one lift/finish per function).
+    let imm_span = trace.map(|t| t.span("imm", "rewrite"));
     for name in targets {
         let Some(func) = prog.func(name) else {
             continue;
@@ -173,18 +190,32 @@ pub fn protect_program(
         slot.relocs = new_item.relocs;
         slot.markers = new_item.markers;
     }
+    drop(imm_span);
 
+    // Pass 2: cross-function alignment (callees and data objects).
+    let jump_span = trace.map(|t| t.span("jump", "rewrite"));
     if cfg.jump_rule {
         let rewrites = align_callees(prog, targets, cfg.max_callee_pad);
         report.jump_rewrites.extend(rewrites);
         let rewrites = align_data(prog, targets, cfg.max_callee_pad);
         report.jump_rewrites.extend(rewrites);
     }
+    drop(jump_span);
 
+    // Pass 3: the appended (spurious) standard gadget set.
+    let spurious_span = trace.map(|t| t.span("spurious", "rewrite"));
     if cfg.stdset && prog.func(STDSET_NAME).is_none() {
         prog.add_func(STDSET_NAME, standard_set());
         report.stdset_added = true;
     }
+    drop(spurious_span);
 
+    if let Some(t) = trace {
+        t.count("rewrite.imm.sites", report.imm_rewrites.len() as u64);
+        t.count("rewrite.jump.sites", report.jump_rewrites.len() as u64);
+        if report.stdset_added {
+            t.count("rewrite.stdset.added", 1);
+        }
+    }
     Ok(report)
 }

@@ -28,6 +28,7 @@ use std::fmt;
 use parallax_compiler::ir::{BinOp, CmpOp, Expr, Function, Stmt, UnOp};
 use parallax_gadgets::{Effect, GBinOp, GadgetMap, TypeKey};
 use parallax_image::LinkedImage;
+use parallax_trace::Tracer;
 use parallax_x86::{Reg32, ShiftOp};
 
 use crate::chain::{Chain, ChainLabel, ChainLayoutError, Word};
@@ -135,6 +136,11 @@ struct Ctx<'a> {
     loops: Vec<(ChainLabel, ChainLabel)>,
     epilogue: ChainLabel,
     ops: usize,
+    /// §IV-B gadget-preference tallies: selections satisfied from the
+    /// overlapping-preferred pool vs. everywhere else (the appended
+    /// standard set or incidental non-overlapping gadgets).
+    picks_overlapping: u64,
+    picks_other: u64,
 }
 
 const EAX: Reg32 = Reg32::Eax;
@@ -246,8 +252,10 @@ impl<'a> Ctx<'a> {
                     })
                     .collect();
                 let pool = if preferred.is_empty() {
+                    self.picks_other += 1;
                     &eligible
                 } else {
+                    self.picks_overlapping += 1;
                     &preferred
                 };
                 pool[(self.rand() as usize) % pool.len()]
@@ -1027,6 +1035,26 @@ pub fn compile_chain_with_guards(
     policy: Policy,
     guards: &[u32],
 ) -> Result<CompiledChain, ChainError> {
+    compile_chain_traced(func, map, img, frame_base, scratch, policy, guards, None)
+}
+
+/// [`compile_chain_with_guards`] with optional tracing: a span per
+/// chain (`chain:<func>` in the `ropc` lane) and gadget-preference
+/// counters (`chain.pick.overlapping` vs `chain.pick.other` — the
+/// paper's §IV-B metric), accumulated over every selection the
+/// compiler makes.
+#[allow(clippy::too_many_arguments)]
+pub fn compile_chain_traced(
+    func: &Function,
+    map: &GadgetMap,
+    img: &LinkedImage,
+    frame_base: u32,
+    scratch: u32,
+    policy: Policy,
+    guards: &[u32],
+    trace: Option<&Tracer>,
+) -> Result<CompiledChain, ChainError> {
+    let span = trace.map(|t| t.span(&format!("chain:{}", func.name), "ropc"));
     let seed = match &policy {
         Policy::First => 0x1337,
         Policy::PreferOverlapping { seed, .. } | Policy::Grouped { seed } => *seed | 1,
@@ -1045,6 +1073,8 @@ pub fn compile_chain_with_guards(
         loops: Vec::new(),
         epilogue: ChainLabel(usize::MAX), // replaced below
         ops: 0,
+        picks_overlapping: 0,
+        picks_other: 0,
     };
     let epilogue = ctx.chain.label();
     ctx.epilogue = epilogue;
@@ -1066,6 +1096,11 @@ pub fn compile_chain_with_guards(
     ctx.pivot_to(exitslot)?;
 
     let used_gadgets = ctx.chain.gadget_addrs();
+    if let Some(t) = trace {
+        t.count("chain.pick.overlapping", ctx.picks_overlapping);
+        t.count("chain.pick.other", ctx.picks_other);
+    }
+    drop(span);
     Ok(CompiledChain {
         chain: ctx.chain,
         used_gadgets,

@@ -17,8 +17,8 @@ pub mod runtime;
 
 pub use chain::{Chain, ChainLabel, ChainLayoutError, Word};
 pub use compile::{
-    compile_chain, compile_chain_with_guards, frame_size, ChainError, CompiledChain, Policy,
-    TEMP_SLOTS,
+    compile_chain, compile_chain_traced, compile_chain_with_guards, frame_size, ChainError,
+    CompiledChain, Policy, TEMP_SLOTS,
 };
 pub use disasm::{disasm_chain, format_chain, ChainWord};
 pub use runtime::{

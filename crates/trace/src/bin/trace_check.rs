@@ -1,0 +1,48 @@
+//! CI gate: validates that Chrome trace files parse and are non-empty.
+//!
+//! Usage: `trace_check <trace.json>...` — exits nonzero if any file
+//! is unreadable, is not valid Chrome trace-event JSON, or contains
+//! no events. Prints a one-line summary per file.
+
+use std::process::ExitCode;
+
+use parallax_trace::TraceFile;
+
+fn check(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let tf = TraceFile::parse(&text)?;
+    if tf.spans.is_empty() {
+        return Err("trace contains no spans".to_string());
+    }
+    Ok(format!(
+        "{} spans, {} instants, {} counters, {} histograms, {} lanes",
+        tf.spans.len(),
+        tf.instants.len(),
+        tf.counters.len(),
+        tf.hists.len(),
+        tf.thread_names.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.json>...");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match check(path) {
+            Ok(summary) => println!("OK {path}: {summary}"),
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,260 @@
+//! Reads Chrome trace-event JSON written by [`crate::export`] back
+//! into structured records for reporting and CI validation.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Value};
+use crate::tracer::ArgValue;
+
+/// One complete (`"ph":"X"`) span from a trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRec {
+    /// Span name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Thread lane.
+    pub tid: u64,
+    /// Start timestamp, µs.
+    pub ts_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Span id (0 if the file carried none).
+    pub id: u64,
+    /// Parent span id, if any.
+    pub parent: Option<u64>,
+}
+
+/// One instant (`"ph":"i"`) event from a trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstantRec {
+    /// Event name.
+    pub name: String,
+    /// Category.
+    pub cat: String,
+    /// Thread lane.
+    pub tid: u64,
+    /// Timestamp, µs.
+    pub ts_us: u64,
+    /// Arguments (numbers become `ArgValue::U64`).
+    pub args: Vec<(String, ArgValue)>,
+}
+
+/// A histogram reconstructed from a `hist.*` counter event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistRec {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Minimum observation.
+    pub min: u64,
+    /// Maximum observation.
+    pub max: u64,
+    /// Non-empty power-of-two buckets as `(bit_length, count)`.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistRec {
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Everything extracted from one Chrome trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceFile {
+    /// All complete spans, in file order.
+    pub spans: Vec<SpanRec>,
+    /// All instant events, in file order.
+    pub instants: Vec<InstantRec>,
+    /// Counters (the `counter.` prefix is stripped).
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms (the `hist.` prefix is stripped).
+    pub hists: BTreeMap<String, HistRec>,
+    /// Thread lane names from `thread_name` metadata, by tid.
+    pub thread_names: BTreeMap<u64, String>,
+}
+
+fn str_of(ev: &Value, key: &str) -> String {
+    ev.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+fn u64_of(ev: &Value, key: &str) -> u64 {
+    ev.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+impl TraceFile {
+    /// Parses Chrome trace-event JSON text. Fails on malformed JSON,
+    /// a missing/empty `traceEvents` array, or non-object events.
+    pub fn parse(text: &str) -> Result<TraceFile, String> {
+        let root = parse(text)?;
+        let events = root
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or("missing traceEvents array")?;
+        if events.is_empty() {
+            return Err("traceEvents is empty".to_string());
+        }
+        let mut tf = TraceFile::default();
+        for ev in events {
+            if ev.as_obj().is_none() {
+                return Err("traceEvents entry is not an object".to_string());
+            }
+            let ph = ev.get("ph").and_then(Value::as_str).unwrap_or("");
+            let name = str_of(ev, "name");
+            match ph {
+                "X" => tf.spans.push(SpanRec {
+                    cat: str_of(ev, "cat"),
+                    tid: u64_of(ev, "tid"),
+                    ts_us: u64_of(ev, "ts"),
+                    dur_us: u64_of(ev, "dur"),
+                    id: ev.get("args").map(|a| u64_of(a, "id")).unwrap_or(0),
+                    parent: ev
+                        .get("args")
+                        .and_then(|a| a.get("parent"))
+                        .and_then(Value::as_u64),
+                    name,
+                }),
+                "i" => {
+                    let mut args = Vec::new();
+                    if let Some(m) = ev.get("args").and_then(Value::as_obj) {
+                        for (k, v) in m {
+                            match v {
+                                Value::Num(_) => {
+                                    args.push((k.clone(), ArgValue::U64(v.as_u64().unwrap_or(0))));
+                                }
+                                Value::Str(s) => args.push((k.clone(), ArgValue::Str(s.clone()))),
+                                _ => {}
+                            }
+                        }
+                    }
+                    tf.instants.push(InstantRec {
+                        cat: str_of(ev, "cat"),
+                        tid: u64_of(ev, "tid"),
+                        ts_us: u64_of(ev, "ts"),
+                        args,
+                        name,
+                    });
+                }
+                "C" => {
+                    let args = ev.get("args");
+                    if let Some(rest) = name.strip_prefix("counter.") {
+                        let v = args.map(|a| u64_of(a, "value")).unwrap_or(0);
+                        tf.counters.insert(rest.to_string(), v);
+                    } else if let Some(rest) = name.strip_prefix("hist.") {
+                        let mut h = HistRec::default();
+                        if let Some(a) = args {
+                            h.count = u64_of(a, "count");
+                            h.sum = u64_of(a, "sum");
+                            h.min = u64_of(a, "min");
+                            h.max = u64_of(a, "max");
+                            if let Some(m) = a.as_obj() {
+                                for (k, v) in m {
+                                    if let Some(bits) = k.strip_prefix("p2_") {
+                                        if let (Ok(b), Some(n)) =
+                                            (bits.parse::<usize>(), v.as_u64())
+                                        {
+                                            h.buckets.push((b, n));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        h.buckets.sort_unstable();
+                        tf.hists.insert(rest.to_string(), h);
+                    }
+                }
+                "M" if name == "thread_name" => {
+                    let tid = u64_of(ev, "tid");
+                    if let Some(n) = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                    {
+                        tf.thread_names.insert(tid, n.to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(tf)
+    }
+
+    /// Spans with the given name, in file order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRec> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Total duration (µs) of all spans with the given name.
+    pub fn total_dur_us(&self, name: &str) -> u64 {
+        self.spans_named(name).map(|s| s.dur_us).sum()
+    }
+
+    /// Direct children of the span with id `id`.
+    pub fn children_of(&self, id: u64) -> Vec<&SpanRec> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn roundtrip_spans_counters_hists() {
+        let t = Tracer::new();
+        let outer = t.enter("protect", "pipeline");
+        {
+            let _g = t.span("select", "stage");
+        }
+        t.exit(outer);
+        t.instant(
+            "gadget",
+            "vm",
+            vec![
+                ("vaddr".to_string(), ArgValue::U64(0x8049000)),
+                ("kind".to_string(), ArgValue::Str("pop".to_string())),
+            ],
+        );
+        t.count("chain.pick.overlapping", 12);
+        t.record("vm.verify.cycles", 4096);
+        let json = crate::chrome_json(&t.snapshot());
+        let tf = TraceFile::parse(&json).expect("parse own output");
+
+        assert_eq!(tf.spans.len(), 2);
+        let select = tf.spans_named("select").next().expect("select span");
+        assert_eq!(select.parent, Some(1));
+        assert_eq!(tf.instants.len(), 1);
+        assert_eq!(
+            tf.instants[0].args,
+            vec![
+                ("kind".to_string(), ArgValue::Str("pop".to_string())),
+                ("vaddr".to_string(), ArgValue::U64(0x8049000)),
+            ]
+        );
+        assert_eq!(tf.counters["chain.pick.overlapping"], 12);
+        let h = &tf.hists["vm.verify.cycles"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 4096);
+        assert_eq!(h.buckets, vec![(13, 1)]);
+        assert_eq!(tf.children_of(1).len(), 1);
+        assert!(tf.total_dur_us("protect") >= tf.total_dur_us("select"));
+    }
+
+    #[test]
+    fn rejects_empty_trace() {
+        assert!(TraceFile::parse("{\"traceEvents\":[]}").is_err());
+        assert!(TraceFile::parse("not json").is_err());
+        assert!(TraceFile::parse("{}").is_err());
+    }
+}

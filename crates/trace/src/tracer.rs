@@ -1,0 +1,644 @@
+//! The tracer itself: spans, instants, counters, histograms.
+//!
+//! All mutation goes through one mutex-guarded [`State`]; the tracer
+//! is shared by reference (or `Arc`) across threads and each thread
+//! gets its own lane (`tid`) and its own open-span stack, so parent
+//! links never cross threads. Timestamps are microseconds since the
+//! tracer's construction, taken from a monotonic [`Instant`].
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// Identifier of a span handed out by [`Tracer::enter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// A typed argument attached to an instant event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer argument.
+    U64(u64),
+    /// A string argument.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One finished event on the timeline.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A closed (or snapshot-closed) hierarchical span.
+    Span {
+        /// Unique id of this span (1-based, allocation order).
+        id: u64,
+        /// Id of the enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name, e.g. `"chain-compile"`.
+        name: String,
+        /// Category lane, e.g. `"stage"`, `"vm"`, `"engine"`.
+        cat: &'static str,
+        /// Dense thread lane index.
+        tid: usize,
+        /// Start, µs since tracer construction.
+        start_us: u64,
+        /// Duration in µs.
+        dur_us: u64,
+    },
+    /// A point-in-time event with free-form arguments.
+    Instant {
+        /// Event name, e.g. `"gadget"`.
+        name: String,
+        /// Category lane.
+        cat: &'static str,
+        /// Dense thread lane index.
+        tid: usize,
+        /// Timestamp, µs since tracer construction.
+        ts_us: u64,
+        /// Key/value arguments.
+        args: Vec<(String, ArgValue)>,
+    },
+}
+
+/// A power-of-two bucket histogram.
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i - 1]` — i.e. the bucket index is the value's bit
+/// length. 65 buckets cover the whole `u64` range; only buckets up to
+/// the largest observed value are materialised.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts, indexed by bit length.
+    pub buckets: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    /// The bucket index a value falls into (its bit length).
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive value range covered by bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    name: String,
+    cat: &'static str,
+    tid: usize,
+    parent: Option<u64>,
+    start_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next_id: u64,
+    events: Vec<Event>,
+    open: HashMap<u64, OpenSpan>,
+    /// `Some(id)` for OS-thread lanes, `None` for virtual lanes
+    /// allocated via [`Tracer::lane`].
+    threads: Vec<Option<ThreadId>>,
+    thread_names: Vec<String>,
+    stacks: Vec<Vec<u64>>,
+    counters: std::collections::BTreeMap<String, u64>,
+    hists: std::collections::BTreeMap<String, Histogram>,
+}
+
+impl State {
+    fn tid(&mut self) -> usize {
+        let me = std::thread::current().id();
+        if let Some(i) = self.threads.iter().position(|t| *t == Some(me)) {
+            return i;
+        }
+        let i = self.threads.len();
+        self.threads.push(Some(me));
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{i}"));
+        self.thread_names.push(name);
+        self.stacks.push(Vec::new());
+        i
+    }
+}
+
+/// An immutable copy of everything a tracer has collected.
+///
+/// Spans still open at snapshot time are closed at the snapshot
+/// timestamp so exporters never see dangling state.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// All closed events, in close order.
+    pub events: Vec<Event>,
+    /// Monotonic counters, name-sorted.
+    pub counters: std::collections::BTreeMap<String, u64>,
+    /// Histograms, name-sorted.
+    pub hists: std::collections::BTreeMap<String, Histogram>,
+    /// Lane names, indexed by `tid`.
+    pub thread_names: Vec<String>,
+    /// Snapshot timestamp, µs since tracer construction.
+    pub end_us: u64,
+}
+
+/// Collects spans, instants, counters and histograms from any number
+/// of threads onto one timeline.
+pub struct Tracer {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.locked();
+        f.debug_struct("Tracer")
+            .field("events", &s.events.len())
+            .field("open", &s.open.len())
+            .field("counters", &s.counters.len())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates an empty tracer; its epoch (timestamp zero) is now.
+    pub fn new() -> Self {
+        Tracer {
+            epoch: Instant::now(),
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    fn locked(&self) -> MutexGuard<'_, State> {
+        // A panic while holding the lock only loses telemetry; the
+        // data itself is append-only and still consistent.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Names the current thread's lane in exported traces.
+    pub fn set_thread_name(&self, name: &str) {
+        let mut s = self.locked();
+        let tid = s.tid();
+        s.thread_names[tid] = name.to_string();
+    }
+
+    /// Opens a span; its parent is the innermost span still open on
+    /// this thread. Close it with [`Tracer::exit`].
+    pub fn enter(&self, name: &str, cat: &'static str) -> SpanId {
+        let now = self.now_us();
+        let mut s = self.locked();
+        let tid = s.tid();
+        s.next_id += 1;
+        let id = s.next_id;
+        let parent = s.stacks[tid].last().copied();
+        s.open.insert(
+            id,
+            OpenSpan {
+                name: name.to_string(),
+                cat,
+                tid,
+                parent,
+                start_us: now,
+            },
+        );
+        s.stacks[tid].push(id);
+        SpanId(id)
+    }
+
+    /// Closes a span opened by [`Tracer::enter`]. Closing a span that
+    /// is not the innermost one also unwinds (closes) everything
+    /// nested inside it, so a missed `exit` cannot corrupt the stack.
+    pub fn exit(&self, id: SpanId) {
+        let now = self.now_us();
+        let mut s = self.locked();
+        let Some(open) = s.open.remove(&id.0) else {
+            return;
+        };
+        let stack = &mut s.stacks[open.tid];
+        if let Some(pos) = stack.iter().position(|&x| x == id.0) {
+            let orphans: Vec<u64> = stack.drain(pos..).skip(1).collect();
+            stack.truncate(pos);
+            for oid in orphans {
+                if let Some(o) = s.open.remove(&oid) {
+                    s.events.push(Event::Span {
+                        id: oid,
+                        parent: o.parent,
+                        name: o.name,
+                        cat: o.cat,
+                        tid: o.tid,
+                        start_us: o.start_us,
+                        dur_us: now.saturating_sub(o.start_us),
+                    });
+                }
+            }
+        }
+        s.events.push(Event::Span {
+            id: id.0,
+            parent: open.parent,
+            name: open.name,
+            cat: open.cat,
+            tid: open.tid,
+            start_us: open.start_us,
+            dur_us: now.saturating_sub(open.start_us),
+        });
+    }
+
+    /// Opens a span and returns a guard that closes it on drop.
+    pub fn span(&self, name: &str, cat: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            id: self.enter(name, cat),
+        }
+    }
+
+    /// Records a point-in-time event with arguments.
+    pub fn instant(&self, name: &str, cat: &'static str, args: Vec<(String, ArgValue)>) {
+        let now = self.now_us();
+        let mut s = self.locked();
+        let tid = s.tid();
+        s.events.push(Event::Instant {
+            name: name.to_string(),
+            cat,
+            tid,
+            ts_us: now,
+            args,
+        });
+    }
+
+    /// Adds `delta` to the named monotonic counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        let mut s = self.locked();
+        *s.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter's current value (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.locked().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        let mut s = self.locked();
+        s.hists.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Allocates (or finds) a named *virtual lane* — a timeline lane
+    /// not tied to any OS thread, for retroactively recorded events
+    /// whose timestamps live in a different unit (e.g. VM cycles).
+    /// Returns the lane's `tid` for [`Tracer::span_at`] /
+    /// [`Tracer::instant_at`].
+    pub fn lane(&self, name: &str) -> usize {
+        let mut s = self.locked();
+        if let Some(i) =
+            (0..s.threads.len()).find(|&i| s.threads[i].is_none() && s.thread_names[i] == name)
+        {
+            return i;
+        }
+        let i = s.threads.len();
+        s.threads.push(None);
+        s.thread_names.push(name.to_string());
+        s.stacks.push(Vec::new());
+        i
+    }
+
+    /// Records an already-finished span on an explicit lane with
+    /// caller-supplied timestamps. No parent linking or nesting is
+    /// applied; viewers stack overlapping spans on the lane visually.
+    pub fn span_at(&self, name: &str, cat: &'static str, tid: usize, start: u64, dur: u64) {
+        let mut s = self.locked();
+        s.next_id += 1;
+        let id = s.next_id;
+        s.events.push(Event::Span {
+            id,
+            parent: None,
+            name: name.to_string(),
+            cat,
+            tid,
+            start_us: start,
+            dur_us: dur,
+        });
+    }
+
+    /// Records a point-in-time event on an explicit lane with a
+    /// caller-supplied timestamp.
+    pub fn instant_at(
+        &self,
+        name: &str,
+        cat: &'static str,
+        tid: usize,
+        ts: u64,
+        args: Vec<(String, ArgValue)>,
+    ) {
+        let mut s = self.locked();
+        s.events.push(Event::Instant {
+            name: name.to_string(),
+            cat,
+            tid,
+            ts_us: ts,
+            args,
+        });
+    }
+
+    /// Takes an immutable copy of everything collected so far; spans
+    /// still open are closed at the snapshot timestamp.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let now = self.now_us();
+        let s = self.locked();
+        let mut events = s.events.clone();
+        let mut still_open: Vec<(&u64, &OpenSpan)> = s.open.iter().collect();
+        still_open.sort_by_key(|(id, _)| **id);
+        for (id, o) in still_open {
+            events.push(Event::Span {
+                id: *id,
+                parent: o.parent,
+                name: o.name.clone(),
+                cat: o.cat,
+                tid: o.tid,
+                start_us: o.start_us,
+                dur_us: now.saturating_sub(o.start_us),
+            });
+        }
+        TraceSnapshot {
+            events,
+            counters: s.counters.clone(),
+            hists: s.hists.clone(),
+            thread_names: s.thread_names.clone(),
+            end_us: now,
+        }
+    }
+}
+
+/// RAII handle from [`Tracer::span`]: closes the span when dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: SpanId,
+}
+
+impl SpanGuard<'_> {
+    /// The underlying span id (e.g. to link child events to it).
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.tracer.exit(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_link_parents() {
+        let t = Tracer::new();
+        let outer = t.enter("outer", "test");
+        let inner = t.enter("inner", "test");
+        t.exit(inner);
+        t.exit(outer);
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        let (mut outer_parent, mut inner_parent) = (Some(99), None);
+        for ev in &snap.events {
+            if let Event::Span { name, parent, .. } = ev {
+                match name.as_str() {
+                    "outer" => outer_parent = *parent,
+                    "inner" => inner_parent = *parent,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        assert_eq!(outer_parent, None);
+        assert_eq!(inner_parent, Some(1));
+    }
+
+    #[test]
+    fn exit_unwinds_orphaned_children() {
+        let t = Tracer::new();
+        let outer = t.enter("outer", "test");
+        let _leaked = t.enter("leaked", "test");
+        t.exit(outer); // closes "leaked" too
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        // A new span after the unwind is a root again.
+        let root = t.enter("root2", "test");
+        t.exit(root);
+        let snap = t.snapshot();
+        let last = snap.events.last().expect("span recorded");
+        if let Event::Span { name, parent, .. } = last {
+            assert_eq!(name, "root2");
+            assert_eq!(*parent, None);
+        } else {
+            panic!("expected span event");
+        }
+    }
+
+    #[test]
+    fn guard_closes_on_drop() {
+        let t = Tracer::new();
+        {
+            let _g = t.span("guarded", "test");
+        }
+        assert_eq!(t.snapshot().events.len(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Tracer::new();
+        t.count("x", 2);
+        t.count("x", 3);
+        assert_eq!(t.counter("x"), 5);
+        assert_eq!(t.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_bit_lengths() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_range(0), (0, 0));
+        assert_eq!(Histogram::bucket_range(1), (1, 1));
+        assert_eq!(Histogram::bucket_range(3), (4, 7));
+        assert_eq!(Histogram::bucket_range(64), (1 << 63, u64::MAX));
+    }
+
+    #[test]
+    fn histogram_tracks_min_max_sum() {
+        let mut h = Histogram::default();
+        for v in [7, 0, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1007);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.buckets[0], 1); // the 0
+        assert_eq!(h.buckets[3], 1); // 7
+        assert_eq!(h.buckets[10], 1); // 1000 (512..1023)
+        assert!((h.mean() - 1007.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_closes_open_spans() {
+        let t = Tracer::new();
+        let _open = t.enter("still-open", "test");
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        if let Event::Span { name, .. } = &snap.events[0] {
+            assert_eq!(name, "still-open");
+        } else {
+            panic!("expected span");
+        }
+    }
+
+    #[test]
+    fn virtual_lanes_take_explicit_timestamps() {
+        let t = Tracer::new();
+        let real = t.enter("real", "test");
+        t.exit(real);
+        let lane = t.lane("cycles");
+        assert_eq!(t.lane("cycles"), lane, "lane lookup is idempotent");
+        t.span_at("ep", "vm", lane, 100, 50);
+        t.instant_at("hit", "vm", lane, 120, vec![("v".to_string(), 7u64.into())]);
+        let snap = t.snapshot();
+        assert_eq!(snap.thread_names[lane], "cycles");
+        let ep = snap
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Span {
+                    name,
+                    tid,
+                    start_us,
+                    dur_us,
+                    ..
+                } if name == "ep" => Some((*tid, *start_us, *dur_us)),
+                _ => None,
+            })
+            .expect("explicit span recorded");
+        assert_eq!(ep, (lane, 100, 50));
+        // A real-thread span after lane creation does not collide with
+        // the virtual lane.
+        let real2 = t.enter("real2", "test");
+        t.exit(real2);
+        let snap = t.snapshot();
+        let real2_tid = snap
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::Span { name, tid, .. } if name == "real2" => Some(*tid),
+                _ => None,
+            })
+            .expect("real2 recorded");
+        assert_ne!(real2_tid, lane);
+    }
+
+    #[test]
+    fn threads_get_distinct_lanes() {
+        let t = Tracer::new();
+        let main = t.enter("main-lane", "test");
+        t.exit(main);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let id = t.enter("worker-lane", "test");
+                t.exit(id);
+            });
+        });
+        let snap = t.snapshot();
+        let tids: Vec<usize> = snap
+            .events
+            .iter()
+            .map(|e| match e {
+                Event::Span { tid, .. } | Event::Instant { tid, .. } => *tid,
+            })
+            .collect();
+        assert_eq!(tids.len(), 2);
+        assert_ne!(tids[0], tids[1]);
+        assert_eq!(snap.thread_names.len(), 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! Gadget-granular telemetry for verification-chain execution.
+//!
+//! A Parallax verification chain *is* a ROP payload: once a protected
+//! function's loader stub pivots into it, control flow becomes a
+//! sequence of `ret`-driven gadget dispatches. The flat profiler
+//! cannot see inside that (every gadget lives inside some *other*
+//! function's range) — so the [`ChainTracer`] watches the VM's
+//! `ret`/`call` retirement directly:
+//!
+//! * a `call` into a registered **verification entry** opens an
+//!   *episode* attributed to that protected function;
+//! * every `ret` landing on a registered **gadget address** while an
+//!   episode is open is one *dispatch*, carrying the gadget's vaddr,
+//!   kind, and the cycles since the previous dispatch.
+//!
+//! Episodes and dispatches are cycle-stamped, and VM cycles are
+//! deterministic — so [`ChainTracer::export_to`] can lay the whole
+//! chain execution out on a dedicated *cycle-denominated* trace lane
+//! that is byte-identical across repeat runs: one span per episode
+//! (`chain:<func>`), one instant per gadget dispatch, plus the
+//! counters and histograms `plx report` aggregates (per-function
+//! invocations/cycles/dispatches, dispatch-kind tallies, cycles per
+//! verification invocation).
+
+use std::collections::HashMap;
+
+use parallax_trace::Tracer;
+
+/// One gadget dispatch observed during a verification episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Episode index this dispatch belongs to.
+    pub episode: usize,
+    /// The gadget's virtual address (the `ret` target).
+    pub vaddr: u32,
+    /// Index into [`ChainTracer::kinds`].
+    pub kind: usize,
+    /// VM cycle count at dispatch.
+    pub at_cycles: u64,
+    /// Cycles since the episode's previous dispatch (or its start).
+    pub cycles: u64,
+}
+
+/// One verification-chain execution, attributed to a protected
+/// function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Episode {
+    /// The verification function invoked.
+    pub func: String,
+    /// VM cycle count when the function was called.
+    pub start_cycles: u64,
+    /// VM cycle count at the last dispatch (== `start_cycles` when the
+    /// episode saw none).
+    pub end_cycles: u64,
+    /// Gadget dispatches observed.
+    pub dispatches: u64,
+}
+
+impl Episode {
+    /// Cycles from entry to the last gadget dispatch.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycles - self.start_cycles
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenEpisode {
+    func: usize,
+    start_cycles: u64,
+    last_cycles: u64,
+    dispatches: u64,
+}
+
+/// Records per-gadget dispatch events during verification-chain
+/// execution (see the module docs). Install on a VM with
+/// [`crate::Vm::set_chain_tracer`] before running.
+#[derive(Debug, Clone, Default)]
+pub struct ChainTracer {
+    gadget_kind: HashMap<u32, usize>,
+    /// Interned gadget-kind names (e.g. `"LoadConst"`, `"StoreMem"`).
+    pub kinds: Vec<String>,
+    verify_entry: HashMap<u32, usize>,
+    funcs: Vec<String>,
+    episodes: Vec<Episode>,
+    dispatches: Vec<Dispatch>,
+    open: Option<OpenEpisode>,
+}
+
+impl ChainTracer {
+    /// Creates an empty tracer; register gadgets and verification
+    /// entries before running the VM.
+    pub fn new() -> ChainTracer {
+        ChainTracer::default()
+    }
+
+    /// Registers a gadget address with a kind label (interned).
+    pub fn register_gadget(&mut self, vaddr: u32, kind: &str) {
+        let idx = match self.kinds.iter().position(|k| k == kind) {
+            Some(i) => i,
+            None => {
+                self.kinds.push(kind.to_string());
+                self.kinds.len() - 1
+            }
+        };
+        self.gadget_kind.insert(vaddr, idx);
+    }
+
+    /// Registers a verification function's entry address.
+    pub fn register_verify(&mut self, entry: u32, func: &str) {
+        let idx = match self.funcs.iter().position(|f| f == func) {
+            Some(i) => i,
+            None => {
+                self.funcs.push(func.to_string());
+                self.funcs.len() - 1
+            }
+        };
+        self.verify_entry.insert(entry, idx);
+    }
+
+    /// VM hook: a `call` retired with the given target.
+    pub fn note_call(&mut self, target: u32, cycles: u64) {
+        if let Some(&func) = self.verify_entry.get(&target) {
+            self.close_open();
+            self.open = Some(OpenEpisode {
+                func,
+                start_cycles: cycles,
+                last_cycles: cycles,
+                dispatches: 0,
+            });
+        }
+    }
+
+    /// VM hook: a `ret` (near or far) retired with the given target.
+    pub fn note_ret(&mut self, target: u32, cycles: u64) {
+        let Some(&kind) = self.gadget_kind.get(&target) else {
+            return;
+        };
+        let Some(open) = self.open.as_mut() else {
+            return;
+        };
+        let delta = cycles.saturating_sub(open.last_cycles);
+        self.dispatches.push(Dispatch {
+            episode: self.episodes.len(),
+            vaddr: target,
+            kind,
+            at_cycles: cycles,
+            cycles: delta,
+        });
+        open.last_cycles = cycles;
+        open.dispatches += 1;
+    }
+
+    fn close_open(&mut self) {
+        if let Some(open) = self.open.take() {
+            self.episodes.push(Episode {
+                func: self.funcs[open.func].clone(),
+                start_cycles: open.start_cycles,
+                end_cycles: open.last_cycles,
+                dispatches: open.dispatches,
+            });
+        }
+    }
+
+    /// Closes any episode still open (call after the VM exits).
+    pub fn finish(&mut self) {
+        self.close_open();
+    }
+
+    /// Completed episodes, in execution order.
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// All gadget dispatches, in execution order.
+    pub fn dispatches(&self) -> &[Dispatch] {
+        &self.dispatches
+    }
+
+    /// Total dispatches attributed to `func`.
+    pub fn dispatches_for(&self, func: &str) -> u64 {
+        self.episodes
+            .iter()
+            .filter(|e| e.func == func)
+            .map(|e| e.dispatches)
+            .sum()
+    }
+
+    /// Lays the recorded chain executions out on `tracer`:
+    ///
+    /// * a dedicated virtual lane (`vm-chain (cycles)`) whose
+    ///   timestamps are VM cycles, with one `chain:<func>` span per
+    ///   episode and one `gadget` instant per dispatch
+    ///   (args: `vaddr`, `kind`, `cycles`, `func`);
+    /// * counters `vm.dispatch.count`, `vm.dispatch.kind.<kind>`, and
+    ///   per-function `vf.<func>.invocations` / `.cycles` /
+    ///   `.dispatches`;
+    /// * histograms `vm.verify.cycles` and `vm.verify.dispatches`
+    ///   (per verification invocation).
+    pub fn export_to(&self, tracer: &Tracer) {
+        let lane = tracer.lane("vm-chain (cycles)");
+        for (i, ep) in self.episodes.iter().enumerate() {
+            tracer.span_at(
+                &format!("chain:{}", ep.func),
+                "vm",
+                lane,
+                ep.start_cycles,
+                ep.cycles().max(1),
+            );
+            tracer.count(&format!("vf.{}.invocations", ep.func), 1);
+            tracer.count(&format!("vf.{}.cycles", ep.func), ep.cycles());
+            tracer.count(&format!("vf.{}.dispatches", ep.func), ep.dispatches);
+            tracer.record("vm.verify.cycles", ep.cycles());
+            tracer.record("vm.verify.dispatches", ep.dispatches);
+            for d in self.dispatches.iter().filter(|d| d.episode == i) {
+                tracer.instant_at(
+                    "gadget",
+                    "vm",
+                    lane,
+                    d.at_cycles,
+                    vec![
+                        ("vaddr".to_string(), u64::from(d.vaddr).into()),
+                        ("kind".to_string(), self.kinds[d.kind].as_str().into()),
+                        ("cycles".to_string(), d.cycles.into()),
+                        ("func".to_string(), ep.func.as_str().into()),
+                    ],
+                );
+            }
+        }
+        tracer.count("vm.dispatch.count", self.dispatches.len() as u64);
+        for d in &self.dispatches {
+            tracer.count(&format!("vm.dispatch.kind.{}", self.kinds[d.kind]), 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn episodes_attribute_dispatches() {
+        let mut ct = ChainTracer::new();
+        ct.register_gadget(0x100, "LoadConst");
+        ct.register_gadget(0x200, "StoreMem");
+        ct.register_verify(0x5000, "vf");
+
+        ct.note_ret(0x100, 5); // no episode open: ignored
+        ct.note_call(0x5000, 10);
+        ct.note_ret(0x100, 14);
+        ct.note_ret(0x200, 20);
+        ct.note_ret(0x999, 25); // not a gadget
+        ct.note_call(0x6000, 30); // not a verify entry
+        ct.finish();
+
+        assert_eq!(ct.episodes().len(), 1);
+        let ep = &ct.episodes()[0];
+        assert_eq!(ep.func, "vf");
+        assert_eq!(ep.dispatches, 2);
+        assert_eq!(ep.cycles(), 10); // 10 → 20
+        assert_eq!(ct.dispatches().len(), 2);
+        assert_eq!(ct.dispatches()[0].cycles, 4);
+        assert_eq!(ct.dispatches()[1].cycles, 6);
+        assert_eq!(ct.dispatches_for("vf"), 2);
+    }
+
+    #[test]
+    fn reentry_closes_previous_episode() {
+        let mut ct = ChainTracer::new();
+        ct.register_gadget(0x100, "Nop");
+        ct.register_verify(0x5000, "vf");
+        ct.note_call(0x5000, 0);
+        ct.note_ret(0x100, 3);
+        ct.note_call(0x5000, 10);
+        ct.note_ret(0x100, 12);
+        ct.finish();
+        assert_eq!(ct.episodes().len(), 2);
+        assert_eq!(ct.episodes()[0].dispatches, 1);
+        assert_eq!(ct.episodes()[1].start_cycles, 10);
+    }
+
+    #[test]
+    fn export_produces_cycle_lane() {
+        let mut ct = ChainTracer::new();
+        ct.register_gadget(0x100, "LoadConst");
+        ct.register_verify(0x5000, "vf");
+        ct.note_call(0x5000, 10);
+        ct.note_ret(0x100, 14);
+        ct.finish();
+
+        let tracer = Tracer::new();
+        ct.export_to(&tracer);
+        let snap = tracer.snapshot();
+        assert_eq!(snap.counters["vm.dispatch.count"], 1);
+        assert_eq!(snap.counters["vm.dispatch.kind.LoadConst"], 1);
+        assert_eq!(snap.counters["vf.vf.invocations"], 1);
+        assert_eq!(snap.counters["vf.vf.cycles"], 4);
+        assert_eq!(snap.hists["vm.verify.dispatches"].count, 1);
+        let has_span = snap.events.iter().any(|e| {
+            matches!(e, parallax_trace::Event::Span { name, start_us, .. }
+                if name == "chain:vf" && *start_us == 10)
+        });
+        assert!(has_span, "cycle-stamped episode span missing");
+        let has_instant = snap.events.iter().any(|e| {
+            matches!(e, parallax_trace::Event::Instant { name, ts_us, .. }
+                if name == "gadget" && *ts_us == 14)
+        });
+        assert!(has_instant, "cycle-stamped dispatch instant missing");
+    }
+}

@@ -7,6 +7,7 @@ use parallax_image::LinkedImage;
 use parallax_x86::insn::{AluOp, Insn, Mem, Mnemonic, OpSize, Operand, ShiftOp};
 use parallax_x86::{decode, Reg, Reg32, Reg8};
 
+use crate::chaintrace::ChainTracer;
 use crate::cost::{CostModel, ReturnStackBuffer};
 use crate::cpu::{parity, Cpu, Flags};
 use crate::error::{Exit, Fault, FaultKind};
@@ -60,6 +61,7 @@ pub struct Vm {
     rsb: ReturnStackBuffer,
     sys: SyscallState,
     profiler: Option<Profiler>,
+    chain_tracer: Option<ChainTracer>,
     decode_cache: HashMap<u32, Rc<Insn>>,
     /// Retired instruction count.
     pub instructions: u64,
@@ -100,6 +102,7 @@ impl Vm {
             rsb: ReturnStackBuffer::default(),
             sys: SyscallState::new(opts.seed),
             profiler,
+            chain_tracer: None,
             decode_cache: HashMap::new(),
             instructions: 0,
         }
@@ -125,6 +128,25 @@ impl Vm {
     /// The flat profiler, if enabled.
     pub fn profiler(&self) -> Option<&Profiler> {
         self.profiler.as_ref()
+    }
+
+    /// Installs a [`ChainTracer`] that observes `call`/`ret`
+    /// retirement for verification-chain telemetry.
+    pub fn set_chain_tracer(&mut self, tracer: ChainTracer) {
+        self.chain_tracer = Some(tracer);
+    }
+
+    /// The installed chain tracer, if any.
+    pub fn chain_tracer(&self) -> Option<&ChainTracer> {
+        self.chain_tracer.as_ref()
+    }
+
+    /// Removes and returns the chain tracer, closing any episode
+    /// still open at the current cycle count.
+    pub fn take_chain_tracer(&mut self) -> Option<ChainTracer> {
+        let mut ct = self.chain_tracer.take()?;
+        ct.finish();
+        Some(ct)
     }
 
     /// Bytes written to stdout via the `write` syscall.
@@ -567,6 +589,9 @@ impl Vm {
                 if let Some(p) = self.profiler.as_mut() {
                     p.record_call(target);
                 }
+                if let Some(ct) = self.chain_tracer.as_mut() {
+                    ct.note_call(target, self.cycles);
+                }
                 self.cpu.eip = target;
             }
             Mnemonic::CallInd => {
@@ -576,6 +601,9 @@ impl Vm {
                 self.rsb.push(next);
                 if let Some(p) = self.profiler.as_mut() {
                     p.record_call(target);
+                }
+                if let Some(ct) = self.chain_tracer.as_mut() {
+                    ct.note_call(target, self.cycles);
                 }
                 self.cpu.eip = target;
             }
@@ -591,6 +619,9 @@ impl Vm {
                 } else {
                     self.cost.ret_mispredict
                 };
+                if let Some(ct) = self.chain_tracer.as_mut() {
+                    ct.note_ret(target, self.cycles + cost);
+                }
                 self.cpu.eip = target;
             }
             Mnemonic::Retf => {
@@ -602,6 +633,9 @@ impl Vm {
                 }
                 // Far returns are never RSB-predicted.
                 cost = self.cost.ret_mispredict;
+                if let Some(ct) = self.chain_tracer.as_mut() {
+                    ct.note_ret(target, self.cycles + cost);
+                }
                 self.cpu.eip = target;
             }
             Mnemonic::Int => {

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaintrace;
 pub mod cost;
 pub mod cpu;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod mem;
 pub mod profile;
 pub mod syscall;
 
+pub use chaintrace::{ChainTracer, Dispatch, Episode};
 pub use cost::{CostModel, ReturnStackBuffer, RSB_DEPTH};
 pub use cpu::{Cpu, Flags};
 pub use error::{Exit, Fault, FaultKind};

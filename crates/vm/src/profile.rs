@@ -30,7 +30,9 @@ pub struct Profiler {
     pub other_cycles: u64,
     /// Total cycles observed.
     pub total_cycles: u64,
-    /// Cache of the last range hit (instruction streams are local).
+    /// Cache of the last range hit (instruction streams are local),
+    /// stored as a *position* into the sorted `ranges` vec so the
+    /// hot-path re-check is a single O(1) indexed comparison.
     last: Option<usize>,
 }
 
@@ -50,21 +52,19 @@ impl Profiler {
     }
 
     fn lookup(&mut self, eip: u32) -> Option<usize> {
-        if let Some(last) = self.last {
-            for &(s, e, idx) in &self.ranges {
-                if idx == last {
-                    if eip >= s && eip < e {
-                        return Some(idx);
-                    }
-                    break;
-                }
+        if let Some(pos) = self.last {
+            let (s, e, idx) = self.ranges[pos];
+            if eip >= s && eip < e {
+                return Some(idx);
             }
         }
+        // Binary search over the start-sorted ranges: the candidate is
+        // the last range starting at or below eip.
         let pos = self.ranges.partition_point(|&(s, _, _)| s <= eip);
         if pos > 0 {
             let (s, e, idx) = self.ranges[pos - 1];
             if eip >= s && eip < e {
-                self.last = Some(idx);
+                self.last = Some(pos - 1);
                 return Some(idx);
             }
         }
@@ -157,6 +157,44 @@ mod tests {
         assert_eq!(rows[0].0, "hot");
         assert!((rows[0].1 - 0.99).abs() < 1e-9);
         assert_eq!(p.hotspots(0.5).len(), 1, "cold falls under the floor");
+    }
+
+    #[test]
+    fn adjacent_ranges_attribute_exactly() {
+        // b starts exactly where a ends: the shared boundary address
+        // belongs to b, and bouncing between the two (defeating the
+        // one-entry cache every time) still attributes correctly.
+        let mut p = Profiler::new(vec![
+            ("a".to_owned(), 0x1000, 0x10),
+            ("b".to_owned(), 0x1010, 0x10),
+        ]);
+        for _ in 0..3 {
+            p.record(0x100f, 1); // last byte of a
+            p.record(0x1010, 1); // first byte of b
+        }
+        assert_eq!(p.func("a").unwrap().cycles, 3);
+        assert_eq!(p.func("b").unwrap().cycles, 3);
+        assert_eq!(p.other_cycles, 0);
+    }
+
+    #[test]
+    fn zero_size_function_occupies_one_byte() {
+        // A zero-size symbol gets a 1-byte range (size.max(1)): its
+        // entry address attributes to it, the next byte does not. The
+        // ranges here are sorted differently from insertion order, so
+        // this also exercises the position-based cache after sort.
+        let mut p = Profiler::new(vec![
+            ("after".to_owned(), 0x2001, 0x10),
+            ("empty".to_owned(), 0x2000, 0),
+        ]);
+        p.record(0x2000, 5);
+        p.record(0x2000, 2); // cache hit path
+        p.record(0x2001, 7); // adjacent range, cache miss path
+        p.record(0x1fff, 1); // below every range
+        assert_eq!(p.func("empty").unwrap().cycles, 7);
+        assert_eq!(p.func("after").unwrap().cycles, 7);
+        assert_eq!(p.other_cycles, 1);
+        assert_eq!(p.total_cycles, 15);
     }
 
     #[test]

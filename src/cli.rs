@@ -7,25 +7,41 @@
 //! plx build   <src>  -o <out.plx>                  compile source to an image
 //! plx protect <src>  -o <out.plx> --verify f[,g]   compile + Parallax-protect
 //!             [--mode cleartext|xor|rc4|prob] [--guard f[,g]] [--seed N]
-//! plx run     <img.plx> [--input <file>] [--debugger]
+//!             [--trace-out t.json]
+//! plx run     <img.plx> [--input <file>] [--debugger] [--trace-out t.json]
 //! plx inspect <img.plx>                            sections + symbols
 //! plx disasm  <img.plx> [function]
 //! plx gadgets <img.plx>                            usable gadgets + types
 //! plx coverage <img.plx>                           Figure-6 style analysis
 //! plx tamper  <img.plx> --at <vaddr> --bytes aa,bb -o <out.plx>
 //! plx batch   <manifest> [--jobs N] [--out dir]    batch-protect via the engine
+//! plx report  <t.json> | --diff <a.json> <b.json>  paper-style tables
 //! ```
+//!
+//! Source positions accept `corpus:NAME` (e.g. `corpus:gzip`) anywhere
+//! a `.px` file is expected, resolving to the built-in evaluation
+//! workload; its designated verification function and input become the
+//! defaults. `--trace-out` writes a Chrome trace-event JSON timeline
+//! (protect stages, rewrite passes, chain compiles, and — after a
+//! validation run — per-gadget dispatch telemetry) that `plx report`
+//! turns into the paper's evaluation tables.
 //!
 //! Flags are validated against each subcommand's known set; an unknown
 //! `--flag` is rejected with a "did you mean" suggestion instead of
 //! being silently swallowed as a positional or mis-paired value.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-use parallax_core::{protect, ChainMode, ProtectConfig};
+use parallax_core::{
+    chain_tracer_for, chain_tracer_for_image, protect, protect_traced, ChainMode, ProtectConfig,
+};
 use parallax_engine::{Engine, EngineEvent, EngineOptions};
 use parallax_image::{format, LinkedImage};
+use parallax_trace::{chrome_json, TraceFile, Tracer};
 use parallax_vm::{Vm, VmOptions};
+
+use crate::report::{render_diff, render_report};
 
 /// A CLI failure, printed to stderr by the wrapper.
 #[derive(Debug)]
@@ -57,15 +73,25 @@ pub fn spec_for(cmd: &str) -> Spec {
     let (flags, switches): (&'static [&'static str], &'static [&'static str]) = match cmd {
         "build" => (&["o"], &[]),
         "protect" => (
-            &["o", "verify", "select", "input", "mode", "guard", "seed"],
+            &[
+                "o",
+                "verify",
+                "select",
+                "input",
+                "mode",
+                "guard",
+                "seed",
+                "trace-out",
+            ],
             &[],
         ),
-        "run" => (&["input", "trace"], &["debugger", "profile"]),
+        "run" => (&["input", "trace", "trace-out"], &["debugger", "profile"]),
         "tamper" => (&["o", "at", "bytes"], &[]),
         "batch" => (
-            &["jobs", "out", "log-json", "cache-dir", "seed"],
+            &["jobs", "out", "log-json", "cache-dir", "seed", "trace-out"],
             &["no-validate"],
         ),
+        "report" => (&[], &["diff"]),
         // inspect / disasm / gadgets / coverage / chain take only
         // positionals.
         _ => (&[], &[]),
@@ -182,6 +208,39 @@ fn compile_source(path: &str) -> Result<parallax_compiler::Module> {
     Ok(parallax_compiler::parse_module(&src)?)
 }
 
+/// A resolved program source: a `.px` file or a `corpus:NAME`
+/// evaluation workload. Workloads carry a designated verification
+/// function and a deterministic input, used as defaults when the
+/// command line gives neither.
+struct Source {
+    module: parallax_compiler::Module,
+    default_verify: Option<String>,
+    default_input: Vec<u8>,
+}
+
+fn resolve_source(src: &str) -> Result<Source> {
+    if let Some(name) = src.strip_prefix("corpus:") {
+        let w = parallax_corpus::by_name(name).ok_or_else(|| {
+            let known: Vec<&str> = parallax_corpus::all().iter().map(|w| w.name).collect();
+            bail(format!(
+                "unknown corpus workload `{name}` (known: {})",
+                known.join(", ")
+            ))
+        })?;
+        Ok(Source {
+            module: (w.module)(),
+            default_verify: Some(w.verify_func.to_owned()),
+            default_input: (w.input)(),
+        })
+    } else {
+        Ok(Source {
+            module: compile_source(src)?,
+            default_verify: None,
+            default_input: Vec::new(),
+        })
+    }
+}
+
 fn parse_mode(s: &str, seed: u64) -> Result<ChainMode> {
     // Shared with `plx batch`'s manifest expansion, so a batch job and
     // a one-off protect of the same target are byte-identical.
@@ -216,19 +275,19 @@ pub fn cmd_build(args: &Args) -> Result<String> {
 pub fn cmd_protect(args: &Args) -> Result<String> {
     let src = args.pos(0, "source file")?;
     let out = args.flag("o").ok_or_else(|| bail("missing -o <out.plx>"))?;
-    let module_for_selection = compile_source(src)?;
+    let source = resolve_source(src)?;
+    let input = match args.flag("input") {
+        Some(p) => std::fs::read(p).map_err(|e| bail(format!("{p}: {e}")))?,
+        None => source.default_input.clone(),
+    };
     let verify = match (args.flag("verify"), args.flag("select")) {
         (Some(v), _) => list(v),
         (None, Some(n)) => {
             // §VII-B automatic selection: profile one run (with --input
             // if given) and pick the best candidates.
             let n: usize = n.parse().map_err(|e| bail(format!("bad --select: {e}")))?;
-            let input = match args.flag("input") {
-                Some(p) => std::fs::read(p).map_err(|e| bail(format!("{p}: {e}")))?,
-                None => Vec::new(),
-            };
             let picked = parallax_core::select_verification_functions(
-                &module_for_selection,
+                &source.module,
                 &input,
                 &parallax_core::SelectionConfig {
                     count: n,
@@ -242,7 +301,11 @@ pub fn cmd_protect(args: &Args) -> Result<String> {
             }
             picked
         }
-        (None, None) => return Err(bail("missing --verify <func[,func]> or --select <n>")),
+        // A corpus workload designates its own verification function.
+        (None, None) => match &source.default_verify {
+            Some(v) => vec![v.clone()],
+            None => return Err(bail("missing --verify <func[,func]> or --select <n>")),
+        },
     };
     let seed = args
         .flag("seed")
@@ -252,17 +315,42 @@ pub fn cmd_protect(args: &Args) -> Result<String> {
     let mode = parse_mode(args.flag("mode").unwrap_or("cleartext"), seed)?;
     let guard_funcs = args.flag("guard").map(list).unwrap_or_default();
 
-    let module = module_for_selection;
-    let protected = protect(
-        &module,
-        &ProtectConfig {
-            verify_funcs: verify.clone(),
-            mode: mode.clone(),
-            seed,
-            guard_funcs,
-            ..ProtectConfig::default()
-        },
-    )?;
+    let cfg = ProtectConfig {
+        verify_funcs: verify.clone(),
+        mode: mode.clone(),
+        seed,
+        guard_funcs,
+        ..ProtectConfig::default()
+    };
+    let trace_out = args.flag("trace-out");
+    let (protected, trace_note) = match trace_out {
+        Some(path) => {
+            // Traced protect, then a validation run with the chain
+            // tracer installed so pipeline spans and per-gadget
+            // dispatch telemetry land on one timeline.
+            let tracer = Tracer::new();
+            let protected = protect_traced(&source.module, &cfg, &tracer)?;
+            let mut vm = Vm::new(&protected.image);
+            vm.set_input(&input);
+            vm.set_chain_tracer(chain_tracer_for(&protected));
+            let exit = {
+                let _run = tracer.span("vm.run", "vm");
+                vm.run()
+            };
+            tracer.count("vm.run.cycles", vm.cycles());
+            if let Some(ct) = vm.take_chain_tracer() {
+                ct.export_to(&tracer);
+            }
+            std::fs::write(path, chrome_json(&tracer.snapshot()))
+                .map_err(|e| bail(format!("{path}: {e}")))?;
+            let note = format!(
+                "  trace: {path} (validation run: {exit}, {} cycles)",
+                vm.cycles()
+            );
+            (protected, Some(note))
+        }
+        None => (protect(&source.module, &cfg)?, None),
+    };
     let bytes = format::save(&protected.image);
     std::fs::write(out, &bytes).map_err(|e| bail(format!("{out}: {e}")))?;
 
@@ -295,6 +383,9 @@ pub fn cmd_protect(args: &Args) -> Result<String> {
         )
         .unwrap();
     }
+    if let Some(note) = trace_note {
+        writeln!(msg, "{note}").unwrap();
+    }
     Ok(msg.trim_end().to_owned())
 }
 
@@ -316,6 +407,14 @@ pub fn cmd_run(args: &Args) -> Result<String> {
     if args.switch("debugger") {
         vm.attach_debugger();
     }
+    let trace_out = args.flag("trace-out");
+    let tracer = trace_out.map(|_| Tracer::new());
+    if tracer.is_some() {
+        // Recover chain entry points from the image's symbols so gadget
+        // dispatches attribute to their verification function.
+        vm.set_chain_tracer(chain_tracer_for_image(&img));
+    }
+    let run_span = tracer.as_ref().map(|t| t.enter("vm.run", "vm"));
     let trace: u64 = args
         .flag("trace")
         .map(|v| v.parse().map_err(|e| bail(format!("bad --trace: {e}"))))
@@ -354,7 +453,19 @@ pub fn cmd_run(args: &Args) -> Result<String> {
     } else {
         vm.run()
     };
+    if let (Some(t), Some(id)) = (&tracer, run_span) {
+        t.exit(id);
+        t.count("vm.run.cycles", vm.cycles());
+        if let Some(ct) = vm.take_chain_tracer() {
+            ct.export_to(t);
+        }
+    }
     let mut msg = String::new();
+    if let (Some(path), Some(t)) = (trace_out, &tracer) {
+        std::fs::write(path, chrome_json(&t.snapshot()))
+            .map_err(|e| bail(format!("{path}: {e}")))?;
+        writeln!(msg, "trace written to {path}").unwrap();
+    }
     let out = vm.take_output();
     if !out.is_empty() {
         writeln!(msg, "--- output ({} bytes) ---", out.len()).unwrap();
@@ -555,11 +666,14 @@ pub fn cmd_batch(args: &Args) -> Result<String> {
         Some(dir) => Some(std::path::PathBuf::from(dir)),
         None => Some(std::path::PathBuf::from("target/plx-cache")),
     };
+    let trace_out = args.flag("trace-out");
+    let tracer = trace_out.map(|_| Arc::new(Tracer::new()));
     let engine = Engine::new(EngineOptions {
         workers,
         cache_dir,
         validate: !args.switch("no-validate"),
         log_json: args.flag("log-json").map(std::path::PathBuf::from),
+        trace: tracer.clone(),
         ..EngineOptions::default()
     });
 
@@ -634,6 +748,11 @@ pub fn cmd_batch(args: &Args) -> Result<String> {
         )
         .unwrap();
     }
+    if let (Some(path), Some(t)) = (trace_out, &tracer) {
+        std::fs::write(path, chrome_json(&t.snapshot()))
+            .map_err(|e| bail(format!("{path}: {e}")))?;
+        writeln!(msg, "  trace: {path}").unwrap();
+    }
     msg.push('\n');
     msg.push_str(&report.metrics.render());
     if report.all_clean() {
@@ -646,6 +765,21 @@ pub fn cmd_batch(args: &Args) -> Result<String> {
     }
 }
 
+/// `plx report`: render paper-style tables from `--trace-out` files.
+pub fn cmd_report(args: &Args) -> Result<String> {
+    let load = |p: &str| -> Result<TraceFile> {
+        let text = std::fs::read_to_string(p).map_err(|e| bail(format!("{p}: {e}")))?;
+        TraceFile::parse(&text).map_err(|e| bail(format!("{p}: {e}")))
+    };
+    if args.switch("diff") {
+        let a = load(args.pos(0, "baseline trace file")?)?;
+        let b = load(args.pos(1, "comparison trace file")?)?;
+        Ok(render_diff(&a, &b))
+    } else {
+        Ok(render_report(&load(args.pos(0, "trace file")?)?))
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 plx — the Parallax toolchain
@@ -654,7 +788,9 @@ USAGE:
   plx build    <src> -o <out.plx>
   plx protect  <src> -o <out.plx> (--verify f[,g] | --select n [--input file])
                [--mode cleartext|xor|rc4|prob] [--guard f[,g]] [--seed N]
+               [--trace-out <t.json>]
   plx run      <img.plx> [--input <file>] [--debugger] [--profile]
+               [--trace-out <t.json>]
   plx inspect  <img.plx>
   plx disasm   <img.plx> [function]
   plx gadgets  <img.plx>
@@ -662,11 +798,17 @@ USAGE:
   plx chain    <img.plx> <function>
   plx tamper   <img.plx> --at <hex-vaddr> --bytes aa,bb -o <out.plx>
   plx batch    <manifest> [--jobs N] [--out <dir>] [--log-json <path>]
-               [--cache-dir <dir>|none] [--no-validate]";
+               [--cache-dir <dir>|none] [--no-validate] [--trace-out <t.json>]
+  plx report   <t.json>
+  plx report   --diff <a.json> <b.json>
 
-const COMMANDS: [&str; 10] = [
+<src> may be a .px file or corpus:NAME (wget, nginx, bzip2, gzip, gcc,
+lame); corpus workloads default --verify and --input to the workload's
+designated verification function and packaged input.";
+
+const COMMANDS: [&str; 11] = [
     "build", "protect", "run", "inspect", "disasm", "gadgets", "coverage", "chain", "tamper",
-    "batch",
+    "batch", "report",
 ];
 
 /// Dispatches a subcommand.
@@ -683,6 +825,7 @@ pub fn dispatch(cmd: &str, raw: &[String]) -> Result<String> {
         "chain" => cmd_chain(&args),
         "tamper" => cmd_tamper(&args),
         "batch" => cmd_batch(&args),
+        "report" => cmd_report(&args),
         _ => match suggest(cmd, COMMANDS) {
             Some(s) => Err(bail(format!(
                 "unknown command `{cmd}` (did you mean `{s}`?)\n\n{USAGE}"
@@ -1039,6 +1182,50 @@ mod batch_cmd_tests {
     }
 
     #[test]
+    fn batch_with_trace_out_writes_parseable_trace() {
+        let dir = std::env::temp_dir().join("plx-cli-batch-trace-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("bt.px");
+        std::fs::write(
+            &src,
+            "fn vf(x) { return x * 3 + 1; }\nfn main() { return vf(2) & 0xff; }\n",
+        )
+        .unwrap();
+        let manifest = dir.join("bt.manifest");
+        std::fs::write(
+            &manifest,
+            format!("{} verify=vf modes=cleartext\n", src.display()),
+        )
+        .unwrap();
+        let trace = dir.join("bt-trace.json");
+        let msg = dispatch(
+            "batch",
+            &[
+                manifest.display().to_string(),
+                "--jobs".into(),
+                "1".into(),
+                "--cache-dir".into(),
+                "none".into(),
+                "--trace-out".into(),
+                trace.display().to_string(),
+            ],
+        )
+        .unwrap();
+        assert!(msg.contains("trace:"), "{msg}");
+        let tf = parallax_trace::TraceFile::parse(&std::fs::read_to_string(&trace).unwrap())
+            .expect("batch trace parses");
+        let names: Vec<&str> = tf.spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("job:")), "{names:?}");
+        assert!(names.contains(&"chain-compile"), "{names:?}");
+        assert!(names.contains(&"validate"), "{names:?}");
+        assert!(
+            tf.instants.iter().any(|i| i.name == "job_finished"),
+            "engine events become instants"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn batch_rejects_bad_manifests() {
         let dir = std::env::temp_dir().join("plx-cli-batch-tests-bad");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1048,6 +1235,155 @@ mod batch_cmd_tests {
         assert!(e.0.contains("unknown mode"), "{}", e.0);
         let e = dispatch("batch", &[]).unwrap_err();
         assert!(e.0.contains("missing manifest"), "{}", e.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+mod report_cmd_tests {
+    use super::*;
+    use parallax_trace::TraceFile;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn protect_traced_corpus(dir: &std::path::Path, seed: &str) -> (String, String) {
+        let out = dir.join(format!("gzip-{seed}.plx")).display().to_string();
+        let trace = dir.join(format!("gzip-{seed}.json")).display().to_string();
+        let msg = dispatch(
+            "protect",
+            &[
+                // corpus:NAME source; --verify defaults to the
+                // workload's designated verification function.
+                "corpus:gzip".into(),
+                "-o".into(),
+                out.clone(),
+                "--seed".into(),
+                seed.into(),
+                "--trace-out".into(),
+                trace.clone(),
+            ],
+        )
+        .unwrap();
+        assert!(msg.contains("chain chunk_header"), "{msg}");
+        assert!(msg.contains("trace:"), "{msg}");
+        (out, trace)
+    }
+
+    #[test]
+    fn corpus_protect_trace_meets_acceptance_shape() {
+        let dir = tmp_dir("plx-cli-report-tests");
+        let (_, trace) = protect_traced_corpus(&dir, "1");
+        let tf = TraceFile::parse(&std::fs::read_to_string(&trace).unwrap())
+            .expect("protect trace parses");
+
+        // All seven protect stages as spans nested under the root.
+        let root = tf.spans_named("protect").next().expect("root span");
+        for stage in [
+            "select",
+            "load",
+            "rewrite",
+            "gadget-scan",
+            "chain-compile",
+            "map",
+            "link",
+        ] {
+            let span = tf.spans_named(stage).next().unwrap_or_else(|| {
+                panic!("missing {stage} span");
+            });
+            assert_eq!(span.cat, "stage", "{stage}");
+            assert_eq!(span.parent, Some(root.id), "{stage} nests under root");
+        }
+        // At least one VM chain-execution span with per-gadget
+        // dispatch events, on the cycle-denominated lane. (The ropc
+        // compile spans share the `chain:` name but live in "ropc".)
+        let chain = tf
+            .spans_named("chain:chunk_header")
+            .find(|s| s.cat == "vm")
+            .expect("chain execution span");
+        assert_eq!(
+            tf.thread_names.get(&chain.tid).map(String::as_str),
+            Some("vm-chain (cycles)")
+        );
+        let dispatches = tf.instants.iter().filter(|i| i.name == "gadget").count();
+        assert!(dispatches >= 1, "per-gadget dispatch events recorded");
+        assert!(tf.counters["vm.run.cycles"] > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_renders_paper_tables_from_protect_trace() {
+        let dir = tmp_dir("plx-cli-report-render-tests");
+        let (_, trace) = protect_traced_corpus(&dir, "2");
+        let msg = dispatch("report", &[trace]).unwrap();
+        for needle in [
+            "pipeline stages",
+            "chain-compile",
+            "verification overhead (per function)",
+            "chunk_header",
+            "overhead",
+            "chain length distribution",
+            "overlapping gadget fraction",
+        ] {
+            assert!(msg.contains(needle), "missing {needle:?} in:\n{msg}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_trace_out_and_diff() {
+        let dir = tmp_dir("plx-cli-report-diff-tests");
+        let (img, trace_a) = protect_traced_corpus(&dir, "3");
+        // `plx run --trace-out` recovers chain telemetry from the saved
+        // image alone (no protect report at hand). The workload needs
+        // its input or it exits before the verify function runs.
+        let input = dir.join("gzip.input");
+        let w = parallax_corpus::by_name("gzip").unwrap();
+        std::fs::write(&input, (w.input)()).unwrap();
+        let trace_b = dir.join("run.json").display().to_string();
+        let msg = dispatch(
+            "run",
+            &[
+                img,
+                "--input".into(),
+                input.display().to_string(),
+                "--trace-out".into(),
+                trace_b.clone(),
+            ],
+        )
+        .unwrap();
+        assert!(msg.contains("trace written to"), "{msg}");
+        let tf = TraceFile::parse(&std::fs::read_to_string(&trace_b).unwrap())
+            .expect("run trace parses");
+        assert!(tf.spans_named("chain:chunk_header").any(|s| s.cat == "vm"));
+        assert!(tf.counters["vm.run.cycles"] > 0);
+
+        let diff = dispatch("report", &["--diff".into(), trace_a, trace_b]).unwrap();
+        assert!(
+            diff.contains("pipeline stages (wall time, b - a)"),
+            "{diff}"
+        );
+        assert!(diff.contains("chunk_header"), "{diff}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_corpus_and_bad_traces_error_cleanly() {
+        let e = dispatch("protect", &["corpus:emacs".into(), "-o".into(), "x".into()]).unwrap_err();
+        assert!(e.0.contains("unknown corpus workload `emacs`"), "{}", e.0);
+        assert!(e.0.contains("gzip"), "{}", e.0);
+        let e = dispatch("report", &["no-such-trace.json".into()]).unwrap_err();
+        assert!(e.0.contains("no-such-trace.json"), "{}", e.0);
+        let dir = tmp_dir("plx-cli-report-bad-tests");
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"traceEvents\":[]}").unwrap();
+        let e = dispatch("report", &[bad.display().to_string()]).unwrap_err();
+        assert!(e.0.contains("empty"), "{}", e.0);
+        let e = dispatch("report", &[]).unwrap_err();
+        assert!(e.0.contains("missing trace file"), "{}", e.0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,6 +1,7 @@
 //! Parallax umbrella crate: re-exports all subsystem crates and hosts
 //! the `plx` command-line tool ([`cli`]).
 pub mod cli;
+pub mod report;
 
 pub use parallax_baselines as baselines;
 pub use parallax_compiler as compiler;

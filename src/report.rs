@@ -1,0 +1,403 @@
+//! `plx report`: paper-style evaluation tables from `--trace-out`
+//! files.
+//!
+//! The report mirrors the tables of the source paper's evaluation
+//! (§VII): per-function verification overhead (cycles per invocation
+//! and share of total runtime), chain length distribution, and the
+//! §IV-B overlapping-gadget fraction — all reconstructed from the
+//! counters, histograms, and spans a single traced run emits, so
+//! `plx protect --trace-out t.json` followed by `plx report t.json`
+//! needs no other artifacts. `render_diff` compares two trace files
+//! stage by stage for before/after measurements.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use parallax_trace::{Histogram, TraceFile};
+
+/// The seven pipeline stages in execution order, as span names.
+const STAGES: [&str; 7] = [
+    "select",
+    "load",
+    "rewrite",
+    "gadget-scan",
+    "chain-compile",
+    "map",
+    "link",
+];
+
+/// Per-function verification statistics pulled from `vf.*` counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VfRow {
+    /// Verification function name.
+    pub func: String,
+    /// Chain executions observed.
+    pub invocations: u64,
+    /// Gadget dispatches across all invocations.
+    pub dispatches: u64,
+    /// VM cycles across all invocations.
+    pub cycles: u64,
+}
+
+impl VfRow {
+    /// Mean cycles per invocation (0.0 when never invoked).
+    pub fn cycles_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.invocations as f64
+        }
+    }
+
+    /// Share of `total_cycles` spent verifying (0.0 when unknown).
+    pub fn overhead(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / total_cycles as f64
+        }
+    }
+}
+
+/// Extracts the per-function verification rows from a trace's
+/// `vf.<func>.{invocations,cycles,dispatches}` counters, name-sorted.
+pub fn vf_rows(tf: &TraceFile) -> Vec<VfRow> {
+    let mut funcs = BTreeSet::new();
+    for key in tf.counters.keys() {
+        if let Some(rest) = key.strip_prefix("vf.") {
+            if let Some(func) = rest.strip_suffix(".invocations") {
+                funcs.insert(func.to_string());
+            }
+        }
+    }
+    funcs
+        .into_iter()
+        .map(|func| {
+            let get = |suffix: &str| {
+                tf.counters
+                    .get(&format!("vf.{func}.{suffix}"))
+                    .copied()
+                    .unwrap_or(0)
+            };
+            VfRow {
+                invocations: get("invocations"),
+                dispatches: get("dispatches"),
+                cycles: get("cycles"),
+                func,
+            }
+        })
+        .collect()
+}
+
+/// Total VM cycles of the traced run, if the trace recorded them.
+pub fn total_run_cycles(tf: &TraceFile) -> Option<u64> {
+    tf.counters.get("vm.run.cycles").copied()
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 * 100.0 / den as f64
+    }
+}
+
+fn stage_table(out: &mut String, tf: &TraceFile) {
+    if !STAGES.iter().any(|s| tf.spans_named(s).next().is_some()) {
+        return;
+    }
+    let _ = writeln!(out, "pipeline stages (wall time):");
+    for stage in STAGES {
+        let blocks = tf.spans_named(stage).count() as u64;
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10.3} ms  ({blocks} blocks)",
+            stage,
+            tf.total_dur_us(stage) as f64 / 1e3
+        );
+    }
+}
+
+fn vf_table(out: &mut String, tf: &TraceFile) {
+    let rows = vf_rows(tf);
+    if rows.is_empty() {
+        return;
+    }
+    let total = total_run_cycles(tf);
+    let _ = writeln!(out, "verification overhead (per function):");
+    let _ = writeln!(
+        out,
+        "  {:<20} {:>7} {:>10} {:>12} {:>12}  {:>9}",
+        "function", "invocs", "dispatches", "cycles", "cyc/invoc", "overhead"
+    );
+    for r in &rows {
+        let overhead = match total {
+            Some(t) => format!("{:8.2}%", r.overhead(t) * 100.0),
+            None => "       ?".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>7} {:>10} {:>12} {:>12.1}  {overhead}",
+            r.func,
+            r.invocations,
+            r.dispatches,
+            r.cycles,
+            r.cycles_per_invocation()
+        );
+    }
+    if let Some(t) = total {
+        let _ = writeln!(out, "  total run cycles: {t}");
+    }
+}
+
+fn chain_table(out: &mut String, tf: &TraceFile) {
+    let Some(words) = tf.hists.get("chain.words") else {
+        return;
+    };
+    let _ = writeln!(out, "chain length distribution (words):");
+    let _ = writeln!(
+        out,
+        "  chains: {}   mean: {:.1}   min: {}   max: {}",
+        words.count,
+        words.mean(),
+        words.min,
+        words.max
+    );
+    let peak = words.buckets.iter().map(|&(_, n)| n).max().unwrap_or(1);
+    for &(bits, n) in &words.buckets {
+        let (lo, hi) = Histogram::bucket_range(bits);
+        let bar = "#".repeat(((n * 24).div_ceil(peak.max(1))) as usize);
+        let _ = writeln!(out, "  [{lo:>6}..{hi:>6}] {n:>5}  {bar}");
+    }
+    if let Some(ops) = tf.hists.get("chain.ops") {
+        let _ = writeln!(
+            out,
+            "  gadget ops per chain: mean {:.1} (min {}, max {})",
+            ops.mean(),
+            ops.min,
+            ops.max
+        );
+    }
+}
+
+fn gadget_table(out: &mut String, tf: &TraceFile) {
+    let used = tf.counters.get("chain.used.total").copied().unwrap_or(0);
+    let overl = tf
+        .counters
+        .get("chain.used.overlapping")
+        .copied()
+        .unwrap_or(0);
+    let pick_o = tf
+        .counters
+        .get("chain.pick.overlapping")
+        .copied()
+        .unwrap_or(0);
+    let pick_x = tf.counters.get("chain.pick.other").copied().unwrap_or(0);
+    if used == 0 && pick_o + pick_x == 0 {
+        return;
+    }
+    let _ = writeln!(out, "gadget provenance (paper SIV-B):");
+    if used > 0 {
+        let _ = writeln!(
+            out,
+            "  overlapping gadget fraction: {:.1}%  ({overl} of {used} used gadgets)",
+            pct(overl, used)
+        );
+    }
+    if pick_o + pick_x > 0 {
+        let _ = writeln!(
+            out,
+            "  selections preferring overlap: {:.1}%  ({pick_o} of {} selections)",
+            pct(pick_o, pick_o + pick_x),
+            pick_o + pick_x
+        );
+    }
+    let kinds: Vec<(&str, u64)> = tf
+        .counters
+        .iter()
+        .filter_map(|(k, &v)| k.strip_prefix("vm.dispatch.kind.").map(|r| (r, v)))
+        .collect();
+    if !kinds.is_empty() {
+        let total: u64 = kinds.iter().map(|&(_, n)| n).sum();
+        let _ = writeln!(out, "  dispatches by gadget kind:");
+        for (kind, n) in kinds {
+            let _ = writeln!(out, "    {kind:<12} {n:>6}  ({:.1}%)", pct(n, total));
+        }
+    }
+}
+
+/// Renders the full report for one trace file.
+pub fn render_report(tf: &TraceFile) -> String {
+    let mut out = String::new();
+    stage_table(&mut out, tf);
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    vf_table(&mut out, tf);
+    if !out.ends_with("\n\n") && !out.is_empty() {
+        out.push('\n');
+    }
+    chain_table(&mut out, tf);
+    if !out.ends_with("\n\n") && !out.is_empty() {
+        out.push('\n');
+    }
+    gadget_table(&mut out, tf);
+    let trimmed = out.trim_end().to_string();
+    if trimmed.is_empty() {
+        "trace contains no reportable metrics (was it produced with --trace-out?)".to_string()
+    } else {
+        trimmed
+    }
+}
+
+fn signed_ms(delta_us: i64) -> String {
+    format!("{:+.3} ms", delta_us as f64 / 1e3)
+}
+
+/// Renders a stage-by-stage and overhead comparison of two traces
+/// (`b` relative to `a`).
+pub fn render_diff(a: &TraceFile, b: &TraceFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "pipeline stages (wall time, b - a):");
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>12} {:>12} {:>12}",
+        "stage", "a", "b", "delta"
+    );
+    for stage in STAGES {
+        let ta = a.total_dur_us(stage);
+        let tb = b.total_dur_us(stage);
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>9.3} ms {:>9.3} ms {:>12}",
+            stage,
+            ta as f64 / 1e3,
+            tb as f64 / 1e3,
+            signed_ms(tb as i64 - ta as i64)
+        );
+    }
+
+    let (rows_a, rows_b) = (vf_rows(a), vf_rows(b));
+    let (tot_a, tot_b) = (total_run_cycles(a), total_run_cycles(b));
+    let mut funcs: BTreeSet<&str> = rows_a.iter().map(|r| r.func.as_str()).collect();
+    funcs.extend(rows_b.iter().map(|r| r.func.as_str()));
+    if !funcs.is_empty() {
+        let _ = writeln!(out, "\nverification overhead (b - a):");
+        for func in funcs {
+            let find = |rows: &[VfRow]| rows.iter().find(|r| r.func == func).cloned();
+            let (ra, rb) = (find(&rows_a), find(&rows_b));
+            let cpi = |r: &Option<VfRow>| r.as_ref().map_or(0.0, VfRow::cycles_per_invocation);
+            let ovh = |r: &Option<VfRow>, t: Option<u64>| match (r, t) {
+                (Some(r), Some(t)) => r.overhead(t) * 100.0,
+                _ => 0.0,
+            };
+            let _ = writeln!(
+                out,
+                "  {func:<20} cyc/invoc {:>10.1} -> {:>10.1} ({:+.1})   overhead {:>6.2}% -> {:>6.2}% ({:+.2}pp)",
+                cpi(&ra),
+                cpi(&rb),
+                cpi(&rb) - cpi(&ra),
+                ovh(&ra, tot_a),
+                ovh(&rb, tot_b),
+                ovh(&rb, tot_b) - ovh(&ra, tot_a)
+            );
+        }
+    }
+
+    if let (Some(wa), Some(wb)) = (a.hists.get("chain.words"), b.hists.get("chain.words")) {
+        let _ = writeln!(
+            out,
+            "\nchain words: mean {:.1} -> {:.1} ({:+.1})",
+            wa.mean(),
+            wb.mean(),
+            wb.mean() - wa.mean()
+        );
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parallax_trace::{chrome_json, Tracer};
+
+    fn sample_trace(cycles: u64, words: u64) -> TraceFile {
+        let t = Tracer::new();
+        {
+            let _root = t.span("protect", "pipeline");
+            for s in STAGES {
+                let _g = t.span(s, "stage");
+            }
+        }
+        t.count("vf.vf.invocations", 2);
+        t.count("vf.vf.cycles", cycles);
+        t.count("vf.vf.dispatches", 14);
+        t.count("vm.run.cycles", cycles * 10);
+        t.count("chain.used.total", 8);
+        t.count("chain.used.overlapping", 6);
+        t.count("chain.pick.overlapping", 5);
+        t.count("chain.pick.other", 3);
+        t.count("vm.dispatch.kind.LoadConst", 9);
+        t.record("chain.words", words);
+        t.record("chain.ops", 11);
+        TraceFile::parse(&chrome_json(&t.snapshot())).expect("sample trace parses")
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let tf = sample_trace(400, 96);
+        let report = render_report(&tf);
+        for needle in [
+            "pipeline stages",
+            "chain-compile",
+            "verification overhead",
+            "cyc/invoc",
+            "10.00%", // 400 of 4000 cycles
+            "chain length distribution",
+            "overlapping gadget fraction: 75.0%",
+            "selections preferring overlap: 62.5%",
+            "LoadConst",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn report_on_metricless_trace_degrades_gracefully() {
+        let t = Tracer::new();
+        t.instant("x", "misc", Vec::new());
+        let tf = TraceFile::parse(&chrome_json(&t.snapshot())).expect("parses");
+        let report = render_report(&tf);
+        assert!(report.contains("no reportable metrics"), "{report}");
+    }
+
+    #[test]
+    fn diff_shows_stage_and_overhead_deltas() {
+        let a = sample_trace(400, 96);
+        let b = sample_trace(800, 32);
+        let diff = render_diff(&a, &b);
+        assert!(diff.contains("pipeline stages"), "{diff}");
+        assert!(diff.contains("delta"), "{diff}");
+        // cycles/invocation doubled: 200 -> 400.
+        assert!(diff.contains("200.0 ->      400.0 (+200.0)"), "{diff}");
+        // Overhead share is cycles/run_cycles = 10% in both.
+        assert!(diff.contains("(+0.00pp)"), "{diff}");
+        assert!(
+            diff.contains("chain words: mean 96.0 -> 32.0 (-64.0)"),
+            "{diff}"
+        );
+    }
+
+    #[test]
+    fn vf_rows_and_totals() {
+        let tf = sample_trace(400, 96);
+        let rows = vf_rows(&tf);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].func, "vf");
+        assert_eq!(rows[0].invocations, 2);
+        assert!((rows[0].cycles_per_invocation() - 200.0).abs() < 1e-9);
+        assert_eq!(total_run_cycles(&tf), Some(4000));
+        assert!((rows[0].overhead(4000) - 0.1).abs() < 1e-9);
+        assert_eq!(rows[0].overhead(0), 0.0);
+    }
+}
