@@ -28,7 +28,7 @@
 
 use std::time::Duration;
 
-use parallax_gadgets::Gadget;
+use parallax_gadgets::{Gadget, ScanStats};
 use parallax_image::LinkedImage;
 use parallax_rewrite::Coverage;
 
@@ -48,6 +48,11 @@ pub trait PipelineHooks: Send + Sync {
 
     /// Offers a freshly computed gadget scan for reuse.
     fn store_scan(&self, _img: &LinkedImage, _gadgets: &[Gadget]) {}
+
+    /// Statistics from a fresh (non-cached) gadget scan. Tracing
+    /// implementations export these as `scan.decode.*` counters;
+    /// cache hits never report, since no decoding happened.
+    fn scan_stats(&self, _stats: &ScanStats) {}
 
     /// A previously computed Figure-6 coverage analysis for an image
     /// with identical content, or `None` to run the analysis.

@@ -34,7 +34,7 @@ use std::fmt;
 use std::time::Instant;
 
 use parallax_compiler::{compile_module, CompileError, Function, Module};
-use parallax_gadgets::{find_gadgets, GadgetMap};
+use parallax_gadgets::{find_gadgets_with_stats, GadgetMap};
 use parallax_image::{LinkError, LinkedImage, Program};
 use parallax_rewrite::{
     analyze_traced, protect_program_traced, Coverage, RewriteConfig, RewriteError, RewriteReport,
@@ -917,7 +917,8 @@ fn scan_gadgets(
         match hooks.cached_scan(img) {
             Some(cached) if !cached.is_empty() => cached,
             _ => {
-                let fresh = find_gadgets(img);
+                let (fresh, stats) = find_gadgets_with_stats(img);
+                hooks.scan_stats(&stats);
                 hooks.store_scan(img, &fresh);
                 fresh
             }

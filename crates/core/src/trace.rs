@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use parallax_gadgets::{find_gadgets, Effect, Gadget};
+use parallax_gadgets::{find_gadgets, Effect, Gadget, ScanStats};
 use parallax_image::LinkedImage;
 use parallax_rewrite::Coverage;
 use parallax_trace::{SpanId, Tracer};
@@ -61,6 +61,13 @@ impl PipelineHooks for TracingHooks<'_> {
 
     fn store_scan(&self, img: &LinkedImage, gadgets: &[Gadget]) {
         self.inner.store_scan(img, gadgets)
+    }
+
+    fn scan_stats(&self, stats: &ScanStats) {
+        self.tracer.count("scan.decode.offsets", stats.offsets);
+        self.tracer.count("scan.decode.once", stats.decoded);
+        self.tracer.count("scan.decode.memo_hit", stats.memo_hits);
+        self.inner.scan_stats(stats)
     }
 
     fn cached_coverage(&self, img: &LinkedImage) -> Option<Coverage> {

@@ -458,6 +458,10 @@ impl Engine {
             let output = vm.take_output();
             if let Some(t) = &self.opts.trace {
                 t.record("vm.validate.cycles", cycles);
+                let bs = vm.block_stats();
+                t.count("vm.block.hit", bs.hits);
+                t.count("vm.block.miss", bs.misses);
+                t.count("vm.block.invalidate", bs.invalidated);
             }
             (Some(classify_outcome(exit, &output, &baseline)), cycles)
         } else {

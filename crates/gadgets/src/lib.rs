@@ -42,7 +42,7 @@ pub mod validate;
 
 pub use classify::{classify, Proposal};
 pub use mapping::{GadgetMap, TypeKey};
-pub use scan::{scan, Candidate, MAX_GADGET_BYTES, MAX_GADGET_INSNS};
+pub use scan::{scan, scan_with_stats, Candidate, ScanStats, MAX_GADGET_BYTES, MAX_GADGET_INSNS};
 pub use serialize::{deserialize_gadgets, serialize_gadgets};
 pub use types::{Effect, GBinOp, Gadget};
 pub use validate::{validate, validate_with};
@@ -52,16 +52,23 @@ use parallax_image::LinkedImage;
 /// Runs the full pipeline over an image's text section: scan, classify,
 /// and concretely validate. Returns only usable gadgets.
 pub fn find_gadgets(img: &LinkedImage) -> Vec<Gadget> {
+    find_gadgets_with_stats(img).0
+}
+
+/// Like [`find_gadgets`], also returning the scanner's [`ScanStats`]
+/// so callers can export `scan.decode.*` counters.
+pub fn find_gadgets_with_stats(img: &LinkedImage) -> (Vec<Gadget>, ScanStats) {
     let mut probe = parallax_vm::Vm::new(img);
     let mut out = Vec::new();
-    for cand in scan(&img.text, img.text_base) {
+    let (cands, stats) = scan_with_stats(&img.text, img.text_base);
+    for cand in cands {
         if let Some(proposal) = classify(&cand) {
             if let Some(g) = validate_with(&mut probe, &proposal) {
                 out.push(g);
             }
         }
     }
-    out
+    (out, stats)
 }
 
 /// Like [`find_gadgets`], but returns the typed mapping directly.

@@ -6,6 +6,14 @@
 //! exactly on the return is a candidate. Following the paper (§VII-A),
 //! candidates longer than six instructions are discarded, as are
 //! sequences containing control flow before the final return.
+//!
+//! The scan is a **single forward pass**: every text offset is decoded
+//! exactly once into a memoized successor table (length, interior
+//! eligibility, return kind), and the backward candidate enumeration
+//! from each return byte is pure table lookups. The naive
+//! decode-per-walk-step scanner is retained as
+//! [`scan_reference`] — a differential oracle proving the memoized
+//! scanner emits an identical candidate stream.
 
 use parallax_x86::insn::{Insn, Mnemonic};
 use parallax_x86::{decode, Operand};
@@ -66,26 +74,150 @@ fn is_plain_ret(insn: &Insn) -> Option<bool> {
     }
 }
 
+/// Statistics from one scan pass, exported as `scan.decode.*` trace
+/// counters. `decoded` never exceeds `offsets`: the memoized scanner
+/// decodes each text offset at most once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Text offsets considered (one potential decode start per byte).
+    pub offsets: u64,
+    /// `decode()` invocations performed — exactly one per offset.
+    pub decoded: u64,
+    /// Successor-table lookups served from the memo during candidate
+    /// walks; under the naive scanner each would have been a decode.
+    pub memo_hits: u64,
+    /// `ret`/`retf` opcode bytes anchoring backward walks.
+    pub rets: u64,
+    /// Candidates emitted.
+    pub candidates: u64,
+}
+
+/// One memoized decode: everything a candidate walk needs to know
+/// about the instruction starting at this offset.
+struct Slot {
+    insn: Option<Insn>,
+    len: u8,
+    interior_ok: bool,
+    /// `Some(far)` when this decode is a bare `ret`/`retf`.
+    ret: Option<bool>,
+}
+
 /// Scans `text` (mapped at `base`) for gadget candidates.
 ///
 /// Duplicate sequences at different addresses are all reported; the
 /// classifier deduplicates by effect, not by bytes, since Parallax
 /// cares about *where* a gadget lives (which instructions it overlaps).
 pub fn scan(text: &[u8], base: u32) -> Vec<Candidate> {
+    scan_with_stats(text, base).0
+}
+
+/// [`scan`], also returning the pass's [`ScanStats`].
+pub fn scan_with_stats(text: &[u8], base: u32) -> (Vec<Candidate>, ScanStats) {
+    let mut stats = ScanStats {
+        offsets: text.len() as u64,
+        ..ScanStats::default()
+    };
+    // Forward pass: decode once at every offset.
+    let table: Vec<Slot> = (0..text.len())
+        .map(|i| {
+            stats.decoded += 1;
+            match decode(&text[i..]) {
+                Ok(insn) => Slot {
+                    len: insn.len,
+                    interior_ok: allowed_interior(&insn),
+                    ret: is_plain_ret(&insn),
+                    insn: Some(insn),
+                },
+                Err(_) => Slot {
+                    insn: None,
+                    len: 0,
+                    interior_ok: false,
+                    ret: None,
+                },
+            }
+        })
+        .collect();
     let mut out = Vec::new();
     for (i, &b) in text.iter().enumerate() {
         if b != 0xc3 && b != 0xcb {
             continue;
         }
-        // Candidate starts: walk back.
+        stats.rets += 1;
+        // Candidate starts: walk back, resolving each step from the
+        // memo table instead of re-decoding.
+        for back in 1..=MAX_GADGET_BYTES.min(i) {
+            let start = i - back;
+            if let Some(c) = walk_table(&table, base, start, i, &mut stats) {
+                out.push(c);
+            }
+        }
+        // The bare return itself is also a (trivial) candidate, useful
+        // as a chain NOP.
+        if let Some(c) = walk_table(&table, base, i, i, &mut stats) {
+            out.push(c);
+        }
+    }
+    stats.candidates = out.len() as u64;
+    (out, stats)
+}
+
+/// Table-driven equivalent of [`try_sequence`]: identical rejection
+/// rules and candidate shape, but each step is a memo lookup.
+fn walk_table(
+    table: &[Slot],
+    base: u32,
+    start: usize,
+    ret_at: usize,
+    stats: &mut ScanStats,
+) -> Option<Candidate> {
+    let mut insns = Vec::new();
+    let mut pos = start;
+    while pos <= ret_at {
+        stats.memo_hits += 1;
+        let slot = &table[pos];
+        let insn = slot.insn.as_ref()?;
+        if pos == ret_at {
+            let far = slot.ret?;
+            insns.push(insn.clone());
+            if insns.len() > MAX_GADGET_INSNS {
+                return None;
+            }
+            return Some(Candidate {
+                vaddr: base + start as u32,
+                insns,
+                len: (ret_at + 1 - start) as u32,
+                far,
+            });
+        }
+        if !slot.interior_ok || insns.len() + 1 > MAX_GADGET_INSNS {
+            return None;
+        }
+        // The sequence must land exactly on the return byte.
+        let next = pos + slot.len as usize;
+        if next > ret_at {
+            return None;
+        }
+        insns.push(insn.clone());
+        pos = next;
+    }
+    None
+}
+
+/// The original decode-per-walk-step scanner, retained as the
+/// differential oracle for [`scan_with_stats`].
+#[doc(hidden)]
+pub fn scan_reference(text: &[u8], base: u32) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (i, &b) in text.iter().enumerate() {
+        if b != 0xc3 && b != 0xcb {
+            continue;
+        }
         for back in 1..=MAX_GADGET_BYTES.min(i) {
             let start = i - back;
             if let Some(c) = try_sequence(text, base, start, i) {
                 out.push(c);
             }
         }
-        // The bare return itself is also a (trivial) candidate, useful
-        // as a chain NOP.
         if let Some(c) = try_sequence(text, base, i, i) {
             out.push(c);
         }
@@ -188,6 +320,40 @@ mod tests {
         let text2 = [0x58, 0xcb]; // pop eax; retf
         let cands = scan(&text2, 0);
         assert!(cands.iter().any(|c| c.far && c.insns.len() == 2));
+    }
+
+    /// The memoized scanner must emit the reference scanner's stream
+    /// exactly — same candidates, same order.
+    fn assert_equivalent(text: &[u8], base: u32) {
+        let (memo, stats) = scan_with_stats(text, base);
+        let naive = scan_reference(text, base);
+        assert_eq!(memo.len(), naive.len());
+        for (m, n) in memo.iter().zip(&naive) {
+            assert_eq!(m.vaddr, n.vaddr);
+            assert_eq!(m.len, n.len);
+            assert_eq!(m.far, n.far);
+            assert_eq!(m.insns, n.insns);
+        }
+        assert_eq!(stats.decoded, text.len() as u64, "one decode per offset");
+        assert_eq!(stats.candidates, memo.len() as u64);
+    }
+
+    #[test]
+    fn memoized_scan_matches_reference_on_synthetic_buffers() {
+        assert_equivalent(&[0xb8, 0x01, 0x00, 0x00, 0x00, 0xc3], 0x1000);
+        assert_equivalent(&[0x58, 0xc2, 0x08, 0x00, 0x58, 0xcb], 0);
+        let mut pops = vec![0x58u8; 9];
+        pops.push(0xc3);
+        assert_equivalent(&pops, 0x8048000);
+        // Deterministic pseudo-random byte soup: dense unaligned rets.
+        let mut x = 0x1234_5678u32;
+        let soup: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        assert_equivalent(&soup, 0x1000);
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Corpus-level guarantees for the memoized single-pass scanner:
+//! every text offset is decoded at most once (asserted via the
+//! `ScanStats` counters behind `scan.decode.memo_hit`), and the
+//! candidate stream — and therefore `find_gadgets` — is identical to
+//! the retained reference scanner.
+
+use parallax_compiler::compile_module;
+use parallax_gadgets::scan::{scan_reference, scan_with_stats};
+use parallax_image::LinkedImage;
+
+fn link(name: &str) -> LinkedImage {
+    let w = parallax_corpus::by_name(name).expect("known workload");
+    compile_module(&(w.module)())
+        .expect("corpus compiles")
+        .link()
+        .expect("corpus links")
+}
+
+/// The corpus binary with the largest text section, so the decode
+/// bound is exercised where it matters most.
+fn largest() -> (String, LinkedImage) {
+    parallax_corpus::all()
+        .iter()
+        .map(|w| (w.name.to_owned(), link(w.name)))
+        .max_by_key(|(_, img)| img.text.len())
+        .expect("corpus is non-empty")
+}
+
+#[test]
+fn largest_corpus_binary_decodes_each_offset_at_most_once() {
+    let (name, img) = largest();
+    let (cands, stats) = scan_with_stats(&img.text, img.text_base);
+    assert_eq!(
+        stats.decoded,
+        img.text.len() as u64,
+        "{name}: exactly one decode per text offset"
+    );
+    assert!(stats.decoded <= stats.offsets);
+    // The memo absorbs the walks the naive scanner would have decoded:
+    // every walk step is a table hit, and there are far more of them
+    // than decodes once rets are dense.
+    assert!(
+        stats.memo_hits > 0,
+        "{name}: candidate walks served from the memo"
+    );
+    assert_eq!(stats.candidates, cands.len() as u64);
+    assert!(stats.rets > 0, "{name}: corpus text contains rets");
+}
+
+#[test]
+fn memoized_scan_is_identical_to_reference_on_all_corpus_binaries() {
+    for w in parallax_corpus::all() {
+        let img = link(w.name);
+        let (memo, _) = scan_with_stats(&img.text, img.text_base);
+        let naive = scan_reference(&img.text, img.text_base);
+        assert_eq!(memo.len(), naive.len(), "{}: candidate count", w.name);
+        for (m, n) in memo.iter().zip(&naive) {
+            assert_eq!(m.vaddr, n.vaddr, "{}: candidate order", w.name);
+            assert_eq!(m.len, n.len, "{}", w.name);
+            assert_eq!(m.far, n.far, "{}", w.name);
+            assert_eq!(m.insns, n.insns, "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Predecoded basic blocks and the block-translation cache.
+//!
+//! Instead of decoding (or probing a `HashMap` of decoded instructions)
+//! once per retired instruction, the VM predecodes each straight-line
+//! run — from an entry `eip` up to and including the next control
+//! transfer — into a flat [`Block`] and caches it in a direct-mapped,
+//! array-indexed [`BlockCache`]. Execution then walks the block's `Vec`
+//! with no per-instruction map lookups or `Rc` clones.
+//!
+//! Invalidation is *range-based*: a code write (icache patch, debugger
+//! patch, or an in-VM store to text with W⊕X disabled) evicts exactly
+//! the blocks whose byte span overlaps the written range. Data writes
+//! evict nothing. This preserves tamper semantics — a patched gadget
+//! byte is observed on the next entry of any block covering it — while
+//! leaving the rest of the cache hot.
+//!
+//! Each predecoded instruction also carries a [`FastOp`]: a
+//! pre-extracted micro-op for the handful of forms that dominate ROP
+//! chain execution (`ret`, `pop r32`, `push r32`, `mov`/ALU on dword
+//! registers). These skip operand-`Vec` matching and the memory-operand
+//! cost scan entirely; everything else takes the full [`Insn`]
+//! interpreter, so semantics, cycle costs, and tracing hooks stay
+//! bit-identical either way.
+
+use std::rc::Rc;
+
+use parallax_x86::insn::{AluOp, Insn, Mnemonic, OpSize, Operand};
+use parallax_x86::{decode, Reg, Reg32};
+
+use crate::error::{Fault, FaultKind};
+use crate::mem::Memory;
+
+/// Maximum instructions predecoded into a single block. Bounds the
+/// work wasted when a block is invalidated or its tail never runs.
+pub const MAX_BLOCK_INSNS: usize = 64;
+
+/// Slot count of the direct-mapped block cache (a power of two).
+pub const BLOCK_CACHE_SLOTS: usize = 4096;
+
+/// Counters for the block-translation cache, exposed through
+/// `Vm::block_stats` and exported as `vm.block.*` trace counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Block lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that predecoded a fresh block.
+    pub misses: u64,
+    /// Blocks evicted because a code write overlapped their span.
+    pub invalidated: u64,
+}
+
+/// Pre-extracted micro-op for the hottest instruction forms. `Slow`
+/// routes through the full `Insn` interpreter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FastOp {
+    /// Plain near `ret` (no stack-release immediate).
+    Ret,
+    /// `pop r32`.
+    PopR(Reg32),
+    /// `push r32`.
+    PushR(Reg32),
+    /// `push imm32`.
+    PushI(u32),
+    /// `mov r32, imm32`.
+    MovRI(Reg32, u32),
+    /// `mov r32, r32`.
+    MovRR(Reg32, Reg32),
+    /// Dword group-1 ALU `op r32, r32`.
+    AluRR(AluOp, Reg32, Reg32),
+    /// Dword group-1 ALU `op r32, imm32`.
+    AluRI(AluOp, Reg32, u32),
+    /// `mov r32, [base + disp]` (dword load, no index register).
+    LoadRM(Reg32, Option<Reg32>, i32),
+    /// `mov [base + disp], r32` (dword store, no index register).
+    StoreMR(Option<Reg32>, i32, Reg32),
+    /// Everything else: execute via the full interpreter.
+    Slow,
+}
+
+/// One predecoded instruction inside a block.
+#[derive(Debug)]
+pub(crate) struct Predecoded {
+    /// Address of the instruction.
+    pub eip: u32,
+    /// Address of the following instruction (`eip + len`).
+    pub next: u32,
+    /// Fast-path micro-op, or `Slow`.
+    pub fast: FastOp,
+    /// The decoded instruction (authoritative semantics).
+    pub insn: Insn,
+}
+
+/// The fully-inlined form of a two-instruction `op; ret` gadget —
+/// the shape every ROP dispatch takes. Stored in the [`Block`] header
+/// so execution reads one allocation and never touches the `insns`
+/// vector (or clones the `Rc`) on the hot path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FusedRet {
+    /// The leading micro-op and its addresses.
+    pub op: FastOp,
+    pub op_eip: u32,
+    pub op_next: u32,
+    /// Addresses of the trailing plain `ret`.
+    pub ret_eip: u32,
+    pub ret_next: u32,
+}
+
+/// How a block is executed: generically, instruction by instruction,
+/// or via the fused gadget fast path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BlockKind {
+    Generic,
+    Fused(FusedRet),
+}
+
+/// A predecoded straight-line run starting at `entry`.
+#[derive(Debug)]
+pub(crate) struct Block {
+    /// Entry address — the cache key.
+    pub entry: u32,
+    /// Exclusive end of the byte span covered by the block.
+    pub end: u32,
+    /// Gadget fast-path classification.
+    pub kind: BlockKind,
+    /// The instructions, in address order. Never empty.
+    pub insns: Vec<Predecoded>,
+}
+
+/// True if `m` ends a straight-line run. Syscalls (`Int`) terminate
+/// blocks too: they are rare, and ending the block keeps any memory
+/// effect they have from racing a predecoded successor.
+fn is_terminator(m: &Mnemonic) -> bool {
+    matches!(
+        m,
+        Mnemonic::Jmp
+            | Mnemonic::JmpInd
+            | Mnemonic::Jcc(_)
+            | Mnemonic::Call
+            | Mnemonic::CallInd
+            | Mnemonic::Ret
+            | Mnemonic::Retf
+            | Mnemonic::Int
+            | Mnemonic::Int3
+            | Mnemonic::Hlt
+    )
+}
+
+fn reg32_of(op: &Operand) -> Option<Reg32> {
+    match op {
+        Operand::Reg(Reg::R32(r)) => Some(*r),
+        _ => None,
+    }
+}
+
+/// Classifies `insn` into a [`FastOp`]. Only forms whose cost and
+/// semantics the fast arms reproduce exactly may be promoted; anything
+/// with a memory operand, sub-dword size, or flag subtleties stays
+/// `Slow`.
+fn fast_of(insn: &Insn) -> FastOp {
+    match insn.mnemonic {
+        Mnemonic::Ret if insn.ops.is_empty() => FastOp::Ret,
+        Mnemonic::Pop => match insn.ops.first().and_then(reg32_of) {
+            Some(r) => FastOp::PopR(r),
+            None => FastOp::Slow,
+        },
+        Mnemonic::Push => match insn.ops.first() {
+            Some(Operand::Reg(Reg::R32(r))) => FastOp::PushR(*r),
+            Some(Operand::Imm(v)) => FastOp::PushI(*v as u32),
+            _ => FastOp::Slow,
+        },
+        Mnemonic::Mov if insn.size == OpSize::Dword && insn.ops.len() == 2 => {
+            match (&insn.ops[0], &insn.ops[1]) {
+                (Operand::Reg(Reg::R32(d)), Operand::Imm(v)) => FastOp::MovRI(*d, *v as u32),
+                (Operand::Reg(Reg::R32(d)), Operand::Reg(Reg::R32(s))) => FastOp::MovRR(*d, *s),
+                (Operand::Reg(Reg::R32(d)), Operand::Mem(m)) if m.index.is_none() => {
+                    FastOp::LoadRM(*d, m.base, m.disp)
+                }
+                (Operand::Mem(m), Operand::Reg(Reg::R32(s))) if m.index.is_none() => {
+                    FastOp::StoreMR(m.base, m.disp, *s)
+                }
+                _ => FastOp::Slow,
+            }
+        }
+        Mnemonic::Alu(op) if insn.size == OpSize::Dword && insn.ops.len() == 2 => {
+            match (reg32_of(&insn.ops[0]), &insn.ops[1]) {
+                (Some(d), Operand::Reg(Reg::R32(s))) => FastOp::AluRR(op, d, *s),
+                (Some(d), Operand::Imm(v)) => FastOp::AluRI(op, d, *v as u32),
+                _ => FastOp::Slow,
+            }
+        }
+        _ => FastOp::Slow,
+    }
+}
+
+/// Predecodes the straight-line run starting at `entry`.
+///
+/// An undecodable or unfetchable *first* instruction is a fault — the
+/// same fault the stepping interpreter would raise. A decode problem
+/// later in the run simply ends the block early: the next block lookup
+/// at that address reports the fault at the precise `eip`, matching the
+/// reference path.
+pub(crate) fn build_block(mem: &Memory, entry: u32, max_insns: usize) -> Result<Block, Fault> {
+    let mut insns = Vec::new();
+    let mut pos = entry;
+    loop {
+        let bytes = match mem.fetch(pos) {
+            Ok(b) => b,
+            Err(f) => {
+                if insns.is_empty() {
+                    return Err(f);
+                }
+                break;
+            }
+        };
+        let insn = match decode(bytes) {
+            Ok(i) => i,
+            Err(_) => {
+                if insns.is_empty() {
+                    return Err(Fault::new(pos, FaultKind::InvalidInstruction));
+                }
+                break;
+            }
+        };
+        let next = pos.wrapping_add(insn.len as u32);
+        let term = is_terminator(&insn.mnemonic);
+        insns.push(Predecoded {
+            eip: pos,
+            next,
+            fast: fast_of(&insn),
+            insn,
+        });
+        pos = next;
+        if term || insns.len() >= max_insns {
+            break;
+        }
+    }
+    let kind = match insns.as_slice() {
+        [op, ret] if matches!(ret.fast, FastOp::Ret) && !matches!(op.fast, FastOp::Slow) => {
+            BlockKind::Fused(FusedRet {
+                op: op.fast,
+                op_eip: op.eip,
+                op_next: op.next,
+                ret_eip: ret.eip,
+                ret_next: ret.next,
+            })
+        }
+        _ => BlockKind::Generic,
+    };
+    Ok(Block {
+        entry,
+        end: pos,
+        kind,
+        insns,
+    })
+}
+
+/// Direct-mapped cache of predecoded blocks, keyed by entry `eip`.
+pub(crate) struct BlockCache {
+    slots: Box<[Option<Rc<Block>>]>,
+    mask: u32,
+    /// Largest byte span of any block ever inserted. Bounds how far
+    /// *before* a written range a block entry can lie and still
+    /// overlap it, so invalidation can probe candidate entries instead
+    /// of sweeping every slot.
+    max_span: u32,
+    /// Ring of entry addresses evicted most recently. Entries seen
+    /// here are rebuilt as single-instruction blocks: self-modifying
+    /// code that keeps patching the same region would otherwise pay a
+    /// full predecode per iteration for instructions it invalidates
+    /// before they ever run.
+    recent_evicts: [u32; RECENT_EVICTS],
+    evict_pos: usize,
+    pub stats: BlockStats,
+}
+
+/// Depth of the recently-evicted-entry ring.
+const RECENT_EVICTS: usize = 8;
+
+impl BlockCache {
+    pub fn new() -> BlockCache {
+        BlockCache {
+            slots: vec![None; BLOCK_CACHE_SLOTS].into_boxed_slice(),
+            mask: BLOCK_CACHE_SLOTS as u32 - 1,
+            max_span: 0,
+            recent_evicts: [u32::MAX; RECENT_EVICTS],
+            evict_pos: 0,
+            stats: BlockStats::default(),
+        }
+    }
+
+    /// True if a block entered at `eip` was evicted recently — a hint
+    /// that predecoding a long run there is likely wasted work.
+    #[inline]
+    pub fn thrashing(&self, eip: u32) -> bool {
+        self.recent_evicts.contains(&eip)
+    }
+
+    /// Probe for a fused `op; ret` gadget block: hit data is copied
+    /// out of the header, so the caller pays no `Rc` clone and no
+    /// `insns` dereference. Returns `None` for generic blocks *without*
+    /// counting a hit — the caller falls back to [`BlockCache::lookup`],
+    /// which counts it.
+    #[inline]
+    pub fn fused_at(&mut self, eip: u32) -> Option<FusedRet> {
+        match &self.slots[(eip & self.mask) as usize] {
+            Some(b) if b.entry == eip => match b.kind {
+                BlockKind::Fused(f) => {
+                    self.stats.hits += 1;
+                    Some(f)
+                }
+                BlockKind::Generic => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Cache probe: an array index and one compare, no hashing.
+    #[inline]
+    pub fn lookup(&mut self, eip: u32) -> Option<Rc<Block>> {
+        match &self.slots[(eip & self.mask) as usize] {
+            Some(b) if b.entry == eip => {
+                self.stats.hits += 1;
+                Some(Rc::clone(b))
+            }
+            _ => None,
+        }
+    }
+
+    pub fn insert(&mut self, block: Rc<Block>) {
+        self.stats.misses += 1;
+        self.max_span = self.max_span.max(block.end.saturating_sub(block.entry));
+        let slot = (block.entry & self.mask) as usize;
+        self.slots[slot] = Some(block);
+    }
+
+    /// Evicts every block whose byte span overlaps `[start, end)`.
+    ///
+    /// A block overlapping the range has its entry in
+    /// `(start - max_span, end)`, so for the typical small patch this
+    /// probes a handful of slots; only a range rivaling the cache size
+    /// falls back to the full sweep.
+    pub fn invalidate_range(&mut self, start: u32, end: u32) {
+        let reach = end.wrapping_sub(start) as u64 + self.max_span as u64;
+        if reach >= BLOCK_CACHE_SLOTS as u64 {
+            for i in 0..self.slots.len() {
+                if let Some(b) = &self.slots[i] {
+                    if b.entry < end && start < b.end {
+                        self.evict(i);
+                    }
+                }
+            }
+            return;
+        }
+        for entry in start.saturating_sub(self.max_span)..end {
+            let slot = (entry & self.mask) as usize;
+            if let Some(b) = &self.slots[slot] {
+                if b.entry == entry && b.end > start {
+                    self.evict(slot);
+                }
+            }
+        }
+    }
+
+    fn evict(&mut self, slot: usize) {
+        if let Some(b) = self.slots[slot].take() {
+            self.stats.invalidated += 1;
+            self.recent_evicts[self.evict_pos] = b.entry;
+            self.evict_pos = (self.evict_pos + 1) % RECENT_EVICTS;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(text: Vec<u8>) -> Memory {
+        Memory::new(text, 0x1000, vec![0; 16], 0x2000, 0)
+    }
+
+    #[test]
+    fn block_ends_at_control_transfer() {
+        // mov eax,1; pop ecx; ret; pop edx; ret
+        let m = mem(vec![0xb8, 1, 0, 0, 0, 0x59, 0xc3, 0x5a, 0xc3]);
+        let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
+        assert_eq!(b.insns.len(), 3);
+        assert_eq!(b.entry, 0x1000);
+        assert_eq!(b.end, 0x1007);
+        assert_eq!(b.insns[2].eip, 0x1006);
+    }
+
+    #[test]
+    fn decode_failure_mid_run_truncates_block() {
+        // nop; then 0x0f 0xff (undecodable in this subset)
+        let m = mem(vec![0x90, 0x0f, 0xff, 0x90]);
+        let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
+        assert_eq!(b.insns.len(), 1);
+        assert_eq!(b.end, 0x1001);
+    }
+
+    #[test]
+    fn decode_failure_at_entry_faults() {
+        let m = mem(vec![0x0f, 0xff]);
+        let f = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap_err();
+        assert_eq!(f.kind, FaultKind::InvalidInstruction);
+        assert_eq!(f.vaddr, 0x1000);
+    }
+
+    #[test]
+    fn fetch_outside_text_faults() {
+        let m = mem(vec![0x90]);
+        let f = build_block(&m, 0x5000, MAX_BLOCK_INSNS).unwrap_err();
+        assert_eq!(f.kind, FaultKind::ExecOutsideText);
+    }
+
+    #[test]
+    fn invalidate_range_is_overlap_based() {
+        let m = mem(vec![0x90, 0xc3, 0x90, 0xc3]);
+        let mut cache = BlockCache::new();
+        let a = Rc::new(build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap()); // spans [0x1000, 0x1002)
+        let b = Rc::new(build_block(&m, 0x1002, MAX_BLOCK_INSNS).unwrap()); // spans [0x1002, 0x1004)
+        cache.insert(a);
+        cache.insert(b);
+        cache.invalidate_range(0x1003, 0x1004);
+        assert_eq!(cache.stats.invalidated, 1);
+        assert!(cache.lookup(0x1000).is_some());
+        assert!(cache.lookup(0x1002).is_none());
+        // Disjoint range: nothing evicted.
+        cache.invalidate_range(0x2000, 0x2004);
+        assert_eq!(cache.stats.invalidated, 1);
+    }
+
+    #[test]
+    fn fast_classification_covers_chain_ops() {
+        let m = mem(vec![0x58, 0xc3]); // pop eax; ret
+        let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
+        assert!(matches!(b.insns[0].fast, FastOp::PopR(Reg32::Eax)));
+        assert!(matches!(b.insns[1].fast, FastOp::Ret));
+    }
+
+    #[test]
+    fn ret_imm_is_not_fast() {
+        let m = mem(vec![0xc2, 0x08, 0x00]); // ret 8
+        let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
+        assert!(matches!(b.insns[0].fast, FastOp::Slow));
+    }
+}

@@ -7,6 +7,7 @@ use parallax_image::LinkedImage;
 use parallax_x86::insn::{AluOp, Insn, Mem, Mnemonic, OpSize, Operand, ShiftOp};
 use parallax_x86::{decode, Reg, Reg32, Reg8};
 
+use crate::block::{build_block, Block, BlockCache, BlockStats, FastOp, FusedRet, MAX_BLOCK_INSNS};
 use crate::chaintrace::ChainTracer;
 use crate::cost::{CostModel, ReturnStackBuffer};
 use crate::cpu::{parity, Cpu, Flags};
@@ -19,6 +20,17 @@ use crate::syscall::{self, SyscallState};
 /// every mapped region, so a stray jump to it faults instead of
 /// silently succeeding.
 pub const CALL_SENTINEL: u32 = 0xffff_fff0;
+
+/// True if a fast op can write memory — and therefore dirty code when
+/// W⊕X is disabled. Stores and pushes; everything else fast only
+/// touches registers or reads.
+#[inline]
+fn op_writes_memory(op: FastOp) -> bool {
+    matches!(
+        op,
+        FastOp::StoreMR(..) | FastOp::PushR(_) | FastOp::PushI(_)
+    )
+}
 
 /// Construction options for a [`Vm`].
 #[derive(Debug, Clone)]
@@ -62,7 +74,11 @@ pub struct Vm {
     sys: SyscallState,
     profiler: Option<Profiler>,
     chain_tracer: Option<ChainTracer>,
-    decode_cache: HashMap<u32, Rc<Insn>>,
+    blocks: BlockCache,
+    /// Decoded-instruction cache for the legacy per-instruction
+    /// reference path ([`Vm::step_reference`] / [`Vm::run_reference`]).
+    /// Unused by the block-translation path.
+    ref_decode_cache: HashMap<u32, Rc<Insn>>,
     /// Retired instruction count.
     pub instructions: u64,
 }
@@ -103,7 +119,8 @@ impl Vm {
             sys: SyscallState::new(opts.seed),
             profiler,
             chain_tracer: None,
-            decode_cache: HashMap::new(),
+            blocks: BlockCache::new(),
+            ref_decode_cache: HashMap::new(),
             instructions: 0,
         }
     }
@@ -111,6 +128,11 @@ impl Vm {
     /// Total cycles retired so far.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Block-translation cache counters (hits, misses, invalidations).
+    pub fn block_stats(&self) -> BlockStats {
+        self.blocks.stats
     }
 
     /// The memory subsystem.
@@ -176,19 +198,52 @@ impl Vm {
     }
 
     /// Patches the instruction view only (requires split-cache mode).
+    /// Evicts only the predecoded blocks overlapping the written range.
     pub fn write_icache(&mut self, vaddr: u32, bytes: &[u8]) -> Result<(), Fault> {
-        self.decode_cache.clear();
-        self.mem.write_icache(vaddr, bytes)
+        self.mem.write_icache(vaddr, bytes)?;
+        self.sync_code_writes();
+        Ok(())
     }
 
     /// Patches code in both views (debugger-style dynamic tampering).
+    /// Evicts only the predecoded blocks overlapping the written range.
     pub fn write_code(&mut self, vaddr: u32, bytes: &[u8]) -> Result<(), Fault> {
-        self.decode_cache.clear();
-        self.mem.write_code(vaddr, bytes)
+        self.mem.write_code(vaddr, bytes)?;
+        self.sync_code_writes();
+        Ok(())
+    }
+
+    /// Applies pending code-write ranges to the caches: overlapping
+    /// predecoded blocks are evicted (range-based), and the legacy
+    /// reference decode cache — which has no span metadata — is
+    /// flushed wholesale, exactly as the pre-block-cache VM did.
+    fn sync_code_writes(&mut self) {
+        if !self.mem.has_dirty_code() {
+            return;
+        }
+        if !self.ref_decode_cache.is_empty() {
+            self.ref_decode_cache.clear();
+        }
+        for (start, end) in self.mem.take_dirty_code() {
+            self.blocks.invalidate_range(start, end);
+        }
     }
 
     /// Runs until exit, fault, or cycle exhaustion.
     pub fn run(&mut self) -> Exit {
+        loop {
+            if let Some(exit) = self.exec_block() {
+                return exit;
+            }
+        }
+    }
+
+    /// Runs until exit via the retained per-instruction reference path
+    /// ([`Vm::step_reference`]): no block predecoding, a `HashMap`
+    /// probe plus `Rc` clone per instruction. Kept as the differential
+    /// oracle for the block-translation engine and as the baseline leg
+    /// of the `vm_dispatch` benchmark.
+    pub fn run_reference(&mut self) -> Exit {
         loop {
             if self.cycles >= self.cycle_limit {
                 return Exit::CycleLimit;
@@ -196,7 +251,7 @@ impl Vm {
             if self.sys.output.len() > self.output_limit {
                 return Exit::MemLimit;
             }
-            match self.step() {
+            match self.step_reference() {
                 Ok(None) => {}
                 Ok(Some(status)) => return Exit::Exited(status),
                 Err(f) => return Exit::Fault(f),
@@ -223,37 +278,273 @@ impl Vm {
                 self.cpu.set_esp(saved_esp);
                 return Ok(self.cpu.reg(Reg32::Eax));
             }
-            if self.cycles >= self.cycle_limit {
-                return Err(Exit::CycleLimit);
-            }
-            if self.sys.output.len() > self.output_limit {
-                return Err(Exit::MemLimit);
-            }
-            match self.step() {
-                Ok(None) => {}
-                Ok(Some(status)) => return Err(Exit::Exited(status)),
-                Err(f) => return Err(Exit::Fault(f)),
+            if let Some(exit) = self.exec_block() {
+                return Err(exit);
             }
         }
     }
 
-    fn decode_at(&mut self, eip: u32) -> Result<Rc<Insn>, Fault> {
-        if let Some(i) = self.decode_cache.get(&eip) {
+    /// Looks up (or predecodes) the block entered at `eip`. Entries
+    /// whose blocks keep getting invalidated (self-modifying hot
+    /// spots) are rebuilt one instruction at a time so repeated
+    /// patches don't pay a full predecode per iteration.
+    fn block_at(&mut self, eip: u32) -> Result<Rc<Block>, Fault> {
+        if let Some(b) = self.blocks.lookup(eip) {
+            return Ok(b);
+        }
+        let cap = if self.blocks.thrashing(eip) {
+            1
+        } else {
+            MAX_BLOCK_INSNS
+        };
+        let b = Rc::new(build_block(&self.mem, eip, cap)?);
+        self.blocks.insert(Rc::clone(&b));
+        Ok(b)
+    }
+
+    /// Executes the block at the current `eip`. Returns `Some(exit)`
+    /// when the run is over, `None` to continue with the next block.
+    ///
+    /// Limit semantics match the stepping loop exactly: the cycle
+    /// budget is checked before *every* instruction. The output budget
+    /// only moves at a syscall, and syscalls terminate blocks, so the
+    /// block-entry check covers it.
+    fn exec_block(&mut self) -> Option<Exit> {
+        if self.cycles >= self.cycle_limit {
+            return Some(Exit::CycleLimit);
+        }
+        if self.sys.output.len() > self.output_limit {
+            return Some(Exit::MemLimit);
+        }
+        self.sync_code_writes();
+        // Fused `op; ret` gadgets — the ROP dispatch shape — execute
+        // straight from the cache slot: no `Rc` clone, no instruction
+        // vector. The interleaved limit and dirty-code checks are the
+        // same ones the generic loop performs.
+        if let Some(f) = self.blocks.fused_at(self.cpu.eip) {
+            return self.exec_fused(f);
+        }
+        let block = match self.block_at(self.cpu.eip) {
+            Ok(b) => b,
+            Err(f) => return Some(Exit::Fault(f)),
+        };
+        for (idx, p) in block.insns.iter().enumerate() {
+            if idx > 0 {
+                if self.cycles >= self.cycle_limit {
+                    return Some(Exit::CycleLimit);
+                }
+                if self.mem.has_dirty_code() {
+                    // An instruction in this block patched code (W⊕X
+                    // off). Bail out so the rest re-decodes fresh.
+                    return None;
+                }
+            }
+            let r = match p.fast {
+                FastOp::Slow => self.exec_insn(&p.insn, p.eip, p.next),
+                fast => self.exec_fast(fast, p.eip, p.next).map(|()| None),
+            };
+            match r {
+                Ok(None) => {}
+                Ok(Some(status)) => return Some(Exit::Exited(status)),
+                Err(f) => return Some(Exit::Fault(f)),
+            }
+        }
+        None
+    }
+
+    /// Executes a fused `op; ret` gadget block. Mirrors one pass of
+    /// the generic loop in [`Vm::exec_block`] exactly, including the
+    /// between-instruction cycle-limit check. The dirty-code check is
+    /// elided when the leading op cannot write memory — only a store
+    /// (or a push landing in text with W⊕X off) can dirty code, and
+    /// `sync_code_writes` already drained at block entry.
+    #[inline]
+    fn exec_fused(&mut self, f: FusedRet) -> Option<Exit> {
+        // `pop r32; ret` — two adjacent stack reads, resolved once.
+        // `pop esp` pivots the stack, so its ret target lives at the
+        // *new* esp, not esp+4: that shape takes the sequential path.
+        if let FastOp::PopR(r) = f.op {
+            let esp = self.cpu.esp();
+            if r != Reg32::Esp {
+                if let Ok((v, target)) = self.mem.read32_pair(esp) {
+                    self.instructions += 1;
+                    self.cpu.set_reg(r, v);
+                    self.cpu.set_esp(esp.wrapping_add(4));
+                    let pop_cost = self.cost.alu + self.cost.mem;
+                    self.cycles += pop_cost;
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.record(f.op_eip, pop_cost);
+                    }
+                    if self.cycles >= self.cycle_limit {
+                        self.cpu.eip = f.ret_eip;
+                        return Some(Exit::CycleLimit);
+                    }
+                    self.instructions += 1;
+                    let predicted = self.rsb.pop_and_check(target);
+                    let ret_cost = if predicted {
+                        self.cost.ret_predicted
+                    } else {
+                        self.cost.ret_mispredict
+                    };
+                    if let Some(ct) = self.chain_tracer.as_mut() {
+                        ct.note_ret(target, self.cycles + ret_cost);
+                    }
+                    self.cpu.set_esp(esp.wrapping_add(8));
+                    self.cpu.eip = target;
+                    self.cycles += ret_cost;
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.record(f.ret_eip, ret_cost);
+                    }
+                    return None;
+                }
+                // Pair read failed (region boundary / fault): take
+                // the exact sequential path below.
+            }
+        }
+        if let Err(fault) = self.exec_fast(f.op, f.op_eip, f.op_next) {
+            return Some(Exit::Fault(fault));
+        }
+        if self.cycles >= self.cycle_limit {
+            return Some(Exit::CycleLimit);
+        }
+        if op_writes_memory(f.op) && self.mem.has_dirty_code() {
+            return None;
+        }
+        if let Err(fault) = self.exec_fast(FastOp::Ret, f.ret_eip, f.ret_next) {
+            return Some(Exit::Fault(fault));
+        }
+        None
+    }
+
+    /// The legacy decode front-end: one `HashMap` probe and `Rc` clone
+    /// per instruction, flushed wholesale on any code write.
+    fn decode_at_reference(&mut self, eip: u32) -> Result<Rc<Insn>, Fault> {
+        if let Some(i) = self.ref_decode_cache.get(&eip) {
             return Ok(Rc::clone(i));
         }
         let bytes = self.mem.fetch(eip)?;
         let insn = decode(bytes).map_err(|_| Fault::new(eip, FaultKind::InvalidInstruction))?;
         let rc = Rc::new(insn);
-        self.decode_cache.insert(eip, Rc::clone(&rc));
+        self.ref_decode_cache.insert(eip, Rc::clone(&rc));
         Ok(rc)
     }
 
-    /// Executes one instruction. `Ok(Some(status))` means the program
-    /// invoked `exit`.
-    pub fn step(&mut self) -> Result<Option<i32>, Fault> {
+    /// Executes one instruction via the per-instruction reference
+    /// path. Semantics are identical to [`Vm::step`]; only the decode
+    /// front-end differs.
+    pub fn step_reference(&mut self) -> Result<Option<i32>, Fault> {
+        self.sync_code_writes();
         let eip = self.cpu.eip;
-        let insn = self.decode_at(eip)?;
+        let insn = self.decode_at_reference(eip)?;
         let next = eip.wrapping_add(insn.len as u32);
+        self.exec_insn(&insn, eip, next)
+    }
+
+    /// Executes one instruction. `Ok(Some(status))` means the program
+    /// invoked `exit`. Served from the block-translation cache, so
+    /// single-stepping (probe VMs, `--trace`) shares the predecoded
+    /// blocks with [`Vm::run`].
+    pub fn step(&mut self) -> Result<Option<i32>, Fault> {
+        self.sync_code_writes();
+        let block = self.block_at(self.cpu.eip)?;
+        let p = &block.insns[0];
+        match p.fast {
+            FastOp::Slow => self.exec_insn(&p.insn, p.eip, p.next),
+            fast => self.exec_fast(fast, p.eip, p.next).map(|()| None),
+        }
+    }
+
+    /// The fast-path micro-op interpreter. Each arm reproduces the
+    /// corresponding [`Vm::exec_insn`] arm exactly — effects, cycle
+    /// cost, RSB, and tracer hooks included.
+    #[inline]
+    fn exec_fast(&mut self, op: FastOp, eip: u32, next: u32) -> Result<(), Fault> {
+        self.cpu.eip = next;
+        self.instructions += 1;
+        let cost = match op {
+            FastOp::Ret => {
+                let target = self.pop()?;
+                let predicted = self.rsb.pop_and_check(target);
+                let cost = if predicted {
+                    self.cost.ret_predicted
+                } else {
+                    self.cost.ret_mispredict
+                };
+                if let Some(ct) = self.chain_tracer.as_mut() {
+                    ct.note_ret(target, self.cycles + cost);
+                }
+                self.cpu.eip = target;
+                cost
+            }
+            FastOp::PopR(r) => {
+                let v = self.pop()?;
+                self.cpu.set_reg(r, v);
+                self.cost.alu + self.cost.mem
+            }
+            FastOp::PushR(r) => {
+                self.push(self.cpu.reg(r))?;
+                self.cost.alu + self.cost.mem
+            }
+            FastOp::PushI(v) => {
+                self.push(v)?;
+                self.cost.alu + self.cost.mem
+            }
+            FastOp::MovRI(r, v) => {
+                self.cpu.set_reg(r, v);
+                self.cost.alu
+            }
+            FastOp::MovRR(d, s) => {
+                let v = self.cpu.reg(s);
+                self.cpu.set_reg(d, v);
+                self.cost.alu
+            }
+            FastOp::AluRR(op, d, s) => {
+                let a = self.cpu.reg(d);
+                let b = self.cpu.reg(s);
+                let r = self.alu(op, a, b, OpSize::Dword);
+                if op != AluOp::Cmp {
+                    self.cpu.set_reg(d, r);
+                }
+                self.cost.alu
+            }
+            FastOp::AluRI(op, d, v) => {
+                let a = self.cpu.reg(d);
+                let r = self.alu(op, a, v, OpSize::Dword);
+                if op != AluOp::Cmp {
+                    self.cpu.set_reg(d, r);
+                }
+                self.cost.alu
+            }
+            FastOp::LoadRM(d, base, disp) => {
+                let mut ea = disp as u32;
+                if let Some(b) = base {
+                    ea = ea.wrapping_add(self.cpu.reg(b));
+                }
+                let v = self.mem.read32(ea)?;
+                self.cpu.set_reg(d, v);
+                self.cost.alu + self.cost.mem
+            }
+            FastOp::StoreMR(base, disp, s) => {
+                let mut ea = disp as u32;
+                if let Some(b) = base {
+                    ea = ea.wrapping_add(self.cpu.reg(b));
+                }
+                self.mem.write32(ea, self.cpu.reg(s))?;
+                self.cost.alu + self.cost.mem
+            }
+            FastOp::Slow => unreachable!("Slow ops take the exec_insn path"),
+        };
+        self.cycles += cost;
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(eip, cost);
+        }
+        Ok(())
+    }
+
+    /// Executes one decoded instruction at `eip` whose successor is
+    /// `next`. The single authority for instruction semantics — both
+    /// the block engine and the reference path land here.
+    fn exec_insn(&mut self, insn: &Insn, eip: u32, next: u32) -> Result<Option<i32>, Fault> {
         self.cpu.eip = next;
         self.instructions += 1;
 
@@ -553,7 +844,7 @@ impl Vm {
             }
             Mnemonic::Jmp => {
                 cost = self.cost.branch_taken;
-                let rel = rel_of(&insn);
+                let rel = rel_of(insn);
                 self.cpu.eip = next.wrapping_add(rel as u32);
             }
             Mnemonic::JmpInd => {
@@ -564,7 +855,7 @@ impl Vm {
             Mnemonic::Jcc(c) => {
                 if self.cpu.flags.cond(c) {
                     cost = self.cost.branch_taken;
-                    let rel = rel_of(&insn);
+                    let rel = rel_of(insn);
                     self.cpu.eip = next.wrapping_add(rel as u32);
                 } else {
                     cost = self.cost.branch_not_taken;
@@ -582,7 +873,7 @@ impl Vm {
             }
             Mnemonic::Call => {
                 cost = self.cost.call;
-                let rel = rel_of(&insn);
+                let rel = rel_of(insn);
                 let target = next.wrapping_add(rel as u32);
                 self.push(next)?;
                 self.rsb.push(next);
@@ -661,6 +952,7 @@ impl Vm {
         Ok(exited)
     }
 
+    #[inline]
     fn push(&mut self, v: u32) -> Result<(), Fault> {
         let esp = self.cpu.esp().wrapping_sub(4);
         self.mem.write32(esp, v)?;
@@ -668,6 +960,7 @@ impl Vm {
         Ok(())
     }
 
+    #[inline]
     fn pop(&mut self) -> Result<u32, Fault> {
         let esp = self.cpu.esp();
         let v = self.mem.read32(esp)?;

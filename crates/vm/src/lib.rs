@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod chaintrace;
 pub mod cost;
 pub mod cpu;
@@ -46,6 +47,7 @@ pub mod mem;
 pub mod profile;
 pub mod syscall;
 
+pub use block::{BlockStats, BLOCK_CACHE_SLOTS, MAX_BLOCK_INSNS};
 pub use chaintrace::{ChainTracer, Dispatch, Episode};
 pub use cost::{CostModel, ReturnStackBuffer, RSB_DEPTH};
 pub use cpu::{Cpu, Flags};

@@ -34,6 +34,13 @@ pub struct Memory {
     stack_base: u32,
     /// When true (default), data writes to the text region fault.
     pub w_xor_x: bool,
+    /// Byte ranges of code mutated since the last
+    /// [`Memory::take_dirty_code`] drain. Every path that can change
+    /// executed bytes records here — `write_icache`, `write_code`, and
+    /// data writes landing in text when W⊕X is disabled — so the
+    /// execution engine can invalidate exactly the predecoded blocks
+    /// that overlap, instead of guessing.
+    dirty_code: Vec<(u32, u32)>,
 }
 
 impl Memory {
@@ -56,7 +63,19 @@ impl Memory {
             stack: vec![0; STACK_SIZE as usize],
             stack_base: STACK_TOP - STACK_SIZE,
             w_xor_x: true,
+            dirty_code: Vec::new(),
         }
+    }
+
+    /// True if code bytes changed since the last [`Memory::take_dirty_code`].
+    #[inline]
+    pub fn has_dirty_code(&self) -> bool {
+        !self.dirty_code.is_empty()
+    }
+
+    /// Drains the accumulated code-write ranges (`[start, end)` pairs).
+    pub fn take_dirty_code(&mut self) -> Vec<(u32, u32)> {
+        std::mem::take(&mut self.dirty_code)
     }
 
     /// Start of the text region.
@@ -90,6 +109,7 @@ impl Memory {
     }
 
     /// True if `vaddr` lies in the text region.
+    #[inline]
     pub fn in_text(&self, vaddr: u32) -> bool {
         vaddr >= self.text_base && vaddr < self.text_end()
     }
@@ -119,6 +139,7 @@ impl Memory {
         }
         let off = (vaddr - base) as usize;
         icache[off..off + bytes.len()].copy_from_slice(bytes);
+        self.dirty_code.push((vaddr, vaddr + bytes.len() as u32));
         Ok(())
     }
 
@@ -133,11 +154,13 @@ impl Memory {
         if let Some(ic) = self.icache.as_mut() {
             ic[off..off + bytes.len()].copy_from_slice(bytes);
         }
+        self.dirty_code.push((vaddr, vaddr + bytes.len() as u32));
         Ok(())
     }
 
     /// Fetches up to 16 instruction bytes at `vaddr` for decoding.
     /// Served from the instruction view in split-cache mode.
+    #[inline]
     pub fn fetch(&self, vaddr: u32) -> Result<&[u8], Fault> {
         if !self.in_text(vaddr) {
             return Err(Fault::new(vaddr, FaultKind::ExecOutsideText));
@@ -148,31 +171,48 @@ impl Memory {
         Ok(&src[off..end])
     }
 
+    /// Resolves `vaddr..vaddr+len` to a region slice and offset. The
+    /// regions are disjoint, so probe order is purely a performance
+    /// choice: data first (stack pivots and program data dominate),
+    /// then stack, then text (only checksum reads land there).
+    #[inline]
     fn region(&self, vaddr: u32, len: u32) -> Result<(&[u8], usize), Fault> {
-        let end = vaddr
-            .checked_add(len)
-            .ok_or(Fault::new(vaddr, FaultKind::OutOfBounds))?;
-        if vaddr >= self.text_base && end <= self.text_end() {
-            Ok((&self.text, (vaddr - self.text_base) as usize))
-        } else if vaddr >= self.data_base && end <= self.data_end() {
+        let end = vaddr as u64 + len as u64;
+        if vaddr >= self.data_base && end <= self.data_end() as u64 {
             Ok((&self.data, (vaddr - self.data_base) as usize))
-        } else if vaddr >= self.stack_base && end <= STACK_TOP {
+        } else if vaddr >= self.stack_base && end <= STACK_TOP as u64 {
             Ok((&self.stack, (vaddr - self.stack_base) as usize))
+        } else if vaddr >= self.text_base && end <= self.text_end() as u64 {
+            Ok((&self.text, (vaddr - self.text_base) as usize))
         } else {
             Err(Fault::new(vaddr, FaultKind::OutOfBounds))
         }
     }
 
     /// Reads an 8-bit value (data view).
+    #[inline]
     pub fn read8(&self, vaddr: u32) -> Result<u8, Fault> {
         let (region, off) = self.region(vaddr, 1)?;
         Ok(region[off])
     }
 
     /// Reads a 32-bit little-endian value (data view).
+    #[inline]
     pub fn read32(&self, vaddr: u32) -> Result<u32, Fault> {
         let (region, off) = self.region(vaddr, 4)?;
         Ok(u32::from_le_bytes(region[off..off + 4].try_into().unwrap()))
+    }
+
+    /// Reads two consecutive 32-bit values with a single region
+    /// resolve — the `pop r32; ret` hot pair. Fails if the 8 bytes do
+    /// not fit one region; the caller falls back to two plain reads
+    /// (which also handle the adjacent-regions edge case exactly).
+    #[inline]
+    pub fn read32_pair(&self, vaddr: u32) -> Result<(u32, u32), Fault> {
+        let (region, off) = self.region(vaddr, 8)?;
+        let lo = u32::from_le_bytes(region[off..off + 4].try_into().unwrap());
+        let hi = u32::from_le_bytes(region[off + 4..off + 8].try_into().unwrap());
+        Ok((lo, hi))
     }
 
     /// Reads `len` bytes (data view).
@@ -181,27 +221,28 @@ impl Memory {
         Ok(&region[off..off + len as usize])
     }
 
+    #[inline]
     fn region_mut(&mut self, vaddr: u32, len: u32) -> Result<(&mut [u8], usize), Fault> {
-        let end = vaddr
-            .checked_add(len)
-            .ok_or(Fault::new(vaddr, FaultKind::OutOfBounds))?;
-        if vaddr >= self.text_base && end <= self.text_end() {
+        let end = vaddr as u64 + len as u64;
+        if vaddr >= self.data_base && end <= self.data_end() as u64 {
+            let off = (vaddr - self.data_base) as usize;
+            Ok((&mut self.data, off))
+        } else if vaddr >= self.stack_base && end <= STACK_TOP as u64 {
+            let off = (vaddr - self.stack_base) as usize;
+            Ok((&mut self.stack, off))
+        } else if vaddr >= self.text_base && end <= self.text_end() as u64 {
             if self.w_xor_x {
                 return Err(Fault::new(vaddr, FaultKind::WriteToText));
             }
+            self.dirty_code.push((vaddr, end as u32));
             Ok((&mut self.text, (vaddr - self.text_base) as usize))
-        } else if vaddr >= self.data_base && end <= self.data_end() {
-            let off = (vaddr - self.data_base) as usize;
-            Ok((&mut self.data, off))
-        } else if vaddr >= self.stack_base && end <= STACK_TOP {
-            let off = (vaddr - self.stack_base) as usize;
-            Ok((&mut self.stack, off))
         } else {
             Err(Fault::new(vaddr, FaultKind::OutOfBounds))
         }
     }
 
     /// Writes an 8-bit value.
+    #[inline]
     pub fn write8(&mut self, vaddr: u32, v: u8) -> Result<(), Fault> {
         let (region, off) = self.region_mut(vaddr, 1)?;
         region[off] = v;
@@ -209,6 +250,7 @@ impl Memory {
     }
 
     /// Writes a 32-bit little-endian value.
+    #[inline]
     pub fn write32(&mut self, vaddr: u32, v: u32) -> Result<(), Fault> {
         let (region, off) = self.region_mut(vaddr, 4)?;
         region[off..off + 4].copy_from_slice(&v.to_le_bytes());

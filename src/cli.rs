@@ -198,6 +198,15 @@ impl Args {
     }
 }
 
+/// Exports a VM's block-translation cache counters onto a tracer,
+/// next to `vm.run.cycles`, so `plx report` can show dispatch-engine
+/// behaviour alongside chain stats.
+fn count_block_stats(tracer: &Tracer, bs: parallax_vm::BlockStats) {
+    tracer.count("vm.block.hit", bs.hits);
+    tracer.count("vm.block.miss", bs.misses);
+    tracer.count("vm.block.invalidate", bs.invalidated);
+}
+
 fn load_image(path: &str) -> Result<LinkedImage> {
     let bytes = std::fs::read(path).map_err(|e| bail(format!("{path}: {e}")))?;
     Ok(format::load(&bytes)?)
@@ -338,6 +347,7 @@ pub fn cmd_protect(args: &Args) -> Result<String> {
                 vm.run()
             };
             tracer.count("vm.run.cycles", vm.cycles());
+            count_block_stats(&tracer, vm.block_stats());
             if let Some(ct) = vm.take_chain_tracer() {
                 ct.export_to(&tracer);
             }
@@ -456,6 +466,7 @@ pub fn cmd_run(args: &Args) -> Result<String> {
     if let (Some(t), Some(id)) = (&tracer, run_span) {
         t.exit(id);
         t.count("vm.run.cycles", vm.cycles());
+        count_block_stats(t, vm.block_stats());
         if let Some(ct) = vm.take_chain_tracer() {
             ct.export_to(t);
         }

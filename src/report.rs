@@ -226,6 +226,41 @@ fn gadget_table(out: &mut String, tf: &TraceFile) {
     }
 }
 
+/// Block-translation cache and scanner-memoization behaviour: how the
+/// execution engine served the traced runs.
+fn engine_table(out: &mut String, tf: &TraceFile) {
+    let get = |k: &str| tf.counters.get(k).copied().unwrap_or(0);
+    let (hits, misses, inval) = (
+        get("vm.block.hit"),
+        get("vm.block.miss"),
+        get("vm.block.invalidate"),
+    );
+    let (offsets, decoded, memo) = (
+        get("scan.decode.offsets"),
+        get("scan.decode.once"),
+        get("scan.decode.memo_hit"),
+    );
+    if hits + misses == 0 && decoded == 0 {
+        return;
+    }
+    let _ = writeln!(out, "execution engine:");
+    if hits + misses > 0 {
+        let _ = writeln!(
+            out,
+            "  block cache: {hits} hits, {misses} misses ({:.1}% hit rate), {inval} invalidations",
+            pct(hits, hits + misses)
+        );
+    }
+    if decoded > 0 {
+        let amort = memo as f64 / decoded as f64;
+        let _ = writeln!(
+            out,
+            "  gadget scan: {decoded} decodes over {offsets} text offsets, \
+             {memo} memoized walk steps ({amort:.1}x amortization)"
+        );
+    }
+}
+
 /// Renders the full report for one trace file.
 pub fn render_report(tf: &TraceFile) -> String {
     let mut out = String::new();
@@ -242,6 +277,10 @@ pub fn render_report(tf: &TraceFile) -> String {
         out.push('\n');
     }
     gadget_table(&mut out, tf);
+    if !out.ends_with("\n\n") && !out.is_empty() {
+        out.push('\n');
+    }
+    engine_table(&mut out, tf);
     let trimmed = out.trim_end().to_string();
     if trimmed.is_empty() {
         "trace contains no reportable metrics (was it produced with --trace-out?)".to_string()
@@ -338,6 +377,12 @@ mod tests {
         t.count("chain.pick.overlapping", 5);
         t.count("chain.pick.other", 3);
         t.count("vm.dispatch.kind.LoadConst", 9);
+        t.count("vm.block.hit", 900);
+        t.count("vm.block.miss", 100);
+        t.count("vm.block.invalidate", 3);
+        t.count("scan.decode.offsets", 5000);
+        t.count("scan.decode.once", 5000);
+        t.count("scan.decode.memo_hit", 20000);
         t.record("chain.words", words);
         t.record("chain.ops", 11);
         TraceFile::parse(&chrome_json(&t.snapshot())).expect("sample trace parses")
@@ -357,6 +402,10 @@ mod tests {
             "overlapping gadget fraction: 75.0%",
             "selections preferring overlap: 62.5%",
             "LoadConst",
+            "execution engine",
+            "block cache: 900 hits, 100 misses (90.0% hit rate), 3 invalidations",
+            "5000 decodes over 5000 text offsets",
+            "4.0x amortization",
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }

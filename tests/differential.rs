@@ -203,3 +203,120 @@ fn three_way_interpreter_native_chain() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Block-engine differentials: the predecoded basic-block execution path
+// must be observationally identical to the retained per-instruction
+// reference interpreter — exits, output, cycle counts, instruction
+// counts, and chain-tracer episodes.
+
+use proptest::prelude::*;
+
+/// Runs `img` through both engines on fresh VMs and asserts full
+/// observable equality. Returns the shared exit for further checks.
+fn assert_engines_agree(img: &parallax::image::LinkedImage, input: &[u8], label: &str) -> Exit {
+    let mut blocked = Vm::new(img);
+    let mut reference = Vm::new(img);
+    blocked.set_input(input);
+    reference.set_input(input);
+    let a = blocked.run();
+    let b = reference.run_reference();
+    assert_eq!(a, b, "{label}: exit differs between engines");
+    assert_eq!(
+        blocked.take_output(),
+        reference.take_output(),
+        "{label}: output differs between engines"
+    );
+    assert_eq!(
+        blocked.cycles(),
+        reference.cycles(),
+        "{label}: cycle count differs between engines"
+    );
+    assert_eq!(
+        blocked.instructions, reference.instructions,
+        "{label}: instruction count differs between engines"
+    );
+    a
+}
+
+#[test]
+fn block_engine_matches_reference_on_corpus() {
+    for w in parallax_corpus::all() {
+        let img = parallax::compiler::compile_module(&(w.module)())
+            .unwrap()
+            .link()
+            .unwrap();
+        let exit = assert_engines_agree(&img, &(w.input)(), w.name);
+        assert!(matches!(exit, Exit::Exited(_)), "{}: did not exit", w.name);
+    }
+}
+
+#[test]
+fn block_engine_matches_reference_on_protected_chains() {
+    // Protected images execute ROP chains — the workload the block
+    // cache exists for. Chain-tracer episodes must match dispatch for
+    // dispatch, proving per-instruction hook fidelity.
+    let w = parallax_corpus::by_name("bzip2").unwrap();
+    let protected = protect(
+        &(w.module)(),
+        &ProtectConfig {
+            verify_funcs: vec![w.verify_func.to_owned()],
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut blocked = Vm::new(&protected.image);
+    let mut reference = Vm::new(&protected.image);
+    blocked.set_chain_tracer(parallax::core::chain_tracer_for(&protected));
+    reference.set_chain_tracer(parallax::core::chain_tracer_for(&protected));
+    blocked.set_input(&(w.input)());
+    reference.set_input(&(w.input)());
+    let a = blocked.run();
+    let b = reference.run_reference();
+    assert_eq!(a, b, "exit differs");
+    assert_eq!(blocked.cycles(), reference.cycles(), "cycles differ");
+    let ta = blocked.take_chain_tracer().unwrap();
+    let tb = reference.take_chain_tracer().unwrap();
+    assert_eq!(ta.dispatches(), tb.dispatches(), "dispatch streams differ");
+    assert_eq!(ta.episodes(), tb.episodes(), "episodes differ");
+    assert!(!ta.episodes().is_empty(), "chains should have executed");
+}
+
+#[test]
+fn block_engine_matches_reference_under_tamper() {
+    // Tampered images are where semantic drift would be catastrophic:
+    // both engines must reach the *same* wrong answer or fault.
+    let m = Gen::new(7).module();
+    let protected = protect(
+        &m,
+        &ProtectConfig {
+            verify_funcs: vec!["vf".into()],
+            ..ProtectConfig::default()
+        },
+    )
+    .unwrap();
+    for (i, &g) in protected.report.chains[0]
+        .used_gadgets
+        .iter()
+        .take(8)
+        .enumerate()
+    {
+        let mut img = protected.image.clone();
+        img.write(g, &[0x90]);
+        assert_engines_agree(&img, &[], &format!("tamper #{i} at {g:#x}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Property: for any generated program, the block engine and the
+    /// reference interpreter are observationally identical.
+    #[test]
+    fn block_engine_matches_reference_on_random_programs(seed in 0u64..10_000) {
+        let m = Gen::new(seed).module();
+        let img = parallax::compiler::compile_module(&m).unwrap().link().unwrap();
+        assert_engines_agree(&img, &[], &format!("seed {seed}"));
+    }
+}
