@@ -30,9 +30,29 @@ use std::time::Duration;
 
 use parallax_gadgets::{Gadget, ScanStats};
 use parallax_image::LinkedImage;
-use parallax_rewrite::Coverage;
+use parallax_rewrite::{Coverage, FuncRewriteOutcome};
 
 use crate::protect::{DegradationReport, Stage};
+
+/// A cached compiled-chain artifact: what one `(function, variant)`
+/// chain compilation produced, detached from the image it was compiled
+/// against (the fingerprint already pins every address the chain
+/// embeds).
+///
+/// Pass-1 sizing compilations store artifacts with empty `bytes` (no
+/// final layout exists yet to serialize against); pass-2 consumers must
+/// ignore those.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainArtifact {
+    /// Chain length in 32-bit words.
+    pub words: usize,
+    /// Gadget invocations in the chain.
+    pub ops: usize,
+    /// Gadget vaddrs the chain uses.
+    pub used_gadgets: Vec<u32>,
+    /// The serialized chain words (empty for pass-1 sizing artifacts).
+    pub bytes: Vec<u8>,
+}
 
 /// Observation and artifact-reuse callbacks for the protection
 /// pipeline. Implementations must be `Send + Sync`: one hooks value may
@@ -76,6 +96,46 @@ pub trait PipelineHooks: Send + Sync {
 
     /// The degradation ladder took a fallback.
     fn degraded(&self, _report: &DegradationReport) {}
+
+    /// Whether this implementation actually backs the per-function
+    /// artifact methods below with a store. The pipeline skips
+    /// fingerprint computation (and tracing adapters skip hit/miss
+    /// counting) when this is `false`, so cacheless runs pay nothing
+    /// and report no misleading all-miss counters.
+    fn has_func_cache(&self) -> bool {
+        false
+    }
+
+    /// A previously stored pass-1 rewrite outcome for a function with
+    /// this fingerprint (see `parallax_rewrite::func_fingerprint`).
+    fn cached_rewritten_func(&self, _fingerprint: &[u8]) -> Option<FuncRewriteOutcome> {
+        None
+    }
+
+    /// Offers a freshly rewritten function for reuse.
+    fn store_rewritten_func(&self, _fingerprint: &[u8], _outcome: &FuncRewriteOutcome) {}
+
+    /// A previously compiled chain artifact for this fingerprint
+    /// (function IR + gadget arena + symbol table + policy + guards).
+    fn cached_chain(&self, _fingerprint: &[u8]) -> Option<ChainArtifact> {
+        None
+    }
+
+    /// Offers a freshly compiled chain for reuse.
+    fn store_chain(&self, _fingerprint: &[u8], _artifact: &ChainArtifact) {}
+
+    /// A previously computed per-candidate validation verdict (see
+    /// `parallax_gadgets::ValidationCache`); the outer `None` means
+    /// "never validated", the inner `None` means "validated and
+    /// rejected". Concrete validation dominates scanning cost, so this
+    /// is the seam that makes warm re-protection of an edited binary
+    /// fast: only candidates whose bytes changed are revalidated.
+    fn cached_verdict(&self, _key: &[u8]) -> Option<Option<Gadget>> {
+        None
+    }
+
+    /// Offers a freshly computed validation verdict for reuse.
+    fn store_verdict(&self, _key: &[u8], _verdict: &Option<Gadget>) {}
 }
 
 /// The default hooks: observe nothing, cache nothing.

@@ -41,7 +41,7 @@ pub use dynamic::{Basis, ChainMode};
 pub use faultinject::{
     flip_byte, poison_cache_blob, protect_binary_faulted, truncate_chain, FaultPlan,
 };
-pub use hooks::{NoHooks, PipelineHooks};
+pub use hooks::{ChainArtifact, NoHooks, PipelineHooks};
 pub use microchain::split_for_microchains;
 pub use protect::{
     protect, protect_binary, protect_binary_hooked, protect_binary_traced, protect_traced,

@@ -34,10 +34,13 @@ use std::fmt;
 use std::time::Instant;
 
 use parallax_compiler::{compile_module, CompileError, Function, Module};
-use parallax_gadgets::{find_gadgets_with_stats, GadgetMap};
+use parallax_gadgets::{
+    find_gadgets_with_stats_cached, serialize_gadgets, GadgetMap, RangeSet, ValidationCache,
+};
 use parallax_image::{LinkError, LinkedImage, Program};
 use parallax_rewrite::{
-    analyze_traced, protect_program_traced, Coverage, RewriteConfig, RewriteError, RewriteReport,
+    analyze_traced, protect_program_parallel, Coverage, FuncRewriteCache, FuncRewriteOutcome,
+    RewriteConfig, RewriteError, RewriteReport,
 };
 use parallax_ropc::{
     compile_chain_traced, fnv1a, frame_size, install_runtime, make_chain_checker, make_stub_full,
@@ -49,7 +52,7 @@ use crate::dynamic::{
     build_index_blob, install_generator_binary, rc4_crypt, xor_crypt, Basis, ChainMode,
 };
 use crate::faultinject::FaultPlan;
-use crate::hooks::{NoHooks, PipelineHooks};
+use crate::hooks::{ChainArtifact, NoHooks, PipelineHooks};
 use crate::trace::TracingHooks;
 
 /// Configuration for [`protect`].
@@ -87,6 +90,33 @@ pub struct ProtectConfig {
     /// cannot be crafted (on by default). Disable to surface the raw
     /// [`Stage::ChainCompile`] / [`Stage::GadgetScan`] error instead.
     pub degrade: bool,
+    /// Worker threads for the per-function pipeline stages (rewrite
+    /// pass 1 and chain compilation): `1` runs sequentially (the
+    /// default), `0` uses the machine's available parallelism. Output
+    /// images are bit-identical whatever this is set to.
+    pub jobs: usize,
+}
+
+impl ProtectConfig {
+    /// The worker count to actually use (`0` = auto resolves to the
+    /// machine's available parallelism).
+    pub fn resolved_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            parallax_pool::auto_workers()
+        } else {
+            self.jobs
+        }
+    }
+
+    /// A copy with `jobs` normalized to a fixed value, for
+    /// content-addressed cache keys derived from the config's `Debug`
+    /// form: the worker count never affects the produced image, so it
+    /// must not fragment artifact identity.
+    pub fn key_normalized(&self) -> ProtectConfig {
+        let mut c = self.clone();
+        c.jobs = 0;
+        c
+    }
 }
 
 impl Default for ProtectConfig {
@@ -101,6 +131,7 @@ impl Default for ProtectConfig {
             checksum_chains: false,
             wipe_chains: false,
             degrade: true,
+            jobs: 1,
         }
     }
 }
@@ -314,7 +345,7 @@ impl From<ChainError> for ProtectError {
 
 /// One fallback taken by the degradation ladder (paper §III escape
 /// hatch) instead of aborting the pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DegradationReport {
     /// Verification function whose chain could not be compiled (`"*"`
     /// when the failure was not attributable to one function, e.g. an
@@ -603,8 +634,13 @@ fn run_pipeline(
             .collect(),
     };
     plan.apply_pre_rewrite(&mut prog);
+    let jobs = cfg.resolved_jobs();
+    let use_func_cache = hooks.has_func_cache();
+    let func_cache = HookFuncCache { hooks };
+    let rw_cache: Option<&dyn FuncRewriteCache> =
+        use_func_cache.then_some(&func_cache as &dyn FuncRewriteCache);
     let rewrites = timed(hooks, Stage::Rewrite, || {
-        protect_program_traced(&mut prog, &targets, rw_cfg, trace)
+        protect_program_parallel(&mut prog, &targets, rw_cfg, jobs, rw_cache, trace)
     })?;
 
     // 3. Runtime, frames, stubs, placeholders (stage: Load).
@@ -678,20 +714,43 @@ fn run_pipeline(
     // 4. Fixpoint pass 1: discover chain sizes (stages: Link,
     // GadgetScan, Map, ChainCompile).
     let img1 = timed(hooks, Stage::Link, || prog.link())?;
-    let map1 = scan_gadgets(&img1, plan, hooks)?;
+    let map1 = scan_gadgets(&img1, plan, hooks, jobs)?;
     let ranges1 = target_ranges(&img1, &targets);
     let chain1_block = StageBlock::begin(hooks, Stage::ChainCompile);
+    let scratch1 = symbol_vaddr(&img1, "__plx_scratch")?;
+    let guards1 = guard_addrs(&img1, &map1, &cfg.guard_funcs);
+    let ctx1 = use_func_cache.then(|| chain_ctx_material(&map1, &img1, scratch1, &guards1));
     let mut sizes = Vec::new();
     for (i, (f, _)) in gens.iter().enumerate() {
         let func = get_impl(f)?;
         let frame = symbol_vaddr(&img1, &format!("__plx_frame_{f}"))?;
-        let scratch = symbol_vaddr(&img1, "__plx_scratch")?;
         let policy = policy_for(cfg, &ranges1, i as u64, 0);
-        let guards = guard_addrs(&img1, &map1, &cfg.guard_funcs);
-        let compiled =
-            compile_chain_traced(func, &map1, &img1, frame, scratch, policy, &guards, trace)
+        let fp = ctx1
+            .as_ref()
+            .map(|c| chain_fingerprint(c, func, frame, &policy));
+        let words = match fp.as_ref().and_then(|fp| hooks.cached_chain(fp)) {
+            Some(art) => art.words,
+            None => {
+                let compiled = compile_chain_traced(
+                    func, &map1, &img1, frame, scratch1, policy, &guards1, trace,
+                )
                 .map_err(|e| ProtectError::chain_for(f, e))?;
-        let words = compiled.chain.len();
+                if let Some(fp) = &fp {
+                    // Sizing artifact: no final layout exists yet, so
+                    // the serialized form stays empty.
+                    hooks.store_chain(
+                        fp,
+                        &ChainArtifact {
+                            words: compiled.chain.len(),
+                            ops: compiled.ops,
+                            used_gadgets: compiled.used_gadgets.clone(),
+                            bytes: Vec::new(),
+                        },
+                    );
+                }
+                compiled.chain.len()
+            }
+        };
         // Probabilistic blob worst case per (position, variant): a
         // 4-byte offset-table entry plus a pool list of 1 + up to 32
         // index words = 136 bytes; pad generously on top.
@@ -722,52 +781,90 @@ fn run_pipeline(
 
     // 5. Fixpoint pass 2: final layout; recompile, serialize, install.
     let img2 = timed(hooks, Stage::Link, || prog.link())?;
-    let map2 = scan_gadgets(&img2, plan, hooks)?;
+    let map2 = scan_gadgets(&img2, plan, hooks, jobs)?;
     let ranges2 = target_ranges(&img2, &targets);
+    let range_index = RangeSet::new(&ranges2);
     let chain2_block = StageBlock::begin(hooks, Stage::ChainCompile);
-    let mut chains = Vec::new();
-    for (i, ((f, _gen), (words, _))) in gens.iter().zip(&sizes).enumerate() {
-        let func = get_impl(f)?;
-        let frame = symbol_vaddr(&img2, &format!("__plx_frame_{f}"))?;
-        let scratch = symbol_vaddr(&img2, "__plx_scratch")?;
-        let buf_sym = format!("__plx_chain_{f}");
-        let base = symbol_vaddr(&img2, &buf_sym)?;
+    let scratch2 = symbol_vaddr(&img2, "__plx_scratch")?;
+    let guards2 = guard_addrs(&img2, &map2, &cfg.guard_funcs);
+    let ctx2 = use_func_cache.then(|| chain_ctx_material(&map2, &img2, scratch2, &guards2));
+    let nvariants = cfg_variants(&cfg.mode);
 
-        let nvariants = cfg_variants(&cfg.mode);
-        let mut variant_words: Vec<Vec<u32>> = Vec::new();
-        let mut used = Vec::new();
-        let mut ops = 0;
-        let guards = guard_addrs(&img2, &map2, &cfg.guard_funcs);
-        for v in 0..nvariants {
-            let policy = policy_for(cfg, &ranges2, i as u64, v as u64);
-            let compiled =
-                compile_chain_traced(func, &map2, &img2, frame, scratch, policy, &guards, trace)
-                    .map_err(|e| ProtectError::chain_for(f, e))?;
-            if compiled.chain.len() != *words {
-                return Err(ProtectError::new(
-                    Stage::Map,
-                    ErrorKind::UnstableChain(f.clone()),
-                ));
-            }
-            let bytes = compiled
-                .chain
-                .serialize(base)
-                .map_err(|e| ProtectError::chain_for(f, ChainError::from(e)))?;
-            variant_words.push(
-                bytes
+    // Resolve the fallible per-function symbol lookups before fanning
+    // out, so worker tasks are infallible address-wise.
+    let mut gen_ctx = Vec::with_capacity(gens.len());
+    for ((f, _gen), (words, _)) in gens.iter().zip(&sizes) {
+        gen_ctx.push(GenCtx {
+            name: f,
+            func: get_impl(f)?,
+            frame: symbol_vaddr(&img2, &format!("__plx_frame_{f}"))?,
+            base: symbol_vaddr(&img2, &format!("__plx_chain_{f}"))?,
+            words: *words,
+        });
+    }
+
+    // Fan every (function, variant) compilation over the pool. Each
+    // task is a pure function of its indices — chain policy seeds
+    // derive from (chain index, variant), never from shared state — so
+    // merging results back in task order makes both the compiled
+    // output and any error independent of the worker count.
+    let wall = Instant::now();
+    let (compiled, pstats) = parallax_pool::scoped_map(jobs, gen_ctx.len() * nvariants, |t, _w| {
+        let (i, v) = (t / nvariants, t % nvariants);
+        let t0 = Instant::now();
+        let out = compile_variant(
+            &gen_ctx[i],
+            i,
+            v,
+            cfg,
+            &map2,
+            &img2,
+            scratch2,
+            &ranges2,
+            &guards2,
+            ctx2.as_deref(),
+            hooks,
+            trace,
+        );
+        (out, t0.elapsed().as_micros() as u64)
+    });
+    let wall_us = wall.elapsed().as_micros() as u64;
+    let cpu_us: u64 = compiled.iter().map(|(_, d)| *d).sum();
+    if let Some(t) = trace {
+        t.count("protect.par.chain.wall_us", wall_us);
+        t.count("protect.par.chain.cpu_us", cpu_us);
+        t.record("protect.par.workers", pstats.workers as u64);
+        t.count("protect.par.steals", pstats.steals);
+    }
+    // First error in task order, so failures are deterministic too.
+    let mut arts = Vec::with_capacity(compiled.len());
+    for (r, _) in compiled {
+        arts.push(r?);
+    }
+
+    let mut chains = Vec::new();
+    for (i, gctx) in gen_ctx.iter().enumerate() {
+        let f = gctx.name;
+        let words = &gctx.words;
+        let buf_sym = format!("__plx_chain_{f}");
+        let gen_arts = &arts[i * nvariants..(i + 1) * nvariants];
+        let variant_words: Vec<Vec<u32>> = gen_arts
+            .iter()
+            .map(|a| {
+                a.bytes
                     .chunks_exact(4)
                     .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                    .collect(),
-            );
-            used.extend(compiled.used_gadgets.iter().copied());
-            ops = compiled.ops;
-        }
+                    .collect()
+            })
+            .collect();
+        let mut used: Vec<u32> = gen_arts
+            .iter()
+            .flat_map(|a| a.used_gadgets.iter().copied())
+            .collect();
         used.sort_unstable();
         used.dedup();
-        let overlapping_used = used
-            .iter()
-            .filter(|&&g| ranges2.iter().any(|&(s, e)| g >= s && g < e))
-            .count();
+        let ops = gen_arts.last().map(|a| a.ops).unwrap_or(0);
+        let overlapping_used = used.iter().filter(|&&g| range_index.contains(g)).count();
 
         match &cfg.mode {
             ChainMode::Cleartext => {
@@ -864,6 +961,132 @@ fn run_pipeline(
     Ok((image, rewrites, chains, map2.gadgets().len()))
 }
 
+/// Adapts the pipeline's hook seam to the rewrite crate's
+/// [`FuncRewriteCache`] trait, so pass-1 artifacts flow through
+/// whatever store the hooks provide.
+struct HookFuncCache<'a> {
+    hooks: &'a dyn PipelineHooks,
+}
+
+impl FuncRewriteCache for HookFuncCache<'_> {
+    fn fetch_rewritten(&self, fingerprint: &[u8]) -> Option<FuncRewriteOutcome> {
+        self.hooks.cached_rewritten_func(fingerprint)
+    }
+
+    fn store_rewritten(&self, fingerprint: &[u8], outcome: &FuncRewriteOutcome) {
+        self.hooks.store_rewritten_func(fingerprint, outcome)
+    }
+}
+
+/// Pre-resolved per-verification-function context for pass-2 chain
+/// compilation (symbol lookups are fallible and happen before fan-out).
+struct GenCtx<'a> {
+    name: &'a String,
+    func: &'a Function,
+    frame: u32,
+    base: u32,
+    words: usize,
+}
+
+/// The pass-invariant part of a chain-compilation fingerprint: the
+/// gadget arena, the full symbol table (sorted — chains may embed the
+/// address of any symbol), the scratch address, and the guard list.
+/// Computed once per fixpoint pass; fingerprints between the two
+/// passes differ exactly when the layout differs.
+fn chain_ctx_material(map: &GadgetMap, img: &LinkedImage, scratch: u32, guards: &[u32]) -> Vec<u8> {
+    let mut out = serialize_gadgets(map.gadgets());
+    let mut syms: Vec<(&str, u32, u32)> = img
+        .symbols
+        .iter()
+        .map(|s| (s.name.as_str(), s.vaddr, s.size))
+        .collect();
+    syms.sort_unstable();
+    for (name, vaddr, size) in syms {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&vaddr.to_le_bytes());
+        out.extend_from_slice(&size.to_le_bytes());
+    }
+    out.extend_from_slice(&scratch.to_le_bytes());
+    out.extend_from_slice(&(guards.len() as u32).to_le_bytes());
+    for g in guards {
+        out.extend_from_slice(&g.to_le_bytes());
+    }
+    out
+}
+
+/// Full cache key material for one `(function, variant)` chain
+/// compilation: the pass context plus the verification function's IR,
+/// its frame address, and the exact selection policy (mode, seed,
+/// preference ranges). Everything `compile_chain_traced` reads is
+/// pinned, so equal fingerprints imply identical compiled chains.
+fn chain_fingerprint(ctx: &[u8], func: &Function, frame: u32, policy: &Policy) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ctx.len() + 256);
+    out.extend_from_slice(ctx);
+    out.extend_from_slice(&frame.to_le_bytes());
+    out.extend_from_slice(format!("{func:?}").as_bytes());
+    out.push(0);
+    out.extend_from_slice(format!("{policy:?}").as_bytes());
+    out
+}
+
+/// Compiles (or fetches from the per-function cache) one pass-2 chain
+/// variant and serializes it against the final layout. Runs on pool
+/// worker threads; must stay a pure function of its arguments.
+#[allow(clippy::too_many_arguments)]
+fn compile_variant(
+    gctx: &GenCtx<'_>,
+    i: usize,
+    v: usize,
+    cfg: &ProtectConfig,
+    map: &GadgetMap,
+    img: &LinkedImage,
+    scratch: u32,
+    ranges: &[(u32, u32)],
+    guards: &[u32],
+    ctx_material: Option<&[u8]>,
+    hooks: &dyn PipelineHooks,
+    trace: Option<&Tracer>,
+) -> Result<ChainArtifact, ProtectError> {
+    let policy = policy_for(cfg, ranges, i as u64, v as u64);
+    let fp = ctx_material.map(|c| chain_fingerprint(c, gctx.func, gctx.frame, &policy));
+    if let Some(art) = fp.as_ref().and_then(|fp| hooks.cached_chain(fp)) {
+        if !art.bytes.is_empty() {
+            if art.words != gctx.words {
+                return Err(ProtectError::new(
+                    Stage::Map,
+                    ErrorKind::UnstableChain(gctx.name.clone()),
+                ));
+            }
+            return Ok(art);
+        }
+    }
+    let compiled = compile_chain_traced(
+        gctx.func, map, img, gctx.frame, scratch, policy, guards, trace,
+    )
+    .map_err(|e| ProtectError::chain_for(gctx.name, e))?;
+    if compiled.chain.len() != gctx.words {
+        return Err(ProtectError::new(
+            Stage::Map,
+            ErrorKind::UnstableChain(gctx.name.clone()),
+        ));
+    }
+    let bytes = compiled
+        .chain
+        .serialize(gctx.base)
+        .map_err(|e| ProtectError::chain_for(gctx.name, ChainError::from(e)))?;
+    let art = ChainArtifact {
+        words: compiled.chain.len(),
+        ops: compiled.ops,
+        used_gadgets: compiled.used_gadgets,
+        bytes,
+    };
+    if let Some(fp) = &fp {
+        hooks.store_chain(fp, &art);
+    }
+    Ok(art)
+}
+
 /// An in-flight pipeline stage block. [`StageBlock::begin`] fires
 /// [`PipelineHooks::stage_started`]; dropping the guard fires
 /// [`PipelineHooks::stage_completed`] with the elapsed wall time —
@@ -909,6 +1132,7 @@ fn scan_gadgets(
     img: &LinkedImage,
     plan: &FaultPlan,
     hooks: &dyn PipelineHooks,
+    jobs: usize,
 ) -> Result<GadgetMap, ProtectError> {
     let block = StageBlock::begin(hooks, Stage::GadgetScan);
     let gadgets = if plan.empties_gadget_scan() {
@@ -917,7 +1141,14 @@ fn scan_gadgets(
         match hooks.cached_scan(img) {
             Some(cached) if !cached.is_empty() => cached,
             _ => {
-                let (fresh, stats) = find_gadgets_with_stats(img);
+                // Whole-image scan missed (e.g. one function edited):
+                // fall back to the hooks' per-candidate verdict memo so
+                // only candidates whose bytes changed are revalidated.
+                let vcache = HookVerdictCache { hooks };
+                let vc = hooks
+                    .has_func_cache()
+                    .then_some(&vcache as &dyn ValidationCache);
+                let (fresh, stats) = find_gadgets_with_stats_cached(img, jobs, vc);
                 hooks.scan_stats(&stats);
                 hooks.store_scan(img, &fresh);
                 fresh
@@ -932,6 +1163,22 @@ fn scan_gadgets(
         ));
     }
     Ok(GadgetMap::new(gadgets))
+}
+
+/// Routes the gadget scanner's per-candidate [`ValidationCache`]
+/// queries to the pipeline hooks' verdict store.
+struct HookVerdictCache<'a> {
+    hooks: &'a dyn PipelineHooks,
+}
+
+impl ValidationCache for HookVerdictCache<'_> {
+    fn fetch_verdict(&self, key: &[u8]) -> Option<Option<parallax_gadgets::Gadget>> {
+        self.hooks.cached_verdict(key)
+    }
+
+    fn store_verdict(&self, key: &[u8], verdict: &Option<parallax_gadgets::Gadget>) {
+        self.hooks.store_verdict(key, verdict)
+    }
 }
 
 /// The static data item that carries a chain's verification material.

@@ -22,8 +22,9 @@ use parallax_rewrite::Coverage;
 use parallax_trace::{SpanId, Tracer};
 use parallax_vm::ChainTracer;
 
-use crate::hooks::PipelineHooks;
+use crate::hooks::{ChainArtifact, PipelineHooks};
 use crate::protect::{DegradationReport, Protected, Stage};
+use parallax_rewrite::FuncRewriteOutcome;
 
 /// [`PipelineHooks`] adapter that records each stage block as a span
 /// on a [`Tracer`], delegating everything to an inner hooks value.
@@ -95,6 +96,67 @@ impl PipelineHooks for TracingHooks<'_> {
             self.tracer.exit(id);
         }
         self.inner.stage_completed(stage, elapsed);
+    }
+
+    fn has_func_cache(&self) -> bool {
+        self.inner.has_func_cache()
+    }
+
+    fn cached_rewritten_func(&self, fingerprint: &[u8]) -> Option<FuncRewriteOutcome> {
+        let out = self.inner.cached_rewritten_func(fingerprint);
+        if self.inner.has_func_cache() {
+            match out {
+                Some(_) => {
+                    self.tracer.count("cache.func.hit", 1);
+                    self.tracer.count("cache.func.rewritten.hit", 1);
+                }
+                None => {
+                    self.tracer.count("cache.func.miss", 1);
+                    self.tracer.count("cache.func.rewritten.miss", 1);
+                }
+            }
+        }
+        out
+    }
+
+    fn store_rewritten_func(&self, fingerprint: &[u8], outcome: &FuncRewriteOutcome) {
+        self.inner.store_rewritten_func(fingerprint, outcome)
+    }
+
+    fn cached_chain(&self, fingerprint: &[u8]) -> Option<ChainArtifact> {
+        let out = self.inner.cached_chain(fingerprint);
+        if self.inner.has_func_cache() {
+            match out {
+                Some(_) => {
+                    self.tracer.count("cache.func.hit", 1);
+                    self.tracer.count("cache.func.chain.hit", 1);
+                }
+                None => {
+                    self.tracer.count("cache.func.miss", 1);
+                    self.tracer.count("cache.func.chain.miss", 1);
+                }
+            }
+        }
+        out
+    }
+
+    fn store_chain(&self, fingerprint: &[u8], artifact: &ChainArtifact) {
+        self.inner.store_chain(fingerprint, artifact)
+    }
+
+    fn cached_verdict(&self, key: &[u8]) -> Option<Option<Gadget>> {
+        let out = self.inner.cached_verdict(key);
+        if self.inner.has_func_cache() {
+            match out {
+                Some(_) => self.tracer.count("cache.func.verdict.hit", 1),
+                None => self.tracer.count("cache.func.verdict.miss", 1),
+            }
+        }
+        out
+    }
+
+    fn store_verdict(&self, key: &[u8], verdict: &Option<Gadget>) {
+        self.inner.store_verdict(key, verdict)
     }
 
     fn degraded(&self, report: &DegradationReport) {

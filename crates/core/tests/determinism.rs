@@ -82,6 +82,44 @@ fn repeated_runs_are_byte_identical() {
 }
 
 #[test]
+fn job_count_never_changes_the_image() {
+    // The tentpole invariant of the parallel pipeline: worker count is
+    // a scheduling knob, not an input. Every corpus binary must protect
+    // to byte-identical images — and report identical degradations —
+    // whether the rewrite/chain fan-out runs on 1, 2, or 8 workers.
+    // Probabilistic mode maximizes the fan-out (functions x variants).
+    for w in parallax_corpus::all() {
+        let module = (w.module)();
+        let cfg = |jobs: usize| ProtectConfig {
+            verify_funcs: vec![w.verify_func.to_owned()],
+            mode: ChainMode::Probabilistic {
+                variants: 4,
+                seed: 0x5eed,
+            },
+            seed: 0x5eed,
+            jobs,
+            ..ProtectConfig::default()
+        };
+        let base = protect(&module, &cfg(1)).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        for jobs in [2, 8] {
+            let par = protect(&module, &cfg(jobs))
+                .unwrap_or_else(|e| panic!("{} (jobs={jobs}): {e}", w.name));
+            assert_eq!(
+                format::save(&base.image),
+                format::save(&par.image),
+                "{}: image diverged at jobs={jobs}",
+                w.name
+            );
+            assert_eq!(
+                base.report.degradations, par.report.degradations,
+                "{}: degradation reports diverged at jobs={jobs}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
 fn seed_changes_dynamic_images() {
     // The converse check: the seed is *load-bearing* for the encrypted
     // modes (a pipeline that ignored it would trivially pass the test

@@ -6,11 +6,15 @@
 //! result — in the same hand-rolled little-endian style. Decoders are
 //! total: malformed bytes yield `None` (a cache miss), never a panic.
 
-use parallax_core::ProtectReport;
-use parallax_rewrite::Coverage;
+use parallax_core::{ChainArtifact, ProtectReport};
+use parallax_image::program::FuncItem;
+use parallax_rewrite::{Coverage, FuncRewriteOutcome, ImmRewrite, JumpRewrite};
+use parallax_x86::{RelocKind, SymReloc};
 
 const COVERAGE_MAGIC: &[u8; 4] = b"PCV\x01";
 const PROTECTED_MAGIC: &[u8; 4] = b"PPR\x01";
+const REWRITTEN_FUNC_MAGIC: &[u8; 4] = b"PRF\x01";
+const CHAIN_MAGIC: &[u8; 4] = b"PCH\x01";
 
 /// Per-chain statistics preserved through the protected-artifact cache
 /// (the subset of [`parallax_core::ChainInfo`] the batch reports use).
@@ -165,6 +169,148 @@ pub fn decode_protected(bytes: &[u8]) -> Option<ProtectedArtifact> {
     })
 }
 
+/// Encodes a per-function pass-1 rewrite outcome.
+pub fn encode_rewritten_func(o: &FuncRewriteOutcome) -> Vec<u8> {
+    let mut w = Writer {
+        out: REWRITTEN_FUNC_MAGIC.to_vec(),
+    };
+    w.bytes(o.item.name.as_bytes());
+    w.bytes(&o.item.bytes);
+    w.u64(o.item.relocs.len() as u64);
+    for r in &o.item.relocs {
+        w.u64(r.offset as u64);
+        w.bytes(r.symbol.as_bytes());
+        w.u64(match r.kind {
+            RelocKind::Rel32 => 0,
+            RelocKind::Abs32 => 1,
+        });
+        w.u64(r.addend as u32 as u64);
+    }
+    // Markers sorted: the encoding must be canonical, not HashMap
+    // iteration order.
+    let mut markers: Vec<(&String, &usize)> = o.item.markers.iter().collect();
+    markers.sort();
+    w.u64(markers.len() as u64);
+    for (k, v) in markers {
+        w.bytes(k.as_bytes());
+        w.u64(*v as u64);
+    }
+    w.u64(o.item.pad_before as u64);
+    w.u64(o.imm.len() as u64);
+    for im in &o.imm {
+        w.u64(im.idx as u64);
+        w.bytes(im.desc.as_bytes());
+        w.u64(im.new_value as u32 as u64);
+    }
+    w.u64(o.jumps.len() as u64);
+    for j in &o.jumps {
+        w.bytes(j.func.as_bytes());
+        w.u64(j.ret_byte_off as u64);
+        w.u64(j.padding as u64);
+        w.u64(u64::from(j.via_callee));
+    }
+    w.out
+}
+
+/// Decodes a per-function pass-1 rewrite outcome.
+pub fn decode_rewritten_func(bytes: &[u8]) -> Option<FuncRewriteOutcome> {
+    if bytes.len() < 4 || &bytes[..4] != REWRITTEN_FUNC_MAGIC {
+        return None;
+    }
+    let mut r = Reader { buf: bytes, pos: 4 };
+    let name = r.str()?;
+    let code = r.bytes()?.to_vec();
+    let n_relocs = r.usize()?;
+    let mut relocs = Vec::with_capacity(n_relocs.min(4096));
+    for _ in 0..n_relocs {
+        relocs.push(SymReloc {
+            offset: r.usize()?,
+            symbol: r.str()?,
+            kind: match r.u64()? {
+                0 => RelocKind::Rel32,
+                1 => RelocKind::Abs32,
+                _ => return None,
+            },
+            addend: r.u64()? as u32 as i32,
+        });
+    }
+    let n_markers = r.usize()?;
+    let mut markers = std::collections::HashMap::with_capacity(n_markers.min(4096));
+    for _ in 0..n_markers {
+        let k = r.str()?;
+        let v = r.usize()?;
+        markers.insert(k, v);
+    }
+    let pad_before = u32::try_from(r.u64()?).ok()?;
+    let n_imm = r.usize()?;
+    let mut imm = Vec::with_capacity(n_imm.min(4096));
+    for _ in 0..n_imm {
+        imm.push(ImmRewrite {
+            idx: r.usize()?,
+            desc: r.str()?,
+            new_value: r.u64()? as u32 as i32,
+        });
+    }
+    let n_jumps = r.usize()?;
+    let mut jumps = Vec::with_capacity(n_jumps.min(4096));
+    for _ in 0..n_jumps {
+        jumps.push(JumpRewrite {
+            func: r.str()?,
+            ret_byte_off: r.usize()?,
+            padding: u32::try_from(r.u64()?).ok()?,
+            via_callee: r.u64()? != 0,
+        });
+    }
+    (r.pos == bytes.len()).then_some(FuncRewriteOutcome {
+        item: FuncItem {
+            name,
+            bytes: code,
+            relocs,
+            markers,
+            pad_before,
+        },
+        imm,
+        jumps,
+    })
+}
+
+/// Encodes a compiled-chain artifact.
+pub fn encode_chain(a: &ChainArtifact) -> Vec<u8> {
+    let mut w = Writer {
+        out: CHAIN_MAGIC.to_vec(),
+    };
+    w.u64(a.words as u64);
+    w.u64(a.ops as u64);
+    w.u64(a.used_gadgets.len() as u64);
+    for g in &a.used_gadgets {
+        w.u64(*g as u64);
+    }
+    w.bytes(&a.bytes);
+    w.out
+}
+
+/// Decodes a compiled-chain artifact.
+pub fn decode_chain(bytes: &[u8]) -> Option<ChainArtifact> {
+    if bytes.len() < 4 || &bytes[..4] != CHAIN_MAGIC {
+        return None;
+    }
+    let mut r = Reader { buf: bytes, pos: 4 };
+    let words = r.usize()?;
+    let ops = r.usize()?;
+    let n_used = r.usize()?;
+    let mut used_gadgets = Vec::with_capacity(n_used.min(65536));
+    for _ in 0..n_used {
+        used_gadgets.push(u32::try_from(r.u64()?).ok()?);
+    }
+    let chain_bytes = r.bytes()?.to_vec();
+    (r.pos == bytes.len()).then_some(ChainArtifact {
+        words,
+        ops,
+        used_gadgets,
+        bytes: chain_bytes,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +366,66 @@ mod tests {
         let mut extra = bytes.clone();
         extra.push(1);
         assert!(decode_protected(&extra).is_none());
+    }
+
+    #[test]
+    fn rewritten_func_roundtrip() {
+        let mut markers = std::collections::HashMap::new();
+        markers.insert("site0".to_string(), 7usize);
+        markers.insert("site1".to_string(), 19usize);
+        let o = FuncRewriteOutcome {
+            item: FuncItem {
+                name: "frob".into(),
+                bytes: vec![0x90, 0xc3, 0xb8, 0x01],
+                relocs: vec![SymReloc {
+                    offset: 3,
+                    symbol: "callee".into(),
+                    kind: RelocKind::Rel32,
+                    addend: -4,
+                }],
+                markers,
+                pad_before: 2,
+            },
+            imm: vec![ImmRewrite {
+                idx: 1,
+                desc: "pop eax; ret".into(),
+                new_value: -0x3d_0001,
+            }],
+            jumps: vec![JumpRewrite {
+                func: "frob".into(),
+                ret_byte_off: 1,
+                padding: 3,
+                via_callee: false,
+            }],
+        };
+        let bytes = encode_rewritten_func(&o);
+        let back = decode_rewritten_func(&bytes).unwrap();
+        assert_eq!(back, o);
+        assert!(decode_rewritten_func(&bytes[..bytes.len() - 1]).is_none());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_rewritten_func(&extra).is_none());
+        assert!(decode_rewritten_func(b"nope").is_none());
+    }
+
+    #[test]
+    fn chain_roundtrip() {
+        let a = ChainArtifact {
+            words: 40,
+            ops: 12,
+            used_gadgets: vec![0x1000, 0x1007, 0x2003],
+            bytes: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        };
+        let bytes = encode_chain(&a);
+        let back = decode_chain(&bytes).unwrap();
+        assert_eq!(back, a);
+        // An empty serialized form (pass-1 sizing artifact) roundtrips.
+        let sizing = ChainArtifact {
+            bytes: Vec::new(),
+            ..a.clone()
+        };
+        assert_eq!(decode_chain(&encode_chain(&sizing)).unwrap(), sizing);
+        assert!(decode_chain(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_chain(b"nope").is_none());
     }
 }

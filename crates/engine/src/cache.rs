@@ -35,6 +35,16 @@ pub enum ArtifactKind {
     Coverage,
     /// A full protected image plus its compact report.
     Protected,
+    /// One function's pass-1 rewrite outcome, keyed by the function's
+    /// content fingerprint (bytes, relocs, markers, rewrite config).
+    RewrittenFunc,
+    /// One compiled chain variant, keyed by everything the chain
+    /// compiler reads (function IR, gadget arena, symbol table, policy).
+    CompiledChain,
+    /// One candidate's concrete validation verdict (present even when
+    /// the verdict is "rejected"), keyed by the candidate's bytes,
+    /// vaddr, return kind, proposal, and probe heap base.
+    GadgetVerdict,
 }
 
 impl ArtifactKind {
@@ -44,6 +54,9 @@ impl ArtifactKind {
             ArtifactKind::Scan => "scan",
             ArtifactKind::Coverage => "coverage",
             ArtifactKind::Protected => "protected",
+            ArtifactKind::RewrittenFunc => "rewritten-func",
+            ArtifactKind::CompiledChain => "compiled-chain",
+            ArtifactKind::GadgetVerdict => "gadget-verdict",
         }
     }
 }

@@ -14,25 +14,26 @@
 //! by a content hash of exactly those inputs and verified on every
 //! fetch, so a hit is byte-for-byte what a recompute would produce.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use parallax_compiler::{compile_module, Module};
 use parallax_core::{
-    classify_outcome, protect_binary_traced, run_baseline, Baseline, DegradationReport, FaultPlan,
-    PipelineHooks, ProtectConfig, Stage, Verdict,
+    classify_outcome, protect_binary_traced, run_baseline, Baseline, ChainArtifact,
+    DegradationReport, FaultPlan, PipelineHooks, ProtectConfig, Stage, Verdict,
 };
 use parallax_corpus::by_name;
 use parallax_gadgets::{deserialize_gadgets, serialize_gadgets, Gadget};
 use parallax_image::{format, LinkedImage};
-use parallax_rewrite::Coverage;
+use parallax_rewrite::{Coverage, FuncRewriteOutcome};
 use parallax_trace::Tracer;
 use parallax_vm::{Vm, VmOptions};
 
 use crate::artifacts::{
-    decode_coverage, decode_protected, encode_coverage, encode_protected, ChainSummary,
+    decode_chain, decode_coverage, decode_protected, decode_rewritten_func, encode_chain,
+    encode_coverage, encode_protected, encode_rewritten_func, ChainSummary,
 };
 use crate::cache::{ArtifactCache, ArtifactKind, Fetch, Key};
 use crate::events::{EngineEvent, EventSink};
@@ -45,7 +46,9 @@ pub struct EngineOptions {
     /// Worker threads (clamped to at least 1 and at most the job
     /// count).
     pub workers: usize,
-    /// In-memory cache capacity, in entries.
+    /// In-memory cache capacity, in entries. Sized for per-candidate
+    /// gadget-verdict entries (hundreds per image version), not just
+    /// whole-image artifacts.
     pub cache_capacity: usize,
     /// On-disk cache directory (`None` for memory-only).
     pub cache_dir: Option<PathBuf>,
@@ -65,7 +68,7 @@ impl Default for EngineOptions {
     fn default() -> EngineOptions {
         EngineOptions {
             workers: 1,
-            cache_capacity: 256,
+            cache_capacity: 4096,
             cache_dir: None,
             validate: true,
             log_json: None,
@@ -217,113 +220,59 @@ impl Engine {
 
         let t0 = Instant::now();
         let n_workers = self.opts.workers.clamp(1, jobs.len().max(1));
-        // Round-robin initial distribution; idle workers steal from the
-        // back of their neighbors' deques.
-        let queues: Vec<Mutex<VecDeque<usize>>> = (0..n_workers)
-            .map(|_| Mutex::new(VecDeque::new()))
-            .collect();
-        for i in 0..jobs.len() {
-            if let Ok(mut q) = queues[i % n_workers].lock() {
-                q.push_back(i);
-            }
-        }
-        let results: Vec<Mutex<Option<JobResult>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-
-        {
+        let (results, _stats) = {
             let jobs = &jobs;
-            let queues = &queues;
-            let results = &results;
             let sink = &sink;
-            std::thread::scope(|s| {
-                for w in 0..n_workers {
-                    s.spawn(move || {
-                        let pop = || {
-                            for off in 0..n_workers {
-                                let q = &queues[(w + off) % n_workers];
-                                let Ok(mut q) = q.lock() else { continue };
-                                let idx = if off == 0 {
-                                    q.pop_front()
-                                } else {
-                                    q.pop_back()
-                                };
-                                if idx.is_some() {
-                                    return idx;
-                                }
-                            }
-                            None
-                        };
-                        if let Some(t) = &self.opts.trace {
-                            t.set_thread_name(&format!("worker-{w}"));
-                        }
-                        while let Some(idx) = pop() {
-                            let job = &jobs[idx];
-                            let job_span = self
-                                .opts
-                                .trace
-                                .as_ref()
-                                .map(|t| t.span(&format!("job:{}", job.name), "engine"));
-                            sink.emit(&EngineEvent::JobStarted {
-                                job: idx,
-                                name: job.name.clone(),
-                                worker: w,
-                            });
-                            let t = Instant::now();
-                            let mut result = match self.run_job(idx, job, sink) {
-                                Ok(r) => r,
-                                Err(e) => JobResult {
-                                    name: job.name.clone(),
-                                    image: Vec::new(),
-                                    gadget_count: 0,
-                                    chains: Vec::new(),
-                                    degradations: 0,
-                                    cached: false,
-                                    verdict: None,
-                                    vm_cycles: 0,
-                                    micros: 0,
-                                    error: Some(e),
-                                },
-                            };
-                            result.micros = t.elapsed().as_micros() as u64;
-                            sink.emit(&EngineEvent::JobFinished {
-                                job: idx,
-                                name: result.name.clone(),
-                                micros: result.micros,
-                                cached: result.cached,
-                                verdict: result.verdict,
-                                vm_cycles: result.vm_cycles,
-                                error: result.error.clone(),
-                            });
-                            if let Ok(mut slot) = results[idx].lock() {
-                                *slot = Some(result);
-                            }
-                            drop(job_span);
-                        }
-                    });
+            parallax_pool::scoped_map(n_workers, jobs.len(), |idx, w| {
+                if n_workers > 1 {
+                    if let Some(t) = &self.opts.trace {
+                        t.set_thread_name(&format!("worker-{w}"));
+                    }
                 }
-            });
-        }
+                let job = &jobs[idx];
+                let job_span = self
+                    .opts
+                    .trace
+                    .as_ref()
+                    .map(|t| t.span(&format!("job:{}", job.name), "engine"));
+                sink.emit(&EngineEvent::JobStarted {
+                    job: idx,
+                    name: job.name.clone(),
+                    worker: w,
+                });
+                let t = Instant::now();
+                let mut result = match self.run_job(idx, job, sink) {
+                    Ok(r) => r,
+                    Err(e) => JobResult {
+                        name: job.name.clone(),
+                        image: Vec::new(),
+                        gadget_count: 0,
+                        chains: Vec::new(),
+                        degradations: 0,
+                        cached: false,
+                        verdict: None,
+                        vm_cycles: 0,
+                        micros: 0,
+                        error: Some(e),
+                    },
+                };
+                result.micros = t.elapsed().as_micros() as u64;
+                sink.emit(&EngineEvent::JobFinished {
+                    job: idx,
+                    name: result.name.clone(),
+                    micros: result.micros,
+                    cached: result.cached,
+                    verdict: result.verdict,
+                    vm_cycles: result.vm_cycles,
+                    error: result.error.clone(),
+                });
+                drop(job_span);
+                result
+            })
+        };
 
         sink.flush();
         let metrics = sink.metrics.snapshot(t0.elapsed(), self.cache.stats());
-        let results = results
-            .into_iter()
-            .zip(&jobs)
-            .map(|(slot, job)| {
-                slot.into_inner().ok().flatten().unwrap_or(JobResult {
-                    name: job.name.clone(),
-                    image: Vec::new(),
-                    gadget_count: 0,
-                    chains: Vec::new(),
-                    degradations: 0,
-                    cached: false,
-                    verdict: None,
-                    vm_cycles: 0,
-                    micros: 0,
-                    error: Some("worker died before finishing the job".to_owned()),
-                })
-            })
-            .collect();
         Ok(BatchReport { results, metrics })
     }
 
@@ -366,12 +315,18 @@ impl Engine {
         // `Debug` of plain data is a stable canonical text form.
         // Cache-layer faults are normalized away: poisoning is healed
         // by the cache, so it must not key away from the poisoned
-        // entries.
+        // entries. The config is key-normalized because the worker
+        // count never changes the output image.
         let pkey = Key {
             kind: ArtifactKind::Protected,
             hash: hash128_pair(
                 &base_bytes,
-                format!("cfg={cfg:?};plan={:?}", job.plan.without_cache_faults()).as_bytes(),
+                format!(
+                    "cfg={:?};plan={:?}",
+                    cfg.key_normalized(),
+                    job.plan.without_cache_faults()
+                )
+                .as_bytes(),
             ),
         };
         let fetched = match self.cache.fetch(pkey) {
@@ -404,11 +359,7 @@ impl Engine {
         let (image_bytes, gadget_count, chains, degradations, cached) = match fetched {
             Some(a) => (a.image, a.gadget_count, a.chains, a.degradations, true),
             None => {
-                let hooks = JobHooks {
-                    job: idx,
-                    cache: &self.cache,
-                    sink,
-                };
+                let hooks = CacheHooks::new(idx, &self.cache, Some(sink));
                 let protected = protect_binary_traced(
                     prog,
                     &verify_impls,
@@ -507,15 +458,24 @@ impl Engine {
     }
 }
 
-/// Per-job [`PipelineHooks`]: routes the pipeline's artifact seams to
-/// the shared cache and its telemetry seams to the event sink.
-struct JobHooks<'a, 'cb> {
+/// Per-job [`PipelineHooks`] backed by the shared [`ArtifactCache`]:
+/// routes the pipeline's artifact seams — whole-image scans and
+/// coverage plus function-grained rewrite and chain artifacts — to the
+/// cache and, when an event sink is attached, its telemetry seams to
+/// [`EngineEvent`]s.
+pub struct CacheHooks<'a, 'cb> {
     job: usize,
     cache: &'a ArtifactCache,
-    sink: &'a EventSink<'cb>,
+    sink: Option<&'a EventSink<'cb>>,
 }
 
-impl JobHooks<'_, '_> {
+impl<'a, 'cb> CacheHooks<'a, 'cb> {
+    /// Hooks for job `job` backed by `cache`; cache traffic is reported
+    /// to `sink` when one is given.
+    pub fn new(job: usize, cache: &'a ArtifactCache, sink: Option<&'a EventSink<'cb>>) -> Self {
+        CacheHooks { job, cache, sink }
+    }
+
     fn key_for(&self, kind: ArtifactKind, img: &LinkedImage) -> Key {
         Key {
             kind,
@@ -526,21 +486,21 @@ impl JobHooks<'_, '_> {
     fn fetch(&self, key: Key) -> Option<Vec<u8>> {
         match self.cache.fetch(key) {
             Fetch::Hit(payload) => {
-                self.sink.emit(&EngineEvent::CacheHit {
+                self.emit(&EngineEvent::CacheHit {
                     job: self.job,
                     kind: key.kind,
                 });
                 Some(payload)
             }
             Fetch::Poisoned => {
-                self.sink.emit(&EngineEvent::CachePoisoned {
+                self.emit(&EngineEvent::CachePoisoned {
                     job: self.job,
                     kind: key.kind,
                 });
                 None
             }
             Fetch::Miss => {
-                self.sink.emit(&EngineEvent::CacheMiss {
+                self.emit(&EngineEvent::CacheMiss {
                     job: self.job,
                     kind: key.kind,
                 });
@@ -548,9 +508,15 @@ impl JobHooks<'_, '_> {
             }
         }
     }
+
+    fn emit(&self, ev: &EngineEvent) {
+        if let Some(sink) = self.sink {
+            sink.emit(ev);
+        }
+    }
 }
 
-impl PipelineHooks for JobHooks<'_, '_> {
+impl PipelineHooks for CacheHooks<'_, '_> {
     fn cached_scan(&self, img: &LinkedImage) -> Option<Vec<Gadget>> {
         let payload = self.fetch(self.key_for(ArtifactKind::Scan, img))?;
         deserialize_gadgets(&payload).filter(|g| !g.is_empty())
@@ -575,8 +541,78 @@ impl PipelineHooks for JobHooks<'_, '_> {
         );
     }
 
+    fn has_func_cache(&self) -> bool {
+        true
+    }
+
+    fn cached_rewritten_func(&self, fingerprint: &[u8]) -> Option<FuncRewriteOutcome> {
+        let payload = self.fetch(Key {
+            kind: ArtifactKind::RewrittenFunc,
+            hash: hash128(fingerprint),
+        })?;
+        decode_rewritten_func(&payload)
+    }
+
+    fn store_rewritten_func(&self, fingerprint: &[u8], outcome: &FuncRewriteOutcome) {
+        self.cache.store(
+            Key {
+                kind: ArtifactKind::RewrittenFunc,
+                hash: hash128(fingerprint),
+            },
+            encode_rewritten_func(outcome),
+        );
+    }
+
+    fn cached_chain(&self, fingerprint: &[u8]) -> Option<ChainArtifact> {
+        let payload = self.fetch(Key {
+            kind: ArtifactKind::CompiledChain,
+            hash: hash128(fingerprint),
+        })?;
+        decode_chain(&payload)
+    }
+
+    fn store_chain(&self, fingerprint: &[u8], artifact: &ChainArtifact) {
+        self.cache.store(
+            Key {
+                kind: ArtifactKind::CompiledChain,
+                hash: hash128(fingerprint),
+            },
+            encode_chain(artifact),
+        );
+    }
+
+    // Verdicts bypass `self.fetch` on purpose: there are hundreds of
+    // candidates per scan, and emitting a cache event for each would
+    // drown the sink. Their traffic shows up as `cache.func.verdict.*`
+    // counters via the tracing adapter instead. A rejected candidate is
+    // cached as an empty gadget list, distinct from a miss.
+    fn cached_verdict(&self, key: &[u8]) -> Option<Option<Gadget>> {
+        let vkey = Key {
+            kind: ArtifactKind::GadgetVerdict,
+            hash: hash128(key),
+        };
+        match self.cache.fetch(vkey) {
+            Fetch::Hit(payload) => {
+                let gadgets = deserialize_gadgets(&payload)?;
+                Some(gadgets.into_iter().next())
+            }
+            Fetch::Poisoned | Fetch::Miss => None,
+        }
+    }
+
+    fn store_verdict(&self, key: &[u8], verdict: &Option<Gadget>) {
+        let gadgets: Vec<Gadget> = verdict.iter().cloned().collect();
+        self.cache.store(
+            Key {
+                kind: ArtifactKind::GadgetVerdict,
+                hash: hash128(key),
+            },
+            serialize_gadgets(&gadgets),
+        );
+    }
+
     fn stage_completed(&self, stage: Stage, elapsed: Duration) {
-        self.sink.emit(&EngineEvent::StageCompleted {
+        self.emit(&EngineEvent::StageCompleted {
             job: self.job,
             stage,
             micros: elapsed.as_micros() as u64,
@@ -584,7 +620,7 @@ impl PipelineHooks for JobHooks<'_, '_> {
     }
 
     fn degraded(&self, report: &DegradationReport) {
-        self.sink.emit(&EngineEvent::Degraded {
+        self.emit(&EngineEvent::Degraded {
             job: self.job,
             func: report.func.clone(),
             missing: report.missing.clone(),

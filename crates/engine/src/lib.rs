@@ -39,7 +39,7 @@ pub mod metrics;
 
 pub use artifacts::{ChainSummary, ProtectedArtifact};
 pub use cache::{ArtifactCache, ArtifactKind, CacheStats, Fetch, Key};
-pub use engine::{BatchReport, Engine, EngineOptions, Job, JobResult, JobSource};
+pub use engine::{BatchReport, CacheHooks, Engine, EngineOptions, Job, JobResult, JobSource};
 pub use events::{EngineEvent, EventSink};
 pub use hash::{hash128, hash128_pair};
 pub use manifest::{chain_mode_for, parse_manifest, ALL_MODES};

@@ -41,7 +41,7 @@ pub mod types;
 pub mod validate;
 
 pub use classify::{classify, Proposal};
-pub use mapping::{GadgetMap, TypeKey};
+pub use mapping::{GadgetMap, RangeSet, TypeKey};
 pub use scan::{scan, scan_with_stats, Candidate, ScanStats, MAX_GADGET_BYTES, MAX_GADGET_INSNS};
 pub use serialize::{deserialize_gadgets, serialize_gadgets};
 pub use types::{Effect, GBinOp, Gadget};
@@ -58,17 +58,98 @@ pub fn find_gadgets(img: &LinkedImage) -> Vec<Gadget> {
 /// Like [`find_gadgets`], also returning the scanner's [`ScanStats`]
 /// so callers can export `scan.decode.*` counters.
 pub fn find_gadgets_with_stats(img: &LinkedImage) -> (Vec<Gadget>, ScanStats) {
-    let mut probe = parallax_vm::Vm::new(img);
-    let mut out = Vec::new();
+    find_gadgets_with_stats_jobs(img, 1)
+}
+
+/// [`find_gadgets_with_stats`] fanning the classify/validate pass over
+/// `jobs` workers. Concrete validation dominates scanning cost (each
+/// proposal runs in a probe VM), and each validation is a pure function
+/// of the proposal — [`validate_with`] reseeds every location a probe
+/// reads, and its PRNG derives only from the candidate's vaddr — so
+/// chunks of candidates validate independently on per-chunk probe VMs
+/// and concatenate into the exact sequential gadget order.
+pub fn find_gadgets_with_stats_jobs(img: &LinkedImage, jobs: usize) -> (Vec<Gadget>, ScanStats) {
+    find_gadgets_with_stats_cached(img, jobs, None)
+}
+
+/// Cross-run memo for concrete validation verdicts, keyed by the exact
+/// bytes that determine a verdict: the candidate's text bytes, vaddr,
+/// return kind, symbolic proposal, and the probe environment's heap
+/// base. Re-protecting an edited binary revalidates only candidates
+/// whose underlying bytes (or layout) actually changed; everything
+/// else — typically all but one function — is served from the memo.
+pub trait ValidationCache: Sync {
+    /// `Some(verdict)` when the key was validated before (the verdict
+    /// itself may be `None`: "candidate rejected" is cached too).
+    fn fetch_verdict(&self, key: &[u8]) -> Option<Option<Gadget>>;
+    /// Records a computed verdict.
+    fn store_verdict(&self, key: &[u8], verdict: &Option<Gadget>);
+}
+
+/// Everything [`validate_with`]'s outcome can depend on: the probe
+/// executes the candidate's own text bytes starting at `vaddr` (which
+/// also seeds its PRNG) against scratch regions derived from the heap
+/// base, checking the proposal's effects.
+fn verdict_key(
+    img: &LinkedImage,
+    heap_base: u32,
+    cand: &Candidate,
+    proposal: &Proposal,
+) -> Vec<u8> {
+    let off = (cand.vaddr - img.text_base) as usize;
+    let bytes = &img.text[off..off + cand.len as usize];
+    let mut key = Vec::with_capacity(bytes.len() + 64);
+    key.extend_from_slice(&cand.vaddr.to_le_bytes());
+    key.extend_from_slice(&heap_base.to_le_bytes());
+    key.push(cand.far as u8);
+    key.extend_from_slice(bytes);
+    key.push(0);
+    key.extend_from_slice(format!("{proposal:?}").as_bytes());
+    key
+}
+
+/// [`find_gadgets_with_stats_jobs`] consulting (and populating) a
+/// [`ValidationCache`] for each classified candidate.
+pub fn find_gadgets_with_stats_cached(
+    img: &LinkedImage,
+    jobs: usize,
+    cache: Option<&dyn ValidationCache>,
+) -> (Vec<Gadget>, ScanStats) {
     let (cands, stats) = scan_with_stats(&img.text, img.text_base);
-    for cand in cands {
-        if let Some(proposal) = classify(&cand) {
-            if let Some(g) = validate_with(&mut probe, &proposal) {
-                out.push(g);
+    let workers = jobs.max(1);
+    let validate_chunk = |chunk: &[Candidate]| {
+        let mut probe = parallax_vm::Vm::new(img);
+        let heap_base = probe.mem().heap_base();
+        let mut out = Vec::new();
+        for cand in chunk {
+            let Some(proposal) = classify(cand) else {
+                continue;
+            };
+            let key = cache.map(|_| verdict_key(img, heap_base, cand, &proposal));
+            if let (Some(c), Some(k)) = (cache, &key) {
+                if let Some(verdict) = c.fetch_verdict(k) {
+                    out.extend(verdict);
+                    continue;
+                }
             }
+            let g = validate_with(&mut probe, &proposal);
+            if let (Some(c), Some(k)) = (cache, &key) {
+                c.store_verdict(k, &g);
+            }
+            out.extend(g);
         }
+        out
+    };
+    if workers == 1 || cands.len() < 64 {
+        return (validate_chunk(&cands), stats);
     }
-    (out, stats)
+    // Oversplit a little so a chunk dense in expensive proposals can be
+    // balanced by stealing; probe-VM construction bounds the factor.
+    let chunk = cands.len().div_ceil(workers * 2).max(1);
+    let chunks: Vec<&[Candidate]> = cands.chunks(chunk).collect();
+    let (parts, _) =
+        parallax_pool::scoped_map(workers, chunks.len(), |i, _w| validate_chunk(chunks[i]));
+    (parts.into_iter().flatten().collect(), stats)
 }
 
 /// Like [`find_gadgets`], but returns the typed mapping directly.

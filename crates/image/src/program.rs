@@ -26,7 +26,7 @@ pub const TEXT_BASE: u32 = 0x0804_8000;
 pub const SECTION_ALIGN: u32 = 0x1000;
 
 /// A function awaiting layout.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuncItem {
     /// Symbol name.
     pub name: String,

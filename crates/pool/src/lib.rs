@@ -1,0 +1,181 @@
+//! A std-only work-stealing worker pool shared by the batch engine and
+//! the protection pipeline.
+//!
+//! The pool was born inside `parallax-engine`'s batch loop; it lives in
+//! its own crate so `parallax-core` and `parallax-rewrite` can fan
+//! per-function pipeline work over the same scheduler without a
+//! dependency cycle (engine depends on core, not the other way around).
+//!
+//! The scheduling discipline is deliberately simple: items are dealt
+//! round-robin into per-worker deques, each worker pops its own queue
+//! from the front and steals from the *back* of its neighbors' queues
+//! when idle. Results are collected **by item index**, so the output
+//! order is always the input order — callers get a deterministic merge
+//! for free, whatever the interleaving was.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What one [`scoped_map`] run did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Worker threads actually used (1 means the caller's thread ran
+    /// everything inline).
+    pub workers: usize,
+    /// Items a worker took from a neighbor's queue instead of its own.
+    pub steals: u64,
+}
+
+/// The machine's available parallelism (used for `--jobs 0` = auto),
+/// falling back to 1 when the OS will not say.
+pub fn auto_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(item_index, worker_index)` for every item in `0..n` on a
+/// work-stealing pool of `workers` threads (clamped to `[1, n]`) and
+/// returns the results **in item order** plus scheduling statistics.
+///
+/// With one worker (or one item) everything runs inline on the calling
+/// thread — no threads are spawned, and `worker_index` is always 0.
+/// `f` must produce the same result for an item regardless of which
+/// worker runs it; under that contract the returned vector is
+/// bit-identical across worker counts.
+///
+/// Panics in `f` propagate to the caller (via [`std::thread::scope`]).
+pub fn scoped_map<T, F>(workers: usize, n: usize, f: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        let out = (0..n).map(|i| f(i, 0)).collect();
+        return (
+            out,
+            PoolStats {
+                workers: 1,
+                steals: 0,
+            },
+        );
+    }
+
+    // Round-robin initial distribution; idle workers steal from the
+    // back of their neighbors' deques.
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..n {
+        if let Ok(mut q) = queues[i % workers].lock() {
+            q.push_back(i);
+        }
+    }
+    let steals = AtomicU64::new(0);
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    {
+        let queues = &queues;
+        let results = &results;
+        let steals = &steals;
+        let f = &f;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                s.spawn(move || loop {
+                    let mut got = None;
+                    for off in 0..workers {
+                        let Ok(mut q) = queues[(w + off) % workers].lock() else {
+                            continue;
+                        };
+                        let idx = if off == 0 {
+                            q.pop_front()
+                        } else {
+                            q.pop_back()
+                        };
+                        if let Some(i) = idx {
+                            if off != 0 {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                            }
+                            got = Some(i);
+                            break;
+                        }
+                    }
+                    let Some(i) = got else { break };
+                    let out = f(i, w);
+                    if let Ok(mut slot) = results[i].lock() {
+                        *slot = Some(out);
+                    }
+                });
+            }
+        });
+    }
+
+    let out = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .ok()
+                .flatten()
+                .expect("scoped_map: worker completed every assigned item")
+        })
+        .collect();
+    (
+        out,
+        PoolStats {
+            workers,
+            steals: steals.load(Ordering::Relaxed),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order() {
+        for workers in [1, 2, 3, 8] {
+            let (out, stats) = scoped_map(workers, 100, |i, _w| i * 3);
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+            assert!(stats.workers >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let (out, stats) = scoped_map(4, 0, |i, _w| i);
+        assert!(out.is_empty());
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_items() {
+        // 16 workers over 3 items must not spawn 16 threads' worth of
+        // queues with most permanently empty — and must still finish.
+        let (out, stats) = scoped_map(16, 3, |i, _w| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert!(stats.workers <= 3);
+    }
+
+    #[test]
+    fn output_identical_across_worker_counts() {
+        // The determinism contract: same closure, same items, any
+        // worker count — same output vector.
+        let slow = |i: usize, _w: usize| {
+            // Uneven per-item work so stealing actually happens.
+            let mut acc = i as u64;
+            for k in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k as u64);
+            }
+            acc
+        };
+        let (base, _) = scoped_map(1, 64, slow);
+        for workers in [2, 4, 8] {
+            let (out, _) = scoped_map(workers, 64, slow);
+            assert_eq!(out, base, "workers={workers}");
+        }
+    }
+}

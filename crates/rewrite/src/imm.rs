@@ -139,7 +139,7 @@ pub fn default_bodies() -> Vec<GadgetBody> {
 }
 
 /// Result of applying the immediate rule at one site.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImmRewrite {
     /// Which site was rewritten.
     pub idx: usize,

@@ -23,7 +23,7 @@ use parallax_x86::RelocKind;
 use crate::engine::{FuncRewriter, Link, RewriteError};
 
 /// Outcome of one alignment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JumpRewrite {
     /// Function containing the branch/call site.
     pub func: String,

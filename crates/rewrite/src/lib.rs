@@ -36,8 +36,10 @@ pub use jump::{
 };
 pub use spurious::{insert_dead_block, jmp_over_block, standard_set, STDSET_NAME};
 
+use parallax_image::program::FuncItem;
 use parallax_image::Program;
 use parallax_trace::Tracer;
+use parallax_x86::RelocKind;
 
 /// Configuration for [`protect_program`].
 #[derive(Debug, Clone)]
@@ -113,6 +115,147 @@ impl RewriteReport {
     }
 }
 
+/// Pass-1 result for one function: the rewritten body plus what was
+/// done to it. Self-contained so it can be produced on any worker
+/// thread and merged deterministically, or round-tripped through a
+/// content-addressed artifact cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncRewriteOutcome {
+    /// The rewritten function (bytes, relocs, markers; `name` and
+    /// `pad_before` copied from the input).
+    pub item: FuncItem,
+    /// Immediate-rule rewrites applied, in site order.
+    pub imm: Vec<ImmRewrite>,
+    /// Internal-branch alignments applied.
+    pub jumps: Vec<JumpRewrite>,
+}
+
+/// A per-function artifact cache for pass 1. Implementations are keyed
+/// by the opaque fingerprint from [`func_fingerprint`]; a fetch must
+/// only return an outcome previously stored under the same fingerprint.
+pub trait FuncRewriteCache: Sync {
+    /// Looks up a previously stored outcome.
+    fn fetch_rewritten(&self, fingerprint: &[u8]) -> Option<FuncRewriteOutcome>;
+    /// Stores an outcome under `fingerprint`.
+    fn store_rewritten(&self, fingerprint: &[u8], outcome: &FuncRewriteOutcome);
+}
+
+fn fnv1a32(s: &str) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for b in s.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Canonical cache key material for one function under one rewrite
+/// config: every input [`rewrite_function`] reads, serialized in a
+/// deterministic order (markers sorted — `HashMap` iteration order must
+/// not leak into the key).
+pub fn func_fingerprint(func: &FuncItem, cfg: &RewriteConfig) -> Vec<u8> {
+    fn push_str(out: &mut Vec<u8>, s: &str) {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    let mut out = Vec::with_capacity(func.bytes.len() + 256);
+    push_str(&mut out, &func.name);
+    out.extend_from_slice(&(func.bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&func.bytes);
+    out.extend_from_slice(&(func.relocs.len() as u32).to_le_bytes());
+    for r in &func.relocs {
+        out.extend_from_slice(&(r.offset as u32).to_le_bytes());
+        push_str(&mut out, &r.symbol);
+        out.push(match r.kind {
+            RelocKind::Rel32 => 0,
+            RelocKind::Abs32 => 1,
+        });
+        out.extend_from_slice(&r.addend.to_le_bytes());
+    }
+    let mut markers: Vec<(&String, &usize)> = func.markers.iter().collect();
+    markers.sort();
+    out.extend_from_slice(&(markers.len() as u32).to_le_bytes());
+    for (k, v) in markers {
+        push_str(&mut out, k);
+        out.extend_from_slice(&(*v as u32).to_le_bytes());
+    }
+    out.extend_from_slice(&func.pad_before.to_le_bytes());
+    push_str(&mut out, &format!("{cfg:?}"));
+    out
+}
+
+/// Applies pass 1 (the immediate rule plus intra-function branch
+/// alignment) to a single function, independently of every other
+/// function.
+///
+/// The gadget-body stream for the immediate rule is seeded from the
+/// *function name* (`body_rotation + fnv1a32(name)`), not from a
+/// cursor shared across functions: each function's body assignment is
+/// then a pure function of (function, config), which is what makes
+/// parallel rewriting bit-identical to sequential and per-function
+/// cache artifacts sound.
+pub fn rewrite_function(
+    func: &FuncItem,
+    cfg: &RewriteConfig,
+    bodies: &[GadgetBody],
+) -> Result<FuncRewriteOutcome, RewriteError> {
+    let mut rw = FuncRewriter::lift(func)?;
+    let mut imm = Vec::new();
+    let mut jumps = Vec::new();
+
+    if cfg.imm_rule && !cfg.imm_exclude.contains(&func.name) {
+        // Apply in descending item order so insertions do not
+        // invalidate later site indices.
+        let mut sites = find_imm_sites(&rw);
+        sites.sort_by_key(|s| std::cmp::Reverse(s.idx));
+        let mut cursor = cfg.body_rotation.wrapping_add(fnv1a32(&func.name) as usize);
+        for (n, site) in sites.iter().enumerate() {
+            if n >= cfg.max_imm_sites_per_func {
+                break;
+            }
+            let body = &bodies[cursor % bodies.len()];
+            let use_completion = cfg.imm_completion_always || (cfg.imm_completion && n % 3 == 2);
+            let applied = if use_completion && site.imm_width == 4 {
+                apply_completion_rule(&mut rw, site, Some(body))
+            } else if n % 7 == 5 && site.imm_width == 4 {
+                // Sprinkle far-return gadgets in (§IV-B5).
+                apply_imm_rule_far(&mut rw, site, body)
+            } else {
+                apply_imm_rule(&mut rw, site, body)
+            };
+            if let Some(rewrite) = applied {
+                cursor += 1;
+                imm.push(rewrite);
+            }
+        }
+    }
+
+    if cfg.internal_jump_rule {
+        jumps.extend(align_internal_branches(&mut rw, cfg.max_internal_nops)?);
+    }
+
+    let (item, _) = rw.finish(func.pad_before)?;
+    Ok(FuncRewriteOutcome { item, imm, jumps })
+}
+
+fn rewrite_function_cached(
+    func: &FuncItem,
+    cfg: &RewriteConfig,
+    bodies: &[GadgetBody],
+    cache: Option<&dyn FuncRewriteCache>,
+) -> Result<FuncRewriteOutcome, RewriteError> {
+    let Some(cache) = cache else {
+        return rewrite_function(func, cfg, bodies);
+    };
+    let fp = func_fingerprint(func, cfg);
+    if let Some(hit) = cache.fetch_rewritten(&fp) {
+        return Ok(hit);
+    }
+    let out = rewrite_function(func, cfg, bodies)?;
+    cache.store_rewritten(&fp, &out);
+    Ok(out)
+}
+
 /// Applies the rewriting rules to `targets` within `prog`.
 ///
 /// The gadget bodies embedded by the immediate rule rotate through
@@ -128,69 +271,77 @@ pub fn protect_program(
 
 /// [`protect_program`] with optional per-pass tracing: one span per
 /// rewriting pass (`imm`, `jump`, `spurious`) plus site counters, so a
-/// trace shows where rewrite wall-time goes.
+/// trace shows where rewrite wall-time goes. Runs sequentially and
+/// uncached — see [`protect_program_parallel`].
 pub fn protect_program_traced(
     prog: &mut Program,
     targets: &[String],
     cfg: &RewriteConfig,
     trace: Option<&Tracer>,
 ) -> Result<RewriteReport, RewriteError> {
+    protect_program_parallel(prog, targets, cfg, 1, None, trace)
+}
+
+/// [`protect_program_traced`] with pass 1 fanned out over `jobs`
+/// worker threads and (optionally) backed by a per-function artifact
+/// cache.
+///
+/// Because [`rewrite_function`] is a pure function of (function,
+/// config), results are merged back **in target order** and the output
+/// program is bit-identical whatever `jobs` is. Passes 2 (cross-
+/// function alignment) and 3 (standard set) are inherently global and
+/// stay sequential. Callers resolve `jobs == 0` (auto) beforehand;
+/// here it is clamped to at least 1.
+pub fn protect_program_parallel(
+    prog: &mut Program,
+    targets: &[String],
+    cfg: &RewriteConfig,
+    jobs: usize,
+    cache: Option<&dyn FuncRewriteCache>,
+    trace: Option<&Tracer>,
+) -> Result<RewriteReport, RewriteError> {
     let mut report = RewriteReport::default();
     let bodies = default_bodies();
-    let mut body_cursor = cfg.body_rotation;
 
     // Pass 1: per-function body rewriting — the immediate rule plus
     // intra-function branch alignment (both operate on the lifted
     // item list, so they share one lift/finish per function).
     let imm_span = trace.map(|t| t.span("imm", "rewrite"));
-    for name in targets {
-        let Some(func) = prog.func(name) else {
-            continue;
-        };
-        let mut rw = FuncRewriter::lift(func)?;
-
-        if cfg.imm_rule && !cfg.imm_exclude.contains(name) {
-            // Apply in descending item order so insertions do not
-            // invalidate later site indices.
-            let mut sites = find_imm_sites(&rw);
-            sites.sort_by_key(|s| std::cmp::Reverse(s.idx));
-            for (n, site) in sites.iter().enumerate() {
-                if n >= cfg.max_imm_sites_per_func {
-                    break;
-                }
-                let body = &bodies[body_cursor % bodies.len()];
-                let use_completion =
-                    cfg.imm_completion_always || (cfg.imm_completion && n % 3 == 2);
-                let applied = if use_completion && site.imm_width == 4 {
-                    apply_completion_rule(&mut rw, site, Some(body))
-                } else if n % 7 == 5 && site.imm_width == 4 {
-                    // Sprinkle far-return gadgets in (§IV-B5).
-                    apply_imm_rule_far(&mut rw, site, body)
-                } else {
-                    apply_imm_rule(&mut rw, site, body)
-                };
-                if let Some(rewrite) = applied {
-                    body_cursor += 1;
-                    report.imm_rewrites.push((name.clone(), rewrite));
-                }
-            }
+    let inputs: Vec<&FuncItem> = targets.iter().filter_map(|name| prog.func(name)).collect();
+    let names: Vec<String> = inputs.iter().map(|f| f.name.clone()).collect();
+    let wall = std::time::Instant::now();
+    let (results, stats) = parallax_pool::scoped_map(jobs.max(1), inputs.len(), |i, _w| {
+        let t0 = std::time::Instant::now();
+        let out = rewrite_function_cached(inputs[i], cfg, &bodies, cache);
+        (out, t0.elapsed().as_micros() as u64)
+    });
+    let wall_us = wall.elapsed().as_micros() as u64;
+    drop(inputs);
+    let cpu_us: u64 = results.iter().map(|(_, d)| *d).sum();
+    // Surface the first error in *item order*, so failures are as
+    // deterministic as successes.
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (r, _) in results {
+        outcomes.push(r?);
+    }
+    for (name, out) in names.iter().zip(outcomes) {
+        for rewrite in out.imm {
+            report.imm_rewrites.push((name.clone(), rewrite));
         }
-
-        if cfg.internal_jump_rule {
-            let rewrites = align_internal_branches(&mut rw, cfg.max_internal_nops)?;
-            report.jump_rewrites.extend(rewrites);
+        report.jump_rewrites.extend(out.jumps);
+        if let Some(slot) = prog.func_mut(name) {
+            slot.bytes = out.item.bytes;
+            slot.relocs = out.item.relocs;
+            slot.markers = out.item.markers;
         }
-
-        let pad = prog.func(name).map(|f| f.pad_before).unwrap_or(0);
-        let (new_item, _) = rw.finish(pad)?;
-        let Some(slot) = prog.func_mut(name) else {
-            continue;
-        };
-        slot.bytes = new_item.bytes;
-        slot.relocs = new_item.relocs;
-        slot.markers = new_item.markers;
     }
     drop(imm_span);
+    if let Some(t) = trace {
+        t.count("protect.par.rewrite.wall_us", wall_us);
+        t.count("protect.par.rewrite.cpu_us", cpu_us);
+        t.record("protect.par.workers", stats.workers as u64);
+        t.count("protect.par.steals", stats.steals);
+    }
 
     // Pass 2: cross-function alignment (callees and data objects).
     let jump_span = trace.map(|t| t.span("jump", "rewrite"));

@@ -26,7 +26,7 @@
 use std::fmt;
 
 use parallax_compiler::ir::{BinOp, CmpOp, Expr, Function, Stmt, UnOp};
-use parallax_gadgets::{Effect, GBinOp, GadgetMap, TypeKey};
+use parallax_gadgets::{Effect, GBinOp, GadgetMap, RangeSet, TypeKey};
 use parallax_image::LinkedImage;
 use parallax_trace::Tracer;
 use parallax_x86::{Reg32, ShiftOp};
@@ -141,6 +141,10 @@ struct Ctx<'a> {
     /// standard set or incidental non-overlapping gadgets).
     picks_overlapping: u64,
     picks_other: u64,
+    /// Interval index over [`Policy::PreferOverlapping`] ranges, built
+    /// once per chain so the preference check is a binary search rather
+    /// than an O(ranges) walk per candidate per pick.
+    overlap_index: Option<RangeSet>,
 }
 
 const EAX: Reg32 = Reg32::Eax;
@@ -243,12 +247,16 @@ impl<'a> Ctx<'a> {
         let choice = match &self.policy {
             Policy::First => eligible[0],
             Policy::PreferOverlapping { ranges, .. } => {
+                let index = &self.overlap_index;
                 let preferred: Vec<usize> = eligible
                     .iter()
                     .copied()
                     .filter(|&i| {
                         let g = self.map.get(i);
-                        ranges.iter().any(|&(s, e)| g.overlaps(s, e))
+                        match index {
+                            Some(set) => set.overlaps(g.vaddr, g.end()),
+                            None => ranges.iter().any(|&(s, e)| g.overlaps(s, e)),
+                        }
                     })
                     .collect();
                 let pool = if preferred.is_empty() {
@@ -766,8 +774,7 @@ impl<'a> Ctx<'a> {
     /// touching registers are pre-pointed at scratch.
     fn emit_guards(&mut self, guards: &[u32]) -> Result<(), ChainError> {
         for &va in guards {
-            let Some(idx) = (0..self.map.gadgets().len()).find(|&i| self.map.get(i).vaddr == va)
-            else {
+            let Some(idx) = self.map.index_of_vaddr(va) else {
                 continue;
             };
             let g = self.map.get(idx).clone();
@@ -1059,6 +1066,10 @@ pub fn compile_chain_traced(
         Policy::First => 0x1337,
         Policy::PreferOverlapping { seed, .. } | Policy::Grouped { seed } => *seed | 1,
     };
+    let overlap_index = match &policy {
+        Policy::PreferOverlapping { ranges, .. } => Some(RangeSet::new(ranges)),
+        _ => None,
+    };
     let mut ctx = Ctx {
         map,
         img,
@@ -1075,6 +1086,7 @@ pub fn compile_chain_traced(
         ops: 0,
         picks_overlapping: 0,
         picks_other: 0,
+        overlap_index,
     };
     let epilogue = ctx.chain.label();
     ctx.epilogue = epilogue;

@@ -7,7 +7,7 @@
 //! plx build   <src>  -o <out.plx>                  compile source to an image
 //! plx protect <src>  -o <out.plx> --verify f[,g]   compile + Parallax-protect
 //!             [--mode cleartext|xor|rc4|prob] [--guard f[,g]] [--seed N]
-//!             [--trace-out t.json]
+//!             [--jobs N] [--trace-out t.json]
 //! plx run     <img.plx> [--input <file>] [--debugger] [--trace-out t.json]
 //! plx inspect <img.plx>                            sections + symbols
 //! plx disasm  <img.plx> [function]
@@ -81,6 +81,7 @@ pub fn spec_for(cmd: &str) -> Spec {
                 "mode",
                 "guard",
                 "seed",
+                "jobs",
                 "trace-out",
             ],
             &[],
@@ -323,12 +324,23 @@ pub fn cmd_protect(args: &Args) -> Result<String> {
         .unwrap_or(0xbead_cafe);
     let mode = parse_mode(args.flag("mode").unwrap_or("cleartext"), seed)?;
     let guard_funcs = args.flag("guard").map(list).unwrap_or_default();
+    // 0 = auto (one worker per core); the output image is byte-identical
+    // whatever the worker count.
+    let jobs = args
+        .flag("jobs")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|e| bail(format!("bad --jobs: {e}")))
+        })
+        .transpose()?
+        .unwrap_or(1);
 
     let cfg = ProtectConfig {
         verify_funcs: verify.clone(),
         mode: mode.clone(),
         seed,
         guard_funcs,
+        jobs,
         ..ProtectConfig::default()
     };
     let trace_out = args.flag("trace-out");
@@ -799,7 +811,7 @@ USAGE:
   plx build    <src> -o <out.plx>
   plx protect  <src> -o <out.plx> (--verify f[,g] | --select n [--input file])
                [--mode cleartext|xor|rc4|prob] [--guard f[,g]] [--seed N]
-               [--trace-out <t.json>]
+               [--jobs N] [--trace-out <t.json>]
   plx run      <img.plx> [--input <file>] [--debugger] [--profile]
                [--trace-out <t.json>]
   plx inspect  <img.plx>

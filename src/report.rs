@@ -118,6 +118,78 @@ fn stage_table(out: &mut String, tf: &TraceFile) {
     }
 }
 
+/// Parallel/incremental protection telemetry: wall vs CPU time of the
+/// fanned-out rewrite and chain-compile passes, pool behaviour, and
+/// the function-grained artifact cache.
+fn parallel_table(out: &mut String, tf: &TraceFile) {
+    let get = |k: &str| tf.counters.get(k).copied().unwrap_or(0);
+    let (rw_wall, rw_cpu) = (
+        get("protect.par.rewrite.wall_us"),
+        get("protect.par.rewrite.cpu_us"),
+    );
+    let (ch_wall, ch_cpu) = (
+        get("protect.par.chain.wall_us"),
+        get("protect.par.chain.cpu_us"),
+    );
+    let (hits, misses) = (get("cache.func.hit"), get("cache.func.miss"));
+    if rw_wall + ch_wall == 0 && hits + misses == 0 {
+        return;
+    }
+    let _ = writeln!(out, "protection pipeline (parallel + incremental):");
+    if rw_wall + ch_wall > 0 {
+        let workers = tf
+            .hists
+            .get("protect.par.workers")
+            .map(|h| h.max)
+            .unwrap_or(1);
+        let _ = writeln!(
+            out,
+            "  workers: {workers}   steals: {}",
+            get("protect.par.steals")
+        );
+        let speedup = |cpu: u64, wall: u64| {
+            if wall == 0 {
+                0.0
+            } else {
+                cpu as f64 / wall as f64
+            }
+        };
+        for (name, wall, cpu) in [
+            ("rewrite", rw_wall, rw_cpu),
+            ("chain-compile", ch_wall, ch_cpu),
+        ] {
+            if wall == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {name:<14} {:>9.3} ms wall  {:>9.3} ms cpu  ({:.2}x parallel speedup)",
+                wall as f64 / 1e3,
+                cpu as f64 / 1e3,
+                speedup(cpu, wall)
+            );
+        }
+    }
+    if hits + misses > 0 {
+        let _ = writeln!(
+            out,
+            "  func cache: {hits} hits, {misses} misses ({:.1}% hit rate)",
+            pct(hits, hits + misses)
+        );
+        let (rh, rm) = (
+            get("cache.func.rewritten.hit"),
+            get("cache.func.rewritten.miss"),
+        );
+        let (gh, gm) = (get("cache.func.chain.hit"), get("cache.func.chain.miss"));
+        if rh + rm + gh + gm > 0 {
+            let _ = writeln!(
+                out,
+                "    rewritten-func: {rh} hits / {rm} misses   compiled-chain: {gh} hits / {gm} misses"
+            );
+        }
+    }
+}
+
 fn vf_table(out: &mut String, tf: &TraceFile) {
     let rows = vf_rows(tf);
     if rows.is_empty() {
@@ -268,6 +340,10 @@ pub fn render_report(tf: &TraceFile) -> String {
     if !out.is_empty() {
         out.push('\n');
     }
+    parallel_table(&mut out, tf);
+    if !out.ends_with("\n\n") && !out.is_empty() {
+        out.push('\n');
+    }
     vf_table(&mut out, tf);
     if !out.ends_with("\n\n") && !out.is_empty() {
         out.push('\n');
@@ -314,6 +390,65 @@ pub fn render_diff(a: &TraceFile, b: &TraceFile) -> String {
             tb as f64 / 1e3,
             signed_ms(tb as i64 - ta as i64)
         );
+    }
+
+    // Parallel-vs-sequential comparison of the fanned-out stages: when
+    // either trace carries `protect.par.*` counters (e.g. a --jobs 1
+    // baseline against a --jobs N run), show wall-time deltas and how
+    // the parallel speedup moved.
+    let par = |tf: &TraceFile, k: &str| tf.counters.get(k).copied().unwrap_or(0);
+    let par_stages = [
+        ("rewrite", "protect.par.rewrite"),
+        ("chain-compile", "protect.par.chain"),
+    ];
+    if par_stages
+        .iter()
+        .any(|(_, p)| par(a, &format!("{p}.wall_us")) + par(b, &format!("{p}.wall_us")) > 0)
+    {
+        let _ = writeln!(out, "\nparallel protection (wall time, b - a):");
+        for (name, p) in par_stages {
+            let (wa, wb) = (
+                par(a, &format!("{p}.wall_us")),
+                par(b, &format!("{p}.wall_us")),
+            );
+            let (ca, cb) = (
+                par(a, &format!("{p}.cpu_us")),
+                par(b, &format!("{p}.cpu_us")),
+            );
+            if wa + wb == 0 {
+                continue;
+            }
+            let sp = |cpu: u64, wall: u64| {
+                if wall == 0 {
+                    0.0
+                } else {
+                    cpu as f64 / wall as f64
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  {name:<14} {:>9.3} ms -> {:>9.3} ms ({})   speedup {:.2}x -> {:.2}x",
+                wa as f64 / 1e3,
+                wb as f64 / 1e3,
+                signed_ms(wb as i64 - wa as i64),
+                sp(ca, wa),
+                sp(cb, wb)
+            );
+        }
+        let (fa, fb) = (
+            (par(a, "cache.func.hit"), par(a, "cache.func.miss")),
+            (par(b, "cache.func.hit"), par(b, "cache.func.miss")),
+        );
+        if fa.0 + fa.1 + fb.0 + fb.1 > 0 {
+            let _ = writeln!(
+                out,
+                "  func cache     {:.1}% -> {:.1}% hit rate ({} -> {} hits)",
+                pct(fa.0, fa.0 + fa.1),
+                pct(fb.0, fb.0 + fb.1),
+                fa.0,
+                fb.0
+            );
+        }
     }
 
     let (rows_a, rows_b) = (vf_rows(a), vf_rows(b));
@@ -383,6 +518,17 @@ mod tests {
         t.count("scan.decode.offsets", 5000);
         t.count("scan.decode.once", 5000);
         t.count("scan.decode.memo_hit", 20000);
+        t.count("protect.par.rewrite.wall_us", 500);
+        t.count("protect.par.rewrite.cpu_us", 2000);
+        t.count("protect.par.chain.wall_us", 1000);
+        t.count("protect.par.chain.cpu_us", 3000);
+        t.count("protect.par.steals", 2);
+        t.record("protect.par.workers", 4);
+        t.count("cache.func.hit", 3);
+        t.count("cache.func.miss", 1);
+        t.count("cache.func.rewritten.hit", 2);
+        t.count("cache.func.rewritten.miss", 1);
+        t.count("cache.func.chain.hit", 1);
         t.record("chain.words", words);
         t.record("chain.ops", 11);
         TraceFile::parse(&chrome_json(&t.snapshot())).expect("sample trace parses")
@@ -403,6 +549,12 @@ mod tests {
             "selections preferring overlap: 62.5%",
             "LoadConst",
             "execution engine",
+            "protection pipeline (parallel + incremental)",
+            "workers: 4   steals: 2",
+            "4.00x parallel speedup",
+            "3.00x parallel speedup",
+            "func cache: 3 hits, 1 misses (75.0% hit rate)",
+            "rewritten-func: 2 hits / 1 misses",
             "block cache: 900 hits, 100 misses (90.0% hit rate), 3 invalidations",
             "5000 decodes over 5000 text offsets",
             "4.0x amortization",
@@ -433,6 +585,15 @@ mod tests {
         assert!(diff.contains("(+0.00pp)"), "{diff}");
         assert!(
             diff.contains("chain words: mean 96.0 -> 32.0 (-64.0)"),
+            "{diff}"
+        );
+        assert!(
+            diff.contains("parallel protection (wall time, b - a)"),
+            "{diff}"
+        );
+        assert!(diff.contains("speedup 4.00x -> 4.00x"), "{diff}");
+        assert!(
+            diff.contains("func cache     75.0% -> 75.0% hit rate (3 -> 3 hits)"),
             "{diff}"
         );
     }
