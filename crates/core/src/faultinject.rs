@@ -19,8 +19,19 @@
 //!   the final [`LinkedImage`], modelling an adversary or bit-rot;
 //!   their effect is observed at run time and classified by the
 //!   watchdog.
+//! * **Loader faults** ([`ImageFault`], applied by
+//!   [`apply_image_fault`]) — applied to the *serialized* `.plx`
+//!   bytes, modelling corruption or malicious re-linking on the
+//!   distribution channel. Unlike the watchdog layer these must never
+//!   reach execution: the fail-closed loader
+//!   ([`crate::load_verified_image_strict`]) rejects every one with a
+//!   typed [`ImageVerifyError`](parallax_image::ImageVerifyError)
+//!   before a single VM cycle.
 
-use parallax_image::{LinkedImage, Program};
+use std::collections::HashSet;
+
+use parallax_image::{format, LinkedImage, Program};
+use parallax_x86::decode;
 
 use crate::hooks::NoHooks;
 use crate::protect::{protect_binary_hooked, ProtectConfig, ProtectError, Protected};
@@ -198,6 +209,148 @@ pub fn flip_byte(img: &mut LinkedImage, vaddr: u32) -> bool {
     };
     let flipped = bytes[0] ^ 0x01;
     img.write(vaddr, &[flipped])
+}
+
+/// One corruption of a *serialized* protected image — the loader
+/// fault-injection campaign's unit of work.
+///
+/// The byte-level faults (`Truncate`, `BitFlip`) model channel
+/// corruption and are caught by the container parser / content
+/// digest. The re-linking faults parse the image, perturb it, and
+/// save it again — so the digest is *freshly valid* and only the
+/// structural verifier stands between the fault and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageFault {
+    /// Keep only the first `keep` bytes of the file.
+    Truncate {
+        /// Prefix length to keep.
+        keep: usize,
+    },
+    /// XOR one bit of the byte at `offset`.
+    BitFlip {
+        /// File offset of the byte.
+        offset: usize,
+        /// Bit index (0–7).
+        bit: u8,
+    },
+    /// Re-link the `index`-th retained relocation to an undefined
+    /// symbol (the reloc-swap attack). Expected rejection:
+    /// `reloc-unknown-symbol`.
+    RelocRetarget {
+        /// Index into the relocation table.
+        index: usize,
+    },
+    /// Redirect the first in-map gadget word of `func`'s cleartext
+    /// chain to an *equivalent out-of-map gadget*: a text address that
+    /// still decodes to a `ret`-terminated sequence but is neither a
+    /// scanned gadget, a function entry, nor a marker. Expected
+    /// rejection (strict loader): `chain-word-out-of-map`.
+    ChainRedirect {
+        /// The verification function whose chain is redirected.
+        func: String,
+    },
+    /// Splice the first symbol whose name contains `name_contains` so
+    /// its range escapes its section — the serialized analogue of a
+    /// gadget-map entry splice. Expected rejection:
+    /// `symbol-out-of-range`.
+    SymbolSplice {
+        /// Substring selecting the symbol to splice.
+        name_contains: String,
+    },
+}
+
+/// Applies `fault` to serialized image bytes, returning the corrupted
+/// file. Returns `None` when the fault is inapplicable to this image
+/// (e.g. no relocations to retarget, or the named chain is absent /
+/// not cleartext) — campaigns skip those combinations rather than
+/// assert on them.
+pub fn apply_image_fault(bytes: &[u8], fault: &ImageFault) -> Option<Vec<u8>> {
+    match fault {
+        ImageFault::Truncate { keep } => {
+            if *keep >= bytes.len() {
+                return None;
+            }
+            Some(bytes[..*keep].to_vec())
+        }
+        ImageFault::BitFlip { offset, bit } => {
+            if *offset >= bytes.len() || *bit >= 8 {
+                return None;
+            }
+            let mut out = bytes.to_vec();
+            out[*offset] ^= 1 << bit;
+            Some(out)
+        }
+        ImageFault::RelocRetarget { index } => {
+            let mut img = format::load(bytes).ok()?;
+            let site = img.reloc_sites.get_mut(*index)?;
+            site.symbol = "__plx_fault_retargeted__".to_owned();
+            Some(format::save(&img))
+        }
+        ImageFault::ChainRedirect { func } => {
+            let mut img = format::load(bytes).ok()?;
+            let target = out_of_map_gadget(&img)?;
+            let sym = img.symbol(&format!("__plx_chain_{func}"))?.clone();
+            if sym.vaddr < img.data_base || sym.vaddr + sym.size > img.data_end() {
+                return None; // BSS-resident chain: nothing to redirect
+            }
+            let gadgets: HashSet<u32> = parallax_gadgets::find_gadgets(&img)
+                .iter()
+                .map(|g| g.vaddr)
+                .collect();
+            let chain = img.read(sym.vaddr, sym.size as usize)?.to_vec();
+            for (i, w) in chain.chunks_exact(4).enumerate() {
+                let value = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+                if gadgets.contains(&value) {
+                    img.write(sym.vaddr + (i * 4) as u32, &target.to_le_bytes());
+                    return Some(format::save(&img));
+                }
+            }
+            None
+        }
+        ImageFault::SymbolSplice { name_contains } => {
+            let mut img = format::load(bytes).ok()?;
+            let sym = img
+                .symbols
+                .iter_mut()
+                .find(|s| s.name.contains(name_contains.as_str()))?;
+            sym.size = 0x7fff_0000;
+            Some(format::save(&img))
+        }
+    }
+}
+
+/// Finds a text address that decodes to a short `ret`-terminated
+/// sequence — a perfectly serviceable gadget — but is not in the
+/// scanned gadget map, not a function entry, and not a marker. This
+/// is the chain-stitching adversary's raw material.
+fn out_of_map_gadget(img: &LinkedImage) -> Option<u32> {
+    let allowed: HashSet<u32> = parallax_gadgets::find_gadgets(img)
+        .iter()
+        .map(|g| g.vaddr)
+        .chain(img.symbols.iter().map(|s| s.vaddr))
+        .chain(img.markers.values().copied())
+        .collect();
+    for off in 0..img.text.len() {
+        let vaddr = img.text_base + off as u32;
+        if allowed.contains(&vaddr) {
+            continue;
+        }
+        let window = &img.text[off..img.text.len().min(off + 64)];
+        let mut pos = 0usize;
+        for _ in 0..16 {
+            let Ok(insn) = decode(&window[pos..]) else {
+                break;
+            };
+            if insn.is_ret() {
+                return Some(vaddr);
+            }
+            pos += insn.len as usize;
+            if pos >= window.len() {
+                break;
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 pub mod dynamic;
 pub mod faultinject;
 pub mod hooks;
+pub mod loadcheck;
 pub mod microchain;
 pub mod protect;
 pub mod select;
@@ -39,14 +40,16 @@ pub mod trace;
 
 pub use dynamic::{Basis, ChainMode};
 pub use faultinject::{
-    flip_byte, poison_cache_blob, protect_binary_faulted, truncate_chain, FaultPlan,
+    apply_image_fault, flip_byte, poison_cache_blob, protect_binary_faulted, truncate_chain,
+    FaultPlan, ImageFault,
 };
 pub use hooks::{ChainArtifact, NoHooks, PipelineHooks};
+pub use loadcheck::{load_verified_image, load_verified_image_strict};
 pub use microchain::split_for_microchains;
 pub use protect::{
-    protect, protect_binary, protect_binary_hooked, protect_binary_traced, protect_traced,
-    protect_with_hooks, ChainInfo, DegradationReport, ErrorKind, ProtectConfig, ProtectError,
-    ProtectReport, Protected, Stage,
+    protect, protect_binary, protect_binary_hooked, protect_binary_traced, protect_hooked_traced,
+    protect_traced, protect_with_hooks, ChainInfo, DegradationReport, ErrorKind, ProtectConfig,
+    ProtectError, ProtectReport, Protected, Stage,
 };
 pub use select::{select_verification_functions, SelectionConfig};
 pub use tamper::{

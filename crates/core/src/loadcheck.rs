@@ -1,0 +1,98 @@
+//! Fail-closed loading of serialized protected images.
+//!
+//! The trust boundary of the distribution scenario: a `.plx` file
+//! arrives over an untrusted channel and must earn execution. The
+//! loaders here compose the verification layers in order (DESIGN.md
+//! §12) — container parse + content digest, structural invariants,
+//! and (for the strict loader) chain-word resolution against a fresh
+//! gadget scan — and only then hand back a
+//! [`VerifiedImage`] the VM will accept. No partially-checked image
+//! ever escapes: the first violation aborts the load with a typed
+//! [`ImageVerifyError`] before any CPU state exists.
+
+use parallax_gadgets::find_gadgets;
+use parallax_image::{format, verify_image, ImageVerifyError, VerifiedImage};
+
+/// Loads and structurally verifies a serialized image.
+///
+/// This is the production fast path: container digest + every
+/// structural invariant, with text-pointing chain words checked for
+/// *plausibility* (they must land on a function, marker, or
+/// ret-terminated byte sequence). Cost is linear in the image; no
+/// gadget scan runs.
+pub fn load_verified_image(bytes: &[u8]) -> Result<VerifiedImage, ImageVerifyError> {
+    let img = format::load(bytes)?;
+    VerifiedImage::verify(img)
+}
+
+/// Loads and *strictly* verifies a serialized image: everything
+/// [`load_verified_image`] checks, plus a fresh gadget scan of the
+/// text section so every text-pointing chain word must resolve to an
+/// actual in-map gadget, function entry, or marker. This is what
+/// `plx verify` runs — it defeats redirects to *equivalent* gadgets
+/// outside the scanned map, at the price of a full scan.
+pub fn load_verified_image_strict(bytes: &[u8]) -> Result<VerifiedImage, ImageVerifyError> {
+    let img = format::load(bytes)?;
+    // Structural pass first so the scanner only ever sees a sane image.
+    verify_image(&img)?;
+    let mut gadget_vaddrs: Vec<u32> = find_gadgets(&img).iter().map(|g| g.vaddr).collect();
+    gadget_vaddrs.sort_unstable();
+    gadget_vaddrs.dedup();
+    VerifiedImage::verify_strict(img, &gadget_vaddrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{protect, ProtectConfig};
+    use parallax_compiler::ir::build::*;
+    use parallax_compiler::{Function, Module};
+    use parallax_image::FormatError;
+
+    fn protected_bytes() -> Vec<u8> {
+        let mut m = Module::new();
+        m.func(Function::new("vf", ["a"], vec![ret(add(l("a"), c(1)))]));
+        m.func(Function::new(
+            "main",
+            [],
+            vec![ret(call("vf", vec![c(41)]))],
+        ));
+        m.entry("main");
+        let cfg = ProtectConfig {
+            verify_funcs: vec!["vf".into()],
+            ..ProtectConfig::default()
+        };
+        format::save(&protect(&m, &cfg).unwrap().image)
+    }
+
+    #[test]
+    fn clean_image_loads_and_runs() {
+        let bytes = protected_bytes();
+        let v = load_verified_image(&bytes).unwrap();
+        assert!(v.report().chain_words > 0);
+        let strict = load_verified_image_strict(&bytes).unwrap();
+        assert!(strict.report().strict);
+        let mut vm = parallax_vm::Vm::from_verified(&strict);
+        assert_eq!(vm.run(), parallax_vm::Exit::Exited(42));
+    }
+
+    #[test]
+    fn flipped_bit_refused_before_any_cycle() {
+        let mut bytes = protected_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let err = load_verified_image(&bytes).unwrap_err();
+        assert!(matches!(err, ImageVerifyError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn truncation_refused() {
+        let bytes = protected_bytes();
+        let err = load_verified_image(&bytes[..bytes.len() / 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            ImageVerifyError::Format(FormatError::Truncated { .. })
+                | ImageVerifyError::Format(FormatError::Corrupt { .. })
+        ));
+    }
+}

@@ -37,7 +37,7 @@ use parallax_compiler::{compile_module, CompileError, Function, Module};
 use parallax_gadgets::{
     find_gadgets_with_stats_cached, serialize_gadgets, GadgetMap, RangeSet, ValidationCache,
 };
-use parallax_image::{LinkError, LinkedImage, Program};
+use parallax_image::{verify_image_strict, ImageVerifyError, LinkError, LinkedImage, Program};
 use parallax_rewrite::{
     analyze_traced, protect_program_parallel, Coverage, FuncRewriteCache, FuncRewriteOutcome,
     RewriteConfig, RewriteError, RewriteReport,
@@ -156,6 +156,9 @@ pub enum Stage {
     Map,
     /// Producing a linked image.
     Link,
+    /// Post-link structural self-check of the final image against the
+    /// final gadget map (fail-closed loading, DESIGN.md §12).
+    Verify,
 }
 
 impl fmt::Display for Stage {
@@ -168,6 +171,7 @@ impl fmt::Display for Stage {
             Stage::ChainCompile => "chain-compile",
             Stage::Map => "map",
             Stage::Link => "link",
+            Stage::Verify => "verify",
         };
         f.write_str(s)
     }
@@ -209,6 +213,9 @@ pub enum ErrorKind {
     },
     /// Gadget discovery found no usable gadgets at all.
     NoUsableGadgets,
+    /// The final image failed its post-link structural verification —
+    /// a pipeline bug by definition, caught before the image escapes.
+    Verify(ImageVerifyError),
 }
 
 impl fmt::Display for ErrorKind {
@@ -232,6 +239,7 @@ impl fmt::Display for ErrorKind {
                 "chain material for `{func}` needs {needed} bytes, only {capacity} reserved"
             ),
             ErrorKind::NoUsableGadgets => write!(f, "no usable gadgets in image"),
+            ErrorKind::Verify(e) => write!(f, "image verification: {e}"),
         }
     }
 }
@@ -317,6 +325,7 @@ impl std::error::Error for ProtectError {
             ErrorKind::Link(e) => Some(e),
             ErrorKind::Rewrite(e) => Some(e),
             ErrorKind::Chain { err, .. } => Some(err),
+            ErrorKind::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -429,6 +438,18 @@ pub fn protect_traced(
     tracer: &Tracer,
 ) -> Result<Protected, ProtectError> {
     protect_full(module, cfg, &NoHooks, Some(tracer))
+}
+
+/// [`protect`] with both [`PipelineHooks`] and optional tracing — for
+/// callers that need artifact fingerprints *and* telemetry from a
+/// single run (e.g. the CLI's provenance recorder).
+pub fn protect_hooked_traced(
+    module: &Module,
+    cfg: &ProtectConfig,
+    hooks: &dyn PipelineHooks,
+    tracer: Option<&Tracer>,
+) -> Result<Protected, ProtectError> {
+    protect_full(module, cfg, hooks, tracer)
 }
 
 fn protect_full(
@@ -957,6 +978,18 @@ fn run_pipeline(
 
     let image = timed(hooks, Stage::Link, || prog.link())?;
     debug_assert_eq!(image.text, img2.text, "text stable across final fill");
+
+    // Post-link self-check: the final image must satisfy every
+    // structural invariant the fail-closed loader enforces, with
+    // every cleartext chain word resolving against the final gadget
+    // map. Catches pipeline bugs before a broken image escapes.
+    let mut gadget_vaddrs: Vec<u32> = map2.gadgets().iter().map(|g| g.vaddr).collect();
+    gadget_vaddrs.sort_unstable();
+    gadget_vaddrs.dedup();
+    timed(hooks, Stage::Verify, || {
+        verify_image_strict(&image, &gadget_vaddrs)
+    })
+    .map_err(|e| ProtectError::new(Stage::Verify, ErrorKind::Verify(e)))?;
 
     Ok((image, rewrites, chains, map2.gadgets().len()))
 }

@@ -241,6 +241,22 @@ impl ArtifactCache {
         inner.stats.entries = inner.map.len();
     }
 
+    /// Evicts `key` from both layers and counts it as poisoned.
+    ///
+    /// For *consumer-level* corruption: the payload's self-hash
+    /// matched (the bytes are what was stored) but a higher layer —
+    /// e.g. decoding a `Protected` artifact back into an image —
+    /// found them semantically invalid. The entry must not be served
+    /// again.
+    pub fn evict(&self, key: Key) {
+        let mut inner = self.lock();
+        inner.map.remove(&key);
+        inner.stats.poisoned += 1;
+        inner.stats.entries = inner.map.len();
+        drop(inner);
+        self.remove_disk(key);
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let mut inner = self.lock();
@@ -311,10 +327,22 @@ impl ArtifactCache {
         bytes.extend_from_slice(DISK_MAGIC);
         bytes.extend_from_slice(&hash128(payload).to_le_bytes());
         bytes.extend_from_slice(payload);
-        // Atomic publish: never expose a torn write under the final name.
+        // Durable atomic publish: write the temp file, fsync it, then
+        // rename. The fsync guarantees the rename never publishes a
+        // name whose *contents* are still in flight — a crash can
+        // leave a stale temp file behind but never a torn entry under
+        // the final name.
         let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        if std::fs::write(&tmp, &bytes).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        let publish = || -> std::io::Result<()> {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, &path)
+        };
+        if publish().is_err() {
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 

@@ -21,8 +21,8 @@ use std::time::{Duration, Instant};
 
 use parallax_compiler::{compile_module, Module};
 use parallax_core::{
-    classify_outcome, protect_binary_traced, run_baseline, Baseline, ChainArtifact,
-    DegradationReport, FaultPlan, PipelineHooks, ProtectConfig, Stage, Verdict,
+    classify_outcome, load_verified_image, protect_binary_traced, run_baseline, Baseline,
+    ChainArtifact, DegradationReport, FaultPlan, PipelineHooks, ProtectConfig, Stage, Verdict,
 };
 use parallax_corpus::by_name;
 use parallax_gadgets::{deserialize_gadgets, serialize_gadgets, Gadget};
@@ -39,6 +39,7 @@ use crate::cache::{ArtifactCache, ArtifactKind, Fetch, Key};
 use crate::events::{EngineEvent, EventSink};
 use crate::hash::{hash128, hash128_pair};
 use crate::metrics::MetricsSnapshot;
+use crate::provenance::{toolchain_id, Ledger, ProvenanceHooks, ProvenanceRecord, RECORD_VERSION};
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -168,6 +169,7 @@ impl BatchReport {
 pub struct Engine {
     opts: EngineOptions,
     cache: ArtifactCache,
+    ledger: Option<Ledger>,
     baselines: Mutex<HashMap<u128, Arc<Baseline>>>,
 }
 
@@ -175,9 +177,16 @@ impl Engine {
     /// Creates an engine.
     pub fn new(opts: EngineOptions) -> Engine {
         let cache = ArtifactCache::new(opts.cache_capacity, opts.cache_dir.clone());
+        // The provenance ledger lives beside the disk cache; a
+        // memory-only engine keeps no ledger.
+        let ledger = opts
+            .cache_dir
+            .as_ref()
+            .map(|d| Ledger::new(d.join("provenance")));
         Engine {
             opts,
             cache,
+            ledger,
             baselines: Mutex::new(HashMap::new()),
         }
     }
@@ -185,6 +194,11 @@ impl Engine {
     /// The engine's artifact cache.
     pub fn cache(&self) -> &ArtifactCache {
         &self.cache
+    }
+
+    /// The engine's provenance ledger (`None` without a cache dir).
+    pub fn ledger(&self) -> Option<&Ledger> {
+        self.ledger.as_ref()
     }
 
     /// Executes `jobs`, streaming events to `subscriber`, and returns
@@ -330,15 +344,30 @@ impl Engine {
             ),
         };
         let fetched = match self.cache.fetch(pkey) {
+            // A hit is only trusted after the cached image passes the
+            // same fail-closed verifier a load would apply: a decode
+            // failure or a verification failure evicts the entry and
+            // falls through to a recompute, exactly like hash
+            // poisoning one layer down.
             Fetch::Hit(payload) => match decode_protected(&payload) {
-                Some(a) => {
+                Some(a) if load_verified_image(&a.image).is_ok() => {
                     sink.emit(&EngineEvent::CacheHit {
                         job: idx,
                         kind: ArtifactKind::Protected,
                     });
                     Some(a)
                 }
-                None => None,
+                _ => {
+                    self.cache.evict(pkey);
+                    if let Some(t) = &self.opts.trace {
+                        t.count("cache.verify.fail", 1);
+                    }
+                    sink.emit(&EngineEvent::CachePoisoned {
+                        job: idx,
+                        kind: ArtifactKind::Protected,
+                    });
+                    None
+                }
             },
             Fetch::Poisoned => {
                 sink.emit(&EngineEvent::CachePoisoned {
@@ -360,18 +389,42 @@ impl Engine {
             Some(a) => (a.image, a.gadget_count, a.chains, a.degradations, true),
             None => {
                 let hooks = CacheHooks::new(idx, &self.cache, Some(sink));
+                let phooks = ProvenanceHooks::new(&hooks);
                 let protected = protect_binary_traced(
                     prog,
                     &verify_impls,
                     &cfg,
                     &job.plan,
-                    &hooks,
+                    &phooks,
                     self.opts.trace.as_deref(),
                 )
                 .map_err(|e| e.to_string())?;
                 let image_bytes = format::save(&protected.image);
                 self.cache
                     .store(pkey, encode_protected(&image_bytes, &protected.report));
+                if let Some(ledger) = &self.ledger {
+                    let record = ProvenanceRecord {
+                        version: RECORD_VERSION,
+                        toolchain: toolchain_id(),
+                        input_hash: hash128(&base_bytes),
+                        config: format!(
+                            "cfg={:?};plan={:?}",
+                            cfg.key_normalized(),
+                            job.plan.without_cache_faults()
+                        ),
+                        stages: phooks.stage_digests(),
+                        image_hash: hash128(&image_bytes),
+                    };
+                    // A failed ledger write never fails the job: the
+                    // image is still good, only its paper trail is
+                    // missing, and `plx verify --provenance` will say
+                    // so.
+                    if ledger.store(&record).is_err() {
+                        if let Some(t) = &self.opts.trace {
+                            t.count("provenance.store.fail", 1);
+                        }
+                    }
+                }
                 let chains = protected
                     .report
                     .chains
@@ -400,9 +453,28 @@ impl Engine {
                 .trace
                 .as_ref()
                 .map(|t| t.span("validate", "engine"));
-            let img = format::load(&image_bytes).map_err(|e| format!("image decode: {e:?}"))?;
+            // Fail-closed: validation goes through the same verified
+            // loader the CLI uses — the VM never sees an image that
+            // didn't pass structural verification.
+            let vt = Instant::now();
+            let img = match load_verified_image(&image_bytes) {
+                Ok(v) => {
+                    if let Some(t) = &self.opts.trace {
+                        t.count("image.verify.pass", 1);
+                        t.count("image.verify.ns", vt.elapsed().as_nanos() as u64);
+                    }
+                    v
+                }
+                Err(e) => {
+                    if let Some(t) = &self.opts.trace {
+                        t.count("image.verify.fail", 1);
+                        t.count("image.verify.ns", vt.elapsed().as_nanos() as u64);
+                    }
+                    return Err(format!("image verify: {e}"));
+                }
+            };
             let baseline = self.baseline_for(&base_bytes, &base_img, &input);
-            let mut vm = Vm::with_options(&img, self.opts.vm.clone());
+            let mut vm = Vm::from_verified_with_options(&img, self.opts.vm.clone());
             vm.set_input(&input);
             let exit = vm.run();
             let cycles = vm.cycles();

@@ -36,6 +36,7 @@ pub mod events;
 pub mod hash;
 pub mod manifest;
 pub mod metrics;
+pub mod provenance;
 
 pub use artifacts::{ChainSummary, ProtectedArtifact};
 pub use cache::{ArtifactCache, ArtifactKind, CacheStats, Fetch, Key};
@@ -44,3 +45,6 @@ pub use events::{EngineEvent, EventSink};
 pub use hash::{hash128, hash128_pair};
 pub use manifest::{chain_mode_for, parse_manifest, ALL_MODES};
 pub use metrics::{Metrics, MetricsSnapshot, StageTime, ALL_STAGES};
+pub use provenance::{
+    toolchain_id, Ledger, ProvenanceHooks, ProvenanceRecord, StageDigest, RECORD_VERSION,
+};

@@ -16,7 +16,7 @@ use crate::events::EngineEvent;
 
 /// Every pipeline stage, in execution order. Indexes the per-stage
 /// counters and fixes the rendering order of snapshots.
-pub const ALL_STAGES: [Stage; 7] = [
+pub const ALL_STAGES: [Stage; 8] = [
     Stage::Select,
     Stage::Load,
     Stage::Rewrite,
@@ -24,6 +24,7 @@ pub const ALL_STAGES: [Stage; 7] = [
     Stage::ChainCompile,
     Stage::Map,
     Stage::Link,
+    Stage::Verify,
 ];
 
 fn stage_index(stage: Stage) -> usize {
@@ -35,6 +36,7 @@ fn stage_index(stage: Stage) -> usize {
         Stage::ChainCompile => 4,
         Stage::Map => 5,
         Stage::Link => 6,
+        Stage::Verify => 7,
     }
 }
 
@@ -46,8 +48,8 @@ pub struct Metrics {
     cached_results: AtomicU64,
     vm_cycles: AtomicU64,
     degradations: AtomicU64,
-    stage_micros: [AtomicU64; 7],
-    stage_calls: [AtomicU64; 7],
+    stage_micros: [AtomicU64; 8],
+    stage_calls: [AtomicU64; 8],
 }
 
 impl Metrics {
@@ -260,7 +262,7 @@ mod tests {
         assert!(rendered.contains("jobs        0"), "{rendered}");
         assert!(!rendered.contains("NaN"), "{rendered}");
         assert!(!rendered.contains("inf"), "{rendered}");
-        assert_eq!(snap.stage_micros.len(), 7);
+        assert_eq!(snap.stage_micros.len(), ALL_STAGES.len());
     }
 
     #[test]

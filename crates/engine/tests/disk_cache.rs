@@ -1,0 +1,191 @@
+//! Disk-cache corruption regressions: both layers of defense.
+//!
+//! Layer 1 (cache self-hash): a `.plxc` entry whose payload bytes rot
+//! while its stored hash stays put must fetch as `Poisoned`, get
+//! evicted, and heal on the next store.
+//!
+//! Layer 2 (consumer verification): a `.plxc` entry whose stored hash
+//! was *re-stamped* over corrupted bytes passes the self-hash — only
+//! the engine's fail-closed image verification on fetch can catch it.
+//! The engine must evict the entry, recompute, and produce the same
+//! bytes a cold run would.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use parallax_compiler::parse_module;
+use parallax_core::{FaultPlan, ProtectConfig};
+use parallax_engine::{
+    hash128, ArtifactCache, ArtifactKind, Engine, EngineEvent, EngineOptions, Fetch, Job,
+    JobSource, Key, ProvenanceRecord,
+};
+
+const SRC: &str = r#"
+    fn vf(x) { return x * 5 + 3; }
+    fn main() { return vf(7); }
+"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("plx-disk-cache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn one_job() -> Job {
+    let module = parse_module(SRC).expect("test module parses");
+    Job {
+        name: "disk/cleartext#1".to_owned(),
+        source: JobSource::Module(Box::new(module)),
+        cfg: ProtectConfig {
+            verify_funcs: vec!["vf".to_owned()],
+            ..ProtectConfig::default()
+        },
+        input: None,
+        plan: FaultPlan::default(),
+    }
+}
+
+/// Finds the single on-disk entry of `kind` under `dir`.
+fn entry_path(dir: &PathBuf, kind: &str) -> PathBuf {
+    let mut found = Vec::new();
+    for f in std::fs::read_dir(dir).expect("cache dir exists").flatten() {
+        let name = f.file_name().to_string_lossy().into_owned();
+        if name.starts_with(kind) && name.ends_with(".plxc") {
+            found.push(f.path());
+        }
+    }
+    assert_eq!(found.len(), 1, "expected one {kind} entry: {found:?}");
+    found.remove(0)
+}
+
+#[test]
+fn disk_payload_corruption_is_detected_evicted_and_healed() {
+    let dir = temp_dir("layer1");
+    let key = Key {
+        kind: ArtifactKind::Scan,
+        hash: 42,
+    };
+    let payload = b"gadget soup".to_vec();
+    {
+        let cache = ArtifactCache::new(8, Some(dir.clone()));
+        cache.store(key, payload.clone());
+    }
+
+    // Rot one payload byte on disk; the stored hash (bytes 4..20)
+    // stays, so the self-check must fail.
+    let path = entry_path(&dir, "scan");
+    let mut bytes = std::fs::read(&path).expect("entry readable");
+    bytes[20] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("entry writable");
+
+    let cache = ArtifactCache::new(8, Some(dir.clone()));
+    assert!(matches!(cache.fetch(key), Fetch::Poisoned));
+    // Eviction removed the bad entry: next fetch is a clean miss.
+    assert!(matches!(cache.fetch(key), Fetch::Miss));
+    assert_eq!(cache.stats().poisoned, 1);
+
+    // Healing: a fresh store round-trips again, even from a cold cache.
+    cache.store(key, payload.clone());
+    let cold = ArtifactCache::new(8, Some(dir.clone()));
+    match cold.fetch(key) {
+        Fetch::Hit(p) => assert_eq!(p, payload),
+        other => panic!("expected hit after heal, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restamped_protected_entry_fails_image_verification_and_recomputes() {
+    let dir = temp_dir("layer2");
+    let opts = || EngineOptions {
+        cache_dir: Some(dir.clone()),
+        ..EngineOptions::default()
+    };
+
+    let cold = Engine::new(opts())
+        .run(vec![one_job()], |_| {})
+        .expect("cold run");
+    assert!(cold.all_clean());
+    let clean_image = cold.results[0].image.clone();
+    assert!(!clean_image.is_empty());
+
+    // The cold run must have written a provenance record whose image
+    // hash matches the produced bytes.
+    let ledger_dir = dir.join("provenance");
+    let record_path = ledger_dir.join(format!("{:032x}.plxp", hash128(&clean_image)));
+    let record = ProvenanceRecord::parse(
+        &std::fs::read_to_string(&record_path).expect("provenance record written"),
+    )
+    .expect("provenance record parses");
+    assert_eq!(record.image_hash, hash128(&clean_image));
+    assert!(
+        !record.stages.is_empty(),
+        "record must digest pipeline artifacts"
+    );
+
+    // Corrupt the protected entry *and re-stamp its self-hash*, the
+    // way a deliberate tamperer (not bit-rot) would: the cache layer
+    // now believes the bytes, so only load-time image verification
+    // stands between the entry and the VM.
+    let path = entry_path(&dir, "protected");
+    let mut bytes = std::fs::read(&path).expect("entry readable");
+    let mid = 20 + (bytes.len() - 20) / 2;
+    bytes[mid] ^= 0x40;
+    let restamp = hash128(&bytes[20..]).to_le_bytes();
+    bytes[4..20].copy_from_slice(&restamp);
+    std::fs::write(&path, &bytes).expect("entry writable");
+
+    // Fresh engine over the same disk cache (memory layer empty): the
+    // fetch self-hash passes, verification fails, the entry is evicted
+    // and the job recomputed to byte-identical output.
+    let events = Mutex::new(Vec::new());
+    let engine = Engine::new(opts());
+    let second = engine
+        .run(vec![one_job()], |ev| {
+            if let Ok(mut v) = events.lock() {
+                v.push(ev.clone());
+            }
+        })
+        .expect("second run");
+    assert!(second.all_clean());
+    assert!(
+        !second.results[0].cached,
+        "tampered entry must not be served"
+    );
+    assert_eq!(
+        second.results[0].image, clean_image,
+        "recompute must be byte-identical to the cold run"
+    );
+    let events = events.into_inner().expect("no poisoned lock");
+    assert!(
+        events.iter().any(|ev| matches!(
+            ev,
+            EngineEvent::CachePoisoned {
+                kind: ArtifactKind::Protected,
+                ..
+            }
+        )),
+        "tampered protected entry must be reported as poisoned"
+    );
+
+    // The cache healed: a third run (same engine, warm store) hits.
+    let third = engine.run(vec![one_job()], |_| {}).expect("third run");
+    assert!(third.results[0].cached, "cache must heal after recompute");
+    assert_eq!(third.results[0].image, clean_image);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verification_counters_reach_the_tracer() {
+    let tracer = std::sync::Arc::new(parallax_trace::Tracer::new());
+    let engine = Engine::new(EngineOptions {
+        trace: Some(std::sync::Arc::clone(&tracer)),
+        ..EngineOptions::default()
+    });
+    let report = engine.run(vec![one_job()], |_| {}).expect("batch runs");
+    assert!(report.all_clean());
+    let snap = tracer.snapshot();
+    assert_eq!(snap.counters.get("image.verify.pass"), Some(&1));
+    assert!(snap.counters.contains_key("image.verify.ns"));
+    assert!(!snap.counters.contains_key("image.verify.fail"));
+}

@@ -26,14 +26,58 @@ impl fmt::Display for LinkError {
 impl std::error::Error for LinkError {}
 
 /// Errors produced while parsing a serialized image.
+///
+/// Every variant that concerns the file body carries the byte offset
+/// at which the first violation was detected, so loaders can report
+/// *where* an image went bad, not just that it did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FormatError {
     /// Bad magic number at the start of the file.
     BadMagic,
     /// Unsupported format version.
     BadVersion(u16),
-    /// The file ended prematurely or a field was inconsistent.
-    Corrupt(&'static str),
+    /// The file ended before the field starting at `offset` completed.
+    Truncated {
+        /// Byte offset where input ran out.
+        offset: usize,
+    },
+    /// A field at `offset` was internally inconsistent.
+    Corrupt {
+        /// Byte offset of the inconsistent field.
+        offset: usize,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+    /// The payload parsed but its content digest does not match the
+    /// digest recorded in the header — the image was modified (or
+    /// rotted) after it was saved.
+    DigestMismatch {
+        /// Digest recorded in the file header.
+        expected: u128,
+        /// Digest recomputed over the payload actually present.
+        actual: u128,
+    },
+}
+
+impl FormatError {
+    /// Short machine-readable identifier for the error kind.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FormatError::BadMagic => "bad-magic",
+            FormatError::BadVersion(_) => "bad-version",
+            FormatError::Truncated { .. } => "truncated",
+            FormatError::Corrupt { .. } => "corrupt",
+            FormatError::DigestMismatch { .. } => "digest-mismatch",
+        }
+    }
+
+    /// Byte offset of the first violation (0 for whole-file errors).
+    pub fn offset(&self) -> usize {
+        match self {
+            FormatError::Truncated { offset } | FormatError::Corrupt { offset, .. } => *offset,
+            _ => 0,
+        }
+    }
 }
 
 impl fmt::Display for FormatError {
@@ -41,7 +85,16 @@ impl fmt::Display for FormatError {
         match self {
             FormatError::BadMagic => write!(f, "not a PLX image (bad magic)"),
             FormatError::BadVersion(v) => write!(f, "unsupported PLX version {v}"),
-            FormatError::Corrupt(what) => write!(f, "corrupt image: {what}"),
+            FormatError::Truncated { offset } => {
+                write!(f, "truncated image: input ended at byte {offset}")
+            }
+            FormatError::Corrupt { offset, what } => {
+                write!(f, "corrupt image at byte {offset}: {what}")
+            }
+            FormatError::DigestMismatch { expected, actual } => write!(
+                f,
+                "content digest mismatch: header says {expected:032x}, payload hashes to {actual:032x}"
+            ),
         }
     }
 }

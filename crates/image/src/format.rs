@@ -5,6 +5,15 @@
 //! The `PLX` container is a minimal ELF-like format: a fixed header
 //! followed by the text section, data section, symbol table, marker
 //! table, and relocation table. All integers are little-endian.
+//!
+//! Version 2 adds a 128-bit content digest of the payload right after
+//! the version field. [`load`] recomputes and compares it, so a single
+//! flipped bit anywhere in the body surfaces as
+//! [`FormatError::DigestMismatch`] instead of being silently trusted.
+//! The digest is FNV-1a (not cryptographic): it defends against
+//! corruption in transit and storage; *malicious* re-linking — which
+//! can always re-stamp a fresh digest — is the job of the structural
+//! checks in [`crate::verify`].
 
 use std::collections::HashMap;
 
@@ -14,7 +23,30 @@ use crate::error::FormatError;
 use crate::linked::{LinkedImage, RelocSite, Symbol, SymbolKind};
 
 const MAGIC: &[u8; 4] = b"PLX\x7f";
-const VERSION: u16 = 1;
+/// Current container format version.
+pub const VERSION: u16 = 2;
+/// Magic (4) + version (2) + payload digest (16).
+pub const HEADER_LEN: usize = 22;
+
+/// FNV-1a 64-bit with a caller-chosen offset basis.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// 128-bit payload digest: two independent FNV-1a 64 streams.
+pub fn payload_digest(bytes: &[u8]) -> u128 {
+    const BASIS_LO: u64 = 0xcbf2_9ce4_8422_2325;
+    const BASIS_HI: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+    let lo = fnv1a64(bytes, BASIS_LO);
+    let hi = fnv1a64(bytes, BASIS_HI);
+    ((hi as u128) << 64) | lo as u128
+}
 
 struct Writer {
     out: Vec<u8>,
@@ -23,9 +55,6 @@ struct Writer {
 impl Writer {
     fn u8(&mut self, v: u8) {
         self.out.push(v);
-    }
-    fn u16(&mut self, v: u16) {
-        self.out.extend_from_slice(&v.to_le_bytes());
     }
     fn u32(&mut self, v: u32) {
         self.out.extend_from_slice(&v.to_le_bytes());
@@ -52,12 +81,9 @@ impl<'a> Reader<'a> {
         let b = *self
             .buf
             .get(self.pos)
-            .ok_or(FormatError::Corrupt("unexpected end of file"))?;
+            .ok_or(FormatError::Truncated { offset: self.pos })?;
         self.pos += 1;
         Ok(b)
-    }
-    fn u16(&mut self) -> Result<u16, FormatError> {
-        Ok(self.u8()? as u16 | ((self.u8()? as u16) << 8))
     }
     fn u32(&mut self) -> Result<u32, FormatError> {
         let mut v = 0u32;
@@ -70,25 +96,30 @@ impl<'a> Reader<'a> {
         Ok(self.u32()? as i32)
     }
     fn bytes(&mut self) -> Result<&'a [u8], FormatError> {
+        let start = self.pos;
         let len = self.u32()? as usize;
         if self.pos + len > self.buf.len() {
-            return Err(FormatError::Corrupt("byte run overruns file"));
+            return Err(FormatError::Corrupt {
+                offset: start,
+                what: "byte run overruns file",
+            });
         }
         let s = &self.buf[self.pos..self.pos + len];
         self.pos += len;
         Ok(s)
     }
     fn str(&mut self) -> Result<String, FormatError> {
-        String::from_utf8(self.bytes()?.to_vec())
-            .map_err(|_| FormatError::Corrupt("invalid UTF-8 in string"))
+        let start = self.pos;
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|_| FormatError::Corrupt {
+            offset: start,
+            what: "invalid UTF-8 in string",
+        })
     }
 }
 
 /// Serializes a linked image to the `PLX` container format.
 pub fn save(img: &LinkedImage) -> Vec<u8> {
     let mut w = Writer { out: Vec::new() };
-    w.out.extend_from_slice(MAGIC);
-    w.u16(VERSION);
     w.u32(img.text_base);
     w.u32(img.data_base);
     w.u32(img.bss_size);
@@ -125,19 +156,42 @@ pub fn save(img: &LinkedImage) -> Vec<u8> {
         w.str(&r.symbol);
         w.i32(r.addend);
     }
-    w.out
+    let payload = w.out;
+    let digest = payload_digest(&payload);
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&digest.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
 }
 
-/// Parses a `PLX` container back into a linked image.
+/// Parses a `PLX` container back into a linked image, verifying the
+/// header digest against the payload.
+///
+/// Error precedence: structural parse errors ([`FormatError::Truncated`]
+/// / [`FormatError::Corrupt`], which carry the offset of the first bad
+/// field) win over [`FormatError::DigestMismatch`], which catches any
+/// corruption the parser happened to survive.
 pub fn load(buf: &[u8]) -> Result<LinkedImage, FormatError> {
     if buf.len() < 4 || &buf[..4] != MAGIC {
         return Err(FormatError::BadMagic);
     }
-    let mut r = Reader { buf, pos: 4 };
-    let version = r.u16()?;
+    if buf.len() < 6 {
+        return Err(FormatError::Truncated { offset: buf.len() });
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
     if version != VERSION {
         return Err(FormatError::BadVersion(version));
     }
+    if buf.len() < HEADER_LEN {
+        return Err(FormatError::Truncated { offset: buf.len() });
+    }
+    let expected = u128::from_le_bytes(buf[6..HEADER_LEN].try_into().unwrap());
+    let mut r = Reader {
+        buf,
+        pos: HEADER_LEN,
+    };
     let text_base = r.u32()?;
     let data_base = r.u32()?;
     let bss_size = r.u32()?;
@@ -145,19 +199,29 @@ pub fn load(buf: &[u8]) -> Result<LinkedImage, FormatError> {
     let text = r.bytes()?.to_vec();
     let data = r.bytes()?.to_vec();
 
+    let nsyms_at = r.pos;
     let nsyms = r.u32()? as usize;
     if nsyms > buf.len() {
-        return Err(FormatError::Corrupt("symbol count exceeds file size"));
+        return Err(FormatError::Corrupt {
+            offset: nsyms_at,
+            what: "symbol count exceeds file size",
+        });
     }
     let mut symbols = Vec::with_capacity(nsyms);
     for _ in 0..nsyms {
         let name = r.str()?;
         let vaddr = r.u32()?;
         let size = r.u32()?;
+        let kind_at = r.pos;
         let kind = match r.u8()? {
             0 => SymbolKind::Func,
             1 => SymbolKind::Object,
-            _ => return Err(FormatError::Corrupt("bad symbol kind")),
+            _ => {
+                return Err(FormatError::Corrupt {
+                    offset: kind_at,
+                    what: "bad symbol kind",
+                })
+            }
         };
         symbols.push(Symbol {
             name,
@@ -167,9 +231,13 @@ pub fn load(buf: &[u8]) -> Result<LinkedImage, FormatError> {
         });
     }
 
+    let nmarkers_at = r.pos;
     let nmarkers = r.u32()? as usize;
     if nmarkers > buf.len() {
-        return Err(FormatError::Corrupt("marker count exceeds file size"));
+        return Err(FormatError::Corrupt {
+            offset: nmarkers_at,
+            what: "marker count exceeds file size",
+        });
     }
     let mut markers = HashMap::with_capacity(nmarkers);
     for _ in 0..nmarkers {
@@ -178,17 +246,27 @@ pub fn load(buf: &[u8]) -> Result<LinkedImage, FormatError> {
         markers.insert(name, va);
     }
 
+    let nrelocs_at = r.pos;
     let nrelocs = r.u32()? as usize;
     if nrelocs > buf.len() {
-        return Err(FormatError::Corrupt("reloc count exceeds file size"));
+        return Err(FormatError::Corrupt {
+            offset: nrelocs_at,
+            what: "reloc count exceeds file size",
+        });
     }
     let mut reloc_sites = Vec::with_capacity(nrelocs);
     for _ in 0..nrelocs {
         let vaddr = r.u32()?;
+        let kind_at = r.pos;
         let kind = match r.u8()? {
             0 => RelocKind::Rel32,
             1 => RelocKind::Abs32,
-            _ => return Err(FormatError::Corrupt("bad reloc kind")),
+            _ => {
+                return Err(FormatError::Corrupt {
+                    offset: kind_at,
+                    what: "bad reloc kind",
+                })
+            }
         };
         let symbol = r.str()?;
         let addend = r.i32()?;
@@ -198,6 +276,11 @@ pub fn load(buf: &[u8]) -> Result<LinkedImage, FormatError> {
             symbol,
             addend,
         });
+    }
+
+    let actual = payload_digest(&buf[HEADER_LEN..]);
+    if actual != expected {
+        return Err(FormatError::DigestMismatch { expected, actual });
     }
 
     Ok(LinkedImage {
@@ -282,5 +365,55 @@ mod tests {
         for cut in [5, 10, 20, bytes.len() - 1] {
             assert!(load(&bytes[..cut]).is_err(), "cut at {cut} should fail");
         }
+        // Header-level cuts report a typed truncation with the offset.
+        assert_eq!(
+            load(&bytes[..10]).unwrap_err(),
+            FormatError::Truncated { offset: 10 }
+        );
+    }
+
+    #[test]
+    fn digest_catches_every_payload_bit_flip() {
+        let clean = save(&sample());
+        for offset in HEADER_LEN..clean.len() {
+            for bit in 0..8 {
+                let mut bytes = clean.clone();
+                bytes[offset] ^= 1 << bit;
+                assert!(
+                    load(&bytes).is_err(),
+                    "flip of bit {bit} at byte {offset} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn digest_mismatch_kind_for_section_byte_flips() {
+        let img = sample();
+        let bytes = save(&img);
+        // First text byte lives right after the header and the four
+        // u32 fields plus the text length prefix.
+        let text_at = HEADER_LEN + 16 + 4;
+        assert_eq!(bytes[text_at], img.text[0]);
+        let mut tampered = bytes.clone();
+        tampered[text_at] ^= 0x01;
+        assert!(matches!(
+            load(&tampered).unwrap_err(),
+            FormatError::DigestMismatch { .. }
+        ));
+        // Flipping a digest byte itself is also a mismatch.
+        let mut header = bytes.clone();
+        header[6] ^= 0x80;
+        assert!(matches!(
+            load(&header).unwrap_err(),
+            FormatError::DigestMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = save(&sample());
+        bytes.push(0xcc);
+        assert!(load(&bytes).is_err());
     }
 }

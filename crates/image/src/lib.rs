@@ -14,7 +14,11 @@ pub mod error;
 pub mod format;
 pub mod linked;
 pub mod program;
+pub mod verify;
 
 pub use error::{FormatError, LinkError};
 pub use linked::{LinkedImage, RelocSite, Symbol, SymbolKind};
 pub use program::{Program, SECTION_ALIGN, TEXT_BASE};
+pub use verify::{
+    verify_image, verify_image_strict, ImageVerifyError, VerifiedImage, VerifyReport,
+};

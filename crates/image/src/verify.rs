@@ -1,0 +1,659 @@
+//! Fail-closed structural verification of linked images.
+//!
+//! The VM trusts whatever [`LinkedImage`] it is handed; this module is
+//! the gate that earns that trust. [`verify_image`] checks every
+//! structural invariant a well-formed Parallax image satisfies —
+//! section geometry, entry point, symbol/marker/relocation bounds, and
+//! the plausibility of every ROP-chain word that points into text —
+//! *before* a single VM cycle executes. [`verify_image_strict`]
+//! additionally requires each text-pointing chain word to resolve to a
+//! known address (a scanned gadget, a function entry, or a marker), the
+//! check that defeats chain-stitching attacks which redirect a chain to
+//! an *equivalent* gadget outside the scanned map.
+//!
+//! The result of a successful pass is a [`VerifiedImage`] — a newtype
+//! the VM and the protection pipeline accept where an unchecked
+//! [`LinkedImage`] is no longer welcome. The only way around the check
+//! is the loudly named [`VerifiedImage::dangerous_skip_verify`], kept
+//! for differential-oracle tests that *want* to execute corrupt images
+//! and observe the watchdog verdict.
+//!
+//! Verification order (each layer assumes the previous one passed):
+//!
+//! 1. container parse + content digest ([`crate::format::load`]);
+//! 2. structural invariants (this module, [`verify_image`]);
+//! 3. strict chain-word resolution against a gadget scan
+//!    ([`verify_image_strict`], used by `plx verify` and the
+//!    pipeline's own post-link self-check).
+
+use core::fmt;
+use std::collections::HashSet;
+use std::ops::Deref;
+
+use parallax_x86::decode;
+
+use crate::error::FormatError;
+use crate::linked::{LinkedImage, SymbolKind};
+
+/// Prefix of the static cleartext chain data objects.
+const CHAIN_PREFIX: &str = "__plx_chain_";
+/// Longest window (bytes) a text-pointing chain word may decode
+/// through before a `ret` must appear for the target to be plausible.
+const PLAUSIBLE_WINDOW: usize = 64;
+/// Instruction budget within that window.
+const PLAUSIBLE_INSNS: usize = 16;
+
+/// A violation of the image's structural invariants.
+///
+/// Extends the pipeline's error taxonomy (DESIGN.md §7) to load time:
+/// every variant identifies the *first* violation found, with enough
+/// context ([`ImageVerifyError::offset`]) to point at the bad bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageVerifyError {
+    /// The container failed to parse (or its content digest mismatched).
+    Format(FormatError),
+    /// A section's base + length overflows the 32-bit address space.
+    SectionOverflow {
+        /// Which section ("text", "data", or "bss").
+        section: &'static str,
+    },
+    /// The data section begins before the text section ends.
+    SectionOverlap {
+        /// End of text (exclusive).
+        text_end: u32,
+        /// Start of data.
+        data_base: u32,
+    },
+    /// The entry point is outside the text section.
+    EntryOutOfText {
+        /// The offending entry address.
+        entry: u32,
+    },
+    /// Two symbols share a name.
+    DuplicateSymbol {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A symbol's range is outside its section.
+    SymbolOutOfRange {
+        /// Symbol name.
+        name: String,
+        /// Symbol start address.
+        vaddr: u32,
+    },
+    /// A marker points outside the text section.
+    MarkerOutOfText {
+        /// Marker name (`"func.marker"`).
+        name: String,
+        /// The offending address.
+        vaddr: u32,
+    },
+    /// A retained relocation site's 4-byte field is not inside the
+    /// image.
+    RelocOutOfRange {
+        /// Index into [`LinkedImage::reloc_sites`].
+        index: usize,
+        /// The offending field address.
+        vaddr: u32,
+    },
+    /// A retained relocation references a symbol that does not exist.
+    RelocUnknownSymbol {
+        /// Index into [`LinkedImage::reloc_sites`].
+        index: usize,
+        /// The unresolved symbol name.
+        symbol: String,
+    },
+    /// A `__plx_chain_*` object's size is not a whole number of
+    /// 32-bit chain words.
+    ChainMisaligned {
+        /// The chain's verification function.
+        func: String,
+    },
+    /// A chain word points into text but does not resolve to any
+    /// known target (gadget, function entry, or marker) — the
+    /// signature of a chain redirected to an out-of-map gadget.
+    ChainWordOutOfMap {
+        /// The chain's verification function.
+        func: String,
+        /// Word index within the chain.
+        index: usize,
+        /// The unresolvable target address.
+        value: u32,
+    },
+    /// A gadget-map entry lies outside the protected text range.
+    GadgetOutOfText {
+        /// The offending gadget address.
+        vaddr: u32,
+    },
+}
+
+impl ImageVerifyError {
+    /// Short machine-readable identifier for the violation kind.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ImageVerifyError::Format(e) => e.code(),
+            ImageVerifyError::SectionOverflow { .. } => "section-overflow",
+            ImageVerifyError::SectionOverlap { .. } => "section-overlap",
+            ImageVerifyError::EntryOutOfText { .. } => "entry-out-of-text",
+            ImageVerifyError::DuplicateSymbol { .. } => "duplicate-symbol",
+            ImageVerifyError::SymbolOutOfRange { .. } => "symbol-out-of-range",
+            ImageVerifyError::MarkerOutOfText { .. } => "marker-out-of-text",
+            ImageVerifyError::RelocOutOfRange { .. } => "reloc-out-of-range",
+            ImageVerifyError::RelocUnknownSymbol { .. } => "reloc-unknown-symbol",
+            ImageVerifyError::ChainMisaligned { .. } => "chain-misaligned",
+            ImageVerifyError::ChainWordOutOfMap { .. } => "chain-word-out-of-map",
+            ImageVerifyError::GadgetOutOfText { .. } => "gadget-out-of-text",
+        }
+    }
+
+    /// Location of the first violation: a file offset for container
+    /// errors, a virtual address for structural ones (0 when the
+    /// violation has no single address, e.g. a duplicate symbol).
+    pub fn offset(&self) -> u64 {
+        match self {
+            ImageVerifyError::Format(e) => e.offset() as u64,
+            ImageVerifyError::SectionOverflow { .. } => 0,
+            ImageVerifyError::SectionOverlap { data_base, .. } => *data_base as u64,
+            ImageVerifyError::EntryOutOfText { entry } => *entry as u64,
+            ImageVerifyError::DuplicateSymbol { .. } => 0,
+            ImageVerifyError::SymbolOutOfRange { vaddr, .. } => *vaddr as u64,
+            ImageVerifyError::MarkerOutOfText { vaddr, .. } => *vaddr as u64,
+            ImageVerifyError::RelocOutOfRange { vaddr, .. } => *vaddr as u64,
+            ImageVerifyError::RelocUnknownSymbol { .. } => 0,
+            ImageVerifyError::ChainMisaligned { .. } => 0,
+            ImageVerifyError::ChainWordOutOfMap { value, .. } => *value as u64,
+            ImageVerifyError::GadgetOutOfText { vaddr } => *vaddr as u64,
+        }
+    }
+}
+
+impl fmt::Display for ImageVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageVerifyError::Format(e) => write!(f, "{e}"),
+            ImageVerifyError::SectionOverflow { section } => {
+                write!(f, "{section} section overflows the 32-bit address space")
+            }
+            ImageVerifyError::SectionOverlap {
+                text_end,
+                data_base,
+            } => write!(
+                f,
+                "data section at {data_base:#x} overlaps text ending at {text_end:#x}"
+            ),
+            ImageVerifyError::EntryOutOfText { entry } => {
+                write!(f, "entry point {entry:#x} is outside the text section")
+            }
+            ImageVerifyError::DuplicateSymbol { name } => {
+                write!(f, "duplicate symbol `{name}`")
+            }
+            ImageVerifyError::SymbolOutOfRange { name, vaddr } => {
+                write!(f, "symbol `{name}` at {vaddr:#x} escapes its section")
+            }
+            ImageVerifyError::MarkerOutOfText { name, vaddr } => {
+                write!(f, "marker `{name}` at {vaddr:#x} is outside text")
+            }
+            ImageVerifyError::RelocOutOfRange { index, vaddr } => {
+                write!(f, "relocation #{index} patches {vaddr:#x}, outside the image")
+            }
+            ImageVerifyError::RelocUnknownSymbol { index, symbol } => {
+                write!(f, "relocation #{index} references unknown symbol `{symbol}`")
+            }
+            ImageVerifyError::ChainMisaligned { func } => {
+                write!(f, "chain for `{func}` is not a whole number of words")
+            }
+            ImageVerifyError::ChainWordOutOfMap { func, index, value } => write!(
+                f,
+                "chain word #{index} of `{func}` targets {value:#x}, which is no known gadget, function, or marker"
+            ),
+            ImageVerifyError::GadgetOutOfText { vaddr } => {
+                write!(f, "gadget-map entry {vaddr:#x} is outside the text section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImageVerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageVerifyError::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for ImageVerifyError {
+    fn from(e: FormatError) -> ImageVerifyError {
+        ImageVerifyError::Format(e)
+    }
+}
+
+/// What a successful verification pass inspected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Symbols checked against their section bounds.
+    pub symbols: usize,
+    /// Markers checked against the text range.
+    pub markers: usize,
+    /// Relocation sites checked for range and resolution.
+    pub relocs: usize,
+    /// Cleartext chain objects inspected.
+    pub chains: usize,
+    /// Total chain words inspected.
+    pub chain_words: usize,
+    /// Chain words that point into text and were resolved.
+    pub text_words: usize,
+    /// True when the pass resolved chain words against a gadget map
+    /// ([`verify_image_strict`]); false for the plausibility-only pass.
+    pub strict: bool,
+}
+
+/// Verifies every structural invariant of `img` without a gadget map.
+///
+/// Chain words that point into text are accepted when they land on a
+/// function entry or marker, or when the bytes at the target decode to
+/// a `ret` within a small window (a *plausible* gadget). Use
+/// [`verify_image_strict`] to require exact gadget-map membership.
+pub fn verify_image(img: &LinkedImage) -> Result<VerifyReport, ImageVerifyError> {
+    verify_inner(img, None)
+}
+
+/// Verifies `img` strictly: every chain word pointing into text must
+/// be a member of `gadget_vaddrs` (sorted ascending), a function
+/// entry, or a marker — and every gadget-map entry must itself lie in
+/// text.
+pub fn verify_image_strict(
+    img: &LinkedImage,
+    gadget_vaddrs: &[u32],
+) -> Result<VerifyReport, ImageVerifyError> {
+    verify_inner(img, Some(gadget_vaddrs))
+}
+
+fn verify_inner(
+    img: &LinkedImage,
+    gadget_vaddrs: Option<&[u32]>,
+) -> Result<VerifyReport, ImageVerifyError> {
+    let mut report = VerifyReport {
+        strict: gadget_vaddrs.is_some(),
+        ..VerifyReport::default()
+    };
+
+    // Section geometry.
+    let text_end = img
+        .text_base
+        .checked_add(img.text.len() as u32)
+        .ok_or(ImageVerifyError::SectionOverflow { section: "text" })?;
+    let data_end = img
+        .data_base
+        .checked_add(img.data.len() as u32)
+        .ok_or(ImageVerifyError::SectionOverflow { section: "data" })?;
+    let bss_end = data_end
+        .checked_add(img.bss_size)
+        .ok_or(ImageVerifyError::SectionOverflow { section: "bss" })?;
+    if img.data_base < text_end {
+        return Err(ImageVerifyError::SectionOverlap {
+            text_end,
+            data_base: img.data_base,
+        });
+    }
+
+    // Entry point.
+    if img.entry < img.text_base || img.entry >= text_end {
+        return Err(ImageVerifyError::EntryOutOfText { entry: img.entry });
+    }
+
+    // Symbols: unique names, each inside its section.
+    let mut names = HashSet::with_capacity(img.symbols.len());
+    for s in &img.symbols {
+        if !names.insert(s.name.as_str()) {
+            return Err(ImageVerifyError::DuplicateSymbol {
+                name: s.name.clone(),
+            });
+        }
+        let end = s
+            .vaddr
+            .checked_add(s.size)
+            .ok_or(ImageVerifyError::SymbolOutOfRange {
+                name: s.name.clone(),
+                vaddr: s.vaddr,
+            })?;
+        let ok = match s.kind {
+            SymbolKind::Func => s.vaddr >= img.text_base && end <= text_end,
+            SymbolKind::Object => s.vaddr >= img.data_base && end <= bss_end,
+        };
+        if !ok {
+            return Err(ImageVerifyError::SymbolOutOfRange {
+                name: s.name.clone(),
+                vaddr: s.vaddr,
+            });
+        }
+        report.symbols += 1;
+    }
+
+    // Markers: inside text, deterministically ordered for a stable
+    // "first violation".
+    let mut markers: Vec<(&String, &u32)> = img.markers.iter().collect();
+    markers.sort();
+    for (name, &va) in markers {
+        if va < img.text_base || va >= text_end {
+            return Err(ImageVerifyError::MarkerOutOfText {
+                name: name.clone(),
+                vaddr: va,
+            });
+        }
+        report.markers += 1;
+    }
+
+    // Relocation sites: patched field inside the image, symbol known.
+    for (index, r) in img.reloc_sites.iter().enumerate() {
+        if img.read(r.vaddr, 4).is_none() {
+            return Err(ImageVerifyError::RelocOutOfRange {
+                index,
+                vaddr: r.vaddr,
+            });
+        }
+        if !names.contains(r.symbol.as_str()) {
+            return Err(ImageVerifyError::RelocUnknownSymbol {
+                index,
+                symbol: r.symbol.clone(),
+            });
+        }
+        report.relocs += 1;
+    }
+
+    // Gadget-map entries must point into protected text.
+    if let Some(gadgets) = gadget_vaddrs {
+        for &g in gadgets {
+            if g < img.text_base || g >= text_end {
+                return Err(ImageVerifyError::GadgetOutOfText { vaddr: g });
+            }
+        }
+    }
+
+    // Chain words. Only static cleartext chains are inspectable at
+    // load time: encrypted/probabilistic chains live in ciphertext or
+    // BSS and are covered by the container digest instead.
+    let allowed: HashSet<u32> = img
+        .symbols
+        .iter()
+        .map(|s| s.vaddr)
+        .chain(img.markers.values().copied())
+        .collect();
+    for sym in &img.symbols {
+        if sym.kind != SymbolKind::Object || !sym.name.starts_with(CHAIN_PREFIX) {
+            continue;
+        }
+        // BSS-resident chains (dynamic modes) have no load-time bytes.
+        if sym.vaddr < img.data_base || sym.vaddr.saturating_add(sym.size) > data_end {
+            continue;
+        }
+        let func = sym.name[CHAIN_PREFIX.len()..].to_owned();
+        if sym.size % 4 != 0 {
+            return Err(ImageVerifyError::ChainMisaligned { func });
+        }
+        let bytes = img
+            .read(sym.vaddr, sym.size as usize)
+            .expect("chain range checked above");
+        report.chains += 1;
+        for (index, w) in bytes.chunks_exact(4).enumerate() {
+            let value = u32::from_le_bytes([w[0], w[1], w[2], w[3]]);
+            report.chain_words += 1;
+            if value < img.text_base || value >= text_end {
+                continue;
+            }
+            report.text_words += 1;
+            let resolved = match gadget_vaddrs {
+                Some(gadgets) => gadgets.binary_search(&value).is_ok() || allowed.contains(&value),
+                None => allowed.contains(&value) || decodes_to_ret(img, value),
+            };
+            if !resolved {
+                return Err(ImageVerifyError::ChainWordOutOfMap { func, index, value });
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+/// True when the bytes at `vaddr` decode to a `ret` within a small
+/// window — the plausibility test for a text-pointing chain word when
+/// no gadget map is at hand.
+fn decodes_to_ret(img: &LinkedImage, vaddr: u32) -> bool {
+    let avail = (img.text_end() - vaddr) as usize;
+    let Some(window) = img.read(vaddr, avail.min(PLAUSIBLE_WINDOW)) else {
+        return false;
+    };
+    let mut pos = 0usize;
+    for _ in 0..PLAUSIBLE_INSNS {
+        let Ok(insn) = decode(&window[pos..]) else {
+            return false;
+        };
+        if insn.is_ret() {
+            return true;
+        }
+        pos += insn.len as usize;
+        if pos >= window.len() {
+            return false;
+        }
+    }
+    false
+}
+
+/// A [`LinkedImage`] that passed verification — the only image type
+/// the VM will build a CPU over.
+#[derive(Debug, Clone)]
+pub struct VerifiedImage {
+    img: LinkedImage,
+    report: VerifyReport,
+}
+
+impl VerifiedImage {
+    /// Verifies `img` (plausibility mode) and wraps it on success.
+    pub fn verify(img: LinkedImage) -> Result<VerifiedImage, ImageVerifyError> {
+        let report = verify_image(&img)?;
+        Ok(VerifiedImage { img, report })
+    }
+
+    /// Verifies `img` strictly against `gadget_vaddrs` (sorted
+    /// ascending) and wraps it on success.
+    pub fn verify_strict(
+        img: LinkedImage,
+        gadget_vaddrs: &[u32],
+    ) -> Result<VerifiedImage, ImageVerifyError> {
+        let report = verify_image_strict(&img, gadget_vaddrs)?;
+        Ok(VerifiedImage { img, report })
+    }
+
+    /// Wraps `img` WITHOUT verification.
+    ///
+    /// Test-only escape hatch for the differential oracle: tamper
+    /// experiments deliberately execute corrupt images so the
+    /// watchdog ([`classify`](../parallax_core/tamper/fn.classify.html))
+    /// can observe how they misbehave. Production loaders must never
+    /// call this — the name is long on purpose.
+    pub fn dangerous_skip_verify(img: LinkedImage) -> VerifiedImage {
+        VerifiedImage {
+            img,
+            report: VerifyReport::default(),
+        }
+    }
+
+    /// What the verification pass inspected (all zeros after
+    /// [`VerifiedImage::dangerous_skip_verify`]).
+    pub fn report(&self) -> VerifyReport {
+        self.report
+    }
+
+    /// Unwraps the inner image.
+    pub fn into_inner(self) -> LinkedImage {
+        self.img
+    }
+}
+
+impl Deref for VerifiedImage {
+    type Target = LinkedImage;
+    fn deref(&self) -> &LinkedImage {
+        &self.img
+    }
+}
+
+impl AsRef<LinkedImage> for VerifiedImage {
+    fn as_ref(&self) -> &LinkedImage {
+        &self.img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use super::*;
+    use crate::linked::Symbol;
+    use crate::RelocSite;
+    use parallax_x86::RelocKind;
+
+    fn sample() -> LinkedImage {
+        let mut markers = HashMap::new();
+        markers.insert("main.spot".to_owned(), 0x1001);
+        // Chain: one gadget word (0x1001: ret), one constant.
+        let mut data = vec![0u8; 8];
+        data[..4].copy_from_slice(&0x1001u32.to_le_bytes());
+        data[4..].copy_from_slice(&7u32.to_le_bytes());
+        LinkedImage {
+            text: vec![0x90, 0xc3, 0x55], // nop; ret; push ebp
+            text_base: 0x1000,
+            data,
+            data_base: 0x2000,
+            bss_size: 16,
+            symbols: vec![
+                Symbol {
+                    name: "main".into(),
+                    vaddr: 0x1000,
+                    size: 3,
+                    kind: SymbolKind::Func,
+                },
+                Symbol {
+                    name: "__plx_chain_main".into(),
+                    vaddr: 0x2000,
+                    size: 8,
+                    kind: SymbolKind::Object,
+                },
+            ],
+            entry: 0x1000,
+            markers,
+            reloc_sites: vec![RelocSite {
+                vaddr: 0x2000,
+                kind: RelocKind::Abs32,
+                symbol: "main".into(),
+                addend: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_image_verifies() {
+        let img = sample();
+        let rep = verify_image(&img).unwrap();
+        assert_eq!(rep.symbols, 2);
+        assert_eq!(rep.markers, 1);
+        assert_eq!(rep.relocs, 1);
+        assert_eq!(rep.chains, 1);
+        assert_eq!(rep.chain_words, 2);
+        assert_eq!(rep.text_words, 1);
+        assert!(!rep.strict);
+        let rep = verify_image_strict(&img, &[0x1001]).unwrap();
+        assert!(rep.strict);
+        let verified = VerifiedImage::verify(img).unwrap();
+        assert_eq!(verified.text_base, 0x1000); // Deref works
+    }
+
+    #[test]
+    fn rejects_bad_entry() {
+        let mut img = sample();
+        img.entry = 0x5000;
+        assert_eq!(
+            verify_image(&img).unwrap_err(),
+            ImageVerifyError::EntryOutOfText { entry: 0x5000 }
+        );
+    }
+
+    #[test]
+    fn rejects_section_overlap() {
+        let mut img = sample();
+        img.data_base = 0x1001;
+        let e = verify_image(&img).unwrap_err();
+        assert_eq!(e.code(), "section-overlap");
+        assert_eq!(e.offset(), 0x1001);
+    }
+
+    #[test]
+    fn rejects_spliced_symbol() {
+        let mut img = sample();
+        img.symbols[0].size = 0x9999;
+        let e = verify_image(&img).unwrap_err();
+        assert!(matches!(e, ImageVerifyError::SymbolOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_symbol() {
+        let mut img = sample();
+        let dup = img.symbols[0].clone();
+        img.symbols.push(dup);
+        assert_eq!(verify_image(&img).unwrap_err().code(), "duplicate-symbol");
+    }
+
+    #[test]
+    fn rejects_marker_out_of_text() {
+        let mut img = sample();
+        img.markers.insert("main.bad".into(), 0x4444);
+        assert_eq!(verify_image(&img).unwrap_err().code(), "marker-out-of-text");
+    }
+
+    #[test]
+    fn rejects_bad_relocs() {
+        let mut img = sample();
+        img.reloc_sites[0].vaddr = 0x9000;
+        assert_eq!(verify_image(&img).unwrap_err().code(), "reloc-out-of-range");
+        let mut img = sample();
+        img.reloc_sites[0].symbol = "ghost".into();
+        assert_eq!(
+            verify_image(&img).unwrap_err().code(),
+            "reloc-unknown-symbol"
+        );
+    }
+
+    #[test]
+    fn strict_rejects_redirected_chain_word() {
+        let mut img = sample();
+        // Redirect the chain's gadget word from 0x1001 to 0x1002 —
+        // still inside text, but not in the gadget map.
+        img.write(0x2000, &0x1002u32.to_le_bytes());
+        let e = verify_image_strict(&img, &[0x1001]).unwrap_err();
+        assert_eq!(e.code(), "chain-word-out-of-map");
+        assert_eq!(e.offset(), 0x1002);
+        // Plausibility mode also rejects it: 0x55 (push ebp) then EOF,
+        // no ret in the window.
+        assert_eq!(
+            verify_image(&img).unwrap_err().code(),
+            "chain-word-out-of-map"
+        );
+    }
+
+    #[test]
+    fn strict_rejects_out_of_text_gadget() {
+        let img = sample();
+        assert_eq!(
+            verify_image_strict(&img, &[0x0800]).unwrap_err().code(),
+            "gadget-out-of-text"
+        );
+    }
+
+    #[test]
+    fn escape_hatch_skips_checks() {
+        let mut img = sample();
+        img.entry = 0x5000; // would fail verification
+        let v = VerifiedImage::dangerous_skip_verify(img);
+        assert_eq!(v.report(), VerifyReport::default());
+        assert_eq!(v.entry, 0x5000);
+    }
+}

@@ -93,6 +93,34 @@ proptest! {
         let _ = format::load(&bytes);
     }
 
+    /// The loader is total on arbitrary byte soup: any input yields
+    /// `Ok` or a typed `FormatError`, never a panic — including soup
+    /// that starts with the real magic and version so the body parser
+    /// is reached.
+    #[test]
+    fn plx_load_byte_soup(
+        soup in proptest::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let _ = format::load(&soup);
+        let mut framed = b"PLX\x7f\x02\x00".to_vec();
+        framed.extend_from_slice(&soup);
+        let _ = format::load(&framed);
+    }
+
+    /// Structural verification is total on arbitrary (unlinked,
+    /// likely inconsistent) images, in both plausibility and strict
+    /// modes.
+    #[test]
+    fn verify_total(
+        img in arb_image(),
+        gadgets in proptest::collection::vec(any::<u32>(), 0..16),
+    ) {
+        let _ = parallax_image::verify_image(&img);
+        let mut gadgets = gadgets;
+        gadgets.sort_unstable();
+        let _ = parallax_image::verify_image_strict(&img, &gadgets);
+    }
+
     /// Linking assigns contiguous, non-overlapping function addresses
     /// in insertion order, whatever the padding.
     #[test]

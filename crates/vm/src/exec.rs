@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use parallax_image::LinkedImage;
+use parallax_image::{LinkedImage, VerifiedImage};
 use parallax_x86::insn::{AluOp, Insn, Mem, Mnemonic, OpSize, Operand, ShiftOp};
 use parallax_x86::{decode, Reg, Reg32, Reg8};
 
@@ -85,8 +85,26 @@ pub struct Vm {
 
 impl Vm {
     /// Creates a VM with default options, loading `image`.
+    ///
+    /// This constructor trusts its input; loaders that receive images
+    /// over an untrusted channel must go through
+    /// [`Vm::from_verified`] so no CPU is ever built over an
+    /// unchecked image (fail-closed loading, DESIGN.md §12).
     pub fn new(image: &LinkedImage) -> Vm {
         Vm::with_options(image, VmOptions::default())
+    }
+
+    /// Creates a VM over an image that passed fail-closed
+    /// verification — the production load path. The only way to reach
+    /// execution without the checks is the loudly named
+    /// [`VerifiedImage::dangerous_skip_verify`] escape hatch.
+    pub fn from_verified(image: &VerifiedImage) -> Vm {
+        Vm::new(image)
+    }
+
+    /// [`Vm::from_verified`] with explicit options.
+    pub fn from_verified_with_options(image: &VerifiedImage, opts: VmOptions) -> Vm {
+        Vm::with_options(image, opts)
     }
 
     /// Creates a VM with explicit options.

@@ -9,6 +9,8 @@
 //!             [--mode cleartext|xor|rc4|prob] [--guard f[,g]] [--seed N]
 //!             [--jobs N] [--trace-out t.json]
 //! plx run     <img.plx> [--input <file>] [--debugger] [--trace-out t.json]
+//!             [--dangerous-skip-verify]
+//! plx verify  <img.plx> [--provenance] [--provenance-dir <dir>]
 //! plx inspect <img.plx>                            sections + symbols
 //! plx disasm  <img.plx> [function]
 //! plx gadgets <img.plx>                            usable gadgets + types
@@ -34,9 +36,13 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use parallax_core::{
-    chain_tracer_for, chain_tracer_for_image, protect, protect_traced, ChainMode, ProtectConfig,
+    chain_tracer_for, chain_tracer_for_image, load_verified_image, load_verified_image_strict,
+    protect_hooked_traced, ChainMode, NoHooks, ProtectConfig,
 };
-use parallax_engine::{Engine, EngineEvent, EngineOptions};
+use parallax_engine::{
+    hash128, toolchain_id, Engine, EngineEvent, EngineOptions, Ledger, ProvenanceHooks,
+    ProvenanceRecord, RECORD_VERSION,
+};
 use parallax_image::{format, LinkedImage};
 use parallax_trace::{chrome_json, TraceFile, Tracer};
 use parallax_vm::{Vm, VmOptions};
@@ -83,10 +89,15 @@ pub fn spec_for(cmd: &str) -> Spec {
                 "seed",
                 "jobs",
                 "trace-out",
+                "provenance-dir",
             ],
             &[],
         ),
-        "run" => (&["input", "trace", "trace-out"], &["debugger", "profile"]),
+        "run" => (
+            &["input", "trace", "trace-out"],
+            &["debugger", "profile", "dangerous-skip-verify"],
+        ),
+        "verify" => (&["provenance-dir"], &["provenance"]),
         "tamper" => (&["o", "at", "bytes"], &[]),
         "batch" => (
             &["jobs", "out", "log-json", "cache-dir", "seed", "trace-out"],
@@ -344,13 +355,18 @@ pub fn cmd_protect(args: &Args) -> Result<String> {
         ..ProtectConfig::default()
     };
     let trace_out = args.flag("trace-out");
+    // Every protect leaves a paper trail: the pipeline runs under
+    // provenance hooks that digest each artifact it consumes, and the
+    // record lands in the ledger beside the engine's disk cache (or
+    // under --provenance-dir; `none` disables it).
+    let phooks = ProvenanceHooks::new(&NoHooks);
     let (protected, trace_note) = match trace_out {
         Some(path) => {
             // Traced protect, then a validation run with the chain
             // tracer installed so pipeline spans and per-gadget
             // dispatch telemetry land on one timeline.
             let tracer = Tracer::new();
-            let protected = protect_traced(&source.module, &cfg, &tracer)?;
+            let protected = protect_hooked_traced(&source.module, &cfg, &phooks, Some(&tracer))?;
             let mut vm = Vm::new(&protected.image);
             vm.set_input(&input);
             vm.set_chain_tracer(chain_tracer_for(&protected));
@@ -371,10 +387,36 @@ pub fn cmd_protect(args: &Args) -> Result<String> {
             );
             (protected, Some(note))
         }
-        None => (protect(&source.module, &cfg)?, None),
+        None => (
+            protect_hooked_traced(&source.module, &cfg, &phooks, None)?,
+            None,
+        ),
     };
     let bytes = format::save(&protected.image);
     std::fs::write(out, &bytes).map_err(|e| bail(format!("{out}: {e}")))?;
+
+    let prov_dir = args
+        .flag("provenance-dir")
+        .unwrap_or("target/plx-cache/provenance");
+    let prov_note = if prov_dir == "none" {
+        None
+    } else {
+        let base = parallax_compiler::compile_module(&source.module)?.link()?;
+        let record = ProvenanceRecord {
+            version: RECORD_VERSION,
+            toolchain: toolchain_id(),
+            input_hash: hash128(&format::save(&base)),
+            config: format!(
+                "cfg={:?};plan={:?}",
+                cfg.key_normalized(),
+                parallax_core::FaultPlan::default().without_cache_faults()
+            ),
+            stages: phooks.stage_digests(),
+            image_hash: hash128(&bytes),
+        };
+        let path = Ledger::new(prov_dir.into()).store(&record)?;
+        Some(format!("  provenance: {}", path.display()))
+    };
 
     let mut msg = String::new();
     let r = &protected.report;
@@ -408,12 +450,37 @@ pub fn cmd_protect(args: &Args) -> Result<String> {
     if let Some(note) = trace_note {
         writeln!(msg, "{note}").unwrap();
     }
+    if let Some(note) = prov_note {
+        writeln!(msg, "{note}").unwrap();
+    }
     Ok(msg.trim_end().to_owned())
 }
 
 /// `plx run`
 pub fn cmd_run(args: &Args) -> Result<String> {
-    let img = load_image(args.pos(0, "image")?)?;
+    let path = args.pos(0, "image")?;
+    let bytes = std::fs::read(path).map_err(|e| bail(format!("{path}: {e}")))?;
+    // Fail-closed by default: the image must pass container-digest and
+    // structural verification before a VM is ever constructed. The
+    // escape hatch exists for differential oracles (running a tampered
+    // image on purpose to observe the runtime watchdog), never for
+    // production loading.
+    let img: LinkedImage = if args.switch("dangerous-skip-verify") {
+        eprintln!("warning: --dangerous-skip-verify: running UNVERIFIED image {path}");
+        format::load(&bytes)?
+    } else {
+        match load_verified_image(&bytes) {
+            Ok(v) => v.into_inner(),
+            Err(e) => {
+                return Err(bail(format!(
+                    "refusing to run {path}: verify: FAIL code={} offset={:#x} reason={e}\n\
+                     (re-run with --dangerous-skip-verify to bypass, e.g. for tamper oracles)",
+                    e.code(),
+                    e.offset()
+                )))
+            }
+        }
+    };
     let input = match args.flag("input") {
         Some(p) => std::fs::read(p).map_err(|e| bail(format!("{p}: {e}")))?,
         None => Vec::new(),
@@ -505,6 +572,85 @@ pub fn cmd_run(args: &Args) -> Result<String> {
         writeln!(msg, "--- profile ---").unwrap();
         for (n, f, calls) in p.hotspots(0.005 / 100.0).iter().take(12) {
             writeln!(msg, "{:6.2}%  calls={calls:<8} {n}", f * 100.0).unwrap();
+        }
+    }
+    Ok(msg.trim_end().to_owned())
+}
+
+/// `plx verify`: strict fail-closed verification of a saved image,
+/// optionally cross-checked against its provenance record.
+///
+/// Failures exit nonzero with a machine-readable first line:
+/// `verify: FAIL code=<kind> offset=<hex> reason=<text>`.
+pub fn cmd_verify(args: &Args) -> Result<String> {
+    let path = args.pos(0, "image")?;
+    let bytes = std::fs::read(path).map_err(|e| bail(format!("{path}: {e}")))?;
+    let t0 = std::time::Instant::now();
+    // Strict mode: a fresh gadget scan backs chain-word resolution, so
+    // a chain word redirected to an equivalent-but-unmapped gadget is
+    // refused, not just an implausible one.
+    let v = match load_verified_image_strict(&bytes) {
+        Ok(v) => v,
+        Err(e) => {
+            return Err(bail(format!(
+                "verify: FAIL code={} offset={:#x} reason={e}",
+                e.code(),
+                e.offset()
+            )))
+        }
+    };
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let image_hash = hash128(&bytes);
+    let r = v.report();
+    let mut msg = String::new();
+    writeln!(msg, "verify: PASS {path} ({elapsed_ms:.1} ms, strict)").unwrap();
+    writeln!(msg, "  image hash: {image_hash:032x}").unwrap();
+    writeln!(
+        msg,
+        "  symbols: {}; markers: {}; relocs: {}",
+        r.symbols, r.markers, r.relocs
+    )
+    .unwrap();
+    writeln!(
+        msg,
+        "  chains: {} ({} words, {} resolved against the gadget map)",
+        r.chains, r.chain_words, r.text_words
+    )
+    .unwrap();
+
+    if args.switch("provenance") {
+        let dir = args
+            .flag("provenance-dir")
+            .unwrap_or("target/plx-cache/provenance");
+        let ledger = Ledger::new(dir.into());
+        let record = ledger.load(image_hash).ok_or_else(|| {
+            bail(format!(
+                "verify: FAIL code=provenance-missing offset=0x0 reason=no record for image hash \
+                 {image_hash:032x} under {dir}"
+            ))
+        })?;
+        if record.image_hash != image_hash {
+            return Err(bail(format!(
+                "verify: FAIL code=provenance-mismatch offset=0x0 reason=record claims image hash \
+                 {:032x}, file is {image_hash:032x}",
+                record.image_hash
+            )));
+        }
+        writeln!(
+            msg,
+            "  provenance: ok ({})",
+            ledger.path_for(image_hash).display()
+        )
+        .unwrap();
+        writeln!(msg, "    toolchain: {}", record.toolchain).unwrap();
+        writeln!(msg, "    input:     {:032x}", record.input_hash).unwrap();
+        for s in &record.stages {
+            writeln!(
+                msg,
+                "    stage:     {} x{} {:032x}",
+                s.kind, s.count, s.digest
+            )
+            .unwrap();
         }
     }
     Ok(msg.trim_end().to_owned())
@@ -813,7 +959,8 @@ USAGE:
                [--mode cleartext|xor|rc4|prob] [--guard f[,g]] [--seed N]
                [--jobs N] [--trace-out <t.json>]
   plx run      <img.plx> [--input <file>] [--debugger] [--profile]
-               [--trace-out <t.json>]
+               [--trace-out <t.json>] [--dangerous-skip-verify]
+  plx verify   <img.plx> [--provenance] [--provenance-dir <dir>]
   plx inspect  <img.plx>
   plx disasm   <img.plx> [function]
   plx gadgets  <img.plx>
@@ -829,9 +976,9 @@ USAGE:
 lame); corpus workloads default --verify and --input to the workload's
 designated verification function and packaged input.";
 
-const COMMANDS: [&str; 11] = [
-    "build", "protect", "run", "inspect", "disasm", "gadgets", "coverage", "chain", "tamper",
-    "batch", "report",
+const COMMANDS: [&str; 12] = [
+    "build", "protect", "run", "verify", "inspect", "disasm", "gadgets", "coverage", "chain",
+    "tamper", "batch", "report",
 ];
 
 /// Dispatches a subcommand.
@@ -841,6 +988,7 @@ pub fn dispatch(cmd: &str, raw: &[String]) -> Result<String> {
         "build" => cmd_build(&args),
         "protect" => cmd_protect(&args),
         "run" => cmd_run(&args),
+        "verify" => cmd_verify(&args),
         "inspect" => cmd_inspect(&args),
         "disasm" => cmd_disasm(&args),
         "gadgets" => cmd_gadgets(&args),
@@ -942,11 +1090,102 @@ mod tests {
         .unwrap();
         assert!(msg.contains("patched"));
 
-        let msg = dispatch("run", &argv(&[&tampered])).unwrap();
+        // Fail-closed default: the tampered image is either refused at
+        // load (structural verification) or, if the corruption is too
+        // subtle for static checks, caught by the runtime watchdog.
+        match dispatch("run", &argv(&[&tampered])) {
+            Err(e) => assert!(e.0.contains("verify: FAIL"), "{}", e.0),
+            Ok(msg) => assert!(
+                !msg.contains("status 99"),
+                "tampered run should misbehave: {msg}"
+            ),
+        }
+        // The differential-oracle escape hatch always executes it, and
+        // the ROP watchdog misbehaves.
+        let msg = dispatch("run", &argv(&[&tampered, "--dangerous-skip-verify"])).unwrap();
         assert!(
             !msg.contains("status 99"),
             "tampered run should misbehave: {msg}"
         );
+        // Strict verification may or may not catch a NOP-slide tamper
+        // statically (the suffix can still scan as a gadget); when it
+        // does object, the refusal must be machine-readable. The
+        // *runtime* detection above is the paper's actual defense here.
+        if let Err(e) = dispatch("verify", &argv(&[&tampered])) {
+            assert!(e.0.starts_with("verify: FAIL code="), "{}", e.0);
+            assert!(e.0.contains("offset="), "{}", e.0);
+        }
+    }
+
+    #[test]
+    fn verify_passes_clean_image_and_roundtrips_provenance() {
+        let src_path = tmp("verif.px");
+        std::fs::write(&src_path, SRC).unwrap();
+        let out = tmp("verif.plx");
+        let prov = tmp("verif-prov");
+
+        let msg = dispatch(
+            "protect",
+            &argv(&[
+                &src_path,
+                "-o",
+                &out,
+                "--verify",
+                "vf",
+                "--provenance-dir",
+                &prov,
+            ]),
+        )
+        .unwrap();
+        assert!(msg.contains("provenance:"), "{msg}");
+
+        let msg = dispatch(
+            "verify",
+            &argv(&[&out, "--provenance", "--provenance-dir", &prov]),
+        )
+        .unwrap();
+        assert!(msg.contains("verify: PASS"), "{msg}");
+        assert!(msg.contains("image hash:"), "{msg}");
+        assert!(msg.contains("provenance: ok"), "{msg}");
+        assert!(msg.contains("stage:"), "{msg}");
+
+        // Tampering with the file breaks the provenance lookup (the
+        // hash no longer names a record) even before considering the
+        // digest; here the digest check fires first.
+        let mut bytes = std::fs::read(&out).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let forged = tmp("verif-forged.plx");
+        std::fs::write(&forged, &bytes).unwrap();
+        let e = dispatch(
+            "verify",
+            &argv(&[&forged, "--provenance", "--provenance-dir", &prov]),
+        )
+        .unwrap_err();
+        assert!(e.0.starts_with("verify: FAIL code="), "{}", e.0);
+
+        // A clean copy under a different name still verifies (records
+        // are keyed by content, not path).
+        let copy = tmp("verif-copy.plx");
+        std::fs::copy(&out, &copy).unwrap();
+        let msg = dispatch(
+            "verify",
+            &argv(&[&copy, "--provenance", "--provenance-dir", &prov]),
+        )
+        .unwrap();
+        assert!(msg.contains("provenance: ok"), "{msg}");
+
+        // And an image with no record fails the provenance check while
+        // still passing structural verification without --provenance.
+        let built = tmp("verif-built.plx");
+        dispatch("build", &argv(&[&src_path, "-o", &built])).unwrap();
+        assert!(dispatch("verify", &argv(&[&built])).is_ok());
+        let e = dispatch(
+            "verify",
+            &argv(&[&built, "--provenance", "--provenance-dir", &prov]),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("code=provenance-missing"), "{}", e.0);
     }
 
     #[test]

@@ -333,6 +333,35 @@ fn engine_table(out: &mut String, tf: &TraceFile) {
     }
 }
 
+/// Fail-closed loading telemetry: image verifications (pass/fail and
+/// wall time) and cache entries refused by load-time verification.
+fn verification_table(out: &mut String, tf: &TraceFile) {
+    let get = |k: &str| tf.counters.get(k).copied().unwrap_or(0);
+    let (pass, fail, ns) = (
+        get("image.verify.pass"),
+        get("image.verify.fail"),
+        get("image.verify.ns"),
+    );
+    let cache_fail = get("cache.verify.fail");
+    if pass + fail + cache_fail == 0 {
+        return;
+    }
+    let _ = writeln!(out, "verification:");
+    if pass + fail > 0 {
+        let _ = writeln!(
+            out,
+            "  image loads:  {pass} verified, {fail} refused ({:.3} ms total)",
+            ns as f64 / 1e6
+        );
+    }
+    if cache_fail > 0 {
+        let _ = writeln!(
+            out,
+            "  cache:        {cache_fail} entries refused by load-time verification"
+        );
+    }
+}
+
 /// Renders the full report for one trace file.
 pub fn render_report(tf: &TraceFile) -> String {
     let mut out = String::new();
@@ -357,6 +386,10 @@ pub fn render_report(tf: &TraceFile) -> String {
         out.push('\n');
     }
     engine_table(&mut out, tf);
+    if !out.ends_with("\n\n") && !out.is_empty() {
+        out.push('\n');
+    }
+    verification_table(&mut out, tf);
     let trimmed = out.trim_end().to_string();
     if trimmed.is_empty() {
         "trace contains no reportable metrics (was it produced with --trace-out?)".to_string()
@@ -487,6 +520,29 @@ pub fn render_diff(a: &TraceFile, b: &TraceFile) -> String {
             wb.mean() - wa.mean()
         );
     }
+
+    // Fail-closed loading deltas (only when either trace verified
+    // anything): pass/fail counts and cache refusals.
+    let vc = |tf: &TraceFile, k: &str| tf.counters.get(k).copied().unwrap_or(0);
+    let any_verify = [
+        "image.verify.pass",
+        "image.verify.fail",
+        "cache.verify.fail",
+    ]
+    .iter()
+    .any(|k| vc(a, k) + vc(b, k) > 0);
+    if any_verify {
+        let _ = writeln!(
+            out,
+            "\nverification (b - a):\n  image loads:  {} -> {} verified, {} -> {} refused\n  cache:        {} -> {} entries refused by load-time verification",
+            vc(a, "image.verify.pass"),
+            vc(b, "image.verify.pass"),
+            vc(a, "image.verify.fail"),
+            vc(b, "image.verify.fail"),
+            vc(a, "cache.verify.fail"),
+            vc(b, "cache.verify.fail"),
+        );
+    }
     out.trim_end().to_string()
 }
 
@@ -531,6 +587,10 @@ mod tests {
         t.count("cache.func.chain.hit", 1);
         t.record("chain.words", words);
         t.record("chain.ops", 11);
+        t.count("image.verify.pass", 5);
+        t.count("image.verify.fail", 1);
+        t.count("image.verify.ns", 2_000_000);
+        t.count("cache.verify.fail", 2);
         TraceFile::parse(&chrome_json(&t.snapshot())).expect("sample trace parses")
     }
 
@@ -558,6 +618,9 @@ mod tests {
             "block cache: 900 hits, 100 misses (90.0% hit rate), 3 invalidations",
             "5000 decodes over 5000 text offsets",
             "4.0x amortization",
+            "verification:",
+            "image loads:  5 verified, 1 refused (2.000 ms total)",
+            "cache:        2 entries refused by load-time verification",
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }
@@ -594,6 +657,11 @@ mod tests {
         assert!(diff.contains("speedup 4.00x -> 4.00x"), "{diff}");
         assert!(
             diff.contains("func cache     75.0% -> 75.0% hit rate (3 -> 3 hits)"),
+            "{diff}"
+        );
+        assert!(diff.contains("verification (b - a):"), "{diff}");
+        assert!(
+            diff.contains("image loads:  5 -> 5 verified, 1 -> 1 refused"),
             "{diff}"
         );
     }

@@ -4,14 +4,15 @@
 //! tamper-verdict watchdog — zero panics, zero unbounded hangs.
 
 use parallax::core::{
-    classify, protect, protect_binary, protect_binary_faulted, run_baseline, truncate_chain,
-    Baseline, ChainMode, ErrorKind, FaultPlan, ProtectConfig, Stage, Verdict,
+    apply_image_fault, classify, load_verified_image, load_verified_image_strict, protect,
+    protect_binary, protect_binary_faulted, run_baseline, truncate_chain, Baseline, ChainMode,
+    ErrorKind, FaultPlan, ImageFault, ProtectConfig, Stage, Verdict,
 };
-use parallax::vm::{Exit, VmOptions};
+use parallax::vm::{Exit, Vm, VmOptions};
 use parallax::x86::{Asm, Reg32};
 use parallax_compiler::ir::build::*;
 use parallax_compiler::{compile_module, Function, Module};
-use parallax_image::Program;
+use parallax_image::{format, FormatError, ImageVerifyError, Program};
 
 /// A small program with a verification function (`vf`), a protected
 /// license check (`licensed`), and a never-called function (`dead`)
@@ -352,4 +353,198 @@ fn runaway_writer_classifies_as_mem_limit() {
         &opts,
     );
     assert_eq!(verdict, Verdict::MemLimit);
+}
+
+// ---------------------------------------------------------------------
+// Image-level fault campaign: every corruption of a *serialized* image
+// must be refused at load with the right typed error — zero faults
+// execute a single VM cycle (no VM is ever constructed over a refused
+// image; `Vm` only accepts a `VerifiedImage`).
+// ---------------------------------------------------------------------
+
+/// The three chain-storage modes the campaign sweeps. RC4 behaves like
+/// XOR for serialization purposes (encrypted data object + loader).
+fn campaign_modes() -> Vec<(&'static str, ChainMode)> {
+    vec![
+        ("cleartext", ChainMode::Cleartext),
+        ("xor", ChainMode::XorEncrypted { key: 0x5eed_1234 }),
+        (
+            "prob",
+            ChainMode::Probabilistic {
+                variants: 2,
+                seed: 7,
+            },
+        ),
+    ]
+}
+
+fn protected_bytes(mode: ChainMode) -> Vec<u8> {
+    let protected =
+        protect(&module(), &ProtectConfig { mode, ..cfg() }).expect("campaign build succeeds");
+    format::save(&protected.image)
+}
+
+#[test]
+fn clean_images_verify_load_and_run_identically() {
+    for (name, mode) in campaign_modes() {
+        let bytes = protected_bytes(mode);
+        // Both loaders accept the clean image...
+        load_verified_image(&bytes).unwrap_or_else(|e| panic!("{name}: plausibility: {e}"));
+        let v =
+            load_verified_image_strict(&bytes).unwrap_or_else(|e| panic!("{name}: strict: {e}"));
+        assert!(v.report().strict, "{name}");
+        // Only cleartext chains expose statically checkable words;
+        // encrypted/probabilistic chains decode at runtime.
+        if name == "cleartext" {
+            assert!(v.report().chain_words > 0, "{name}");
+        }
+        // ...and it runs byte-identically to the honest program.
+        let mut vm = Vm::from_verified(&v);
+        assert_eq!(vm.run(), Exit::Exited(HONEST_EXIT), "{name}");
+    }
+}
+
+#[test]
+fn truncation_at_every_scale_is_refused_as_format_error() {
+    for (name, mode) in campaign_modes() {
+        let bytes = protected_bytes(mode);
+        for keep in [0usize, 3, 6, 21, 40, bytes.len() / 2, bytes.len() - 1] {
+            let Some(cut) = apply_image_fault(&bytes, &ImageFault::Truncate { keep }) else {
+                continue;
+            };
+            let err = load_verified_image(&cut)
+                .err()
+                .unwrap_or_else(|| panic!("{name}: truncate to {keep} must be refused"));
+            // Short prefixes die on magic/header/overrun checks, longer
+            // ones on the content digest — all container-level kinds.
+            assert!(
+                matches!(
+                    err,
+                    ImageVerifyError::Format(
+                        FormatError::BadMagic
+                            | FormatError::Truncated { .. }
+                            | FormatError::Corrupt { .. }
+                            | FormatError::DigestMismatch { .. }
+                    )
+                ),
+                "{name}: truncate to {keep}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_sampled_bit_flip_is_refused_before_any_vm_cycle() {
+    for (name, mode) in campaign_modes() {
+        let bytes = protected_bytes(mode);
+        // Sample flips across header, section table, text, and data.
+        for offset in (0..bytes.len()).step_by(97) {
+            for bit in [0u8, 6] {
+                let Some(flipped) = apply_image_fault(&bytes, &ImageFault::BitFlip { offset, bit })
+                else {
+                    continue;
+                };
+                if flipped == bytes {
+                    continue;
+                }
+                let err = load_verified_image(&flipped)
+                    .err()
+                    .unwrap_or_else(|| panic!("{name}: flip at {offset}.{bit} must be refused"));
+                assert!(
+                    matches!(err, ImageVerifyError::Format(_)),
+                    "{name}: flip at {offset}.{bit}: {err}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn payload_bit_flips_are_digest_mismatches() {
+    for (name, mode) in campaign_modes() {
+        let bytes = protected_bytes(mode);
+        // Past the 22-byte header every flip leaves magic, version and
+        // the stored digest intact, so the digest check must fire.
+        for offset in [22usize, 60, bytes.len() / 2, bytes.len() - 1] {
+            let flipped = apply_image_fault(&bytes, &ImageFault::BitFlip { offset, bit: 3 })
+                .expect("in range");
+            let err = load_verified_image(&flipped).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ImageVerifyError::Format(
+                        FormatError::DigestMismatch { .. }
+                            | FormatError::Truncated { .. }
+                            | FormatError::Corrupt { .. }
+                    )
+                ),
+                "{name}: flip at {offset}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn reloc_swap_is_refused_as_reloc_unknown_symbol() {
+    // A re-linking attack: parse, retarget a relocation at an undefined
+    // symbol, re-save. The digest is re-stamped by the save, so only
+    // structural verification can object.
+    for (name, mode) in campaign_modes() {
+        let bytes = protected_bytes(mode);
+        let Some(swapped) = apply_image_fault(&bytes, &ImageFault::RelocRetarget { index: 0 })
+        else {
+            panic!("{name}: image has relocations to retarget");
+        };
+        let err = load_verified_image(&swapped).unwrap_err();
+        assert!(
+            matches!(err, ImageVerifyError::RelocUnknownSymbol { .. }),
+            "{name}: {err}"
+        );
+        assert_eq!(err.code(), "reloc-unknown-symbol", "{name}");
+    }
+}
+
+#[test]
+fn chain_word_redirect_to_equivalent_gadget_is_refused_by_strict_loader() {
+    // The hardest fault in the campaign: redirect a chain word to a
+    // text address that still decodes to a ret-terminated sequence but
+    // is outside the gadget map. Plausibility loading cannot tell the
+    // difference — only the strict loader's fresh scan can.
+    let bytes = protected_bytes(ChainMode::Cleartext);
+    let redirected = apply_image_fault(
+        &bytes,
+        &ImageFault::ChainRedirect {
+            func: "vf".to_owned(),
+        },
+    )
+    .expect("cleartext chain has an in-map gadget word to redirect");
+    let err = load_verified_image_strict(&redirected).unwrap_err();
+    assert!(
+        matches!(err, ImageVerifyError::ChainWordOutOfMap { .. }),
+        "{err}"
+    );
+    assert_eq!(err.code(), "chain-word-out-of-map");
+    // The typed error carries the first violation's location.
+    assert!(err.offset() > 0, "{err}");
+}
+
+#[test]
+fn gadget_map_entry_splice_is_refused_as_symbol_out_of_range() {
+    for (name, mode) in campaign_modes() {
+        let bytes = protected_bytes(mode);
+        let Some(spliced) = apply_image_fault(
+            &bytes,
+            &ImageFault::SymbolSplice {
+                name_contains: "vf".to_owned(),
+            },
+        ) else {
+            panic!("{name}: a spliceable symbol exists");
+        };
+        let err = load_verified_image(&spliced).unwrap_err();
+        assert!(
+            matches!(err, ImageVerifyError::SymbolOutOfRange { .. }),
+            "{name}: {err}"
+        );
+        assert_eq!(err.code(), "symbol-out-of-range", "{name}");
+    }
 }
