@@ -331,8 +331,15 @@ impl ArtifactCache {
         // rename. The fsync guarantees the rename never publishes a
         // name whose *contents* are still in flight — a crash can
         // leave a stale temp file behind but never a torn entry under
-        // the final name.
-        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        // the final name. The temp name carries a process-wide
+        // sequence number in addition to the pid: two threads of the
+        // same process storing the same key concurrently (two `serve`
+        // requests for one binary) must not share a temp file, or one
+        // writer's `File::create` truncates under the other and the
+        // rename can publish torn bytes.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp{}-{seq}", std::process::id()));
         let publish = || -> std::io::Result<()> {
             use std::io::Write;
             let mut f = std::fs::File::create(&tmp)?;

@@ -36,7 +36,7 @@ use crate::artifacts::{
     encode_coverage, encode_protected, encode_rewritten_func, ChainSummary,
 };
 use crate::cache::{ArtifactCache, ArtifactKind, Fetch, Key};
-use crate::events::{EngineEvent, EventSink};
+use crate::events::{EngineEvent, EventSink, ShedReason};
 use crate::hash::{hash128, hash128_pair};
 use crate::metrics::MetricsSnapshot;
 use crate::provenance::{toolchain_id, Ledger, ProvenanceHooks, ProvenanceRecord, RECORD_VERSION};
@@ -208,6 +208,23 @@ impl Engine {
         jobs: Vec<Job>,
         subscriber: impl FnMut(&EngineEvent) + Send,
     ) -> std::io::Result<BatchReport> {
+        self.run_with_cancel(jobs, None, subscriber)
+    }
+
+    /// Like [`Engine::run`], but with a cooperative drain: when
+    /// `cancel` flips to `true` mid-batch, jobs already started finish
+    /// normally (their results are kept), while jobs not yet picked up
+    /// are *shed* — each emits an [`EngineEvent::JobShed`] with
+    /// [`ShedReason::Shutdown`] and returns a typed
+    /// `shed(shutdown)`-prefixed error instead of executing. This is
+    /// the drain path behind `plx batch`'s signal handling and the
+    /// serve daemon's graceful shutdown.
+    pub fn run_with_cancel(
+        &self,
+        jobs: Vec<Job>,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+        subscriber: impl FnMut(&EngineEvent) + Send,
+    ) -> std::io::Result<BatchReport> {
         // Every event also lands on the trace timeline as an instant,
         // so a --trace-out file carries the full event stream.
         let ev_trace = self.opts.trace.clone();
@@ -244,6 +261,29 @@ impl Engine {
                     }
                 }
                 let job = &jobs[idx];
+                if cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::SeqCst)) {
+                    // Draining: this job was queued but never started.
+                    // Shed it with a typed refusal instead of running.
+                    sink.emit(&EngineEvent::JobShed {
+                        job: idx,
+                        reason: ShedReason::Shutdown,
+                    });
+                    return JobResult {
+                        name: job.name.clone(),
+                        image: Vec::new(),
+                        gadget_count: 0,
+                        chains: Vec::new(),
+                        degradations: 0,
+                        cached: false,
+                        verdict: None,
+                        vm_cycles: 0,
+                        micros: 0,
+                        error: Some(format!(
+                            "shed({}): batch drained before this job started",
+                            ShedReason::Shutdown
+                        )),
+                    };
+                }
                 let job_span = self
                     .opts
                     .trace

@@ -10,7 +10,7 @@
 //! real interleaving of the worker pool; per-job events are ordered,
 //! cross-job events interleave.
 
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::Mutex;
@@ -19,6 +19,52 @@ use parallax_core::{Stage, Verdict};
 
 use crate::cache::ArtifactKind;
 use crate::metrics::Metrics;
+
+/// Why an admission-controlled job was refused instead of executed.
+///
+/// Shedding is *fail-fast backpressure*: the caller gets a typed
+/// refusal immediately rather than an unbounded wait. Each reason maps
+/// onto the DESIGN.md §7 taxonomy — a shed job never reaches the
+/// pipeline, so the refusal reason plays the role a `ProtectError`
+/// stage tag plays for jobs that do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShedReason {
+    /// The bounded admission queue was at capacity.
+    QueueFull,
+    /// The service (or batch) is draining for shutdown; in-flight work
+    /// finishes, new work is refused.
+    Shutdown,
+    /// The request payload exceeded the configured frame/job size cap.
+    Oversize,
+    /// The job waited in the queue longer than the admission deadline.
+    Timeout,
+}
+
+impl ShedReason {
+    /// Stable short name (used in JSON events and `serve.*` counters).
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::Shutdown => "shutdown",
+            ShedReason::Oversize => "oversize",
+            ShedReason::Timeout => "timeout",
+        }
+    }
+
+    /// Every reason, in rendering order.
+    pub const ALL: [ShedReason; 4] = [
+        ShedReason::QueueFull,
+        ShedReason::Shutdown,
+        ShedReason::Oversize,
+        ShedReason::Timeout,
+    ];
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// One observable engine action.
 #[derive(Debug, Clone)]
@@ -82,6 +128,27 @@ pub enum EngineEvent {
         /// Whether the retry force-appended the standard gadget set.
         stdset_forced: bool,
     },
+    /// An admission-controlled job was accepted into the bounded queue.
+    JobAdmitted {
+        /// Job index (service request id for `plx serve`).
+        job: usize,
+        /// Queue depth immediately after admission.
+        depth: usize,
+    },
+    /// An admission-controlled job was refused (load shedding).
+    JobShed {
+        /// Job index (service request id for `plx serve`).
+        job: usize,
+        /// Why the job was refused.
+        reason: ShedReason,
+    },
+    /// A queue-depth sample (taken on admit and on dequeue).
+    QueueDepth {
+        /// Job index that triggered the sample.
+        job: usize,
+        /// Jobs waiting in the admission queue.
+        depth: usize,
+    },
     /// The job finished (successfully or not).
     JobFinished {
         /// Job index.
@@ -130,6 +197,9 @@ impl EngineEvent {
             | EngineEvent::CacheMiss { job, .. }
             | EngineEvent::CachePoisoned { job, .. }
             | EngineEvent::Degraded { job, .. }
+            | EngineEvent::JobAdmitted { job, .. }
+            | EngineEvent::JobShed { job, .. }
+            | EngineEvent::QueueDepth { job, .. }
             | EngineEvent::JobFinished { job, .. } => *job,
         }
     }
@@ -145,6 +215,9 @@ impl EngineEvent {
             EngineEvent::CacheMiss { .. } => "cache_miss",
             EngineEvent::CachePoisoned { .. } => "cache_poisoned",
             EngineEvent::Degraded { .. } => "degraded",
+            EngineEvent::JobAdmitted { .. } => "job_admitted",
+            EngineEvent::JobShed { .. } => "job_shed",
+            EngineEvent::QueueDepth { .. } => "queue_depth",
             EngineEvent::JobFinished { .. } => "job_finished",
         }
     }
@@ -200,6 +273,24 @@ impl EngineEvent {
                 field_str(&mut s, "func", func);
                 field_str(&mut s, "missing", missing);
                 let _ = write!(s, ",\"stdset_forced\":{stdset_forced}");
+            }
+            EngineEvent::JobAdmitted { job, depth } => {
+                let _ = write!(
+                    s,
+                    "{{\"event\":\"job_admitted\",\"job\":{job},\"depth\":{depth}"
+                );
+            }
+            EngineEvent::JobShed { job, reason } => {
+                let _ = write!(
+                    s,
+                    "{{\"event\":\"job_shed\",\"job\":{job},\"reason\":\"{reason}\""
+                );
+            }
+            EngineEvent::QueueDepth { job, depth } => {
+                let _ = write!(
+                    s,
+                    "{{\"event\":\"queue_depth\",\"job\":{job},\"depth\":{depth}"
+                );
             }
             EngineEvent::JobFinished {
                 job,
@@ -380,6 +471,12 @@ mod tests {
                 missing: "m".into(),
                 stdset_forced: false,
             },
+            EngineEvent::JobAdmitted { job: 0, depth: 1 },
+            EngineEvent::JobShed {
+                job: 0,
+                reason: ShedReason::QueueFull,
+            },
+            EngineEvent::QueueDepth { job: 0, depth: 3 },
             EngineEvent::JobFinished {
                 job: 0,
                 name: "a".into(),
@@ -399,5 +496,23 @@ mod tests {
                 ev.to_json()
             );
         }
+    }
+
+    #[test]
+    fn shed_reasons_render_stable_names() {
+        let names: Vec<&str> = ShedReason::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            ["queue-full", "shutdown", "oversize", "timeout"],
+            "shed-reason names are part of the wire/counter contract"
+        );
+        let ev = EngineEvent::JobShed {
+            job: 5,
+            reason: ShedReason::Shutdown,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"event\":\"job_shed\",\"job\":5,\"reason\":\"shutdown\"}"
+        );
     }
 }

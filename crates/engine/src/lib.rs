@@ -41,7 +41,7 @@ pub mod provenance;
 pub use artifacts::{ChainSummary, ProtectedArtifact};
 pub use cache::{ArtifactCache, ArtifactKind, CacheStats, Fetch, Key};
 pub use engine::{BatchReport, CacheHooks, Engine, EngineOptions, Job, JobResult, JobSource};
-pub use events::{EngineEvent, EventSink};
+pub use events::{EngineEvent, EventSink, ShedReason};
 pub use hash::{hash128, hash128_pair};
 pub use manifest::{chain_mode_for, parse_manifest, ALL_MODES};
 pub use metrics::{Metrics, MetricsSnapshot, StageTime, ALL_STAGES};

@@ -48,6 +48,9 @@ pub struct Metrics {
     cached_results: AtomicU64,
     vm_cycles: AtomicU64,
     degradations: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    queue_depth_max: AtomicU64,
     stage_micros: [AtomicU64; 8],
     stage_calls: [AtomicU64; 8],
 }
@@ -63,6 +66,18 @@ impl Metrics {
             }
             EngineEvent::Degraded { .. } => {
                 self.degradations.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::JobAdmitted { depth, .. } => {
+                self.admitted.fetch_add(1, Ordering::Relaxed);
+                self.queue_depth_max
+                    .fetch_max(*depth as u64, Ordering::Relaxed);
+            }
+            EngineEvent::JobShed { .. } => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            EngineEvent::QueueDepth { depth, .. } => {
+                self.queue_depth_max
+                    .fetch_max(*depth as u64, Ordering::Relaxed);
             }
             EngineEvent::JobFinished {
                 cached,
@@ -112,6 +127,9 @@ impl Metrics {
             cache,
             vm_cycles: self.vm_cycles.load(Ordering::Relaxed),
             degradations: self.degradations.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
         }
     }
 }
@@ -149,9 +167,27 @@ pub struct MetricsSnapshot {
     pub vm_cycles: u64,
     /// Degradation-ladder fallbacks taken across the batch.
     pub degradations: u64,
+    /// Jobs accepted through admission control (0 for plain batches,
+    /// which bypass admission entirely).
+    pub admitted: u64,
+    /// Jobs refused by admission control (load shedding / drain).
+    pub shed: u64,
+    /// High-water mark of the admission queue depth.
+    pub queue_depth_max: u64,
 }
 
 impl MetricsSnapshot {
+    /// Fraction of admission-controlled submissions that were shed
+    /// (0.0 when nothing went through admission).
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.admitted + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
+    }
+
     /// Renders the snapshot as an aligned text block for terminals.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -178,6 +214,16 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(out, "vm cycles   {}", self.vm_cycles);
         let _ = writeln!(out, "degraded    {}", self.degradations);
+        if self.admitted + self.shed > 0 {
+            let _ = writeln!(
+                out,
+                "admission   {} admitted / {} shed (shed rate {:.1}%, queue depth max {})",
+                self.admitted,
+                self.shed,
+                self.shed_rate() * 100.0,
+                self.queue_depth_max
+            );
+        }
         for st in &self.stage_micros {
             let _ = writeln!(
                 out,
@@ -244,6 +290,36 @@ mod tests {
         assert_eq!(scan.micros, 1200);
         assert_eq!(scan.calls, 2);
         assert!(!snap.render().is_empty());
+    }
+
+    #[test]
+    fn admission_events_feed_shed_rate_and_watermark() {
+        use crate::events::ShedReason;
+        let m = Metrics::default();
+        m.absorb(&EngineEvent::JobAdmitted { job: 0, depth: 2 });
+        m.absorb(&EngineEvent::JobAdmitted { job: 1, depth: 5 });
+        m.absorb(&EngineEvent::QueueDepth { job: 1, depth: 3 });
+        m.absorb(&EngineEvent::JobShed {
+            job: 2,
+            reason: ShedReason::QueueFull,
+        });
+        m.absorb(&EngineEvent::JobShed {
+            job: 3,
+            reason: ShedReason::Shutdown,
+        });
+        let snap = m.snapshot(Duration::from_secs(1), CacheStats::default());
+        assert_eq!(snap.admitted, 2);
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.queue_depth_max, 5);
+        assert!((snap.shed_rate() - 0.5).abs() < 1e-9);
+        assert!(snap.render().contains("admission   2 admitted / 2 shed"));
+
+        // Plain batches never see admission events: the line is absent
+        // and the rate stays a finite zero.
+        let plain = Metrics::default();
+        let snap = plain.snapshot(Duration::from_secs(1), CacheStats::default());
+        assert_eq!(snap.shed_rate(), 0.0);
+        assert!(!snap.render().contains("admission"));
     }
 
     #[test]

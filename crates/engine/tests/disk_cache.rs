@@ -176,6 +176,63 @@ fn restamped_protected_entry_fails_image_verification_and_recomputes() {
 }
 
 #[test]
+fn concurrent_same_key_writers_never_publish_torn_bytes() {
+    // Two simultaneous `protect` requests for the same binary store
+    // the same key with byte-identical payloads. The publish path must
+    // give each writer its *own* temp file: with a shared temp name,
+    // one writer's `File::create` truncates under another mid-write
+    // and the rename can publish torn bytes under the final name.
+    // Last-writer-wins is fine — a torn entry is not.
+    use std::sync::{Arc, Barrier};
+
+    let dir = temp_dir("race");
+    let key = Key {
+        kind: ArtifactKind::Protected,
+        hash: 0xdead_beef,
+    };
+    // Large enough that writers overlap inside write_all.
+    let payload: Vec<u8> = (0..256 * 1024).map(|i| (i % 251) as u8).collect();
+
+    const WRITERS: usize = 8;
+    const ROUNDS: usize = 10;
+    for round in 0..ROUNDS {
+        let cache = Arc::new(ArtifactCache::new(4, Some(dir.clone())));
+        let barrier = Arc::new(Barrier::new(WRITERS));
+        let threads: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                let payload = payload.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.store(key, payload);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer thread");
+        }
+        // A cold cache (empty memory layer) must read the published
+        // entry back verbatim: whichever writer won the rename, the
+        // bytes under the final name are whole.
+        let cold = ArtifactCache::new(4, Some(dir.clone()));
+        match cold.fetch(key) {
+            Fetch::Hit(p) => assert_eq!(p, payload, "round {round}: payload intact"),
+            other => panic!("round {round}: expected hit, got {other:?} — torn publish"),
+        }
+    }
+    // No writer leaked a temp file on the success path.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir")
+        .flatten()
+        .map(|f| f.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains("tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn verification_counters_reach_the_tracer() {
     let tracer = std::sync::Arc::new(parallax_trace::Tracer::new());
     let engine = Engine::new(EngineOptions {

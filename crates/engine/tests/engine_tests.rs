@@ -250,3 +250,63 @@ fn ndjson_log_is_written() {
     assert!(lines.iter().any(|l| l.contains("\"stage_completed\"")));
     let _ = std::fs::remove_file(&log);
 }
+
+#[test]
+fn cancelled_batch_sheds_unstarted_jobs_with_typed_errors() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // One worker for a deterministic start order; cancel fires as soon
+    // as the first job finishes, so the remaining jobs must be shed —
+    // never silently dropped, never started.
+    let engine = Engine::new(EngineOptions {
+        workers: 1,
+        ..EngineOptions::default()
+    });
+    let jobs: Vec<Job> = test_jobs().into_iter().take(3).collect();
+    let cancel = AtomicBool::new(false);
+    let events = Mutex::new(Vec::new());
+    let report = engine
+        .run_with_cancel(jobs, Some(&cancel), |ev| {
+            if matches!(ev, EngineEvent::JobFinished { .. }) {
+                cancel.store(true, Ordering::SeqCst);
+            }
+            if let Ok(mut v) = events.lock() {
+                v.push(ev.clone());
+            }
+        })
+        .expect("drained batch still reports");
+
+    assert_eq!(report.results.len(), 3, "every job gets a result slot");
+    assert!(report.results[0].error.is_none(), "first job completed");
+    assert_eq!(report.results[0].verdict, Some(Verdict::Clean));
+    for r in &report.results[1..] {
+        let err = r.error.as_deref().expect("unstarted job carries an error");
+        assert!(err.starts_with("shed(shutdown)"), "{}: {err}", r.name);
+        assert!(
+            r.image.is_empty(),
+            "{}: shed job must not produce bytes",
+            r.name
+        );
+    }
+    assert!(!report.all_clean(), "a drained batch is not clean");
+
+    let events = events.into_inner().expect("no poisoned lock");
+    let shed: Vec<_> = events
+        .iter()
+        .filter(|ev| {
+            matches!(
+                ev,
+                EngineEvent::JobShed {
+                    reason: parallax_engine::ShedReason::Shutdown,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert_eq!(shed.len(), 2, "both unstarted jobs emit JobShed");
+    let started = events
+        .iter()
+        .filter(|ev| matches!(ev, EngineEvent::JobStarted { .. }))
+        .count();
+    assert_eq!(started, 1, "shed jobs never start");
+}

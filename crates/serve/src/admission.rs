@@ -1,0 +1,257 @@
+//! Bounded admission control for the resident service.
+//!
+//! The queue is the daemon's *only* buffer between the accept loop and
+//! the worker pool, and it is deliberately small: a request that can't
+//! be queued is refused immediately with a typed [`ShedReason`] rather
+//! than waiting unboundedly (fail-fast backpressure). The state
+//! machine has three phases:
+//!
+//! ```text
+//!   Accepting ──drain()──▶ Draining ──(queue empty, nothing
+//!       │                     │         in flight)──▶ Idle
+//!       │ submit: admitted    │ submit: Refused(Shutdown)
+//!       │   or Refused        │ pop: remaining items, then None
+//!       │   (QueueFull)       ▼
+//!       ▼                  workers finish in-flight jobs
+//! ```
+//!
+//! The invariant the overload test pins down: **every admitted item is
+//! eventually popped and completed** — draining never discards queued
+//! work, it only refuses *new* work. Zero accepted-then-dropped jobs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use parallax_engine::ShedReason;
+
+/// A typed admission refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Refusal {
+    /// Why the item was refused.
+    pub reason: ShedReason,
+    /// Queue depth at refusal time.
+    pub depth: usize,
+    /// Configured queue capacity.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for Refusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.reason {
+            ShedReason::QueueFull => write!(
+                f,
+                "admission queue full ({}/{} jobs queued)",
+                self.depth, self.capacity
+            ),
+            ShedReason::Shutdown => write!(f, "service is draining for shutdown"),
+            ShedReason::Oversize => write!(f, "request exceeds the size cap"),
+            ShedReason::Timeout => write!(f, "request timed out in the admission queue"),
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    draining: bool,
+    in_flight: usize,
+}
+
+/// A bounded MPMC job queue with drain semantics.
+pub struct AdmissionQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when the queue gains an item or enters drain.
+    takers: Condvar,
+    /// Signalled when the queue may have gone idle.
+    idle: Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// Creates a queue admitting at most `capacity` waiting items
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                draining: false,
+                in_flight: 0,
+            }),
+            takers: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth (waiting items, not in-flight ones).
+    pub fn depth(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// Whether the queue is draining.
+    pub fn is_draining(&self) -> bool {
+        self.lock().draining
+    }
+
+    /// Tries to admit `item`. On success returns the queue depth
+    /// *after* admission; on refusal the item is handed back alongside
+    /// the typed reason so the caller can answer the client.
+    pub fn submit(&self, item: T) -> Result<usize, (T, Refusal)> {
+        let mut s = self.lock();
+        if s.draining {
+            let depth = s.queue.len();
+            return Err((
+                item,
+                Refusal {
+                    reason: ShedReason::Shutdown,
+                    depth,
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        if s.queue.len() >= self.capacity {
+            let depth = s.queue.len();
+            return Err((
+                item,
+                Refusal {
+                    reason: ShedReason::QueueFull,
+                    depth,
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        s.queue.push_back(item);
+        let depth = s.queue.len();
+        drop(s);
+        self.takers.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks for the next item. Returns `None` once the queue is
+    /// draining *and* empty — the worker's signal to exit. A returned
+    /// item is counted in-flight until [`AdmissionQueue::done`].
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.queue.pop_front() {
+                s.in_flight += 1;
+                return Some(item);
+            }
+            if s.draining {
+                return None;
+            }
+            s = match self.takers.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Marks one popped item as finished.
+    pub fn done(&self) {
+        let mut s = self.lock();
+        s.in_flight = s.in_flight.saturating_sub(1);
+        let idle = s.queue.is_empty() && s.in_flight == 0;
+        drop(s);
+        if idle {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Enters the draining phase: queued items still run, new submits
+    /// are refused with [`ShedReason::Shutdown`], and blocked `pop`s
+    /// return once the queue empties.
+    pub fn drain(&self) {
+        let mut s = self.lock();
+        s.draining = true;
+        drop(s);
+        self.takers.notify_all();
+        self.idle.notify_all();
+    }
+
+    /// Blocks until the queue is draining, empty, and nothing is in
+    /// flight — i.e. every admitted item has been completed.
+    pub fn await_idle(&self) {
+        let mut s = self.lock();
+        while !(s.draining && s.queue.is_empty() && s.in_flight == 0) {
+            s = match self.idle.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn refuses_when_full_and_when_draining() {
+        let q = AdmissionQueue::new(2);
+        assert_eq!(q.submit(1).expect("fits"), 1);
+        assert_eq!(q.submit(2).expect("fits"), 2);
+        let (item, r) = q.submit(3).expect_err("full");
+        assert_eq!(item, 3);
+        assert_eq!(r.reason, ShedReason::QueueFull);
+        assert_eq!((r.depth, r.capacity), (2, 2));
+        assert!(r.to_string().contains("2/2"));
+
+        q.drain();
+        let (_, r) = q.submit(4).expect_err("draining");
+        assert_eq!(r.reason, ShedReason::Shutdown);
+    }
+
+    #[test]
+    fn drain_completes_admitted_items_then_idles() {
+        let q = Arc::new(AdmissionQueue::new(8));
+        for i in 0..5 {
+            q.submit(i).expect("admitted");
+        }
+        q.drain();
+        let done = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    while let Some(_item) = q.pop() {
+                        done.fetch_add(1, Ordering::SeqCst);
+                        q.done();
+                    }
+                })
+            })
+            .collect();
+        q.await_idle();
+        // Draining never discarded admitted work.
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+        for w in workers {
+            w.join().expect("worker exits");
+        }
+        assert_eq!(q.depth(), 0);
+        assert!(q.is_draining());
+    }
+
+    #[test]
+    fn pop_blocks_until_submit() {
+        let q = Arc::new(AdmissionQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit(7).expect("admitted");
+        assert_eq!(t.join().expect("no panic"), Some(7));
+    }
+}

@@ -1,0 +1,58 @@
+//! A minimal blocking client for the `plx serve` protocol.
+//!
+//! One [`Client`] wraps one TCP connection and exchanges one
+//! request/response pair per [`Client::call`]. The loadgen bench, the
+//! CI smoke probe, and the `examples/serve_client.rs` walkthrough all
+//! sit on this type; it is deliberately synchronous — fleet
+//! concurrency comes from many clients, not from multiplexing one.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, Request, Response, WireError, DEFAULT_MAX_FRAME,
+};
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl Client {
+    /// Connects to `addr`, applying `timeout` to the connection
+    /// attempt and to every subsequent read and write.
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let mut last_err = None;
+        for sock in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(timeout))?;
+                    stream.set_write_timeout(Some(timeout))?;
+                    return Ok(Client {
+                        stream,
+                        max_frame: DEFAULT_MAX_FRAME,
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        }))
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        use std::io::Write as _;
+        let frame = encode_request(req);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()?;
+        let body = read_frame(&mut self.stream, self.max_frame)?;
+        Ok(decode_response(&body)?)
+    }
+}

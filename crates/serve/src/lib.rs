@@ -1,0 +1,41 @@
+//! Protection-as-a-service: the resident daemon behind `plx serve`.
+//!
+//! The paper frames Parallax as a toolchain step, but the fleet
+//! scenario the roadmap targets — many clients re-protecting a small
+//! population of distinct binaries — wants the engine *resident*: the
+//! content-addressed artifact caches only pay off when they stay warm
+//! across requests. This crate is that front door:
+//!
+//! * [`proto`] — a length-prefixed binary wire protocol with a typed
+//!   codec: every decode failure is a [`proto::ProtocolError`] with an
+//!   offset, never a panic, and declared lengths are validated before
+//!   allocation so hostile frames cannot OOM the daemon.
+//! * [`admission`] — a bounded job queue with fail-fast backpressure:
+//!   a request that cannot be queued is refused immediately with a
+//!   typed [`parallax_engine::ShedReason`], and draining completes
+//!   every admitted job (zero accepted-then-dropped).
+//! * [`server`] — the daemon: one long-lived engine, one thread per
+//!   connection, a small worker pool, per-connection read/write
+//!   timeouts, live `serve.*` counters, and graceful drain.
+//! * [`client`] — the blocking client used by the loadgen bench, CI
+//!   smoke probes, and the `examples/serve_client.rs` walkthrough.
+//! * [`signal`] — SIGINT/SIGTERM → atomic flag, shared with
+//!   `plx batch`'s drain path.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod signal;
+
+pub use admission::{AdmissionQueue, Refusal};
+pub use client::Client;
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, frame_len, read_frame,
+    JobSpec, ProtoErrorKind, ProtocolError, Request, Response, WireError, DEFAULT_MAX_FRAME,
+    HEADER_LEN, MAGIC, VERSION,
+};
+pub use server::{render_service_report, ServeOptions, ServeSummary, Server, ServerHandle};
+pub use signal::{install_shutdown_signal, request_shutdown, shutdown_flag, shutdown_requested};

@@ -1,0 +1,679 @@
+//! The resident protection daemon.
+//!
+//! One [`Server`] owns one long-lived [`Engine`], so the in-memory LRU
+//! and on-disk artifact caches stay warm across requests — the fleet
+//! scenario: many clients re-protecting a small population of distinct
+//! binaries hit the `Protected` artifact cache almost every time.
+//!
+//! Threading model (all `std`, no runtime):
+//!
+//! * the **accept loop** (the thread inside [`Server::run`]) polls a
+//!   non-blocking listener and spawns one thread per connection;
+//! * **connection threads** frame and decode requests, answer
+//!   status/report inline, and push protect/verify work through the
+//!   [`AdmissionQueue`] — refusals are answered immediately with a
+//!   typed [`Response::Refused`];
+//! * **worker threads** pop admitted jobs, execute them on the shared
+//!   engine, and fill the per-request response slot the connection
+//!   thread is waiting on.
+//!
+//! Graceful drain: a shutdown request (or [`ServerHandle::shutdown`])
+//! stops the accept loop, flips the queue into draining — queued and
+//! in-flight jobs complete and are answered, new submissions are
+//! refused with [`ShedReason::Shutdown`] — and `run` returns once the
+//! queue is idle. Admitted work is never dropped.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parallax_compiler::parse_module;
+use parallax_core::{
+    load_verified_image, load_verified_image_strict, FaultPlan, ProtectConfig, Verdict,
+};
+use parallax_engine::{
+    chain_mode_for, Engine, EngineEvent, EngineOptions, Job, JobSource, Metrics, ShedReason,
+};
+use parallax_trace::Tracer;
+
+use crate::admission::AdmissionQueue;
+use crate::proto::{
+    decode_request, encode_response, read_frame, Request, Response, WireError, DEFAULT_MAX_FRAME,
+};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads executing admitted jobs.
+    pub workers: usize,
+    /// Admission-queue capacity (waiting jobs beyond the workers).
+    pub queue_capacity: usize,
+    /// In-memory artifact-cache capacity, in entries.
+    pub cache_capacity: usize,
+    /// On-disk cache directory (`None` for memory-only).
+    pub cache_dir: Option<PathBuf>,
+    /// Validate every protected image in the VM before answering.
+    pub validate: bool,
+    /// Per-connection read timeout (an idle client is disconnected).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Cap on the frame body length a client may declare.
+    pub max_frame: u32,
+    /// Cap on a single job's payload (inline source or image bytes);
+    /// larger jobs are shed with [`ShedReason::Oversize`].
+    pub max_job_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 4096,
+            cache_dir: None,
+            validate: true,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_frame: DEFAULT_MAX_FRAME,
+            max_job_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// End-of-life summary returned by [`Server::run`].
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Total requests decoded, by any kind.
+    pub requests: u64,
+    /// Jobs admitted through the queue.
+    pub admitted: u64,
+    /// Jobs shed.
+    pub shed: u64,
+    /// Daemon uptime.
+    pub uptime: Duration,
+    /// Rendered final metrics snapshot.
+    pub metrics_text: String,
+}
+
+/// One queued unit of work: the request plus the slot its connection
+/// thread is waiting on.
+struct WorkItem {
+    id: u64,
+    request: Request,
+    slot: Arc<RespSlot>,
+}
+
+/// A single-use response mailbox (mutex + condvar).
+struct RespSlot {
+    value: std::sync::Mutex<Option<Response>>,
+    ready: std::sync::Condvar,
+}
+
+impl RespSlot {
+    fn new() -> Arc<RespSlot> {
+        Arc::new(RespSlot {
+            value: std::sync::Mutex::new(None),
+            ready: std::sync::Condvar::new(),
+        })
+    }
+
+    fn fill(&self, resp: Response) {
+        if let Ok(mut v) = self.value.lock() {
+            *v = Some(resp);
+        }
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Response {
+        let mut v = match self.value.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if let Some(resp) = v.take() {
+                return resp;
+            }
+            v = match self.ready.wait(v) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+struct Shared {
+    opts: ServeOptions,
+    engine: Engine,
+    queue: AdmissionQueue<WorkItem>,
+    metrics: Metrics,
+    tracer: Arc<Tracer>,
+    shutdown: AtomicBool,
+    started: Instant,
+    next_id: AtomicU64,
+    conns: AtomicUsize,
+    requests: AtomicU64,
+}
+
+impl Shared {
+    /// Publishes an admission-control event to the long-lived metrics
+    /// and the `serve.*` counter namespace.
+    fn admission_event(&self, ev: &EngineEvent) {
+        self.metrics.absorb(ev);
+        match ev {
+            EngineEvent::JobAdmitted { depth, .. } => {
+                self.tracer.count("serve.admitted", 1);
+                self.tracer.record("serve.queue.depth", *depth as u64);
+            }
+            EngineEvent::JobShed { reason, .. } => {
+                self.tracer.count(&format!("serve.shed.{reason}"), 1);
+            }
+            EngineEvent::QueueDepth { depth, .. } => {
+                self.tracer.record("serve.queue.depth", *depth as u64);
+            }
+            _ => {}
+        }
+    }
+
+    fn status_response(&self) -> Response {
+        let snap = self
+            .metrics
+            .snapshot(self.started.elapsed(), self.engine.cache().stats());
+        Response::Status {
+            uptime_us: self.started.elapsed().as_micros() as u64,
+            admitted: snap.admitted,
+            shed: snap.shed,
+            queue_depth: self.queue.depth() as u32,
+            text: snap.render(),
+        }
+    }
+
+    fn report_response(&self) -> Response {
+        Response::Report {
+            text: render_service_report(&self.tracer),
+        }
+    }
+}
+
+/// Renders the "service" text block from a tracer's `serve.*` counters
+/// and histograms: request mix, per-kind latency quantiles, queue
+/// depth, and the shed taxonomy. The same counters, written to a trace
+/// file, feed `plx report`'s service section offline.
+pub fn render_service_report(tracer: &Tracer) -> String {
+    use std::fmt::Write as _;
+    let snap = tracer.snapshot();
+    let mut out = String::from("service\n");
+    let mut kinds: Vec<(&str, u64)> = Vec::new();
+    for kind in ["protect", "verify", "status", "report", "shutdown"] {
+        let n = snap
+            .counters
+            .get(&format!("serve.requests.{kind}"))
+            .copied()
+            .unwrap_or(0);
+        if n > 0 {
+            kinds.push((kind, n));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  requests    {}",
+        if kinds.is_empty() {
+            "none".to_string()
+        } else {
+            kinds
+                .iter()
+                .map(|(k, n)| format!("{k} {n}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        }
+    );
+    for (kind, _) in &kinds {
+        if let Some(h) = snap.hists.get(&format!("serve.latency.{kind}_us")) {
+            let _ = writeln!(
+                out,
+                "  latency     {kind:<8} p50 {:>8} us  p99 {:>8} us  ({} samples)",
+                h.percentile(0.50),
+                h.percentile(0.99),
+                h.count
+            );
+        }
+    }
+    if let Some(h) = snap.hists.get("serve.queue.depth") {
+        let _ = writeln!(out, "  queue depth max {} ({} samples)", h.max, h.count);
+    }
+    let admitted = snap.counters.get("serve.admitted").copied().unwrap_or(0);
+    let shed: Vec<(ShedReason, u64)> = ShedReason::ALL
+        .iter()
+        .filter_map(|r| {
+            snap.counters
+                .get(&format!("serve.shed.{r}"))
+                .copied()
+                .filter(|&n| n > 0)
+                .map(|n| (*r, n))
+        })
+        .collect();
+    let shed_total: u64 = shed.iter().map(|(_, n)| n).sum();
+    let rate = if admitted + shed_total == 0 {
+        0.0
+    } else {
+        shed_total as f64 / (admitted + shed_total) as f64
+    };
+    let _ = writeln!(
+        out,
+        "  admission   {admitted} admitted / {shed_total} shed (shed rate {:.1}%)",
+        rate * 100.0
+    );
+    for (reason, n) in shed {
+        let _ = writeln!(out, "    shed.{:<11} {n}", reason.name());
+    }
+    out
+}
+
+/// A handle for stopping a running server from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Requests a graceful drain: stop accepting, finish admitted
+    /// work, then return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.drain();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The resident protection service.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the engine. The server does
+    /// not accept connections until [`Server::run`].
+    pub fn bind(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let engine = Engine::new(EngineOptions {
+            workers: 1, // each request is one job; parallelism comes from the worker pool
+            cache_capacity: opts.cache_capacity,
+            cache_dir: opts.cache_dir.clone(),
+            validate: opts.validate,
+            ..EngineOptions::default()
+        });
+        let queue = AdmissionQueue::new(opts.queue_capacity);
+        let shared = Arc::new(Shared {
+            engine,
+            queue,
+            metrics: Metrics::default(),
+            tracer: Arc::new(Tracer::new()),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            next_id: AtomicU64::new(0),
+            conns: AtomicUsize::new(0),
+            requests: AtomicU64::new(0),
+            opts,
+        });
+        Ok(Server {
+            shared,
+            listener,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A clonable shutdown handle.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The server's tracer (the `serve.*` counter namespace); clone it
+    /// to write a trace file after [`Server::run`] returns.
+    pub fn tracer(&self) -> Arc<Tracer> {
+        Arc::clone(&self.shared.tracer)
+    }
+
+    /// Serves until shutdown is requested, then drains and returns the
+    /// end-of-life summary.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let workers: Vec<_> = (0..self.shared.opts.workers.max(1))
+            .map(|w| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("plx-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<_>>()?;
+
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared.tracer.count("serve.conn.accepted", 1);
+                    self.shared.conns.fetch_add(1, Ordering::SeqCst);
+                    let shared = Arc::clone(&self.shared);
+                    let _ = std::thread::Builder::new()
+                        .name("plx-serve-conn".to_string())
+                        .spawn(move || {
+                            handle_conn(&shared, stream);
+                            shared.conns.fetch_sub(1, Ordering::SeqCst);
+                        });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Drain: admitted work completes, workers exit on empty queue.
+        self.shared.queue.drain();
+        self.shared.queue.await_idle();
+        for w in workers {
+            let _ = w.join();
+        }
+        // Give connection threads a bounded window to flush their last
+        // responses; they die with the process either way.
+        let deadline = Instant::now() + self.shared.opts.read_timeout + Duration::from_secs(1);
+        while self.shared.conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let snap = self.shared.metrics.snapshot(
+            self.shared.started.elapsed(),
+            self.shared.engine.cache().stats(),
+        );
+        Ok(ServeSummary {
+            requests: self.shared.requests.load(Ordering::SeqCst),
+            admitted: snap.admitted,
+            shed: snap.shed,
+            uptime: self.shared.started.elapsed(),
+            metrics_text: snap.render(),
+        })
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(item) = shared.queue.pop() {
+        shared.admission_event(&EngineEvent::QueueDepth {
+            job: item.id as usize,
+            depth: shared.queue.depth(),
+        });
+        let kind = item.request.kind();
+        let t0 = Instant::now();
+        // A panicking job must not kill the worker or strand the
+        // connection thread: answer with a typed error and move on.
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(shared, &item.request)
+        }))
+        .unwrap_or_else(|_| Response::Error {
+            detail: "internal: job panicked".to_string(),
+        });
+        shared.tracer.record(
+            &format!("serve.latency.{kind}_us"),
+            t0.elapsed().as_micros() as u64,
+        );
+        item.slot.fill(resp);
+        shared.queue.done();
+    }
+}
+
+/// Executes one admitted protect/verify job on the shared engine.
+fn execute(shared: &Shared, request: &Request) -> Response {
+    match request {
+        Request::Protect {
+            spec,
+            mode,
+            seed,
+            verify,
+        } => {
+            let mut cfg = ProtectConfig {
+                verify_funcs: verify.clone(),
+                seed: *seed,
+                ..ProtectConfig::default()
+            };
+            if !mode.is_empty() {
+                match chain_mode_for(mode, *seed) {
+                    Some(m) => cfg.mode = m,
+                    None => {
+                        return Response::Error {
+                            detail: format!("select: unknown chain mode '{mode}'"),
+                        }
+                    }
+                }
+            }
+            let mode_tag = if mode.is_empty() { "default" } else { mode };
+            let (name, source) = match spec {
+                crate::proto::JobSpec::Corpus(prog) => (
+                    format!("{prog}/{mode_tag}#{seed}"),
+                    JobSource::Corpus(prog.clone()),
+                ),
+                crate::proto::JobSpec::Inline(src) => match parse_module(src) {
+                    Ok(module) => (
+                        format!("inline/{mode_tag}#{seed}"),
+                        JobSource::Module(Box::new(module)),
+                    ),
+                    Err(e) => {
+                        return Response::Error {
+                            detail: format!("load: {e}"),
+                        }
+                    }
+                },
+            };
+            let job = Job {
+                name,
+                source,
+                cfg,
+                input: None,
+                plan: FaultPlan::default(),
+            };
+            let report = match shared.engine.run(vec![job], |ev| shared.metrics.absorb(ev)) {
+                Ok(r) => r,
+                Err(e) => {
+                    return Response::Error {
+                        detail: format!("engine: {e}"),
+                    }
+                }
+            };
+            let Some(result) = report.results.into_iter().next() else {
+                return Response::Error {
+                    detail: "engine: empty batch report".to_string(),
+                };
+            };
+            if let Some(e) = result.error {
+                return Response::Error { detail: e };
+            }
+            if let Some(v) = result.verdict {
+                if v != Verdict::Clean {
+                    return Response::Error {
+                        detail: format!("verify: validation verdict {v}"),
+                    };
+                }
+            }
+            Response::Protected {
+                image: result.image,
+                gadget_count: result.gadget_count as u32,
+                cached: result.cached,
+                micros: result.micros,
+            }
+        }
+        Request::Verify { image, strict } => {
+            let outcome = if *strict {
+                load_verified_image_strict(image)
+            } else {
+                load_verified_image(image)
+            };
+            match outcome {
+                Ok(_) => Response::VerifyResult {
+                    ok: true,
+                    detail: if *strict {
+                        "verified (strict)".to_string()
+                    } else {
+                        "verified".to_string()
+                    },
+                },
+                Err(e) => Response::VerifyResult {
+                    ok: false,
+                    detail: e.to_string(),
+                },
+            }
+        }
+        // Status/report/shutdown are answered inline by the connection
+        // thread and never admitted; this arm is unreachable in the
+        // daemon but kept total for direct callers.
+        other => Response::Error {
+            detail: format!("internal: {} is not a worker request", other.kind()),
+        },
+    }
+}
+
+/// Size of the payload a job carries (what `max_job_bytes` caps).
+fn job_payload_len(req: &Request) -> usize {
+    match req {
+        Request::Protect { spec, .. } => match spec {
+            crate::proto::JobSpec::Corpus(name) => name.len(),
+            crate::proto::JobSpec::Inline(src) => src.len(),
+        },
+        Request::Verify { image, .. } => image.len(),
+        _ => 0,
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> bool {
+    use std::io::Write as _;
+    let frame = encode_response(resp);
+    stream
+        .write_all(&frame)
+        .and_then(|()| stream.flush())
+        .is_ok()
+}
+
+fn handle_conn(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.opts.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.opts.write_timeout));
+    loop {
+        let body = match read_frame(&mut stream, shared.opts.max_frame) {
+            Ok(body) => body,
+            Err(WireError::Closed) => return,
+            Err(WireError::Io(e)) => {
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    shared.tracer.count("serve.conn.timeout", 1);
+                }
+                return;
+            }
+            Err(WireError::Protocol(e)) => {
+                // A framing-level violation (bad magic / oversize
+                // header): answer typed, then hang up — the byte
+                // stream can no longer be trusted to re-synchronise.
+                shared.tracer.count("serve.proto.error", 1);
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Error {
+                        detail: format!("protocol: {e}"),
+                    },
+                );
+                return;
+            }
+        };
+        let request = match decode_request(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                // The frame boundary was sound, only the body was
+                // malformed: answer typed and keep the connection.
+                shared.tracer.count("serve.proto.error", 1);
+                if !write_response(
+                    &mut stream,
+                    &Response::Error {
+                        detail: format!("protocol: {e}"),
+                    },
+                ) {
+                    return;
+                }
+                continue;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        shared
+            .tracer
+            .count(&format!("serve.requests.{}", request.kind()), 1);
+
+        let response = match &request {
+            Request::Status => shared.status_response(),
+            Request::Report => shared.report_response(),
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.queue.drain();
+                Response::ShuttingDown
+            }
+            Request::Protect { .. } | Request::Verify { .. } => {
+                let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+                let payload = job_payload_len(&request);
+                if payload > shared.opts.max_job_bytes {
+                    shared.admission_event(&EngineEvent::JobShed {
+                        job: id as usize,
+                        reason: ShedReason::Oversize,
+                    });
+                    Response::Refused {
+                        reason: ShedReason::Oversize,
+                        detail: format!(
+                            "job payload {payload} bytes exceeds cap {}",
+                            shared.opts.max_job_bytes
+                        ),
+                    }
+                } else {
+                    let slot = RespSlot::new();
+                    let item = WorkItem {
+                        id,
+                        request,
+                        slot: Arc::clone(&slot),
+                    };
+                    match shared.queue.submit(item) {
+                        Ok(depth) => {
+                            shared.admission_event(&EngineEvent::JobAdmitted {
+                                job: id as usize,
+                                depth,
+                            });
+                            slot.wait()
+                        }
+                        Err((_item, refusal)) => {
+                            shared.admission_event(&EngineEvent::JobShed {
+                                job: id as usize,
+                                reason: refusal.reason,
+                            });
+                            Response::Refused {
+                                reason: refusal.reason,
+                                detail: refusal.to_string(),
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if !write_response(&mut stream, &response) {
+            return;
+        }
+    }
+}

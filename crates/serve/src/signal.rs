@@ -1,0 +1,67 @@
+//! Process shutdown-signal plumbing.
+//!
+//! The daemon (and `plx batch`'s drain path) need exactly one bit from
+//! the OS: "the user asked us to stop". On Unix that is SIGINT/SIGTERM
+//! delivered to a handler that does the only async-signal-safe thing
+//! possible — store into a static atomic. Elsewhere the flag simply
+//! never flips and Ctrl-C keeps its default kill behaviour.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal has been received since
+/// [`install_shutdown_signal`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// The flag itself, for wiring into drain-aware loops
+/// (`Engine::run_with_cancel`).
+pub fn shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// Test/emergency seam: flips the flag as if a signal had arrived.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::*;
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only an atomic store: everything else is unsafe in a signal
+        // handler.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        // SAFETY: `signal` with a handler that performs a single
+        // atomic store is async-signal-safe; the handler address
+        // outlives the process.
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handler (no-op off Unix). Idempotent.
+pub fn install_shutdown_signal() {
+    imp::install();
+}

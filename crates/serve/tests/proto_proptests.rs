@@ -1,0 +1,178 @@
+//! Property tests for the `plx serve` wire codec, mirroring the PLX
+//! container proptests: decoding is total on arbitrary byte soup — a
+//! typed [`ProtocolError`] with an in-range offset, never a panic —
+//! and encode ∘ decode is the identity on every variant.
+
+use proptest::prelude::*;
+
+use parallax_engine::ShedReason;
+use parallax_serve::proto::{
+    decode_request, decode_response, encode_request, encode_response, frame_len, JobSpec, Request,
+    Response, DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC, VERSION,
+};
+
+fn arb_spec() -> impl Strategy<Value = JobSpec> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,12}".prop_map(JobSpec::Corpus),
+        "[ -~]{0,200}".prop_map(JobSpec::Inline),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (
+            arb_spec(),
+            "[a-z-]{0,12}",
+            any::<u64>(),
+            proptest::collection::vec("[a-z_]{1,8}".prop_map(String::from), 0..4),
+        )
+            .prop_map(|(spec, mode, seed, verify)| Request::Protect {
+                spec,
+                mode,
+                seed,
+                verify,
+            }),
+        (
+            proptest::collection::vec(any::<u8>(), 0..256),
+            any::<bool>()
+        )
+            .prop_map(|(image, strict)| Request::Verify { image, strict }),
+        Just(Request::Status),
+        Just(Request::Report),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_shed() -> impl Strategy<Value = ShedReason> {
+    prop_oneof![
+        Just(ShedReason::QueueFull),
+        Just(ShedReason::Shutdown),
+        Just(ShedReason::Oversize),
+        Just(ShedReason::Timeout),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (
+            proptest::collection::vec(any::<u8>(), 0..256),
+            any::<u32>(),
+            any::<bool>(),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(image, gadget_count, cached, micros)| Response::Protected {
+                    image,
+                    gadget_count,
+                    cached,
+                    micros,
+                }
+            ),
+        (any::<bool>(), "[ -~]{0,100}")
+            .prop_map(|(ok, detail)| Response::VerifyResult { ok, detail }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            "[ -~\\n]{0,200}",
+        )
+            .prop_map(|(uptime_us, admitted, shed, queue_depth, text)| {
+                Response::Status {
+                    uptime_us,
+                    admitted,
+                    shed,
+                    queue_depth,
+                    text,
+                }
+            }),
+        "[ -~\\n]{0,200}".prop_map(|text| Response::Report { text }),
+        (arb_shed(), "[ -~]{0,100}")
+            .prop_map(|(reason, detail)| Response::Refused { reason, detail }),
+        "[ -~]{0,100}".prop_map(|detail| Response::Error { detail }),
+        Just(Response::ShuttingDown),
+    ]
+}
+
+proptest! {
+    /// encode ∘ decode is the identity on requests, and the header
+    /// always validates and frames the body exactly.
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        let frame = encode_request(&req);
+        let header: &[u8; HEADER_LEN] = frame[..HEADER_LEN].try_into().unwrap();
+        let len = frame_len(header, DEFAULT_MAX_FRAME).unwrap();
+        prop_assert_eq!(len, frame.len() - HEADER_LEN);
+        prop_assert_eq!(decode_request(&frame[HEADER_LEN..]).unwrap(), req);
+    }
+
+    /// encode ∘ decode is the identity on responses.
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        let frame = encode_response(&resp);
+        prop_assert_eq!(decode_response(&frame[HEADER_LEN..]).unwrap(), resp);
+    }
+
+    /// Both decoders are total on raw byte soup: `Ok` or a typed
+    /// error whose offset stays inside the buffer — never a panic.
+    /// Also drives the soup through a valid version byte so the
+    /// per-opcode field parsers are reached.
+    #[test]
+    fn decoders_total_on_byte_soup(soup in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        for body in [&soup[..], &{
+            let mut v = vec![VERSION];
+            v.extend_from_slice(&soup);
+            v
+        }[..]] {
+            // TrailingBytes reports the leftover count, which is also
+            // bounded by the buffer.
+            if let Err(e) = decode_request(body) {
+                prop_assert!(e.offset <= body.len(),
+                    "request offset {} beyond body {}", e.offset, body.len());
+            }
+            if let Err(e) = decode_response(body) {
+                prop_assert!(e.offset <= body.len(),
+                    "response offset {} beyond body {}", e.offset, body.len());
+            }
+        }
+    }
+
+    /// Header validation is total on arbitrary 8-byte headers and
+    /// never admits a length beyond the cap.
+    #[test]
+    fn header_total(raw in proptest::collection::vec(any::<u8>(), HEADER_LEN..HEADER_LEN + 1),
+                    cap in 0u32..1_000_000) {
+        let header: &[u8; HEADER_LEN] = raw[..].try_into().unwrap();
+        if let Ok(len) = frame_len(header, cap) {
+            prop_assert!(len <= cap as usize);
+            prop_assert_eq!(&raw[..4], &MAGIC[..]);
+        }
+    }
+
+    /// Truncating a valid frame body at any point fails typed, with
+    /// the offset inside the truncated buffer.
+    #[test]
+    fn truncation_is_typed(req in arb_request(), cut in any::<prop::sample::Index>()) {
+        let frame = encode_request(&req);
+        let body = &frame[HEADER_LEN..];
+        let cut = cut.index(body.len().max(1)).min(body.len().saturating_sub(1));
+        let err = decode_request(&body[..cut]).unwrap_err();
+        prop_assert!(err.offset <= cut);
+    }
+
+    /// Flipping any single byte of a valid frame body either still
+    /// decodes (to something) or fails typed — never panics.
+    #[test]
+    fn bitflips_never_panic(req in arb_request(),
+                            at in any::<prop::sample::Index>(),
+                            byte in any::<u8>()) {
+        let frame = encode_request(&req);
+        let mut body = frame[HEADER_LEN..].to_vec();
+        if !body.is_empty() {
+            let i = at.index(body.len());
+            body[i] = byte;
+            let _ = decode_request(&body);
+            let _ = decode_response(&body);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! End-to-end tests of the resident daemon over real loopback sockets:
+//! warm-cache protect, fail-closed verify, status/report, graceful
+//! drain with typed `Shutdown` refusals, overload shedding with zero
+//! accepted-then-dropped jobs, and the per-connection read timeout.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parallax_engine::ShedReason;
+use parallax_serve::{
+    Client, JobSpec, Request, Response, ServeOptions, ServeSummary, Server, ServerHandle,
+};
+
+const SRC: &str = "fn vf(x) { return x * 5 + 3; }\nfn main() { return vf(7); }\n";
+
+fn spawn(opts: ServeOptions) -> (ServerHandle, SocketAddr, JoinHandle<ServeSummary>) {
+    let server = Server::bind(opts).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let t = std::thread::spawn(move || server.run().expect("server runs"));
+    (handle, addr, t)
+}
+
+fn client(addr: SocketAddr) -> Client {
+    Client::connect(&addr.to_string(), Duration::from_secs(30)).expect("connect")
+}
+
+fn protect_req(seed: u64) -> Request {
+    Request::Protect {
+        spec: JobSpec::Inline(SRC.to_string()),
+        mode: String::new(),
+        seed,
+        verify: vec!["vf".to_string()],
+    }
+}
+
+#[test]
+fn protect_verify_status_report_roundtrip() {
+    let (handle, addr, t) = spawn(ServeOptions::default());
+    let mut c = client(addr);
+
+    // Cold protect, then the same request again: the second answer
+    // must be served from the warm artifact cache, byte-identical.
+    let (image, cached_cold) = match c.call(&protect_req(7)).expect("protect") {
+        Response::Protected { image, cached, .. } => (image, cached),
+        other => panic!("expected Protected, got {other:?}"),
+    };
+    assert!(!cached_cold, "cold request must compute");
+    assert!(!image.is_empty());
+    let (image2, cached_warm) = match c.call(&protect_req(7)).expect("repeat protect") {
+        Response::Protected { image, cached, .. } => (image, cached),
+        other => panic!("expected Protected, got {other:?}"),
+    };
+    assert!(cached_warm, "repeat request must hit the warm cache");
+    assert_eq!(image, image2, "cache hit must be byte-identical");
+
+    // The protected image passes fail-closed verification; corrupting
+    // one byte makes it fail with a typed detail, not a panic.
+    match c
+        .call(&Request::Verify {
+            image: image.clone(),
+            strict: true,
+        })
+        .expect("verify")
+    {
+        Response::VerifyResult { ok, .. } => assert!(ok, "clean image verifies"),
+        other => panic!("expected VerifyResult, got {other:?}"),
+    }
+    let mut bad = image.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x40;
+    match c
+        .call(&Request::Verify {
+            image: bad,
+            strict: false,
+        })
+        .expect("verify corrupt")
+    {
+        Response::VerifyResult { ok, detail } => {
+            assert!(!ok, "corrupt image must fail closed");
+            assert!(!detail.is_empty());
+        }
+        other => panic!("expected VerifyResult, got {other:?}"),
+    }
+
+    // Status reflects the admitted jobs; report renders the service
+    // section with per-kind latency.
+    match c.call(&Request::Status).expect("status") {
+        Response::Status {
+            admitted,
+            shed,
+            text,
+            ..
+        } => {
+            assert_eq!(admitted, 4, "four jobs admitted so far");
+            assert_eq!(shed, 0);
+            assert!(text.contains("jobs"), "{text}");
+        }
+        other => panic!("expected Status, got {other:?}"),
+    }
+    match c.call(&Request::Report).expect("report") {
+        Response::Report { text } => {
+            assert!(text.contains("service"), "{text}");
+            assert!(text.contains("protect"), "{text}");
+            assert!(text.contains("p99"), "{text}");
+        }
+        other => panic!("expected Report, got {other:?}"),
+    }
+
+    // A malformed body on an intact frame is answered typed and the
+    // connection survives.
+    // (Exercised through the public API: an unknown opcode.)
+    drop(handle);
+    assert!(matches!(
+        c.call(&Request::Shutdown).expect("shutdown"),
+        Response::ShuttingDown
+    ));
+    drop(c);
+    let summary = t.join().expect("no panic");
+    assert_eq!(summary.admitted, 4);
+    assert_eq!(summary.shed, 0);
+    assert!(summary.metrics_text.contains("admission"));
+}
+
+#[test]
+fn drain_refuses_new_work_with_typed_shutdown() {
+    let (_handle, addr, t) = spawn(ServeOptions::default());
+    let mut a = client(addr);
+    let mut b = client(addr);
+
+    // Warm the engine with one job so drain has something behind it.
+    assert!(matches!(
+        a.call(&protect_req(1)).expect("protect"),
+        Response::Protected { .. }
+    ));
+
+    assert!(matches!(
+        a.call(&Request::Shutdown).expect("shutdown"),
+        Response::ShuttingDown
+    ));
+    // A request arriving on another live connection during drain gets
+    // the typed Shutdown refusal, not a hang and not a dropped socket.
+    match b.call(&protect_req(2)).expect("refused, not dropped") {
+        Response::Refused { reason, detail } => {
+            assert_eq!(reason, ShedReason::Shutdown);
+            assert!(detail.contains("drain"), "{detail}");
+        }
+        other => panic!("expected Refused, got {other:?}"),
+    }
+    drop(a);
+    drop(b);
+    let summary = t.join().expect("no panic");
+    assert_eq!(summary.admitted, 1);
+    assert_eq!(summary.shed, 1);
+}
+
+#[test]
+fn overload_sheds_typed_and_never_drops_admitted_jobs() {
+    // One worker, a one-slot queue, and a burst of concurrent distinct
+    // requests: most must be shed as QueueFull, and every response is
+    // either Protected or Refused — an admitted job is never dropped.
+    let (handle, addr, t) = spawn(ServeOptions {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeOptions::default()
+    });
+    const BURST: u64 = 16;
+    let protected = Arc::new(AtomicU64::new(0));
+    let refused = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..BURST)
+        .map(|i| {
+            let protected = Arc::clone(&protected);
+            let refused = Arc::clone(&refused);
+            std::thread::spawn(move || {
+                let mut c = client(addr);
+                // Distinct seeds: every job is a cache miss, keeping
+                // the single worker busy long enough to saturate.
+                match c.call(&protect_req(1000 + i)).expect("typed answer") {
+                    Response::Protected { .. } => protected.fetch_add(1, Ordering::SeqCst),
+                    Response::Refused {
+                        reason: ShedReason::QueueFull,
+                        ..
+                    } => refused.fetch_add(1, Ordering::SeqCst),
+                    other => panic!("expected Protected or Refused(QueueFull), got {other:?}"),
+                };
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("client thread");
+    }
+    let protected = protected.load(Ordering::SeqCst);
+    let refused = refused.load(Ordering::SeqCst);
+    assert_eq!(protected + refused, BURST, "every request got an answer");
+    assert!(refused > 0, "saturation must shed");
+    assert!(protected > 0, "admitted work must complete");
+
+    handle.shutdown();
+    let summary = t.join().expect("no panic");
+    // Zero accepted-then-dropped: everything admitted was answered
+    // with a Protected response.
+    assert_eq!(summary.admitted, protected);
+    assert_eq!(summary.shed, refused);
+}
+
+#[test]
+fn idle_connections_hit_the_read_timeout() {
+    let (handle, addr, t) = spawn(ServeOptions {
+        read_timeout: Duration::from_millis(150),
+        ..ServeOptions::default()
+    });
+    let mut c = client(addr);
+    std::thread::sleep(Duration::from_millis(500));
+    // The daemon dropped the idle connection; the next exchange fails
+    // at the transport level instead of hanging.
+    assert!(
+        c.call(&Request::Status).is_err(),
+        "idle connection must be disconnected"
+    );
+    // A fresh connection still works.
+    let mut c2 = client(addr);
+    assert!(matches!(
+        c2.call(&Request::Status).expect("status"),
+        Response::Status { .. }
+    ));
+    handle.shutdown();
+    t.join().expect("no panic");
+}

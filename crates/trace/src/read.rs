@@ -64,6 +64,30 @@ impl HistRec {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate quantile `q` in `[0, 1]`, mirroring
+    /// `Histogram::percentile` on the writer side: the upper bound of
+    /// the power-of-two bucket holding the rank-`ceil(q·count)`
+    /// observation, clamped to `[min, max]`. 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bits, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let hi = match bits {
+                    0 => 0,
+                    64 => u64::MAX,
+                    b => (1u64 << b) - 1,
+                };
+                return hi.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
 }
 
 /// Everything extracted from one Chrome trace file.
@@ -249,6 +273,26 @@ mod tests {
         assert_eq!(h.buckets, vec![(13, 1)]);
         assert_eq!(tf.children_of(1).len(), 1);
         assert!(tf.total_dur_us("protect") >= tf.total_dur_us("select"));
+    }
+
+    #[test]
+    fn histrec_percentile_matches_writer_side() {
+        // The same observations recorded into a live Histogram and
+        // round-tripped through chrome_json must agree on quantiles.
+        let t = crate::Tracer::new();
+        for _ in 0..99 {
+            t.record("serve.latency.protect_us", 100);
+        }
+        t.record("serve.latency.protect_us", 9_000);
+        let live = t.snapshot().hists["serve.latency.protect_us"].clone();
+        let json = crate::chrome_json(&t.snapshot());
+        let tf = TraceFile::parse(&json).expect("parse own output");
+        let rec = &tf.hists["serve.latency.protect_us"];
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(rec.percentile(q), live.percentile(q), "q={q}");
+        }
+        assert_eq!(rec.percentile(1.0), 9_000);
+        assert_eq!(HistRec::default().percentile(0.99), 0);
     }
 
     #[test]

@@ -150,6 +150,27 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// power-of-two bucket holding the rank-`ceil(q·count)`
+    /// observation, clamped to the observed `[min, max]`. Accurate to
+    /// within one bucket (a factor of two), which is what a bit-length
+    /// histogram can promise; 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_range(i);
+                return hi.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
 }
 
 #[derive(Debug)]
@@ -561,6 +582,24 @@ mod tests {
         assert_eq!(h.buckets[3], 1); // 7
         assert_eq!(h.buckets[10], 1); // 1000 (512..1023)
         assert!((h.mean() - 1007.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentile_is_bucket_bounded() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(0.99), 0, "empty histogram");
+        for _ in 0..99 {
+            h.record(100); // bucket 7: 64..127
+        }
+        h.record(9_000); // bucket 14: 8192..16383
+                         // p50 lands in the 100s bucket; its upper bound is 127.
+        let p50 = h.percentile(0.50);
+        assert!((100..=127).contains(&p50), "p50 = {p50}");
+        // p99 still lands in the dense bucket (rank 99 of 100); p100
+        // reaches the outlier and clamps to the observed max.
+        assert_eq!(h.percentile(1.0), 9_000);
+        assert!(h.percentile(0.0) >= h.min);
+        assert!(h.percentile(1.0) <= h.max);
     }
 
     #[test]

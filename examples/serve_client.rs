@@ -1,0 +1,112 @@
+//! Minimal client for a running `plx serve` daemon.
+//!
+//! ```sh
+//! # terminal 1
+//! cargo run --release -- serve --addr 127.0.0.1:7070
+//! # terminal 2
+//! cargo run --example serve_client -- 127.0.0.1:7070 status
+//! cargo run --example serve_client -- 127.0.0.1:7070 protect examples/px/license.px verify_pipeline
+//! cargo run --example serve_client -- 127.0.0.1:7070 report
+//! cargo run --example serve_client -- 127.0.0.1:7070 shutdown
+//! ```
+//!
+//! The CI smoke job drives exactly this binary against a freshly
+//! started daemon: status for readiness, shutdown for a clean drain.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use parallax::serve::{Client, JobSpec, Request, Response};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve_client <addr> <command>\n\
+         commands:\n\
+         \x20 status                      queue depth, admitted/shed counts\n\
+         \x20 report                      live service-side metrics tables\n\
+         \x20 protect <src.px> <vf[,..]>  protect a source file, print image size\n\
+         \x20 shutdown                    drain in-flight jobs and stop"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(addr), Some(cmd)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let request = match cmd.as_str() {
+        "status" => Request::Status,
+        "report" => Request::Report,
+        "shutdown" => Request::Shutdown,
+        "protect" => {
+            let (Some(path), Some(verify)) = (args.get(2), args.get(3)) else {
+                return usage();
+            };
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            Request::Protect {
+                spec: JobSpec::Inline(src),
+                mode: String::new(),
+                seed: 1,
+                verify: verify.split(',').map(str::to_owned).collect(),
+            }
+        }
+        _ => return usage(),
+    };
+
+    let mut client = match Client::connect(addr, Duration::from_secs(30)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.call(&request) {
+        Ok(Response::Status {
+            uptime_us,
+            admitted,
+            shed,
+            queue_depth,
+            text,
+        }) => {
+            println!(
+                "up {:.1} s   {admitted} admitted / {shed} shed   queue depth {queue_depth}\n{text}",
+                uptime_us as f64 / 1e6
+            );
+        }
+        Ok(Response::Report { text }) => println!("{text}"),
+        Ok(Response::ShuttingDown) => println!("daemon draining"),
+        Ok(Response::Protected {
+            image,
+            gadget_count,
+            cached,
+            micros,
+        }) => {
+            println!(
+                "protected: {} bytes, {gadget_count} gadgets, {:.1} ms{}",
+                image.len(),
+                micros as f64 / 1e3,
+                if cached { " [cached]" } else { "" }
+            );
+        }
+        Ok(Response::Refused { reason, detail }) => {
+            eprintln!("refused ({reason}): {detail}");
+            return ExitCode::FAILURE;
+        }
+        Ok(other) => {
+            eprintln!("unexpected response: {other:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,7 @@
 //! plx coverage <img.plx>                           Figure-6 style analysis
 //! plx tamper  <img.plx> --at <vaddr> --bytes aa,bb -o <out.plx>
 //! plx batch   <manifest> [--jobs N] [--out dir]    batch-protect via the engine
+//! plx serve   [--addr host:port] [--workers N]     resident protection daemon
 //! plx report  <t.json> | --diff <a.json> <b.json>  paper-style tables
 //! ```
 //!
@@ -101,6 +102,18 @@ pub fn spec_for(cmd: &str) -> Spec {
         "tamper" => (&["o", "at", "bytes"], &[]),
         "batch" => (
             &["jobs", "out", "log-json", "cache-dir", "seed", "trace-out"],
+            &["no-validate"],
+        ),
+        "serve" => (
+            &[
+                "addr",
+                "workers",
+                "queue",
+                "cache-dir",
+                "read-timeout-ms",
+                "max-frame",
+                "trace-out",
+            ],
             &["no-validate"],
         ),
         "report" => (&[], &["diff"]),
@@ -847,9 +860,15 @@ pub fn cmd_batch(args: &Args) -> Result<String> {
     });
 
     // Live progress goes to stderr (stdout carries the final summary,
-    // like every other subcommand).
+    // like every other subcommand). Ctrl-C drains instead of killing:
+    // in-flight jobs finish, unstarted ones are shed with a typed
+    // error, and the partial summary still prints.
+    parallax_serve::install_shutdown_signal();
     let report = engine
-        .run(jobs, |ev| match ev {
+        .run_with_cancel(jobs, Some(parallax_serve::shutdown_flag()), |ev| match ev {
+            EngineEvent::JobShed { job, reason } => {
+                eprintln!("[{:>3}/{n}] shed ({reason}): draining batch", job + 1);
+            }
             EngineEvent::JobStarted { job, name, worker } => {
                 eprintln!("[{:>3}/{n}] {name} started (worker {worker})", job + 1);
             }
@@ -934,6 +953,85 @@ pub fn cmd_batch(args: &Args) -> Result<String> {
     }
 }
 
+/// `plx serve`: run the resident protection daemon.
+pub fn cmd_serve(args: &Args) -> Result<String> {
+    let mut opts = parallax_serve::ServeOptions::default();
+    if let Some(addr) = args.flag("addr") {
+        opts.addr = addr.to_owned();
+    }
+    if let Some(v) = args.flag("workers") {
+        opts.workers = v.parse().map_err(|e| bail(format!("bad --workers: {e}")))?;
+    }
+    if let Some(v) = args.flag("queue") {
+        opts.queue_capacity = v.parse().map_err(|e| bail(format!("bad --queue: {e}")))?;
+    }
+    match args.flag("cache-dir") {
+        Some("none") => opts.cache_dir = None,
+        Some(dir) => opts.cache_dir = Some(std::path::PathBuf::from(dir)),
+        None => {}
+    }
+    if let Some(v) = args.flag("read-timeout-ms") {
+        let ms: u64 = v
+            .parse()
+            .map_err(|e| bail(format!("bad --read-timeout-ms: {e}")))?;
+        opts.read_timeout = std::time::Duration::from_millis(ms);
+        opts.write_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(v) = args.flag("max-frame") {
+        opts.max_frame = v
+            .parse()
+            .map_err(|e| bail(format!("bad --max-frame: {e}")))?;
+    }
+    opts.validate = !args.switch("no-validate");
+    let trace_out = args.flag("trace-out").map(str::to_owned);
+
+    let server = parallax_serve::Server::bind(opts).map_err(|e| bail(format!("bind: {e}")))?;
+    // The readiness line goes to stderr *before* the accept loop so a
+    // supervisor (or the CI smoke job) can poll for it.
+    eprintln!("plx serve listening on {}", server.local_addr());
+
+    // SIGINT/SIGTERM → graceful drain: stop accepting, complete every
+    // admitted job, answer stragglers with a typed Shutdown refusal.
+    parallax_serve::install_shutdown_signal();
+    let handle = server.handle();
+    let watcher = std::thread::Builder::new()
+        .name("plx-serve-signal".into())
+        .spawn(move || loop {
+            if parallax_serve::shutdown_requested() {
+                handle.shutdown();
+                return;
+            }
+            if handle.is_shutting_down() {
+                // Shutdown arrived over the wire instead; nothing to do.
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        })
+        .map_err(|e| bail(format!("signal watcher: {e}")))?;
+
+    let tracer = server.tracer();
+    let summary = server.run().map_err(|e| bail(format!("serve: {e}")))?;
+    // Unblock the watcher if the daemon exited via a wire Shutdown.
+    parallax_serve::request_shutdown();
+    let _ = watcher.join();
+
+    let mut msg = format!(
+        "served {} requests in {:.1} s: {} admitted, {} shed\n",
+        summary.requests,
+        summary.uptime.as_secs_f64(),
+        summary.admitted,
+        summary.shed,
+    );
+    if let Some(path) = trace_out {
+        std::fs::write(&path, chrome_json(&tracer.snapshot()))
+            .map_err(|e| bail(format!("{path}: {e}")))?;
+        writeln!(msg, "  trace: {path}").unwrap();
+    }
+    msg.push('\n');
+    msg.push_str(&summary.metrics_text);
+    Ok(msg.trim_end().to_owned())
+}
+
 /// `plx report`: render paper-style tables from `--trace-out` files.
 pub fn cmd_report(args: &Args) -> Result<String> {
     let load = |p: &str| -> Result<TraceFile> {
@@ -969,6 +1067,9 @@ USAGE:
   plx tamper   <img.plx> --at <hex-vaddr> --bytes aa,bb -o <out.plx>
   plx batch    <manifest> [--jobs N] [--out <dir>] [--log-json <path>]
                [--cache-dir <dir>|none] [--no-validate] [--trace-out <t.json>]
+  plx serve    [--addr host:port] [--workers N] [--queue N]
+               [--cache-dir <dir>|none] [--read-timeout-ms N]
+               [--max-frame N] [--no-validate] [--trace-out <t.json>]
   plx report   <t.json>
   plx report   --diff <a.json> <b.json>
 
@@ -976,9 +1077,9 @@ USAGE:
 lame); corpus workloads default --verify and --input to the workload's
 designated verification function and packaged input.";
 
-const COMMANDS: [&str; 12] = [
+const COMMANDS: [&str; 13] = [
     "build", "protect", "run", "verify", "inspect", "disasm", "gadgets", "coverage", "chain",
-    "tamper", "batch", "report",
+    "tamper", "batch", "serve", "report",
 ];
 
 /// Dispatches a subcommand.
@@ -996,6 +1097,7 @@ pub fn dispatch(cmd: &str, raw: &[String]) -> Result<String> {
         "chain" => cmd_chain(&args),
         "tamper" => cmd_tamper(&args),
         "batch" => cmd_batch(&args),
+        "serve" => cmd_serve(&args),
         "report" => cmd_report(&args),
         _ => match suggest(cmd, COMMANDS) {
             Some(s) => Err(bail(format!(

@@ -11,5 +11,6 @@ pub use parallax_gadgets as gadgets;
 pub use parallax_image as image;
 pub use parallax_rewrite as rewrite;
 pub use parallax_ropc as ropc;
+pub use parallax_serve as serve;
 pub use parallax_vm as vm;
 pub use parallax_x86 as x86;

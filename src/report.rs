@@ -362,6 +362,77 @@ fn verification_table(out: &mut String, tf: &TraceFile) {
     }
 }
 
+/// Request kinds the daemon serves, in display order.
+const SERVE_KINDS: [&str; 5] = ["protect", "verify", "status", "report", "shutdown"];
+
+/// Resident-daemon telemetry (`plx serve --trace-out`): request mix,
+/// per-kind latency percentiles, the admission-queue watermark, and
+/// the shed taxonomy — the service-side view of the fleet scenario.
+fn service_table(out: &mut String, tf: &TraceFile) {
+    let get = |k: &str| tf.counters.get(k).copied().unwrap_or(0);
+    let requests: u64 = SERVE_KINDS
+        .iter()
+        .map(|k| get(&format!("serve.requests.{k}")))
+        .sum();
+    let admitted = get("serve.admitted");
+    let shed: u64 = tf
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("serve.shed."))
+        .map(|(_, &v)| v)
+        .sum();
+    if requests + admitted + shed == 0 {
+        return;
+    }
+    let _ = writeln!(out, "service (plx serve):");
+    let mix: Vec<String> = SERVE_KINDS
+        .iter()
+        .filter_map(|k| {
+            let n = get(&format!("serve.requests.{k}"));
+            (n > 0).then(|| format!("{k} {n}"))
+        })
+        .collect();
+    let _ = writeln!(out, "  requests: {requests}  ({})", mix.join(", "));
+    for kind in SERVE_KINDS {
+        let Some(h) = tf.hists.get(&format!("serve.latency.{kind}_us")) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "  latency   {kind:<9} p50 {:>9.3} ms   p99 {:>9.3} ms  ({} samples)",
+            h.percentile(0.50) as f64 / 1e3,
+            h.percentile(0.99) as f64 / 1e3,
+            h.count
+        );
+    }
+    if let Some(depth) = tf.hists.get("serve.queue.depth") {
+        let _ = writeln!(out, "  queue depth max: {}", depth.max);
+    }
+    if admitted + shed > 0 {
+        let _ = writeln!(
+            out,
+            "  admission: {admitted} admitted / {shed} shed ({:.1}% shed rate)",
+            pct(shed, admitted + shed)
+        );
+        for (key, &n) in tf.counters.iter() {
+            if let Some(reason) = key.strip_prefix("serve.shed.") {
+                let _ = writeln!(out, "    shed.{reason:<11} {n}");
+            }
+        }
+    }
+    let (conns, timeouts, proto) = (
+        get("serve.conn.accepted"),
+        get("serve.conn.timeout"),
+        get("serve.proto.error"),
+    );
+    if conns + timeouts + proto > 0 {
+        let _ = writeln!(
+            out,
+            "  connections: {conns} accepted, {timeouts} timed out, {proto} protocol errors"
+        );
+    }
+}
+
 /// Renders the full report for one trace file.
 pub fn render_report(tf: &TraceFile) -> String {
     let mut out = String::new();
@@ -390,6 +461,10 @@ pub fn render_report(tf: &TraceFile) -> String {
         out.push('\n');
     }
     verification_table(&mut out, tf);
+    if !out.ends_with("\n\n") && !out.is_empty() {
+        out.push('\n');
+    }
+    service_table(&mut out, tf);
     let trimmed = out.trim_end().to_string();
     if trimmed.is_empty() {
         "trace contains no reportable metrics (was it produced with --trace-out?)".to_string()
@@ -543,6 +618,52 @@ pub fn render_diff(a: &TraceFile, b: &TraceFile) -> String {
             vc(b, "cache.verify.fail"),
         );
     }
+
+    // Service-side deltas (only when either trace carries `serve.*`
+    // telemetry): request volume, admission outcomes, per-kind p99.
+    let sv = |tf: &TraceFile, k: &str| tf.counters.get(k).copied().unwrap_or(0);
+    let req_total = |tf: &TraceFile| -> u64 {
+        SERVE_KINDS
+            .iter()
+            .map(|k| sv(tf, &format!("serve.requests.{k}")))
+            .sum()
+    };
+    let shed_total = |tf: &TraceFile| -> u64 {
+        tf.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("serve.shed."))
+            .map(|(_, &v)| v)
+            .sum()
+    };
+    if req_total(a) + req_total(b) + sv(a, "serve.admitted") + sv(b, "serve.admitted") > 0 {
+        let _ = writeln!(
+            out,
+            "\nservice (b - a):\n  requests: {} -> {}   admitted: {} -> {}   shed: {} -> {}",
+            req_total(a),
+            req_total(b),
+            sv(a, "serve.admitted"),
+            sv(b, "serve.admitted"),
+            shed_total(a),
+            shed_total(b),
+        );
+        for kind in SERVE_KINDS {
+            let key = format!("serve.latency.{kind}_us");
+            let (ha, hb) = (a.hists.get(&key), b.hists.get(&key));
+            if ha.is_none() && hb.is_none() {
+                continue;
+            }
+            let p99 = |h: Option<&parallax_trace::HistRec>| {
+                h.map_or(0, |h| h.percentile(0.99)) as f64 / 1e3
+            };
+            let _ = writeln!(
+                out,
+                "  p99       {kind:<9} {:>9.3} ms -> {:>9.3} ms ({})",
+                p99(ha),
+                p99(hb),
+                signed_ms((p99(hb) * 1e3) as i64 - (p99(ha) * 1e3) as i64)
+            );
+        }
+    }
     out.trim_end().to_string()
 }
 
@@ -664,6 +785,57 @@ mod tests {
             diff.contains("image loads:  5 -> 5 verified, 1 -> 1 refused"),
             "{diff}"
         );
+    }
+
+    fn service_trace(protects: u64, shed: u64, latency_us: u64) -> TraceFile {
+        let t = Tracer::new();
+        t.count("serve.requests.protect", protects);
+        t.count("serve.requests.status", 1);
+        t.count("serve.admitted", protects);
+        if shed > 0 {
+            t.count("serve.shed.queue-full", shed);
+        }
+        for _ in 0..protects {
+            t.record("serve.latency.protect_us", latency_us);
+        }
+        t.record("serve.queue.depth", 3);
+        t.count("serve.conn.accepted", 4);
+        TraceFile::parse(&chrome_json(&t.snapshot())).expect("service trace parses")
+    }
+
+    #[test]
+    fn report_renders_service_section() {
+        let report = render_report(&service_trace(8, 2, 2_000));
+        for needle in [
+            "service (plx serve):",
+            "requests: 9  (protect 8, status 1)",
+            "latency   protect",
+            "p50",
+            "p99",
+            "(8 samples)",
+            "queue depth max: 3",
+            "admission: 8 admitted / 2 shed (20.0% shed rate)",
+            "shed.queue-full  2",
+            "connections: 4 accepted",
+        ] {
+            assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+        }
+    }
+
+    #[test]
+    fn diff_shows_service_deltas() {
+        let a = service_trace(8, 0, 1_000);
+        let b = service_trace(16, 4, 4_000);
+        let diff = render_diff(&a, &b);
+        assert!(diff.contains("service (b - a):"), "{diff}");
+        assert!(
+            diff.contains("requests: 9 -> 17   admitted: 8 -> 16   shed: 0 -> 4"),
+            "{diff}"
+        );
+        assert!(diff.contains("p99       protect"), "{diff}");
+        // Traces without serve.* counters render no service section.
+        let plain = render_diff(&sample_trace(400, 96), &sample_trace(400, 96));
+        assert!(!plain.contains("service (b - a)"), "{plain}");
     }
 
     #[test]
