@@ -34,9 +34,7 @@ use std::fmt;
 use std::time::Instant;
 
 use parallax_compiler::{compile_module, CompileError, Function, Module};
-use parallax_gadgets::{
-    find_gadgets_with_stats_cached, serialize_gadgets, GadgetMap, RangeSet, ValidationCache,
-};
+use parallax_gadgets::{serialize_gadgets, GadgetMap, RangeSet, ValidationCache};
 use parallax_image::{verify_image_strict, ImageVerifyError, LinkError, LinkedImage, Program};
 use parallax_rewrite::{
     analyze_traced, protect_program_parallel, Coverage, FuncRewriteCache, FuncRewriteOutcome,
@@ -735,7 +733,7 @@ fn run_pipeline(
     // 4. Fixpoint pass 1: discover chain sizes (stages: Link,
     // GadgetScan, Map, ChainCompile).
     let img1 = timed(hooks, Stage::Link, || prog.link())?;
-    let map1 = scan_gadgets(&img1, plan, hooks, jobs)?;
+    let map1 = scan_gadgets(&img1, plan, hooks, jobs, trace)?;
     let ranges1 = target_ranges(&img1, &targets);
     let chain1_block = StageBlock::begin(hooks, Stage::ChainCompile);
     let scratch1 = symbol_vaddr(&img1, "__plx_scratch")?;
@@ -802,7 +800,7 @@ fn run_pipeline(
 
     // 5. Fixpoint pass 2: final layout; recompile, serialize, install.
     let img2 = timed(hooks, Stage::Link, || prog.link())?;
-    let map2 = scan_gadgets(&img2, plan, hooks, jobs)?;
+    let map2 = scan_gadgets(&img2, plan, hooks, jobs, trace)?;
     let ranges2 = target_ranges(&img2, &targets);
     let range_index = RangeSet::new(&ranges2);
     let chain2_block = StageBlock::begin(hooks, Stage::ChainCompile);
@@ -856,6 +854,7 @@ fn run_pipeline(
         t.count("protect.par.chain.cpu_us", cpu_us);
         t.record("protect.par.workers", pstats.workers as u64);
         t.count("protect.par.steals", pstats.steals);
+        pstats.export_to(t, "chain");
     }
     // First error in task order, so failures are deterministic too.
     let mut arts = Vec::with_capacity(compiled.len());
@@ -1166,6 +1165,7 @@ fn scan_gadgets(
     plan: &FaultPlan,
     hooks: &dyn PipelineHooks,
     jobs: usize,
+    trace: Option<&Tracer>,
 ) -> Result<GadgetMap, ProtectError> {
     let block = StageBlock::begin(hooks, Stage::GadgetScan);
     let gadgets = if plan.empties_gadget_scan() {
@@ -1181,8 +1181,20 @@ fn scan_gadgets(
                 let vc = hooks
                     .has_func_cache()
                     .then_some(&vcache as &dyn ValidationCache);
-                let (fresh, stats) = find_gadgets_with_stats_cached(img, jobs, vc);
+                let (fresh, stats, vstats) =
+                    parallax_gadgets::find_gadgets_instrumented(img, jobs, vc);
                 hooks.scan_stats(&stats);
+                if let Some(t) = trace {
+                    // Per-chunk probe-VM construction is pure setup
+                    // cost that fan-out multiplies — attribute it so
+                    // `plx profile` can rank it against real work.
+                    t.count("vm.probe.builds", vstats.probe_builds);
+                    t.count("vm.probe.build_ns", vstats.probe_build_ns);
+                    t.count("pool.scan.merge_ns", vstats.merge_ns);
+                    if vstats.pool.workers > 0 {
+                        vstats.pool.export_to(t, "scan");
+                    }
+                }
                 hooks.store_scan(img, &fresh);
                 fresh
             }

@@ -251,7 +251,7 @@ impl Engine {
 
         let t0 = Instant::now();
         let n_workers = self.opts.workers.clamp(1, jobs.len().max(1));
-        let (results, _stats) = {
+        let (results, pool_stats) = {
             let jobs = &jobs;
             let sink = &sink;
             parallax_pool::scoped_map(n_workers, jobs.len(), |idx, w| {
@@ -326,6 +326,11 @@ impl Engine {
         };
 
         sink.flush();
+        if let Some(t) = &self.opts.trace {
+            // Counters only: each job already has a `job:` span on its
+            // worker's real lane, so utilization lanes would duplicate.
+            pool_stats.export_counters_to(t, "jobs");
+        }
         let metrics = sink.metrics.snapshot(t0.elapsed(), self.cache.stats());
         Ok(BatchReport { results, metrics })
     }

@@ -108,6 +108,25 @@ fn verdict_key(
     key
 }
 
+/// Telemetry from the classify/validate fan-out of one
+/// [`find_gadgets_instrumented`] run — the attribution `plx profile`
+/// uses to explain where a flat parallel speedup went.
+#[derive(Debug, Clone, Default)]
+pub struct ValidateStats {
+    /// Probe VMs constructed (one per chunk; one total when the run
+    /// stayed inline).
+    pub probe_builds: u64,
+    /// Total nanoseconds spent constructing probe VMs — per-chunk
+    /// setup cost that parallelism multiplies instead of amortizing.
+    pub probe_build_ns: u64,
+    /// Nanoseconds spent concatenating per-chunk gadget vectors back
+    /// into sequential order (serial, on the caller's thread).
+    pub merge_ns: u64,
+    /// Scheduling statistics of the validation pool run. Defaulted
+    /// (zero workers) when the run stayed inline.
+    pub pool: parallax_pool::PoolStats,
+}
+
 /// [`find_gadgets_with_stats_jobs`] consulting (and populating) a
 /// [`ValidationCache`] for each classified candidate.
 pub fn find_gadgets_with_stats_cached(
@@ -115,10 +134,28 @@ pub fn find_gadgets_with_stats_cached(
     jobs: usize,
     cache: Option<&dyn ValidationCache>,
 ) -> (Vec<Gadget>, ScanStats) {
+    let (gadgets, stats, _) = find_gadgets_instrumented(img, jobs, cache);
+    (gadgets, stats)
+}
+
+/// [`find_gadgets_with_stats_cached`] also returning [`ValidateStats`]:
+/// probe-VM construction time (`vm.probe.build_ns` in traces), the
+/// serial merge cost, and the validation pool's scheduling counters.
+pub fn find_gadgets_instrumented(
+    img: &LinkedImage,
+    jobs: usize,
+    cache: Option<&dyn ValidationCache>,
+) -> (Vec<Gadget>, ScanStats, ValidateStats) {
+    use std::sync::atomic::{AtomicU64, Ordering};
     let (cands, stats) = scan_with_stats(&img.text, img.text_base);
     let workers = jobs.max(1);
+    let probe_builds = AtomicU64::new(0);
+    let probe_build_ns = AtomicU64::new(0);
     let validate_chunk = |chunk: &[Candidate]| {
+        let t0 = std::time::Instant::now();
         let mut probe = parallax_vm::Vm::new(img);
+        probe_builds.fetch_add(1, Ordering::Relaxed);
+        probe_build_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let heap_base = probe.mem().heap_base();
         let mut out = Vec::new();
         for cand in chunk {
@@ -141,15 +178,30 @@ pub fn find_gadgets_with_stats_cached(
         out
     };
     if workers == 1 || cands.len() < 64 {
-        return (validate_chunk(&cands), stats);
+        let gadgets = validate_chunk(&cands);
+        let vstats = ValidateStats {
+            probe_builds: probe_builds.into_inner(),
+            probe_build_ns: probe_build_ns.into_inner(),
+            merge_ns: 0,
+            pool: parallax_pool::PoolStats::default(),
+        };
+        return (gadgets, stats, vstats);
     }
     // Oversplit a little so a chunk dense in expensive proposals can be
     // balanced by stealing; probe-VM construction bounds the factor.
     let chunk = cands.len().div_ceil(workers * 2).max(1);
     let chunks: Vec<&[Candidate]> = cands.chunks(chunk).collect();
-    let (parts, _) =
+    let (parts, pool) =
         parallax_pool::scoped_map(workers, chunks.len(), |i, _w| validate_chunk(chunks[i]));
-    (parts.into_iter().flatten().collect(), stats)
+    let t0 = std::time::Instant::now();
+    let gadgets: Vec<Gadget> = parts.into_iter().flatten().collect();
+    let vstats = ValidateStats {
+        probe_builds: probe_builds.into_inner(),
+        probe_build_ns: probe_build_ns.into_inner(),
+        merge_ns: t0.elapsed().as_nanos() as u64,
+        pool,
+    };
+    (gadgets, stats, vstats)
 }
 
 /// Like [`find_gadgets`], but returns the typed mapping directly.

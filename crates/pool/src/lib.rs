@@ -12,21 +12,162 @@
 //! when idle. Results are collected **by item index**, so the output
 //! order is always the input order — callers get a deterministic merge
 //! for free, whatever the interleaving was.
+//!
+//! Every run is also *instrumented*: [`PoolStats`] carries per-worker
+//! lock-wait time, steal attempts vs. successes, contended lock
+//! acquisitions, idle sweeps and per-item execute timestamps, and
+//! [`PoolStats::export_to`] turns one run into `pool.*` counters,
+//! histograms and per-worker utilization lanes on a
+//! [`parallax_trace::Tracer`] — the raw material `plx profile` uses to
+//! explain a flat parallel speedup.
 
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, TryLockError};
+use std::time::Instant;
 
-/// What one [`scoped_map`] run did.
-#[derive(Debug, Clone, Copy, Default)]
+use parallax_trace::Tracer;
+
+/// One item's execution window, relative to the run's start.
+#[derive(Debug, Clone, Copy)]
+pub struct ItemSpan {
+    /// Item index (the first argument passed to the mapped closure).
+    pub item: usize,
+    /// Nanoseconds from run start to when the item began executing.
+    pub start_ns: u64,
+    /// Nanoseconds the item's closure ran.
+    pub dur_ns: u64,
+}
+
+/// What one worker thread did during a [`scoped_map`] run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Items this worker executed (own-queue pops plus steals).
+    pub items: u64,
+    /// Nanoseconds spent inside the mapped closure.
+    pub busy_ns: u64,
+    /// Nanoseconds blocked acquiring deque locks that were contended.
+    pub lock_wait_ns: u64,
+    /// Deque-lock acquisitions that found the lock already held.
+    pub lock_contended: u64,
+    /// Successful steals (items taken from a neighbor's queue).
+    pub steals: u64,
+    /// Steal attempts that found the neighbor's queue empty.
+    pub failed_steals: u64,
+    /// Full sweeps over every queue that yielded nothing (one per
+    /// worker at exit in the current fixed-batch discipline; more
+    /// would indicate a retry loop spinning on empty queues).
+    pub idle_spins: u64,
+    /// Per-item execute windows, in execution order on this worker.
+    pub spans: Vec<ItemSpan>,
+}
+
+/// What one [`scoped_map`] run did, including the contention telemetry
+/// behind the `pool.*` trace namespace.
+#[derive(Debug, Clone, Default)]
 pub struct PoolStats {
     /// Worker threads actually used (1 means the caller's thread ran
     /// everything inline).
     pub workers: usize,
     /// Items a worker took from a neighbor's queue instead of its own.
     pub steals: u64,
+    /// Total attempts to take an item from a neighbor's queue
+    /// (`steals + failed_steals`).
+    pub steal_attempts: u64,
+    /// Steal attempts that found the neighbor's queue empty.
+    pub failed_steals: u64,
+    /// Deque-lock acquisitions that found the lock already held.
+    pub lock_contended: u64,
+    /// Total nanoseconds workers spent blocked on contended deque
+    /// locks.
+    pub lock_wait_ns: u64,
+    /// Full empty sweeps over every queue (idle-spin iterations).
+    pub idle_spins: u64,
+    /// Nanoseconds spent in the serial result merge (collecting the
+    /// per-item slots back into the output vector, in item order).
+    pub merge_ns: u64,
+    /// Wall-clock nanoseconds for the whole run (distribution,
+    /// execution and merge).
+    pub run_ns: u64,
+    /// Per-worker breakdown, indexed by worker id.
+    pub per_worker: Vec<WorkerStats>,
+    /// When the run started (drives timeline re-basing in
+    /// [`PoolStats::export_to`]); `None` only for `Default` values.
+    started: Option<Instant>,
+}
+
+impl PoolStats {
+    /// Sum of closure-execution nanoseconds across all workers — the
+    /// "useful work" against which `run_ns` measures scheduling and
+    /// merge overhead.
+    pub fn busy_ns(&self) -> u64 {
+        self.per_worker.iter().map(|w| w.busy_ns).sum()
+    }
+
+    /// Exports this run onto `tracer` under the `pool.<site>.*`
+    /// namespace: counters for steals (ok/fail), contended lock
+    /// acquisitions, lock-wait and merge nanoseconds; histograms of
+    /// per-item and per-worker-busy microseconds; and — when the run
+    /// actually spawned workers — one virtual timeline lane per worker
+    /// (`pool.<site>.w<k>`) carrying the per-item execute windows,
+    /// re-based onto the tracer's epoch. Inline (single-worker) runs
+    /// skip the lanes: their items already execute under the calling
+    /// thread's open spans, and a duplicate lane would double-count
+    /// concurrency in parallax-trace's critical-path analyzer.
+    pub fn export_to(&self, tracer: &Tracer, site: &str) {
+        self.export_counters_to(tracer, site);
+        if self.workers <= 1 {
+            return;
+        }
+        // Re-base item windows (relative to the run start) onto the
+        // tracer's epoch so the lanes line up with real-thread spans.
+        let base_us = self.started.map_or_else(
+            || tracer.elapsed_us().saturating_sub(self.run_ns / 1_000),
+            |t0| {
+                tracer
+                    .elapsed_us()
+                    .saturating_sub(t0.elapsed().as_micros() as u64)
+            },
+        );
+        for (k, w) in self.per_worker.iter().enumerate() {
+            let lane = tracer.lane(&format!("pool.{site}.w{k}"));
+            for span in &w.spans {
+                tracer.span_at(
+                    &format!("{site}#{}", span.item),
+                    "pool",
+                    lane,
+                    base_us + span.start_ns / 1_000,
+                    (span.dur_ns / 1_000).max(1),
+                );
+            }
+        }
+    }
+
+    /// The counter/histogram half of [`PoolStats::export_to`], without
+    /// the per-worker timeline lanes. Use this when the pool's items
+    /// already appear as spans on real threads (the batch engine's
+    /// per-job spans), where extra lanes would double-count
+    /// concurrency.
+    pub fn export_counters_to(&self, tracer: &Tracer, site: &str) {
+        let p = |suffix: &str| format!("pool.{site}.{suffix}");
+        tracer.count(&p("runs"), 1);
+        tracer.count(&p("steal.ok"), self.steals);
+        tracer.count(&p("steal.fail"), self.failed_steals);
+        tracer.count(&p("lock.contended"), self.lock_contended);
+        tracer.count(&p("lock.wait_ns"), self.lock_wait_ns);
+        tracer.count(&p("idle.spins"), self.idle_spins);
+        tracer.count(&p("merge_ns"), self.merge_ns);
+        tracer.count(&p("run_ns"), self.run_ns);
+        tracer.record(&p("workers"), self.workers as u64);
+        for w in &self.per_worker {
+            tracer.count(&p("items"), w.items);
+            tracer.record(&p("worker_busy_us"), w.busy_ns / 1_000);
+            for span in &w.spans {
+                tracer.record(&p("item_us"), span.dur_ns / 1_000);
+            }
+        }
+    }
 }
 
 /// The machine's available parallelism (used for `--jobs 0` = auto),
@@ -35,6 +176,24 @@ pub fn auto_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Locks `m`, counting the acquisition as contended (and timing the
+/// blocked wait) when a `try_lock` probe finds it already held. A
+/// poisoned lock is recovered — a panic while holding a deque lock
+/// only ever loses scheduling telemetry, never item results.
+fn timed_lock<'m, T>(m: &'m Mutex<T>, w: &mut WorkerStats) -> MutexGuard<'m, T> {
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            w.lock_contended += 1;
+            let t0 = Instant::now();
+            let g = m.lock().unwrap_or_else(|e| e.into_inner());
+            w.lock_wait_ns += t0.elapsed().as_nanos() as u64;
+            g
+        }
+    }
 }
 
 /// Runs `f(item_index, worker_index)` for every item in `0..n` on a
@@ -53,16 +212,34 @@ where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
 {
+    let run_start = Instant::now();
     let workers = workers.clamp(1, n.max(1));
     if workers <= 1 {
-        let out = (0..n).map(|i| f(i, 0)).collect();
-        return (
-            out,
-            PoolStats {
-                workers: 1,
-                steals: 0,
-            },
-        );
+        let mut ws = WorkerStats::default();
+        let out = (0..n)
+            .map(|i| {
+                let t0 = Instant::now();
+                let r = f(i, 0);
+                ws.items += 1;
+                let dur = t0.elapsed().as_nanos() as u64;
+                ws.busy_ns += dur;
+                ws.spans.push(ItemSpan {
+                    item: i,
+                    start_ns: (t0 - run_start).as_nanos() as u64,
+                    dur_ns: dur,
+                });
+                r
+            })
+            .collect();
+        let mut stats = PoolStats {
+            workers: 1,
+            run_ns: run_start.elapsed().as_nanos() as u64,
+            per_worker: vec![ws],
+            started: Some(run_start),
+            ..PoolStats::default()
+        };
+        aggregate(&mut stats);
+        return (out, stats);
     }
 
     // Round-robin initial distribution; idle workers steal from the
@@ -74,46 +251,72 @@ where
             q.push_back(i);
         }
     }
-    let steals = AtomicU64::new(0);
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let worker_stats: Vec<Mutex<WorkerStats>> = (0..workers)
+        .map(|_| Mutex::new(WorkerStats::default()))
+        .collect();
 
     {
         let queues = &queues;
         let results = &results;
-        let steals = &steals;
+        let worker_stats = &worker_stats;
         let f = &f;
         std::thread::scope(|s| {
             for w in 0..workers {
-                s.spawn(move || loop {
-                    let mut got = None;
-                    for off in 0..workers {
-                        let Ok(mut q) = queues[(w + off) % workers].lock() else {
-                            continue;
-                        };
-                        let idx = if off == 0 {
-                            q.pop_front()
-                        } else {
-                            q.pop_back()
-                        };
-                        if let Some(i) = idx {
+                s.spawn(move || {
+                    let mut ws = WorkerStats::default();
+                    loop {
+                        let mut got = None;
+                        for off in 0..workers {
+                            let mut q = timed_lock(&queues[(w + off) % workers], &mut ws);
+                            let idx = if off == 0 {
+                                q.pop_front()
+                            } else {
+                                q.pop_back()
+                            };
+                            drop(q);
                             if off != 0 {
-                                steals.fetch_add(1, Ordering::Relaxed);
+                                if idx.is_some() {
+                                    ws.steals += 1;
+                                } else {
+                                    ws.failed_steals += 1;
+                                }
                             }
-                            got = Some(i);
+                            if let Some(i) = idx {
+                                got = Some(i);
+                                break;
+                            }
+                        }
+                        let Some(i) = got else {
+                            // A full sweep over every queue came back
+                            // empty: the batch is drained for us.
+                            ws.idle_spins += 1;
                             break;
+                        };
+                        let t0 = Instant::now();
+                        let out = f(i, w);
+                        ws.items += 1;
+                        let dur = t0.elapsed().as_nanos() as u64;
+                        ws.busy_ns += dur;
+                        ws.spans.push(ItemSpan {
+                            item: i,
+                            start_ns: (t0 - run_start).as_nanos() as u64,
+                            dur_ns: dur,
+                        });
+                        if let Ok(mut slot) = results[i].lock() {
+                            *slot = Some(out);
                         }
                     }
-                    let Some(i) = got else { break };
-                    let out = f(i, w);
-                    if let Ok(mut slot) = results[i].lock() {
-                        *slot = Some(out);
+                    if let Ok(mut slot) = worker_stats[w].lock() {
+                        *slot = ws;
                     }
                 });
             }
         });
     }
 
-    let out = results
+    let merge_start = Instant::now();
+    let out: Vec<T> = results
         .into_iter()
         .map(|slot| {
             slot.into_inner()
@@ -122,13 +325,32 @@ where
                 .expect("scoped_map: worker completed every assigned item")
         })
         .collect();
-    (
-        out,
-        PoolStats {
-            workers,
-            steals: steals.load(Ordering::Relaxed),
-        },
-    )
+    let merge_ns = merge_start.elapsed().as_nanos() as u64;
+    let mut stats = PoolStats {
+        workers,
+        merge_ns,
+        run_ns: run_start.elapsed().as_nanos() as u64,
+        per_worker: worker_stats
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+            .collect(),
+        started: Some(run_start),
+        ..PoolStats::default()
+    };
+    aggregate(&mut stats);
+    (out, stats)
+}
+
+/// Rolls the per-worker numbers up into the run-level totals.
+fn aggregate(stats: &mut PoolStats) {
+    for w in &stats.per_worker {
+        stats.steals += w.steals;
+        stats.failed_steals += w.failed_steals;
+        stats.lock_contended += w.lock_contended;
+        stats.lock_wait_ns += w.lock_wait_ns;
+        stats.idle_spins += w.idle_spins;
+    }
+    stats.steal_attempts = stats.steals + stats.failed_steals;
 }
 
 #[cfg(test)]
@@ -177,5 +399,127 @@ mod tests {
             let (out, _) = scoped_map(workers, 64, slow);
             assert_eq!(out, base, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn stats_account_for_every_item() {
+        let (out, stats) = scoped_map(4, 57, |i, _w| i);
+        assert_eq!(out.len(), 57);
+        let items: u64 = stats.per_worker.iter().map(|w| w.items).sum();
+        assert_eq!(items, 57, "every item executed exactly once");
+        let spans: usize = stats.per_worker.iter().map(|w| w.spans.len()).sum();
+        assert_eq!(spans, 57, "every item has an execute window");
+        assert_eq!(stats.steal_attempts, stats.steals + stats.failed_steals);
+        assert!(stats.run_ns > 0);
+        assert_eq!(stats.per_worker.len(), stats.workers);
+    }
+
+    #[test]
+    fn inline_path_still_collects_timing() {
+        let (out, stats) = scoped_map(1, 5, |i, _w| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.per_worker.len(), 1);
+        assert_eq!(stats.per_worker[0].spans.len(), 5);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.lock_contended, 0);
+    }
+
+    /// Forces a contended acquisition deterministically: a second
+    /// thread takes the mutex and holds it across a rendezvous, so
+    /// [`timed_lock`]'s `try_lock` probe *must* fail and the blocked
+    /// wait *must* be timed. This pins the accounting path even on a
+    /// single-CPU machine, where scheduler-race contention inside
+    /// `scoped_map` is vanishingly rare.
+    #[test]
+    fn contended_lock_acquisitions_are_counted_and_timed() {
+        use std::sync::{Arc, Barrier};
+        let m = Arc::new(Mutex::new(0u32));
+        let gate = Arc::new(Barrier::new(2));
+        let holder = {
+            let m = Arc::clone(&m);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let mut g = m.lock().expect("holder locks first");
+                gate.wait(); // main thread may now try (and fail) to lock
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                *g = 1;
+            })
+        };
+        gate.wait();
+        let mut ws = WorkerStats::default();
+        let g = timed_lock(&m, &mut ws);
+        assert_eq!(*g, 1, "timed_lock waited for the holder to finish");
+        drop(g);
+        assert_eq!(ws.lock_contended, 1, "the blocked acquisition is counted");
+        assert!(
+            ws.lock_wait_ns >= 10_000_000,
+            "the blocked wait is timed (waited {} ns across a 20 ms hold)",
+            ws.lock_wait_ns
+        );
+        // An uncontended acquisition stays free of both counters.
+        let before = (ws.lock_contended, ws.lock_wait_ns);
+        drop(timed_lock(&m, &mut ws));
+        assert_eq!((ws.lock_contended, ws.lock_wait_ns), before);
+        holder.join().expect("holder exits");
+    }
+
+    /// Forces stealing (and the failed steal attempts every exit
+    /// sweep produces) by making worker 0's own items slow while all
+    /// other workers' items are free, so idle workers drain their own
+    /// queues instantly and pile onto worker 0's deque.
+    #[test]
+    fn steal_attempts_and_failures_are_counted() {
+        let spin = |iters: u64| {
+            let mut acc = 1u64;
+            for k in 0..iters {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            std::hint::black_box(acc)
+        };
+        let workers = 4;
+        let (_, stats) = scoped_map(workers, 256, |i, _w| {
+            if i % workers == 0 {
+                spin(20_000);
+            }
+            i
+        });
+        assert_eq!(stats.steal_attempts, stats.steals + stats.failed_steals);
+        assert!(
+            stats.failed_steals > 0,
+            "exit sweeps over drained queues must count as failed steals"
+        );
+        assert!(stats.steals > 0, "idle workers must have stolen slow items");
+        assert!(stats.idle_spins >= stats.workers as u64 - 1);
+        let per_worker_steals: u64 = stats.per_worker.iter().map(|w| w.steals).sum();
+        assert_eq!(per_worker_steals, stats.steals);
+        let per_worker_contended: u64 = stats.per_worker.iter().map(|w| w.lock_contended).sum();
+        assert_eq!(per_worker_contended, stats.lock_contended);
+    }
+
+    #[test]
+    fn export_emits_pool_namespace() {
+        let t = Tracer::new();
+        let (_, stats) = scoped_map(4, 32, |i, _w| i);
+        stats.export_to(&t, "test");
+        assert_eq!(t.counter("pool.test.runs"), 1);
+        assert_eq!(t.counter("pool.test.items"), 32);
+        assert_eq!(
+            t.counter("pool.test.steal.ok") + t.counter("pool.test.steal.fail"),
+            stats.steal_attempts
+        );
+        let snap = t.snapshot();
+        let lanes = snap
+            .thread_names
+            .iter()
+            .filter(|n| n.starts_with("pool.test.w"))
+            .count();
+        assert_eq!(lanes, stats.workers, "one utilization lane per worker");
+        let item_spans = snap
+            .events
+            .iter()
+            .filter(|e| matches!(e, parallax_trace::Event::Span { cat: "pool", .. }))
+            .count();
+        assert_eq!(item_spans, 32, "one lane span per item");
     }
 }

@@ -341,6 +341,7 @@ pub fn protect_program_parallel(
         t.count("protect.par.rewrite.cpu_us", cpu_us);
         t.record("protect.par.workers", stats.workers as u64);
         t.count("protect.par.steals", stats.steals);
+        stats.export_to(t, "rewrite");
     }
 
     // Pass 2: cross-function alignment (callees and data objects).

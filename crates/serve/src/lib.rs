@@ -14,6 +14,10 @@
 //!   a request that cannot be queued is refused immediately with a
 //!   typed [`parallax_engine::ShedReason`], and draining completes
 //!   every admitted job (zero accepted-then-dropped).
+//! * [`flight`] — the black-box flight recorder: a bounded ring of
+//!   recent request traces, snapshotted to memory (and NDJSON on disk)
+//!   whenever the daemon sheds, serves a request over the latency
+//!   threshold, or fails a verification.
 //! * [`server`] — the daemon: one long-lived engine, one thread per
 //!   connection, a small worker pool, per-connection read/write
 //!   timeouts, live `serve.*` counters, and graceful drain.
@@ -26,12 +30,14 @@
 
 pub mod admission;
 pub mod client;
+pub mod flight;
 pub mod proto;
 pub mod server;
 pub mod signal;
 
 pub use admission::{AdmissionQueue, Refusal};
 pub use client::Client;
+pub use flight::{Anomaly, FlightConfig, FlightRecorder, RequestTrace, Snapshot};
 pub use proto::{
     decode_request, decode_response, encode_request, encode_response, frame_len, read_frame,
     JobSpec, ProtoErrorKind, ProtocolError, Request, Response, WireError, DEFAULT_MAX_FRAME,

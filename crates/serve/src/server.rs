@@ -39,6 +39,7 @@ use parallax_engine::{
 use parallax_trace::Tracer;
 
 use crate::admission::AdmissionQueue;
+use crate::flight::{Anomaly, FlightConfig, FlightRecorder, RequestTrace};
 use crate::proto::{
     decode_request, encode_response, read_frame, Request, Response, WireError, DEFAULT_MAX_FRAME,
 };
@@ -67,6 +68,9 @@ pub struct ServeOptions {
     /// Cap on a single job's payload (inline source or image bytes);
     /// larger jobs are shed with [`ShedReason::Oversize`].
     pub max_job_bytes: usize,
+    /// Flight-recorder configuration (ring sizes, slow-request
+    /// threshold, black-box dump directory).
+    pub flight: FlightConfig,
 }
 
 impl Default for ServeOptions {
@@ -82,6 +86,7 @@ impl Default for ServeOptions {
             write_timeout: Duration::from_secs(30),
             max_frame: DEFAULT_MAX_FRAME,
             max_job_bytes: 4 * 1024 * 1024,
+            flight: FlightConfig::default(),
         }
     }
 }
@@ -153,6 +158,7 @@ struct Shared {
     queue: AdmissionQueue<WorkItem>,
     metrics: Metrics,
     tracer: Arc<Tracer>,
+    flight: FlightRecorder,
     shutdown: AtomicBool,
     started: Instant,
     next_id: AtomicU64,
@@ -194,8 +200,78 @@ impl Shared {
     }
 
     fn report_response(&self) -> Response {
-        Response::Report {
-            text: render_service_report(&self.tracer),
+        let mut text = render_service_report(&self.tracer);
+        text.push('\n');
+        text.push_str(&self.flight.render());
+        Response::Report { text }
+    }
+
+    /// Microseconds since the daemon started (flight-recorder clock).
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Records a refused job in the flight recorder and trips a `shed`
+    /// snapshot — an admission refusal is always anomalous from the
+    /// client's point of view, and the ring explains what the daemon
+    /// was busy with when it happened.
+    fn flight_shed(&self, id: u64, kind: &str, detail: &str) {
+        let ts_us = self.now_us();
+        self.flight.record(RequestTrace {
+            id,
+            kind: kind.to_string(),
+            ts_us,
+            latency_us: 0,
+            queue_depth: self.queue.depth() as u32,
+            outcome: format!("shed: {detail}"),
+        });
+        self.flight.anomaly(Anomaly::Shed, detail, ts_us);
+        self.tracer.count("serve.flight.recorded", 1);
+        self.tracer.count("serve.flight.snapshot.shed", 1);
+    }
+
+    /// Records a completed job and trips slow-request / verify-fail
+    /// snapshots as configured.
+    fn flight_done(&self, id: u64, kind: &str, latency_us: u64, resp: &Response) {
+        let ts_us = self.now_us();
+        let outcome = match resp {
+            Response::Protected { cached, .. } => {
+                if *cached {
+                    "ok (cached)".to_string()
+                } else {
+                    "ok".to_string()
+                }
+            }
+            Response::VerifyResult { ok: true, .. } => "ok".to_string(),
+            Response::VerifyResult { ok: false, detail } => format!("verify-fail: {detail}"),
+            Response::Error { detail } => format!("error: {detail}"),
+            Response::Refused { reason, .. } => format!("shed: {reason}"),
+            _ => "ok".to_string(),
+        };
+        self.flight.record(RequestTrace {
+            id,
+            kind: kind.to_string(),
+            ts_us,
+            latency_us,
+            queue_depth: self.queue.depth() as u32,
+            outcome: outcome.clone(),
+        });
+        self.tracer.count("serve.flight.recorded", 1);
+        if let Some(threshold) = self.flight.slow_request_us() {
+            if latency_us >= threshold {
+                self.flight.anomaly(
+                    Anomaly::SlowRequest,
+                    &format!("{kind} took {latency_us} us (threshold {threshold} us)"),
+                    ts_us,
+                );
+                self.tracer.count("serve.flight.snapshot.slow-request", 1);
+            }
+        }
+        let verify_fail = matches!(resp, Response::VerifyResult { ok: false, .. })
+            || matches!(resp, Response::Error { detail } if detail.starts_with("verify:"));
+        if verify_fail {
+            self.flight.anomaly(Anomaly::VerifyFail, &outcome, ts_us);
+            self.tracer.count("serve.flight.snapshot.verify-fail", 1);
         }
     }
 }
@@ -321,6 +397,7 @@ impl Server {
             queue,
             metrics: Metrics::default(),
             tracer: Arc::new(Tracer::new()),
+            flight: FlightRecorder::new(opts.flight.clone()),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             next_id: AtomicU64::new(0),
@@ -428,10 +505,11 @@ fn worker_loop(shared: &Shared) {
         .unwrap_or_else(|_| Response::Error {
             detail: "internal: job panicked".to_string(),
         });
-        shared.tracer.record(
-            &format!("serve.latency.{kind}_us"),
-            t0.elapsed().as_micros() as u64,
-        );
+        let latency_us = t0.elapsed().as_micros() as u64;
+        shared
+            .tracer
+            .record(&format!("serve.latency.{kind}_us"), latency_us);
+        shared.flight_done(item.id, kind, latency_us, &resp);
         item.slot.fill(resp);
         shared.queue.done();
     }
@@ -636,12 +714,14 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
                         job: id as usize,
                         reason: ShedReason::Oversize,
                     });
+                    let detail = format!(
+                        "job payload {payload} bytes exceeds cap {}",
+                        shared.opts.max_job_bytes
+                    );
+                    shared.flight_shed(id, request.kind(), &detail);
                     Response::Refused {
                         reason: ShedReason::Oversize,
-                        detail: format!(
-                            "job payload {payload} bytes exceeds cap {}",
-                            shared.opts.max_job_bytes
-                        ),
+                        detail,
                     }
                 } else {
                     let slot = RespSlot::new();
@@ -658,11 +738,12 @@ fn handle_conn(shared: &Shared, mut stream: TcpStream) {
                             });
                             slot.wait()
                         }
-                        Err((_item, refusal)) => {
+                        Err((item, refusal)) => {
                             shared.admission_event(&EngineEvent::JobShed {
                                 job: id as usize,
                                 reason: refusal.reason,
                             });
+                            shared.flight_shed(id, item.request.kind(), &refusal.to_string());
                             Response::Refused {
                                 reason: refusal.reason,
                                 detail: refusal.to_string(),

@@ -11,7 +11,8 @@ use std::time::Duration;
 
 use parallax_engine::ShedReason;
 use parallax_serve::{
-    Client, JobSpec, Request, Response, ServeOptions, ServeSummary, Server, ServerHandle,
+    Client, FlightConfig, JobSpec, Request, Response, ServeOptions, ServeSummary, Server,
+    ServerHandle,
 };
 
 const SRC: &str = "fn vf(x) { return x * 5 + 3; }\nfn main() { return vf(7); }\n";
@@ -204,6 +205,110 @@ fn overload_sheds_typed_and_never_drops_admitted_jobs() {
     // with a Protected response.
     assert_eq!(summary.admitted, protected);
     assert_eq!(summary.shed, refused);
+}
+
+#[test]
+fn anomalies_trip_the_flight_recorder() {
+    // Saturate a one-worker/one-slot daemon with the slow-request
+    // threshold at zero: every completed request and every queue-full
+    // refusal is an anomaly, so the black box must fill
+    // deterministically. A corrupt verify adds the third trigger kind.
+    let dir = std::env::temp_dir().join(format!("plx-blackbox-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (handle, addr, t) = spawn(ServeOptions {
+        workers: 1,
+        queue_capacity: 1,
+        flight: FlightConfig {
+            slow_request_us: Some(0),
+            blackbox_dir: Some(dir.clone()),
+            ..FlightConfig::default()
+        },
+        ..ServeOptions::default()
+    });
+    const BURST: u64 = 16;
+    let refused = Arc::new(AtomicU64::new(0));
+    let threads: Vec<_> = (0..BURST)
+        .map(|i| {
+            let refused = Arc::clone(&refused);
+            std::thread::spawn(move || {
+                let mut c = client(addr);
+                match c.call(&protect_req(2000 + i)).expect("typed answer") {
+                    Response::Protected { .. } => {}
+                    Response::Refused {
+                        reason: ShedReason::QueueFull,
+                        ..
+                    } => {
+                        refused.fetch_add(1, Ordering::SeqCst);
+                    }
+                    other => panic!("expected Protected or Refused(QueueFull), got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for th in threads {
+        th.join().expect("client thread");
+    }
+    assert!(
+        refused.load(Ordering::SeqCst) > 0,
+        "saturation must shed at least one job"
+    );
+
+    // An unloadable image fails verification -> verify-fail snapshot.
+    let mut c = client(addr);
+    match c
+        .call(&Request::Verify {
+            image: vec![0xde, 0xad, 0xbe, 0xef],
+            strict: false,
+        })
+        .expect("verify garbage")
+    {
+        Response::VerifyResult { ok, .. } => assert!(!ok, "garbage must fail verification"),
+        other => panic!("expected VerifyResult, got {other:?}"),
+    }
+
+    // The wire Report opcode exposes the retained snapshots.
+    let text = match c.call(&Request::Report).expect("report") {
+        Response::Report { text } => text,
+        other => panic!("expected Report, got {other:?}"),
+    };
+    assert!(text.contains("flight recorder"), "{text}");
+    assert!(text.contains("snapshot #"), "{text}");
+    assert!(text.contains("slow-request"), "{text}");
+    assert!(text.contains("verify-fail"), "{text}");
+    assert!(text.contains("shed"), "{text}");
+
+    // The black-box directory holds NDJSON dumps for each trigger
+    // kind, and each dump leads with its trigger line.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("blackbox dir exists")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    for kind in ["shed", "slow-request", "verify-fail"] {
+        assert!(
+            names
+                .iter()
+                .any(|n| n.contains(kind) && n.ends_with(".ndjson")),
+            "missing {kind} dump in {names:?}"
+        );
+    }
+    let sample = std::fs::read_to_string(dir.join(&names[0])).expect("dump readable");
+    assert!(
+        sample
+            .lines()
+            .next()
+            .unwrap_or("")
+            .contains("\"type\":\"snapshot\""),
+        "{sample}"
+    );
+
+    handle.shutdown();
+    t.join().expect("no panic");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -1,0 +1,430 @@
+//! Critical-path and concurrency analysis over a parsed [`TraceFile`].
+//!
+//! `plx profile` (and the bottlenecks section of `plx report`) are
+//! built on [`analyze`]: it reconstructs the lane timeline of a
+//! protect() run from the span DAG, sweeps it, and reports
+//!
+//! * the **critical-path length** — the union of lane-busy time, i.e.
+//!   the wall time that cannot be removed by adding workers because at
+//!   least one lane is executing;
+//! * the **serial / parallel split** — time with exactly one lane
+//!   active vs. two or more (the measured Amdahl serial fraction);
+//! * the **Amdahl ceiling** for N workers implied by that fraction;
+//! * per-span-name **serial attribution** (which spans the run was
+//!   single-laned inside — the top blockers); and
+//! * per-**stage** wall/serial splits for the pipeline's stage spans.
+//!
+//! Lanes whose name marks them as cycle-denominated (ending in
+//! `"(cycles)"`, e.g. the VM chain-trace lane) are excluded: their
+//! timestamps are not microseconds and would corrupt the sweep.
+
+use std::collections::BTreeMap;
+
+use crate::read::{SpanRec, TraceFile};
+
+/// Serial time attributed to one span name: how long the run was
+/// single-laned while this span was the innermost active one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerialSpan {
+    /// Span name, with any `#<item>` suffix stripped (pool item spans
+    /// aggregate per site).
+    pub name: String,
+    /// Microseconds with exactly this span active and no other lane
+    /// busy.
+    pub serial_us: u64,
+}
+
+/// Wall/serial split of one pipeline stage (spans with category
+/// `"stage"`), aggregated by name across fixpoint passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Stage name (e.g. `"gadget-scan"`).
+    pub name: String,
+    /// Total stage span duration, µs.
+    pub wall_us: u64,
+    /// Portion of that duration with at most one lane busy, µs.
+    pub serial_us: u64,
+}
+
+impl StageProfile {
+    /// `serial_us / wall_us` (1.0 for a zero-length stage).
+    pub fn serial_fraction(&self) -> f64 {
+        if self.wall_us == 0 {
+            1.0
+        } else {
+            self.serial_us as f64 / self.wall_us as f64
+        }
+    }
+}
+
+/// The result of [`analyze`]: the concurrency structure of one trace.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Earliest included span start, µs.
+    pub start_us: u64,
+    /// Latest included span end, µs.
+    pub end_us: u64,
+    /// Critical-path length: union of lane-busy time, µs. Adding
+    /// workers cannot push the run below this.
+    pub critical_us: u64,
+    /// Time with exactly one lane active, µs.
+    pub serial_us: u64,
+    /// Time with two or more lanes active, µs.
+    pub parallel_us: u64,
+    /// Time inside the run window with no lane active, µs.
+    pub idle_us: u64,
+    /// Lanes that carried at least one included span.
+    pub lanes: usize,
+    /// Peak number of simultaneously busy lanes.
+    pub max_concurrency: usize,
+    /// Serial time by span name, descending (the top blockers).
+    pub serial_spans: Vec<SerialSpan>,
+    /// Per-stage wall/serial splits, in pipeline-span order.
+    pub stages: Vec<StageProfile>,
+}
+
+impl Profile {
+    /// Run window length (`end_us - start_us`).
+    pub fn wall_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Measured Amdahl serial fraction: the share of the critical path
+    /// that ran single-laned. 1.0 for an empty profile.
+    pub fn serial_fraction(&self) -> f64 {
+        if self.critical_us == 0 {
+            1.0
+        } else {
+            self.serial_us as f64 / self.critical_us as f64
+        }
+    }
+
+    /// The speedup ceiling Amdahl's law implies for `n` workers given
+    /// the measured serial fraction: `1 / (s + (1 - s) / n)`.
+    pub fn amdahl_ceiling(&self, n: usize) -> f64 {
+        let s = self.serial_fraction();
+        let n = n.max(1) as f64;
+        1.0 / (s + (1.0 - s) / n)
+    }
+}
+
+/// Strips a pool item span's `#<item>` suffix so per-item spans
+/// aggregate under their site name.
+fn group_name(name: &str) -> &str {
+    name.split('#').next().unwrap_or(name)
+}
+
+/// True when the lane's recorded name marks it as cycle-denominated
+/// (not microseconds), e.g. `"vm-chain (cycles)"`.
+fn is_cycle_lane(tf: &TraceFile, tid: u64) -> bool {
+    tf.thread_names
+        .get(&tid)
+        .is_some_and(|n| n.ends_with("(cycles)"))
+}
+
+/// Sweeps the trace's span timeline and computes its [`Profile`].
+///
+/// Every wall-clock span participates: per lane, overlapping and
+/// nested spans union into busy intervals; the sweep then counts busy
+/// lanes per elementary slice. Serial slices (exactly one busy lane)
+/// are attributed to the innermost span active on that lane.
+pub fn analyze(tf: &TraceFile) -> Profile {
+    let included: Vec<&SpanRec> = tf
+        .spans
+        .iter()
+        .filter(|s| !is_cycle_lane(tf, s.tid))
+        .collect();
+    if included.is_empty() {
+        return Profile::default();
+    }
+
+    // Per-lane span lists and merged busy intervals.
+    let mut lanes: BTreeMap<u64, Vec<&SpanRec>> = BTreeMap::new();
+    for s in &included {
+        lanes.entry(s.tid).or_default().push(s);
+    }
+    let mut lane_busy: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
+    for (&tid, spans) in &lanes {
+        let mut iv: Vec<(u64, u64)> = spans
+            .iter()
+            .map(|s| (s.ts_us, s.ts_us + s.dur_us.max(1)))
+            .collect();
+        iv.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+        for (a, b) in iv {
+            match merged.last_mut() {
+                Some((_, end)) if a <= *end => *end = (*end).max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        lane_busy.insert(tid, merged);
+    }
+
+    // Elementary slice boundaries: every span edge (not just merged
+    // busy-interval edges — attribution needs to see nested and
+    // back-to-back span boundaries too).
+    let mut cuts: Vec<u64> = included
+        .iter()
+        .flat_map(|s| [s.ts_us, s.ts_us + s.dur_us.max(1)])
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+
+    let mut prof = Profile {
+        start_us: cuts.first().copied().unwrap_or(0),
+        end_us: cuts.last().copied().unwrap_or(0),
+        lanes: lanes.len(),
+        ..Profile::default()
+    };
+    let mut serial_by_name: BTreeMap<String, u64> = BTreeMap::new();
+    // (slice start, slice end, busy-lane count) — kept for the stage
+    // overlap pass below.
+    let mut slices: Vec<(u64, u64, usize)> = Vec::with_capacity(cuts.len());
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let len = b - a;
+        let busy: Vec<u64> = lane_busy
+            .iter()
+            .filter(|(_, iv)| iv.iter().any(|&(s, e)| s <= a && b <= e))
+            .map(|(&tid, _)| tid)
+            .collect();
+        let k = busy.len();
+        slices.push((a, b, k));
+        prof.max_concurrency = prof.max_concurrency.max(k);
+        match k {
+            0 => prof.idle_us += len,
+            1 => {
+                prof.critical_us += len;
+                prof.serial_us += len;
+                // Attribute to the innermost active span on the lane:
+                // the covering span with the latest start (ties: the
+                // shortest).
+                let tid = busy[0];
+                if let Some(span) = lanes[&tid]
+                    .iter()
+                    .filter(|s| s.ts_us <= a && b <= s.ts_us + s.dur_us.max(1))
+                    .min_by_key(|s| (u64::MAX - s.ts_us, s.dur_us))
+                {
+                    *serial_by_name
+                        .entry(group_name(&span.name).to_string())
+                        .or_insert(0) += len;
+                }
+            }
+            _ => {
+                prof.critical_us += len;
+                prof.parallel_us += len;
+            }
+        }
+    }
+
+    let mut serial_spans: Vec<SerialSpan> = serial_by_name
+        .into_iter()
+        .map(|(name, serial_us)| SerialSpan { name, serial_us })
+        .collect();
+    serial_spans.sort_by(|x, y| y.serial_us.cmp(&x.serial_us).then(x.name.cmp(&y.name)));
+    prof.serial_spans = serial_spans;
+
+    // Stage profiles: overlap each `cat == "stage"` span's window with
+    // the sweep's ≤1-lane slices, aggregated by stage name.
+    let mut stage_order: Vec<String> = Vec::new();
+    let mut stages: BTreeMap<String, StageProfile> = BTreeMap::new();
+    for s in included.iter().filter(|s| s.cat == "stage") {
+        let (w0, w1) = (s.ts_us, s.ts_us + s.dur_us);
+        let serial: u64 = slices
+            .iter()
+            .filter(|&&(_, _, k)| k <= 1)
+            .map(|&(a, b, _)| b.min(w1).saturating_sub(a.max(w0)))
+            .sum();
+        let entry = stages.entry(s.name.clone()).or_insert_with(|| {
+            stage_order.push(s.name.clone());
+            StageProfile {
+                name: s.name.clone(),
+                wall_us: 0,
+                serial_us: 0,
+            }
+        });
+        entry.wall_us += s.dur_us;
+        entry.serial_us += serial;
+    }
+    prof.stages = stage_order
+        .into_iter()
+        .filter_map(|n| stages.remove(&n))
+        .collect();
+    prof
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, cat: &str, tid: u64, ts: u64, dur: u64) -> SpanRec {
+        SpanRec {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            tid,
+            ts_us: ts,
+            dur_us: dur,
+            id: 0,
+            parent: None,
+        }
+    }
+
+    #[test]
+    fn empty_trace_profiles_empty() {
+        let p = analyze(&TraceFile::default());
+        assert_eq!(p.critical_us, 0);
+        assert_eq!(p.serial_fraction(), 1.0);
+        assert_eq!(p.amdahl_ceiling(8), 1.0);
+    }
+
+    #[test]
+    fn pure_serial_dag() {
+        // One lane, two back-to-back spans: everything is serial, and
+        // no worker count can speed it up.
+        let tf = TraceFile {
+            spans: vec![
+                span("scan", "stage", 0, 0, 60),
+                span("chain-compile", "stage", 0, 60, 40),
+            ],
+            ..TraceFile::default()
+        };
+        let p = analyze(&tf);
+        assert_eq!(p.critical_us, 100, "critical path is the whole run");
+        assert_eq!(p.serial_us, 100);
+        assert_eq!(p.parallel_us, 0);
+        assert_eq!(p.idle_us, 0);
+        assert_eq!(p.serial_fraction(), 1.0);
+        assert_eq!(p.amdahl_ceiling(4), 1.0);
+        assert_eq!(p.amdahl_ceiling(1024), 1.0);
+        assert_eq!(p.max_concurrency, 1);
+        // Both spans are attributed their own serial time.
+        assert_eq!(p.serial_spans.len(), 2);
+        assert_eq!(p.serial_spans[0].name, "scan");
+        assert_eq!(p.serial_spans[0].serial_us, 60);
+        assert_eq!(p.serial_spans[1].serial_us, 40);
+    }
+
+    #[test]
+    fn perfectly_parallel_dag() {
+        // Four lanes fully overlapped: critical path is one lane's
+        // length, serial fraction 0, ceiling N.
+        let spans = (0..4)
+            .map(|w| span(&format!("chain#{w}"), "pool", w, 0, 100))
+            .collect();
+        let tf = TraceFile {
+            spans,
+            ..TraceFile::default()
+        };
+        let p = analyze(&tf);
+        assert_eq!(p.critical_us, 100, "critical path is one lane");
+        assert_eq!(p.serial_us, 0);
+        assert_eq!(p.parallel_us, 100);
+        assert_eq!(p.serial_fraction(), 0.0);
+        assert_eq!(p.amdahl_ceiling(4), 4.0);
+        assert_eq!(p.amdahl_ceiling(8), 8.0);
+        assert_eq!(p.max_concurrency, 4);
+        assert!(p.serial_spans.is_empty());
+    }
+
+    #[test]
+    fn one_straggler_worker() {
+        // Three workers finish at t=10; one runs to t=100. The
+        // critical path is the straggler's lane; 90 of its 100 µs are
+        // single-laned, so s = 0.9 and the 4-worker ceiling is
+        // 1 / (0.9 + 0.1/4) = 1.081081...
+        let mut spans: Vec<SpanRec> = (0..3)
+            .map(|w| span(&format!("scan#{w}"), "pool", w, 0, 10))
+            .collect();
+        spans.push(span("scan#3", "pool", 3, 0, 100));
+        let tf = TraceFile {
+            spans,
+            ..TraceFile::default()
+        };
+        let p = analyze(&tf);
+        assert_eq!(p.critical_us, 100, "straggler sets the critical path");
+        assert_eq!(p.serial_us, 90);
+        assert_eq!(p.parallel_us, 10);
+        assert_eq!(p.serial_fraction(), 0.9);
+        let ceiling = p.amdahl_ceiling(4);
+        assert!(
+            (ceiling - 1.0 / (0.9 + 0.1 / 4.0)).abs() < 1e-12,
+            "got {ceiling}"
+        );
+        // The straggler's site owns all the serial time.
+        assert_eq!(
+            p.serial_spans,
+            vec![SerialSpan {
+                name: "scan".to_string(),
+                serial_us: 90,
+            }]
+        );
+    }
+
+    #[test]
+    fn nested_spans_do_not_double_count_and_innermost_wins() {
+        // A root span covering [0,100) with a child [20,50): one lane,
+        // all serial, and the child's window is attributed to the
+        // child (innermost), the rest to the root.
+        let mut root = span("protect", "pipeline", 0, 0, 100);
+        root.id = 1;
+        let mut child = span("link", "stage", 0, 20, 30);
+        child.id = 2;
+        child.parent = Some(1);
+        let tf = TraceFile {
+            spans: vec![root, child],
+            ..TraceFile::default()
+        };
+        let p = analyze(&tf);
+        assert_eq!(p.critical_us, 100);
+        assert_eq!(p.serial_us, 100);
+        let by_name: BTreeMap<&str, u64> = p
+            .serial_spans
+            .iter()
+            .map(|s| (s.name.as_str(), s.serial_us))
+            .collect();
+        assert_eq!(by_name["protect"], 70);
+        assert_eq!(by_name["link"], 30);
+    }
+
+    #[test]
+    fn idle_gaps_and_cycle_lanes() {
+        // A gap between two spans is idle; a cycle-denominated lane is
+        // excluded entirely even though its timestamps are enormous.
+        let mut tf = TraceFile {
+            spans: vec![
+                span("a", "stage", 0, 0, 10),
+                span("b", "stage", 0, 30, 10),
+                span("ep", "vm", 7, 1_000_000_000, 5_000_000_000),
+            ],
+            ..TraceFile::default()
+        };
+        tf.thread_names.insert(7, "vm-chain (cycles)".to_string());
+        let p = analyze(&tf);
+        assert_eq!(p.lanes, 1, "cycle lane is excluded");
+        assert_eq!(p.critical_us, 20);
+        assert_eq!(p.idle_us, 20);
+        assert_eq!(p.end_us, 40);
+    }
+
+    #[test]
+    fn stage_profiles_split_wall_and_serial() {
+        // A gadget-scan stage span [0,100) on lane 0; pool lanes busy
+        // [10,60) — so 50 µs of the stage are parallel, 50 serial.
+        let tf = TraceFile {
+            spans: vec![
+                span("gadget-scan", "stage", 0, 0, 100),
+                span("scan#0", "pool", 1, 10, 50),
+                span("scan#1", "pool", 2, 10, 50),
+            ],
+            ..TraceFile::default()
+        };
+        let p = analyze(&tf);
+        assert_eq!(p.stages.len(), 1);
+        let st = &p.stages[0];
+        assert_eq!(st.name, "gadget-scan");
+        assert_eq!(st.wall_us, 100);
+        assert_eq!(st.serial_us, 50);
+        assert!((st.serial_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(p.max_concurrency, 3);
+    }
+}

@@ -1,18 +1,30 @@
 //! CI gate: validates that Chrome trace files parse and are non-empty.
 //!
-//! Usage: `trace_check <trace.json>...` — exits nonzero if any file
-//! is unreadable, is not valid Chrome trace-event JSON, or contains
-//! no events. Prints a one-line summary per file.
+//! Usage: `trace_check [--require <prefix>]... <trace.json>...` —
+//! exits nonzero if any file is unreadable, is not valid Chrome
+//! trace-event JSON, contains no events, or is missing a required
+//! counter/histogram namespace (`--require pool.` demands at least one
+//! counter or histogram whose name starts with `pool.`). Prints a
+//! one-line summary per file.
 
 use std::process::ExitCode;
 
 use parallax_trace::TraceFile;
 
-fn check(path: &str) -> Result<String, String> {
+fn check(path: &str, require: &[String]) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let tf = TraceFile::parse(&text)?;
     if tf.spans.is_empty() {
         return Err("trace contains no spans".to_string());
+    }
+    for prefix in require {
+        let hit = tf.counters.keys().any(|k| k.starts_with(prefix.as_str()))
+            || tf.hists.keys().any(|k| k.starts_with(prefix.as_str()));
+        if !hit {
+            return Err(format!(
+                "no counter or histogram in required namespace `{prefix}*`"
+            ));
+        }
     }
     Ok(format!(
         "{} spans, {} instants, {} counters, {} histograms, {} lanes",
@@ -25,14 +37,29 @@ fn check(path: &str) -> Result<String, String> {
 }
 
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut require: Vec<String> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--require" {
+            match args.next() {
+                Some(p) => require.push(p),
+                None => {
+                    eprintln!("--require needs a namespace prefix");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(a);
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: trace_check <trace.json>...");
+        eprintln!("usage: trace_check [--require <prefix>]... <trace.json>...");
         return ExitCode::FAILURE;
     }
     let mut ok = true;
     for path in &paths {
-        match check(path) {
+        match check(path, &require) {
             Ok(summary) => println!("OK {path}: {summary}"),
             Err(e) => {
                 eprintln!("FAIL {path}: {e}");

@@ -26,11 +26,13 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod export;
 pub mod json;
 pub mod read;
 pub mod tracer;
 
+pub use analyze::{analyze, Profile, SerialSpan, StageProfile};
 pub use export::{chrome_json, esc_json, ndjson};
 pub use read::{HistRec, InstantRec, SpanRec, TraceFile};
 pub use tracer::{ArgValue, Event, Histogram, SpanGuard, SpanId, TraceSnapshot, Tracer};

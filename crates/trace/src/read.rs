@@ -73,6 +73,10 @@ impl HistRec {
         if self.count == 0 {
             return 0;
         }
+        if q <= 0.0 {
+            // Mirrors the writer: p0 is the observed minimum exactly.
+            return self.min;
+        }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for &(bits, n) in &self.buckets {
@@ -293,6 +297,59 @@ mod tests {
         }
         assert_eq!(rec.percentile(1.0), 9_000);
         assert_eq!(HistRec::default().percentile(0.99), 0);
+    }
+
+    /// Satellite edge cases: empty histogram, single sample, the
+    /// saturating top bucket (bit length 64), and p0/p100 — asserted
+    /// on both the writer (`Histogram`) and reader (`HistRec`) sides,
+    /// plus exact round-trip parity through the Chrome exporter.
+    #[test]
+    fn percentile_edge_cases_agree_across_writer_and_reader() {
+        use crate::tracer::Histogram;
+
+        // Empty: 0 everywhere, on both sides.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(empty.percentile(q), 0);
+            assert_eq!(HistRec::default().percentile(q), 0);
+        }
+
+        // Single sample: every quantile is that sample, exactly (the
+        // bucket upper bound clamps to [min, max] = [v, v]).
+        let t = Tracer::new();
+        t.record("one", 100);
+        // Saturating top bucket: u64::MAX lands in bucket 64, whose
+        // upper bound must not overflow on either side.
+        t.record("top", u64::MAX);
+        t.record("top", 1);
+        // p0 vs a shared bucket: 5 and 7 share bucket 3; p0 must be
+        // the true minimum, not the bucket's upper bound.
+        t.record("shared", 5);
+        t.record("shared", 7);
+        let live = t.snapshot().hists.clone();
+        let tf = TraceFile::parse(&crate::chrome_json(&t.snapshot())).expect("parse own output");
+
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(live["one"].percentile(q), 100, "single sample q={q}");
+            assert_eq!(tf.hists["one"].percentile(q), 100, "single sample q={q}");
+        }
+        assert_eq!(live["top"].percentile(1.0), u64::MAX);
+        assert_eq!(tf.hists["top"].percentile(1.0), u64::MAX);
+        assert_eq!(live["top"].percentile(0.0), 1);
+        assert_eq!(tf.hists["top"].percentile(0.0), 1);
+        assert_eq!(live["shared"].percentile(0.0), 5, "p0 is the exact minimum");
+        assert_eq!(tf.hists["shared"].percentile(0.0), 5);
+        assert_eq!(live["shared"].percentile(1.0), 7);
+        assert_eq!(tf.hists["shared"].percentile(1.0), 7);
+
+        // Full writer/reader parity across every histogram and a
+        // quantile grid (including the saturating bucket).
+        for (name, h) in &live {
+            let rec = &tf.hists[name];
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(rec.percentile(q), h.percentile(q), "{name} q={q}");
+            }
+        }
     }
 
     #[test]

@@ -160,6 +160,12 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
+        if q <= 0.0 {
+            // p0 is the observed minimum exactly — the bucket upper
+            // bound would overshoot whenever min shares a bucket with
+            // larger observations.
+            return self.min;
+        }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, n) in self.buckets.iter().enumerate() {
@@ -273,6 +279,13 @@ impl Tracer {
 
     fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Microseconds since the tracer's epoch — the timestamp base for
+    /// re-anchoring externally timed windows (e.g. pool item spans)
+    /// onto this timeline via [`Tracer::span_at`].
+    pub fn elapsed_us(&self) -> u64 {
+        self.now_us()
     }
 
     /// Names the current thread's lane in exported traces.

@@ -113,6 +113,8 @@ pub fn spec_for(cmd: &str) -> Spec {
                 "read-timeout-ms",
                 "max-frame",
                 "trace-out",
+                "slow-ms",
+                "blackbox-dir",
             ],
             &["no-validate"],
         ),
@@ -983,6 +985,13 @@ pub fn cmd_serve(args: &Args) -> Result<String> {
             .map_err(|e| bail(format!("bad --max-frame: {e}")))?;
     }
     opts.validate = !args.switch("no-validate");
+    if let Some(v) = args.flag("slow-ms") {
+        let ms: u64 = v.parse().map_err(|e| bail(format!("bad --slow-ms: {e}")))?;
+        opts.flight.slow_request_us = Some(ms * 1_000);
+    }
+    if let Some(dir) = args.flag("blackbox-dir") {
+        opts.flight.blackbox_dir = Some(std::path::PathBuf::from(dir));
+    }
     let trace_out = args.flag("trace-out").map(str::to_owned);
 
     let server = parallax_serve::Server::bind(opts).map_err(|e| bail(format!("bind: {e}")))?;
@@ -1047,6 +1056,14 @@ pub fn cmd_report(args: &Args) -> Result<String> {
     }
 }
 
+/// `plx profile`: critical-path and bottleneck analysis of a trace.
+pub fn cmd_profile(args: &Args) -> Result<String> {
+    let p = args.pos(0, "trace file")?;
+    let text = std::fs::read_to_string(p).map_err(|e| bail(format!("{p}: {e}")))?;
+    let tf = TraceFile::parse(&text).map_err(|e| bail(format!("{p}: {e}")))?;
+    Ok(crate::profile::render_profile(&tf))
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 plx — the Parallax toolchain
@@ -1070,16 +1087,18 @@ USAGE:
   plx serve    [--addr host:port] [--workers N] [--queue N]
                [--cache-dir <dir>|none] [--read-timeout-ms N]
                [--max-frame N] [--no-validate] [--trace-out <t.json>]
+               [--slow-ms N] [--blackbox-dir <dir>]
   plx report   <t.json>
   plx report   --diff <a.json> <b.json>
+  plx profile  <t.json>
 
 <src> may be a .px file or corpus:NAME (wget, nginx, bzip2, gzip, gcc,
 lame); corpus workloads default --verify and --input to the workload's
 designated verification function and packaged input.";
 
-const COMMANDS: [&str; 13] = [
+const COMMANDS: [&str; 14] = [
     "build", "protect", "run", "verify", "inspect", "disasm", "gadgets", "coverage", "chain",
-    "tamper", "batch", "serve", "report",
+    "tamper", "batch", "serve", "report", "profile",
 ];
 
 /// Dispatches a subcommand.
@@ -1099,6 +1118,7 @@ pub fn dispatch(cmd: &str, raw: &[String]) -> Result<String> {
         "batch" => cmd_batch(&args),
         "serve" => cmd_serve(&args),
         "report" => cmd_report(&args),
+        "profile" => cmd_profile(&args),
         _ => match suggest(cmd, COMMANDS) {
             Some(s) => Err(bail(format!(
                 "unknown command `{cmd}` (did you mean `{s}`?)\n\n{USAGE}"

@@ -1,6 +1,7 @@
 //! Parallax umbrella crate: re-exports all subsystem crates and hosts
 //! the `plx` command-line tool ([`cli`]).
 pub mod cli;
+pub mod profile;
 pub mod report;
 
 pub use parallax_baselines as baselines;
@@ -12,5 +13,6 @@ pub use parallax_image as image;
 pub use parallax_rewrite as rewrite;
 pub use parallax_ropc as ropc;
 pub use parallax_serve as serve;
+pub use parallax_trace as trace;
 pub use parallax_vm as vm;
 pub use parallax_x86 as x86;

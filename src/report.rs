@@ -431,6 +431,18 @@ fn service_table(out: &mut String, tf: &TraceFile) {
             "  connections: {conns} accepted, {timeouts} timed out, {proto} protocol errors"
         );
     }
+    let (fl_rec, fl_shed, fl_slow, fl_vf) = (
+        get("serve.flight.recorded"),
+        get("serve.flight.snapshot.shed"),
+        get("serve.flight.snapshot.slow-request"),
+        get("serve.flight.snapshot.verify-fail"),
+    );
+    if fl_rec + fl_shed + fl_slow + fl_vf > 0 {
+        let _ = writeln!(
+            out,
+            "  flight recorder: {fl_rec} requests recorded; snapshots: {fl_shed} shed, {fl_slow} slow-request, {fl_vf} verify-fail"
+        );
+    }
 }
 
 /// Renders the full report for one trace file.
@@ -465,6 +477,10 @@ pub fn render_report(tf: &TraceFile) -> String {
         out.push('\n');
     }
     service_table(&mut out, tf);
+    if !out.ends_with("\n\n") && !out.is_empty() {
+        out.push('\n');
+    }
+    crate::profile::bottlenecks_table(&mut out, tf);
     let trimmed = out.trim_end().to_string();
     if trimmed.is_empty() {
         "trace contains no reportable metrics (was it produced with --trace-out?)".to_string()
@@ -664,6 +680,43 @@ pub fn render_diff(a: &TraceFile, b: &TraceFile) -> String {
             );
         }
     }
+    // Pool-contention deltas (only when either trace carries `pool.*`
+    // telemetry). Traces recorded before the pool namespace existed —
+    // e.g. a pre-profiler baseline — degrade to a `not recorded`
+    // marker on that side instead of being compared as zeros.
+    let (sites_a, sites_b) = (crate::profile::pool_sites(a), crate::profile::pool_sites(b));
+    if !sites_a.is_empty() || !sites_b.is_empty() {
+        let _ = writeln!(out, "\npool contention (b - a):");
+        let mut sites: BTreeSet<&String> = sites_a.iter().collect();
+        sites.extend(sites_b.iter());
+        let side = |tf: &TraceFile, recorded: bool, site: &str| -> String {
+            if !recorded {
+                return "not recorded".to_string();
+            }
+            let p = |s: &str| {
+                tf.counters
+                    .get(&format!("pool.{site}.{s}"))
+                    .copied()
+                    .unwrap_or(0)
+            };
+            format!(
+                "{:.3} ms lock-wait, {} contended, {}/{} steals",
+                p("lock.wait_ns") as f64 / 1e6,
+                p("lock.contended"),
+                p("steal.ok"),
+                p("steal.fail")
+            )
+        };
+        for site in sites {
+            let _ = writeln!(
+                out,
+                "  {site:<9} {}  ->  {}",
+                side(a, sites_a.contains(site), site),
+                side(b, sites_b.contains(site), site)
+            );
+        }
+    }
+
     out.trim_end().to_string()
 }
 
@@ -800,6 +853,10 @@ mod tests {
         }
         t.record("serve.queue.depth", 3);
         t.count("serve.conn.accepted", 4);
+        t.count("serve.flight.recorded", protects + shed);
+        if shed > 0 {
+            t.count("serve.flight.snapshot.shed", shed);
+        }
         TraceFile::parse(&chrome_json(&t.snapshot())).expect("service trace parses")
     }
 
@@ -817,6 +874,7 @@ mod tests {
             "admission: 8 admitted / 2 shed (20.0% shed rate)",
             "shed.queue-full  2",
             "connections: 4 accepted",
+            "flight recorder: 10 requests recorded; snapshots: 2 shed, 0 slow-request, 0 verify-fail",
         ] {
             assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
         }
