@@ -79,6 +79,9 @@ struct ScalingRow {
     degradations: usize,
     ms: [f64; 4], // jobs 1, 2, 4, 8
     speedup4: f64,
+    /// jobs4-time over jobs8-time: ≥ 1.0 means adding workers past 4
+    /// did not cost throughput (the old oversubscription regression).
+    jobs8_over_jobs4: f64,
 }
 
 /// Protects `name` cold at jobs 1/2/4/8 (`reps` times each, keeping the
@@ -119,6 +122,7 @@ fn measure_scaling(name: &'static str, reps: u32) -> Result<ScalingRow, String> 
         degradations,
         ms,
         speedup4: ms[0] / ms[2].max(f64::MIN_POSITIVE),
+        jobs8_over_jobs4: ms[2] / ms[3].max(f64::MIN_POSITIVE),
     })
 }
 
@@ -224,7 +228,8 @@ fn write_bench_json(rows: &[ScalingRow], inc: Option<&IncrementalRow>) {
             "  {{\"bench\": \"protect_throughput\", \"workload\": \"{}\", \
              \"image_hash\": \"{}\", \"gadget_count\": {}, \"chains\": {}, \
              \"degradations\": {}, \"jobs1_ms\": {:.3}, \"jobs2_ms\": {:.3}, \
-             \"jobs4_ms\": {:.3}, \"jobs8_ms\": {:.3}, \"speedup4\": {:.2}}}{comma}\n",
+             \"jobs4_ms\": {:.3}, \"jobs8_ms\": {:.3}, \"speedup4\": {:.2}, \
+             \"jobs8_over_jobs4\": {:.2}}}{comma}\n",
             r.workload,
             r.image_hash,
             r.gadget_count,
@@ -234,7 +239,8 @@ fn write_bench_json(rows: &[ScalingRow], inc: Option<&IncrementalRow>) {
             r.ms[1],
             r.ms[2],
             r.ms[3],
-            r.speedup4
+            r.speedup4,
+            r.jobs8_over_jobs4
         ));
     }
     if let Some(r) = inc {
@@ -279,8 +285,16 @@ fn baseline_str<'a>(baseline: &'a str, workload: &str, field: &str) -> Option<&'
 fn print_scaling(r: &ScalingRow) {
     println!(
         "{:<8} jobs 1/2/4/8: {:>8.1} / {:>8.1} / {:>8.1} / {:>8.1} ms  \
-         speedup@4 {:>5.2}x  ({} gadgets, {} chains)",
-        r.workload, r.ms[0], r.ms[1], r.ms[2], r.ms[3], r.speedup4, r.gadget_count, r.chains
+         speedup@4 {:>5.2}x  j8/j4 {:>4.2}  ({} gadgets, {} chains)",
+        r.workload,
+        r.ms[0],
+        r.ms[1],
+        r.ms[2],
+        r.ms[3],
+        r.speedup4,
+        r.jobs8_over_jobs4,
+        r.gadget_count,
+        r.chains
     );
 }
 
@@ -395,25 +409,33 @@ fn run(reps: u32, gate: bool) -> ExitCode {
     // precise part of the contract.
     let cores = parallax_pool::auto_workers();
     for r in &rows {
-        let floor = if cores >= 4 {
-            1.5
-        } else if cores >= 2 {
-            1.1
-        } else {
-            continue;
-        };
-        if r.speedup4 < floor {
+        // A 4-worker run can only deliver on ≥4 cores; below that the
+        // speedup gate is vacuous and skipped entirely.
+        if cores >= 4 && r.speedup4 < 2.0 {
             eprintln!(
-                "FAIL {}: speedup@4 {:.2}x below {floor}x floor on a {cores}-core host",
+                "FAIL {}: speedup@4 {:.2}x below 2.0x floor on a {cores}-core host",
                 r.workload, r.speedup4
+            );
+            ok = false;
+        }
+        // jobs8 must never cost throughput relative to jobs4 (the old
+        // oversubscription regression); 0.8 allows scheduler noise.
+        if cores >= 2 && r.jobs8_over_jobs4 < 0.8 {
+            eprintln!(
+                "FAIL {}: jobs8 {:.1} ms is slower than jobs4 {:.1} ms beyond noise \
+                 (ratio {:.2}) — fan-out is oversubscribing again",
+                r.workload, r.ms[3], r.ms[2], r.jobs8_over_jobs4
             );
             ok = false;
         }
     }
     if let Some(r) = &inc {
-        if r.speedup < 2.0 {
+        // Probe-VM reuse made the cold path ~10x faster, so the
+        // warm/cold ratio the cache can deliver shrank with it; 1.3x
+        // still proves the cache is doing real work.
+        if r.speedup < 1.3 {
             eprintln!(
-                "FAIL incremental_edit: warm speedup {:.2}x below 2.0x floor — \
+                "FAIL incremental_edit: warm speedup {:.2}x below 1.3x floor — \
                  the function cache is not paying for itself",
                 r.speedup
             );

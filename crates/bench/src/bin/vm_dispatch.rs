@@ -6,6 +6,9 @@
 //!   gadgets; every "basic block" is two instructions, so performance
 //!   is dominated by dispatch cost (cache probe vs `HashMap` probe +
 //!   `Rc` clone per instruction).
+//! * `chain_fused3` — a ROP chain whose gadget bodies are three to four
+//!   instructions (`lea`/`xchg`/`test`/`push [mem]`/`pop [mem]`),
+//!   exercising the extended fused-gadget fast path end to end.
 //! * `straight_line` — a hot loop over an unrolled ALU body; the block
 //!   engine predecodes the body once and replays flat `FastOp`s.
 //! * `self_modifying` — a loop that rewrites an immediate in its own
@@ -101,6 +104,98 @@ fn chain_heavy(rounds: u32) -> LinkedImage {
         slot(&mut chain, None, i & 0xff);
         slot(&mut chain, Some(&store_names[copy]), 0);
         slot(&mut chain, Some(&add_names[copy]), 0);
+    }
+    slot(&mut chain, Some("g_pop_esp"), 0);
+    slot(&mut chain, Some("resume_slot"), 0);
+    p.add_data_with_relocs("chain", chain, relocs);
+    p.add_bss("resume_slot", 8);
+    p.add_bss("scratch", 8);
+    p.set_entry("main");
+    p.link().unwrap()
+}
+
+/// ROP chain through gadgets with 3-4 instruction bodies built from
+/// the extended fast-op set (`lea`, `xchg`, `test`, `push [mem]`,
+/// `pop [mem]`), rotating through [`GADGET_COPIES`] copies of each.
+/// Every gadget fuses into a single `FusedGadget` dispatch; the
+/// reference path decodes each instruction individually.
+fn chain_fused3(rounds: u32) -> LinkedImage {
+    let mut main = Asm::new();
+    main.mov_ri(Reg32::Esi, 0);
+    main.mov_ri_sym(Reg32::Edi, "scratch", 0);
+    main.push_i_sym("resume_slot", 0);
+    main.pop_r(Reg32::Eax);
+    main.mov_ri_sym(Reg32::Ecx, "main.back", 0);
+    main.mov_mr(Mem::base(Reg32::Eax), Reg32::Ecx);
+    main.mov_ri_sym(Reg32::Esp, "chain", 0);
+    main.ret();
+    main.marker("back");
+    main.mov_rr(Reg32::Ebx, Reg32::Esi);
+    main.alu_ri(AluOp::And, Reg32::Ebx, 0xff);
+    main.mov_ri(Reg32::Eax, 1);
+    main.int(0x80);
+
+    let mut p = Program::new();
+    p.add_func("main", main.finish().unwrap());
+    let mut lea_names = Vec::new();
+    let mut test_names = Vec::new();
+    let mut mem_names = Vec::new();
+    for i in 0..GADGET_COPIES {
+        // pop eax; lea edx, [eax+4]; xchg edx, esi; ret  (3-op body)
+        let mut g_lea = Asm::new();
+        g_lea.pop_r(Reg32::Eax);
+        g_lea.lea(Reg32::Edx, Mem::base_disp(Reg32::Eax, 4));
+        g_lea.xchg_rr(Reg32::Edx, Reg32::Esi);
+        g_lea.ret();
+        // test esi, esi; add esi, eax; pop edx; ret  (3-op body,
+        // final-pop pair-trick path)
+        let mut g_test = Asm::new();
+        g_test.test_rr(Reg32::Esi, Reg32::Esi);
+        g_test.alu_rr(AluOp::Add, Reg32::Esi, Reg32::Eax);
+        g_test.pop_r(Reg32::Edx);
+        g_test.ret();
+        // push esi; pop [edi]; push [edi]; pop edx; ret  (4-op body
+        // with memory push/pop; net stack effect zero)
+        let mut g_mem = Asm::new();
+        g_mem.push_r(Reg32::Esi);
+        g_mem.pop_m(Mem::base(Reg32::Edi));
+        g_mem.push_m(Mem::base(Reg32::Edi));
+        g_mem.pop_r(Reg32::Edx);
+        g_mem.ret();
+        lea_names.push(format!("g_lea_{i}"));
+        test_names.push(format!("g_test_{i}"));
+        mem_names.push(format!("g_mem_{i}"));
+        p.add_func(&lea_names[i as usize], g_lea.finish().unwrap());
+        p.add_func(&test_names[i as usize], g_test.finish().unwrap());
+        p.add_func(&mem_names[i as usize], g_mem.finish().unwrap());
+    }
+    let mut g_pop_esp = Asm::new();
+    g_pop_esp.pop_r(Reg32::Esp);
+    g_pop_esp.ret();
+    p.add_func("g_pop_esp", g_pop_esp.finish().unwrap());
+
+    let mut chain = Vec::new();
+    let mut relocs = Vec::new();
+    let mut slot = |chain: &mut Vec<u8>, sym: Option<&str>, val: u32| {
+        if let Some(s) = sym {
+            relocs.push(SymReloc {
+                offset: chain.len(),
+                symbol: s.to_owned(),
+                kind: RelocKind::Abs32,
+                addend: val as i32,
+            });
+            chain.extend_from_slice(&[0; 4]);
+        } else {
+            chain.extend_from_slice(&val.to_le_bytes());
+        }
+    };
+    for i in 0..rounds {
+        let copy = (i % GADGET_COPIES) as usize;
+        slot(&mut chain, Some(&lea_names[copy]), 0);
+        slot(&mut chain, None, i & 0xff);
+        slot(&mut chain, Some(&test_names[copy]), 0);
+        slot(&mut chain, None, i & 0x7f);
+        slot(&mut chain, Some(&mem_names[copy]), 0);
     }
     slot(&mut chain, Some("g_pop_esp"), 0);
     slot(&mut chain, Some("resume_slot"), 0);
@@ -284,6 +379,7 @@ fn workloads(smoke: bool) -> Vec<(&'static str, LinkedImage, bool)> {
     };
     vec![
         ("chain_heavy", chain_heavy(chain), false),
+        ("chain_fused3", chain_fused3(chain), false),
         ("straight_line", straight_line(line), false),
         ("self_modifying", self_modifying(smc), true),
     ]

@@ -828,6 +828,10 @@ fn run_pipeline(
     // merging results back in task order makes both the compiled
     // output and any error independent of the worker count.
     let wall = Instant::now();
+    // Cap the fan-out to what the task count can feed: spawning more
+    // workers than (bounded) tasks only adds join overhead — the
+    // measured jobs8-slower-than-jobs1 regression.
+    let jobs = parallax_pool::effective_workers(jobs, gen_ctx.len() * nvariants);
     let (compiled, pstats) = parallax_pool::scoped_map(jobs, gen_ctx.len() * nvariants, |t, _w| {
         let (i, v) = (t / nvariants, t % nvariants);
         let t0 = Instant::now();

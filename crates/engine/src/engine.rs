@@ -250,7 +250,7 @@ impl Engine {
         }
 
         let t0 = Instant::now();
-        let n_workers = self.opts.workers.clamp(1, jobs.len().max(1));
+        let n_workers = parallax_pool::effective_workers(self.opts.workers, jobs.len());
         let (results, pool_stats) = {
             let jobs = &jobs;
             let sink = &sink;

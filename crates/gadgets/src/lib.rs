@@ -45,7 +45,7 @@ pub use mapping::{GadgetMap, RangeSet, TypeKey};
 pub use scan::{scan, scan_with_stats, Candidate, ScanStats, MAX_GADGET_BYTES, MAX_GADGET_INSNS};
 pub use serialize::{deserialize_gadgets, serialize_gadgets};
 pub use types::{Effect, GBinOp, Gadget};
-pub use validate::{validate, validate_with};
+pub use validate::{validate, validate_with, ProbeVm};
 
 use parallax_image::LinkedImage;
 
@@ -64,10 +64,11 @@ pub fn find_gadgets_with_stats(img: &LinkedImage) -> (Vec<Gadget>, ScanStats) {
 /// [`find_gadgets_with_stats`] fanning the classify/validate pass over
 /// `jobs` workers. Concrete validation dominates scanning cost (each
 /// proposal runs in a probe VM), and each validation is a pure function
-/// of the proposal — [`validate_with`] reseeds every location a probe
-/// reads, and its PRNG derives only from the candidate's vaddr — so
-/// chunks of candidates validate independently on per-chunk probe VMs
-/// and concatenate into the exact sequential gadget order.
+/// of the proposal — every worker's [`ProbeVm`] rolls back to a
+/// pristine snapshot before each proposal, and the probe PRNG derives
+/// only from the candidate's vaddr — so chunks of candidates validate
+/// independently on per-worker probe VMs and concatenate into the
+/// exact sequential gadget order.
 pub fn find_gadgets_with_stats_jobs(img: &LinkedImage, jobs: usize) -> (Vec<Gadget>, ScanStats) {
     find_gadgets_with_stats_cached(img, jobs, None)
 }
@@ -148,15 +149,23 @@ pub fn find_gadgets_instrumented(
 ) -> (Vec<Gadget>, ScanStats, ValidateStats) {
     use std::sync::atomic::{AtomicU64, Ordering};
     let (cands, stats) = scan_with_stats(&img.text, img.text_base);
-    let workers = jobs.max(1);
     let probe_builds = AtomicU64::new(0);
     let probe_build_ns = AtomicU64::new(0);
-    let validate_chunk = |chunk: &[Candidate]| {
+    // One ProbeVm per *worker*, not per chunk: construction (zeroing
+    // ~1.5 MiB of VM memory) measured as a top blocker, so workers
+    // amortize one build over every chunk they execute and reset the
+    // VM from a pristine snapshot between proposals. The reset makes
+    // each verdict a pure function of the proposal, so the inline and
+    // parallel paths — and any job count — agree byte-for-byte.
+    let build_probe = || {
         let t0 = std::time::Instant::now();
-        let mut probe = parallax_vm::Vm::new(img);
+        let probe = ProbeVm::new(img);
         probe_builds.fetch_add(1, Ordering::Relaxed);
         probe_build_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        let heap_base = probe.mem().heap_base();
+        probe
+    };
+    let validate_chunk = |probe: &mut ProbeVm, chunk: &[Candidate]| {
+        let heap_base = probe.heap_base();
         let mut out = Vec::new();
         for cand in chunk {
             let Some(proposal) = classify(cand) else {
@@ -169,7 +178,7 @@ pub fn find_gadgets_instrumented(
                     continue;
                 }
             }
-            let g = validate_with(&mut probe, &proposal);
+            let g = probe.validate(&proposal);
             if let (Some(c), Some(k)) = (cache, &key) {
                 c.store_verdict(k, &g);
             }
@@ -177,8 +186,10 @@ pub fn find_gadgets_instrumented(
         }
         out
     };
+    let workers = parallax_pool::effective_workers(jobs, cands.len());
     if workers == 1 || cands.len() < 64 {
-        let gadgets = validate_chunk(&cands);
+        let mut probe = build_probe();
+        let gadgets = validate_chunk(&mut probe, &cands);
         let vstats = ValidateStats {
             probe_builds: probe_builds.into_inner(),
             probe_build_ns: probe_build_ns.into_inner(),
@@ -187,12 +198,18 @@ pub fn find_gadgets_instrumented(
         };
         return (gadgets, stats, vstats);
     }
-    // Oversplit a little so a chunk dense in expensive proposals can be
-    // balanced by stealing; probe-VM construction bounds the factor.
-    let chunk = cands.len().div_ceil(workers * 2).max(1);
+    // Adaptive granularity: ~CHUNKS_PER_WORKER chunks per worker so a
+    // chunk dense in expensive proposals can be balanced by stealing,
+    // with a floor that keeps scheduling from dominating tiny runs.
+    let chunk = parallax_pool::adaptive_chunk_size(cands.len(), workers, 16);
     let chunks: Vec<&[Candidate]> = cands.chunks(chunk).collect();
-    let (parts, pool) =
-        parallax_pool::scoped_map(workers, chunks.len(), |i, _w| validate_chunk(chunks[i]));
+    let workers = parallax_pool::effective_workers(workers, chunks.len());
+    let (parts, pool) = parallax_pool::scoped_map_init(
+        workers,
+        chunks.len(),
+        |_w| build_probe(),
+        |probe, i, _w| validate_chunk(probe, chunks[i]),
+    );
     let t0 = std::time::Instant::now();
     let gadgets: Vec<Gadget> = parts.into_iter().flatten().collect();
     let vstats = ValidateStats {

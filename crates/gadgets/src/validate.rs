@@ -8,10 +8,8 @@
 //! the semantic gadget discovery of Q/ROPC on which the paper's
 //! prototype is built.
 
-use std::collections::HashMap;
-
 use parallax_image::LinkedImage;
-use parallax_vm::{Vm, VmOptions, CALL_SENTINEL, STACK_TOP};
+use parallax_vm::{Memory, Vm, VmOptions, CALL_SENTINEL, STACK_TOP};
 use parallax_x86::Reg32;
 
 use crate::classify::Proposal;
@@ -19,6 +17,10 @@ use crate::types::{Effect, GBinOp, Gadget};
 
 /// Maximum instructions a gadget probe may execute.
 const PROBE_STEPS: usize = 64;
+
+/// Words snapshotted per scratch region (±0x200 bytes around the
+/// scratch pointer).
+const SCRATCH_WORDS: usize = 256;
 
 fn prng(seed: &mut u64) -> u32 {
     let mut x = *seed;
@@ -29,13 +31,40 @@ fn prng(seed: &mut u64) -> u32 {
     (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32
 }
 
+/// Pre-execution contents of the eight scratch regions, stored flat.
+/// Replaces a per-probe `HashMap<u32, u32>` of 2048 inserts: lookups
+/// scan eight region bases and index directly, and the snapshot is the
+/// same buffer the batch fill writes through — no per-word bookkeeping.
+struct ScratchPre {
+    /// Region start addresses (scratch pointer − 0x200 each).
+    bases: [u32; 8],
+    /// `SCRATCH_WORDS` words per region, region-major.
+    words: Vec<u32>,
+}
+
+impl ScratchPre {
+    /// The snapshotted word at `addr`, if `addr` is a word-aligned
+    /// offset inside any scratch region — exactly the keys the old
+    /// hash snapshot contained (regions are 0x1000 apart, so they
+    /// never overlap).
+    fn get(&self, addr: u32) -> Option<u32> {
+        for (i, &b) in self.bases.iter().enumerate() {
+            let off = addr.wrapping_sub(b);
+            if off < (SCRATCH_WORDS as u32) * 4 && off % 4 == 0 {
+                return Some(self.words[i * SCRATCH_WORDS + (off / 4) as usize]);
+            }
+        }
+        None
+    }
+}
+
 struct Probe<'v> {
     vm: &'v mut Vm,
     esp0: u32,
     init_regs: [u32; 8],
     canaries: Vec<u32>,
     /// Pre-execution contents of the scratch regions.
-    pre_mem: HashMap<u32, u32>,
+    pre_mem: ScratchPre,
 }
 
 /// Runs the gadget once with randomized state in a reusable probe VM
@@ -92,15 +121,22 @@ fn run_probe<'v>(vm: &'v mut Vm, p: &Proposal, seed: &mut u64) -> Option<Probe<'
     vm.cpu.flags.sf = prng(seed) & 1 != 0;
     vm.cpu.flags.of = prng(seed) & 1 != 0;
 
-    // Fill scratch memory with random words and snapshot it.
-    let mut pre_mem = HashMap::new();
+    // Fill scratch memory with random words and snapshot it. The words
+    // are generated in the same order the per-word loop used, so the
+    // PRNG stream (and therefore every probe outcome) is unchanged; the
+    // VM write is one `write_bytes` per region instead of 256 `write32`s.
+    let mut pre_mem = ScratchPre {
+        bases: scratch.map(|s| s - 0x200),
+        words: Vec::with_capacity(8 * SCRATCH_WORDS),
+    };
+    let mut bytes = [0u8; SCRATCH_WORDS * 4];
     for s in scratch {
-        for k in 0..256 {
-            let a = s - 0x200 + k * 4;
+        for chunk in bytes.chunks_exact_mut(4) {
             let v = prng(seed);
-            vm.mem_mut().write32(a, v).ok()?;
-            pre_mem.insert(a, v);
+            pre_mem.words.push(v);
+            chunk.copy_from_slice(&v.to_le_bytes());
         }
+        vm.mem_mut().write_bytes(s - 0x200, &bytes).ok()?;
     }
 
     // Lay out the probe chain: `slots` canaries, then the sentinel,
@@ -183,7 +219,7 @@ fn check_effect(e: &Effect, pr: &Probe, p: &Proposal) -> bool {
         Effect::Not { dst } => reg(dst) == !init_of(dst),
         Effect::LoadMem { dst, addr, off } => {
             let a = init_of(addr).wrapping_add(off as u32);
-            pr.pre_mem.get(&a).is_some_and(|&v| reg(dst) == v)
+            pr.pre_mem.get(a).is_some_and(|v| reg(dst) == v)
         }
         Effect::StoreMem { addr, off, src } => {
             let a = init_of(addr).wrapping_add(off as u32);
@@ -194,8 +230,8 @@ fn check_effect(e: &Effect, pr: &Probe, p: &Proposal) -> bool {
         }
         Effect::AddMem { addr, off, src } => {
             let a = init_of(addr).wrapping_add(off as u32);
-            match (pr.pre_mem.get(&a), vm.mem().read32(a)) {
-                (Some(&pre), Ok(post)) => post == pre.wrapping_add(init_of(src)),
+            match (pr.pre_mem.get(a), vm.mem().read32(a)) {
+                (Some(pre), Ok(post)) => post == pre.wrapping_add(init_of(src)),
                 _ => false,
             }
         }
@@ -297,8 +333,43 @@ pub fn validate_with(vm: &mut Vm, p: &Proposal) -> Option<Gadget> {
 }
 
 /// Convenience wrapper constructing a fresh probe VM (prefer
-/// [`validate_with`] when validating many proposals on one image).
+/// [`ProbeVm`] when validating many proposals on one image).
 pub fn validate(img: &LinkedImage, p: &Proposal) -> Option<Gadget> {
     let mut vm = Vm::with_options(img, VmOptions::default());
     validate_with(&mut vm, p)
+}
+
+/// A reusable probe VM: one image load amortized over every proposal a
+/// worker validates. Construction clones a pristine snapshot of memory
+/// with the write log enabled; before each proposal the VM is rolled
+/// back to that snapshot (registers, flags, cycles, RSB, syscall state
+/// included), so each verdict is a pure function of the proposal —
+/// identical to what a freshly built VM would return — while the
+/// predecoded block cache stays hot across proposals (text is
+/// immutable under W⊕X).
+pub struct ProbeVm {
+    vm: Vm,
+    pristine: Memory,
+}
+
+impl ProbeVm {
+    /// Builds the reusable VM for `img`.
+    pub fn new(img: &LinkedImage) -> ProbeVm {
+        let mut vm = Vm::with_options(img, VmOptions::default());
+        vm.mem_mut().enable_write_log();
+        let pristine = vm.mem().clone();
+        ProbeVm { vm, pristine }
+    }
+
+    /// The VM heap base (scratch-region anchor, part of cache keys).
+    pub fn heap_base(&self) -> u32 {
+        self.vm.mem().heap_base()
+    }
+
+    /// Validates one proposal from pristine state. Equivalent to
+    /// `validate(img, p)` on a fresh VM, minus the construction cost.
+    pub fn validate(&mut self, p: &Proposal) -> Option<Gadget> {
+        self.vm.reset_to(&self.pristine);
+        validate_with(&mut self.vm, p)
+    }
 }

@@ -1,0 +1,110 @@
+//! Differential suite for probe-VM reuse: a [`ProbeVm`] that resets
+//! from a pristine snapshot between proposals must return verdicts
+//! identical to a freshly constructed VM for every proposal — across
+//! the corpus binaries, across tampered (byte-flipped) variants, and
+//! across randomized instruction streams. This is the invariant that
+//! lets workers amortize one VM build over a whole scan without
+//! changing a single verdict (and with it, the protected image).
+
+use proptest::prelude::*;
+
+use parallax_compiler::compile_module;
+use parallax_gadgets::scan::scan;
+use parallax_gadgets::{classify, validate, ProbeVm};
+use parallax_image::{LinkedImage, Program};
+use parallax_x86::Asm;
+
+fn link(name: &str) -> LinkedImage {
+    let w = parallax_corpus::by_name(name).expect("known workload");
+    compile_module(&(w.module)())
+        .expect("corpus compiles")
+        .link()
+        .expect("corpus links")
+}
+
+/// Validates every classified candidate of `img` twice — once on a
+/// fresh VM per proposal (the oracle) and once on a single reused
+/// [`ProbeVm`] — and requires verdict-for-verdict equality. Returns
+/// how many proposals were checked so callers can assert coverage.
+fn assert_reuse_matches_fresh(img: &LinkedImage, label: &str) -> usize {
+    let cands = scan(&img.text, img.text_base);
+    let mut reused = ProbeVm::new(img);
+    let mut checked = 0;
+    for cand in &cands {
+        let Some(proposal) = classify(cand) else {
+            continue;
+        };
+        let fresh = validate(img, &proposal);
+        let pooled = reused.validate(&proposal);
+        assert_eq!(
+            format!("{fresh:?}"),
+            format!("{pooled:?}"),
+            "{label}: verdict drift at {:#x}",
+            cand.vaddr
+        );
+        checked += 1;
+    }
+    checked
+}
+
+#[test]
+fn reused_vm_verdicts_match_fresh_across_corpus() {
+    for w in parallax_corpus::all() {
+        let img = link(w.name);
+        let checked = assert_reuse_matches_fresh(&img, w.name);
+        assert!(checked > 0, "{}: no proposals exercised", w.name);
+    }
+}
+
+#[test]
+fn reused_vm_verdicts_match_fresh_on_tampered_images() {
+    // Byte-flip the text at spread positions — the fault-injection
+    // shape — so reuse is also proven on images whose gadget pool
+    // differs from anything the pristine snapshot was derived from.
+    let base = link("gzip");
+    for flip in 0..8u32 {
+        let mut img = base.clone();
+        let off = (img.text.len() as u32 / 9) * (flip + 1);
+        img.text[off as usize] ^= 0x41;
+        let label = format!("gzip+flip@{off:#x}");
+        assert_reuse_matches_fresh(&img, &label);
+    }
+}
+
+proptest! {
+    /// Randomized instruction streams: arbitrary bytes become text, the
+    /// scanner extracts whatever return-terminated sequences decode,
+    /// and every classified proposal must validate identically on a
+    /// fresh and a reused VM.
+    #[test]
+    fn reused_vm_verdicts_match_fresh_on_random_streams(
+        bytes in prop::collection::vec(any::<u8>(), 32..160),
+        rets in 1usize..5,
+    ) {
+        let mut a = Asm::new();
+        // Salt the stream with extra rets so candidates are likely.
+        let stride = bytes.len() / rets + 1;
+        for chunk in bytes.chunks(stride) {
+            a.db(chunk);
+            a.ret();
+        }
+        let mut p = Program::new();
+        p.add_func("main", a.finish().unwrap());
+        p.set_entry("main");
+        let img = p.link().unwrap();
+
+        let cands = scan(&img.text, img.text_base);
+        let mut reused = ProbeVm::new(&img);
+        for cand in &cands {
+            let Some(proposal) = classify(cand) else { continue };
+            let fresh = validate(&img, &proposal);
+            let pooled = reused.validate(&proposal);
+            prop_assert_eq!(
+                format!("{:?}", fresh),
+                format!("{:?}", pooled),
+                "verdict drift at {:#x}",
+                cand.vaddr
+            );
+        }
+    }
+}

@@ -6,12 +6,18 @@
 //! per-function pipeline work over the same scheduler without a
 //! dependency cycle (engine depends on core, not the other way around).
 //!
-//! The scheduling discipline is deliberately simple: items are dealt
-//! round-robin into per-worker deques, each worker pops its own queue
-//! from the front and steals from the *back* of its neighbors' queues
-//! when idle. Results are collected **by item index**, so the output
-//! order is always the input order — callers get a deterministic merge
-//! for free, whatever the interleaving was.
+//! The scheduling discipline is lock-free: items are dealt round-robin
+//! into per-worker *sharded deques* with atomic owner/stealer ends
+//! (the bounded Chase-Lev shape — the item set is known up front, so
+//! the buffer never grows and never recycles slots). Each worker pops
+//! its own shard from the owner end and steals from the opposite end
+//! of its neighbors' shards when idle; the only synchronization on the
+//! hot path is one atomic op per item plus a CAS on a shard's final
+//! element. Results and [`WorkerStats`] accumulate in per-worker
+//! locals handed back through the join handles and are merged **once**
+//! at join, by item index — so the output order is always the input
+//! order and callers get a deterministic merge for free, whatever the
+//! interleaving was.
 //!
 //! Every run is also *instrumented*: [`PoolStats`] carries per-worker
 //! lock-wait time, steal attempts vs. successes, contended lock
@@ -19,11 +25,13 @@
 //! [`PoolStats::export_to`] turns one run into `pool.*` counters,
 //! histograms and per-worker utilization lanes on a
 //! [`parallax_trace::Tracer`] — the raw material `plx profile` uses to
-//! explain a flat parallel speedup.
+//! explain a flat parallel speedup. (The deques themselves no longer
+//! take locks; the `lock.*` counters remain fed by [`timed_lock`],
+//! which callers with mutex-guarded shared state still route through.)
 
 #![warn(missing_docs)]
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::{Mutex, MutexGuard, TryLockError};
 use std::time::Instant;
 
@@ -43,21 +51,25 @@ pub struct ItemSpan {
 /// What one worker thread did during a [`scoped_map`] run.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerStats {
-    /// Items this worker executed (own-queue pops plus steals).
+    /// Items this worker executed (own-shard pops plus steals).
     pub items: u64,
     /// Nanoseconds spent inside the mapped closure.
     pub busy_ns: u64,
-    /// Nanoseconds blocked acquiring deque locks that were contended.
+    /// Nanoseconds blocked acquiring contended (or poisoned) locks via
+    /// [`timed_lock`]. The pool's own deques are lock-free; this moves
+    /// only when a caller's closure routes its own mutexes through
+    /// [`timed_lock`].
     pub lock_wait_ns: u64,
-    /// Deque-lock acquisitions that found the lock already held.
+    /// [`timed_lock`] acquisitions that found the lock already held
+    /// (or poisoned by a holder's panic).
     pub lock_contended: u64,
-    /// Successful steals (items taken from a neighbor's queue).
+    /// Successful steals (items taken from a neighbor's shard).
     pub steals: u64,
-    /// Steal attempts that found the neighbor's queue empty.
+    /// Steal attempts that found the neighbor's shard empty.
     pub failed_steals: u64,
-    /// Full sweeps over every queue that yielded nothing (one per
+    /// Full sweeps over every shard that yielded nothing (one per
     /// worker at exit in the current fixed-batch discipline; more
-    /// would indicate a retry loop spinning on empty queues).
+    /// would indicate a retry loop spinning on empty shards).
     pub idle_spins: u64,
     /// Per-item execute windows, in execution order on this worker.
     pub spans: Vec<ItemSpan>,
@@ -70,22 +82,21 @@ pub struct PoolStats {
     /// Worker threads actually used (1 means the caller's thread ran
     /// everything inline).
     pub workers: usize,
-    /// Items a worker took from a neighbor's queue instead of its own.
+    /// Items a worker took from a neighbor's shard instead of its own.
     pub steals: u64,
-    /// Total attempts to take an item from a neighbor's queue
+    /// Total attempts to take an item from a neighbor's shard
     /// (`steals + failed_steals`).
     pub steal_attempts: u64,
-    /// Steal attempts that found the neighbor's queue empty.
+    /// Steal attempts that found the neighbor's shard empty.
     pub failed_steals: u64,
-    /// Deque-lock acquisitions that found the lock already held.
+    /// [`timed_lock`] acquisitions that found the lock already held.
     pub lock_contended: u64,
-    /// Total nanoseconds workers spent blocked on contended deque
-    /// locks.
+    /// Total nanoseconds workers spent blocked on contended locks.
     pub lock_wait_ns: u64,
-    /// Full empty sweeps over every queue (idle-spin iterations).
+    /// Full empty sweeps over every shard (idle-spin iterations).
     pub idle_spins: u64,
-    /// Nanoseconds spent in the serial result merge (collecting the
-    /// per-item slots back into the output vector, in item order).
+    /// Nanoseconds spent in the serial result merge (scattering the
+    /// per-worker result vectors back into item order).
     pub merge_ns: u64,
     /// Wall-clock nanoseconds for the whole run (distribution,
     /// execution and merge).
@@ -178,20 +189,131 @@ pub fn auto_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// Target chunks per worker for [`adaptive_chunk_size`]: enough
+/// oversplit that one chunk dense in expensive items can be balanced
+/// by stealing, few enough that per-chunk setup stays amortized.
+pub const CHUNKS_PER_WORKER: usize = 3;
+
+/// Caps a requested fan-out to what can actually help: never more
+/// workers than items, and never more than twice the machine's
+/// available parallelism. `--jobs 8` on a dual-core runner used to
+/// spawn eight threads thrashing two cores — the jobs8 regression in
+/// `BENCH_protect.json` — without ever finishing sooner than four.
+pub fn effective_workers(requested: usize, items: usize) -> usize {
+    requested
+        .clamp(1, items.max(1))
+        .min((auto_workers() * 2).max(1))
+}
+
+/// Adaptive chunk granularity: sizes chunks so `items` splits into
+/// roughly [`CHUNKS_PER_WORKER`] × `workers` chunks, but never below
+/// `min_chunk` items per chunk (tiny chunks make per-chunk setup and
+/// scheduling the dominant cost).
+pub fn adaptive_chunk_size(items: usize, workers: usize, min_chunk: usize) -> usize {
+    items
+        .div_ceil(workers.max(1) * CHUNKS_PER_WORKER)
+        .max(min_chunk.max(1))
+}
+
 /// Locks `m`, counting the acquisition as contended (and timing the
 /// blocked wait) when a `try_lock` probe finds it already held. A
-/// poisoned lock is recovered — a panic while holding a deque lock
-/// only ever loses scheduling telemetry, never item results.
-fn timed_lock<'m, T>(m: &'m Mutex<T>, w: &mut WorkerStats) -> MutexGuard<'m, T> {
+/// poisoned lock is recovered — and *also* counted, with its recovery
+/// timed: the panic that poisoned it happened while the lock was held,
+/// so skipping the counters would understate contention in
+/// `plx profile`. The pool's own deques are lock-free; this helper
+/// remains for callers whose mapped closures guard shared state with
+/// mutexes and want that time attributed in the `pool.*` namespace.
+pub fn timed_lock<'m, T>(m: &'m Mutex<T>, w: &mut WorkerStats) -> MutexGuard<'m, T> {
     match m.try_lock() {
         Ok(g) => g,
-        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::Poisoned(p)) => {
+            w.lock_contended += 1;
+            let t0 = Instant::now();
+            let g = p.into_inner();
+            w.lock_wait_ns += t0.elapsed().as_nanos() as u64;
+            g
+        }
         Err(TryLockError::WouldBlock) => {
             w.lock_contended += 1;
             let t0 = Instant::now();
             let g = m.lock().unwrap_or_else(|e| e.into_inner());
             w.lock_wait_ns += t0.elapsed().as_nanos() as u64;
             g
+        }
+    }
+}
+
+/// One worker's shard: a bounded Chase-Lev deque preloaded with the
+/// worker's item indices. The buffer is immutable after construction
+/// (items are known up front and slots are never recycled), so the
+/// usual growth/ABA hazards of the general algorithm do not arise;
+/// `top`/`bottom` alone arbitrate ownership. `buf` holds the indices
+/// in *descending* order so the owner pops ascending item order from
+/// the bottom end while stealers take the largest-index items from the
+/// top — the same two ends the old mutexed deque exposed.
+struct Shard {
+    buf: Box<[usize]>,
+    /// Steal end: slot of the next stealable item.
+    top: AtomicIsize,
+    /// Owner end: one past the last owned slot.
+    bottom: AtomicIsize,
+}
+
+impl Shard {
+    fn new(mut items: Vec<usize>) -> Shard {
+        items.reverse();
+        let len = items.len() as isize;
+        Shard {
+            buf: items.into_boxed_slice(),
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(len),
+        }
+    }
+
+    /// Owner-end pop. Returns `None` when the shard is empty (or the
+    /// final element was lost to a concurrent stealer).
+    fn take(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::SeqCst) - 1;
+        self.bottom.store(b, Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if t > b {
+            // Empty: undo the speculative decrement.
+            self.bottom.store(b + 1, Ordering::SeqCst);
+            return None;
+        }
+        let item = self.buf[b as usize];
+        if t == b {
+            // Final element: race any stealer for it with a CAS on the
+            // steal end; exactly one side advances `top` past it.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::SeqCst);
+            return won.then_some(item);
+        }
+        Some(item)
+    }
+
+    /// Steal-end pop. Retries internally on CAS losses (another thief
+    /// — or the owner taking the final element — moved `top`); returns
+    /// `None` only after observing the shard empty, so a sweep that
+    /// comes back `None` from every shard really found no work.
+    fn steal(&self) -> Option<usize> {
+        loop {
+            let t = self.top.load(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::SeqCst);
+            if t >= b {
+                return None;
+            }
+            let item = self.buf[t as usize];
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Some(item);
+            }
         }
     }
 }
@@ -206,20 +328,44 @@ fn timed_lock<'m, T>(m: &'m Mutex<T>, w: &mut WorkerStats) -> MutexGuard<'m, T> 
 /// worker runs it; under that contract the returned vector is
 /// bit-identical across worker counts.
 ///
-/// Panics in `f` propagate to the caller (via [`std::thread::scope`]).
+/// Panics in `f` propagate to the caller.
 pub fn scoped_map<T, F>(workers: usize, n: usize, f: F) -> (Vec<T>, PoolStats)
 where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
 {
+    scoped_map_init(workers, n, |_| (), |(), i, w| f(i, w))
+}
+
+/// [`scoped_map`] with per-worker state: `init(worker_index)` is
+/// called lazily — on the worker's own thread, the first time that
+/// worker actually executes an item — and the resulting state is
+/// passed by `&mut` to every item the worker runs. The state type `S`
+/// needs no `Send`/`Sync` bound (it is created, used, and dropped
+/// entirely on one thread), which is exactly what per-worker probe-VM
+/// reuse needs: a `Vm` holds `Rc`s and cannot cross threads.
+///
+/// Determinism contract: `f(&mut s, i, w)` must produce the same
+/// result for item `i` regardless of the worker, the state's history,
+/// or the interleaving — reusable state must be reset to a canonical
+/// point per item (the probe VM's reseed). Under that contract the
+/// output is bit-identical across worker counts.
+pub fn scoped_map_init<S, T, I, F>(workers: usize, n: usize, init: I, f: F) -> (Vec<T>, PoolStats)
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, usize) -> T + Sync,
+{
     let run_start = Instant::now();
     let workers = workers.clamp(1, n.max(1));
     if workers <= 1 {
         let mut ws = WorkerStats::default();
+        let mut state: Option<S> = None;
         let out = (0..n)
             .map(|i| {
+                let st = state.get_or_insert_with(|| init(0));
                 let t0 = Instant::now();
-                let r = f(i, 0);
+                let r = f(st, i, 0);
                 ws.items += 1;
                 let dur = t0.elapsed().as_nanos() as u64;
                 ws.busy_ns += dur;
@@ -242,98 +388,90 @@ where
         return (out, stats);
     }
 
-    // Round-robin initial distribution; idle workers steal from the
-    // back of their neighbors' deques.
-    let queues: Vec<Mutex<VecDeque<usize>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    for i in 0..n {
-        if let Ok(mut q) = queues[i % workers].lock() {
-            q.push_back(i);
-        }
-    }
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let worker_stats: Vec<Mutex<WorkerStats>> = (0..workers)
-        .map(|_| Mutex::new(WorkerStats::default()))
+    // Deal round-robin into per-worker shards; idle workers steal from
+    // the opposite end of their neighbors' shards.
+    let shards: Vec<Shard> = (0..workers)
+        .map(|w| Shard::new((w..n).step_by(workers).collect()))
         .collect();
 
-    {
-        let queues = &queues;
-        let results = &results;
-        let worker_stats = &worker_stats;
+    let joined: Vec<(WorkerStats, Vec<(usize, T)>)> = {
+        let shards = &shards;
+        let init = &init;
         let f = &f;
         std::thread::scope(|s| {
-            for w in 0..workers {
-                s.spawn(move || {
-                    let mut ws = WorkerStats::default();
-                    loop {
-                        let mut got = None;
-                        for off in 0..workers {
-                            let mut q = timed_lock(&queues[(w + off) % workers], &mut ws);
-                            let idx = if off == 0 {
-                                q.pop_front()
-                            } else {
-                                q.pop_back()
-                            };
-                            drop(q);
-                            if off != 0 {
-                                if idx.is_some() {
-                                    ws.steals += 1;
-                                } else {
-                                    ws.failed_steals += 1;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        let mut ws = WorkerStats::default();
+                        let mut results: Vec<(usize, T)> = Vec::new();
+                        let mut state: Option<S> = None;
+                        loop {
+                            let mut got = shards[w].take();
+                            if got.is_none() {
+                                for off in 1..workers {
+                                    match shards[(w + off) % workers].steal() {
+                                        Some(i) => {
+                                            ws.steals += 1;
+                                            got = Some(i);
+                                            break;
+                                        }
+                                        None => ws.failed_steals += 1,
+                                    }
                                 }
                             }
-                            if let Some(i) = idx {
-                                got = Some(i);
+                            let Some(i) = got else {
+                                // A full sweep over every shard came
+                                // back empty: the batch is drained.
+                                ws.idle_spins += 1;
                                 break;
-                            }
+                            };
+                            let st = state.get_or_insert_with(|| init(w));
+                            let t0 = Instant::now();
+                            let out = f(st, i, w);
+                            ws.items += 1;
+                            let dur = t0.elapsed().as_nanos() as u64;
+                            ws.busy_ns += dur;
+                            ws.spans.push(ItemSpan {
+                                item: i,
+                                start_ns: (t0 - run_start).as_nanos() as u64,
+                                dur_ns: dur,
+                            });
+                            results.push((i, out));
                         }
-                        let Some(i) = got else {
-                            // A full sweep over every queue came back
-                            // empty: the batch is drained for us.
-                            ws.idle_spins += 1;
-                            break;
-                        };
-                        let t0 = Instant::now();
-                        let out = f(i, w);
-                        ws.items += 1;
-                        let dur = t0.elapsed().as_nanos() as u64;
-                        ws.busy_ns += dur;
-                        ws.spans.push(ItemSpan {
-                            item: i,
-                            start_ns: (t0 - run_start).as_nanos() as u64,
-                            dur_ns: dur,
-                        });
-                        if let Ok(mut slot) = results[i].lock() {
-                            *slot = Some(out);
-                        }
-                    }
-                    if let Ok(mut slot) = worker_stats[w].lock() {
-                        *slot = ws;
-                    }
-                });
-            }
-        });
-    }
+                        (ws, results)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        })
+    };
 
     let merge_start = Instant::now();
-    let out: Vec<T> = results
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut per_worker = Vec::with_capacity(workers);
+    for (ws, results) in joined {
+        for (i, v) in results {
+            slots[i] = Some(v);
+        }
+        per_worker.push(ws);
+    }
+    let out: Vec<T> = slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .ok()
-                .flatten()
-                .expect("scoped_map: worker completed every assigned item")
-        })
+        .map(|slot| slot.expect("scoped_map: every item executed exactly once"))
         .collect();
     let merge_ns = merge_start.elapsed().as_nanos() as u64;
     let mut stats = PoolStats {
         workers,
         merge_ns,
         run_ns: run_start.elapsed().as_nanos() as u64,
-        per_worker: worker_stats
-            .into_iter()
-            .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
-            .collect(),
+        per_worker,
         started: Some(run_start),
         ..PoolStats::default()
     };
@@ -376,7 +514,7 @@ mod tests {
     #[test]
     fn worker_count_is_clamped_to_items() {
         // 16 workers over 3 items must not spawn 16 threads' worth of
-        // queues with most permanently empty — and must still finish.
+        // shards with most permanently empty — and must still finish.
         let (out, stats) = scoped_map(16, 3, |i, _w| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
         assert!(stats.workers <= 3);
@@ -425,12 +563,60 @@ mod tests {
         assert_eq!(stats.lock_contended, 0);
     }
 
+    #[test]
+    fn per_worker_state_is_created_lazily_and_reused() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        for workers in [1, 2, 4] {
+            inits.store(0, Ordering::SeqCst);
+            let (out, stats) = scoped_map_init(
+                workers,
+                40,
+                |w| {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    // Per-worker accumulator: starts at the worker id,
+                    // counts items this state instance served.
+                    (w, 0usize)
+                },
+                |st, i, w| {
+                    assert_eq!(st.0, w, "state belongs to the worker that made it");
+                    st.1 += 1;
+                    i * 2
+                },
+            );
+            assert_eq!(out, (0..40).map(|i| i * 2).collect::<Vec<_>>());
+            let created = inits.load(Ordering::SeqCst);
+            assert!(
+                created <= stats.workers,
+                "at most one state per worker (created {created}, workers {})",
+                stats.workers
+            );
+            assert!(created >= 1, "workers that ran items created state");
+        }
+    }
+
+    #[test]
+    fn init_state_may_be_not_send() {
+        // The probe-VM use case: Rc is !Send, but per-worker state
+        // never crosses a thread boundary.
+        let (out, _) = scoped_map_init(
+            4,
+            16,
+            |_w| std::rc::Rc::new(std::cell::Cell::new(0u64)),
+            |rc, i, _w| {
+                rc.set(rc.get() + 1);
+                i + 7
+            },
+        );
+        assert_eq!(out, (0..16).map(|i| i + 7).collect::<Vec<_>>());
+    }
+
     /// Forces a contended acquisition deterministically: a second
     /// thread takes the mutex and holds it across a rendezvous, so
     /// [`timed_lock`]'s `try_lock` probe *must* fail and the blocked
     /// wait *must* be timed. This pins the accounting path even on a
-    /// single-CPU machine, where scheduler-race contention inside
-    /// `scoped_map` is vanishingly rare.
+    /// single-CPU machine, where scheduler-race contention is
+    /// vanishingly rare.
     #[test]
     fn contended_lock_acquisitions_are_counted_and_timed() {
         use std::sync::{Arc, Barrier};
@@ -464,10 +650,37 @@ mod tests {
         holder.join().expect("holder exits");
     }
 
+    /// The poisoned-recovery path must record the acquisition too: the
+    /// panic that poisoned the lock happened while it was held, so an
+    /// unrecorded recovery would understate contention in `plx
+    /// profile` (the satellite fix this test pins).
+    #[test]
+    fn poisoned_lock_recovery_is_counted_and_timed() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::new(7u32));
+        let poisoner = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                let _g = m.lock().expect("first lock succeeds");
+                panic!("poison the mutex");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the holder panicked");
+        assert!(m.is_poisoned());
+        let mut ws = WorkerStats::default();
+        let g = timed_lock(&m, &mut ws);
+        assert_eq!(*g, 7, "the poisoned value is recovered intact");
+        drop(g);
+        assert_eq!(
+            ws.lock_contended, 1,
+            "poisoned recovery counts as a contended acquisition"
+        );
+    }
+
     /// Forces stealing (and the failed steal attempts every exit
     /// sweep produces) by making worker 0's own items slow while all
     /// other workers' items are free, so idle workers drain their own
-    /// queues instantly and pile onto worker 0's deque.
+    /// shards instantly and pile onto worker 0's shard.
     #[test]
     fn steal_attempts_and_failures_are_counted() {
         let spin = |iters: u64| {
@@ -487,7 +700,7 @@ mod tests {
         assert_eq!(stats.steal_attempts, stats.steals + stats.failed_steals);
         assert!(
             stats.failed_steals > 0,
-            "exit sweeps over drained queues must count as failed steals"
+            "exit sweeps over drained shards must count as failed steals"
         );
         assert!(stats.steals > 0, "idle workers must have stolen slow items");
         assert!(stats.idle_spins >= stats.workers as u64 - 1);
@@ -495,6 +708,56 @@ mod tests {
         assert_eq!(per_worker_steals, stats.steals);
         let per_worker_contended: u64 = stats.per_worker.iter().map(|w| w.lock_contended).sum();
         assert_eq!(per_worker_contended, stats.lock_contended);
+    }
+
+    /// The shard protocol under adversarial interleaving: many rounds
+    /// of tiny batches maximize last-element races between the owner's
+    /// `take` and concurrent `steal`s; every item must be executed
+    /// exactly once every round.
+    #[test]
+    fn shard_races_never_lose_or_duplicate_items() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        for round in 0..50 {
+            let n = 1 + (round % 7);
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let (out, _) = scoped_map(4, n, |i, _w| {
+                hits[i].fetch_add(1, Ordering::SeqCst);
+                i
+            });
+            assert_eq!(out, (0..n).collect::<Vec<_>>());
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "item {i} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_workers_caps_fanout() {
+        let cap = (auto_workers() * 2).max(1);
+        // Never more workers than items (independent of the core cap).
+        assert!(effective_workers(8, 3) <= 3);
+        assert_eq!(effective_workers(8, 3), 3.min(cap));
+        assert_eq!(effective_workers(0, 10), 1);
+        assert_eq!(effective_workers(1, 0), 1);
+        // Never more than 2× the machine's parallelism.
+        assert!(effective_workers(1024, 4096) <= cap);
+        // Small requests under both caps pass through unchanged.
+        assert_eq!(effective_workers(1, 100), 1);
+    }
+
+    #[test]
+    fn adaptive_chunk_size_targets_chunks_per_worker() {
+        // Large inputs: ~CHUNKS_PER_WORKER chunks per worker.
+        let cs = adaptive_chunk_size(3000, 4, 16);
+        let chunks = 3000usize.div_ceil(cs);
+        assert!(
+            (4..=4 * CHUNKS_PER_WORKER + 1).contains(&chunks),
+            "3000 items / 4 workers gave {chunks} chunks of {cs}"
+        );
+        // Small inputs: the floor wins, capping the chunk count.
+        assert_eq!(adaptive_chunk_size(40, 8, 16), 16);
+        // Degenerate inputs stay sane.
+        assert_eq!(adaptive_chunk_size(0, 0, 0), 1);
     }
 
     #[test]

@@ -310,11 +310,15 @@ pub fn protect_program_parallel(
     let inputs: Vec<&FuncItem> = targets.iter().filter_map(|name| prog.func(name)).collect();
     let names: Vec<String> = inputs.iter().map(|f| f.name.clone()).collect();
     let wall = std::time::Instant::now();
-    let (results, stats) = parallax_pool::scoped_map(jobs.max(1), inputs.len(), |i, _w| {
-        let t0 = std::time::Instant::now();
-        let out = rewrite_function_cached(inputs[i], cfg, &bodies, cache);
-        (out, t0.elapsed().as_micros() as u64)
-    });
+    let (results, stats) = parallax_pool::scoped_map(
+        parallax_pool::effective_workers(jobs, inputs.len()),
+        inputs.len(),
+        |i, _w| {
+            let t0 = std::time::Instant::now();
+            let out = rewrite_function_cached(inputs[i], cfg, &bodies, cache);
+            (out, t0.elapsed().as_micros() as u64)
+        },
+    );
     let wall_us = wall.elapsed().as_micros() as u64;
     drop(inputs);
     let cpu_us: u64 = results.iter().map(|(_, d)| *d).sum();

@@ -24,7 +24,7 @@
 
 use std::rc::Rc;
 
-use parallax_x86::insn::{AluOp, Insn, Mnemonic, OpSize, Operand};
+use parallax_x86::insn::{AluOp, Insn, Mem, Mnemonic, OpSize, Operand};
 use parallax_x86::{decode, Reg, Reg32};
 
 use crate::error::{Fault, FaultKind};
@@ -73,6 +73,20 @@ pub(crate) enum FastOp {
     LoadRM(Reg32, Option<Reg32>, i32),
     /// `mov [base + disp], r32` (dword store, no index register).
     StoreMR(Option<Reg32>, i32, Reg32),
+    /// `lea r32, [mem]` — address arithmetic only, never touches
+    /// memory (and pays no memory-cycle cost, matching `exec_insn`'s
+    /// explicit `Lea` cost exemption).
+    LeaRM(Reg32, Mem),
+    /// `xchg r32, r32`.
+    XchgRR(Reg32, Reg32),
+    /// `test r32, r32` — flags only, no writeback.
+    TestRR(Reg32, Reg32),
+    /// `test r32, imm32` — flags only, no writeback.
+    TestRI(Reg32, u32),
+    /// `push dword [mem]`.
+    PushM(Mem),
+    /// `pop dword [mem]`.
+    PopM(Mem),
     /// Everything else: execute via the full interpreter.
     Slow,
 }
@@ -90,16 +104,34 @@ pub(crate) struct Predecoded {
     pub insn: Insn,
 }
 
-/// The fully-inlined form of a two-instruction `op; ret` gadget —
-/// the shape every ROP dispatch takes. Stored in the [`Block`] header
-/// so execution reads one allocation and never touches the `insns`
-/// vector (or clones the `Rc`) on the hot path.
+/// Maximum body micro-ops (before the trailing `ret`) a gadget block
+/// may carry in its fused header. Gadgets scan up to 6 instructions;
+/// 4 body ops + `ret` fuses every common shape while keeping the
+/// header a small fixed-size copy.
+pub const MAX_FUSED_OPS: usize = 4;
+
+/// One body micro-op of a fused gadget, with its addresses.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct FusedRet {
-    /// The leading micro-op and its addresses.
+pub(crate) struct FusedOp {
+    /// The pre-extracted micro-op (never `Slow` in a fused header).
     pub op: FastOp,
-    pub op_eip: u32,
-    pub op_next: u32,
+    /// Address of the instruction.
+    pub eip: u32,
+    /// Address of the following instruction.
+    pub next: u32,
+}
+
+/// The fully-inlined form of an `op…; ret` gadget — the shape every
+/// ROP dispatch takes, from the classic two-instruction `pop r; ret`
+/// up to [`MAX_FUSED_OPS`]-instruction bodies. Stored in the
+/// [`Block`] header so execution reads one allocation and never
+/// touches the `insns` vector (or clones the `Rc`) on the hot path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FusedGadget {
+    /// The leading micro-ops; slots past `len` are `Slow` filler.
+    pub ops: [FusedOp; MAX_FUSED_OPS],
+    /// Number of live body ops (1..=MAX_FUSED_OPS).
+    pub len: u8,
     /// Addresses of the trailing plain `ret`.
     pub ret_eip: u32,
     pub ret_next: u32,
@@ -110,7 +142,7 @@ pub(crate) struct FusedRet {
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum BlockKind {
     Generic,
-    Fused(FusedRet),
+    Fused(FusedGadget),
 }
 
 /// A predecoded straight-line run starting at `entry`.
@@ -159,13 +191,15 @@ fn reg32_of(op: &Operand) -> Option<Reg32> {
 fn fast_of(insn: &Insn) -> FastOp {
     match insn.mnemonic {
         Mnemonic::Ret if insn.ops.is_empty() => FastOp::Ret,
-        Mnemonic::Pop => match insn.ops.first().and_then(reg32_of) {
-            Some(r) => FastOp::PopR(r),
-            None => FastOp::Slow,
+        Mnemonic::Pop => match insn.ops.first() {
+            Some(Operand::Reg(Reg::R32(r))) => FastOp::PopR(*r),
+            Some(Operand::Mem(m)) => FastOp::PopM(*m),
+            _ => FastOp::Slow,
         },
         Mnemonic::Push => match insn.ops.first() {
             Some(Operand::Reg(Reg::R32(r))) => FastOp::PushR(*r),
             Some(Operand::Imm(v)) => FastOp::PushI(*v as u32),
+            Some(Operand::Mem(m)) => FastOp::PushM(*m),
             _ => FastOp::Slow,
         },
         Mnemonic::Mov if insn.size == OpSize::Dword && insn.ops.len() == 2 => {
@@ -185,6 +219,23 @@ fn fast_of(insn: &Insn) -> FastOp {
             match (reg32_of(&insn.ops[0]), &insn.ops[1]) {
                 (Some(d), Operand::Reg(Reg::R32(s))) => FastOp::AluRR(op, d, *s),
                 (Some(d), Operand::Imm(v)) => FastOp::AluRI(op, d, *v as u32),
+                _ => FastOp::Slow,
+            }
+        }
+        Mnemonic::Lea => match (insn.ops.first(), insn.ops.get(1).and_then(|o| o.mem())) {
+            (Some(Operand::Reg(Reg::R32(d))), Some(m)) => FastOp::LeaRM(*d, m),
+            _ => FastOp::Slow,
+        },
+        Mnemonic::Xchg if insn.size == OpSize::Dword && insn.ops.len() == 2 => {
+            match (reg32_of(&insn.ops[0]), reg32_of(&insn.ops[1])) {
+                (Some(a), Some(b)) => FastOp::XchgRR(a, b),
+                _ => FastOp::Slow,
+            }
+        }
+        Mnemonic::Test if insn.size == OpSize::Dword && insn.ops.len() == 2 => {
+            match (reg32_of(&insn.ops[0]), &insn.ops[1]) {
+                (Some(a), Operand::Reg(Reg::R32(b))) => FastOp::TestRR(a, *b),
+                (Some(a), Operand::Imm(v)) => FastOp::TestRI(a, *v as u32),
                 _ => FastOp::Slow,
             }
         }
@@ -235,11 +286,27 @@ pub(crate) fn build_block(mem: &Memory, entry: u32, max_insns: usize) -> Result<
         }
     }
     let kind = match insns.as_slice() {
-        [op, ret] if matches!(ret.fast, FastOp::Ret) && !matches!(op.fast, FastOp::Slow) => {
-            BlockKind::Fused(FusedRet {
-                op: op.fast,
-                op_eip: op.eip,
-                op_next: op.next,
+        [body @ .., ret]
+            if !body.is_empty()
+                && body.len() <= MAX_FUSED_OPS
+                && matches!(ret.fast, FastOp::Ret)
+                && body.iter().all(|p| !matches!(p.fast, FastOp::Slow)) =>
+        {
+            let mut ops = [FusedOp {
+                op: FastOp::Slow,
+                eip: 0,
+                next: 0,
+            }; MAX_FUSED_OPS];
+            for (slot, p) in ops.iter_mut().zip(body) {
+                *slot = FusedOp {
+                    op: p.fast,
+                    eip: p.eip,
+                    next: p.next,
+                };
+            }
+            BlockKind::Fused(FusedGadget {
+                ops,
+                len: body.len() as u8,
                 ret_eip: ret.eip,
                 ret_next: ret.next,
             })
@@ -295,13 +362,13 @@ impl BlockCache {
         self.recent_evicts.contains(&eip)
     }
 
-    /// Probe for a fused `op; ret` gadget block: hit data is copied
+    /// Probe for a fused `op…; ret` gadget block: hit data is copied
     /// out of the header, so the caller pays no `Rc` clone and no
     /// `insns` dereference. Returns `None` for generic blocks *without*
     /// counting a hit — the caller falls back to [`BlockCache::lookup`],
     /// which counts it.
     #[inline]
-    pub fn fused_at(&mut self, eip: u32) -> Option<FusedRet> {
+    pub fn fused_at(&mut self, eip: u32) -> Option<FusedGadget> {
         match &self.slots[(eip & self.mask) as usize] {
             Some(b) if b.entry == eip => match b.kind {
                 BlockKind::Fused(f) => {
@@ -443,5 +510,94 @@ mod tests {
         let m = mem(vec![0xc2, 0x08, 0x00]); // ret 8
         let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
         assert!(matches!(b.insns[0].fast, FastOp::Slow));
+    }
+
+    #[test]
+    fn extended_fast_classification_covers_lea_xchg_test_pushpop_mem() {
+        use parallax_x86::Asm;
+        let mut a = Asm::new();
+        a.lea(Reg32::Eax, Mem::base_disp(Reg32::Ebx, 4));
+        a.xchg_rr(Reg32::Ecx, Reg32::Edx);
+        a.test_rr(Reg32::Eax, Reg32::Ecx);
+        a.test_ri(Reg32::Edx, 0x40);
+        a.push_m(Mem::base(Reg32::Ebx));
+        a.pop_m(Mem::base_disp(Reg32::Esi, 8));
+        a.ret();
+        let code = a.finish().unwrap().bytes;
+        let m = mem(code);
+        let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
+        assert!(matches!(b.insns[0].fast, FastOp::LeaRM(Reg32::Eax, _)));
+        assert!(matches!(
+            b.insns[1].fast,
+            FastOp::XchgRR(Reg32::Ecx, Reg32::Edx)
+        ));
+        assert!(matches!(
+            b.insns[2].fast,
+            FastOp::TestRR(Reg32::Eax, Reg32::Ecx)
+        ));
+        assert!(matches!(b.insns[3].fast, FastOp::TestRI(Reg32::Edx, 0x40)));
+        assert!(matches!(b.insns[4].fast, FastOp::PushM(_)));
+        assert!(matches!(b.insns[5].fast, FastOp::PopM(_)));
+    }
+
+    #[test]
+    fn two_insn_gadget_still_fuses() {
+        let m = mem(vec![0x58, 0xc3]); // pop eax; ret
+        let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
+        match b.kind {
+            BlockKind::Fused(f) => {
+                assert_eq!(f.len, 1);
+                assert!(matches!(f.ops[0].op, FastOp::PopR(Reg32::Eax)));
+                assert_eq!(f.ret_eip, 0x1001);
+            }
+            BlockKind::Generic => panic!("pop r; ret must fuse"),
+        }
+    }
+
+    #[test]
+    fn three_insn_gadget_body_fuses() {
+        use parallax_x86::Asm;
+        // pop eax; add esi, eax; mov ecx, esi; ret — a 3-op body.
+        let mut a = Asm::new();
+        a.pop_r(Reg32::Eax);
+        a.alu_rr(AluOp::Add, Reg32::Esi, Reg32::Eax);
+        a.mov_rr(Reg32::Ecx, Reg32::Esi);
+        a.ret();
+        let m = mem(a.finish().unwrap().bytes);
+        let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
+        match b.kind {
+            BlockKind::Fused(f) => {
+                assert_eq!(f.len, 3);
+                assert!(matches!(f.ops[0].op, FastOp::PopR(Reg32::Eax)));
+                assert!(matches!(
+                    f.ops[1].op,
+                    FastOp::AluRR(AluOp::Add, Reg32::Esi, Reg32::Eax)
+                ));
+                assert!(matches!(f.ops[2].op, FastOp::MovRR(Reg32::Ecx, Reg32::Esi)));
+            }
+            BlockKind::Generic => panic!("3-op gadget body must fuse"),
+        }
+    }
+
+    #[test]
+    fn slow_body_op_or_long_body_stays_generic() {
+        use parallax_x86::Asm;
+        // A body op the fast set cannot express (mul) blocks fusion.
+        let mut a = Asm::new();
+        a.pop_r(Reg32::Eax);
+        a.mul_r(Reg32::Ecx);
+        a.ret();
+        let m = mem(a.finish().unwrap().bytes);
+        let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
+        assert!(matches!(b.kind, BlockKind::Generic));
+        // A body longer than MAX_FUSED_OPS stays generic too.
+        let mut a = Asm::new();
+        for _ in 0..(MAX_FUSED_OPS + 1) {
+            a.pop_r(Reg32::Eax);
+        }
+        a.ret();
+        let m = mem(a.finish().unwrap().bytes);
+        let b = build_block(&m, 0x1000, MAX_BLOCK_INSNS).unwrap();
+        assert!(matches!(b.kind, BlockKind::Generic));
     }
 }

@@ -7,7 +7,9 @@ use parallax_image::{LinkedImage, VerifiedImage};
 use parallax_x86::insn::{AluOp, Insn, Mem, Mnemonic, OpSize, Operand, ShiftOp};
 use parallax_x86::{decode, Reg, Reg32, Reg8};
 
-use crate::block::{build_block, Block, BlockCache, BlockStats, FastOp, FusedRet, MAX_BLOCK_INSNS};
+use crate::block::{
+    build_block, Block, BlockCache, BlockStats, FastOp, FusedGadget, MAX_BLOCK_INSNS,
+};
 use crate::chaintrace::ChainTracer;
 use crate::cost::{CostModel, ReturnStackBuffer};
 use crate::cpu::{parity, Cpu, Flags};
@@ -22,13 +24,17 @@ use crate::syscall::{self, SyscallState};
 pub const CALL_SENTINEL: u32 = 0xffff_fff0;
 
 /// True if a fast op can write memory — and therefore dirty code when
-/// W⊕X is disabled. Stores and pushes; everything else fast only
-/// touches registers or reads.
+/// W⊕X is disabled. Stores, pushes, and memory pops; everything else
+/// fast only touches registers or reads.
 #[inline]
 fn op_writes_memory(op: FastOp) -> bool {
     matches!(
         op,
-        FastOp::StoreMR(..) | FastOp::PushR(_) | FastOp::PushI(_)
+        FastOp::StoreMR(..)
+            | FastOp::PushR(_)
+            | FastOp::PushI(_)
+            | FastOp::PushM(_)
+            | FastOp::PopM(_)
     )
 }
 
@@ -81,6 +87,11 @@ pub struct Vm {
     ref_decode_cache: HashMap<u32, Rc<Insn>>,
     /// Retired instruction count.
     pub instructions: u64,
+    /// Image entry point, kept so [`Vm::reset_to`] can rewind `eip`.
+    entry: u32,
+    /// Syscall RNG seed, kept so [`Vm::reset_to`] can rewind the
+    /// deterministic syscall state.
+    seed: u64,
 }
 
 impl Vm {
@@ -140,7 +151,29 @@ impl Vm {
             blocks: BlockCache::new(),
             ref_decode_cache: HashMap::new(),
             instructions: 0,
+            entry: image.entry,
+            seed: opts.seed,
         }
+    }
+
+    /// Rolls the VM back to its just-constructed state. `pristine`
+    /// must be a clone of [`Vm::mem`] taken right after construction
+    /// with the write log enabled (see [`Memory::enable_write_log`]);
+    /// rollback is then O(bytes the guest wrote) instead of O(memory
+    /// size), which is what makes probe-VM reuse cheaper than
+    /// rebuilding. The predecoded block cache is deliberately kept
+    /// hot: text is immutable under W⊕X, and restored text ranges
+    /// re-dirty so any overlapping blocks evict.
+    pub fn reset_to(&mut self, pristine: &Memory) {
+        self.mem.restore_from(pristine);
+        self.sync_code_writes();
+        self.cpu = Cpu::default();
+        self.cpu.set_esp(self.mem.initial_esp());
+        self.cpu.eip = self.entry;
+        self.cycles = 0;
+        self.instructions = 0;
+        self.rsb = ReturnStackBuffer::default();
+        self.sys = SyscallState::new(self.seed);
     }
 
     /// Total cycles retired so far.
@@ -370,62 +403,80 @@ impl Vm {
         None
     }
 
-    /// Executes a fused `op; ret` gadget block. Mirrors one pass of
+    /// Executes a fused `body…; ret` gadget block (up to
+    /// [`crate::block::MAX_FUSED_OPS`] body ops). Mirrors one pass of
     /// the generic loop in [`Vm::exec_block`] exactly, including the
-    /// between-instruction cycle-limit check. The dirty-code check is
-    /// elided when the leading op cannot write memory — only a store
-    /// (or a push landing in text with W⊕X off) can dirty code, and
+    /// between-instruction cycle-limit checks. The dirty-code check is
+    /// elided after ops that cannot write memory — only a store, push,
+    /// or memory pop landing in text with W⊕X off can dirty code, and
     /// `sync_code_writes` already drained at block entry.
     #[inline]
-    fn exec_fused(&mut self, f: FusedRet) -> Option<Exit> {
-        // `pop r32; ret` — two adjacent stack reads, resolved once.
-        // `pop esp` pivots the stack, so its ret target lives at the
-        // *new* esp, not esp+4: that shape takes the sequential path.
-        if let FastOp::PopR(r) = f.op {
-            let esp = self.cpu.esp();
-            if r != Reg32::Esp {
-                if let Ok((v, target)) = self.mem.read32_pair(esp) {
-                    self.instructions += 1;
-                    self.cpu.set_reg(r, v);
-                    self.cpu.set_esp(esp.wrapping_add(4));
-                    let pop_cost = self.cost.alu + self.cost.mem;
-                    self.cycles += pop_cost;
-                    if let Some(p) = self.profiler.as_mut() {
-                        p.record(f.op_eip, pop_cost);
-                    }
-                    if self.cycles >= self.cycle_limit {
-                        self.cpu.eip = f.ret_eip;
-                        return Some(Exit::CycleLimit);
-                    }
-                    self.instructions += 1;
-                    let predicted = self.rsb.pop_and_check(target);
-                    let ret_cost = if predicted {
-                        self.cost.ret_predicted
-                    } else {
-                        self.cost.ret_mispredict
-                    };
-                    if let Some(ct) = self.chain_tracer.as_mut() {
-                        ct.note_ret(target, self.cycles + ret_cost);
-                    }
-                    self.cpu.set_esp(esp.wrapping_add(8));
-                    self.cpu.eip = target;
-                    self.cycles += ret_cost;
-                    if let Some(p) = self.profiler.as_mut() {
-                        p.record(f.ret_eip, ret_cost);
-                    }
+    fn exec_fused(&mut self, f: FusedGadget) -> Option<Exit> {
+        let len = f.len as usize;
+        for idx in 0..len {
+            let op = f.ops[idx];
+            if idx > 0 {
+                if self.cycles >= self.cycle_limit {
+                    return Some(Exit::CycleLimit);
+                }
+                if op_writes_memory(f.ops[idx - 1].op) && self.mem.has_dirty_code() {
+                    // A body op patched code (W⊕X off). Bail out so the
+                    // rest re-decodes fresh.
                     return None;
                 }
-                // Pair read failed (region boundary / fault): take
-                // the exact sequential path below.
             }
-        }
-        if let Err(fault) = self.exec_fast(f.op, f.op_eip, f.op_next) {
-            return Some(Exit::Fault(fault));
+            // The final `pop r32; ret` — two adjacent stack reads,
+            // resolved once. `pop esp` pivots the stack, so its ret
+            // target lives at the *new* esp, not esp+4: that shape
+            // takes the sequential path.
+            if idx + 1 == len {
+                if let FastOp::PopR(r) = op.op {
+                    if r != Reg32::Esp {
+                        let esp = self.cpu.esp();
+                        if let Ok((v, target)) = self.mem.read32_pair(esp) {
+                            self.instructions += 1;
+                            self.cpu.set_reg(r, v);
+                            self.cpu.set_esp(esp.wrapping_add(4));
+                            let pop_cost = self.cost.alu + self.cost.mem;
+                            self.cycles += pop_cost;
+                            if let Some(p) = self.profiler.as_mut() {
+                                p.record(op.eip, pop_cost);
+                            }
+                            if self.cycles >= self.cycle_limit {
+                                self.cpu.eip = f.ret_eip;
+                                return Some(Exit::CycleLimit);
+                            }
+                            self.instructions += 1;
+                            let predicted = self.rsb.pop_and_check(target);
+                            let ret_cost = if predicted {
+                                self.cost.ret_predicted
+                            } else {
+                                self.cost.ret_mispredict
+                            };
+                            if let Some(ct) = self.chain_tracer.as_mut() {
+                                ct.note_ret(target, self.cycles + ret_cost);
+                            }
+                            self.cpu.set_esp(esp.wrapping_add(8));
+                            self.cpu.eip = target;
+                            self.cycles += ret_cost;
+                            if let Some(p) = self.profiler.as_mut() {
+                                p.record(f.ret_eip, ret_cost);
+                            }
+                            return None;
+                        }
+                        // Pair read failed (region boundary / fault):
+                        // take the exact sequential path below.
+                    }
+                }
+            }
+            if let Err(fault) = self.exec_fast(op.op, op.eip, op.next) {
+                return Some(Exit::Fault(fault));
+            }
         }
         if self.cycles >= self.cycle_limit {
             return Some(Exit::CycleLimit);
         }
-        if op_writes_memory(f.op) && self.mem.has_dirty_code() {
+        if op_writes_memory(f.ops[len - 1].op) && self.mem.has_dirty_code() {
             return None;
         }
         if let Err(fault) = self.exec_fast(FastOp::Ret, f.ret_eip, f.ret_next) {
@@ -549,6 +600,49 @@ impl Vm {
                 }
                 self.mem.write32(ea, self.cpu.reg(s))?;
                 self.cost.alu + self.cost.mem
+            }
+            // `lea` computes an address without touching memory, so
+            // like `exec_insn` it charges no memory cost.
+            FastOp::LeaRM(d, m) => {
+                let ea = self.ea(&m);
+                self.cpu.set_reg(d, ea);
+                self.cost.alu
+            }
+            FastOp::XchgRR(d, s) => {
+                let a = self.cpu.reg(d);
+                let b = self.cpu.reg(s);
+                self.cpu.set_reg(d, b);
+                self.cpu.set_reg(s, a);
+                self.cost.alu
+            }
+            FastOp::TestRR(d, s) => {
+                let a = self.cpu.reg(d);
+                let b = self.cpu.reg(s);
+                self.alu(AluOp::And, a, b, OpSize::Dword);
+                self.cost.alu
+            }
+            FastOp::TestRI(d, v) => {
+                let a = self.cpu.reg(d);
+                self.alu(AluOp::And, a, v, OpSize::Dword);
+                self.cost.alu
+            }
+            // Push-from-memory and pop-to-memory each touch two memory
+            // locations, matching `exec_insn`'s operand-scan cost plus
+            // the Push/Pop arm's extra `mem` charge.
+            FastOp::PushM(m) => {
+                let ea = self.ea(&m);
+                let v = self.mem.read32(ea)?;
+                self.push(v)?;
+                self.cost.alu + self.cost.mem + self.cost.mem
+            }
+            FastOp::PopM(m) => {
+                // Pop first: `pop [esp+d]` computes its address with
+                // the already-incremented esp (x86 semantics, exactly
+                // as `exec_insn`'s Pop arm orders it).
+                let v = self.pop()?;
+                let ea = self.ea(&m);
+                self.mem.write32(ea, v)?;
+                self.cost.alu + self.cost.mem + self.cost.mem
             }
             FastOp::Slow => unreachable!("Slow ops take the exec_insn path"),
         };

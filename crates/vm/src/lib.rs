@@ -47,7 +47,7 @@ pub mod mem;
 pub mod profile;
 pub mod syscall;
 
-pub use block::{BlockStats, BLOCK_CACHE_SLOTS, MAX_BLOCK_INSNS};
+pub use block::{BlockStats, BLOCK_CACHE_SLOTS, MAX_BLOCK_INSNS, MAX_FUSED_OPS};
 pub use chaintrace::{ChainTracer, Dispatch, Episode};
 pub use cost::{CostModel, ReturnStackBuffer, RSB_DEPTH};
 pub use cpu::{Cpu, Flags};

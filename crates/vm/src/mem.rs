@@ -41,6 +41,13 @@ pub struct Memory {
     /// execution engine can invalidate exactly the predecoded blocks
     /// that overlap, instead of guessing.
     dirty_code: Vec<(u32, u32)>,
+    /// Coalescing log of byte ranges written since the last
+    /// [`Memory::restore_from`], recorded by every successful write
+    /// path. `None` (the default) disables logging entirely so normal
+    /// VMs pay nothing; probe VMs opt in via
+    /// [`Memory::enable_write_log`] to make reseeding O(bytes written)
+    /// instead of O(memory size).
+    write_log: Option<Vec<(u32, u32)>>,
 }
 
 impl Memory {
@@ -64,7 +71,75 @@ impl Memory {
             stack_base: STACK_TOP - STACK_SIZE,
             w_xor_x: true,
             dirty_code: Vec::new(),
+            write_log: None,
         }
+    }
+
+    /// Starts recording written byte ranges for [`Memory::restore_from`].
+    /// Consecutive writes to adjacent addresses coalesce into one range,
+    /// so the sequential fills and pushes that dominate probe runs cost
+    /// one log entry each.
+    pub fn enable_write_log(&mut self) {
+        if self.write_log.is_none() {
+            self.write_log = Some(Vec::new());
+        }
+    }
+
+    #[inline]
+    fn log_write(&mut self, start: u32, end: u32) {
+        if let Some(log) = self.write_log.as_mut() {
+            match log.last_mut() {
+                Some(last) if last.1 == start => last.1 = end,
+                _ => log.push((start, end)),
+            }
+        }
+    }
+
+    /// Rolls every logged write back to the bytes in `pristine` — a
+    /// clone of this memory taken before any guest writes — and drains
+    /// the log. A no-op when logging is disabled. Restored text ranges
+    /// are pushed to `dirty_code` so the block cache re-observes the
+    /// original bytes; a logged range can span region boundaries only
+    /// if regions are address-adjacent, so each range is walked and
+    /// clamped at the containing region's end.
+    pub fn restore_from(&mut self, pristine: &Memory) {
+        let Some(mut log) = self.write_log.take() else {
+            return;
+        };
+        for &(range_start, range_end) in &log {
+            let mut start = range_start;
+            while start < range_end {
+                let stop;
+                if start >= self.data_base && start < self.data_end() {
+                    stop = range_end.min(self.data_end());
+                    let a = (start - self.data_base) as usize;
+                    let b = (stop - self.data_base) as usize;
+                    self.data[a..b].copy_from_slice(&pristine.data[a..b]);
+                } else if start >= self.stack_base && start < STACK_TOP {
+                    stop = range_end.min(STACK_TOP);
+                    let a = (start - self.stack_base) as usize;
+                    let b = (stop - self.stack_base) as usize;
+                    self.stack[a..b].copy_from_slice(&pristine.stack[a..b]);
+                } else if start >= self.text_base && start < self.text_end() {
+                    stop = range_end.min(self.text_end());
+                    let a = (start - self.text_base) as usize;
+                    let b = (stop - self.text_base) as usize;
+                    self.text[a..b].copy_from_slice(&pristine.text[a..b]);
+                    if let Some(ic) = self.icache.as_mut() {
+                        let src = pristine.icache.as_deref().unwrap_or(&pristine.text);
+                        ic[a..b].copy_from_slice(&src[a..b]);
+                    }
+                    self.dirty_code.push((start, stop));
+                } else {
+                    // Every logged write was bounds-checked, so this is
+                    // unreachable; bail rather than spin.
+                    break;
+                }
+                start = stop;
+            }
+        }
+        log.clear();
+        self.write_log = Some(log);
     }
 
     /// True if code bytes changed since the last [`Memory::take_dirty_code`].
@@ -140,6 +215,7 @@ impl Memory {
         let off = (vaddr - base) as usize;
         icache[off..off + bytes.len()].copy_from_slice(bytes);
         self.dirty_code.push((vaddr, vaddr + bytes.len() as u32));
+        self.log_write(vaddr, vaddr + bytes.len() as u32);
         Ok(())
     }
 
@@ -155,6 +231,7 @@ impl Memory {
             ic[off..off + bytes.len()].copy_from_slice(bytes);
         }
         self.dirty_code.push((vaddr, vaddr + bytes.len() as u32));
+        self.log_write(vaddr, vaddr + bytes.len() as u32);
         Ok(())
     }
 
@@ -226,15 +303,18 @@ impl Memory {
         let end = vaddr as u64 + len as u64;
         if vaddr >= self.data_base && end <= self.data_end() as u64 {
             let off = (vaddr - self.data_base) as usize;
+            self.log_write(vaddr, end as u32);
             Ok((&mut self.data, off))
         } else if vaddr >= self.stack_base && end <= STACK_TOP as u64 {
             let off = (vaddr - self.stack_base) as usize;
+            self.log_write(vaddr, end as u32);
             Ok((&mut self.stack, off))
         } else if vaddr >= self.text_base && end <= self.text_end() as u64 {
             if self.w_xor_x {
                 return Err(Fault::new(vaddr, FaultKind::WriteToText));
             }
             self.dirty_code.push((vaddr, end as u32));
+            self.log_write(vaddr, end as u32);
             Ok((&mut self.text, (vaddr - self.text_base) as usize))
         } else {
             Err(Fault::new(vaddr, FaultKind::OutOfBounds))
@@ -330,6 +410,53 @@ mod tests {
             m.read32(m.data_end() - 2).unwrap_err().kind,
             FaultKind::OutOfBounds
         );
+    }
+
+    #[test]
+    fn write_log_restore_rolls_back_all_regions() {
+        let mut m = mem();
+        m.w_xor_x = false;
+        m.enable_split_cache();
+        m.enable_write_log();
+        let pristine = m.clone();
+        m.write32(0x2004, 0xdeadbeef).unwrap();
+        let sp = m.initial_esp();
+        m.write32(sp - 4, 42).unwrap();
+        m.write8(0x1000, 0xcc).unwrap();
+        m.write_icache(0x1001, &[0xcc]).unwrap();
+        m.take_dirty_code();
+        m.restore_from(&pristine);
+        assert_eq!(m.read32(0x2004).unwrap(), 0);
+        assert_eq!(m.read32(sp - 4).unwrap(), 0);
+        assert_eq!(m.read8(0x1000).unwrap(), 0x90);
+        assert_eq!(m.fetch(0x1001).unwrap()[0], 0xc3);
+        // Restoring text must re-dirty it so block caches re-observe.
+        assert!(m.has_dirty_code());
+        // The log drained; a second restore is a no-op that stays enabled.
+        m.restore_from(&pristine);
+        m.write8(0x2000, 9).unwrap();
+        m.restore_from(&pristine);
+        assert_eq!(m.read8(0x2000).unwrap(), 1);
+    }
+
+    #[test]
+    fn write_log_coalesces_adjacent_writes() {
+        let mut m = mem();
+        m.enable_write_log();
+        for i in 0..64u32 {
+            m.write32(0x2000 + 4 * i, i).unwrap();
+        }
+        assert_eq!(m.write_log.as_ref().unwrap().len(), 1);
+        assert_eq!(m.write_log.as_ref().unwrap()[0], (0x2000, 0x2100));
+    }
+
+    #[test]
+    fn restore_without_log_is_noop() {
+        let mut m = mem();
+        let pristine = m.clone();
+        m.write8(0x2000, 7).unwrap();
+        m.restore_from(&pristine);
+        assert_eq!(m.read8(0x2000).unwrap(), 7);
     }
 
     #[test]
