@@ -830,8 +830,9 @@ fn run_pipeline(
     let wall = Instant::now();
     // Cap the fan-out to what the task count can feed: spawning more
     // workers than (bounded) tasks only adds join overhead — the
-    // measured jobs8-slower-than-jobs1 regression.
-    let jobs = parallax_pool::effective_workers(jobs, gen_ctx.len() * nvariants);
+    // measured jobs8-slower-than-jobs1 regression. Two tasks per
+    // worker at minimum, or the spawn cost dominates the compile.
+    let jobs = parallax_pool::effective_workers_for(jobs, gen_ctx.len() * nvariants, 2);
     let (compiled, pstats) = parallax_pool::scoped_map(jobs, gen_ctx.len() * nvariants, |t, _w| {
         let (i, v) = (t / nvariants, t % nvariants);
         let t0 = Instant::now();
@@ -1194,6 +1195,14 @@ fn scan_gadgets(
                     // `plx profile` can rank it against real work.
                     t.count("vm.probe.builds", vstats.probe_builds);
                     t.count("vm.probe.build_ns", vstats.probe_build_ns);
+                    // Shared-trial validation work: probe executions
+                    // actually performed, the per-(effect, trial) runs
+                    // avoided, and scratch words written — the rows
+                    // `plx report` prints under "gadget validation".
+                    t.count("vm.probe.proposals", vstats.probe.proposals);
+                    t.count("vm.probe.runs", vstats.probe.runs);
+                    t.count("vm.probe.runs_saved", vstats.probe.runs_saved);
+                    t.count("vm.probe.reseed_words", vstats.probe.reseed_words);
                     t.count("pool.scan.merge_ns", vstats.merge_ns);
                     if vstats.pool.workers > 0 {
                         vstats.pool.export_to(t, "scan");

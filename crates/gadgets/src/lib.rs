@@ -45,7 +45,7 @@ pub use mapping::{GadgetMap, RangeSet, TypeKey};
 pub use scan::{scan, scan_with_stats, Candidate, ScanStats, MAX_GADGET_BYTES, MAX_GADGET_INSNS};
 pub use serialize::{deserialize_gadgets, serialize_gadgets};
 pub use types::{Effect, GBinOp, Gadget};
-pub use validate::{validate, validate_with, ProbeVm};
+pub use validate::{validate, validate_with, ProbeStats, ProbeVm};
 
 use parallax_image::LinkedImage;
 
@@ -126,6 +126,10 @@ pub struct ValidateStats {
     /// Scheduling statistics of the validation pool run. Defaulted
     /// (zero workers) when the run stayed inline.
     pub pool: parallax_pool::PoolStats,
+    /// Probe-work counters summed over every worker's [`ProbeVm`]
+    /// (proposals, probe runs, runs the shared-trial path avoided,
+    /// scratch words reseeded).
+    pub probe: ProbeStats,
 }
 
 /// [`find_gadgets_with_stats_jobs`] consulting (and populating) a
@@ -151,6 +155,7 @@ pub fn find_gadgets_instrumented(
     let (cands, stats) = scan_with_stats(&img.text, img.text_base);
     let probe_builds = AtomicU64::new(0);
     let probe_build_ns = AtomicU64::new(0);
+    let probe_stats = std::sync::Mutex::new(ProbeStats::default());
     // One ProbeVm per *worker*, not per chunk: construction (zeroing
     // ~1.5 MiB of VM memory) measured as a top blocker, so workers
     // amortize one build over every chunk they execute and reset the
@@ -184,10 +189,15 @@ pub fn find_gadgets_instrumented(
             }
             out.extend(g);
         }
+        // Drain this chunk's probe counters into the shared total (a
+        // handful of lock acquisitions per scan — uncontended).
+        probe_stats.lock().unwrap().merge(&probe.take_stats());
         out
     };
-    let workers = parallax_pool::effective_workers(jobs, cands.len());
-    if workers == 1 || cands.len() < 64 {
+    // 64 candidates per worker at minimum (the cost of building each
+    // worker's probe VM needs that much validation work to pay off).
+    let workers = parallax_pool::effective_workers_for(jobs, cands.len(), 64);
+    if workers == 1 {
         let mut probe = build_probe();
         let gadgets = validate_chunk(&mut probe, &cands);
         let vstats = ValidateStats {
@@ -195,6 +205,7 @@ pub fn find_gadgets_instrumented(
             probe_build_ns: probe_build_ns.into_inner(),
             merge_ns: 0,
             pool: parallax_pool::PoolStats::default(),
+            probe: probe_stats.into_inner().unwrap(),
         };
         return (gadgets, stats, vstats);
     }
@@ -217,6 +228,7 @@ pub fn find_gadgets_instrumented(
         probe_build_ns: probe_build_ns.into_inner(),
         merge_ns: t0.elapsed().as_nanos() as u64,
         pool,
+        probe: probe_stats.into_inner().unwrap(),
     };
     (gadgets, stats, vstats)
 }

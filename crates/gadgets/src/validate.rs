@@ -7,6 +7,14 @@
 //! only effects whose observable outcome matches survive. This mirrors
 //! the semantic gadget discovery of Q/ROPC on which the paper's
 //! prototype is built.
+//!
+//! Validation is *shared-trial*: a probe run is a pure function of
+//! `(proposal, seed)` and the seed depends only on the candidate
+//! address and the trial index, so one run per trial serves every
+//! effect of the proposal. Effects that fail a trial drop out of a
+//! liveness mask; survivors are re-checked against the second trial's
+//! run. The legacy one-probe-per-(effect, trial) path is preserved in
+//! [`legacy`] as the differential oracle.
 
 use parallax_image::LinkedImage;
 use parallax_vm::{Memory, Vm, VmOptions, CALL_SENTINEL, STACK_TOP};
@@ -22,6 +30,11 @@ const PROBE_STEPS: usize = 64;
 /// scratch pointer).
 const SCRATCH_WORDS: usize = 256;
 
+/// Effect liveness is tracked in a `u64` bitmask; proposals with more
+/// effects than fit (none exist in practice — the classifier emits a
+/// handful at most) take the legacy per-effect path.
+const MAX_SHARED_EFFECTS: usize = 64;
+
 fn prng(seed: &mut u64) -> u32 {
     let mut x = *seed;
     x ^= x >> 12;
@@ -31,47 +44,140 @@ fn prng(seed: &mut u64) -> u32 {
     (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u32
 }
 
-/// Pre-execution contents of the eight scratch regions, stored flat.
-/// Replaces a per-probe `HashMap<u32, u32>` of 2048 inserts: lookups
-/// scan eight region bases and index directly, and the snapshot is the
-/// same buffer the batch fill writes through — no per-word bookkeeping.
+/// Counters for probe-VM validation work, exported to traces as
+/// `vm.probe.{proposals,runs,runs_saved,reseed_words}`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProbeStats {
+    /// Proposals validated.
+    pub proposals: u64,
+    /// Probe executions actually performed (at most 2 per proposal —
+    /// one per trial — regardless of effect count).
+    pub runs: u64,
+    /// Probe executions the legacy per-(effect, trial) loop would have
+    /// performed *in addition to* `runs`.
+    pub runs_saved: u64,
+    /// Scratch words written into the probe VM, counting both the
+    /// trial-1 batch seeding and the targeted trial-2 restore.
+    pub reseed_words: u64,
+}
+
+impl ProbeStats {
+    /// Accumulates `other` into `self` (for merging per-worker stats).
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.proposals += other.proposals;
+        self.runs += other.runs;
+        self.runs_saved += other.runs_saved;
+        self.reseed_words += other.reseed_words;
+    }
+}
+
+/// Pre-execution contents of the eight scratch regions, stored flat as
+/// little-endian bytes, region-major. One buffer serves three duties:
+/// the PRNG words are generated straight into it, each region is
+/// seeded from it with a single `write_bytes`, and the trial-2 restore
+/// copies dirtied spans back out of it.
 struct ScratchPre {
     /// Region start addresses (scratch pointer − 0x200 each).
     bases: [u32; 8],
-    /// `SCRATCH_WORDS` words per region, region-major.
-    words: Vec<u32>,
+    /// `SCRATCH_WORDS * 4` bytes per region.
+    words: Vec<u8>,
 }
 
 impl ScratchPre {
+    fn empty() -> ScratchPre {
+        ScratchPre {
+            bases: [0; 8],
+            words: Vec::with_capacity(8 * SCRATCH_WORDS * 4),
+        }
+    }
+
     /// The snapshotted word at `addr`, if `addr` is a word-aligned
-    /// offset inside any scratch region — exactly the keys the old
-    /// hash snapshot contained (regions are 0x1000 apart, so they
-    /// never overlap).
+    /// offset inside any scratch region (regions are 0x1000 apart, so
+    /// they never overlap).
     fn get(&self, addr: u32) -> Option<u32> {
         for (i, &b) in self.bases.iter().enumerate() {
             let off = addr.wrapping_sub(b);
             if off < (SCRATCH_WORDS as u32) * 4 && off % 4 == 0 {
-                return Some(self.words[i * SCRATCH_WORDS + (off / 4) as usize]);
+                let at = i * SCRATCH_WORDS * 4 + off as usize;
+                return Some(u32::from_le_bytes(
+                    self.words[at..at + 4].try_into().unwrap(),
+                ));
             }
         }
         None
     }
 }
 
+/// Buffers reused across proposals so probe setup performs no per-probe
+/// heap allocation: [`ProbeVm`] owns one set for its whole lifetime.
+struct ProbeBufs {
+    /// Registers that must hold scratch pointers (mem preconditions
+    /// plus every memory-effect address register), computed once per
+    /// proposal.
+    needs_scratch: Vec<Reg32>,
+    /// Chain canary values for the current run.
+    canaries: Vec<u32>,
+    /// Scratch snapshot/fill slab for the current proposal.
+    pre: ScratchPre,
+    /// Write-log cursor taken right after the trial-1 scratch fill;
+    /// everything logged past it is what the probe itself dirtied.
+    log_mark: usize,
+    /// Staging for the dirtied ranges (the log cannot be borrowed
+    /// while restoring through it).
+    dirty: Vec<(u32, u32)>,
+}
+
+impl ProbeBufs {
+    fn new() -> ProbeBufs {
+        ProbeBufs {
+            needs_scratch: Vec::new(),
+            canaries: Vec::new(),
+            pre: ScratchPre::empty(),
+            log_mark: 0,
+            dirty: Vec::new(),
+        }
+    }
+}
+
+/// Post-execution probe state, shared by every effect check of a trial.
 struct Probe<'v> {
-    vm: &'v mut Vm,
+    vm: &'v Vm,
     esp0: u32,
     init_regs: [u32; 8],
-    canaries: Vec<u32>,
+    canaries: &'v [u32],
     /// Pre-execution contents of the scratch regions.
-    pre_mem: ScratchPre,
+    pre_mem: &'v ScratchPre,
+}
+
+/// Which trial of the proposal a probe run belongs to. Trial 1 seeds
+/// all eight scratch regions from the PRNG stream (batched into
+/// `bufs.pre.words`, one `write_bytes` per region) and marks the write
+/// log. Trial 2 reuses the trial-1 scratch snapshot: instead of
+/// redrawing 2048 words it restores only the spans the previous run
+/// dirtied, read back from the slab through the write log. The
+/// register/flag draws are identical to the legacy stream either way
+/// (they precede the scratch draws).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TrialKind {
+    First,
+    Second,
 }
 
 /// Runs the gadget once with randomized state in a reusable probe VM
 /// (every location the checks depend on is rewritten per run). Returns
-/// the probe for inspection, or `None` if the gadget faulted, ran away,
-/// or never returned to the chain.
-fn run_probe<'v>(vm: &'v mut Vm, p: &Proposal, seed: &mut u64) -> Option<Probe<'v>> {
+/// `(esp0, init_regs)` for [`Probe`] assembly — the canaries and
+/// scratch snapshot land in `bufs` — or `None` if the gadget faulted,
+/// ran away, or never returned to the chain.
+fn run_probe(
+    vm: &mut Vm,
+    p: &Proposal,
+    seed: &mut u64,
+    kind: TrialKind,
+    bufs: &mut ProbeBufs,
+    stats: &mut ProbeStats,
+) -> Option<(u32, [u32; 8])> {
+    stats.runs += 1;
+
     // Scratch pointers for memory-operand registers: spaced regions in
     // the VM heap, pre-filled with random words.
     let heap = vm.mem().heap_base();
@@ -80,27 +186,12 @@ fn run_probe<'v>(vm: &'v mut Vm, p: &Proposal, seed: &mut u64) -> Option<Probe<'
         *s = heap + 0x1000 + i as u32 * 0x1000 + 0x800; // ±0x800 disp headroom
     }
 
-    // Which registers must hold scratch pointers?
-    let mut needs_scratch = p.mem_preconditions.clone();
-    for e in &p.effects {
-        match e {
-            Effect::LoadMem { addr, .. }
-            | Effect::StoreMem { addr, .. }
-            | Effect::AddMem { addr, .. }
-                if !needs_scratch.contains(addr) =>
-            {
-                needs_scratch.push(*addr);
-            }
-            _ => {}
-        }
-    }
-
     let mut init_regs = [0u32; 8];
     for r in Reg32::ALL {
         if r == Reg32::Esp {
             continue;
         }
-        let v = if needs_scratch.contains(&r) {
+        let v = if bufs.needs_scratch.contains(&r) {
             scratch[r.encoding() as usize]
         } else {
             // Arbitrary but non-address values.
@@ -121,31 +212,95 @@ fn run_probe<'v>(vm: &'v mut Vm, p: &Proposal, seed: &mut u64) -> Option<Probe<'
     vm.cpu.flags.sf = prng(seed) & 1 != 0;
     vm.cpu.flags.of = prng(seed) & 1 != 0;
 
-    // Fill scratch memory with random words and snapshot it. The words
-    // are generated in the same order the per-word loop used, so the
-    // PRNG stream (and therefore every probe outcome) is unchanged; the
-    // VM write is one `write_bytes` per region instead of 256 `write32`s.
-    let mut pre_mem = ScratchPre {
-        bases: scratch.map(|s| s - 0x200),
-        words: Vec::with_capacity(8 * SCRATCH_WORDS),
-    };
-    let mut bytes = [0u8; SCRATCH_WORDS * 4];
-    for s in scratch {
-        for chunk in bytes.chunks_exact_mut(4) {
-            let v = prng(seed);
-            pre_mem.words.push(v);
-            chunk.copy_from_slice(&v.to_le_bytes());
+    // A probe can only address scratch through a register that holds a
+    // scratch pointer, and only `needs_scratch` registers ever do: a
+    // proposal without memory operands cannot observe scratch contents,
+    // so its trials skip seeding (and restoring) the regions entirely.
+    let uses_scratch = !bufs.needs_scratch.is_empty();
+    match kind {
+        TrialKind::First if !uses_scratch => {
+            // Empty the snapshot so stale lookups from a previous
+            // proposal cannot resolve.
+            bufs.pre.bases = [0; 8];
+            bufs.pre.words.clear();
         }
-        vm.mem_mut().write_bytes(s - 0x200, &bytes).ok()?;
+        TrialKind::Second if !uses_scratch => {}
+        TrialKind::First => {
+            // Fill scratch memory with random words and snapshot it.
+            // The draw order matches the historical per-word loop, so
+            // the PRNG stream (and every trial-1 outcome) is unchanged.
+            bufs.pre.bases = scratch.map(|s| s - 0x200);
+            bufs.pre.words.resize(8 * SCRATCH_WORDS * 4, 0);
+            for (i, s) in scratch.iter().enumerate() {
+                let span = i * SCRATCH_WORDS * 4..(i + 1) * SCRATCH_WORDS * 4;
+                let region = &mut bufs.pre.words[span.clone()];
+                for chunk in region.chunks_exact_mut(4) {
+                    chunk.copy_from_slice(&prng(seed).to_le_bytes());
+                }
+                vm.mem_mut()
+                    .write_bytes(s - 0x200, &bufs.pre.words[span])
+                    .ok()?;
+            }
+            stats.reseed_words += (8 * SCRATCH_WORDS) as u64;
+            bufs.log_mark = vm.mem().write_log_len();
+        }
+        TrialKind::Second => {
+            // Reuse the trial-1 scratch snapshot: restore only the
+            // spans the previous run dirtied inside the regions, from
+            // the slab, via the write log. (The trial-1 words are as
+            // random as a fresh draw; every check compares against the
+            // same `pre_mem` snapshot the probe executes on, so the
+            // verdict criterion is unchanged — `tests/shared_trial.rs`
+            // holds this equal to the legacy redraw path.) When the
+            // log is disabled the fallback rewrites all eight regions.
+            let mut restored_words = 0u64;
+            bufs.dirty.clear();
+            let logged = match vm.mem().write_log_since(bufs.log_mark) {
+                Some(ranges) => {
+                    bufs.dirty.extend_from_slice(ranges);
+                    true
+                }
+                None => false,
+            };
+            if logged {
+                for (i, &base) in bufs.pre.bases.iter().enumerate() {
+                    let end = base + (SCRATCH_WORDS as u32) * 4;
+                    for &(ws, we) in &bufs.dirty {
+                        let (s, e) = (ws.max(base), we.min(end));
+                        if s >= e {
+                            continue;
+                        }
+                        // Word-align outward; the slab holds the full
+                        // pre-image, so widening is always safe.
+                        let (s, e) = (s & !3, (e + 3) & !3);
+                        let at = i * SCRATCH_WORDS * 4 + (s - base) as usize;
+                        let len = (e - s) as usize;
+                        vm.mem_mut()
+                            .write_bytes(s, &bufs.pre.words[at..at + len])
+                            .ok()?;
+                        restored_words += (len / 4) as u64;
+                    }
+                }
+            } else {
+                for (i, s) in scratch.iter().enumerate() {
+                    let at = i * SCRATCH_WORDS * 4;
+                    vm.mem_mut()
+                        .write_bytes(s - 0x200, &bufs.pre.words[at..at + SCRATCH_WORDS * 4])
+                        .ok()?;
+                }
+                restored_words = (8 * SCRATCH_WORDS) as u64;
+            }
+            stats.reseed_words += restored_words;
+        }
     }
 
     // Lay out the probe chain: `slots` canaries, then the sentinel,
     // then a dummy CS slot for far returns.
     let esp0 = STACK_TOP - 0x2000;
-    let mut canaries = Vec::new();
+    bufs.canaries.clear();
     for k in 0..p.slots {
         let c = prng(seed);
-        canaries.push(c);
+        bufs.canaries.push(c);
         vm.mem_mut().write32(esp0 + 4 * k, c).ok()?;
     }
     vm.mem_mut()
@@ -160,7 +315,7 @@ fn run_probe<'v>(vm: &'v mut Vm, p: &Proposal, seed: &mut u64) -> Option<Probe<'
         let landing = esp0 + 0x100;
         vm.mem_mut().write32(landing, CALL_SENTINEL).ok()?;
         for k in 0..p.slots {
-            canaries[k as usize] = landing;
+            bufs.canaries[k as usize] = landing;
             vm.mem_mut().write32(esp0 + 4 * k, landing).ok()?;
         }
     }
@@ -179,13 +334,7 @@ fn run_probe<'v>(vm: &'v mut Vm, p: &Proposal, seed: &mut u64) -> Option<Probe<'
 
     for _ in 0..PROBE_STEPS {
         if vm.cpu.eip == CALL_SENTINEL {
-            return Some(Probe {
-                vm,
-                esp0,
-                init_regs,
-                canaries,
-                pre_mem,
-            });
+            return Some((esp0, init_regs));
         }
         match vm.step() {
             Ok(None) => {}
@@ -295,30 +444,86 @@ fn check_effect(e: &Effect, pr: &Probe, p: &Proposal) -> bool {
     }
 }
 
-/// Concretely validates a proposal against a reusable probe VM loaded
-/// with the image under analysis; returns the surviving gadget, or
-/// `None` if no proposed effect holds up.
-pub fn validate_with(vm: &mut Vm, p: &Proposal) -> Option<Gadget> {
-    let mut surviving = Vec::new();
-    'effects: for e in &p.effects {
-        for trial in 0..2u64 {
-            let mut seed = 0x9e37_79b9_7f4a_7c15u64
-                ^ ((p.cand.vaddr as u64) << 16)
-                ^ (trial * 0x1234_5677 + 1);
-            match run_probe(vm, p, &mut seed) {
-                Some(pr) => {
-                    if !check_effect(e, &pr, p) {
-                        continue 'effects;
-                    }
-                }
-                None => continue 'effects,
-            }
-        }
-        surviving.push(*e);
-    }
-    if surviving.is_empty() {
+/// The shared-trial core: one probe run per trial, every live effect
+/// checked against it. Effects that fail a trial leave the liveness
+/// mask; a probe fault kills the whole proposal (the legacy path would
+/// have faulted identically for every effect — same seed, same
+/// execution).
+fn validate_shared(
+    vm: &mut Vm,
+    p: &Proposal,
+    bufs: &mut ProbeBufs,
+    stats: &mut ProbeStats,
+) -> Option<Gadget> {
+    stats.proposals += 1;
+    let ne = p.effects.len();
+    if ne == 0 {
         return None;
     }
+    if ne > MAX_SHARED_EFFECTS {
+        return legacy::validate_with(vm, p);
+    }
+
+    // Which registers must hold scratch pointers? Computed once per
+    // proposal (the legacy path recomputed this per probe).
+    bufs.needs_scratch.clear();
+    bufs.needs_scratch.extend_from_slice(&p.mem_preconditions);
+    for e in &p.effects {
+        match e {
+            Effect::LoadMem { addr, .. }
+            | Effect::StoreMem { addr, .. }
+            | Effect::AddMem { addr, .. }
+                if !bufs.needs_scratch.contains(addr) =>
+            {
+                bufs.needs_scratch.push(*addr);
+            }
+            _ => {}
+        }
+    }
+
+    let mut alive: u64 = if ne == 64 { u64::MAX } else { (1 << ne) - 1 };
+    let mut legacy_runs = 0u64;
+    let mut actual_runs = 0u64;
+    for (trial, kind) in [(0u64, TrialKind::First), (1, TrialKind::Second)] {
+        if alive == 0 {
+            break;
+        }
+        // What the per-(effect, trial) loop would have spent here: one
+        // probe per effect still alive at this trial.
+        legacy_runs += u64::from(alive.count_ones());
+        let mut seed =
+            0x9e37_79b9_7f4a_7c15u64 ^ ((p.cand.vaddr as u64) << 16) ^ (trial * 0x1234_5677 + 1);
+        actual_runs += 1;
+        match run_probe(vm, p, &mut seed, kind, bufs, stats) {
+            Some((esp0, init_regs)) => {
+                let pr = Probe {
+                    vm,
+                    esp0,
+                    init_regs,
+                    canaries: &bufs.canaries,
+                    pre_mem: &bufs.pre,
+                };
+                for (i, e) in p.effects.iter().enumerate() {
+                    if alive >> i & 1 == 1 && !check_effect(e, &pr, p) {
+                        alive &= !(1 << i);
+                    }
+                }
+            }
+            None => alive = 0,
+        }
+    }
+    stats.runs_saved += legacy_runs.saturating_sub(actual_runs);
+
+    if alive == 0 {
+        return None;
+    }
+    let surviving: Vec<Effect> = p
+        .effects
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| alive >> i & 1 == 1)
+        .map(|(_, e)| *e)
+        .collect();
     Some(Gadget {
         vaddr: p.cand.vaddr,
         len: p.cand.len,
@@ -330,6 +535,16 @@ pub fn validate_with(vm: &mut Vm, p: &Proposal) -> Option<Gadget> {
         disasm: p.cand.disasm(),
         insn_count: p.cand.insns.len() as u32,
     })
+}
+
+/// Concretely validates a proposal against a reusable probe VM loaded
+/// with the image under analysis; returns the surviving gadget, or
+/// `None` if no proposed effect holds up. Allocates working buffers
+/// per call — prefer [`ProbeVm`], which owns them across proposals.
+pub fn validate_with(vm: &mut Vm, p: &Proposal) -> Option<Gadget> {
+    let mut bufs = ProbeBufs::new();
+    let mut stats = ProbeStats::default();
+    validate_shared(vm, p, &mut bufs, &mut stats)
 }
 
 /// Convenience wrapper constructing a fresh probe VM (prefer
@@ -346,10 +561,17 @@ pub fn validate(img: &LinkedImage, p: &Proposal) -> Option<Gadget> {
 /// included), so each verdict is a pure function of the proposal —
 /// identical to what a freshly built VM would return — while the
 /// predecoded block cache stays hot across proposals (text is
-/// immutable under W⊕X).
+/// immutable under W⊕X). The rollback skips the eight scratch windows:
+/// trial 1 unconditionally refills them from the PRNG slab before any
+/// probe step executes, so their dirt never needs restoring.
 pub struct ProbeVm {
     vm: Vm,
     pristine: Memory,
+    bufs: ProbeBufs,
+    stats: ProbeStats,
+    /// The scratch windows `run_probe` refills every proposal —
+    /// excluded from the reset rollback.
+    scratch_windows: [(u32, u32); 8],
 }
 
 impl ProbeVm {
@@ -358,7 +580,19 @@ impl ProbeVm {
         let mut vm = Vm::with_options(img, VmOptions::default());
         vm.mem_mut().enable_write_log();
         let pristine = vm.mem().clone();
-        ProbeVm { vm, pristine }
+        let heap = vm.mem().heap_base();
+        let mut scratch_windows = [(0u32, 0u32); 8];
+        for (i, w) in scratch_windows.iter_mut().enumerate() {
+            let base = heap + 0x1000 + i as u32 * 0x1000 + 0x800 - 0x200;
+            *w = (base, base + (SCRATCH_WORDS as u32) * 4);
+        }
+        ProbeVm {
+            vm,
+            pristine,
+            bufs: ProbeBufs::new(),
+            stats: ProbeStats::default(),
+            scratch_windows,
+        }
     }
 
     /// The VM heap base (scratch-region anchor, part of cache keys).
@@ -366,10 +600,193 @@ impl ProbeVm {
         self.vm.mem().heap_base()
     }
 
+    /// Probe-work counters accumulated over every [`ProbeVm::validate`]
+    /// call on this VM.
+    pub fn stats(&self) -> ProbeStats {
+        self.stats
+    }
+
+    /// Drains the accumulated counters, leaving zeros (lets a worker
+    /// export per-chunk deltas to a shared total).
+    pub fn take_stats(&mut self) -> ProbeStats {
+        std::mem::take(&mut self.stats)
+    }
+
     /// Validates one proposal from pristine state. Equivalent to
     /// `validate(img, p)` on a fresh VM, minus the construction cost.
     pub fn validate(&mut self, p: &Proposal) -> Option<Gadget> {
-        self.vm.reset_to(&self.pristine);
-        validate_with(&mut self.vm, p)
+        self.vm
+            .reset_to_skipping(&self.pristine, &self.scratch_windows);
+        validate_shared(&mut self.vm, p, &mut self.bufs, &mut self.stats)
+    }
+}
+
+/// The pre-shared-trial validation path — one probe per (effect,
+/// trial), scratch redrawn every probe. Not used by `protect()`; kept
+/// callable as the differential oracle for `tests/shared_trial.rs` and
+/// the `validate_throughput` bench's legacy-vs-shared speedup ratio.
+#[doc(hidden)]
+pub mod legacy {
+    use super::*;
+
+    /// Runs the gadget once with fully redrawn state; returns the probe
+    /// inputs plus owned canary/scratch snapshots.
+    #[allow(clippy::type_complexity)]
+    fn run_probe(
+        vm: &mut Vm,
+        p: &Proposal,
+        seed: &mut u64,
+    ) -> Option<(u32, [u32; 8], Vec<u32>, ScratchPre)> {
+        let heap = vm.mem().heap_base();
+        let mut scratch = [0u32; 8];
+        for (i, s) in scratch.iter_mut().enumerate() {
+            *s = heap + 0x1000 + i as u32 * 0x1000 + 0x800;
+        }
+
+        let mut needs_scratch = p.mem_preconditions.clone();
+        for e in &p.effects {
+            match e {
+                Effect::LoadMem { addr, .. }
+                | Effect::StoreMem { addr, .. }
+                | Effect::AddMem { addr, .. }
+                    if !needs_scratch.contains(addr) =>
+                {
+                    needs_scratch.push(*addr);
+                }
+                _ => {}
+            }
+        }
+
+        let mut init_regs = [0u32; 8];
+        for r in Reg32::ALL {
+            if r == Reg32::Esp {
+                continue;
+            }
+            let v = if needs_scratch.contains(&r) {
+                scratch[r.encoding() as usize]
+            } else {
+                0x0100_0000 | (prng(seed) & 0x00ff_ffff)
+            };
+            init_regs[r.encoding() as usize] = v;
+            vm.cpu.set_reg(r, v);
+        }
+        if p.effects.contains(&Effect::Syscall) {
+            init_regs[0] = 13;
+            vm.cpu.set_reg(Reg32::Eax, 13);
+        }
+
+        vm.cpu.flags.cf = prng(seed) & 1 != 0;
+        vm.cpu.flags.zf = prng(seed) & 1 != 0;
+        vm.cpu.flags.sf = prng(seed) & 1 != 0;
+        vm.cpu.flags.of = prng(seed) & 1 != 0;
+
+        let mut pre_mem = ScratchPre::empty();
+        pre_mem.bases = scratch.map(|s| s - 0x200);
+        for s in scratch {
+            let start = pre_mem.words.len();
+            for _ in 0..SCRATCH_WORDS {
+                let v = prng(seed);
+                pre_mem.words.extend_from_slice(&v.to_le_bytes());
+            }
+            vm.mem_mut()
+                .write_bytes(s - 0x200, &pre_mem.words[start..])
+                .ok()?;
+        }
+
+        let esp0 = STACK_TOP - 0x2000;
+        let mut canaries = Vec::new();
+        for k in 0..p.slots {
+            let c = prng(seed);
+            canaries.push(c);
+            vm.mem_mut().write32(esp0 + 4 * k, c).ok()?;
+        }
+        vm.mem_mut()
+            .write32(esp0 + 4 * p.slots, CALL_SENTINEL)
+            .ok()?;
+        if p.cand.far {
+            vm.mem_mut().write32(esp0 + 4 * p.slots + 4, 0x23).ok()?;
+        }
+
+        if p.effects.contains(&Effect::PopEsp) {
+            let landing = esp0 + 0x100;
+            vm.mem_mut().write32(landing, CALL_SENTINEL).ok()?;
+            for k in 0..p.slots {
+                canaries[k as usize] = landing;
+                vm.mem_mut().write32(esp0 + 4 * k, landing).ok()?;
+            }
+        }
+        if let Some(Effect::AddEsp { src }) = p
+            .effects
+            .iter()
+            .find(|e| matches!(e, Effect::AddEsp { .. }))
+        {
+            vm.cpu.set_reg(*src, 64);
+            init_regs[src.encoding() as usize] = 64;
+            vm.mem_mut().write32(esp0 + 64, CALL_SENTINEL).ok()?;
+        }
+
+        vm.cpu.set_esp(esp0);
+        vm.cpu.eip = p.cand.vaddr;
+
+        for _ in 0..PROBE_STEPS {
+            if vm.cpu.eip == CALL_SENTINEL {
+                return Some((esp0, init_regs, canaries, pre_mem));
+            }
+            match vm.step() {
+                Ok(None) => {}
+                _ => return None,
+            }
+        }
+        None
+    }
+
+    /// Legacy per-(effect, trial) validation against a caller-provided
+    /// VM; byte-for-byte the behavior `protect()` had before the
+    /// shared-trial restructuring.
+    pub fn validate_with(vm: &mut Vm, p: &Proposal) -> Option<Gadget> {
+        let mut surviving = Vec::new();
+        'effects: for e in &p.effects {
+            for trial in 0..2u64 {
+                let mut seed = 0x9e37_79b9_7f4a_7c15u64
+                    ^ ((p.cand.vaddr as u64) << 16)
+                    ^ (trial * 0x1234_5677 + 1);
+                match run_probe(vm, p, &mut seed) {
+                    Some((esp0, init_regs, canaries, pre_mem)) => {
+                        let pr = Probe {
+                            vm,
+                            esp0,
+                            init_regs,
+                            canaries: &canaries,
+                            pre_mem: &pre_mem,
+                        };
+                        if !check_effect(e, &pr, p) {
+                            continue 'effects;
+                        }
+                    }
+                    None => continue 'effects,
+                }
+            }
+            surviving.push(*e);
+        }
+        if surviving.is_empty() {
+            return None;
+        }
+        Some(Gadget {
+            vaddr: p.cand.vaddr,
+            len: p.cand.len,
+            far: p.cand.far,
+            slots: p.slots,
+            effects: surviving,
+            clobbers: p.clobbers.clone(),
+            mem_preconditions: p.mem_preconditions.clone(),
+            disasm: p.cand.disasm(),
+            insn_count: p.cand.insns.len() as u32,
+        })
+    }
+
+    /// Legacy validation on a fresh VM.
+    pub fn validate(img: &LinkedImage, p: &Proposal) -> Option<Gadget> {
+        let mut vm = Vm::with_options(img, VmOptions::default());
+        validate_with(&mut vm, p)
     }
 }

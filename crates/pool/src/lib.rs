@@ -195,14 +195,28 @@ pub fn auto_workers() -> usize {
 pub const CHUNKS_PER_WORKER: usize = 3;
 
 /// Caps a requested fan-out to what can actually help: never more
-/// workers than items, and never more than twice the machine's
-/// available parallelism. `--jobs 8` on a dual-core runner used to
-/// spawn eight threads thrashing two cores — the jobs8 regression in
-/// `BENCH_protect.json` — without ever finishing sooner than four.
+/// workers than items, and never more than the machine's available
+/// parallelism. `--jobs 8` on a dual-core runner used to spawn eight
+/// threads thrashing two cores — the jobs8 regression in
+/// `BENCH_protect.json` — without ever finishing sooner than four; the
+/// looser 2× cap that replaced it still let `--jobs 2` on a one-core
+/// host pay thread spawns and duplicated per-worker setup (a probe VM
+/// each) only to time-slice a single core, which is where the gcc
+/// `jobs2 > jobs1` inversion came from.
 pub fn effective_workers(requested: usize, items: usize) -> usize {
+    effective_workers_for(requested, items, 1)
+}
+
+/// [`effective_workers`] with a minimum-work threshold: every worker
+/// must have at least `min_per_worker` items, so tiny fan-outs fall
+/// back toward serial instead of paying pool setup that the work can
+/// never amortize. `min_per_worker` of 0 or 1 disables the threshold.
+pub fn effective_workers_for(requested: usize, items: usize, min_per_worker: usize) -> usize {
+    let by_work = items / min_per_worker.max(1);
     requested
         .clamp(1, items.max(1))
-        .min((auto_workers() * 2).max(1))
+        .min(by_work.max(1))
+        .min(auto_workers().max(1))
 }
 
 /// Adaptive chunk granularity: sizes chunks so `items` splits into
@@ -733,16 +747,31 @@ mod tests {
 
     #[test]
     fn effective_workers_caps_fanout() {
-        let cap = (auto_workers() * 2).max(1);
+        let cap = auto_workers().max(1);
         // Never more workers than items (independent of the core cap).
         assert!(effective_workers(8, 3) <= 3);
         assert_eq!(effective_workers(8, 3), 3.min(cap));
         assert_eq!(effective_workers(0, 10), 1);
         assert_eq!(effective_workers(1, 0), 1);
-        // Never more than 2× the machine's parallelism.
+        // Never more than the machine's parallelism — oversubscription
+        // only time-slices cores while multiplying per-worker setup.
         assert!(effective_workers(1024, 4096) <= cap);
         // Small requests under both caps pass through unchanged.
         assert_eq!(effective_workers(1, 100), 1);
+    }
+
+    #[test]
+    fn effective_workers_min_work_threshold() {
+        let cap = auto_workers().max(1);
+        // Below the threshold the fan-out falls back toward serial...
+        assert_eq!(effective_workers_for(8, 3, 4), 1);
+        assert_eq!(effective_workers_for(4, 7, 4), 1);
+        // ...partial work caps the worker count...
+        assert_eq!(effective_workers_for(8, 8, 4), 2.min(cap));
+        // ...and plentiful work leaves the request alone.
+        assert_eq!(effective_workers_for(2, 4096, 64), 2.min(cap));
+        // 0/1 disables the threshold.
+        assert_eq!(effective_workers_for(2, 2, 0), effective_workers(2, 2));
     }
 
     #[test]

@@ -310,8 +310,10 @@ pub fn protect_program_parallel(
     let inputs: Vec<&FuncItem> = targets.iter().filter_map(|name| prog.func(name)).collect();
     let names: Vec<String> = inputs.iter().map(|f| f.name.clone()).collect();
     let wall = std::time::Instant::now();
+    // Two functions per worker at minimum: a fan-out that hands each
+    // worker a single body pays thread spawns without amortizing them.
     let (results, stats) = parallax_pool::scoped_map(
-        parallax_pool::effective_workers(jobs, inputs.len()),
+        parallax_pool::effective_workers_for(jobs, inputs.len(), 2),
         inputs.len(),
         |i, _w| {
             let t0 = std::time::Instant::now();

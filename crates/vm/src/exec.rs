@@ -165,7 +165,21 @@ impl Vm {
     /// hot: text is immutable under W⊕X, and restored text ranges
     /// re-dirty so any overlapping blocks evict.
     pub fn reset_to(&mut self, pristine: &Memory) {
-        self.mem.restore_from(pristine);
+        self.reset_to_skipping(pristine, &[]);
+    }
+
+    /// [`Vm::reset_to`], except that dirtied bytes inside the `skip`
+    /// ranges are *not* rolled back. This is the probe reset fast path:
+    /// a caller that unconditionally rewrites certain data regions
+    /// (probe scratch) before every run can skip restoring them, so a
+    /// reset costs only the writes that landed elsewhere. `skip` ranges
+    /// must lie outside text — skipped text would leave the block cache
+    /// observing stale bytes.
+    pub fn reset_to_skipping(&mut self, pristine: &Memory, skip: &[(u32, u32)]) {
+        debug_assert!(skip
+            .iter()
+            .all(|&(s, e)| !self.mem.in_text(s) && !self.mem.in_text(e - 1)));
+        self.mem.restore_from_skipping(pristine, skip);
         self.sync_code_writes();
         self.cpu = Cpu::default();
         self.cpu.set_esp(self.mem.initial_esp());

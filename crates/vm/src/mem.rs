@@ -103,43 +103,99 @@ impl Memory {
     /// if regions are address-adjacent, so each range is walked and
     /// clamped at the containing region's end.
     pub fn restore_from(&mut self, pristine: &Memory) {
+        self.restore_from_skipping(pristine, &[]);
+    }
+
+    /// Number of ranges currently in the coalescing write log (0 when
+    /// logging is disabled) — a cursor for [`Memory::write_log_since`].
+    pub fn write_log_len(&self) -> usize {
+        self.write_log.as_ref().map_or(0, |l| l.len())
+    }
+
+    /// The logged write ranges recorded at or after the `mark` cursor
+    /// (from a prior [`Memory::write_log_len`]), or `None` when logging
+    /// is disabled. Coalescing can only *extend the end* of the last
+    /// pre-mark range upward, so a write that lands strictly inside a
+    /// region logged before the mark always opens a fresh post-mark
+    /// entry and is never hidden from this view.
+    pub fn write_log_since(&self, mark: usize) -> Option<&[(u32, u32)]> {
+        self.write_log.as_deref().map(|l| &l[mark.min(l.len())..])
+    }
+
+    /// [`Memory::restore_from`], except that the parts of logged writes
+    /// covered by `skip` ranges (`[start, end)`, non-overlapping) are
+    /// left as they are. Probe VMs use this as their reset fast path:
+    /// scratch regions that the next probe unconditionally refills are
+    /// skipped, so a reset costs only the bytes dirtied *outside* them.
+    /// The log is drained in full either way — skipped dirt is simply
+    /// abandoned to be overwritten.
+    pub fn restore_from_skipping(&mut self, pristine: &Memory, skip: &[(u32, u32)]) {
         let Some(mut log) = self.write_log.take() else {
             return;
         };
-        for &(range_start, range_end) in &log {
-            let mut start = range_start;
-            while start < range_end {
-                let stop;
-                if start >= self.data_base && start < self.data_end() {
-                    stop = range_end.min(self.data_end());
-                    let a = (start - self.data_base) as usize;
-                    let b = (stop - self.data_base) as usize;
-                    self.data[a..b].copy_from_slice(&pristine.data[a..b]);
-                } else if start >= self.stack_base && start < STACK_TOP {
-                    stop = range_end.min(STACK_TOP);
-                    let a = (start - self.stack_base) as usize;
-                    let b = (stop - self.stack_base) as usize;
-                    self.stack[a..b].copy_from_slice(&pristine.stack[a..b]);
-                } else if start >= self.text_base && start < self.text_end() {
-                    stop = range_end.min(self.text_end());
-                    let a = (start - self.text_base) as usize;
-                    let b = (stop - self.text_base) as usize;
-                    self.text[a..b].copy_from_slice(&pristine.text[a..b]);
-                    if let Some(ic) = self.icache.as_mut() {
-                        let src = pristine.icache.as_deref().unwrap_or(&pristine.text);
-                        ic[a..b].copy_from_slice(&src[a..b]);
+        for &(logged_start, logged_end) in &log {
+            // Subtract the skip intervals from the logged range and
+            // restore each remaining piece.
+            let mut piece_start = logged_start;
+            while piece_start < logged_end {
+                // The skip range covering piece_start, if any; else the
+                // next skip range beginning before logged_end.
+                let mut piece_end = logged_end;
+                let mut covered = false;
+                for &(ss, se) in skip {
+                    if ss <= piece_start && piece_start < se {
+                        covered = true;
+                        piece_end = se.min(logged_end);
+                        break;
                     }
-                    self.dirty_code.push((start, stop));
-                } else {
-                    // Every logged write was bounds-checked, so this is
-                    // unreachable; bail rather than spin.
-                    break;
+                    if ss > piece_start && ss < piece_end {
+                        piece_end = ss;
+                    }
                 }
-                start = stop;
+                if !covered {
+                    self.restore_range(pristine, piece_start, piece_end);
+                }
+                piece_start = piece_end;
             }
         }
         log.clear();
         self.write_log = Some(log);
+    }
+
+    /// Restores `[range_start, range_end)` from `pristine`, walking and
+    /// clamping at region boundaries (a logged range can span regions
+    /// only when they are address-adjacent).
+    fn restore_range(&mut self, pristine: &Memory, range_start: u32, range_end: u32) {
+        let mut start = range_start;
+        while start < range_end {
+            let stop;
+            if start >= self.data_base && start < self.data_end() {
+                stop = range_end.min(self.data_end());
+                let a = (start - self.data_base) as usize;
+                let b = (stop - self.data_base) as usize;
+                self.data[a..b].copy_from_slice(&pristine.data[a..b]);
+            } else if start >= self.stack_base && start < STACK_TOP {
+                stop = range_end.min(STACK_TOP);
+                let a = (start - self.stack_base) as usize;
+                let b = (stop - self.stack_base) as usize;
+                self.stack[a..b].copy_from_slice(&pristine.stack[a..b]);
+            } else if start >= self.text_base && start < self.text_end() {
+                stop = range_end.min(self.text_end());
+                let a = (start - self.text_base) as usize;
+                let b = (stop - self.text_base) as usize;
+                self.text[a..b].copy_from_slice(&pristine.text[a..b]);
+                if let Some(ic) = self.icache.as_mut() {
+                    let src = pristine.icache.as_deref().unwrap_or(&pristine.text);
+                    ic[a..b].copy_from_slice(&src[a..b]);
+                }
+                self.dirty_code.push((start, stop));
+            } else {
+                // Every logged write was bounds-checked, so this is
+                // unreachable; bail rather than spin.
+                break;
+            }
+            start = stop;
+        }
     }
 
     /// True if code bytes changed since the last [`Memory::take_dirty_code`].

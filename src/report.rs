@@ -333,6 +333,38 @@ fn engine_table(out: &mut String, tf: &TraceFile) {
     }
 }
 
+/// Shared-trial gadget-validation telemetry: probe executions per
+/// proposal (at most two — one per trial — regardless of how many
+/// effects a proposal carries), the per-(effect, trial) runs the
+/// shared path avoided, and scratch-reseeding volume.
+fn validation_table(out: &mut String, tf: &TraceFile) {
+    let get = |k: &str| tf.counters.get(k).copied().unwrap_or(0);
+    let proposals = get("vm.probe.proposals");
+    let runs = get("vm.probe.runs");
+    if proposals + runs == 0 {
+        return;
+    }
+    let per = if proposals == 0 {
+        0.0
+    } else {
+        runs as f64 / proposals as f64
+    };
+    let saved = get("vm.probe.runs_saved");
+    let _ = writeln!(out, "gadget validation (shared-trial probes):");
+    let _ = writeln!(
+        out,
+        "  proposals: {proposals}   probe runs: {runs} ({per:.2} per proposal)   runs saved: {saved} ({:.1}%)",
+        pct(saved, runs + saved)
+    );
+    let _ = writeln!(
+        out,
+        "  scratch reseed: {} words   probe VMs: {} built ({:.3} ms)",
+        get("vm.probe.reseed_words"),
+        get("vm.probe.builds"),
+        get("vm.probe.build_ns") as f64 / 1e6
+    );
+}
+
 /// Fail-closed loading telemetry: image verifications (pass/fail and
 /// wall time) and cache entries refused by load-time verification.
 fn verification_table(out: &mut String, tf: &TraceFile) {
@@ -469,6 +501,10 @@ pub fn render_report(tf: &TraceFile) -> String {
         out.push('\n');
     }
     engine_table(&mut out, tf);
+    if !out.ends_with("\n\n") && !out.is_empty() {
+        out.push('\n');
+    }
+    validation_table(&mut out, tf);
     if !out.ends_with("\n\n") && !out.is_empty() {
         out.push('\n');
     }
@@ -748,6 +784,12 @@ mod tests {
         t.count("scan.decode.offsets", 5000);
         t.count("scan.decode.once", 5000);
         t.count("scan.decode.memo_hit", 20000);
+        t.count("vm.probe.proposals", 486);
+        t.count("vm.probe.runs", 941);
+        t.count("vm.probe.runs_saved", 59);
+        t.count("vm.probe.reseed_words", 12800);
+        t.count("vm.probe.builds", 2);
+        t.count("vm.probe.build_ns", 1_500_000);
         t.count("protect.par.rewrite.wall_us", 500);
         t.count("protect.par.rewrite.cpu_us", 2000);
         t.count("protect.par.chain.wall_us", 1000);
@@ -792,6 +834,9 @@ mod tests {
             "block cache: 900 hits, 100 misses (90.0% hit rate), 3 invalidations",
             "5000 decodes over 5000 text offsets",
             "4.0x amortization",
+            "gadget validation (shared-trial probes):",
+            "proposals: 486   probe runs: 941 (1.94 per proposal)   runs saved: 59 (5.9%)",
+            "scratch reseed: 12800 words   probe VMs: 2 built (1.500 ms)",
             "verification:",
             "image loads:  5 verified, 1 refused (2.000 ms total)",
             "cache:        2 entries refused by load-time verification",
